@@ -1,0 +1,215 @@
+(* The benchmark harness.
+
+   Running this executable first regenerates every table and figure of
+   the paper's evaluation (the rows/series of §III), then runs one
+   Bechamel microbenchmark per experiment measuring the cost of the
+   machinery that produces it (analysis, profiling, schedule
+   generation, parallel execution, ...) on training-scale workloads. *)
+
+open Bechamel
+open Toolkit
+module Suite = Janus_suite.Suite
+module Janus = Janus_core.Janus
+module Eval = Janus_core.Eval
+module Analysis = Janus_analysis.Analysis
+module Profiler = Janus_profile.Profiler
+
+let bench_of name f = Test.make ~name (Staged.stage f)
+
+(* pre-compiled artefacts shared by the micro-benchmarks *)
+let lbm = Option.get (Suite.find "470.lbm")
+let bwaves = Option.get (Suite.find "410.bwaves")
+let gems = Option.get (Suite.find "459.GemsFDTD")
+let milc = Option.get (Suite.find "433.milc")
+let lbm_img = Suite.compile lbm
+let bwaves_img = Suite.compile bwaves
+let gems_img = Suite.compile gems
+let milc_img = Suite.compile milc
+let lbm_analysis = Analysis.analyse_image lbm_img
+
+(* Fig. 6: classify one binary's loops (static analysis + profiling) *)
+let fig6_bench =
+  bench_of "fig6_loop_classification" (fun () ->
+      let t = Analysis.analyse_image milc_img in
+      let _cov = Profiler.run_coverage ~input:(Suite.train_input milc) milc_img t in
+      let _deps =
+        Profiler.run_dependence ~input:(Suite.train_input milc) milc_img t
+      in
+      ())
+
+(* Fig. 7: one full pipeline run (training scale) *)
+let fig7_bench =
+  bench_of "fig7_speedup_configs" (fun () ->
+      ignore
+        (Janus.parallelise
+           ~cfg:(Janus.config ~fuel:100_000_000 ())
+           ~train_input:(Suite.train_input lbm)
+           ~input:(Suite.train_input lbm) lbm_img))
+
+(* Fig. 8: a breakdown-producing single-thread run *)
+let fig8_bench =
+  bench_of "fig8_breakdown" (fun () ->
+      ignore
+        (Janus.parallelise
+           ~cfg:(Janus.config ~threads:1 ~fuel:100_000_000 ())
+           ~train_input:(Suite.train_input milc)
+           ~input:(Suite.train_input milc) milc_img))
+
+(* Table I: analysis + schedule generation incl. bounds-check descriptors *)
+let table1_bench =
+  bench_of "table1_bounds_checks" (fun () ->
+      ignore
+        (Janus.prepare
+           ~cfg:(Janus.config ~fuel:100_000_000 ())
+           ~train_input:(Suite.train_input gems) gems_img))
+
+(* Fig. 9: one parallel execution at 4 threads *)
+let fig9_bench =
+  let prepared =
+    Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input lbm)
+      lbm_img
+  in
+  bench_of "fig9_thread_scaling" (fun () ->
+      ignore
+        (Janus.run_parallel
+           ~cfg:(Janus.config ~threads:4 ~fuel:100_000_000 ())
+           ~input:(Suite.train_input lbm) prepared))
+
+(* Fig. 10: schedule generation + serialisation *)
+let fig10_bench =
+  bench_of "fig10_schedule_size" (fun () ->
+      let selected =
+        List.filter_map
+          (fun (r : Janus_analysis.Loopanal.report) ->
+             match Analysis.eligibility r with
+             | Analysis.Eligible_static ->
+               Some (r, Janus_schedule.Desc.Chunked)
+             | _ -> None)
+          lbm_analysis.Analysis.reports
+      in
+      let sched, _ =
+        Janus_analysis.Rulegen.parallel_schedule lbm_analysis.Analysis.cfg
+          selected
+      in
+      ignore (Janus_schedule.Schedule.to_bytes sched))
+
+(* Fig. 11: an auto-parallelising compile *)
+let fig11_bench =
+  bench_of "fig11_compiler_comparison" (fun () ->
+      ignore
+        (Suite.compile
+           ~options:
+             { Janus_jcc.Jcc.default_options with
+               vendor = Janus_jcc.Jcc.Icc; autopar = 8 }
+           milc))
+
+(* Fig. 12: an AVX compile + analysis of the harder binary *)
+let fig12_bench =
+  bench_of "fig12_opt_levels" (fun () ->
+      let img =
+        Suite.compile ~options:{ Janus_jcc.Jcc.default_options with avx = true }
+          bwaves
+      in
+      ignore (Analysis.analyse_image img))
+
+(* ablations called out in DESIGN.md *)
+let ablation_policy_bench =
+  let prepared =
+    Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input lbm)
+      lbm_img
+  in
+  bench_of "ablation_round_robin" (fun () ->
+      ignore
+        (Janus.run_parallel
+           ~cfg:
+             (Janus.config
+                ~force_policy:(Janus_schedule.Desc.Round_robin 16)
+                ~fuel:100_000_000 ())
+           ~input:(Suite.train_input lbm) prepared))
+
+let ablation_stm_bench =
+  bench_of "ablation_stm_speculation" (fun () ->
+      ignore
+        (Janus.parallelise
+           ~cfg:(Janus.config ~fuel:100_000_000 ())
+           ~train_input:(Suite.train_input bwaves)
+           ~input:(Suite.train_input bwaves) bwaves_img))
+
+let ablation_stm_everywhere_bench =
+  let prepared =
+    Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input lbm)
+      lbm_img
+  in
+  bench_of "ablation_stm_everywhere" (fun () ->
+      ignore
+        (Janus.run_parallel
+           ~cfg:(Janus.config ~stm_everywhere:true ~fuel:100_000_000 ())
+           ~input:(Suite.train_input lbm) prepared))
+
+(* the DOACROSS future-work extension on a recurrence-bearing workload *)
+let extension_doacross_bench =
+  bench_of "extension_doacross" (fun () ->
+      ignore
+        (Janus.parallelise
+           ~cfg:(Janus.config ~use_doacross:true ~fuel:100_000_000 ())
+           ~train_input:(Suite.train_input milc)
+           ~input:(Suite.train_input milc) milc_img))
+
+(* the software-prefetching future-work extension on a streaming
+   workload, under the cold-line cache-miss model *)
+let extension_prefetch_bench =
+  bench_of "extension_prefetch" (fun () ->
+      ignore
+        (Janus.parallelise
+           ~cfg:
+             (Janus.config ~prefetch:true ~model_cache:true
+                ~fuel:100_000_000 ())
+           ~train_input:(Suite.train_input lbm)
+           ~input:(Suite.train_input lbm) lbm_img))
+
+let tests =
+  Test.make_grouped ~name:"janus"
+    [
+      fig6_bench; fig7_bench; fig8_bench; table1_bench; fig9_bench;
+      fig10_bench; fig11_bench; fig12_bench; ablation_policy_bench;
+      ablation_stm_bench; ablation_stm_everywhere_bench;
+      extension_doacross_bench; extension_prefetch_bench;
+    ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Fmt.pr "@.Bechamel microbenchmarks (per-experiment machinery):@.";
+  Hashtbl.iter
+    (fun name result ->
+       match Analyze.OLS.estimates result with
+       | Some [ est ] -> Fmt.pr "  %-40s %12.0f ns/run@." name est
+       | _ -> Fmt.pr "  %-40s (no estimate)@." name)
+    results
+
+let () =
+  let bench_only =
+    Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "--bench-only"
+  in
+  if not bench_only then begin
+    Fmt.pr "=== Janus evaluation: regenerating all tables and figures ===@.@.";
+    Fmt.pr "%a@." Eval.pp_fig6 (Eval.fig6 ());
+    Fmt.pr "%a@." Eval.pp_fig7 (Eval.fig7 ());
+    Fmt.pr "%a@." Eval.pp_fig8 (Eval.fig8 ());
+    Fmt.pr "%a@." Eval.pp_table1 (Eval.table1 ());
+    Fmt.pr "%a@." Eval.pp_excall (Eval.excall_footprint ());
+    Fmt.pr "%a@." Eval.pp_fig9 (Eval.fig9 ());
+    Fmt.pr "%a@." Eval.pp_fig10 (Eval.fig10 ());
+    Fmt.pr "%a@." Eval.pp_fig11 (Eval.fig11 ());
+    Fmt.pr "%a@." Eval.pp_fig12 (Eval.fig12 ());
+    Fmt.pr "%a@." Eval.pp_ext_doacross (Eval.ext_doacross ());
+    Fmt.pr "%a@." Eval.pp_ext_prefetch (Eval.ext_prefetch ())
+  end;
+  run_benchmarks ()

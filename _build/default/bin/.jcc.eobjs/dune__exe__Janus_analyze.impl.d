@@ -1,0 +1,1 @@
+bin/janus_analyze.ml: Arg Bytes Cmd Cmdliner Fmt In_channel Janus_analysis Janus_core Janus_profile Janus_schedule Janus_vx List Out_channel Term

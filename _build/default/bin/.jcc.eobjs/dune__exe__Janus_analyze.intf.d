@@ -1,0 +1,1 @@
+bin/janus_analyze.mli:

@@ -1,0 +1,1 @@
+bin/janus_eval.ml: Array Fmt Janus_core List String Sys

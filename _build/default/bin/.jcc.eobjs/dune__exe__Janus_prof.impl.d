@@ -1,0 +1,1 @@
+bin/janus_prof.ml: Arg Bytes Cmd Cmdliner Fmt Hashtbl In_channel Int64 Janus_analysis Janus_profile Janus_vx List Term

@@ -1,0 +1,1 @@
+bin/janus_run.ml: Arg Bytes Cmd Cmdliner Fmt In_channel Int64 Janus_core Janus_schedule Janus_vx Term

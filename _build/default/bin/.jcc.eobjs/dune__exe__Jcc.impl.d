@@ -1,0 +1,1 @@
+bin/jcc.ml: Arg Cmd Cmdliner Fmt In_channel Janus_jcc Janus_vx List Out_channel Term

@@ -1,0 +1,1 @@
+bin/jrs_dump.ml: Arg Bytes Cmd Cmdliner Cond Fmt In_channel Int64 Janus_schedule Janus_vx List Printf Reg String Term

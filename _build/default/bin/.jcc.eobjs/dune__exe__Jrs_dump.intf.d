@@ -1,0 +1,1 @@
+bin/jrs_dump.mli:

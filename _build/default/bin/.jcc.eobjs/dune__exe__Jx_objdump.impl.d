@@ -1,0 +1,1 @@
+bin/jx_objdump.ml: Arg Array Bytes Cmd Cmdliner Fmt Hashtbl Image In_channel Insn Janus_analysis Janus_vx Layout List Printf String Term

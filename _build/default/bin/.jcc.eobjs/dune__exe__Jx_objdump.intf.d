@@ -1,0 +1,1 @@
+bin/jx_objdump.mli:

@@ -1,0 +1,87 @@
+(* janus_analyze: static binary analysis of a JX executable.
+
+   Prints the loop classification summary and optionally writes the
+   parallelisation rewrite schedule. Without a profile, every eligible
+   loop is selected (the "Statically-Driven" configuration); with
+   --profile (a .jpf written by janus_prof -o) selection applies the
+   paper's coverage/trip/work filters and the observed-dependence veto
+   — the full profile-guided offline workflow of Fig. 1(a). *)
+
+open Cmdliner
+module Analysis = Janus_analysis.Analysis
+module Loopanal = Janus_analysis.Loopanal
+module Profiler = Janus_profile.Profiler
+module Janus = Janus_core.Janus
+
+let analyse input schedule_out disasm profile_in =
+  let bytes =
+    In_channel.with_open_bin input (fun ic ->
+        Bytes.of_string (In_channel.input_all ic))
+  in
+  let image = Janus_vx.Image.of_bytes bytes in
+  if disasm then Fmt.pr "%a@." Janus_vx.Disasm.image image;
+  let t = Analysis.analyse_image image in
+  Fmt.pr "%a" Analysis.pp_summary t;
+  (match schedule_out with
+   | Some path ->
+     let selected =
+       match profile_in with
+       | Some jpf ->
+         (* profile-guided selection, identical to the in-process
+            pipeline's filters *)
+         let coverage, deps = Profiler.load jpf in
+         let sel =
+           Janus.select ~cfg:(Janus.config ()) t ~coverage:(Some coverage)
+             ~deps:(Some deps)
+         in
+         List.iter
+           (fun (lid, reason) -> Fmt.pr "loop %d rejected: %s@." lid reason)
+           sel.Janus.rejected;
+         sel.Janus.chosen
+       | None ->
+         List.filter_map
+           (fun (r : Loopanal.report) ->
+              match Analysis.eligibility r with
+              | Analysis.Eligible_static | Analysis.Eligible_dynamic _ ->
+                Some (r, Janus_schedule.Desc.Chunked)
+              | Analysis.Eligible_doacross pct ->
+                Some (r, Janus_schedule.Desc.Doacross pct)
+              | Analysis.Not_eligible _ -> None)
+           t.Analysis.reports
+     in
+     let sched, encoded =
+       Janus_analysis.Rulegen.parallel_schedule t.Analysis.cfg selected
+     in
+     Out_channel.with_open_bin path (fun oc ->
+         Out_channel.output_bytes oc (Janus_schedule.Schedule.to_bytes sched));
+     Fmt.pr "wrote %s: %d rules for %d loops (%d bytes, %.1f%% of binary)@."
+       path
+       (List.length sched.Janus_schedule.Schedule.rules)
+       (List.length encoded)
+       (Janus_schedule.Schedule.size sched)
+       (100.0
+        *. float_of_int (Janus_schedule.Schedule.size sched)
+        /. float_of_int (Janus_vx.Image.size image))
+   | None -> ());
+  0
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BIN")
+
+let schedule_out =
+  Arg.(value & opt (some string) None & info [ "emit-schedule" ] ~docv:"OUT")
+
+let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Print disassembly")
+
+let profile_in =
+  Arg.(value & opt (some file) None
+       & info [ "profile" ] ~docv:"FILE.jpf"
+           ~doc:"Profile from janus_prof -o; enables profile-guided loop\n\
+                 selection for --emit-schedule.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "janus_analyze"
+       ~doc:"Static binary analyser: loop classification + rewrite schedules")
+    Term.(const analyse $ input $ schedule_out $ disasm $ profile_in)
+
+let () = exit (Cmd.eval' cmd)

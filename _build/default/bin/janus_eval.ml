@@ -1,0 +1,30 @@
+(* janus_eval: regenerate any table or figure of the paper's evaluation
+   over the synthetic SPEC-like suite.
+
+   Usage: janus_eval
+     [fig6|fig7|fig8|table1|fig9|fig10|fig11|fig12|doacross|prefetch|all] *)
+
+module Eval = Janus_core.Eval
+
+let run_one = function
+  | "fig6" -> Fmt.pr "%a@." Eval.pp_fig6 (Eval.fig6 ())
+  | "fig7" -> Fmt.pr "%a@." Eval.pp_fig7 (Eval.fig7 ())
+  | "fig8" -> Fmt.pr "%a@." Eval.pp_fig8 (Eval.fig8 ())
+  | "table1" ->
+    Fmt.pr "%a@." Eval.pp_table1 (Eval.table1 ());
+    Fmt.pr "%a@." Eval.pp_excall (Eval.excall_footprint ())
+  | "fig9" -> Fmt.pr "%a@." Eval.pp_fig9 (Eval.fig9 ())
+  | "fig10" -> Fmt.pr "%a@." Eval.pp_fig10 (Eval.fig10 ())
+  | "fig11" -> Fmt.pr "%a@." Eval.pp_fig11 (Eval.fig11 ())
+  | "fig12" -> Fmt.pr "%a@." Eval.pp_fig12 (Eval.fig12 ())
+  | "doacross" -> Fmt.pr "%a@." Eval.pp_ext_doacross (Eval.ext_doacross ())
+  | "prefetch" -> Fmt.pr "%a@." Eval.pp_ext_prefetch (Eval.ext_prefetch ())
+  | other -> Fmt.epr "unknown experiment %S@." other
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if String.equal which "all" then
+    List.iter run_one
+      [ "fig6"; "fig7"; "fig8"; "table1"; "fig9"; "fig10"; "fig11"; "fig12";
+        "doacross"; "prefetch" ]
+  else run_one which

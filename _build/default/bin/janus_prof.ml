@@ -1,0 +1,58 @@
+(* janus_profile: statically-driven profiling of a JX executable on a
+   training input (the optional training stage of Fig. 1(a)). *)
+
+open Cmdliner
+module Profiler = Janus_profile.Profiler
+module Analysis = Janus_analysis.Analysis
+module Loopanal = Janus_analysis.Loopanal
+
+let profile input scale out =
+  let bytes =
+    In_channel.with_open_bin input (fun ic ->
+        Bytes.of_string (In_channel.input_all ic))
+  in
+  let image = Janus_vx.Image.of_bytes bytes in
+  let t = Analysis.analyse_image image in
+  let inp = [ Int64.of_int scale ] in
+  let cov = Profiler.run_coverage ~input:inp image t in
+  let deps = Profiler.run_dependence ~input:inp image t in
+  Fmt.pr "total dynamic instructions: %d@." cov.Profiler.total_insns;
+  Fmt.pr "%-8s %-14s %10s %10s %8s %8s %6s@." "loop" "class" "coverage"
+    "avg-trip" "invocs" "work" "dep?";
+  List.iter
+    (fun (r : Loopanal.report) ->
+       let lid = r.Loopanal.loop.Janus_analysis.Looptree.lid in
+       let c = Profiler.cov_of cov lid in
+       Fmt.pr "%-8d %-14s %9.2f%% %10.1f %8d %8.0f %6s@." lid
+         (Loopanal.classification_name r.Loopanal.cls)
+         (100.0 *. Profiler.fraction cov lid)
+         (Profiler.avg_trip cov lid) c.Profiler.invocations
+         (Profiler.avg_work cov lid)
+         (if Profiler.has_dep deps lid then "yes"
+          else if Profiler.was_observed deps lid then "no"
+          else "-"))
+    t.Analysis.reports;
+  (match out with
+   | Some path ->
+     Profiler.save path cov deps;
+     Fmt.pr "wrote %s (%d loops)@." path (Hashtbl.length cov.Profiler.loops)
+   | None -> ());
+  0
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BIN")
+
+let scale =
+  Arg.(value & opt int 10 & info [ "scale" ] ~docv:"N"
+         ~doc:"Training input (read by the program via read_int)")
+
+let out =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE.jpf"
+           ~doc:"Write the profile for janus_analyze --profile.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "janus_prof" ~doc:"Coverage and dependence profiling")
+    Term.(const profile $ input $ scale $ out)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,79 @@
+(* janus_run: execute a JX binary natively, under the plain DBM, or
+   fully parallelised by Janus. *)
+
+open Cmdliner
+module Janus = Janus_core.Janus
+
+let run input mode threads scale train_scale schedule_file prefetch
+    model_cache =
+  let bytes =
+    In_channel.with_open_bin input (fun ic ->
+        Bytes.of_string (In_channel.input_all ic))
+  in
+  let image = Janus_vx.Image.of_bytes bytes in
+  let inp = [ Int64.of_int scale ] in
+  let cfg = Janus.config ~threads ~prefetch ~model_cache () in
+  let result =
+    match mode, schedule_file with
+    | "native", _ -> Janus.run_native ~input:inp ~model_cache image
+    | "dbm", _ -> Janus.run_dbm_only ~input:inp image
+    | _, Some path ->
+      (* deployment mode: use the shipped rewrite schedule as-is *)
+      let sched =
+        In_channel.with_open_bin path (fun ic ->
+            Janus_schedule.Schedule.of_bytes
+              (Bytes.of_string (In_channel.input_all ic)))
+      in
+      Janus.run_scheduled ~cfg ~input:inp image sched
+    | ("janus" | _), None ->
+      Janus.parallelise ~cfg
+        ~train_input:[ Int64.of_int train_scale ]
+        ~input:inp image
+  in
+  print_string result.Janus.output;
+  Fmt.pr "--- %s: %d cycles, %d instructions, exit %d@." mode
+    result.Janus.cycles result.Janus.icount result.Janus.exit_code;
+  if result.Janus.selected_loops <> [] then
+    Fmt.pr "--- parallelised loops: %a; schedule %d bytes@."
+      Fmt.(list ~sep:comma int)
+      result.Janus.selected_loops result.Janus.schedule_size;
+  if result.Janus.stm_commits > 0 || result.Janus.stm_aborts > 0 then
+    Fmt.pr "--- STM: %d commits, %d aborts@." result.Janus.stm_commits
+      result.Janus.stm_aborts;
+  result.Janus.exit_code
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BIN")
+
+let mode =
+  Arg.(value & opt string "janus" & info [ "mode" ] ~docv:"MODE"
+         ~doc:"native | dbm | janus")
+
+let threads = Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N")
+let scale = Arg.(value & opt int 10 & info [ "scale" ] ~docv:"N")
+
+let train_scale =
+  Arg.(value & opt int 4 & info [ "train-scale" ] ~docv:"N")
+
+let schedule_file =
+  Arg.(value & opt (some file) None & info [ "schedule" ] ~docv:"JRS"
+         ~doc:"Use a pre-generated rewrite schedule instead of analysing")
+
+let prefetch =
+  Arg.(value & flag
+       & info [ "prefetch" ]
+           ~doc:"Emit MEM_PREFETCH rules for the selected loops' strided\n\
+                 accesses (pair with --cache-model).")
+
+let model_cache =
+  Arg.(value & flag
+       & info [ "cache-model" ]
+           ~doc:"Charge cold-line cache misses in the cycle model (applies\n\
+                 to native runs too, for a fair baseline).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "janus_run" ~doc:"Run a JX binary (native / dbm / janus)")
+    Term.(const run $ input $ mode $ threads $ scale $ train_scale
+          $ schedule_file $ prefetch $ model_cache)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,57 @@
+(* jcc: compile guest mini-C source to a JX executable.
+
+   Usage: jcc input.jc -o out.jx [-O0..3] [--vendor gcc|icc] [--mavx]
+          [--autopar N] [--dump-asm] *)
+
+open Cmdliner
+
+let compile input output opt vendor avx autopar dump_asm =
+  let src = In_channel.with_open_text input In_channel.input_all in
+  let vendor =
+    match vendor with
+    | "icc" -> Janus_jcc.Jcc.Icc
+    | _ -> Janus_jcc.Jcc.Gcc
+  in
+  let options = { Janus_jcc.Jcc.vendor; opt; avx; autopar } in
+  match Janus_jcc.Jcc.compile ~options src with
+  | image ->
+    Out_channel.with_open_bin output (fun oc ->
+        Out_channel.output_bytes oc (Janus_vx.Image.to_bytes image));
+    if dump_asm then Fmt.pr "%a@." Janus_vx.Disasm.image image;
+    Fmt.pr "wrote %s (%d bytes, %d externals)@." output
+      (Janus_vx.Image.size image)
+      (List.length image.Janus_vx.Image.externals);
+    0
+  | exception Janus_jcc.Jcc.Error msg ->
+    Fmt.epr "jcc: %s@." msg;
+    1
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"SRC")
+
+let output =
+  Arg.(value & opt string "a.jx" & info [ "o"; "output" ] ~docv:"OUT")
+
+let opt_level =
+  Arg.(value & opt int 3 & info [ "O"; "opt" ] ~docv:"LEVEL"
+         ~doc:"Optimisation level (0-3)")
+
+let vendor =
+  Arg.(value & opt string "gcc" & info [ "vendor" ] ~docv:"VENDOR"
+         ~doc:"Compiler profile: gcc or icc")
+
+let avx = Arg.(value & flag & info [ "mavx" ] ~doc:"Wider vectors + peeling")
+
+let autopar =
+  Arg.(value & opt int 0 & info [ "autopar" ] ~docv:"N"
+         ~doc:"Auto-parallelise with N threads (0 = off)")
+
+let dump_asm = Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print assembly")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "jcc" ~doc:"Guest mini-C compiler producing JX executables")
+    Term.(
+      const compile $ input $ output $ opt_level $ vendor $ avx $ autopar
+      $ dump_asm)
+
+let () = exit (Cmd.eval' cmd)

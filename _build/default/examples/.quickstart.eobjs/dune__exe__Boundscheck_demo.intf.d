@@ -1,0 +1,1 @@
+examples/boundscheck_demo.mli:

@@ -1,0 +1,1 @@
+examples/doacross_demo.ml: Fmt Janus_core Janus_jcc List String

@@ -1,0 +1,1 @@
+examples/doacross_demo.mli:

@@ -1,0 +1,1 @@
+examples/prefetch_demo.ml: Fmt Janus_core Janus_jcc String

@@ -1,0 +1,1 @@
+examples/profiling_demo.ml: Fmt Janus_analysis Janus_jcc Janus_profile List

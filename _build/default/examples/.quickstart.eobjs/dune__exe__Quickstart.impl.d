@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Janus_core Janus_jcc Janus_vx List String

@@ -1,0 +1,1 @@
+examples/speculation_demo.ml: Fmt Janus_core Janus_jcc String

@@ -1,0 +1,59 @@
+(* Runtime array-bounds checks (§II-E1): the same binary is parallel
+   when its pointer arguments are disjoint and falls back to sequential
+   execution — still correct — when they alias.
+
+     dune exec examples/boundscheck_demo.exe *)
+
+module Janus = Janus_core.Janus
+
+(* kernel(p, q): statically, p and q might alias; the analyser emits a
+   MEM_BOUNDS_CHECK rule guarding the parallel version. The program
+   aliases them or not depending on its input; when they alias, the
+   q[i+1] read makes the loop a genuine recurrence. *)
+let source =
+  "void kernel(double *p, double *q, int n) {\n\
+   \  for (int i = 0; i < n; i++) { p[i] = q[i + 1] * 2.0 + 1.0; }\n\
+   }\n\
+   int main() {\n\
+   \  int alias = read_int();\n\
+   \  int n = 3000;\n\
+   \  double *a = alloc_double(n);\n\
+   \  double *b = alloc_double(n);\n\
+   \  for (int i = 0; i < n; i++) { b[i] = (double)i; }\n\
+   \  if (alias == 1) {\n\
+   \    kernel(b, b, n - 1);\n\
+   \  } else {\n\
+   \    kernel(a, b, n);\n\
+   \  }\n\
+   \  double s = 0.0;\n\
+   \  for (int i = 0; i < n; i++) { s += a[i] + b[i]; }\n\
+   \  print_float(s);\n\
+   \  return 0;\n\
+   }"
+
+let run alias =
+  let image = Janus_jcc.Jcc.compile source in
+  let input = [ (if alias then 1L else 0L) ] in
+  let native = Janus.run_native ~input image in
+  (* train on the disjoint input: profiling sees no dependence, so the
+     loop ships with a runtime check — which the aliasing reference
+     input then fails at run time (the paper's point: training cannot
+     anticipate every input, the check keeps execution sound) *)
+  let result =
+    Janus.parallelise ~cfg:(Janus.config ()) ~train_input:[ 0L ] ~input image
+  in
+  Fmt.pr "%-22s native=%s janus=%s  %s  (%.2fx, check cycles %d)@."
+    (if alias then "aliasing inputs:" else "disjoint inputs:")
+    (String.trim native.Janus.output)
+    (String.trim result.Janus.output)
+    (if String.equal native.Janus.output result.Janus.output then "OK"
+     else "MISMATCH")
+    (Janus.speedup ~native ~run:result)
+    result.Janus.breakdown.Janus.check_cycles;
+  assert (String.equal native.Janus.output result.Janus.output)
+
+let () =
+  Fmt.pr "The analyser cannot prove kernel's arrays distinct; Janus\n\
+          guards the parallel loop with a runtime range check (Fig. 4).@.";
+  run false;  (* check passes: parallel execution *)
+  run true    (* check fails: sequential fallback, still correct *)

@@ -1,0 +1,46 @@
+(* DOACROSS extension (the paper's stated future work, §III-A): a loop
+   with a genuine cross-iteration dependence — a smoothing accumulator
+   feeding every store — cannot be DOALL-parallelised, but executing
+   chunks in iteration order with context hand-off overlaps the
+   independent part of the body.
+
+     dune exec examples/doacross_demo.exe *)
+
+module Janus = Janus_core.Janus
+
+let source =
+  "double a[8192]; double b[8192];\n\
+   int main() {\n\
+   \  for (int i = 0; i < 8192; i++) { a[i] = (double)(i % 23) * 0.1; }\n\
+   \  double acc = 0.0;\n\
+   \  for (int t = 0; t < 4; t++) {\n\
+   \    for (int i = 0; i < 8192; i++) {\n\
+   \      acc = acc * 0.75 + a[i] * 0.25;        /* carried chain */\n\
+   \      b[i] = acc * 2.0 + a[i] * a[i] + 1.0;  /* independent work */\n\
+   \    }\n\
+   \  }\n\
+   \  double s = 0.0;\n\
+   \  for (int i = 0; i < 8192; i++) { s += b[i]; }\n\
+   \  print_float(s);\n\
+   \  return 0;\n\
+   }"
+
+let () =
+  let image = Janus_jcc.Jcc.compile source in
+  let native = Janus.run_native image in
+  let doall_only = Janus.parallelise image in
+  let with_doacross =
+    Janus.parallelise ~cfg:(Janus.config ~use_doacross:true ()) image
+  in
+  Fmt.pr "the smoothing loop carries `acc' across iterations, so plain\n\
+          Janus only parallelises the surrounding DOALL loops:@.";
+  Fmt.pr "  doall-only:    %.2fx (%d loops)@."
+    (Janus.speedup ~native ~run:doall_only)
+    (List.length doall_only.Janus.selected_loops);
+  Fmt.pr "  with doacross: %.2fx (%d loops)@."
+    (Janus.speedup ~native ~run:with_doacross)
+    (List.length with_doacross.Janus.selected_loops);
+  assert (String.equal native.Janus.output with_doacross.Janus.output);
+  assert (with_doacross.Janus.cycles < doall_only.Janus.cycles);
+  Fmt.pr "outputs are bit-identical: the hand-off chain preserves the\n\
+          sequential semantics while overlapping the independent work.@."

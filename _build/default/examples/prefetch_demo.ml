@@ -1,0 +1,56 @@
+(* Software-prefetching extension (named in the paper's conclusion as
+   another optimisation the rewrite-rule format can express): the
+   analyser emits a MEM_PREFETCH rule for each strided access of a
+   selected loop, and the DBM inserts a `prefetcht0` hint 512 bytes
+   ahead during translation.
+
+   The baseline cost model is flat, so all three runs below enable the
+   opt-in cold-line miss model (Machine.model_cache): a first touch of
+   a 64-byte line costs Cost.cache_miss extra cycles; a prefetch warms
+   the line for its 1-cycle issue cost.
+
+     dune exec examples/prefetch_demo.exe *)
+
+module Janus = Janus_core.Janus
+
+(* a streaming kernel: large arrays, touched once per sweep — the shape
+   where prefetching pays (lbm-like) *)
+let source =
+  "double src[65536]; double dst[65536];\n\
+   int main() {\n\
+   \  for (int i = 0; i < 65536; i++) { src[i] = (double)(i % 97) * 0.01; }\n\
+   \  for (int t = 0; t < 3; t++) {\n\
+   \    for (int i = 0; i < 65536; i++) {\n\
+   \      dst[i] = src[i] * 1.9 + 0.3;\n\
+   \    }\n\
+   \    for (int i = 0; i < 65536; i++) {\n\
+   \      src[i] = dst[i] * 0.5 + 0.1;\n\
+   \    }\n\
+   \  }\n\
+   \  double s = 0.0;\n\
+   \  for (int i = 0; i < 65536; i++) { s += src[i]; }\n\
+   \  print_float(s);\n\
+   \  return 0;\n\
+   }"
+
+let () =
+  let image = Janus_jcc.Jcc.compile source in
+  (* the native baseline pays the same cold-line misses *)
+  let native = Janus.run_native ~model_cache:true image in
+  let plain =
+    Janus.parallelise ~cfg:(Janus.config ~model_cache:true ()) image
+  in
+  let prefetching =
+    Janus.parallelise
+      ~cfg:(Janus.config ~model_cache:true ~prefetch:true ())
+      image
+  in
+  Fmt.pr "streaming kernel under the cold-line miss model (8 threads):@.";
+  Fmt.pr "  janus:            %.2fx@." (Janus.speedup ~native ~run:plain);
+  Fmt.pr "  janus + prefetch: %.2fx@."
+    (Janus.speedup ~native ~run:prefetching);
+  assert (String.equal native.Janus.output prefetching.Janus.output);
+  assert (prefetching.Janus.cycles < plain.Janus.cycles);
+  Fmt.pr
+    "outputs are bit-identical: the hints have no architectural effect,\n\
+     they only warm lines ahead of the sweep.@."

@@ -1,0 +1,49 @@
+(* Quickstart: compile a guest kernel, run it natively, then run it
+   through the full Janus pipeline and compare.
+
+     dune exec examples/quickstart.exe *)
+
+module Janus = Janus_core.Janus
+
+let source =
+  "double x[4096]; double y[4096];\n\
+   int main() {\n\
+   \  int n = read_int();\n\
+   \  for (int i = 0; i < n; i++) {\n\
+   \    x[i] = (double)(i % 19) * 0.5;\n\
+   \    y[i] = (double)(i % 7) * 0.25;\n\
+   \  }\n\
+   \  for (int i = 0; i < n; i++) { y[i] = x[i] * 2.5 + y[i]; }\n\
+   \  double s = 0.0;\n\
+   \  for (int i = 0; i < n; i++) { s += y[i]; }\n\
+   \  print_float(s);\n\
+   \  return 0;\n\
+   }"
+
+let () =
+  (* 1. compile with the guest compiler, as a user's gcc -O3 would *)
+  let image = Janus_jcc.Jcc.compile source in
+  Fmt.pr "compiled: %d bytes of stripped binary@." (Janus_vx.Image.size image);
+
+  (* 2. native baseline *)
+  let native = Janus.run_native ~input:[ 4096L ] image in
+  Fmt.pr "native:   %s          (%d cycles)@."
+    (String.trim native.Janus.output)
+    native.Janus.cycles;
+
+  (* 3. the Janus pipeline: static analysis -> profiling on a training
+     input -> loop selection -> rewrite schedule -> parallel execution *)
+  let result =
+    Janus.parallelise
+      ~cfg:(Janus.config ~threads:8 ())
+      ~train_input:[ 512L ] ~input:[ 4096L ] image
+  in
+  Fmt.pr "janus:    %s          (%d cycles, %d loops parallelised, \
+          schedule %d bytes)@."
+    (String.trim result.Janus.output)
+    result.Janus.cycles
+    (List.length result.Janus.selected_loops)
+    result.Janus.schedule_size;
+  Fmt.pr "speedup:  %.2fx on 8 virtual cores@."
+    (Janus.speedup ~native ~run:result);
+  assert (String.equal native.Janus.output result.Janus.output)

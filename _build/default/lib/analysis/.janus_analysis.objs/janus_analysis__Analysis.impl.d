@@ -1,0 +1,1 @@
+lib/analysis/analysis.ml: Cfg Dom Fmt Funcanal Hashtbl Int64 List Loopanal Looptree

@@ -1,0 +1,1 @@
+lib/analysis/analysis.mli: Cfg Format Hashtbl Janus_vx Loopanal

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Fmt Hashtbl Image Insn Janus_vx Layout List Queue

@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Format Hashtbl Image Insn Janus_vx

@@ -1,0 +1,1 @@
+lib/analysis/funcanal.ml: Array Cfg Dom Hashtbl Int64 Janus_vx List Symexec Sympoly

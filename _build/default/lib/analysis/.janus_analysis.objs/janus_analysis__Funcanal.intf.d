@@ -1,0 +1,1 @@
+lib/analysis/funcanal.mli: Cfg Dom Hashtbl Symexec Sympoly

@@ -1,0 +1,1 @@
+lib/analysis/loopanal.ml: AMap Array Cfg Cond Fmt Funcanal Hashtbl Insn Int64 Janus_schedule Janus_vx List Looptree Option Reg String Symexec Sympoly

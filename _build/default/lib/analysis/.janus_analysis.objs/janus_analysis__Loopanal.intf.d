@@ -1,0 +1,1 @@
+lib/analysis/loopanal.mli: Cfg Cond Funcanal Janus_schedule Janus_vx Looptree Reg Sympoly

@@ -1,0 +1,1 @@
+lib/analysis/looptree.ml: Cfg Dom Hashtbl List Option

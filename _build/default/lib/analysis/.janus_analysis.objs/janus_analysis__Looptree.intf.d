@@ -1,0 +1,1 @@
+lib/analysis/looptree.mli: Cfg Dom Hashtbl

@@ -1,0 +1,1 @@
+lib/analysis/rulegen.ml: Array Cfg Hashtbl Insn Int64 Janus_schedule Janus_vx List Loopanal Looptree Operand Reg Sympoly

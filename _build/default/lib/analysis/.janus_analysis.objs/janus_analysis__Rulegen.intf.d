@@ -1,0 +1,1 @@
+lib/analysis/rulegen.mli: Cfg Janus_schedule Loopanal

@@ -1,0 +1,1 @@
+lib/analysis/symexec.ml: Array Cfg Hashtbl Insn Int64 Janus_vx Layout List Operand Reg Sympoly

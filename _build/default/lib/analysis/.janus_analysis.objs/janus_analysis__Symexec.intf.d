@@ -1,0 +1,1 @@
+lib/analysis/symexec.mli: Cfg Hashtbl Janus_vx Operand Reg Sympoly

@@ -1,0 +1,1 @@
+lib/analysis/sympoly.ml: Fmt Insn Int Int64 Janus_vx Map Reg

@@ -1,0 +1,1 @@
+lib/analysis/sympoly.mli: Format Insn Janus_vx Map Reg

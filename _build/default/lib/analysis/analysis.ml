@@ -1,0 +1,82 @@
+(** Top-level static binary analysis: CFG recovery, loop analysis for
+    every function, and classification summaries (the static side of
+    Fig. 1(a)). *)
+
+type t = {
+  cfg : Cfg.t;
+  reports : Loopanal.report list;
+  by_lid : (int, Loopanal.report) Hashtbl.t;
+}
+
+let analyse_image image =
+  let cfg = Cfg.recover image in
+  let reports =
+    List.concat_map
+      (fun f ->
+         let dom = Dom.compute f in
+         let ltree = Looptree.compute f dom in
+         let fa = Funcanal.compute f dom in
+         List.map (fun l -> Loopanal.analyse cfg ~fa f ltree l)
+           ltree.Looptree.loops)
+      (Cfg.all_funcs cfg)
+  in
+  let by_lid = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Loopanal.report) ->
+       Hashtbl.replace by_lid r.Loopanal.loop.Looptree.lid r)
+    reports;
+  { cfg; reports; by_lid }
+
+let report t lid = Hashtbl.find_opt t.by_lid lid
+
+(** How a loop could be made parallel, from static analysis alone. *)
+type eligibility =
+  | Eligible_static          (* type A: parallel as-is *)
+  | Eligible_dynamic of { needs_check : bool; needs_stm : bool }
+  | Eligible_doacross of int (* type B with a recognised iterator:
+                                parallel via in-order chunk hand-off;
+                                the int is the carried percentage *)
+  | Not_eligible of string
+
+let eligibility (r : Loopanal.report) =
+  match r.Loopanal.cls with
+  | Loopanal.Static_doall -> Eligible_static
+  | Loopanal.Static_dep reason -> begin
+      match r.Loopanal.doacross_frac, r.Loopanal.iv with
+      | Some pct, Some _ when pct <= 90 -> Eligible_doacross pct
+      | _ -> Not_eligible ("static dependence: " ^ reason)
+    end
+  | Loopanal.Incompatible reason -> Not_eligible reason
+  | Loopanal.Outer -> Not_eligible "outer loop (conservative)"
+  | Loopanal.Ambiguous _ ->
+    let has_calls =
+      r.Loopanal.excall_sites <> [] || r.Loopanal.local_call_sites <> []
+    in
+    let unknown_stores =
+      (* stores whose footprint cannot be expressed (opaque addresses
+         or missing base expressions) cannot be guarded by checks *)
+      List.exists
+        (fun (g : Loopanal.access_sum) ->
+           g.Loopanal.g_write
+           && (g.Loopanal.g_opaque
+               || (g.Loopanal.g_base_rexpr = None
+                   && not (Int64.equal g.Loopanal.g_k 0L))))
+        r.Loopanal.accesses
+    in
+    if unknown_stores then Not_eligible "unverifiable stores"
+    else
+      Eligible_dynamic
+        { needs_check = r.Loopanal.check_ranges <> []; needs_stm = has_calls }
+
+let pp_summary ppf t =
+  List.iter
+    (fun (r : Loopanal.report) ->
+       Fmt.pf ppf "loop %d @ 0x%x (fn 0x%x): %s%s@."
+         r.Loopanal.loop.Looptree.lid r.Loopanal.loop.Looptree.header
+         r.Loopanal.func.Cfg.fentry
+         (Loopanal.classification_name r.Loopanal.cls)
+         (match r.Loopanal.cls with
+          | Loopanal.Static_dep m | Loopanal.Ambiguous m
+          | Loopanal.Incompatible m -> " (" ^ m ^ ")"
+          | _ -> ""))
+    t.reports

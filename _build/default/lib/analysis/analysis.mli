@@ -1,0 +1,30 @@
+(** Top-level static binary analysis: CFG recovery and per-loop
+    classification for every function of a stripped JX image (the
+    static side of Fig. 1(a)). *)
+
+type t = {
+  cfg : Cfg.t;
+  reports : Loopanal.report list;          (** every loop, every function *)
+  by_lid : (int, Loopanal.report) Hashtbl.t;
+}
+
+(** Disassemble, recover functions/CFGs/loops, and analyse each loop. *)
+val analyse_image : Janus_vx.Image.t -> t
+
+val report : t -> int -> Loopanal.report option
+
+(** How a loop could be made parallel, from static analysis alone:
+    type-A loops run as-is; ambiguous loops run behind runtime checks
+    and/or speculation; everything else stays sequential. *)
+type eligibility =
+  | Eligible_static
+  | Eligible_dynamic of { needs_check : bool; needs_stm : bool }
+  | Eligible_doacross of int
+      (** type-B loop with a recognised iterator: parallelisable by
+          in-order chunk execution with context hand-off; the payload
+          is the estimated carried percentage of the body *)
+  | Not_eligible of string
+
+val eligibility : Loopanal.report -> eligibility
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+(** Dominator analysis (iterative Cooper-Harvey-Kennedy) over recovered
+    function CFGs. *)
+
+type t = {
+  order : int array;           (* reverse postorder of block addrs *)
+  index : (int, int) Hashtbl.t;  (* block addr -> rpo index *)
+  idom : int array;            (* rpo index -> rpo index of idom *)
+}
+
+let reverse_postorder (f : Cfg.func) =
+  let visited = Hashtbl.create 32 in
+  let post = ref [] in
+  let rec dfs addr =
+    if not (Hashtbl.mem visited addr) then begin
+      Hashtbl.replace visited addr ();
+      (match Hashtbl.find_opt f.block_at addr with
+       | Some b -> List.iter dfs b.succs
+       | None -> ());
+      post := addr :: !post
+    end
+  in
+  dfs f.fentry;
+  Array.of_list !post
+
+let compute (f : Cfg.func) =
+  let order = reverse_postorder f in
+  let n = Array.length order in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i a -> Hashtbl.replace index a i) order;
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while !a > !b do
+        a := idom.(!a)
+      done;
+      while !b > !a do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let b = Hashtbl.find f.block_at order.(i) in
+      let preds =
+        List.filter_map (fun p -> Hashtbl.find_opt index p) b.Cfg.preds
+      in
+      let processed = List.filter (fun p -> idom.(p) >= 0) preds in
+      match processed with
+      | [] -> ()
+      | first :: rest ->
+        let new_idom = List.fold_left intersect first rest in
+        if idom.(i) <> new_idom then begin
+          idom.(i) <- new_idom;
+          changed := true
+        end
+    done
+  done;
+  { order; index; idom }
+
+(** [dominates t a b]: does block [a] dominate block [b]? *)
+let dominates t a b =
+  match Hashtbl.find_opt t.index a, Hashtbl.find_opt t.index b with
+  | Some ia, Some ib ->
+    let rec up i = if i = ia then true else if i = 0 then ia = 0 else up t.idom.(i) in
+    up ib
+  | _ -> false
+
+let idom_of t addr =
+  match Hashtbl.find_opt t.index addr with
+  | Some i when i > 0 && t.idom.(i) >= 0 -> Some t.order.(t.idom.(i))
+  | _ -> None

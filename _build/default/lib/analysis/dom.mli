@@ -1,0 +1,16 @@
+(** Dominator analysis (iterative Cooper-Harvey-Kennedy) over recovered
+    function CFGs. *)
+
+type t = {
+  order : int array;             (** reverse postorder of block addresses *)
+  index : (int, int) Hashtbl.t;  (** block address -> rpo index *)
+  idom : int array;              (** rpo index -> rpo index of idom *)
+}
+
+val reverse_postorder : Cfg.func -> int array
+val compute : Cfg.func -> t
+
+(** [dominates t a b]: does block [a] dominate block [b]? *)
+val dominates : t -> int -> int -> bool
+
+val idom_of : t -> int -> int option

@@ -1,0 +1,86 @@
+(** Whole-function symbolic pass: computes the machine state at every
+    block boundary in terms of function-entry atoms. Two fixpoint
+    rounds widen loop-varying values into merge atoms, so a value that
+    survives as a constant genuinely is one on every loop entry. The
+    loop analyser uses the preheader out-states to resolve iterator
+    initial values and constant bounds (iterator range solving,
+    §II-D). *)
+
+open Sympoly
+
+type t = {
+  naming : Symexec.naming;
+  ctx : Symexec.ctx;
+  out_states : (int, Symexec.state) Hashtbl.t;  (* block addr -> out *)
+}
+
+let compute (f : Cfg.func) (dom : Dom.t) =
+  let naming = Symexec.entry_naming () in
+  let ctx = Symexec.create naming in
+  let entry_state = Symexec.copy_state ctx.Symexec.st in
+  let out_states = Hashtbl.create 32 in
+  let rpo = dom.Dom.order in
+  let run_round () =
+    Array.iter
+      (fun baddr ->
+         match Hashtbl.find_opt f.Cfg.block_at baddr with
+         | None -> ()
+         | Some b ->
+           let in_state =
+             if baddr = f.Cfg.fentry then Symexec.copy_state entry_state
+             else begin
+               let preds =
+                 List.filter_map (Hashtbl.find_opt out_states) b.Cfg.preds
+               in
+               match preds with
+               | [] -> Symexec.copy_state entry_state
+               | [ s ] -> Symexec.copy_state s
+               | s :: rest ->
+                 List.fold_left
+                   (fun acc s' -> Symexec.merge_states ctx ~at:baddr acc s')
+                   (Symexec.copy_state s) rest
+             end
+           in
+           ctx.Symexec.st <- in_state;
+           Array.iter (fun ii -> Symexec.exec ctx ii) b.Cfg.insns;
+           Hashtbl.replace out_states baddr ctx.Symexec.st)
+      rpo
+  in
+  (* round 1 computes first-entry states; round 2 folds back-edge
+     states in, widening loop-varying values into merge atoms *)
+  run_round ();
+  run_round ();
+  { naming; ctx; out_states }
+
+let out_state t baddr = Hashtbl.find_opt t.out_states baddr
+
+(** Value of a location in a given state, if determinate. *)
+let loc_value t (st : Symexec.state) (l : loc) : Sympoly.t option =
+  match l with
+  | Rloc r -> Some st.Symexec.regs.(Janus_vx.Reg.gp_index r)
+  | Sloc off ->
+    let addr = add (of_atom t.ctx.Symexec.rsp0) (const (Int64.of_int off)) in
+    (match
+       List.find_opt
+         (fun (s : Symexec.store_entry) -> equal s.s_addr addr)
+         st.Symexec.stores
+     with
+     | Some { s_val = Symexec.Vint p; _ } -> Some p
+     | _ -> None)
+  | Gloc a ->
+    let addr = const (Int64.of_int a) in
+    (match
+       List.find_opt
+         (fun (s : Symexec.store_entry) -> equal s.s_addr addr)
+         st.Symexec.stores
+     with
+     | Some { s_val = Symexec.Vint p; _ } -> Some p
+     | _ -> None)
+  | Floc _ -> None
+
+(** RSP displacement from function entry at the given state. *)
+let rsp_delta t (st : Symexec.state) =
+  let rsp = st.Symexec.regs.(Janus_vx.Reg.gp_index Janus_vx.Reg.RSP) in
+  match Symexec.classify_addr t.ctx rsp with
+  | Symexec.Astack d -> Some d
+  | Symexec.Aconst _ | Symexec.Aother -> None

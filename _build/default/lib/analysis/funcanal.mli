@@ -1,0 +1,23 @@
+(** Whole-function symbolic pass: machine state at every block boundary
+    in terms of function-entry atoms. Two fixpoint rounds widen
+    loop-varying values into merge atoms, so a value that survives as a
+    constant genuinely is one on every loop entry. The loop analyser
+    uses the preheader out-states to resolve iterator initial values
+    and constant bounds (iterator range solving, §II-D). *)
+
+type t = {
+  naming : Symexec.naming;
+  ctx : Symexec.ctx;
+  out_states : (int, Symexec.state) Hashtbl.t;
+}
+
+val compute : Cfg.func -> Dom.t -> t
+
+(** Symbolic state at the end of a block, if it was reached. *)
+val out_state : t -> int -> Symexec.state option
+
+(** Value of a location in a state, when determinate. *)
+val loc_value : t -> Symexec.state -> Sympoly.loc -> Sympoly.t option
+
+(** RSP displacement from function entry in the given state. *)
+val rsp_delta : t -> Symexec.state -> int option

@@ -1,0 +1,1074 @@
+(** Per-loop analysis: induction variables, iterator ranges, reductions,
+    privatisable scalars, memory-dependence and alias analysis, and the
+    loop classification of §II-D (types A-D plus incompatible). *)
+
+open Janus_vx
+open Sympoly
+module Rexpr = Janus_schedule.Rexpr
+module Desc = Janus_schedule.Desc
+
+(** Classification before profiling. [Ambiguous] loops are refined into
+    Dynamic DOALL (C) or Dynamic Dependence (D) by the dependence
+    profiler. [Outer] loops contain inner loops and are analysed
+    conservatively. *)
+type classification =
+  | Static_doall                (* type A *)
+  | Static_dep of string        (* type B, with the reason *)
+  | Ambiguous of string         (* type C or D pending profiling *)
+  | Incompatible of string
+  | Outer
+
+type iv_info = {
+  iv_loc : loc;
+  iv_step : int64;
+  iv_cond : Cond.t;             (* continue while (iv_canonical cond bound) *)
+  iv_init_rexpr : Rexpr.t;
+  iv_bound_rexpr : Rexpr.t option;  (* canonical bound, at the preheader *)
+  iv_bound_const : int64 option;
+  iv_init_const : int64 option;
+  cmp_addr : int;               (* address of the governing compare *)
+  bound_operand_index : int;    (* 0 = first cmp operand is the bound *)
+  bound_adjust : int64;         (* compare tests (iv + adjust) vs operand *)
+}
+
+(** A memory access summarised as [base + k*iv + ...] (Fig. 4). *)
+type access_sum = {
+  g_insn : int;
+  g_write : bool;
+  g_bytes : int;
+  g_k : int64;                  (* coefficient of the IV; 0 = scalar *)
+  g_base : Sympoly.t;           (* invariant part *)
+  g_base_rexpr : Rexpr.t option;
+  g_stack : bool;               (* thread-private stack slot *)
+  g_opaque : bool;              (* address not expressible as base+k*iv *)
+}
+
+type check_range = {
+  ck_base : Rexpr.t;
+  ck_extent : Rexpr.t;
+  ck_width : int;
+  ck_written : bool;
+}
+
+type report = {
+  loop : Looptree.loop;
+  func : Cfg.func;
+  cls : classification;
+  iv : iv_info option;
+  reductions : (Desc.location * Desc.redop) list;
+  privatised : loc list;        (* scalar locations to privatise *)
+  priv_insns : (int * loc) list; (* instruction addr -> privatised loc *)
+  main_stack_reads : int list;  (* insns reading read-only stack slots *)
+  accesses : access_sum list;
+  check_ranges : check_range list;  (* empty = no runtime check needed *)
+  excall_sites : (int * string) list;
+  local_call_sites : (int * int) list;
+  modified_gps : Reg.gp list;   (* live-out candidates *)
+  modified_fps : Reg.fp list;
+  frame_low : int;              (* lowest stack offset touched (<= 0) *)
+  insn_count : int;             (* static instructions in the loop *)
+  doacross_frac : int option;
+  (* for static-dependence loops with a recognised iterator: estimated
+     percentage of the body on the carried chain. In-order chunk
+     execution with context hand-off can overlap the remainder (the
+     paper's future-work DOACROSS direction). *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* topological order of the loop body ignoring back edges to the header *)
+let topo_order (f : Cfg.func) (l : Looptree.loop) =
+  let in_body a = List.mem a l.body in
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs a =
+    if in_body a && not (Hashtbl.mem visited a) then begin
+      Hashtbl.replace visited a ();
+      (match Hashtbl.find_opt f.block_at a with
+       | Some b ->
+         List.iter (fun s -> if s <> l.header then dfs s) b.Cfg.succs
+       | None -> ());
+      order := a :: !order
+    end
+  in
+  dfs l.header;
+  !order
+
+(* convert an atom to a runtime expression at the preheader, if possible *)
+let rec rexpr_of_atom lid invariant_mem (a : atom) : Rexpr.t option =
+  match a.kind with
+  | Header (l, Rloc r) when l = lid -> Some (Rexpr.Reg r)
+  | Header (l, Sloc off) when l = lid ->
+    Some (Rexpr.Load (Rexpr.Add (Rexpr.Reg Reg.RSP, Rexpr.Const (Int64.of_int off))))
+  | Header (l, Gloc addr) when l = lid ->
+    Some (Rexpr.Load (Rexpr.Const (Int64.of_int addr)))
+  | Header (_, Floc _) | Header _ -> None
+  | Load _ -> begin
+      (* a load is usable only if its address is invariant & convertible *)
+      match invariant_mem a.aid with
+      | Some addr_poly -> begin
+          match rexpr_of_poly lid invariant_mem addr_poly with
+          | Some e -> Some (Rexpr.Load e)
+          | None -> None
+        end
+      | None -> None
+    end
+  | Entry _ | Merge _ | Opaque _ | Fval _ -> None
+
+and rexpr_of_poly lid invariant_mem (p : Sympoly.t) : Rexpr.t option =
+  let base = Rexpr.Const p.const in
+  let rec fold acc = function
+    | [] -> Some acc
+    | (c, at) :: tl -> begin
+        match rexpr_of_atom lid invariant_mem at with
+        | Some e ->
+          let term = if Int64.equal c 1L then e else Rexpr.Mul (Rexpr.Const c, e) in
+          fold (Rexpr.Add (acc, term)) tl
+        | None -> None
+      end
+  in
+  let terms = AMap.fold (fun _ (c, at) acc -> (c, at) :: acc) p.terms [] in
+  match terms with
+  | [] -> Some base
+  | _ when Int64.equal p.const 0L -> begin
+      (* avoid a leading 0 + ... *)
+      match terms with
+      | (c, at) :: tl -> begin
+          match rexpr_of_atom lid invariant_mem at with
+          | Some e ->
+            let head = if Int64.equal c 1L then e else Rexpr.Mul (Rexpr.Const c, e) in
+            fold head tl
+          | None -> None
+        end
+      | [] -> Some base
+    end
+  | _ -> fold base terms
+
+(* does the final value of [loc] stay untouched? *)
+let final_of_loc ctx (latch : Symexec.state) loc h =
+  match loc with
+  | Rloc r -> Some (Symexec.(latch.regs.(Reg.gp_index r)))
+  | Sloc off ->
+    let addr = add (of_atom ctx.Symexec.rsp0) (const (Int64.of_int off)) in
+    (match
+       List.find_opt
+         (fun (s : Symexec.store_entry) -> equal s.s_addr addr)
+         latch.Symexec.stores
+     with
+     | Some { s_val = Symexec.Vint p; _ } -> Some p
+     | Some { s_val = Symexec.Vfloat _; _ } -> None
+     | None ->
+       (* unchanged on the latch path unless dirtied *)
+       let dirtied =
+         List.exists
+           (fun (da, db) -> Symexec.may_overlap ctx addr 8 da db)
+           ctx.Symexec.dirty
+       in
+       if dirtied then None else Some (of_atom h))
+  | Gloc a ->
+    let addr = const (Int64.of_int a) in
+    (match
+       List.find_opt
+         (fun (s : Symexec.store_entry) -> equal s.s_addr addr)
+         latch.Symexec.stores
+     with
+     | Some { s_val = Symexec.Vint p; _ } -> Some p
+     | Some { s_val = Symexec.Vfloat _; _ } -> None
+     | None ->
+       let dirtied =
+         List.exists
+           (fun (da, db) -> Symexec.may_overlap ctx addr 8 da db)
+           ctx.Symexec.dirty
+       in
+       if dirtied then None else Some (of_atom h))
+  | Floc _ -> None
+
+(* float reduction recognition: an add/mul chain containing the header
+   atom exactly once, with no other (even merge-hidden) mention of it *)
+let float_reduction ctx h (f : fexpr) =
+  let mentions_h e = Symexec.mentions_fexpr ctx (fun a -> a.aid = h.aid) e in
+  let rec count op = function
+    | Fatom a when a.aid = h.aid -> Some 1
+    | Fbinop (o, x, y) when o = op -> begin
+        match count op x, count op y with
+        | Some cx, Some cy -> Some (cx + cy)
+        | _ -> None
+      end
+    | e -> if mentions_h e then None else Some 0
+  in
+  match f with
+  | Fatom a when a.aid = h.aid -> None  (* invariant, not a reduction *)
+  | _ ->
+    if count Insn.Fadd f = Some 1 then Some Desc.Radd_f64
+    else if count Insn.Fmul f = Some 1 then Some Desc.Rmul_f64
+    else None
+
+(* ------------------------------------------------------------------ *)
+(* The analysis                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let insn_count_of (f : Cfg.func) (l : Looptree.loop) =
+  List.fold_left
+    (fun acc a ->
+       match Hashtbl.find_opt f.block_at a with
+       | Some b -> acc + Array.length b.Cfg.insns
+       | None -> acc)
+    0 l.body
+
+let empty_report func loop cls =
+  {
+    loop; func; cls; iv = None; reductions = []; privatised = [];
+    priv_insns = []; main_stack_reads = []; accesses = []; check_ranges = [];
+    excall_sites = []; local_call_sites = []; modified_gps = [];
+    modified_fps = []; frame_low = 0; insn_count = insn_count_of func loop;
+    doacross_frac = None;
+  }
+
+let rec analyse (cfgt : Cfg.t) ?fa (f : Cfg.func) (ltree : Looptree.t)
+    (l : Looptree.loop) : report =
+  if l.children <> [] then empty_report f l Outer
+  else if f.irregular then empty_report f l (Incompatible "irregular function")
+  else begin
+    (* quick scans for incompatible features *)
+    let blocks =
+      List.filter_map (fun a -> Hashtbl.find_opt f.block_at a) l.body
+    in
+    let has_syscall =
+      List.exists
+        (fun b ->
+           Array.exists
+             (fun (ii : Cfg.insn_info) ->
+                match ii.insn with Insn.Syscall _ -> true | _ -> false)
+             b.Cfg.insns)
+        blocks
+    in
+    let has_indirect =
+      List.exists
+        (fun b ->
+           Array.exists
+             (fun (ii : Cfg.insn_info) ->
+                match ii.insn with
+                | Insn.Jmp (Insn.Indirect _) | Insn.Call (Insn.Indirect _) -> true
+                | _ -> false)
+             b.Cfg.insns)
+        blocks
+    in
+    if has_syscall then empty_report f l (Incompatible "performs IO / syscalls")
+    else if has_indirect then
+      empty_report f l (Incompatible "indirect control flow")
+    else begin
+      ignore ltree;
+      (* symbolic walk of the body in topological order *)
+      let naming = Symexec.header_naming l.lid in
+      let ctx = Symexec.create naming in
+      (* seed the frame-pointer relation: if the whole-function pass
+         proves rbp = rsp + delta at the preheader, spilled values
+         address as stack slots in the loop pass too *)
+      (match fa, l.Looptree.preheader with
+       | Some fa, Some pre -> begin
+           match Funcanal.out_state fa pre with
+           | Some st -> begin
+               let rbp = st.Symexec.regs.(Reg.gp_index Reg.RBP) in
+               match
+                 Symexec.classify_addr fa.Funcanal.ctx rbp,
+                 Funcanal.rsp_delta fa st
+               with
+               | Symexec.Astack d_rbp, Some d_rsp ->
+                 Symexec.set_reg ctx Reg.RBP
+                   (Sympoly.add (Sympoly.of_atom ctx.Symexec.rsp0)
+                      (Sympoly.const (Int64.of_int (d_rbp - d_rsp))))
+               | _ -> ()
+             end
+           | None -> ()
+         end
+       | _ -> ());
+      let order = topo_order f l in
+      let out_states : (int, Symexec.state) Hashtbl.t = Hashtbl.create 8 in
+      let header_state = Symexec.copy_state ctx.Symexec.st in
+      let exit_conds = ref [] in  (* (block, cond, cmp, target_in_loop) *)
+      List.iter
+        (fun baddr ->
+           let b = Hashtbl.find f.block_at baddr in
+           let in_state =
+             if baddr = l.header then header_state
+             else begin
+               let preds =
+                 List.filter_map
+                   (fun p ->
+                      if List.mem p l.body && p <> baddr then
+                        Hashtbl.find_opt out_states p
+                      else None)
+                   b.Cfg.preds
+               in
+               match preds with
+               | [] -> Symexec.copy_state header_state  (* unreachable-ish *)
+               | [ s ] -> Symexec.copy_state s
+               | s :: rest ->
+                 List.fold_left
+                   (fun acc s' -> Symexec.merge_states ctx ~at:baddr acc s')
+                   (Symexec.copy_state s) rest
+             end
+           in
+           ctx.Symexec.st <- in_state;
+           Array.iter (fun ii -> Symexec.exec ctx ii) b.Cfg.insns;
+           (* record exit conditions *)
+           let last = b.Cfg.insns.(Array.length b.Cfg.insns - 1) in
+           (match last.Cfg.insn with
+            | Insn.Jcc (c, target) ->
+              let fall = last.Cfg.addr + last.Cfg.len in
+              let t_in = List.mem target l.body in
+              let f_in = List.mem fall l.body in
+              if not t_in || not f_in then
+                exit_conds :=
+                  (baddr, (if t_in then Cond.negate c else c),
+                   ctx.Symexec.st.Symexec.cmp, last.Cfg.addr)
+                  :: !exit_conds
+            | _ -> ());
+           Hashtbl.replace out_states baddr ctx.Symexec.st)
+        order;
+      (* merged latch state *)
+      let latch_states = List.filter_map (Hashtbl.find_opt out_states) l.latches in
+      match latch_states with
+      | [] -> empty_report f l (Incompatible "no latch state")
+      | s :: rest ->
+        let latch =
+          List.fold_left
+            (fun acc s' -> Symexec.merge_states ctx ~at:l.header acc s')
+            s rest
+        in
+        analyse_with_latch cfgt ?fa f l naming ctx latch !exit_conds
+    end
+  end
+
+and analyse_with_latch _cfgt ?fa f l naming ctx latch exit_conds : report =
+  (* preheader machine state from the whole-function pass, for iterator
+     range solving (initial value and constant bound) *)
+  let preheader_value loc =
+    match fa, l.Looptree.preheader with
+    | Some fa, Some pre -> begin
+        match Funcanal.out_state fa pre with
+        | Some st -> begin
+            let fn_loc =
+              match loc with
+              | Sloc off ->
+                Option.map (fun d -> Sloc (off + d)) (Funcanal.rsp_delta fa st)
+              | (Rloc _ | Gloc _ | Floc _) as x -> Some x
+            in
+            match fn_loc with
+            | Some fl -> Funcanal.loc_value fa st fl
+            | None -> None
+          end
+        | None -> None
+      end
+    | _ -> None
+  in
+  let const_at_preheader (p : Sympoly.t) =
+    let lid = l.Looptree.lid in
+    try
+      Some
+        (AMap.fold
+           (fun _ (c, at) acc ->
+              match at.kind with
+              | Header (l', loc) when l' = lid -> begin
+                  match
+                    Option.bind (preheader_value loc) Sympoly.to_const
+                  with
+                  | Some v -> Int64.add acc (Int64.mul c v)
+                  | None -> raise Exit
+                end
+              | _ -> raise Exit)
+           p.terms p.const)
+    with Exit -> None
+  in
+  let lid = l.Looptree.lid in
+  (* ---- location behaviour ---- *)
+  let named = naming.Symexec.named () in
+  let gp_locs =
+    List.map (fun r -> Rloc r) Reg.all_gp
+    @ List.filter_map
+        (fun (loc, _) -> match loc with Sloc _ | Gloc _ -> Some loc | _ -> None)
+        named
+  in
+  let behaviours =
+    List.filter_map
+      (fun loc ->
+         let h = naming.Symexec.name_loc loc in
+         match final_of_loc ctx latch loc h with
+         | None -> Some (loc, h, `Unknown)
+         | Some p ->
+           if equal p (of_atom h) then Some (loc, h, `Invariant)
+           else begin
+             let mentions_h q =
+               Symexec.mentions_poly ctx (fun a -> a.aid = h.aid) q
+             in
+             match coeff_of p (fun a -> a.aid = h.aid) with
+             | Some (c, _) when Int64.equal c 1L ->
+               let rest = without p (fun a -> a.aid = h.aid) in
+               (match to_const rest with
+                | Some step when not (Int64.equal step 0L) ->
+                  Some (loc, h, `IV step)
+                | Some _ -> Some (loc, h, `Invariant)
+                | None ->
+                  if mentions_h rest then Some (loc, h, `Carried)
+                  else Some (loc, h, `Reduction Desc.Radd_int))
+             | Some _ -> Some (loc, h, `Carried)
+             | None ->
+               if mentions_h p then Some (loc, h, `Carried)
+               else Some (loc, h, `Private)
+           end)
+      gp_locs
+  in
+  (* float registers *)
+  let f_behaviours =
+    List.map
+      (fun r ->
+         let loc = Floc r in
+         let h = naming.Symexec.name_loc loc in
+         let final = latch.Symexec.fregs.(Reg.fp_index r) in
+         if fexpr_equal final (Fatom h) then (loc, h, `Invariant)
+         else
+           match float_reduction ctx h final with
+           | Some op -> (loc, h, `Reduction op)
+           | None ->
+             if Symexec.mentions_fexpr ctx (fun a -> a.aid = h.aid) final then
+               (loc, h, `Carried)
+             else (loc, h, `Private))
+      Reg.all_fp
+  in
+  (* where is each header atom used? (addresses, stored values, conds);
+     [except_self] skips stores whose target is the given address (a
+     reduction's own update chain) *)
+  let atom_used ?except_self h =
+    let pred x = x.aid = h.aid in
+    let mp q = Symexec.mentions_poly ctx pred q in
+    let mf q = Symexec.mentions_fexpr ctx pred q in
+    List.exists
+      (fun (a : Symexec.access) ->
+         let self =
+           match except_self with
+           | Some addr -> a.a_write && equal a.a_addr addr
+           | None -> false
+         in
+         mp a.a_addr
+         || ((not self)
+             &&
+             match a.a_value with
+             | Some (Symexec.Vint p) -> mp p
+             | Some (Symexec.Vfloat fe) -> mf fe
+             | None -> false))
+      ctx.Symexec.accesses
+    || List.exists
+         (fun (_, _, cmp, _) ->
+            match cmp with
+            | Some (Symexec.Cmp_int (a, b, _)) -> mp a || mp b
+            | Some (Symexec.Cmp_float (a, b)) -> mf a || mf b
+            | None -> false)
+         exit_conds
+    (* every compare inside the body counts as a use, not only exits *)
+    || List.exists
+         (fun c ->
+            match c with
+            | Symexec.Cmp_float (a, b) -> mf a || mf b
+            | Symexec.Cmp_int (a, b, _) -> mp a || mp b)
+         ctx.Symexec.all_cmps
+  in
+  let atom_used_anywhere h = atom_used h in
+  (* ---- induction variable & exit analysis ---- *)
+  let ivs =
+    List.filter_map
+      (fun (loc, h, beh) ->
+         match beh with `IV step -> Some (loc, h, step) | _ -> None)
+      behaviours
+  in
+  let invariant_atoms =
+    List.filter_map
+      (fun (_, h, beh) -> match beh with `Invariant -> Some h.aid | _ -> None)
+      behaviours
+  in
+  let is_invariant_poly p =
+    List.for_all
+      (fun (a : atom) ->
+         match a.kind with
+         | Header (lid', _) when lid' = lid -> List.mem a.aid invariant_atoms
+         | Header _ -> false
+         | Load _ -> false  (* conservatively variant *)
+         | Entry _ -> true
+         | Merge _ | Opaque _ | Fval _ -> false)
+      (atoms p)
+  in
+  (* map from load atoms to their (invariant) addresses, for Rexprs *)
+  let invariant_mem aid =
+    match List.assoc_opt aid ctx.Symexec.load_addrs with
+    | Some addr when is_invariant_poly addr ->
+      (* the loaded location must not be written in the loop *)
+      let clobbered =
+        List.exists
+          (fun (a : Symexec.access) ->
+             a.a_write && Symexec.may_overlap ctx addr 8 a.a_addr a.a_bytes)
+          ctx.Symexec.accesses
+      in
+      if clobbered then None else Some addr
+    | _ -> None
+  in
+  (* find the governing exit: exactly one exit edge, IV-comparing *)
+  let analyse_exit (h : atom) step (_, cond, cmp, _jcc_addr) =
+    match cmp with
+    | Some (Symexec.Cmp_int (pa, pb, cmp_addr)) ->
+      let check iv_side other cond_for_iv idx =
+        match coeff_of iv_side (fun a -> a.aid = h.aid) with
+        | Some (c, _) when Int64.equal c 1L ->
+          let adjust = without iv_side (fun a -> a.aid = h.aid) in
+          (match to_const adjust with
+           | Some d when is_invariant_poly other ->
+             Some (cond_for_iv, other, d, cmp_addr, idx)
+           | _ -> None)
+        | _ -> None
+      in
+      let r1 = check pa pb cond 1 in
+      (match r1 with
+       | Some _ -> r1
+       | None -> check pb pa (Cond.swap cond) 0)
+      |> Option.map (fun x -> (x, step))
+    | _ -> None
+  in
+  let governed =
+    List.concat_map
+      (fun (loc, h, step) ->
+         List.filter_map
+           (fun ec ->
+              analyse_exit h step ec
+              |> Option.map (fun (x, st) -> (loc, h, st, x)))
+           exit_conds)
+      ivs
+  in
+  let n_exits = List.length exit_conds in
+  let iv_result =
+    match governed with
+    | [ (loc, h, step, (exit_cond, bound_poly, adjust, cmp_addr, bidx)) ]
+      when n_exits = 1 ->
+      (* continue condition = negation of the exit condition *)
+      let cont = Cond.negate exit_cond in
+      (* canonical bound = bound_operand - adjust *)
+      let init_rexpr =
+        match loc with
+        | Rloc r -> Some (Rexpr.Reg r)
+        | Sloc off ->
+          Some (Rexpr.Load (Rexpr.Add (Rexpr.Reg Reg.RSP,
+                                       Rexpr.Const (Int64.of_int off))))
+        | Gloc a -> Some (Rexpr.Load (Rexpr.Const (Int64.of_int a)))
+        | Floc _ -> None
+      in
+      let bound_rexpr =
+        rexpr_of_poly lid invariant_mem (sub bound_poly (const adjust))
+      in
+      (match init_rexpr with
+       | Some init_rexpr ->
+         Some
+           ( h,
+             {
+               iv_loc = loc;
+               iv_step = step;
+               iv_cond = cont;
+               iv_init_rexpr = init_rexpr;
+               iv_bound_rexpr = bound_rexpr;
+               iv_bound_const =
+                 (let canon = sub bound_poly (const adjust) in
+                  match to_const canon with
+                  | Some v -> Some v
+                  | None -> const_at_preheader canon);
+               iv_init_const =
+                 Option.bind (preheader_value loc) Sympoly.to_const;
+               cmp_addr;
+               bound_operand_index = bidx;
+               bound_adjust = adjust;
+             } )
+       | None -> None)
+    | _ -> None
+  in
+  match iv_result with
+  | None ->
+    { (empty_report f l (Incompatible "no recognisable induction variable"))
+      with excall_sites = ctx.Symexec.excalls }
+  | Some (h_iv, iv) ->
+    (* sanity: sensible direction *)
+    let dir_ok =
+      match iv.iv_cond, Int64.compare iv.iv_step 0L with
+      | (Cond.Lt | Cond.Le | Cond.Ne | Cond.Ult | Cond.Ule), 1 -> true
+      | (Cond.Gt | Cond.Ge | Cond.Ne | Cond.Ugt | Cond.Uge), -1 -> true
+      | _ -> false
+    in
+    if not dir_ok then
+      empty_report f l (Incompatible "iterator direction mismatch")
+    else
+      classify_body f l naming ctx latch behaviours f_behaviours
+        atom_used_anywhere atom_used is_invariant_poly invariant_mem h_iv iv
+
+and classify_body f l naming ctx latch behaviours f_behaviours
+    atom_used_anywhere atom_used is_invariant_poly invariant_mem h_iv iv
+    : report =
+  ignore latch;
+  let lid = l.Looptree.lid in
+  (* ---- register dependences ---- *)
+  let reductions = ref [] in
+  let static_dep = ref None in
+  let set_dep reason = if !static_dep = None then static_dep := Some reason in
+  let modified_gps = ref [] in
+  let modified_fps = ref [] in
+  let scalar_locs = ref [] in  (* memory scalar locations and behaviour *)
+  List.iter
+    (fun (loc, h, beh) ->
+       (match loc, beh with
+        | Rloc r, (`Carried | `Reduction _ | `IV _ | `Private | `Unknown)
+          when not (Reg.equal_gp r Reg.RSP) ->
+          modified_gps := r :: !modified_gps
+        | _ -> ());
+       match beh with
+       | `Invariant -> ()
+       | `Private ->
+         (* a value recomputed every iteration is only safe if its
+            previous-iteration value is never consumed *)
+         if atom_used_anywhere h then
+           set_dep (Fmt.str "previous-iteration value of %a consumed"
+                      Sympoly.pp_loc loc)
+       | `IV _ when h.aid = h_iv.aid -> ()
+       | `IV _ ->
+         (* secondary IV: fine if derivable (it advances in lockstep);
+            the runtime recomputes it only if it is the main IV, so a
+            secondary IV that is observed elsewhere is a dependence
+            unless it is just a scaled copy — conservatively accept
+            register secondary IVs (each thread's context copy plus
+            chunk-local updates keep them consistent only for the
+            first-private pattern), reject memory ones. *)
+         (match loc with
+          | Rloc _ -> set_dep "secondary register induction variable"
+          | Sloc _ | Gloc _ -> set_dep "secondary memory induction variable"
+          | Floc _ -> ())
+       | `Reduction op -> begin
+           let self_addr =
+             match loc with
+             | Sloc off ->
+               Some (add (of_atom ctx.Symexec.rsp0) (const (Int64.of_int off)))
+             | Gloc a -> Some (const (Int64.of_int a))
+             | Rloc _ | Floc _ -> None
+           in
+           if atom_used ?except_self:self_addr h then
+             set_dep
+               (Fmt.str "partial reduction value of %a observed"
+                  Sympoly.pp_loc loc)
+           else
+             match loc with
+             | Rloc _ | Floc _ -> reductions := (loc, op, h) :: !reductions
+             | Sloc _ | Gloc _ ->
+               reductions := (loc, op, h) :: !reductions;
+               scalar_locs := (loc, `Reduction) :: !scalar_locs
+         end
+       | `Carried ->
+         (* a location rewritten from its previous value each iteration
+            is a loop-carried dependence, whether or not the previous
+            value also escapes into memory or a compare *)
+         set_dep (Fmt.str "loop-carried value in %a" Sympoly.pp_loc loc)
+       | `Unknown -> set_dep (Fmt.str "unanalysable update of %a" Sympoly.pp_loc loc))
+    behaviours;
+  List.iter
+    (fun (loc, h, beh) ->
+       (match loc, beh with
+        | Floc r, (`Carried | `Reduction _ | `Private) ->
+          modified_fps := r :: !modified_fps
+        | _ -> ());
+       match beh with
+       | `Invariant -> ()
+       | `Private ->
+         if atom_used_anywhere h then
+           set_dep (Fmt.str "previous-iteration FP value of %a consumed"
+                      Sympoly.pp_loc loc)
+       | `Reduction op ->
+         if atom_used h then
+           set_dep (Fmt.str "partial FP reduction of %a observed"
+                      Sympoly.pp_loc loc)
+         else reductions := (loc, op, h) :: !reductions
+       | `Carried ->
+         (* same as the GP case: a register-only carried chain (e.g. a
+            smoothing accumulator that never touches memory) is still a
+            cross-iteration dependence — its live-out value depends on
+            every iteration *)
+         set_dep (Fmt.str "loop-carried FP value in %a" Sympoly.pp_loc loc)
+       | `IV _ | `Unknown -> set_dep "unanalysable FP update")
+    f_behaviours;
+  (* ---- memory accesses: summarise as base + k*iv ---- *)
+  let ambiguous = ref [] in
+  let set_amb reason = ambiguous := reason :: !ambiguous in
+  let accesses =
+    List.filter_map
+      (fun (a : Symexec.access) ->
+         let k, base =
+           match coeff_of a.a_addr (fun x -> x.aid = h_iv.aid) with
+           | Some (c, _) -> (c, without a.a_addr (fun x -> x.aid = h_iv.aid))
+           | None -> (0L, a.a_addr)
+         in
+         let opaque = not (is_invariant_poly base) in
+         if opaque then begin
+           (* address varies in a non-iv way: only profiling can judge
+              it; an opaque store also blocks parallelisation *)
+           if a.a_write then set_amb "store through unanalysable address"
+           else set_amb "load through unanalysable address"
+         end;
+         Some
+           {
+             g_insn = a.a_insn;
+             g_write = a.a_write;
+             g_bytes = a.a_bytes;
+             g_k = (if opaque then 0L else k);
+             g_base = base;
+             g_base_rexpr =
+               (if opaque then None else rexpr_of_poly lid invariant_mem base);
+             g_stack =
+               (match Symexec.classify_addr ctx a.a_addr with
+                | Symexec.Astack _ -> true
+                | Symexec.Aconst _ | Symexec.Aother -> false);
+             g_opaque = opaque;
+           })
+      ctx.Symexec.accesses
+  in
+  (* scalar (k = 0) locations: privatisation & main-stack reads *)
+  let priv_insns = ref [] in
+  let privatised = ref [] in
+  let main_stack_reads = ref [] in
+  let scalar_accesses =
+    List.filter (fun g -> Int64.equal g.g_k 0L && not g.g_opaque) accesses
+  in
+  let scalar_groups =
+    List.sort_uniq compare (List.map (fun g -> Sympoly.to_string g.g_base) scalar_accesses)
+  in
+  List.iter
+    (fun key ->
+       let group =
+         List.filter (fun g -> String.equal (Sympoly.to_string g.g_base) key)
+           scalar_accesses
+       in
+       let writes = List.filter (fun g -> g.g_write) group in
+       let base = (List.hd group).g_base in
+       let loc =
+         match Symexec.classify_addr ctx base with
+         | Symexec.Astack off -> Some (Sloc off)
+         | Symexec.Aconst addr -> Some (Gloc addr)
+         | Symexec.Aother -> None
+       in
+       match loc, writes with
+       | Some loc, [] -> begin
+           (* read-only scalar: stack reads can go to the main stack *)
+           match loc with
+           | Sloc _ ->
+             List.iter (fun g -> main_stack_reads := g.g_insn :: !main_stack_reads) group
+           | _ -> ()
+         end
+       | Some loc, _ -> begin
+           (* written scalar: reduction (already detected), privatisable
+              (value never escapes the iteration) or carried *)
+           let is_reduction =
+             List.exists (fun (l', _, _) -> Sympoly.loc_equal l' loc) !reductions
+           in
+           let loaded_header =
+             (* did any load of this location produce its header atom? *)
+             let hatom = naming.Symexec.name_loc loc in
+             atom_used_anywhere hatom
+             || List.exists
+                  (fun (_, h', beh) ->
+                     h'.aid = (naming.Symexec.name_loc loc).aid
+                     && match beh with `Carried | `Unknown -> true | _ -> false)
+                  behaviours
+           in
+           if is_reduction then
+             List.iter
+               (fun g -> priv_insns := (g.g_insn, loc) :: !priv_insns)
+               group
+           else if not loaded_header then begin
+             privatised := loc :: !privatised;
+             List.iter
+               (fun g -> priv_insns := (g.g_insn, loc) :: !priv_insns)
+               group
+           end
+           (* else: carried through memory; `Carried already set a dep
+              via behaviours when the header atom was consumed *)
+         end
+       | None, [] -> ()
+       | None, _ -> set_amb "scalar store through unknown pointer")
+    scalar_groups;
+  (* ---- array dependence / alias analysis ---- *)
+  let arrays =
+    List.filter (fun g -> (not (Int64.equal g.g_k 0L)) && not g.g_opaque)
+      accesses
+  in
+  let pairs_need_check = ref false in
+  let check_impossible = ref false in
+  (* the last IV value actually taken, from init/bound/step/cond *)
+  let last_iv_value () =
+    match iv.iv_init_const, iv.iv_bound_const with
+    | Some i0, Some n -> begin
+        let i0 = Int64.to_int i0 and n = Int64.to_int n in
+        let step = Int64.to_int iv.iv_step in
+        let span =
+          match iv.iv_cond, step > 0 with
+          | (Janus_vx.Cond.Lt | Janus_vx.Cond.Ult), true -> n - 1 - i0
+          | (Janus_vx.Cond.Le | Janus_vx.Cond.Ule), true -> n - i0
+          | (Janus_vx.Cond.Gt | Janus_vx.Cond.Ugt), false -> n + 1 - i0
+          | (Janus_vx.Cond.Ge | Janus_vx.Cond.Uge), false -> n - i0
+          | Janus_vx.Cond.Ne, _ -> n - (if step > 0 then 1 else -1) - i0
+          | _, _ -> n - i0
+        in
+        if (step > 0 && span < 0) || (step < 0 && span > 0) || step = 0 then
+          Some (i0, i0, 0)  (* zero trips: footprint collapses to init *)
+        else begin
+          let m = span / step in
+          let last = i0 + (m * step) in
+          Some (i0, last, m + 1)
+        end
+      end
+    | _ -> None
+  in
+  (* cross-iteration conflict between two accesses (one a write):
+     [`No] proven absent, [`Yes] proven (or assumed) present,
+     [`Range] decidable only from the runtime iterator range *)
+  let conflict g1 g2 =
+    let diff = sub g1.g_base g2.g_base in
+    match to_const diff with
+    | Some d ->
+      if Int64.equal g1.g_k g2.g_k then begin
+        (* per-iteration advance is k * step, not k *)
+        let stride = Int64.to_int g1.g_k * Int64.to_int iv.iv_step in
+        let d = Int64.to_int d in
+        if d = 0 then `No  (* same address, same iteration *)
+        else begin
+          (* exists m <> 0 with |m*stride + d| < width? *)
+          let w = max g1.g_bytes g2.g_bytes in
+          let overlaps m = m <> 0 && abs ((m * stride) + d) < w in
+          let m0 = if stride = 0 then 0 else -d / stride in
+          if not (overlaps (m0 - 1) || overlaps m0 || overlaps (m0 + 1)) then
+            `No
+          else
+            (* a lag exists; bound it by the trip count *)
+            match last_iv_value () with
+            | Some (_, _, trips) ->
+              let lag = if stride = 0 then 0 else abs (-d / stride) in
+              if lag <= trips - 1 then `Yes else `No
+            | None ->
+              (* distance known but range unknown: nearby accesses are
+                 the same array walked with offsets (a recurrence a
+                 footprint check cannot refute); distant ones are
+                 distinct objects whose runtime footprints decide *)
+              if abs d < 64 then `Yes else `Range
+        end
+      end
+      else `Yes  (* differing strides over the same base: assume dep *)
+    | None ->
+      (* different bases: constant footprints or a runtime check *)
+      `Range
+  in
+  let static_footprint g =
+    (* exact address interval over the iteration range, when the base,
+       initial value and bound are all constants *)
+    match to_const g.g_base, last_iv_value () with
+    | Some b, Some (i0, last, trips) ->
+      if trips = 0 then Some (0, 0)
+      else begin
+        let b = Int64.to_int b in
+        let k = Int64.to_int g.g_k in
+        let e1 = b + (k * i0) and e2 = b + (k * last) in
+        Some (min e1 e2, max e1 e2 + g.g_bytes)
+      end
+    | _ -> None
+  in
+  List.iter
+    (fun g1 ->
+       if g1.g_write then
+         List.iter
+           (fun g2 ->
+              if g2 != g1 || not g2.g_write then begin
+                if g2 == g1 then ()
+                else begin
+                  (* disjoint static footprints need no further test *)
+                  let disjoint =
+                    match static_footprint g1, static_footprint g2 with
+                    | Some (lo1, hi1), Some (lo2, hi2) ->
+                      hi1 <= lo2 || hi2 <= lo1
+                    | _ -> false
+                  in
+                  if not disjoint then begin
+                    match conflict g1 g2 with
+                    | `No -> ()
+                    | `Yes ->
+                      (match static_footprint g1, static_footprint g2 with
+                       | Some (lo1, hi1), Some (lo2, hi2)
+                         when hi1 <= lo2 || hi2 <= lo1 -> ()
+                       | _ -> set_dep "cross-iteration array dependence")
+                    | `Range ->
+                      pairs_need_check := true;
+                      if g1.g_base_rexpr = None || g2.g_base_rexpr = None then
+                        check_impossible := true
+                  end
+                end
+              end)
+           arrays)
+    arrays;
+  (* ---- runtime checks (Fig. 4) ---- *)
+  let check_ranges =
+    if not !pairs_need_check || !check_impossible then []
+    else begin
+      (* one range per cluster: accesses whose bases differ by a small
+         constant walk the same array and share a range (widened by the
+         spread); distant or symbolic differences are separate ranges *)
+      let groups = ref [] in
+      List.iter
+        (fun g ->
+           let existing =
+             List.find_opt
+               (fun (base, _, _, _) ->
+                  match to_const (sub g.g_base base) with
+                  | Some d -> Int64.abs d <= 64L
+                  | None -> false)
+               !groups
+           in
+           match existing with
+           | Some ((base, k, w, written) as old) ->
+             let d = Int64.to_int (Option.get (to_const (sub g.g_base base))) in
+             let base', shift = if d < 0 then (g.g_base, -d) else (base, 0) in
+             let w' = max (w + shift) (g.g_bytes + max d 0 + shift) in
+             groups :=
+               (base', k, w', written || g.g_write)
+               :: List.filter (fun o -> o != old) !groups
+           | None -> groups := (g.g_base, g.g_k, g.g_bytes, g.g_write) :: !groups)
+        arrays;
+      List.filter_map
+        (fun (base, k, w, written) ->
+           match rexpr_of_poly lid invariant_mem base, iv.iv_bound_rexpr with
+           | Some b, Some bound ->
+             (* first address = base + k*init; the span of first bytes
+                is k*(last_iv - init), where the last iv value depends
+                on the continue condition (strict bounds exclude one
+                step) — the runtime widens by the access width *)
+             let first =
+               Rexpr.Add (b, Rexpr.Mul (Rexpr.Const k, iv.iv_init_rexpr))
+             in
+             let delta =
+               match iv.iv_cond with
+               | Cond.Lt | Cond.Ult -> Int64.neg k
+               | Cond.Gt | Cond.Ugt -> k
+               | Cond.Ne -> Int64.neg (Int64.mul k iv.iv_step)
+               | _ -> 0L
+             in
+             let span =
+               Rexpr.Add
+                 (Rexpr.Mul (Rexpr.Const k, Rexpr.Sub (bound, iv.iv_init_rexpr)),
+                  Rexpr.Const delta)
+             in
+             Some { ck_base = first; ck_extent = span; ck_width = w;
+                    ck_written = written }
+           | _ ->
+             check_impossible := true;
+             None)
+        !groups
+    end
+  in
+  (* excalls force the speculative path: they are never statically safe *)
+  let excalls = ctx.Symexec.excalls in
+  let local_calls = ctx.Symexec.calls in
+  if excalls <> [] then set_amb "shared-library call in loop";
+  if local_calls <> [] then set_amb "local call with unknown side effects";
+  if !pairs_need_check && not !check_impossible then
+    set_amb "array bases not provably distinct";
+  if !check_impossible then set_amb "alias check not expressible";
+  (* highest stack byte touched above the header rsp: sizes the frame
+     copy each thread receives *)
+  let frame_low =
+    List.fold_left
+      (fun acc (a : Symexec.access) ->
+         match Symexec.classify_addr ctx a.a_addr with
+         | Symexec.Astack off -> max acc (off + a.a_bytes)
+         | _ -> acc)
+      0 ctx.Symexec.accesses
+  in
+  let cls =
+    match !static_dep with
+    | Some reason -> Static_dep reason
+    | None ->
+      if !check_impossible then Ambiguous "alias check not expressible"
+      else if !ambiguous <> [] then Ambiguous (String.concat "; " !ambiguous)
+      else Static_doall
+  in
+  (* DOACROSS estimate: size of the carried value chain relative to the
+     body; memory-carried recurrences default to a heavy chain *)
+  let doacross_frac =
+    match cls with
+    | Static_dep _ ->
+      let rec fexpr_size = function
+        | Fatom _ | Funknown _ -> 1
+        | Fconvert p -> 1 + AMap.cardinal p.terms
+        | Fbinop (_, a, b) -> 1 + fexpr_size a + fexpr_size b
+      in
+      (* chain length of a carried location = node count of the value
+         it feeds into the next iteration *)
+      let gp_chain =
+        List.fold_left
+          (fun acc (loc, h, beh) ->
+             match beh with
+             | `Carried -> begin
+                 match final_of_loc ctx latch loc h with
+                 | Some p -> acc + AMap.cardinal p.terms + 1
+                 | None -> acc + 3
+               end
+             | _ -> acc)
+          0 behaviours
+      in
+      let fp_chain =
+        List.fold_left
+          (fun acc ((loc : loc), _, beh) ->
+             match beh, loc with
+             | `Carried, Floc r ->
+               acc + fexpr_size latch.Symexec.fregs.(Reg.fp_index r)
+             | _ -> acc)
+          0 f_behaviours
+      in
+      let carried_size = gp_chain + fp_chain in
+      let insns = max 1 (insn_count_of f l) in
+      let pct =
+        if carried_size = 0 then 60  (* memory recurrence: mostly serial *)
+        else max 10 (min 95 (100 * carried_size * 2 / insns))
+      in
+      Some pct
+    | _ -> None
+  in
+  {
+    loop = l;
+    func = f;
+    cls;
+    iv = Some iv;
+    reductions =
+      List.filter_map
+        (fun (loc, op, _) ->
+           match loc with
+           | Rloc r -> Some (Desc.Lreg r, op)
+           | Floc r -> Some (Desc.Lfreg r, op)
+           | Sloc off -> Some (Desc.Lstack off, op)
+           | Gloc a -> Some (Desc.Labs a, op))
+        !reductions;
+    privatised = !privatised;
+    priv_insns = !priv_insns;
+    main_stack_reads = !main_stack_reads;
+    accesses;
+    check_ranges;
+    excall_sites = excalls;
+    local_call_sites = local_calls;
+    modified_gps = List.sort_uniq compare !modified_gps;
+    modified_fps = List.sort_uniq compare !modified_fps;
+    frame_low;
+    insn_count = insn_count_of f l;
+    doacross_frac;
+  }
+
+let classification_name = function
+  | Static_doall -> "static-doall"
+  | Static_dep _ -> "static-dep"
+  | Ambiguous _ -> "ambiguous"
+  | Incompatible _ -> "incompatible"
+  | Outer -> "outer"

@@ -1,0 +1,84 @@
+(** Per-loop analysis: induction variables, iterator ranges, reductions,
+    privatisable scalars, memory-dependence and alias analysis, and the
+    loop classification of §II-D. *)
+
+open Janus_vx
+module Rexpr = Janus_schedule.Rexpr
+module Desc = Janus_schedule.Desc
+
+(** Classification before profiling: [Ambiguous] loops are refined into
+    Dynamic DOALL (type C) or Dynamic Dependence (type D) by the
+    dependence profiler; [Outer] loops contain inner loops and are
+    analysed conservatively. *)
+type classification =
+  | Static_doall
+  | Static_dep of string
+  | Ambiguous of string
+  | Incompatible of string
+  | Outer
+
+(** The loop's iterator as solved from its exit condition (§II-D):
+    the canonical continue condition is [(iv cond bound)] where the
+    machine compare may test [(iv + bound_adjust)] against the bound
+    operand (unrolled loops test a lookahead value). *)
+type iv_info = {
+  iv_loc : Sympoly.loc;
+  iv_step : int64;
+  iv_cond : Cond.t;
+  iv_init_rexpr : Rexpr.t;          (** read at the preheader *)
+  iv_bound_rexpr : Rexpr.t option;  (** canonical bound, if expressible *)
+  iv_bound_const : int64 option;
+  iv_init_const : int64 option;
+  cmp_addr : int;                   (** the governing compare *)
+  bound_operand_index : int;
+  bound_adjust : int64;
+}
+
+(** A memory access summarised as [base + k*iv] (Fig. 4's polynomials). *)
+type access_sum = {
+  g_insn : int;
+  g_write : bool;
+  g_bytes : int;
+  g_k : int64;                   (** IV coefficient; 0 = scalar *)
+  g_base : Sympoly.t;            (** invariant part *)
+  g_base_rexpr : Rexpr.t option;
+  g_stack : bool;                (** thread-private stack slot *)
+  g_opaque : bool;               (** address not expressible *)
+}
+
+(** One runtime check range (an array's footprint over the loop). *)
+type check_range = {
+  ck_base : Rexpr.t;
+  ck_extent : Rexpr.t;
+  ck_width : int;
+  ck_written : bool;
+}
+
+type report = {
+  loop : Looptree.loop;
+  func : Cfg.func;
+  cls : classification;
+  iv : iv_info option;
+  reductions : (Desc.location * Desc.redop) list;
+  privatised : Sympoly.loc list;
+  priv_insns : (int * Sympoly.loc) list;
+  main_stack_reads : int list;
+  accesses : access_sum list;
+  check_ranges : check_range list;   (** empty = no runtime check *)
+  excall_sites : (int * string) list;
+  local_call_sites : (int * int) list;
+  modified_gps : Reg.gp list;
+  modified_fps : Reg.fp list;
+  frame_low : int;   (** highest stack byte touched above the header rsp *)
+  insn_count : int;
+  doacross_frac : int option;
+      (** for static-dependence loops with an iterator: estimated
+          carried percentage of the body (DOACROSS extension) *)
+}
+
+(** Analyse one loop of a recovered function. [fa] supplies preheader
+    machine states for iterator range solving. *)
+val analyse :
+  Cfg.t -> ?fa:Funcanal.t -> Cfg.func -> Looptree.t -> Looptree.loop -> report
+
+val classification_name : classification -> string

@@ -1,0 +1,120 @@
+(** Natural-loop detection and nesting (the loop forest of §II-D). *)
+
+type loop = {
+  lid : int;
+  header : int;                (* block address *)
+  latches : int list;          (* blocks with a back edge to the header *)
+  body : int list;             (* block addresses, header included, sorted *)
+  exits : (int * int) list;    (* (in-loop block, out-of-loop successor) *)
+  preheader : int option;      (* unique out-of-loop predecessor of header *)
+  mutable parent : int option; (* enclosing loop id *)
+  mutable children : int list;
+}
+
+type t = {
+  loops : loop list;           (* outermost-first order not guaranteed *)
+  by_id : (int, loop) Hashtbl.t;
+}
+
+let counter = ref 0
+
+let natural_loop (f : Cfg.func) header latches =
+  let body = Hashtbl.create 16 in
+  Hashtbl.replace body header ();
+  let rec add addr =
+    if not (Hashtbl.mem body addr) then begin
+      Hashtbl.replace body addr ();
+      match Hashtbl.find_opt f.block_at addr with
+      | Some b -> List.iter add b.Cfg.preds
+      | None -> ()
+    end
+  in
+  List.iter add latches;
+  Hashtbl.fold (fun a () acc -> a :: acc) body [] |> List.sort compare
+
+let compute (f : Cfg.func) (dom : Dom.t) =
+  (* back edges: succ edge b -> h where h dominates b *)
+  let back = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+       List.iter
+         (fun s ->
+            if Dom.dominates dom s b.Cfg.baddr then begin
+              let existing = try Hashtbl.find back s with Not_found -> [] in
+              Hashtbl.replace back s (b.Cfg.baddr :: existing)
+            end)
+         b.Cfg.succs)
+    f.blocks;
+  let loops =
+    Hashtbl.fold
+      (fun header latches acc ->
+         incr counter;
+         let body = natural_loop f header latches in
+         let in_body a = List.mem a body in
+         let exits =
+           List.concat_map
+             (fun a ->
+                match Hashtbl.find_opt f.block_at a with
+                | Some b ->
+                  List.filter_map
+                    (fun s -> if in_body s then None else Some (a, s))
+                    b.Cfg.succs
+                | None -> [])
+             body
+         in
+         let preheader =
+           match Hashtbl.find_opt f.block_at header with
+           | Some hb ->
+             (match List.filter (fun p -> not (in_body p)) hb.Cfg.preds with
+              | [ p ] -> Some p
+              | _ -> None)
+           | None -> None
+         in
+         { lid = !counter; header; latches; body; exits; preheader;
+           parent = None; children = [] }
+         :: acc)
+      back []
+  in
+  (* nesting: loop A is inside B if A.header in B.body and A != B;
+     parent = smallest containing loop *)
+  List.iter
+    (fun a ->
+       let containing =
+         List.filter
+           (fun b -> b.lid <> a.lid && List.mem a.header b.body
+                     && List.for_all (fun blk -> List.mem blk b.body) a.body)
+           loops
+       in
+       let parent =
+         List.fold_left
+           (fun best c ->
+              match best with
+              | None -> Some c
+              | Some b ->
+                if List.length c.body < List.length b.body then Some c else Some b)
+           None containing
+       in
+       a.parent <- Option.map (fun p -> p.lid) parent)
+    loops;
+  List.iter
+    (fun a ->
+       match a.parent with
+       | Some pid ->
+         (match List.find_opt (fun l -> l.lid = pid) loops with
+          | Some p -> p.children <- a.lid :: p.children
+          | None -> ())
+       | None -> ())
+    loops;
+  let by_id = Hashtbl.create 8 in
+  List.iter (fun l -> Hashtbl.replace by_id l.lid l) loops;
+  { loops; by_id }
+
+let loop t id = Hashtbl.find_opt t.by_id id
+
+(** Inner loops strictly contained in [l]. *)
+let inner_loops t l =
+  List.filter_map (fun id -> loop t id) l.children
+
+let is_innermost l = l.children = []
+
+let outermost t = List.filter (fun l -> l.parent = None) t.loops

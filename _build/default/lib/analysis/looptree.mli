@@ -1,0 +1,25 @@
+(** Natural-loop detection and nesting (the loop forest of §II-D). *)
+
+type loop = {
+  lid : int;                   (** globally unique loop id *)
+  header : int;                (** header block address *)
+  latches : int list;          (** blocks with a back edge to the header *)
+  body : int list;             (** block addresses, header included *)
+  exits : (int * int) list;    (** (in-loop block, out-of-loop successor) *)
+  preheader : int option;      (** unique out-of-loop predecessor *)
+  mutable parent : int option; (** innermost enclosing loop id *)
+  mutable children : int list;
+}
+
+type t = {
+  loops : loop list;
+  by_id : (int, loop) Hashtbl.t;
+}
+
+(** Find the natural loops of a function and their nesting. *)
+val compute : Cfg.func -> Dom.t -> t
+
+val loop : t -> int -> loop option
+val inner_loops : t -> loop -> loop list
+val is_innermost : loop -> bool
+val outermost : t -> loop list

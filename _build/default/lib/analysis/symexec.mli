@@ -1,0 +1,104 @@
+(** Symbolic execution of VX64 code over {!Sympoly} values.
+
+    Drives both the whole-function pass ({!Funcanal}) and the per-loop
+    pass ({!Loopanal}): registers and stack slots become polynomials
+    over atoms; loads forward from in-flight stores (so spilled
+    induction variables are still recognised); control-flow merges
+    produce phi atoms that remember their inputs — equal values survive
+    merges, which is the paper's duplicated-path elimination (§II-D). *)
+
+open Janus_vx
+open Sympoly
+
+type value = Vint of Sympoly.t | Vfloat of fexpr
+
+type cmp_info =
+  | Cmp_int of Sympoly.t * Sympoly.t * int  (** operands + compare addr *)
+  | Cmp_float of fexpr * fexpr
+
+type store_entry = {
+  s_addr : Sympoly.t;
+  s_bytes : int;
+  s_val : value;
+}
+
+type state = {
+  regs : Sympoly.t array;
+  fregs : fexpr array;
+  mutable cmp : cmp_info option;
+  mutable stores : store_entry list;  (** forwarding table *)
+}
+
+(** One recorded memory access. *)
+type access = {
+  a_addr : Sympoly.t;
+  a_bytes : int;
+  a_write : bool;
+  a_insn : int;
+  a_value : value option;  (** stored value, for reduction analysis *)
+}
+
+(** How fresh unknowns are named (function-entry vs loop-header atoms). *)
+type naming = {
+  name_loc : loc -> atom;
+  named : unit -> (loc * atom) list;
+}
+
+type ctx = {
+  naming : naming;
+  mutable st : state;
+  mutable accesses : access list;
+  mutable loads : (Sympoly.t * int * value * atom) list;
+  mutable load_addrs : (int * Sympoly.t) list;
+  mutable dirty : (Sympoly.t * int) list;
+  merge_srcs : (int, value list) Hashtbl.t;
+  mutable all_cmps : cmp_info list;
+  mutable gen : int;
+  mutable excalls : (int * string) list;
+  mutable calls : (int * int) list;
+  mutable has_syscall : bool;
+  mutable has_indirect : bool;
+  mutable has_unknown_store : bool;
+  rsp0 : atom;
+}
+
+val entry_naming : unit -> naming
+val header_naming : int -> naming
+val create : naming -> ctx
+
+val get_reg : ctx -> Reg.gp -> Sympoly.t
+val set_reg : ctx -> Reg.gp -> Sympoly.t -> unit
+val get_freg : ctx -> Reg.fp -> fexpr
+val set_freg : ctx -> Reg.fp -> fexpr -> unit
+
+(** Symbolic address classification: a pure stack slot (offset from the
+    reference RSP), a constant address, or something else. *)
+type addr_class = Astack of int | Aconst of int | Aother
+
+val classify_addr : ctx -> Sympoly.t -> addr_class
+
+(** Can two symbolic byte ranges possibly overlap? (Stack never aliases
+    non-stack; unknown pairs may.) *)
+val may_overlap : ctx -> Sympoly.t -> int -> Sympoly.t -> int -> bool
+
+val addr_of_mem : ctx -> Operand.mem -> Sympoly.t
+
+(** Execute one instruction symbolically; control flow is the caller's
+    responsibility. *)
+val exec : ctx -> Cfg.insn_info -> unit
+
+(** Merge two states at a join: equal values survive, differing ones
+    become phi atoms whose inputs are remembered; store entries lost in
+    the merge are marked dirty so later loads cannot resurrect stale
+    location names. *)
+val merge_states : ctx -> at:int -> state -> state -> state
+
+val copy_state : state -> state
+
+(** Does a value mention an atom satisfying the predicate, looking
+    through merge inputs? Old values hidden behind a conditional
+    redefinition are still dependences. *)
+val mentions : ctx -> (atom -> bool) -> value -> bool
+
+val mentions_poly : ctx -> (atom -> bool) -> Sympoly.t -> bool
+val mentions_fexpr : ctx -> (atom -> bool) -> fexpr -> bool

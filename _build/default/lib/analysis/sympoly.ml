@@ -1,0 +1,174 @@
+(** Canonicalised symbolic polynomials (§II-D).
+
+    Every value the analyser tracks is an affine polynomial
+    [c0 + c1*a1 + ... + cn*an] over {e atoms} — opaque quantities such
+    as "the value register rdi held on function entry", "the value this
+    load produced" or "the value location X held when the loop header
+    was first entered". Non-affine combinations collapse into fresh
+    opaque atoms, keeping the representation canonical and equality
+    decidable. *)
+
+open Janus_vx
+
+(** Locations the analyser versions into atoms (registers, canonical
+    stack slots relative to the function-entry RSP, global scalars). *)
+type loc =
+  | Rloc of Reg.gp
+  | Floc of Reg.fp
+  | Sloc of int      (* byte offset from the function-entry RSP *)
+  | Gloc of int      (* absolute address *)
+
+let pp_loc ppf = function
+  | Rloc r -> Reg.pp_gp ppf r
+  | Floc r -> Reg.pp_fp ppf r
+  | Sloc off -> Fmt.pf ppf "stack[%d]" off
+  | Gloc a -> Fmt.pf ppf "[0x%x]" a
+
+let loc_equal (a : loc) (b : loc) = a = b
+
+type akind =
+  | Entry of loc            (* value at function entry *)
+  | Header of int * loc     (* value at entry of loop [id]'s header *)
+  | Load of int             (* result of the load at instruction addr *)
+  | Merge of int            (* control-flow merge (phi) at block addr *)
+  | Opaque of int           (* non-affine computation result *)
+  | Fval of int             (* integer view of a float value *)
+
+type atom = { aid : int; kind : akind }
+
+let atom_counter = ref 0
+
+let fresh_atom kind =
+  incr atom_counter;
+  { aid = !atom_counter; kind }
+
+module AMap = Map.Make (Int)
+
+(** A polynomial: constant + sum of coeff * atom. Empty map = constant. *)
+type t = {
+  const : int64;
+  terms : (int64 * atom) AMap.t;  (* atom id -> coefficient, atom *)
+}
+
+let const c = { const = c; terms = AMap.empty }
+let zero = const 0L
+let of_atom a = { const = 0L; terms = AMap.singleton a.aid (1L, a) }
+
+let is_const p = AMap.is_empty p.terms
+let to_const p = if is_const p then Some p.const else None
+
+let equal a b =
+  Int64.equal a.const b.const
+  && AMap.equal (fun (c1, _) (c2, _) -> Int64.equal c1 c2) a.terms b.terms
+
+let add a b =
+  let terms =
+    AMap.union
+      (fun _ (c1, at) (c2, _) ->
+         let c = Int64.add c1 c2 in
+         if Int64.equal c 0L then None else Some (c, at))
+      a.terms b.terms
+  in
+  { const = Int64.add a.const b.const; terms }
+
+let scale k p =
+  if Int64.equal k 0L then zero
+  else
+    {
+      const = Int64.mul k p.const;
+      terms = AMap.map (fun (c, at) -> (Int64.mul k c, at)) p.terms;
+    }
+
+let sub a b = add a (scale (-1L) b)
+
+let neg p = scale (-1L) p
+
+(** Polynomial product; collapses to an opaque atom unless one side is
+    constant (keeping everything affine). *)
+let mul a b =
+  match to_const a, to_const b with
+  | Some ka, _ -> scale ka b
+  | _, Some kb -> scale kb a
+  | None, None -> of_atom (fresh_atom (Opaque 0))
+
+let opaque () = of_atom (fresh_atom (Opaque 0))
+
+(** The atoms mentioned by the polynomial. *)
+let atoms p = AMap.fold (fun _ (_, at) acc -> at :: acc) p.terms []
+
+let mem_atom p pred = AMap.exists (fun _ (_, at) -> pred at) p.terms
+
+(** Coefficient of atoms satisfying [pred]; None if several match. *)
+let coeff_of p pred =
+  let matching =
+    AMap.fold
+      (fun _ (c, at) acc -> if pred at then (c, at) :: acc else acc)
+      p.terms []
+  in
+  match matching with [ (c, a) ] -> Some (c, a) | _ -> None
+
+(** Drop all terms whose atom satisfies [pred], returning the rest. *)
+let without p pred =
+  { p with terms = AMap.filter (fun _ (_, at) -> not (pred at)) p.terms }
+
+let pp_akind ppf = function
+  | Entry l -> Fmt.pf ppf "%a@entry" pp_loc l
+  | Header (id, l) -> Fmt.pf ppf "%a@L%d" pp_loc l id
+  | Load a -> Fmt.pf ppf "load@0x%x" a
+  | Merge a -> Fmt.pf ppf "phi@0x%x" a
+  | Opaque _ -> Fmt.pf ppf "opaque"
+  | Fval _ -> Fmt.pf ppf "fval"
+
+let pp_atom ppf a = Fmt.pf ppf "%a#%d" pp_akind a.kind a.aid
+
+let pp ppf p =
+  if is_const p then Fmt.pf ppf "%Ld" p.const
+  else begin
+    let first = ref true in
+    if not (Int64.equal p.const 0L) then begin
+      Fmt.pf ppf "%Ld" p.const;
+      first := false
+    end;
+    AMap.iter
+      (fun _ (c, at) ->
+         if not !first then Fmt.string ppf " + ";
+         first := false;
+         if Int64.equal c 1L then pp_atom ppf at
+         else Fmt.pf ppf "%Ld*%a" c pp_atom at)
+      p.terms
+  end
+
+let to_string p = Fmt.str "%a" pp p
+
+(** {1 Float expression trees}
+
+    Used for reduction recognition and duplicated-path detection; FP
+    values do not need affine canonicalisation, only structural
+    matching. *)
+
+type fexpr =
+  | Fatom of atom
+  | Fbinop of Insn.fbin * fexpr * fexpr
+  | Fconvert of t              (* cvtsi2sd of an integer polynomial *)
+  | Funknown of atom
+
+let rec fexpr_equal a b =
+  match a, b with
+  | Fatom x, Fatom y -> x.aid = y.aid
+  | Fbinop (o1, a1, b1), Fbinop (o2, a2, b2) ->
+    o1 = o2 && fexpr_equal a1 a2 && fexpr_equal b1 b2
+  | Fconvert p, Fconvert q -> equal p q
+  | Funknown x, Funknown y -> x.aid = y.aid
+  | (Fatom _ | Fbinop _ | Fconvert _ | Funknown _), _ -> false
+
+let rec fexpr_mentions pred = function
+  | Fatom a | Funknown a -> pred a
+  | Fbinop (_, x, y) -> fexpr_mentions pred x || fexpr_mentions pred y
+  | Fconvert p -> mem_atom p pred
+
+let rec pp_fexpr ppf = function
+  | Fatom a -> pp_atom ppf a
+  | Fbinop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_fexpr a (Insn.fbin_name op) pp_fexpr b
+  | Fconvert p -> Fmt.pf ppf "i2f(%a)" pp p
+  | Funknown a -> Fmt.pf ppf "f?%d" a.aid

@@ -1,0 +1,90 @@
+(** Canonicalised symbolic polynomials (§II-D).
+
+    Every value the analyser tracks is an affine polynomial
+    [c0 + c1*a1 + ... + cn*an] over {e atoms} — opaque quantities such
+    as "the value rdi held at function entry" or "the value location X
+    held when the loop header was first entered". Non-affine
+    combinations collapse into fresh opaque atoms, keeping the
+    representation canonical and equality decidable. *)
+
+open Janus_vx
+
+(** Locations the analyser versions into atoms. *)
+type loc =
+  | Rloc of Reg.gp
+  | Floc of Reg.fp
+  | Sloc of int      (** byte offset from the reference RSP *)
+  | Gloc of int      (** absolute address *)
+
+val pp_loc : Format.formatter -> loc -> unit
+val loc_equal : loc -> loc -> bool
+
+type akind =
+  | Entry of loc            (** value at function entry *)
+  | Header of int * loc     (** value at entry of loop [id]'s header *)
+  | Load of int             (** result of the load at an address *)
+  | Merge of int            (** control-flow merge (phi) *)
+  | Opaque of int           (** non-affine computation result *)
+  | Fval of int             (** integer view of a float value *)
+
+type atom = { aid : int; kind : akind }
+
+(** Allocate a globally fresh atom. *)
+val fresh_atom : akind -> atom
+
+module AMap : Map.S with type key = int
+
+type t = {
+  const : int64;
+  terms : (int64 * atom) AMap.t;  (** atom id -> coefficient, atom *)
+}
+
+val const : int64 -> t
+val zero : t
+val of_atom : atom -> t
+val is_const : t -> bool
+val to_const : t -> int64 option
+val equal : t -> t -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+(** Multiply by a constant. *)
+val scale : int64 -> t -> t
+
+(** Polynomial product; collapses to an opaque atom unless one side is
+    constant. *)
+val mul : t -> t -> t
+
+(** A fresh opaque polynomial (an unknown value). *)
+val opaque : unit -> t
+
+val atoms : t -> atom list
+val mem_atom : t -> (atom -> bool) -> bool
+
+(** The unique matching term's coefficient and atom, if exactly one
+    atom satisfies the predicate. *)
+val coeff_of : t -> (atom -> bool) -> (int64 * atom) option
+
+(** Drop all terms whose atom satisfies the predicate. *)
+val without : t -> (atom -> bool) -> t
+
+val pp_akind : Format.formatter -> akind -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Float expression trees}
+
+    FP values need only structural matching (reduction recognition and
+    duplicated-path detection), not affine canonicalisation. *)
+
+type fexpr =
+  | Fatom of atom
+  | Fbinop of Insn.fbin * fexpr * fexpr
+  | Fconvert of t
+  | Funknown of atom
+
+val fexpr_equal : fexpr -> fexpr -> bool
+val fexpr_mentions : (atom -> bool) -> fexpr -> bool
+val pp_fexpr : Format.formatter -> fexpr -> unit

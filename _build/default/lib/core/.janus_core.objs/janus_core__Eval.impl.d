@@ -1,0 +1,1 @@
+lib/core/eval.ml: Fmt Hashtbl Janus Janus_analysis Janus_jcc Janus_profile Janus_schedule Janus_suite List Option Printf String

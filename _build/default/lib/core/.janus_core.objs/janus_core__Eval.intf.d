@@ -1,0 +1,1 @@
+lib/core/eval.mli: Format Janus Janus_analysis Janus_jcc Janus_profile Janus_suite

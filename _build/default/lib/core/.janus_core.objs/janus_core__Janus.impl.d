@@ -1,0 +1,1 @@
+lib/core/janus.ml: Buffer Image Int64 Janus_analysis Janus_dbm Janus_profile Janus_runtime Janus_schedule Janus_vm Janus_vx List Machine Program Queue Run

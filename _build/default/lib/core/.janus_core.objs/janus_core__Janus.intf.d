@@ -1,0 +1,1 @@
+lib/core/janus.mli: Janus_analysis Janus_dbm Janus_profile Janus_runtime Janus_schedule Janus_vx

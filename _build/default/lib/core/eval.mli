@@ -1,0 +1,149 @@
+(** Regeneration of every table and figure in the paper's evaluation
+    (§III), over the synthetic SPEC-like suite. Each [figN ()] returns
+    typed rows; each [pp_figN] prints the series the paper reports.
+    EXPERIMENTS.md records these next to the paper's values. *)
+
+module Suite = Janus_suite.Suite
+module Profiler = Janus_profile.Profiler
+module Loopanal = Janus_analysis.Loopanal
+module Analysis = Janus_analysis.Analysis
+module Jcc = Janus_jcc.Jcc
+
+(** The nine parallelisable benchmarks (Figs. 7-12). *)
+val nine : Suite.benchmark list
+
+(** {1 Fig. 6 — loop classification} *)
+
+type category =
+  | Static_doall   (** type A *)
+  | Dynamic_doall  (** type C: ambiguous, profiling found no alias *)
+  | Static_dep     (** type B (outer loops are counted here too) *)
+  | Dynamic_dep    (** type D: ambiguous, profiling found a dependence *)
+  | Incompatible
+
+val categories : category list
+val category_name : category -> string
+
+type fig6_row = {
+  f6_name : string;
+  f6_static : (category * int) list;     (** loop counts *)
+  f6_dynamic : (category * float) list;  (** fraction of execution time *)
+}
+
+val categorise : Profiler.deps -> Loopanal.report -> category
+val fig6 : unit -> fig6_row list
+val pp_fig6 : Format.formatter -> fig6_row list -> unit
+
+(** {1 Fig. 7 — whole-program speedups, 8 threads} *)
+
+type fig7_row = {
+  f7_name : string;
+  f7_dbm : float;      (** DynamoRIO-only *)
+  f7_static : float;   (** Statically-Driven *)
+  f7_profile : float;  (** Statically-Driven + Profile *)
+  f7_janus : float;    (** + Checks (full Janus) *)
+}
+
+val geomean : float list -> float
+val fig7 : unit -> fig7_row list
+val pp_fig7 : Format.formatter -> fig7_row list -> unit
+
+(** {1 Fig. 8 — execution-time breakdown, 1 vs 8 threads} *)
+
+type fig8_row = {
+  f8_name : string;
+  f8_one : Janus.breakdown * int;
+  f8_eight : Janus.breakdown * int;
+}
+
+val fig8 : unit -> fig8_row list
+val pp_fig8 : Format.formatter -> fig8_row list -> unit
+
+(** {1 Table I — array-bounds checks per loop} *)
+
+type table1_row = {
+  t1_name : string;
+  t1_loops_with_checks : int;
+  t1_avg_checks : float;
+}
+
+val table1 : unit -> table1_row list
+val pp_table1 : Format.formatter -> table1_row list -> unit
+
+(** {1 Fig. 9 — thread scaling} *)
+
+type fig9_row = { f9_name : string; f9_speedups : (int * float) list }
+
+val fig9 : unit -> fig9_row list
+val pp_fig9 : Format.formatter -> fig9_row list -> unit
+
+(** {1 Fig. 10 — rewrite-schedule size overhead} *)
+
+type fig10_row = { f10_name : string; f10_ratio : float }
+
+val fig10 : unit -> fig10_row list
+val pp_fig10 : Format.formatter -> fig10_row list -> unit
+
+(** {1 Fig. 11 — vs. compiler auto-parallelisation} *)
+
+type fig11_row = {
+  f11_name : string;
+  f11_gcc_autopar : float;
+  f11_janus_gcc : float;
+  f11_icc_autopar : float;
+  f11_janus_icc : float;
+}
+
+val fig11 : unit -> fig11_row list
+val pp_fig11 : Format.formatter -> fig11_row list -> unit
+
+(** {1 Fig. 12 — impact of compiler optimisation level} *)
+
+type fig12_row = {
+  f12_name : string;
+  f12_o2 : float;
+  f12_o3 : float;
+  f12_avx : float;
+}
+
+val fig12 : unit -> fig12_row list
+val pp_fig12 : Format.formatter -> fig12_row list -> unit
+
+(** {1 Extension: DOACROSS over the nine benchmarks} *)
+
+type ext_doacross_row = {
+  ed_name : string;
+  ed_doall : float;
+  ed_doacross : float;
+  ed_extra_loops : int;
+}
+
+val ext_doacross : unit -> ext_doacross_row list
+val pp_ext_doacross : Format.formatter -> ext_doacross_row list -> unit
+
+(** {1 Extension: software prefetching via MEM_PREFETCH rules}
+
+    All three arms (native baseline, Janus, Janus+prefetch) run under
+    the cold-line cache-miss model, so the hidden latency is visible. *)
+
+type ext_prefetch_row = {
+  epf_name : string;
+  epf_janus : float;     (** full Janus under the cache-miss model *)
+  epf_prefetch : float;  (** + MEM_PREFETCH on strided accesses *)
+  epf_rules : int;       (** prefetch rules emitted *)
+}
+
+val ext_prefetch : unit -> ext_prefetch_row list
+val pp_ext_prefetch : Format.formatter -> ext_prefetch_row list -> unit
+
+(** {1 The bwaves shared-library call footprint (§III-B)} *)
+
+type excall_stats = {
+  ex_name : string;
+  ex_avg_insns : float;
+  ex_avg_reads : float;
+  ex_avg_writes : float;
+}
+
+val excall_footprint : unit -> excall_stats list
+val pp_excall : Format.formatter -> excall_stats list -> unit

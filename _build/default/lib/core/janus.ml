@@ -1,0 +1,328 @@
+(** Janus: the complete automatic-parallelisation pipeline of Fig. 1(a).
+
+    {[
+      let image = Janus_jcc.Jcc.compile source in
+      let result = Janus.parallelise image ~config:(Janus.config ~threads:8 ()) in
+      (* result.output = the program's output, result.speedup, ... *)
+    ]}
+
+    The four evaluation configurations of Fig. 7 map to:
+    - native execution: {!run_native}
+    - "DynamoRIO": {!run_dbm_only}
+    - "Statically-Driven": [parallelise ~config:(config ~use_profile:false ~use_checks:false ())]
+    - "Statically-Driven + Profile": [~use_profile:true ~use_checks:false]
+    - Janus (full): [~use_profile:true ~use_checks:true] *)
+
+open Janus_vx
+open Janus_vm
+module Analysis = Janus_analysis.Analysis
+module Loopanal = Janus_analysis.Loopanal
+module Rulegen = Janus_analysis.Rulegen
+module Profiler = Janus_profile.Profiler
+module Dbm = Janus_dbm.Dbm
+module Runtime = Janus_runtime.Runtime
+module Schedule = Janus_schedule.Schedule
+module Desc = Janus_schedule.Desc
+
+type config = {
+  threads : int;
+  use_profile : bool;       (* profile-guided loop selection *)
+  use_checks : bool;        (* dynamic DOALL via checks + speculation *)
+  use_doacross : bool;      (* extension: parallelise static-dependence
+                               loops by in-order chunk hand-off *)
+  cov_threshold : float;    (* min fraction of dynamic instructions *)
+  trip_threshold : float;   (* min average iterations per invocation *)
+  work_threshold : float;   (* min instructions per invocation: filters
+                               loops whose per-invocation work cannot
+                               amortise thread start/stop costs *)
+  force_policy : Desc.policy option;
+  stm_everywhere : bool;    (* ablation: transactional worker chunks *)
+  prefetch : bool;          (* extension: MEM_PREFETCH rules on the
+                               selected loops' strided accesses *)
+  model_cache : bool;       (* charge cold-line misses (pair with
+                               prefetch; compare against a native run
+                               with the same flag) *)
+  fuel : int;
+}
+
+let config ?(threads = 8) ?(use_profile = true) ?(use_checks = true)
+    ?(use_doacross = false) ?(cov_threshold = 0.03) ?(trip_threshold = 8.0)
+    ?(work_threshold = 2500.0) ?force_policy ?(stm_everywhere = false)
+    ?(prefetch = false) ?(model_cache = false) ?(fuel = 400_000_000) () =
+  { threads; use_profile; use_checks; use_doacross; cov_threshold;
+    trip_threshold; work_threshold; force_policy; stm_everywhere;
+    prefetch; model_cache; fuel }
+
+(** Cycle breakdown of a run (Fig. 8's categories). *)
+type breakdown = {
+  seq_cycles : int;
+  par_cycles : int;
+  init_finish_cycles : int;
+  translate_cycles : int;
+  check_cycles : int;
+}
+
+type result = {
+  output : string;
+  exit_code : int;
+  cycles : int;
+  icount : int;
+  breakdown : breakdown;
+  stats : Dbm.stats option;
+  schedule_size : int;         (* bytes; 0 when no schedule *)
+  executable_size : int;
+  selected_loops : int list;   (* loop ids parallelised *)
+  checks_per_loop : (int * int) list;  (* loop id -> pairwise comparisons *)
+  stm_commits : int;
+  stm_aborts : int;
+}
+
+let no_breakdown cycles =
+  { seq_cycles = cycles; par_cycles = 0; init_finish_cycles = 0;
+    translate_cycles = 0; check_cycles = 0 }
+
+(** Native execution (the baseline every figure normalises against). *)
+let run_native ?(fuel = 400_000_000) ?(input = []) ?(model_cache = false) image =
+  let r = Run.run ~fuel ~input ~model_cache image in
+  {
+    output = r.Run.output;
+    exit_code = r.Run.exit_code;
+    cycles = r.Run.cycles;
+    icount = r.Run.icount;
+    breakdown = no_breakdown r.Run.cycles;
+    stats = None;
+    schedule_size = 0;
+    executable_size = Image.size image;
+    selected_loops = [];
+    checks_per_loop = [];
+    stm_commits = 0;
+    stm_aborts = 0;
+  }
+
+let result_of_dbm_run image ~schedule_size ~selected ~checks (dbm : Dbm.t)
+    (ctx : Machine.t) =
+  let s = dbm.Dbm.stats in
+  let other =
+    s.Dbm.init_finish_cycles + s.Dbm.parallel_cycles + s.Dbm.check_cycles
+    + s.Dbm.translate_cycles_main
+  in
+  {
+    output = Buffer.contents ctx.Machine.out;
+    exit_code = ctx.Machine.exit_code;
+    cycles = ctx.Machine.cycles;
+    icount = ctx.Machine.icount;
+    breakdown =
+      {
+        seq_cycles = max 0 (ctx.Machine.cycles - other);
+        par_cycles = s.Dbm.parallel_cycles;
+        init_finish_cycles = s.Dbm.init_finish_cycles;
+        translate_cycles = s.Dbm.translate_cycles_main;
+        check_cycles = s.Dbm.check_cycles;
+      };
+    stats = Some s;
+    schedule_size;
+    executable_size = Image.size image;
+    selected_loops = selected;
+    checks_per_loop = checks;
+    stm_commits = s.Dbm.stm_commits;
+    stm_aborts = s.Dbm.stm_aborts;
+  }
+
+(** Execution under the unmodified DBM (the "DynamoRIO" bar of Fig. 7). *)
+let run_dbm_only ?(fuel = 400_000_000) ?(input = []) image =
+  let prog = Program.load image in
+  let dbm = Dbm.create prog in
+  let cache = Dbm.new_cache Dbm.Main in
+  let ctx = Run.fresh_context prog in
+  List.iter (fun v -> Queue.push v ctx.Machine.input) input;
+  ignore (Dbm.run ~fuel dbm cache ctx);
+  result_of_dbm_run image ~schedule_size:0 ~selected:[] ~checks:[] dbm ctx
+
+(* ------------------------------------------------------------------ *)
+(* Loop selection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type selection = {
+  chosen : (Loopanal.report * Desc.policy) list;
+  rejected : (int * string) list;  (* loop id, reason *)
+}
+
+let select ~cfg (analysis : Analysis.t) ~(coverage : Profiler.coverage option)
+    ~(deps : Profiler.deps option) =
+  let chosen = ref [] in
+  let rejected = ref [] in
+  List.iter
+    (fun (r : Loopanal.report) ->
+       let lid = r.Loopanal.loop.Janus_analysis.Looptree.lid in
+       let reject reason = rejected := (lid, reason) :: !rejected in
+       let profile_ok () =
+         if not cfg.use_profile then true
+         else
+           match coverage with
+           | None -> true
+           | Some cov ->
+             Profiler.fraction cov lid >= cfg.cov_threshold
+             && Profiler.avg_trip cov lid >= cfg.trip_threshold
+             && Profiler.avg_work cov lid >= cfg.work_threshold
+       in
+       let accept policy =
+         if not (profile_ok ()) then reject "filtered by profile"
+         else
+           let policy =
+             match cfg.force_policy with Some p -> p | None -> policy
+           in
+           chosen := (r, policy) :: !chosen
+       in
+       match Analysis.eligibility r with
+       | Analysis.Not_eligible reason -> reject reason
+       | Analysis.Eligible_dynamic _ when not cfg.use_checks ->
+         reject "dynamic loop (checks disabled)"
+       | Analysis.Eligible_dynamic _
+         when (match deps with
+             | Some d -> Profiler.has_dep d lid
+             | None -> false) ->
+         reject "dependence observed during profiling"
+       | Analysis.Eligible_doacross _ when not cfg.use_doacross ->
+         reject "static dependence (doacross disabled)"
+       | Analysis.Eligible_doacross pct ->
+         (* the overlappable work must dwarf the per-invocation thread
+            and hand-off overheads, or DOACROSS only adds cost (the
+            "synchronisation overheads" the paper's future work warns
+            about) *)
+         let overlappable =
+           match coverage with
+           | Some cov ->
+             Profiler.avg_work cov lid
+             *. (1.0 -. (float_of_int pct /. 100.0))
+           | None -> infinity
+         in
+         if cfg.use_profile && overlappable < 12_000.0 then
+           reject "doacross not profitable"
+         else accept (Desc.Doacross pct)
+       | Analysis.Eligible_static | Analysis.Eligible_dynamic _ ->
+         accept Desc.Chunked)
+    analysis.Analysis.reports;
+  { chosen = List.rev !chosen; rejected = List.rev !rejected }
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = {
+  p_image : Image.t;
+  p_analysis : Analysis.t;
+  p_coverage : Profiler.coverage option;
+  p_deps : Profiler.deps option;
+  p_selection : selection;
+  p_schedule : Schedule.t;
+}
+
+(** Stages 1-2 of Fig. 1(a): analysis, optional training-input
+    profiling, loop selection, schedule generation. *)
+let prepare ?(cfg = config ()) ?(train_input = []) image =
+  let analysis = Analysis.analyse_image image in
+  let coverage =
+    if cfg.use_profile then
+      Some (Profiler.run_coverage ~fuel:cfg.fuel ~input:train_input image analysis)
+    else None
+  in
+  let deps =
+    if cfg.use_checks then
+      Some (Profiler.run_dependence ~fuel:cfg.fuel ~input:train_input image analysis)
+    else None
+  in
+  let selection = select ~cfg analysis ~coverage ~deps in
+  let schedule, _encoded =
+    Rulegen.parallel_schedule ~prefetch:cfg.prefetch analysis.Analysis.cfg
+      selection.chosen
+  in
+  { p_image = image; p_analysis = analysis; p_coverage = coverage;
+    p_deps = deps; p_selection = selection; p_schedule = schedule }
+
+(** Stage 3: run the program under the DBM with the parallelisation
+    schedule (the "Parallelisation Stage"). *)
+let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
+  let prog = Program.load p.p_image in
+  let dbm = Dbm.create ~schedule:p.p_schedule prog in
+  let rt_config =
+    { Runtime.threads = cfg.threads; force_policy = cfg.force_policy;
+      stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere }
+  in
+  let rt = Runtime.create ~config:rt_config dbm in
+  Runtime.install rt;
+  let ctx = Run.fresh_context prog in
+  ctx.Machine.model_cache <- cfg.model_cache;
+  List.iter (fun v -> Queue.push v ctx.Machine.input) input;
+  ignore (Dbm.run ~fuel:cfg.fuel dbm rt.Runtime.main_cache ctx);
+  let selected =
+    List.map
+      (fun ((r : Loopanal.report), _) ->
+         r.Loopanal.loop.Janus_analysis.Looptree.lid)
+      p.p_selection.chosen
+  in
+  let checks =
+    List.filter_map
+      (fun ((r : Loopanal.report), _) ->
+         if r.Loopanal.check_ranges = [] then None
+         else
+           let cd =
+             {
+               Desc.check_loop_id = r.Loopanal.loop.Janus_analysis.Looptree.lid;
+               ranges =
+                 List.map
+                   (fun (c : Loopanal.check_range) ->
+                      { Desc.base = c.Loopanal.ck_base;
+                        extent = c.Loopanal.ck_extent;
+                        width = c.Loopanal.ck_width;
+                        written = c.Loopanal.ck_written })
+                   r.Loopanal.check_ranges;
+             }
+           in
+           Some
+             (r.Loopanal.loop.Janus_analysis.Looptree.lid, Desc.check_pairs cd))
+      p.p_selection.chosen
+  in
+  result_of_dbm_run p.p_image
+    ~schedule_size:(Schedule.size p.p_schedule)
+    ~selected ~checks dbm ctx
+
+(** Run under the DBM with a pre-generated rewrite schedule — the
+    paper's deployment model: the schedule is produced offline by the
+    static analyser and shipped next to the binary; no analysis happens
+    at run time. *)
+let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
+  let prog = Program.load image in
+  let dbm = Dbm.create ~schedule prog in
+  let rt_config =
+    { Runtime.threads = cfg.threads; force_policy = cfg.force_policy;
+      stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere }
+  in
+  let rt = Runtime.create ~config:rt_config dbm in
+  Runtime.install rt;
+  let ctx = Run.fresh_context prog in
+  ctx.Machine.model_cache <- cfg.model_cache;
+  List.iter (fun v -> Queue.push v ctx.Machine.input) input;
+  ignore (Dbm.run ~fuel:cfg.fuel dbm rt.Runtime.main_cache ctx);
+  (* the deployed loop set is whatever the shipped schedule initialises *)
+  let selected =
+    List.filter_map
+      (fun (r : Janus_schedule.Rule.t) ->
+         if r.Janus_schedule.Rule.id = Janus_schedule.Rule.LOOP_INIT then
+           Some (Int64.to_int r.Janus_schedule.Rule.aux)
+         else None)
+      schedule.Schedule.rules
+    |> List.sort_uniq compare
+  in
+  result_of_dbm_run image ~schedule_size:(Schedule.size schedule)
+    ~selected ~checks:[] dbm ctx
+
+(** The whole pipeline: analyse, profile on the training input, select,
+    parallelise, run on the reference input. *)
+let parallelise ?(cfg = config ()) ?(train_input = []) ?(input = []) image =
+  let p = prepare ~cfg ~train_input image in
+  run_parallel ~cfg ~input p
+
+(** Convenience: speedup of [b] over [a] (same program, same input). *)
+let speedup ~native ~run =
+  if run.cycles = 0 then 0.0
+  else float_of_int native.cycles /. float_of_int run.cycles

@@ -1,0 +1,161 @@
+(** The Janus automatic-parallelisation pipeline (Fig. 1(a)).
+
+    Typical use:
+    {[
+      let image = Janus_jcc.Jcc.compile source in
+      let native = Janus.run_native image in
+      let result = Janus.parallelise ~cfg:(Janus.config ~threads:8 ()) image in
+      assert (String.equal native.output result.output);
+      Fmt.pr "%.2fx@." (Janus.speedup ~native ~run:result)
+    ]}
+
+    The paper's four evaluation configurations (Fig. 7) map to:
+    native execution {!run_native}; "DynamoRIO" {!run_dbm_only};
+    "Statically-Driven" [config ~use_profile:false ~use_checks:false ()];
+    "+ Profile" [config ~use_checks:false ()]; full Janus [config ()]. *)
+
+module Analysis = Janus_analysis.Analysis
+module Loopanal = Janus_analysis.Loopanal
+module Rulegen = Janus_analysis.Rulegen
+module Profiler = Janus_profile.Profiler
+module Dbm = Janus_dbm.Dbm
+module Runtime = Janus_runtime.Runtime
+module Schedule = Janus_schedule.Schedule
+module Desc = Janus_schedule.Desc
+
+(** Pipeline configuration. *)
+type config = {
+  threads : int;            (** virtual hardware threads (paper: 8) *)
+  use_profile : bool;       (** profile-guided loop selection (§II-C) *)
+  use_checks : bool;        (** dynamic DOALL via checks + speculation *)
+  use_doacross : bool;
+      (** extension (the paper's future work): parallelise
+          static-dependence loops by in-order chunk hand-off *)
+  cov_threshold : float;    (** min fraction of dynamic instructions *)
+  trip_threshold : float;   (** min average iterations per invocation *)
+  work_threshold : float;   (** min instructions per invocation *)
+  force_policy : Desc.policy option;  (** scheduling-policy override *)
+  stm_everywhere : bool;
+      (** ablation: buffer every worker access transactionally *)
+  prefetch : bool;
+      (** extension (the paper's future work): MEM_PREFETCH rules on
+          the selected loops' strided accesses *)
+  model_cache : bool;
+      (** charge cold-line misses ({!Janus_vx.Cost.cache_miss}); pair
+          with [prefetch] and a [run_native ~model_cache:true]
+          baseline *)
+  fuel : int;               (** interpreter instruction budget *)
+}
+
+(** Build a configuration; the defaults reproduce the paper's full
+    Janus setup on 8 threads. *)
+val config :
+  ?threads:int ->
+  ?use_profile:bool ->
+  ?use_checks:bool ->
+  ?use_doacross:bool ->
+  ?cov_threshold:float ->
+  ?trip_threshold:float ->
+  ?work_threshold:float ->
+  ?force_policy:Desc.policy ->
+  ?stm_everywhere:bool ->
+  ?prefetch:bool ->
+  ?model_cache:bool ->
+  ?fuel:int ->
+  unit ->
+  config
+
+(** Cycle breakdown of a run, the categories of Fig. 8. *)
+type breakdown = {
+  seq_cycles : int;          (** sequential application execution *)
+  par_cycles : int;          (** max-worker time of parallel regions *)
+  init_finish_cycles : int;  (** thread start/stop, context copies *)
+  translate_cycles : int;    (** main-thread DBM translation *)
+  check_cycles : int;        (** runtime array-bounds checks *)
+}
+
+(** Result of executing a program under any configuration. *)
+type result = {
+  output : string;           (** everything the guest printed *)
+  exit_code : int;
+  cycles : int;              (** modelled wall-clock, main thread *)
+  icount : int;              (** dynamic instructions, all threads *)
+  breakdown : breakdown;
+  stats : Dbm.stats option;  (** DBM counters; [None] for native runs *)
+  schedule_size : int;       (** rewrite-schedule bytes (Fig. 10) *)
+  executable_size : int;     (** JX image bytes *)
+  selected_loops : int list; (** loop ids parallelised *)
+  checks_per_loop : (int * int) list;
+      (** loop id -> pairwise range comparisons (Table I) *)
+  stm_commits : int;
+  stm_aborts : int;
+}
+
+(** Native execution: the baseline every figure normalises against. *)
+val run_native :
+  ?fuel:int -> ?input:int64 list -> ?model_cache:bool ->
+  Janus_vx.Image.t -> result
+
+(** Execution under the unmodified DBM (the "DynamoRIO" bar). *)
+val run_dbm_only :
+  ?fuel:int -> ?input:int64 list -> Janus_vx.Image.t -> result
+
+(** Loop selection outcome: the loops to parallelise (with their
+    scheduling policy) and the per-loop rejection reasons. *)
+type selection = {
+  chosen : (Loopanal.report * Desc.policy) list;
+  rejected : (int * string) list;
+}
+
+(** Select loops from an analysis given optional profile data, applying
+    the configuration's eligibility and profitability filters. *)
+val select :
+  cfg:config ->
+  Analysis.t ->
+  coverage:Profiler.coverage option ->
+  deps:Profiler.deps option ->
+  selection
+
+(** Everything the static side produces for one binary: analysis,
+    training-run profiles, selection and the rewrite schedule. *)
+type prepared = {
+  p_image : Janus_vx.Image.t;
+  p_analysis : Analysis.t;
+  p_coverage : Profiler.coverage option;
+  p_deps : Profiler.deps option;
+  p_selection : selection;
+  p_schedule : Schedule.t;
+}
+
+(** Stages 1-2 of Fig. 1(a): static analysis, optional profiling on the
+    training input, loop selection, schedule generation. *)
+val prepare :
+  ?cfg:config -> ?train_input:int64 list -> Janus_vx.Image.t -> prepared
+
+(** Stage 3: execute under the DBM with the parallelisation schedule.
+    Reusable with different thread counts on one {!prepared}. *)
+val run_parallel : ?cfg:config -> ?input:int64 list -> prepared -> result
+
+(** Run under the DBM with a pre-generated rewrite schedule (e.g.
+    deserialised from disk): the paper's deployment model, where the
+    schedule ships next to the binary and no analysis happens at run
+    time. [selected_loops]/[checks_per_loop] are empty in the result —
+    the runner only knows the rules. *)
+val run_scheduled :
+  ?cfg:config ->
+  ?input:int64 list ->
+  Janus_vx.Image.t ->
+  Schedule.t ->
+  result
+
+(** The whole pipeline: {!prepare} on the training input, then
+    {!run_parallel} on the reference input. *)
+val parallelise :
+  ?cfg:config ->
+  ?train_input:int64 list ->
+  ?input:int64 list ->
+  Janus_vx.Image.t ->
+  result
+
+(** [speedup ~native ~run] is [native.cycles / run.cycles]. *)
+val speedup : native:result -> run:result -> float

@@ -1,0 +1,1 @@
+lib/dbm/dbm.ml: Array Cost Hashtbl Insn Int64 Janus_schedule Janus_vm Janus_vx Libcalls List Machine Operand Program Reg Run Semantics String

@@ -1,0 +1,1 @@
+lib/dbm/dbm.mli: Hashtbl Insn Janus_schedule Janus_vm Janus_vx Machine Program

@@ -1,0 +1,406 @@
+(** The dynamic binary modifier (Fig. 2(b)): a DynamoRIO-style code
+    cache executing translated basic blocks, consulting the rewrite
+    schedule's rule hash table before each block is emitted.
+
+    Transformation rules (MEM_PRIVATISE, LOOP_UPDATE_BOUND,
+    MEM_MAIN_STACK) edit instructions during translation; event rules
+    (LOOP_INIT, checks, profiling, TX boundaries...) attach to slots
+    and fire through the installed event handler at execution time.
+    Rules at the same address apply in schedule order (§II-A2). *)
+
+open Janus_vx
+open Janus_vm
+module Rule = Janus_schedule.Rule
+module Schedule = Janus_schedule.Schedule
+
+(** What kind of thread a cache belongs to: the main thread receives
+    only event rules; workers also receive the parallel transformation
+    rules, specialising their private code caches (§II-E). *)
+type thread_kind = Main | Worker of int
+
+type slot = {
+  s_insn : Insn.t;      (* possibly rewritten instruction *)
+  s_addr : int;         (* original application address *)
+  s_len : int;          (* original encoded length *)
+  s_events : Rule.t list;
+}
+
+type fragment = {
+  f_start : int;
+  f_slots : slot array;
+  mutable f_execs : int;
+  mutable f_is_trace : bool;
+  mutable f_linked : bool;
+}
+
+type stats = {
+  mutable translated_insns : int;
+  mutable fragments_built : int;
+  mutable traces_built : int;
+  mutable dispatches : int;
+  mutable translate_cycles : int;   (* total, all threads *)
+  mutable translate_cycles_main : int;  (* main thread only *)
+  mutable check_cycles : int;
+  mutable init_finish_cycles : int;
+  mutable parallel_cycles : int;
+  mutable stm_commits : int;
+  mutable stm_aborts : int;
+  mutable cache_flushes : int;
+}
+
+let new_stats () =
+  { translated_insns = 0; fragments_built = 0; traces_built = 0;
+    dispatches = 0; translate_cycles = 0; translate_cycles_main = 0;
+    check_cycles = 0;
+    init_finish_cycles = 0; parallel_cycles = 0; stm_commits = 0;
+    stm_aborts = 0; cache_flushes = 0 }
+
+(** Outcome of an event handler. *)
+type action =
+  | Continue           (* keep executing the slot *)
+  | Divert of int      (* transfer control to an application address *)
+  | Stop_thread        (* leave the execution loop (thread yield) *)
+
+type t = {
+  prog : Program.t;
+  rules : (int, Rule.t list) Hashtbl.t;   (* the rule hash table *)
+  schedule : Schedule.t option;
+  stats : stats;
+  mutable on_event : t -> thread_kind -> Machine.t -> Rule.t -> action;
+}
+
+(** A per-thread code cache. *)
+type cache = {
+  kind : thread_kind;
+  frags : (int, fragment) Hashtbl.t;
+  mutable last_indirect : bool;   (* previous fragment ended indirectly *)
+}
+
+let create ?schedule prog =
+  let rules = Hashtbl.create 64 in
+  (match schedule with
+   | Some s ->
+     Hashtbl.iter (fun a rs -> Hashtbl.replace rules a rs) (Schedule.index s)
+   | None -> ());
+  {
+    prog;
+    rules;
+    schedule;
+    stats = new_stats ();
+    on_event = (fun _ _ _ _ -> Continue);
+  }
+
+let new_cache kind = { kind; frags = Hashtbl.create 256; last_indirect = false }
+
+let flush_cache t (c : cache) =
+  Hashtbl.reset c.frags;
+  t.stats.cache_flushes <- t.stats.cache_flushes + 1
+
+let rules_at t addr = try Hashtbl.find t.rules addr with Not_found -> []
+
+let is_transform (r : Rule.t) =
+  match r.Rule.id with
+  | Rule.LOOP_UPDATE_BOUND | Rule.MEM_PRIVATISE | Rule.MEM_MAIN_STACK
+  | Rule.MEM_PREFETCH -> true
+  | _ -> false
+
+(* which rules apply to which thread kind *)
+let applies kind (r : Rule.t) =
+  match kind, r.Rule.id with
+  | Main, (Rule.LOOP_UPDATE_BOUND | Rule.MEM_PRIVATISE | Rule.MEM_MAIN_STACK
+          | Rule.THREAD_YIELD | Rule.TX_START | Rule.TX_FINISH) -> false
+  | Main, _ -> true
+  | Worker _, (Rule.LOOP_INIT | Rule.MEM_BOUNDS_CHECK | Rule.MEM_SPILL_REG
+              | Rule.THREAD_SCHEDULE) -> false
+  | Worker _, _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Transformation handlers (Fig. 2(b))                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tls_slot_operand slot =
+  Operand.Mem (Operand.mem_base ~disp:(8 * slot) Reg.TLS)
+
+(* replace the unique memory operand of an instruction *)
+let replace_mem_operand insn new_mem =
+  let swap (o : Operand.t) =
+    match o with Operand.Mem _ -> Operand.Mem new_mem | _ -> o
+  in
+  let swapf (o : Operand.fop) =
+    match o with Operand.Fmem _ -> Operand.Fmem new_mem | _ -> o
+  in
+  match insn with
+  | Insn.Mov (d, s) -> Insn.Mov (swap d, swap s)
+  | Insn.Alu (op, d, s) -> Insn.Alu (op, swap d, swap s)
+  | Insn.Neg o -> Insn.Neg (swap o)
+  | Insn.Not o -> Insn.Not (swap o)
+  | Insn.Idiv o -> Insn.Idiv (swap o)
+  | Insn.Cmp (a, b) -> Insn.Cmp (swap a, swap b)
+  | Insn.Test (a, b) -> Insn.Test (swap a, swap b)
+  | Insn.Push o -> Insn.Push (swap o)
+  | Insn.Pop o -> Insn.Pop (swap o)
+  | Insn.Cmov (c, r, s) -> Insn.Cmov (c, r, swap s)
+  | Insn.Fmov (w, d, s) -> Insn.Fmov (w, swapf d, swapf s)
+  | Insn.Fbin (w, op, d, s) -> Insn.Fbin (w, op, d, swapf s)
+  | Insn.Fsqrt (w, d, s) -> Insn.Fsqrt (w, d, swapf s)
+  | Insn.Fbcast (w, d, s) -> Insn.Fbcast (w, d, swapf s)
+  | Insn.Fcmp (a, b) -> Insn.Fcmp (a, swapf b)
+  | Insn.Cvtsi2sd (d, s) -> Insn.Cvtsi2sd (d, swap s)
+  | Insn.Cvtsd2si (d, s) -> Insn.Cvtsd2si (d, swapf s)
+  | i -> i
+
+(* LOOP_UPDATE_BOUND: the bound operand becomes a TLS load, so each
+   thread compares against its own chunk end (bound slot = TLS[0]) *)
+let apply_update_bound (r : Rule.t) insn =
+  match insn with
+  | Insn.Cmp (a, b) ->
+    let bound = tls_slot_operand 0 in
+    if Int64.equal r.Rule.data 0L then Insn.Cmp (bound, b)
+    else Insn.Cmp (a, bound)
+  | i -> i
+
+(* MEM_PRIVATISE: redirect the memory operand to private storage *)
+let apply_privatise (r : Rule.t) insn =
+  let slot = Int64.to_int r.Rule.data in
+  replace_mem_operand insn (Operand.mem_base ~disp:(8 * slot) Reg.TLS)
+
+(* MEM_MAIN_STACK: redirect a read-only stack access to the shared main
+   stack (base register swapped for SHARED, which the runtime points at
+   the main thread's frame) *)
+let apply_main_stack (_r : Rule.t) insn =
+  let swap_base (m : Operand.mem) = { m with Operand.base = Some Reg.SHARED } in
+  let swap (o : Operand.t) =
+    match o with Operand.Mem m -> Operand.Mem (swap_base m) | _ -> o
+  in
+  let swapf (o : Operand.fop) =
+    match o with Operand.Fmem m -> Operand.Fmem (swap_base m) | _ -> o
+  in
+  match insn with
+  | Insn.Mov (d, s) -> Insn.Mov (d, swap s)
+  | Insn.Alu (op, d, s) -> Insn.Alu (op, d, swap s)
+  | Insn.Cmp (a, b) -> Insn.Cmp (swap a, swap b)
+  | Insn.Fmov (w, d, s) -> Insn.Fmov (w, d, swapf s)
+  | Insn.Fbin (w, op, d, s) -> Insn.Fbin (w, op, d, swapf s)
+  | Insn.Fcmp (a, b) -> Insn.Fcmp (a, swapf b)
+  | i -> i
+
+let apply_transform (r : Rule.t) insn =
+  match r.Rule.id with
+  | Rule.LOOP_UPDATE_BOUND -> apply_update_bound r insn
+  | Rule.MEM_PRIVATISE -> apply_privatise r insn
+  | Rule.MEM_MAIN_STACK -> apply_main_stack r insn
+  | _ -> insn
+
+(* MEM_PREFETCH: the prefetch target is the instruction's memory
+   operand displaced [data] bytes ahead (its stride direction) *)
+let prefetch_mem insn dist =
+  match List.map fst (Insn.mems_read insn @ Insn.mems_written insn) with
+  | m :: _ -> Some { m with Operand.disp = m.Operand.disp + dist }
+  | [] -> None
+
+(* zero-length slot holding an inserted prefetch hint *)
+let prefetch_slots (rs : Rule.t list) insn addr =
+  List.filter_map
+    (fun (r : Rule.t) ->
+       if r.Rule.id = Rule.MEM_PREFETCH then
+         match prefetch_mem insn (Int64.to_int r.Rule.data) with
+         | Some pm ->
+           Some { s_insn = Insn.Prefetch pm; s_addr = addr; s_len = 0;
+                  s_events = [] }
+         | None -> None
+       else None)
+    rs
+
+(* ------------------------------------------------------------------ *)
+(* Translation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* translate one basic block starting at [addr] into a fragment,
+   charging translation cost to [ctx] *)
+let translate t (cache : cache) ctx addr =
+  let slots = ref [] in
+  let count = ref 0 in
+  let rec walk a =
+    match Program.fetch t.prog a with
+    | None -> ()
+    | Some (insn, len) ->
+      incr count;
+      let rs = List.filter (applies cache.kind) (rules_at t a) in
+      let events = List.filter (fun r -> not (is_transform r)) rs in
+      let insn' =
+        List.fold_left
+          (fun i r -> if is_transform r then apply_transform r i else i)
+          insn rs
+      in
+      List.iter (fun s -> slots := s :: !slots) (prefetch_slots rs insn' a);
+      slots := { s_insn = insn'; s_addr = a; s_len = len; s_events = events }
+               :: !slots;
+      if not (Insn.is_control_flow insn)
+         && insn <> Insn.Syscall Insn.sys_exit
+      then walk (a + len)
+  in
+  walk addr;
+  let slots = Array.of_list (List.rev !slots) in
+  let cost = Cost.fragment_setup + (Cost.translate_per_insn * !count) in
+  ctx.Machine.cycles <- ctx.Machine.cycles + cost;
+  t.stats.translate_cycles <- t.stats.translate_cycles + cost;
+  if cache.kind = Main then
+    t.stats.translate_cycles_main <- t.stats.translate_cycles_main + cost;
+  t.stats.translated_insns <- t.stats.translated_insns + !count;
+  t.stats.fragments_built <- t.stats.fragments_built + 1;
+  let frag =
+    { f_start = addr; f_slots = slots; f_execs = 0; f_is_trace = false;
+      f_linked = false }
+  in
+  Hashtbl.replace cache.frags addr frag;
+  frag
+
+(* trace promotion: extend a hot fragment across unconditional direct
+   jumps, eliding the jump instructions (DynamoRIO trace optimisation) *)
+let promote_trace t (cache : cache) ctx frag =
+  let slots = ref [] in
+  let seen = Hashtbl.create 8 in
+  let count = ref 0 in
+  let rec extend addr blocks =
+    if blocks > 8 || Hashtbl.mem seen addr then ()
+    else begin
+      Hashtbl.replace seen addr ();
+      let rec walk a =
+        match Program.fetch t.prog a with
+        | None -> ()
+        | Some (insn, len) ->
+          let rs = List.filter (applies cache.kind) (rules_at t a) in
+          let events = List.filter (fun r -> not (is_transform r)) rs in
+          let insn' =
+            List.fold_left
+              (fun i r -> if is_transform r then apply_transform r i else i)
+              insn rs
+          in
+          (match insn with
+           | Insn.Jmp (Insn.Direct target) when events = [] ->
+             (* elide the jump, continue the trace *)
+             incr count;
+             extend target (blocks + 1)
+           | _ ->
+             incr count;
+             List.iter (fun s -> slots := s :: !slots)
+               (prefetch_slots rs insn' a);
+             slots :=
+               { s_insn = insn'; s_addr = a; s_len = len; s_events = events }
+               :: !slots;
+             if not (Insn.is_control_flow insn) then walk (a + len))
+      in
+      walk addr
+    end
+  in
+  extend frag.f_start 0;
+  let cost = Cost.fragment_setup + (Cost.translate_per_insn * !count) in
+  ctx.Machine.cycles <- ctx.Machine.cycles + cost;
+  t.stats.translate_cycles <- t.stats.translate_cycles + cost;
+  if cache.kind = Main then
+    t.stats.translate_cycles_main <- t.stats.translate_cycles_main + cost;
+  t.stats.traces_built <- t.stats.traces_built + 1;
+  let nf =
+    { f_start = frag.f_start; f_slots = Array.of_list (List.rev !slots);
+      f_execs = frag.f_execs; f_is_trace = true; f_linked = true }
+  in
+  Hashtbl.replace cache.frags frag.f_start nf;
+  nf
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_pc of int
+
+type outcome =
+  | Next of int       (* control continues at an application address *)
+  | Halted
+  | Yielded           (* an event handler stopped the thread *)
+
+let exec_fragment t (cache : cache) ctx frag =
+  frag.f_execs <- frag.f_execs + 1;
+  let n = Array.length frag.f_slots in
+  let rec go i =
+    if i >= n then begin
+      (* fell off the end: block ended by running into a leader *)
+      let last = frag.f_slots.(n - 1) in
+      Next (last.s_addr + last.s_len)
+    end
+    else begin
+      let slot = frag.f_slots.(i) in
+      ctx.Machine.rip <- slot.s_addr;
+      (* fire events in schedule order *)
+      let rec fire = function
+        | [] -> Continue
+        | r :: tl -> begin
+            match t.on_event t cache.kind ctx r with
+            | Continue -> fire tl
+            | (Divert _ | Stop_thread) as a -> a
+          end
+      in
+      match fire slot.s_events with
+      | Divert a -> Next a
+      | Stop_thread -> Yielded
+      | Continue -> begin
+          match Semantics.exec ctx slot.s_insn ~len:slot.s_len with
+          | Semantics.Fall -> go (i + 1)
+          | Semantics.Goto a -> Next a
+          | Semantics.Stop -> Halted
+        end
+    end
+  in
+  if n = 0 then raise (Bad_pc frag.f_start) else go 0
+
+(** Run [ctx] under the DBM until the program halts, an event yields
+    the thread, or [fuel] runs out. *)
+let run ?(fuel = 100_000_000) t (cache : cache) ctx =
+  let remaining = ref fuel in
+  let finished = ref None in
+  while !finished = None do
+    if !remaining <= 0 then failwith "Dbm.run: out of fuel";
+    decr remaining;
+    let addr = ctx.Machine.rip in
+    (* intrinsics intercepted exactly as in native execution *)
+    (match Program.plt_name t.prog addr with
+     | Some name when String.equal name Libcalls.intrinsic_par_for ->
+       Run.par_for t.prog ctx ~fuel:1_000_000_000;
+       ctx.Machine.rip <- Int64.to_int (Semantics.pop ctx)
+     | _ ->
+       let frag =
+         match Hashtbl.find_opt cache.frags addr with
+         | Some f ->
+           (* dispatch cost: indirect transitions always pay; direct
+              ones pay until the fragment is linked *)
+           t.stats.dispatches <- t.stats.dispatches + 1;
+           if cache.last_indirect then
+             ctx.Machine.cycles <- ctx.Machine.cycles + Cost.dispatch_indirect
+           else if not f.f_linked then begin
+             ctx.Machine.cycles <- ctx.Machine.cycles + Cost.dispatch_unlinked;
+             if f.f_execs >= 1 then f.f_linked <- true
+           end;
+           if (not f.f_is_trace) && f.f_execs >= Cost.trace_head_threshold then
+             promote_trace t cache ctx f
+           else f
+         | None ->
+           if Program.fetch t.prog addr = None then raise (Bad_pc addr);
+           translate t cache ctx addr
+       in
+       (* remember whether this fragment exits indirectly *)
+       let ends_indirect =
+         let n = Array.length frag.f_slots in
+         n > 0
+         &&
+         match frag.f_slots.(n - 1).s_insn with
+         | Insn.Jmp (Insn.Indirect _) | Insn.Call (Insn.Indirect _)
+         | Insn.Ret -> true
+         | _ -> false
+       in
+       (match exec_fragment t cache ctx frag with
+        | Next a ->
+          cache.last_indirect <- ends_indirect;
+          ctx.Machine.rip <- a
+        | Halted -> finished := Some `Halted
+        | Yielded -> finished := Some `Yielded))
+  done;
+  match !finished with Some `Halted -> `Halted | _ -> `Yielded

@@ -1,0 +1,105 @@
+(** The dynamic binary modifier (Fig. 2(b)): a DynamoRIO-style code
+    cache executing translated basic blocks, consulting the rewrite
+    schedule's rule hash table before each block is emitted.
+
+    Transformation rules (MEM_PRIVATISE, LOOP_UPDATE_BOUND,
+    MEM_MAIN_STACK) rewrite instructions during translation; all other
+    rules attach to slots as {e events} and fire through the installed
+    {!field:t.on_event} handler at execution time. Rules sharing an
+    address apply in schedule order (§II-A2). *)
+
+open Janus_vx
+open Janus_vm
+module Rule = Janus_schedule.Rule
+module Schedule = Janus_schedule.Schedule
+
+(** Which thread a code cache belongs to. The main thread receives only
+    event rules; workers also receive the parallel transformation
+    rules, specialising their private caches per thread (§II-E). *)
+type thread_kind = Main | Worker of int
+
+(** One translated instruction in a fragment. *)
+type slot = {
+  s_insn : Insn.t;           (** possibly rewritten instruction *)
+  s_addr : int;              (** original application address *)
+  s_len : int;               (** original encoded length *)
+  s_events : Rule.t list;    (** rules fired before executing it *)
+}
+
+(** A code-cache fragment: one translated basic block (or trace). *)
+type fragment = {
+  f_start : int;
+  f_slots : slot array;
+  mutable f_execs : int;
+  mutable f_is_trace : bool;
+  mutable f_linked : bool;
+}
+
+(** Execution counters and modelled overhead cycles. *)
+type stats = {
+  mutable translated_insns : int;
+  mutable fragments_built : int;
+  mutable traces_built : int;
+  mutable dispatches : int;
+  mutable translate_cycles : int;      (** all threads *)
+  mutable translate_cycles_main : int; (** main thread only *)
+  mutable check_cycles : int;
+  mutable init_finish_cycles : int;
+  mutable parallel_cycles : int;
+  mutable stm_commits : int;
+  mutable stm_aborts : int;
+  mutable cache_flushes : int;
+}
+
+val new_stats : unit -> stats
+
+(** What an event handler tells the executor to do. *)
+type action =
+  | Continue        (** keep executing the slot *)
+  | Divert of int   (** transfer control to an application address *)
+  | Stop_thread     (** leave the execution loop (thread yield) *)
+
+type t = {
+  prog : Program.t;
+  rules : (int, Rule.t list) Hashtbl.t;  (** the rule hash table *)
+  schedule : Schedule.t option;
+  stats : stats;
+  mutable on_event : t -> thread_kind -> Machine.t -> Rule.t -> action;
+}
+
+(** A per-thread code cache. *)
+type cache = {
+  kind : thread_kind;
+  frags : (int, fragment) Hashtbl.t;
+  mutable last_indirect : bool;
+}
+
+(** Create a DBM over a loaded program, indexing the schedule's rules
+    by trigger address. *)
+val create : ?schedule:Schedule.t -> Program.t -> t
+
+val new_cache : thread_kind -> cache
+
+(** Discard every fragment (used when a failed bounds check forces the
+    modified code to be reloaded, §II-E1). *)
+val flush_cache : t -> cache -> unit
+
+val rules_at : t -> int -> Rule.t list
+
+(** Does this rule's effect apply to caches of this thread kind? *)
+val applies : thread_kind -> Rule.t -> bool
+
+(** Apply a transformation rule to an instruction (exposed for unit
+    tests of the rewrite handlers). *)
+val apply_transform : Rule.t -> Insn.t -> Insn.t
+
+(** Translate the basic block at an address into [cache], applying
+    transformation rules and attaching events; translation cost is
+    charged to [ctx]. *)
+val translate : t -> cache -> Machine.t -> int -> fragment
+
+exception Bad_pc of int
+
+(** Run [ctx] under the DBM until the program halts or an event handler
+    yields the thread. *)
+val run : ?fuel:int -> t -> cache -> Machine.t -> [ `Halted | `Yielded ]

@@ -1,0 +1,1 @@
+lib/jcc/ast.ml: Fmt

@@ -1,0 +1,1 @@
+lib/jcc/ast.mli: Format

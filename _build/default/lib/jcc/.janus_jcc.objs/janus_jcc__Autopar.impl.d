@@ -1,0 +1,1 @@
+lib/jcc/autopar.ml: Array Cond Hashtbl Int64 Janus_vx Jcc_types Layout List Mir Option Printf String Unroll Vectorize

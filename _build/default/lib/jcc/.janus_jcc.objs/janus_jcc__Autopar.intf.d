@@ -1,0 +1,1 @@
+lib/jcc/autopar.mli: Jcc_types Mir

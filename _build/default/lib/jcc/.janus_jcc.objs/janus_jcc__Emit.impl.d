@@ -1,0 +1,1 @@
+lib/jcc/emit.ml: Array Ast Buffer Builder Bytes Cond Hashtbl Image Insn Int64 Janus_vx Layout List Mir Operand Printf Reg Regalloc String

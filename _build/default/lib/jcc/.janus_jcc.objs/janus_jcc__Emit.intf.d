@@ -1,0 +1,1 @@
+lib/jcc/emit.mli: Janus_vx Mir

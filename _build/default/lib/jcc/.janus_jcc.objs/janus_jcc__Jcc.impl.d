@@ -1,0 +1,1 @@
+lib/jcc/jcc.ml: Autopar Emit Janus_vx Jcc_types Lexer List Lower Mir Parser Passes Printf Sema Unroll Vectorize

@@ -1,0 +1,1 @@
+lib/jcc/jcc.mli: Janus_vx Jcc_types Mir

@@ -1,0 +1,1 @@
+lib/jcc/jcc_types.mli:

@@ -1,0 +1,1 @@
+lib/jcc/lexer.ml: Char Int64 List String

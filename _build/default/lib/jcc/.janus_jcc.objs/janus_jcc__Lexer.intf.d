@@ -1,0 +1,1 @@
+lib/jcc/lexer.mli:

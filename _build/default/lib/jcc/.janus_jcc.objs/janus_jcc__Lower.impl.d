@@ -1,0 +1,1 @@
+lib/jcc/lower.ml: Array Ast Cond Hashtbl Int64 Janus_vx Layout List Mir Option Printf Sema String

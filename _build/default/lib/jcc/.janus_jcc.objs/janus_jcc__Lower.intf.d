@@ -1,0 +1,1 @@
+lib/jcc/lower.mli: Mir Sema

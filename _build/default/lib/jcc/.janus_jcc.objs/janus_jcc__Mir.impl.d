@@ -1,0 +1,1 @@
+lib/jcc/mir.ml: Array Cond Fmt Janus_vx List

@@ -1,0 +1,1 @@
+lib/jcc/mir.mli: Cond Format Janus_vx

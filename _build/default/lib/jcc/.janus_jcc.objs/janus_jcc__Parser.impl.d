@@ -1,0 +1,1 @@
+lib/jcc/parser.ml: Array Ast Int64 Lexer List Printf String

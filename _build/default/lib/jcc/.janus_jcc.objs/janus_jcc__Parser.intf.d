@@ -1,0 +1,1 @@
+lib/jcc/parser.mli: Ast

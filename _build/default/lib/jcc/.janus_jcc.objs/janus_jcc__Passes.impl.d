@@ -1,0 +1,1 @@
+lib/jcc/passes.ml: Hashtbl Int64 Janus_vx List Mir Option

@@ -1,0 +1,1 @@
+lib/jcc/passes.mli: Mir

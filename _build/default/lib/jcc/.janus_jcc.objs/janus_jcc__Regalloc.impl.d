@@ -1,0 +1,1 @@
+lib/jcc/regalloc.ml: Array Hashtbl Int Janus_vx List Mir Reg Set

@@ -1,0 +1,1 @@
+lib/jcc/regalloc.mli: Janus_vx Mir Reg

@@ -1,0 +1,1 @@
+lib/jcc/sema.ml: Ast Fmt Hashtbl List Option Printf String

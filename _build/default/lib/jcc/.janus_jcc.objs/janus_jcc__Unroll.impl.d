@@ -1,0 +1,1 @@
+lib/jcc/unroll.ml: Hashtbl Int Int64 Jcc_types List Mir Option Set

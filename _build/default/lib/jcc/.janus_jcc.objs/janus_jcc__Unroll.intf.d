@@ -1,0 +1,1 @@
+lib/jcc/unroll.mli: Jcc_types Mir Set

@@ -1,0 +1,1 @@
+lib/jcc/vectorize.ml: Cond Hashtbl Int64 Janus_vx Jcc_types List Mir Option Printf String Unroll

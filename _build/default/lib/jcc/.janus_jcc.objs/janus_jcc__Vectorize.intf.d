@@ -1,0 +1,1 @@
+lib/jcc/vectorize.mli: Hashtbl Jcc_types Mir

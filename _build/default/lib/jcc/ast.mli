@@ -1,0 +1,72 @@
+(** Abstract syntax of the guest language: a mini-C with 64-bit
+    integers, doubles, pointers and global arrays — rich enough to
+    write SPEC-like kernels and to give the optimiser real loops to
+    unroll, vectorise and parallelise. *)
+
+type ty =
+  | Tint
+  | Tdouble
+  | Tptr of ty  (** pointer to int or double *)
+
+val pp_ty : Format.formatter -> ty -> unit
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or       (** short-circuit logical *)
+  | Band | Bxor | Bor | Shl | Shr
+
+type unop = Neg | Not
+
+type expr =
+  | Eint of int64
+  | Efloat of float
+  | Evar of string
+  | Eindex of expr * expr        (** [p\[i\]]: pointer/array element *)
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list
+  | Ecast of ty * expr           (** inserted by sema; also (int)/(double) *)
+  | Eaddr of string              (** [&arr]: address of a global array *)
+
+type lvalue =
+  | Lvar of string
+  | Lindex of expr * expr
+
+type stmt =
+  | Sdecl of ty * string * expr option
+  | Sassign of lvalue * expr
+  | Sif of expr * stmt list * stmt list
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Swhile of expr * stmt list
+  | Sbreak
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sblock of stmt list
+
+type func = {
+  fname : string;
+  params : (ty * string) list;
+  ret : ty option;  (** [None] = void *)
+  body : stmt list;
+}
+
+type global =
+  | Gscalar of ty * string * expr option  (** constant initialiser *)
+  | Garray of ty * string * int           (** element type, name, count *)
+
+type extern_decl = {
+  ename : string;
+  eparams : ty list;
+  eret : ty option;
+}
+
+type program = {
+  globals : global list;
+  externs : extern_decl list;
+  funcs : func list;
+}
+
+(** Builtins understood directly by the compiler (become syscalls or
+    heap allocation, not PLT calls): name, parameter types, return. *)
+val builtins : (string * ty list * ty option) list

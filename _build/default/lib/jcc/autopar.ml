@@ -1,0 +1,288 @@
+(** Compiler auto-parallelisation (the gcc [-ftree-parallelize-loops=N]
+    / [icc -parallel] analogues of Fig. 11).
+
+    A provably independent counted loop is outlined into a worker
+    function [f$parK(lo, hi)]; live-in scalars are passed through a
+    static capture area (as gcc's omp outlining does via a struct); the
+    loop itself becomes a [__par_for] runtime call. The gcc profile
+    requires source-provable independence (global arrays only); the icc
+    profile also accepts two-pointer loops behind a runtime overlap
+    check. *)
+
+open Janus_vx
+open Mir
+
+module IS = Unroll.IS
+
+let counter = ref 0
+
+(* candidate analysis mirrors the vectoriser's but permits any element
+   type and integer arithmetic in the body *)
+let analyse (u : unit_) iv body =
+  let affine = Vectorize.affine_indices iv body in
+  let stride1 a = Vectorize.stride1_disp affine a <> None in
+  let ok = ref true in
+  let stores = ref [] in
+  let loads = ref [] in
+  let defs = ref IS.empty in
+  List.iter
+    (fun i ->
+       (match i with
+        | Iload (_, _, a) ->
+          if stride1 a then loads := a :: !loads
+          else if a.aindex = None && a.abase <> Some (Ov iv) then
+            loads := a :: !loads
+          else ok := false
+        | Istore (_, a, _) ->
+          if stride1 a then stores := a :: !stores else ok := false
+        | Ibin _ | Ifbin _ | Imov _ | Icmpset _ | Icvt_i2f _ | Icvt_f2i _ -> ()
+        | Icall _ | Ipar_for _ | Ivload _ | Ivstore _ | Ivbin _ | Ivbcast _ ->
+          ok := false);
+       List.iter (fun d -> defs := IS.add d !defs) (inst_defs i))
+    body.insts;
+  let ndisp a = Option.value ~default:a.adisp (Vectorize.stride1_disp affine a) in
+  (* reject reductions (defs of live-in vregs other than pure temps) *)
+  let livein = Unroll.live_in_defs body in
+  if not (IS.is_empty (IS.inter livein !defs)) then ok := false;
+  if not !ok then None
+  else begin
+    let needs_check = ref false in
+    let disjoint_ok (sa : addr) (oa : addr) =
+      match sa.abase, oa.abase with
+      | None, None ->
+        let so = Vectorize.owner_global u sa.adisp
+        and oo = Vectorize.owner_global u oa.adisp in
+        (match so, oo with
+         | Some (a, _), Some (b, _) when String.equal a b ->
+           (* same array: only identical stride-1 displacement is safe *)
+           ndisp oa = ndisp sa
+         | _ -> true)
+      | Some p, Some q ->
+        if p = q then ndisp oa = ndisp sa else (needs_check := true; true)
+      | _ -> needs_check := true; true
+    in
+    let all_ok =
+      List.for_all
+        (fun sa ->
+           List.for_all (disjoint_ok sa) !loads
+           && List.for_all
+                (fun sa2 -> sa2 == sa || disjoint_ok sa sa2)
+                !stores)
+        !stores
+    in
+    if all_ok then Some !needs_check else None
+  end
+
+(* live-in vregs of the body other than the IV *)
+let captures iv body =
+  IS.elements (IS.remove iv (Unroll.live_in_defs body))
+
+let outline (u : unit_) (caller : fn) l iv bound body threads =
+  let id = !counter in
+  incr counter;
+  let fname = Printf.sprintf "%s$par%d" caller.name id in
+  let caps = captures iv body in
+  (* capture area in bss *)
+  let cap_base = Layout.bss_base + u.bss_bytes in
+  u.bss_bytes <- u.bss_bytes + (8 * max 1 (List.length caps));
+  u.global_addrs <-
+    (Printf.sprintf "%s$cap" fname, cap_base) :: u.global_addrs;
+  (* build the worker function *)
+  let wf =
+    {
+      name = fname;
+      params = [];
+      ret_ty = None;
+      blocks = [];
+      nv = 0;
+      vtypes = Array.make 16 I64;
+      entry = 0;
+      loops = [];
+      next_bid = 0;
+    }
+  in
+  let entry = new_block wf in
+  wf.entry <- entry.bid;
+  let lo = new_vreg wf I64 in
+  let hi = new_vreg wf I64 in
+  let wf = { wf with params = [ (I64, "lo", lo); (I64, "hi", hi) ] } in
+  (* reload captures *)
+  let map = Hashtbl.create 16 in
+  List.iteri
+    (fun k v ->
+       let v' = new_vreg wf (vtype caller v) in
+       Hashtbl.replace map v v';
+       entry.insts <-
+         entry.insts
+         @ [ Iload (vtype caller v, v',
+                    { abase = None; aindex = None; ascale = 1;
+                      adisp = cap_base + (8 * k) }) ])
+    caps;
+  let iv' = new_vreg wf I64 in
+  Hashtbl.replace map iv iv';
+  entry.insts <- entry.insts @ [ Imov (iv', Ov lo) ];
+  let header = new_block wf in
+  let wbody = new_block wf in
+  let latch = new_block wf in
+  let exit = new_block wf in
+  entry.term <- Tbr header.bid;
+  header.term <- Tcbr (I64, Cond.Lt, Ov iv', Ov hi, wbody.bid, exit.bid);
+  (* clone body with vreg translation; temps get fresh worker vregs *)
+  let fresh d =
+    match Hashtbl.find_opt map d with
+    | Some d' -> d'
+    | None ->
+      let d' = new_vreg wf (vtype caller d) in
+      Hashtbl.replace map d d';
+      d'
+  in
+  let tr_op = function
+    | Ov v -> Ov (fresh v)
+    | o -> o
+  in
+  let tr_addr a =
+    { a with abase = Option.map tr_op a.abase; aindex = Option.map tr_op a.aindex }
+  in
+  wbody.insts <-
+    List.map
+      (fun i ->
+         match i with
+         | Ibin (op, d, a, b) ->
+           let a = tr_op a and b = tr_op b in
+           Ibin (op, fresh d, a, b)
+         | Ifbin (op, d, a, b) ->
+           let a = tr_op a and b = tr_op b in
+           Ifbin (op, fresh d, a, b)
+         | Imov (d, a) ->
+           let a = tr_op a in
+           Imov (fresh d, a)
+         | Icmpset (t, c, d, a, b) ->
+           let a = tr_op a and b = tr_op b in
+           Icmpset (t, c, fresh d, a, b)
+         | Iload (t, d, a) ->
+           let a = tr_addr a in
+           Iload (t, fresh d, a)
+         | Istore (t, a, v) -> Istore (t, tr_addr a, tr_op v)
+         | Icvt_i2f (d, a) ->
+           let a = tr_op a in
+           Icvt_i2f (fresh d, a)
+         | Icvt_f2i (d, a) ->
+           let a = tr_op a in
+           Icvt_f2i (fresh d, a)
+         | Icall _ | Ipar_for _ | Ivload _ | Ivstore _ | Ivbin _ | Ivbcast _ ->
+           assert false)
+      body.insts;
+  wbody.term <- Tbr latch.bid;
+  latch.insts <- [ Ibin (Madd, iv', Ov iv', Oi 1L) ];
+  latch.term <- Tbr header.bid;
+  exit.term <- Tret None;
+  u.fns <- u.fns @ [ wf ];
+  (* rewrite the caller: a profitability guard (as real
+     auto-parallelisers emit), capture-area stores, the par_for call *)
+  let guard = new_block caller in
+  let par = new_block caller in
+  let hi_op =
+    match l.l_cond with
+    | Cond.Le ->
+      let h = new_vreg caller I64 in
+      guard.insts <- guard.insts @ [ Ibin (Madd, h, bound, Oi 1L) ];
+      Ov h
+    | _ -> bound
+  in
+  List.iteri
+    (fun k v ->
+       par.insts <-
+         par.insts
+         @ [ Istore (vtype caller v,
+                     { abase = None; aindex = None; ascale = 1;
+                       adisp = cap_base + (8 * k) }, Ov v) ])
+    caps;
+  par.insts <- par.insts @ [ Ipar_for (fname, Ov iv, hi_op, threads) ];
+  (* the loop's final IV value is the exclusive bound *)
+  par.insts <- par.insts @ [ Imov (iv, hi_op) ];
+  par.term <- Tbr l.l_exit;
+  let span = new_vreg caller I64 in
+  (* all serial edges converge on one forwarding block, which becomes
+     the loop's preheader so that the vectoriser and unroller can still
+     transform the serial path *)
+  let serial = new_block caller in
+  serial.term <- Tbr l.l_header;
+  guard.insts <- guard.insts @ [ Ibin (Msub, span, hi_op, Ov iv) ];
+  guard.term <-
+    Tcbr (I64, Janus_vx.Cond.Ge, Ov span, Oi 64L, par.bid, serial.bid);
+  l.l_preheader <- serial.bid;
+  (guard.bid, serial.bid)
+
+let parallelise_loop ~vendor ~threads (u : unit_) (caller : fn) l =
+  match l.l_iv, l.l_bound with
+  | Some iv, Some bound
+    when l.l_simple && Int64.equal l.l_step 1L
+         && (l.l_cond = Cond.Lt || l.l_cond = Cond.Le)
+         && l.l_body <> [] -> begin
+      let body = block caller (List.hd l.l_body) in
+      match analyse u iv body with
+      | None -> false
+      | Some true when vendor = Jcc_types.Gcc -> false
+      | Some needs_check ->
+        let orig_pre = l.l_preheader in
+        let guard_bid, serial_bid = outline u caller l iv bound body threads in
+        let pre = block caller orig_pre in
+        let target =
+          if not needs_check then guard_bid
+          else begin
+            (* icc: overlap check choosing parallel vs serial *)
+            let ptrs = ref [] in
+            List.iter
+              (fun i ->
+                 let grab (a : addr) =
+                   match a.abase with
+                   | Some (Ov p) -> if not (List.mem p !ptrs) then ptrs := p :: !ptrs
+                   | _ -> ()
+                 in
+                 match i with
+                 | Iload (_, _, a) | Istore (_, a, _) -> grab a
+                 | _ -> ())
+              body.insts;
+            match !ptrs with
+            | p1 :: p2 :: _ ->
+              let mv = new_block caller in
+              let n8 = new_vreg caller I64 in
+              let e1 = new_vreg caller I64 in
+              let e2 = new_vreg caller I64 in
+              let c1 = new_vreg caller I64 in
+              let c2 = new_vreg caller I64 in
+              let either = new_vreg caller I64 in
+              mv.insts <-
+                [
+                  Ibin (Mshl, n8, bound, Oi 3L);
+                  Ibin (Madd, e1, Ov p1, Ov n8);
+                  Ibin (Madd, e2, Ov p2, Ov n8);
+                  Icmpset (I64, Cond.Le, c1, Ov e1, Ov p2);
+                  Icmpset (I64, Cond.Le, c2, Ov e2, Ov p1);
+                  Ibin (Mor, either, Ov c1, Ov c2);
+                ];
+              mv.term <-
+                Tcbr (I64, Cond.Ne, Ov either, Oi 0L, guard_bid, serial_bid);
+              mv.bid
+            | _ -> serial_bid  (* cannot build the check: stay serial *)
+          end
+        in
+        let retarget id = if id = l.l_header then target else id in
+        pre.term <-
+          (match pre.term with
+           | Tbr x -> Tbr (retarget x)
+           | Tcbr (ty, c, a, b, x, y) -> Tcbr (ty, c, a, b, retarget x, retarget y)
+           | t -> t);
+        true
+    end
+  | _ -> false
+
+let run ~vendor ~threads (u : unit_) =
+  (* the original loop remains as the serial path behind the guard, so
+     it stays visible to the vectoriser and unroller *)
+  List.iter
+    (fun fn ->
+       List.iter
+         (fun l -> ignore (parallelise_loop ~vendor ~threads u fn l))
+         fn.loops)
+    (List.filter (fun f -> not (String.contains f.name '$')) u.fns)

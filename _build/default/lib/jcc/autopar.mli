@@ -1,0 +1,14 @@
+(** Compiler auto-parallelisation: the gcc [-ftree-parallelize-loops=N]
+    and [icc -parallel] analogues of Fig. 11.
+
+    A provably independent counted loop is outlined into a worker
+    [f$parK(lo, hi)]; live-in scalars pass through a static capture
+    area (as gcc's OpenMP outlining does via a struct); the loop call
+    site becomes a guarded [__par_for]: a profitability trip-count
+    check, an overlap check for icc's pointer loops, and the original
+    serial loop as the fallback path (still visible to the vectoriser
+    and unroller). *)
+
+(** Parallelise every qualifying loop of the unit in place, appending
+    outlined worker functions. *)
+val run : vendor:Jcc_types.vendor -> threads:int -> Mir.unit_ -> unit

@@ -1,0 +1,658 @@
+(** VX64 code emission from register-allocated MIR.
+
+    Conventions (guest ABI):
+    - integer args in RDI RSI RDX RCX R8 R9, FP args in XMM0..XMM7;
+    - results in RAX / XMM0;
+    - RBX R12-R15 and XMM8-XMM13 callee-saved;
+    - R10 R11 R9 and XMM15 XMM14 are code-generation scratch;
+    - RBP-based frames; float literals in a per-image constant pool. *)
+
+open Janus_vx
+open Mir
+open Regalloc
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let scr1 = Reg.R10
+let scr2 = Reg.R11
+let scr3 = Reg.R9
+let fscr = Reg.XMM 15
+let fscr2 = Reg.XMM 14
+
+type ctx = {
+  b : Builder.t;
+  fn : fn;
+  alloc : assignment;
+  saved_area : int;           (* bytes below rbp used for saved regs *)
+  float_pool : (float, int) Hashtbl.t;  (* value -> address *)
+  mutable pool_next : int;    (* next free pool address *)
+  pool_data : Buffer.t;
+  externs : string list;      (* plt order *)
+  locals_label : string -> string;
+}
+
+let vwidth_to_insn = function V2 -> Insn.X | V4 -> Insn.Y
+
+let slot_bytes ctx v =
+  match vtype ctx.fn v with V2d | V4d -> 32 | I64 | F64 -> 8
+
+(* frame offset (from rbp) of spill slot unit [k] for vreg [v] *)
+let slot_off ctx v k = -(ctx.saved_area + (8 * k) + slot_bytes ctx v)
+
+let loc ctx v = ctx.alloc.locs.(v)
+
+let float_addr ctx f =
+  match Hashtbl.find_opt ctx.float_pool f with
+  | Some a -> a
+  | None ->
+    let a = ctx.pool_next in
+    Hashtbl.replace ctx.float_pool f a;
+    ctx.pool_next <- ctx.pool_next + 8;
+    Buffer.add_int64_le ctx.pool_data (Int64.bits_of_float f);
+    a
+
+let ins ctx i = Builder.ins ctx.b i
+
+(* ------------------------------------------------------------------ *)
+(* Operand access                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* integer source as a VX operand; slots become rbp-relative memory *)
+let gp_src ctx = function
+  | Oi v -> Operand.Imm v
+  | Of _ -> errf "float operand in integer context"
+  | Ov v -> begin
+      match loc ctx v with
+      | Lgp r -> Operand.Reg r
+      | Lslot k -> Operand.Mem (Operand.mem_base ~disp:(slot_off ctx v k) Reg.RBP)
+      | Lfp _ -> errf "fp register in integer context (v%d)" v
+    end
+
+(* integer source forced into a register (for address bases/indices) *)
+let gp_src_reg ctx ~scratch o =
+  match gp_src ctx o with
+  | Operand.Reg r -> r
+  | src ->
+    ins ctx (Insn.Mov (Operand.Reg scratch, src));
+    scratch
+
+(* FP source as a VX fop *)
+let fp_src ctx = function
+  | Of f -> Operand.Fmem (Operand.mem_abs (float_addr ctx f))
+  | Oi _ -> errf "int operand in float context"
+  | Ov v -> begin
+      match loc ctx v with
+      | Lfp r -> Operand.Freg r
+      | Lslot k -> Operand.Fmem (Operand.mem_base ~disp:(slot_off ctx v k) Reg.RBP)
+      | Lgp _ -> errf "gp register in float context (v%d)" v
+    end
+
+let fp_src_reg ctx ~scratch o =
+  match fp_src ctx o with
+  | Operand.Freg r -> r
+  | src ->
+    ins ctx (Insn.Fmov (Insn.Scalar, Operand.Freg scratch, src));
+    scratch
+
+(* translate a MIR address into a VX memory operand; may use scr1/scr2 *)
+let vx_mem ctx (a : addr) : Operand.mem =
+  let disp = ref a.adisp in
+  let base =
+    match a.abase with
+    | None -> None
+    | Some (Oi v) ->
+      disp := !disp + Int64.to_int v;
+      None
+    | Some o -> Some (gp_src_reg ctx ~scratch:scr1 o)
+  in
+  let index =
+    match a.aindex with
+    | None -> None
+    | Some (Oi v) ->
+      disp := !disp + (Int64.to_int v * a.ascale);
+      None
+    | Some o -> Some (gp_src_reg ctx ~scratch:scr2 o)
+  in
+  Operand.mem ?base ?index ~scale:a.ascale ~disp:!disp ()
+
+(* store an integer register into a vreg location *)
+let gp_store ctx v r =
+  match loc ctx v with
+  | Lgp d -> if not (Reg.equal_gp d r) then ins ctx (Insn.Mov (Operand.Reg d, Operand.Reg r))
+  | Lslot k ->
+    ins ctx
+      (Insn.Mov (Operand.Mem (Operand.mem_base ~disp:(slot_off ctx v k) Reg.RBP),
+                 Operand.Reg r))
+  | Lfp _ -> errf "gp_store into fp location"
+
+let fp_store ctx ?(width = Insn.Scalar) v r =
+  match loc ctx v with
+  | Lfp d ->
+    if not (Reg.equal_fp d r) then
+      ins ctx (Insn.Fmov (width, Operand.Freg d, Operand.Freg r))
+  | Lslot k ->
+    ins ctx
+      (Insn.Fmov (width,
+                  Operand.Fmem (Operand.mem_base ~disp:(slot_off ctx v k) Reg.RBP),
+                  Operand.Freg r))
+  | Lgp _ -> errf "fp_store into gp location"
+
+(* ------------------------------------------------------------------ *)
+(* Instruction emission                                                *)
+(* ------------------------------------------------------------------ *)
+
+let alu_of_ibin = function
+  | Madd -> Insn.Add
+  | Msub -> Insn.Sub
+  | Mmul -> Insn.Imul
+  | Mand -> Insn.And
+  | Mor -> Insn.Or
+  | Mxor -> Insn.Xor
+  | Mshl -> Insn.Shl
+  | Mshr -> Insn.Sar  (* arithmetic shift: guest ints are signed *)
+  | Mdiv | Mmod -> errf "division handled separately"
+
+let fbin_of = function
+  | FAdd -> Insn.Fadd
+  | FSub -> Insn.Fsub
+  | FMul -> Insn.Fmul
+  | FDiv -> Insn.Fdiv
+
+(* at most one memory operand per VX instruction: if both would be
+   memory, load the source into a scratch register first *)
+let legalise_src ctx dst src scratch =
+  match dst, src with
+  | Operand.Mem _, Operand.Mem _ ->
+    ins ctx (Insn.Mov (Operand.Reg scratch, src));
+    Operand.Reg scratch
+  | _ -> src
+
+let emit_int_binop ctx op d a b =
+  match op with
+  | Mdiv | Mmod ->
+    let src =
+      match gp_src ctx b with
+      | Operand.Imm _ as i ->
+        ins ctx (Insn.Mov (Operand.Reg scr2, i));
+        Operand.Reg scr2
+      | s -> s
+    in
+    ins ctx (Insn.Mov (Operand.Reg Reg.RAX, gp_src ctx a));
+    ins ctx (Insn.Idiv src);
+    gp_store ctx d (if op = Mdiv then Reg.RAX else Reg.RDX)
+  | _ ->
+    let vxop = alu_of_ibin op in
+    let dst_is_b = (match b with Ov v -> v = d | _ -> false) in
+    let commutative =
+      match op with Madd | Mmul | Mand | Mor | Mxor -> true | _ -> false
+    in
+    let a, b = if dst_is_b && commutative then (b, a) else (a, b) in
+    let dst_is_b = (match b with Ov v -> v = d | _ -> false) in
+    if dst_is_b then begin
+      (* d = a op d, non-commutative: compute in scratch *)
+      ins ctx (Insn.Mov (Operand.Reg scr1, gp_src ctx a));
+      ins ctx (Insn.Alu (vxop, Operand.Reg scr1,
+                         legalise_src ctx (Operand.Reg scr1) (gp_src ctx b) scr2));
+      gp_store ctx d scr1
+    end
+    else begin
+      match loc ctx d with
+      | Lgp rd ->
+        let da = gp_src ctx a in
+        if not (Operand.equal (Operand.Reg rd) da) then
+          ins ctx (Insn.Mov (Operand.Reg rd, da));
+        ins ctx (Insn.Alu (vxop, Operand.Reg rd, gp_src ctx b))
+      | Lslot _ ->
+        ins ctx (Insn.Mov (Operand.Reg scr1, gp_src ctx a));
+        ins ctx
+          (Insn.Alu (vxop, Operand.Reg scr1,
+                     legalise_src ctx (Operand.Reg scr1) (gp_src ctx b) scr2));
+        gp_store ctx d scr1
+      | Lfp _ -> errf "int binop into fp location"
+    end
+
+let emit_fbin ctx op d a b =
+  let vxop = fbin_of op in
+  let dst_is_b = (match b with Ov v -> v = d | _ -> false) in
+  let commutative = match op with FAdd | FMul -> true | _ -> false in
+  let a, b = if dst_is_b && commutative then (b, a) else (a, b) in
+  let dst_is_b = (match b with Ov v -> v = d | _ -> false) in
+  if dst_is_b then begin
+    ins ctx (Insn.Fmov (Insn.Scalar, Operand.Freg fscr, fp_src ctx a));
+    ins ctx (Insn.Fbin (Insn.Scalar, vxop, fscr, fp_src ctx b));
+    fp_store ctx d fscr
+  end
+  else
+    match loc ctx d with
+    | Lfp rd ->
+      let da = fp_src ctx a in
+      if not (Operand.equal_fop (Operand.Freg rd) da) then
+        ins ctx (Insn.Fmov (Insn.Scalar, Operand.Freg rd, da));
+      ins ctx (Insn.Fbin (Insn.Scalar, vxop, rd, fp_src ctx b))
+    | Lslot _ ->
+      ins ctx (Insn.Fmov (Insn.Scalar, Operand.Freg fscr, fp_src ctx a));
+      ins ctx (Insn.Fbin (Insn.Scalar, vxop, fscr, fp_src ctx b));
+      fp_store ctx d fscr
+    | Lgp _ -> errf "float binop into gp location"
+
+let emit_compare ctx ty a b =
+  match ty with
+  | I64 ->
+    let sa = gp_src ctx a in
+    let sa =
+      match sa, gp_src ctx b with
+      | Operand.Mem _, Operand.Mem _ ->
+        ins ctx (Insn.Mov (Operand.Reg scr1, sa));
+        Operand.Reg scr1
+      | Operand.Imm _, _ ->
+        (* cmp needs a non-immediate first operand on x86; mirror that *)
+        ins ctx (Insn.Mov (Operand.Reg scr1, sa));
+        Operand.Reg scr1
+      | _ -> sa
+    in
+    ins ctx (Insn.Cmp (sa, gp_src ctx b))
+  | F64 | V2d | V4d ->
+    let ra = fp_src_reg ctx ~scratch:fscr a in
+    ins ctx (Insn.Fcmp (ra, fp_src ctx b))
+
+let plt_addr ctx name =
+  let rec go i = function
+    | [] -> errf "extern %s not in PLT" name
+    | n :: _ when String.equal n name -> Layout.plt_slot_addr i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 ctx.externs
+
+let int_arg_regs = [| Reg.RDI; Reg.RSI; Reg.RDX; Reg.RCX; Reg.R8; Reg.R9 |]
+
+let emit_call ctx name args dopt =
+  let is_builtin = List.exists (fun (n, _, _) -> String.equal n name) Ast.builtins in
+  if is_builtin then begin
+    match name, args with
+    | "print_int", [ a ] ->
+      ins ctx (Insn.Mov (Operand.Reg Reg.RDI, gp_src ctx a));
+      ins ctx (Insn.Syscall Insn.sys_write_int)
+    | "print_float", [ a ] ->
+      ins ctx (Insn.Fmov (Insn.Scalar, Operand.Freg (Reg.XMM 0), fp_src ctx a));
+      ins ctx (Insn.Syscall Insn.sys_write_float)
+    | "read_int", [] ->
+      ins ctx (Insn.Syscall Insn.sys_read_int);
+      (match dopt with Some d -> gp_store ctx d Reg.RAX | None -> ())
+    | ("alloc_int" | "alloc_double"), [ a ] ->
+      ins ctx (Insn.Mov (Operand.Reg Reg.RDI, gp_src ctx a));
+      ins ctx (Insn.Alu (Insn.Shl, Operand.Reg Reg.RDI, Operand.Imm 3L));
+      ins ctx (Insn.Syscall Insn.sys_brk);
+      (match dopt with Some d -> gp_store ctx d Reg.RAX | None -> ())
+    | _ -> errf "bad builtin call %s/%d" name (List.length args)
+  end
+  else begin
+    (* marshal arguments; sources never live in arg registers.
+       Integer arguments beyond the sixth go on the stack (pushed in
+       reverse order, popped by the caller after the call). *)
+    let int_args =
+      List.filter (fun a -> ty_of_operand ctx.fn a = I64) args
+    in
+    let n_stack = max 0 (List.length int_args - Array.length int_arg_regs) in
+    let stack_args =
+      if n_stack = 0 then []
+      else
+        List.filteri
+          (fun i _ -> i >= Array.length int_arg_regs)
+          int_args
+    in
+    List.iter
+      (fun a ->
+         match gp_src ctx a with
+         | Operand.Mem _ as src ->
+           ins ctx (Insn.Mov (Operand.Reg scr1, src));
+           ins ctx (Insn.Push (Operand.Reg scr1))
+         | src -> ins ctx (Insn.Push src))
+      (List.rev stack_args);
+    let ni = ref 0 and nf = ref 0 in
+    List.iter
+      (fun a ->
+         match ty_of_operand ctx.fn a with
+         | F64 | V2d | V4d ->
+           ins ctx
+             (Insn.Fmov (Insn.Scalar, Operand.Freg (Reg.XMM !nf), fp_src ctx a));
+           incr nf
+         | I64 ->
+           if !ni < Array.length int_arg_regs then begin
+             ins ctx (Insn.Mov (Operand.Reg int_arg_regs.(!ni), gp_src ctx a));
+             incr ni
+           end)
+      args;
+    let is_local = List.exists (fun f -> String.equal f.name name) (match ctx.fn with _ -> []) in
+    ignore is_local;
+    if List.mem name ctx.externs then
+      ins ctx (Insn.Call (Insn.Direct (plt_addr ctx name)))
+    else Builder.call_label ctx.b name;
+    if n_stack > 0 then
+      ins ctx
+        (Insn.Alu (Insn.Add, Operand.Reg Reg.RSP,
+                   Operand.Imm (Int64.of_int (8 * n_stack))));
+    (match dopt with
+     | Some d -> begin
+         match vtype ctx.fn d with
+         | I64 -> gp_store ctx d Reg.RAX
+         | F64 | V2d | V4d -> fp_store ctx d (Reg.XMM 0)
+       end
+     | None -> ())
+  end
+
+let emit_inst ctx i =
+  match i with
+  | Ibin (op, d, a, b) -> emit_int_binop ctx op d a b
+  | Ifbin (op, d, a, b) -> emit_fbin ctx op d a b
+  | Imov (d, src) -> begin
+      match vtype ctx.fn d with
+      | I64 -> begin
+          match loc ctx d with
+          | Lgp rd ->
+            let s = gp_src ctx src in
+            if not (Operand.equal (Operand.Reg rd) s) then
+              ins ctx (Insn.Mov (Operand.Reg rd, s))
+          | Lslot k ->
+            let s =
+              legalise_src ctx (Operand.Mem (Operand.mem_base Reg.RBP))
+                (gp_src ctx src) scr1
+            in
+            ins ctx
+              (Insn.Mov
+                 (Operand.Mem (Operand.mem_base ~disp:(slot_off ctx d k) Reg.RBP), s))
+          | Lfp _ -> errf "int mov into fp loc"
+        end
+      | F64 | V2d | V4d -> begin
+          match loc ctx d with
+          | Lfp rd ->
+            let s = fp_src ctx src in
+            if not (Operand.equal_fop (Operand.Freg rd) s) then
+              ins ctx (Insn.Fmov (Insn.Scalar, Operand.Freg rd, s))
+          | Lslot k ->
+            let r = fp_src_reg ctx ~scratch:fscr src in
+            ins ctx
+              (Insn.Fmov (Insn.Scalar,
+                          Operand.Fmem (Operand.mem_base ~disp:(slot_off ctx d k) Reg.RBP),
+                          Operand.Freg r))
+          | Lgp _ -> errf "float mov into gp loc"
+        end
+    end
+  | Icmpset (t, c, d, a, b) ->
+    emit_compare ctx t a b;
+    ins ctx (Insn.Mov (Operand.Reg scr1, Operand.Imm 0L));
+    ins ctx (Insn.Mov (Operand.Reg scr2, Operand.Imm 1L));
+    ins ctx (Insn.Cmov (c, scr1, Operand.Reg scr2));
+    gp_store ctx d scr1
+  | Iload (t, d, a) -> begin
+      let m = vx_mem ctx a in
+      match t with
+      | I64 ->
+        ins ctx (Insn.Mov (Operand.Reg scr1, Operand.Mem m));
+        gp_store ctx d scr1
+      | F64 | V2d | V4d -> begin
+          match loc ctx d with
+          | Lfp rd -> ins ctx (Insn.Fmov (Insn.Scalar, Operand.Freg rd, Operand.Fmem m))
+          | Lslot _ ->
+            ins ctx (Insn.Fmov (Insn.Scalar, Operand.Freg fscr, Operand.Fmem m));
+            fp_store ctx d fscr
+          | Lgp _ -> errf "float load into gp loc"
+        end
+    end
+  | Istore (t, a, v) -> begin
+      let m = vx_mem ctx a in
+      match t with
+      | I64 -> begin
+          match gp_src ctx v with
+          | Operand.Mem _ as s ->
+            ins ctx (Insn.Mov (Operand.Reg scr3, s));
+            ins ctx (Insn.Mov (Operand.Mem m, Operand.Reg scr3))
+          | s -> ins ctx (Insn.Mov (Operand.Mem m, s))
+        end
+      | F64 | V2d | V4d ->
+        let r = fp_src_reg ctx ~scratch:fscr v in
+        ins ctx (Insn.Fmov (Insn.Scalar, Operand.Fmem m, Operand.Freg r))
+    end
+  | Icvt_i2f (d, a) -> begin
+      match loc ctx d with
+      | Lfp rd -> ins ctx (Insn.Cvtsi2sd (rd, gp_src ctx a))
+      | Lslot _ ->
+        ins ctx (Insn.Cvtsi2sd (fscr, gp_src ctx a));
+        fp_store ctx d fscr
+      | Lgp _ -> errf "i2f into gp loc"
+    end
+  | Icvt_f2i (d, a) ->
+    ins ctx (Insn.Cvtsd2si (scr1, fp_src ctx a));
+    gp_store ctx d scr1
+  | Icall (name, args, dopt) -> emit_call ctx name args dopt
+  | Ipar_for (fname, lo, hi, threads) ->
+    ins ctx (Insn.Mov (Operand.Reg Reg.RSI, gp_src ctx lo));
+    ins ctx (Insn.Mov (Operand.Reg Reg.RDX, gp_src ctx hi));
+    ins ctx (Insn.Mov (Operand.Reg Reg.RCX, Operand.Imm (Int64.of_int threads)));
+    Builder.lea_label ctx.b Reg.RDI fname;
+    ins ctx (Insn.Call (Insn.Direct (plt_addr ctx "__par_for")))
+  | Ivload (w, d, a) -> begin
+      let m = vx_mem ctx a in
+      let vw = vwidth_to_insn w in
+      match loc ctx d with
+      | Lfp rd -> ins ctx (Insn.Fmov (vw, Operand.Freg rd, Operand.Fmem m))
+      | Lslot _ ->
+        ins ctx (Insn.Fmov (vw, Operand.Freg fscr, Operand.Fmem m));
+        fp_store ctx ~width:vw d fscr
+      | Lgp _ -> errf "vload into gp loc"
+    end
+  | Ivstore (w, a, v) ->
+    let m = vx_mem ctx a in
+    let vw = vwidth_to_insn w in
+    let r =
+      match loc ctx v with
+      | Lfp r -> r
+      | Lslot k ->
+        ins ctx
+          (Insn.Fmov (vw, Operand.Freg fscr,
+                      Operand.Fmem (Operand.mem_base ~disp:(slot_off ctx v k) Reg.RBP)));
+        fscr
+      | Lgp _ -> errf "vstore from gp loc"
+    in
+    ins ctx (Insn.Fmov (vw, Operand.Fmem m, Operand.Freg r))
+  | Ivbin (w, op, d, a, b) ->
+    let vw = vwidth_to_insn w in
+    let fop_of v =
+      match loc ctx v with
+      | Lfp r -> Operand.Freg r
+      | Lslot k -> Operand.Fmem (Operand.mem_base ~disp:(slot_off ctx v k) Reg.RBP)
+      | Lgp _ -> errf "vector vreg in gp loc"
+    in
+    let dst, stored =
+      match loc ctx d with
+      | Lfp rd -> (rd, false)
+      | Lslot _ -> (fscr, true)
+      | Lgp _ -> errf "vbin into gp loc"
+    in
+    (* move a into dst unless it is already there *)
+    let amatch = (match loc ctx a with Lfp r when r = dst -> true | _ -> false) in
+    if not amatch then ins ctx (Insn.Fmov (vw, Operand.Freg dst, fop_of a));
+    (* guard against dst aliasing b *)
+    let bsrc =
+      match loc ctx b with
+      | Lfp r when r = dst && not amatch ->
+        ins ctx (Insn.Fmov (vw, Operand.Freg fscr2, fop_of b));
+        Operand.Freg fscr2
+      | _ -> fop_of b
+    in
+    ins ctx (Insn.Fbin (vw, fbin_of op, dst, bsrc));
+    if stored then fp_store ctx ~width:vw d fscr
+  | Ivbcast (w, d, a) ->
+    let vw = vwidth_to_insn w in
+    let src = fp_src ctx a in
+    (match loc ctx d with
+     | Lfp rd -> ins ctx (Insn.Fbcast (vw, rd, src))
+     | Lslot _ ->
+       ins ctx (Insn.Fbcast (vw, fscr, src));
+       fp_store ctx ~width:vw d fscr
+     | Lgp _ -> errf "vbcast into gp loc")
+
+(* ------------------------------------------------------------------ *)
+(* Function emission                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let emit_term ctx fname ~next t =
+  let blabel id = Printf.sprintf "%s#b%d" fname id in
+  match t with
+  | Tbr b -> if Some b <> next then Builder.jmp ctx.b (blabel b)
+  | Tcbr (ty, c, a, b, tb, fb) ->
+    emit_compare ctx ty a b;
+    if Some fb = next then Builder.jcc ctx.b c (blabel tb)
+    else if Some tb = next then Builder.jcc ctx.b (Cond.negate c) (blabel fb)
+    else begin
+      Builder.jcc ctx.b c (blabel tb);
+      Builder.jmp ctx.b (blabel fb)
+    end
+  | Tret o ->
+    (match o, ctx.fn.ret_ty with
+     | Some o, Some I64 -> ins ctx (Insn.Mov (Operand.Reg Reg.RAX, gp_src ctx o))
+     | Some o, Some (F64 | V2d | V4d) ->
+       ins ctx (Insn.Fmov (Insn.Scalar, Operand.Freg (Reg.XMM 0), fp_src ctx o))
+     | Some o, None -> ignore (gp_src ctx o)
+     | None, _ -> ());
+    Builder.jmp ctx.b (Printf.sprintf "%s#ep" fname)
+
+let emit_fn b ~externs ~float_pool ~pool_next ~pool_data ~o0 (fn : fn) =
+  let alloc =
+    if o0 then Regalloc.allocate ~pool_gp:[] ~pool_fp:[] fn
+    else Regalloc.allocate fn
+  in
+  let ngp = List.length alloc.used_gp in
+  let nfp = List.length alloc.used_fp in
+  let saved_area = (8 * ngp) + (32 * nfp) in
+  let frame = saved_area + (8 * alloc.nslots) in
+  let frame = (frame + 15) land lnot 15 in
+  let ctx =
+    { b; fn; alloc; saved_area; float_pool; pool_next; pool_data; externs;
+      locals_label = (fun s -> s) }
+  in
+  Builder.label b fn.name;
+  (* prologue *)
+  ins ctx (Insn.Push (Operand.Reg Reg.RBP));
+  ins ctx (Insn.Mov (Operand.Reg Reg.RBP, Operand.Reg Reg.RSP));
+  if frame > 0 then
+    ins ctx (Insn.Alu (Insn.Sub, Operand.Reg Reg.RSP, Operand.Imm (Int64.of_int frame)));
+  List.iteri
+    (fun i r ->
+       ins ctx
+         (Insn.Mov (Operand.Mem (Operand.mem_base ~disp:(-8 * (i + 1)) Reg.RBP),
+                    Operand.Reg r)))
+    alloc.used_gp;
+  List.iteri
+    (fun i r ->
+       ins ctx
+         (Insn.Fmov (Insn.Y,
+                     Operand.Fmem
+                       (Operand.mem_base
+                          ~disp:(-(8 * ngp) - (32 * (i + 1))) Reg.RBP),
+                     Operand.Freg r)))
+    alloc.used_fp;
+  (* move parameters to their allocated homes; the 7th and later
+     integer parameters live above the return address: [rbp+16+8k] *)
+  let ni = ref 0 and nf = ref 0 in
+  List.iter
+    (fun (ty, _, v) ->
+       match ty with
+       | I64 ->
+         if !ni < Array.length int_arg_regs then
+           gp_store ctx v int_arg_regs.(!ni)
+         else begin
+           let off = 16 + (8 * (!ni - Array.length int_arg_regs)) in
+           ins ctx
+             (Insn.Mov (Operand.Reg scr1,
+                        Operand.Mem (Operand.mem_base ~disp:off Reg.RBP)));
+           gp_store ctx v scr1
+         end;
+         incr ni
+       | F64 | V2d | V4d ->
+         fp_store ctx v (Reg.XMM !nf);
+         incr nf)
+    fn.params;
+  (match fn.blocks with
+   | first :: _ when first.bid = fn.entry -> ()
+   | _ -> Builder.jmp b (Printf.sprintf "%s#b%d" fn.name fn.entry));
+  (* blocks, with fall-through layout *)
+  let rec emit_blocks = function
+    | [] -> ()
+    | blk :: rest ->
+      let next = match rest with nb :: _ -> Some nb.bid | [] -> None in
+      Builder.label b (Printf.sprintf "%s#b%d" fn.name blk.bid);
+      List.iter (emit_inst ctx) blk.insts;
+      emit_term ctx fn.name ~next blk.term;
+      emit_blocks rest
+  in
+  emit_blocks fn.blocks;
+  (* epilogue *)
+  Builder.label b (Printf.sprintf "%s#ep" fn.name);
+  List.iteri
+    (fun i r ->
+       ins ctx
+         (Insn.Mov (Operand.Reg r,
+                    Operand.Mem (Operand.mem_base ~disp:(-8 * (i + 1)) Reg.RBP))))
+    alloc.used_gp;
+  List.iteri
+    (fun i r ->
+       ins ctx
+         (Insn.Fmov (Insn.Y, Operand.Freg r,
+                     Operand.Fmem
+                       (Operand.mem_base
+                          ~disp:(-(8 * ngp) - (32 * (i + 1))) Reg.RBP))))
+    alloc.used_fp;
+  ins ctx (Insn.Mov (Operand.Reg Reg.RSP, Operand.Reg Reg.RBP));
+  ins ctx (Insn.Pop (Operand.Reg Reg.RBP));
+  ins ctx Insn.Ret;
+  ctx.pool_next
+
+(* ------------------------------------------------------------------ *)
+(* Image assembly                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let emit_unit ?(o0 = false) (u : unit_) : Image.t =
+  let externs =
+    let base = List.sort_uniq compare u.externs_used in
+    let uses_par_for =
+      List.exists
+        (fun f ->
+           List.exists
+             (fun b -> List.exists (function Ipar_for _ -> true | _ -> false) b.insts)
+             f.blocks)
+        u.fns
+    in
+    if uses_par_for then base @ [ "__par_for" ] else base
+  in
+  let b = Builder.create () in
+  (* _start: call main, exit with its return value *)
+  Builder.label b "_start";
+  Builder.call_label b "main";
+  Builder.ins b (Insn.Mov (Operand.Reg Reg.RDI, Operand.Reg Reg.RAX));
+  Builder.ins b (Insn.Syscall Insn.sys_exit);
+  (* data layout: scalars first, then the float pool *)
+  let scalars_end =
+    List.fold_left (fun acc (a, _) -> max acc (a + 8)) Layout.data_base
+      u.data_init
+  in
+  let float_pool = Hashtbl.create 16 in
+  let pool_data = Buffer.create 64 in
+  let pool_next = ref scalars_end in
+  List.iter
+    (fun fn ->
+       let ctx_pool_next =
+         emit_fn b ~externs ~float_pool ~pool_next:!pool_next ~pool_data ~o0 fn
+       in
+       pool_next := ctx_pool_next)
+    u.fns;
+  let data_len = !pool_next - Layout.data_base in
+  let data = Bytes.make (max data_len 8) '\000' in
+  List.iter
+    (fun (addr, v) -> Bytes.set_int64_le data (addr - Layout.data_base) v)
+    u.data_init;
+  Bytes.blit (Buffer.to_bytes pool_data) 0 data (scalars_end - Layout.data_base)
+    (Buffer.length pool_data);
+  Builder.to_image b ~entry:"_start" ~data ~bss_size:(max u.bss_bytes 8)
+    ~externals:externs

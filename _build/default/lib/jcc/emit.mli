@@ -1,0 +1,13 @@
+(** VX64 code emission from register-allocated MIR.
+
+    Conventions (guest ABI): integer args in RDI RSI RDX RCX R8 R9
+    (7th+ on the stack above the return address), FP args in
+    XMM0..XMM7; results in RAX / XMM0; RBX R12-R15 and XMM8-XMM13
+    callee-saved; RBP-based frames; float literals in a per-image
+    constant pool; fall-through block layout. *)
+
+exception Error of string
+
+(** Emit a whole compilation unit as an executable image. [o0] forces
+    the empty register pools (every value in memory). *)
+val emit_unit : ?o0:bool -> Mir.unit_ -> Janus_vx.Image.t

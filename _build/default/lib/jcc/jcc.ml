@@ -1,0 +1,49 @@
+(** Compiler driver: source -> JX image.
+
+    Options mirror the paper's compiler matrix (§III-E, §III-F):
+    vendor profiles ([Gcc]-like and [Icc]-like), optimisation levels
+    O0-O3, [-mavx]-style wider vectorisation, and auto-parallelisation
+    ([-ftree-parallelize-loops=N] / [icc -parallel] analogues). *)
+
+type vendor = Jcc_types.vendor = Gcc | Icc
+
+type options = {
+  vendor : vendor;
+  opt : int;          (* 0..3 *)
+  avx : bool;         (* wider vectors + alignment peeling *)
+  autopar : int;      (* 0 = off, n = parallelise with n threads *)
+}
+
+let default_options = { vendor = Gcc; opt = 3; avx = false; autopar = 0 }
+
+exception Error of string
+
+let compile_unit ?(options = default_options) (src : string) : Mir.unit_ =
+  let ast =
+    try Parser.parse src with
+    | Lexer.Error (m, l) -> raise (Error (Printf.sprintf "lex error line %d: %s" l m))
+    | Parser.Error (m, l) ->
+      raise (Error (Printf.sprintf "parse error line %d: %s" l m))
+  in
+  let typed =
+    try Sema.check ast with Sema.Error m -> raise (Error ("type error: " ^ m))
+  in
+  let u = try Lower.lower typed with Lower.Error m -> raise (Error m) in
+  (* loop transformations first (they need intact loop summaries) *)
+  if options.autopar > 0 then
+    Autopar.run ~vendor:options.vendor ~threads:options.autopar u;
+  if options.opt >= 3 then begin
+    List.iter
+      (fun fn ->
+         Vectorize.run ~vendor:options.vendor ~avx:options.avx u fn;
+         Unroll.run ~vendor:options.vendor fn)
+      u.fns
+  end;
+  (* scalar cleanups *)
+  if options.opt >= 1 then
+    List.iter (Passes.run_scalar ~strength:(options.opt >= 2)) u.fns;
+  u
+
+let compile ?(options = default_options) (src : string) : Janus_vx.Image.t =
+  let u = compile_unit ~options src in
+  Emit.emit_unit ~o0:(options.opt = 0) u

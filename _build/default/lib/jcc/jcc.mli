@@ -1,0 +1,33 @@
+(** The guest compiler driver: mini-C source to a JX executable.
+
+    Options mirror the paper's compiler matrix (§III-E, §III-F):
+    [vendor] selects the gcc-like or icc-like optimisation personality
+    (icc unrolls more, vectorises pointer loops behind runtime
+    multi-version checks and auto-parallelises more aggressively);
+    [opt] is the optimisation level 0-3; [avx] widens vectors to four
+    lanes and adds an alignment-peeling prologue; [autopar] outlines
+    provably independent loops into [__par_for] calls with the given
+    thread count ([0] disables, the gcc [-ftree-parallelize-loops=N] /
+    [icc -parallel] analogue). *)
+
+type vendor = Jcc_types.vendor = Gcc | Icc
+
+type options = {
+  vendor : vendor;
+  opt : int;       (** 0..3 *)
+  avx : bool;
+  autopar : int;   (** 0 = off, n = parallelise with n threads *)
+}
+
+(** gcc -O3, the paper's primary configuration. *)
+val default_options : options
+
+exception Error of string
+(** Lexing, parsing, type or lowering failure, with a message. *)
+
+(** Compile to MIR only (exposed for tests of the optimisation passes). *)
+val compile_unit : ?options:options -> string -> Mir.unit_
+
+(** Compile source text to an executable image.
+    @raise Error on any front-end failure. *)
+val compile : ?options:options -> string -> Janus_vx.Image.t

@@ -1,0 +1,4 @@
+(** Shared compiler-option types (broken out to avoid cycles between
+    the driver and the loop passes). *)
+
+type vendor = Gcc | Icc

@@ -1,0 +1,8 @@
+(** Shared compiler-option types (broken out to avoid cycles between
+    the driver and the loop passes). *)
+
+(** Compiler personality being emulated. [Gcc] unrolls hot simple loops
+    ×2 and auto-parallelises conservatively; [Icc] unrolls ×4 and
+    parallelises more aggressively (mirroring the paper's gcc/icc
+    baselines in Fig. 11/12). *)
+type vendor = Gcc | Icc

@@ -1,0 +1,147 @@
+(** Hand-written lexer for the guest language. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string     (* int double void extern return if else for while break *)
+  | PUNCT of string  (* operators and delimiters *)
+  | EOF
+
+exception Error of string * int  (* message, line *)
+
+let keywords =
+  [ "int"; "double"; "void"; "extern"; "return"; "if"; "else"; "for";
+    "while"; "break" ]
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let create src = { src; pos = 0; line = 1 }
+
+let peek_char lx =
+  if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (if lx.pos < String.length lx.src && Char.equal lx.src.[lx.pos] '\n' then
+     lx.line <- lx.line + 1);
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/'
+    ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance lx
+    done;
+    skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*'
+    ->
+    advance lx;
+    advance lx;
+    let rec go () =
+      match peek_char lx with
+      | None -> raise (Error ("unterminated comment", lx.line))
+      | Some '*' when lx.pos + 1 < String.length lx.src
+                      && lx.src.[lx.pos + 1] = '/' ->
+        advance lx;
+        advance lx
+      | Some _ ->
+        advance lx;
+        go ()
+    in
+    go ();
+    skip_ws lx
+  | Some _ | None -> ()
+
+let lex_number lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let is_float =
+    match peek_char lx with
+    | Some '.' ->
+      advance lx;
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done;
+      (match peek_char lx with
+       | Some ('e' | 'E') ->
+         advance lx;
+         (match peek_char lx with
+          | Some ('+' | '-') -> advance lx
+          | _ -> ());
+         while (match peek_char lx with Some c -> is_digit c | None -> false) do
+           advance lx
+         done
+       | _ -> ());
+      true
+    | Some ('e' | 'E') ->
+      advance lx;
+      (match peek_char lx with
+       | Some ('+' | '-') -> advance lx
+       | _ -> ());
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done;
+      true
+    | _ -> false
+  in
+  let s = String.sub lx.src start (lx.pos - start) in
+  if is_float then FLOAT (float_of_string s) else INT (Int64.of_string s)
+
+let two_char_ops =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "+="; "-="; "*="; "/="; "++"; "--";
+    "<<"; ">>" ]
+
+let next lx =
+  skip_ws lx;
+  match peek_char lx with
+  | None -> EOF
+  | Some c when is_digit c -> lex_number lx
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+      advance lx
+    done;
+    let s = String.sub lx.src start (lx.pos - start) in
+    if List.mem s keywords then KW s else IDENT s
+  | Some c ->
+    if lx.pos + 1 < String.length lx.src then begin
+      let two = String.sub lx.src lx.pos 2 in
+      if List.mem two two_char_ops then begin
+        advance lx;
+        advance lx;
+        PUNCT two
+      end
+      else begin
+        advance lx;
+        PUNCT (String.make 1 c)
+      end
+    end
+    else begin
+      advance lx;
+      PUNCT (String.make 1 c)
+    end
+
+(** Tokenise the whole source, with the line of each token. *)
+let all src =
+  let lx = create src in
+  let rec go acc =
+    let line = lx.line in
+    match next lx with
+    | EOF -> List.rev ((EOF, line) :: acc)
+    | t -> go ((t, line) :: acc)
+  in
+  go []

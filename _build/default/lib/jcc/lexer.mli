@@ -1,0 +1,23 @@
+(** Hand-written lexer for the guest mini-C language. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | KW of string     (** int double void extern return if else for while break *)
+  | PUNCT of string  (** operators and delimiters, one or two characters *)
+  | EOF
+
+exception Error of string * int  (** message, line *)
+
+val keywords : string list
+
+type t
+
+val create : string -> t
+
+(** Next token, advancing the cursor. *)
+val next : t -> token
+
+(** Tokenise the whole source, each token paired with its line. *)
+val all : string -> (token * int) list

@@ -1,0 +1,463 @@
+(** Lowering from the typed AST to MIR. Also records structured loop
+    summaries used by the loop optimisers. *)
+
+open Janus_vx
+open Sema
+open Mir
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let elem_size = 8  (* both int and double are 8 bytes *)
+
+type genv = {
+  unit_ : unit_;
+  addr_of_global : string -> int;
+}
+
+type fenv = {
+  g : genv;
+  fn : fn;
+  locals : (string, int) Hashtbl.t;  (* name -> vreg *)
+  mutable cur : block;
+  mutable break_targets : int list;
+}
+
+let mir_ty = function
+  | Ast.Tint | Ast.Tptr _ -> I64
+  | Ast.Tdouble -> F64
+
+let set_term env t = env.cur.term <- t
+
+let emit env i = env.cur.insts <- env.cur.insts @ [ i ]
+
+let start_block env b = env.cur <- b
+
+let ast_cond_of_binop = function
+  | Ast.Eq -> Some Cond.Eq
+  | Ast.Ne -> Some Cond.Ne
+  | Ast.Lt -> Some Cond.Lt
+  | Ast.Le -> Some Cond.Le
+  | Ast.Gt -> Some Cond.Gt
+  | Ast.Ge -> Some Cond.Ge
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+  | Ast.Band | Ast.Bxor | Ast.Bor | Ast.Shl | Ast.Shr -> None
+
+let ibin_of_binop = function
+  | Ast.Add -> Madd
+  | Ast.Sub -> Msub
+  | Ast.Mul -> Mmul
+  | Ast.Div -> Mdiv
+  | Ast.Mod -> Mmod
+  | Ast.Band -> Mand
+  | Ast.Bor -> Mor
+  | Ast.Bxor -> Mxor
+  | Ast.Shl -> Mshl
+  | Ast.Shr -> Mshr
+  | _ -> errf "not an integer binop"
+
+let fbin_of_binop = function
+  | Ast.Add -> FAdd
+  | Ast.Sub -> FSub
+  | Ast.Mul -> FMul
+  | Ast.Div -> FDiv
+  | _ -> errf "not a float binop"
+
+(* address of p[i] as a MIR addr *)
+let rec lower_index env (base : texpr) (idx : texpr) : addr =
+  let abase, adisp =
+    match base.node with
+    | Tvar (Vglobal_array, name) -> (None, env.g.addr_of_global name)
+    | _ -> (Some (lower_expr env base), 0)
+  in
+  match lower_expr env idx with
+  | Oi k -> { abase; aindex = None; ascale = 1;
+              adisp = adisp + (Int64.to_int k * elem_size) }
+  | (Ov _ | Of _) as o ->
+    { abase; aindex = Some o; ascale = elem_size; adisp }
+
+and lower_expr env (e : texpr) : operand =
+  match e.node with
+  | Tint_lit v -> Oi v
+  | Tfloat_lit v -> Of v
+  | Tvar (Vlocal, name) -> begin
+      match Hashtbl.find_opt env.locals name with
+      | Some v -> Ov v
+      | None -> errf "lower: unbound local %s" name
+    end
+  | Tvar (Vglobal, name) ->
+    let d = new_vreg env.fn (mir_ty e.ty) in
+    emit env
+      (Iload (mir_ty e.ty, d,
+              { abase = None; aindex = None; ascale = 1;
+                adisp = env.g.addr_of_global name }));
+    Ov d
+  | Tvar (Vglobal_array, name) -> Oi (Int64.of_int (env.g.addr_of_global name))
+  | Tindex (b, i) ->
+    let a = lower_index env b i in
+    let d = new_vreg env.fn (mir_ty e.ty) in
+    emit env (Iload (mir_ty e.ty, d, a));
+    Ov d
+  | Tbin (op, a, b) -> begin
+      match ast_cond_of_binop op with
+      | Some c ->
+        let ta = mir_ty a.ty in
+        let oa = lower_expr env a in
+        let ob = lower_expr env b in
+        let d = new_vreg env.fn I64 in
+        emit env (Icmpset (ta, c, d, oa, ob));
+        Ov d
+      | None ->
+        let oa = lower_expr env a in
+        let ob = lower_expr env b in
+        let d = new_vreg env.fn (mir_ty e.ty) in
+        (match mir_ty e.ty with
+         | I64 -> emit env (Ibin (ibin_of_binop op, d, oa, ob))
+         | F64 | V2d | V4d -> emit env (Ifbin (fbin_of_binop op, d, oa, ob)));
+        Ov d
+    end
+  | Tun (Ast.Neg, a) ->
+    let oa = lower_expr env a in
+    let d = new_vreg env.fn (mir_ty e.ty) in
+    (match mir_ty e.ty with
+     | I64 -> emit env (Ibin (Msub, d, Oi 0L, oa))
+     | F64 | V2d | V4d -> emit env (Ifbin (FSub, d, Of 0.0, oa)));
+    Ov d
+  | Tun (Ast.Not, a) ->
+    let oa = lower_expr env a in
+    let d = new_vreg env.fn I64 in
+    emit env (Icmpset (I64, Cond.Eq, d, oa, Oi 0L));
+    Ov d
+  | Tand _ | Tor _ ->
+    (* materialise the boolean via control flow *)
+    let d = new_vreg env.fn I64 in
+    let bt = new_block env.fn in
+    let bf = new_block env.fn in
+    let join = new_block env.fn in
+    lower_cond env e bt.bid bf.bid;
+    start_block env bt;
+    emit env (Imov (d, Oi 1L));
+    set_term env (Tbr join.bid);
+    start_block env bf;
+    emit env (Imov (d, Oi 0L));
+    set_term env (Tbr join.bid);
+    start_block env join;
+    Ov d
+  | Tcast_i2f a ->
+    let oa = lower_expr env a in
+    let d = new_vreg env.fn F64 in
+    emit env (Icvt_i2f (d, oa));
+    Ov d
+  | Tcast_f2i a ->
+    let oa = lower_expr env a in
+    let d = new_vreg env.fn I64 in
+    emit env (Icvt_f2i (d, oa));
+    Ov d
+  | Tcall (_, name, args) ->
+    let oargs = List.map (lower_expr env) args in
+    let d = new_vreg env.fn (mir_ty e.ty) in
+    emit env (Icall (name, oargs, Some d));
+    Ov d
+
+(* lower a condition, branching to [bt]/[bf] *)
+and lower_cond env (e : texpr) bt bf =
+  match e.node with
+  | Tbin (op, a, b) when ast_cond_of_binop op <> None ->
+    let c = Option.get (ast_cond_of_binop op) in
+    let ta = mir_ty a.ty in
+    let oa = lower_expr env a in
+    let ob = lower_expr env b in
+    set_term env (Tcbr (ta, c, oa, ob, bt, bf))
+  | Tand (a, b) ->
+    let mid = new_block env.fn in
+    lower_cond env a mid.bid bf;
+    start_block env mid;
+    lower_cond env b bt bf
+  | Tor (a, b) ->
+    let mid = new_block env.fn in
+    lower_cond env a bt mid.bid;
+    start_block env mid;
+    lower_cond env b bt bf
+  | Tun (Ast.Not, a) -> lower_cond env a bf bt
+  | _ ->
+    let o = lower_expr env e in
+    set_term env (Tcbr (I64, Cond.Ne, o, Oi 0L, bt, bf))
+
+let lower_lvalue_store env (lv : tlvalue) (v : operand) =
+  match lv with
+  | TLvar (Vlocal, name, _) -> begin
+      match Hashtbl.find_opt env.locals name with
+      | Some d -> emit env (Imov (d, v))
+      | None -> errf "lower: unbound local %s" name
+    end
+  | TLvar (Vglobal, name, ty) ->
+    emit env
+      (Istore (mir_ty ty,
+               { abase = None; aindex = None; ascale = 1;
+                 adisp = env.g.addr_of_global name }, v))
+  | TLvar (Vglobal_array, name, _) -> errf "cannot assign to array %s" name
+  | TLindex (b, i, ty) ->
+    let a = lower_index env b i in
+    emit env (Istore (mir_ty ty, a, v))
+
+(* names assigned anywhere in a statement list (for invariance checks) *)
+let rec assigned_names stmts =
+  List.concat_map
+    (function
+      | TSassign (TLvar (_, n, _), _) -> [ n ]
+      | TSassign (TLindex _, _) -> []
+      | TSdecl (_, n, _) -> [ n ]
+      | TSif (_, a, b) -> assigned_names a @ assigned_names b
+      | TSfor (i, _, s, b) ->
+        (match i with Some s' -> assigned_names [ s' ] | None -> [])
+        @ (match s with Some s' -> assigned_names [ s' ] | None -> [])
+        @ assigned_names b
+      | TSwhile (_, b) -> assigned_names b
+      | TSbreak | TSreturn _ | TSexpr _ -> [])
+    stmts
+
+let rec stmt_has_call_or_control stmts =
+  List.exists
+    (function
+      | TSif _ | TSfor _ | TSwhile _ | TSbreak | TSreturn _ -> true
+      | TSexpr e | TSassign (_, e) -> expr_has_call e
+      | TSdecl (_, _, Some e) -> expr_has_call e
+      | TSdecl (_, _, None) -> false)
+    stmts
+
+and expr_has_call (e : texpr) =
+  match e.node with
+  | Tcall _ -> true
+  | Tint_lit _ | Tfloat_lit _ | Tvar _ -> false
+  | Tindex (a, b) | Tbin (_, a, b) | Tand (a, b) | Tor (a, b) ->
+    expr_has_call a || expr_has_call b
+  | Tun (_, a) | Tcast_i2f a | Tcast_f2i a -> expr_has_call a
+
+let rec lower_stmt env (s : tstmt) =
+  match s with
+  | TSdecl (ty, name, init) ->
+    let v = new_vreg env.fn (mir_ty ty) in
+    Hashtbl.replace env.locals name v;
+    (match init with
+     | Some e ->
+       let o = lower_expr env e in
+       emit env (Imov (v, o))
+     | None -> ())
+  | TSassign (lv, e) ->
+    let o = lower_expr env e in
+    lower_lvalue_store env lv o
+  | TSexpr e -> begin
+      (* evaluate for side effects; drop pure results *)
+      match e.node with
+      | Tcall (_, name, args) ->
+        let oargs = List.map (lower_expr env) args in
+        emit env (Icall (name, oargs, None))
+      | _ -> ignore (lower_expr env e)
+    end
+  | TSreturn e ->
+    let o = Option.map (lower_expr env) e in
+    set_term env (Tret o);
+    start_block env (new_block env.fn)  (* unreachable continuation *)
+  | TSbreak -> begin
+      match env.break_targets with
+      | target :: _ ->
+        set_term env (Tbr target);
+        start_block env (new_block env.fn)
+      | [] -> errf "break outside loop"
+    end
+  | TSif (c, t, f) ->
+    let bt = new_block env.fn in
+    let bf = new_block env.fn in
+    let join = new_block env.fn in
+    lower_cond env c bt.bid bf.bid;
+    start_block env bt;
+    List.iter (lower_stmt env) t;
+    set_term env (Tbr join.bid);
+    start_block env bf;
+    List.iter (lower_stmt env) f;
+    set_term env (Tbr join.bid);
+    start_block env join
+  | TSwhile (c, body) ->
+    let header = new_block env.fn in
+    let bbody = new_block env.fn in
+    let exit = new_block env.fn in
+    set_term env (Tbr header.bid);
+    start_block env header;
+    lower_cond env c bbody.bid exit.bid;
+    env.break_targets <- exit.bid :: env.break_targets;
+    start_block env bbody;
+    List.iter (lower_stmt env) body;
+    set_term env (Tbr header.bid);
+    env.break_targets <- List.tl env.break_targets;
+    start_block env exit
+  | TSfor (init, cond, step, body) ->
+    let preheader = env.cur in
+    (match init with Some s -> lower_stmt env s | None -> ());
+    let header = new_block env.fn in
+    let bbody = new_block env.fn in
+    let latch = new_block env.fn in
+    let exit = new_block env.fn in
+    set_term env (Tbr header.bid);
+    (* loop-summary detection before lowering mutates anything *)
+    let iv_info =
+      match init, cond, step with
+      | Some (TSdecl (Ast.Tint, iname, Some ie)
+             | TSassign (TLvar (Vlocal, iname, Ast.Tint), ie)),
+        Some { node = Tbin (cop, { node = Tvar (Vlocal, cn); _ }, bound); _ },
+        Some (TSassign
+                (TLvar (Vlocal, sn, Ast.Tint),
+                 { node =
+                     Tbin ((Ast.Add | Ast.Sub) as sop,
+                           { node = Tvar (Vlocal, sn2); _ },
+                           { node = Tint_lit k; _ });
+                   _ }))
+        when String.equal iname cn && String.equal iname sn
+             && String.equal iname sn2 && ast_cond_of_binop cop <> None ->
+        let assigned = assigned_names body in
+        let bound_invariant =
+          match bound.node with
+          | Tint_lit _ -> true
+          | Tvar (Vlocal, bn) ->
+            (not (List.mem bn assigned)) && not (String.equal bn iname)
+          | _ -> false
+        in
+        let iv_assigned_in_body = List.mem iname assigned in
+        if iv_assigned_in_body then None
+        else
+          Some
+            ( iname, ie, Option.get (ast_cond_of_binop cop), bound,
+              (match sop with Ast.Add -> k | _ -> Int64.neg k),
+              bound_invariant )
+      | _ -> None
+    in
+    (* lower the header condition *)
+    start_block env header;
+    (match cond with
+     | Some c -> lower_cond env c bbody.bid exit.bid
+     | None -> set_term env (Tbr bbody.bid));
+    env.break_targets <- exit.bid :: env.break_targets;
+    start_block env bbody;
+    List.iter (lower_stmt env) body;
+    let body_last = env.cur in
+    set_term env (Tbr latch.bid);
+    start_block env latch;
+    (match step with Some s -> lower_stmt env s | None -> ());
+    set_term env (Tbr header.bid);
+    env.break_targets <- List.tl env.break_targets;
+    (* record the loop summary *)
+    let body_blocks =
+      (* blocks created between bbody and latch *)
+      let ids = List.map (fun b -> b.bid) env.fn.blocks in
+      List.filter (fun id -> id >= bbody.bid && id < latch.bid) ids
+    in
+    let simple =
+      (not (stmt_has_call_or_control body))
+      && body_last.bid = bbody.bid
+      && List.length body_blocks = 1
+    in
+    (match iv_info with
+     | Some (iname, _ie, cop, bound, step_k, bound_inv) ->
+       let iv = Hashtbl.find_opt env.locals iname in
+       let bound_op =
+         if not bound_inv then None
+         else
+           match bound.node with
+           | Tint_lit v -> Some (Oi v)
+           | Tvar (Vlocal, bn) ->
+             Option.map (fun v -> Ov v) (Hashtbl.find_opt env.locals bn)
+           | _ -> None
+       in
+       env.fn.loops <-
+         env.fn.loops
+         @ [
+             {
+               l_header = header.bid;
+               l_body = body_blocks;
+               l_latch = latch.bid;
+               l_exit = exit.bid;
+               l_preheader = preheader.bid;
+               l_iv = iv;
+               l_init = None;
+               l_bound = bound_op;
+               l_step = step_k;
+               l_cond = cop;
+               l_simple = simple;
+               l_live = ();
+             };
+           ]
+     | None -> ());
+    start_block env exit
+
+let lower_fn genv (tf : tfunc) =
+  let fn =
+    {
+      name = tf.tf_name;
+      params = [];
+      ret_ty = Option.map mir_ty tf.tf_ret;
+      blocks = [];
+      nv = 0;
+      vtypes = Array.make 16 I64;
+      entry = 0;
+      loops = [];
+      next_bid = 0;
+    }
+  in
+  let entry = new_block fn in
+  fn.entry <- entry.bid;
+  let locals = Hashtbl.create 16 in
+  let params =
+    List.map
+      (fun (ty, name) ->
+         let v = new_vreg fn (mir_ty ty) in
+         Hashtbl.replace locals name v;
+         (mir_ty ty, name, v))
+      tf.tf_params
+  in
+  let fn = { fn with params } in
+  let env = { g = genv; fn; locals; cur = entry; break_targets = [] } in
+  List.iter (lower_stmt env) tf.tf_body;
+  (* implicit return: the zero of the function's return type *)
+  (match env.cur.term, fn.ret_ty with
+   | Tret None, Some (F64 | V2d | V4d) -> env.cur.term <- Tret (Some (Of 0.0))
+   | Tret None, Some I64 -> env.cur.term <- Tret (Some (Oi 0L))
+   | _ -> ());
+  fn
+
+(** Lay out globals and lower every function. *)
+let lower (tp : tprogram) : unit_ =
+  let unit_ =
+    { fns = []; global_addrs = []; data_init = []; bss_bytes = 0;
+      externs_used = List.map (fun e -> e.Ast.ename) tp.texterns }
+  in
+  let data_off = ref 0 in
+  let bss_off = ref 0 in
+  List.iter
+    (function
+      | Ast.Gscalar (ty, name, init) ->
+        let addr = Layout.data_base + !data_off in
+        data_off := !data_off + 8;
+        unit_.global_addrs <- (name, addr) :: unit_.global_addrs;
+        let v =
+          match init, ty with
+          | Some (Ast.Eint v), _ -> v
+          | Some (Ast.Efloat f), _ -> Int64.bits_of_float f
+          | None, Ast.Tdouble -> Int64.bits_of_float 0.0
+          | None, _ -> 0L
+          | Some _, _ -> errf "global initialisers must be literals"
+        in
+        unit_.data_init <- (addr, v) :: unit_.data_init
+      | Ast.Garray (_, name, n) ->
+        let addr = Layout.bss_base + !bss_off in
+        bss_off := !bss_off + (n * elem_size);
+        unit_.global_addrs <- (name, addr) :: unit_.global_addrs)
+    tp.tglobals;
+  unit_.bss_bytes <- !bss_off;
+  let addr_of_global name =
+    match List.assoc_opt name unit_.global_addrs with
+    | Some a -> a
+    | None -> errf "unknown global %s" name
+  in
+  let genv = { unit_; addr_of_global } in
+  unit_.fns <- List.map (lower_fn genv) tp.tfuncs;
+  unit_

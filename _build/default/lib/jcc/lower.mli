@@ -1,0 +1,12 @@
+(** Lowering from the typed AST to MIR. Lays out globals (scalars in
+    [.data], arrays in [.bss]), lowers statements and expressions to
+    virtual-register code, and records the structured loop summaries
+    the loop optimisers consume. *)
+
+exception Error of string
+
+val elem_size : int
+
+(** Lower a whole checked program.
+    @raise Error on internal lowering failures. *)
+val lower : Sema.tprogram -> Mir.unit_

@@ -1,0 +1,238 @@
+(** Mid-level IR: a CFG of virtual-register instructions, the substrate
+    for the optimiser (unrolling, vectorisation, auto-parallelisation,
+    scalar cleanups) and for linear-scan register allocation. *)
+
+open Janus_vx
+
+type ty =
+  | I64
+  | F64
+  | V2d  (* 2-lane f64 vector, introduced by the vectoriser *)
+  | V4d  (* 4-lane f64 vector *)
+
+type operand =
+  | Ov of int       (* virtual register *)
+  | Oi of int64     (* integer constant *)
+  | Of of float     (* float constant *)
+
+(** Memory address: [abase] + [aindex]*[ascale] + [adisp]. *)
+type addr = {
+  abase : operand option;
+  aindex : operand option;
+  ascale : int;
+  adisp : int;
+}
+
+type ibin = Madd | Msub | Mmul | Mdiv | Mmod | Mand | Mor | Mxor | Mshl | Mshr
+
+type fbin = FAdd | FSub | FMul | FDiv
+
+(** Vector width introduced by the vectoriser. *)
+type vwidth = V2 | V4
+
+type inst =
+  | Ibin of ibin * int * operand * operand     (* dst = a op b, int *)
+  | Ifbin of fbin * int * operand * operand    (* dst = a op b, f64 *)
+  | Imov of int * operand
+  | Icmpset of ty * Cond.t * int * operand * operand  (* dst = a cond b *)
+  | Iload of ty * int * addr
+  | Istore of ty * addr * operand
+  | Icvt_i2f of int * operand
+  | Icvt_f2i of int * operand
+  | Icall of string * operand list * int option  (* callee, args, result *)
+  | Ipar_for of string * operand * operand * int (* outlined fn, lo, hi, threads *)
+  (* vector instructions (dst/srcs are F64 vregs treated as vectors) *)
+  | Ivload of vwidth * int * addr
+  | Ivstore of vwidth * addr * int
+  | Ivbin of vwidth * fbin * int * int * int    (* dst = a op b *)
+  | Ivbcast of vwidth * int * operand           (* splat scalar *)
+
+type term =
+  | Tbr of int
+  | Tcbr of ty * Cond.t * operand * operand * int * int  (* then, else *)
+  | Tret of operand option
+
+type block = {
+  bid : int;
+  mutable insts : inst list;
+  mutable term : term;
+}
+
+(** Structured loop summary recorded at lowering time (the compiler's
+    own loop info, as a real compiler would keep). *)
+type loop_info = {
+  mutable l_header : int;       (* block evaluating the condition *)
+  mutable l_body : int list;    (* body blocks, entry first *)
+  mutable l_latch : int;        (* block performing the step *)
+  mutable l_exit : int;
+  mutable l_preheader : int;
+  l_iv : int option;            (* IV vreg *)
+  l_init : operand option;
+  l_bound : operand option;     (* invariant bound, if provable *)
+  l_step : int64;
+  l_cond : Cond.t;              (* continue while iv cond bound *)
+  l_simple : bool;              (* single straight-line body block, no calls *)
+  mutable l_live : unit;        (* placeholder for future extensions *)
+}
+
+type fn = {
+  name : string;
+  params : (ty * string * int) list;  (* type, name, vreg *)
+  ret_ty : ty option;
+  mutable blocks : block list;        (* in layout order *)
+  mutable nv : int;
+  mutable vtypes : ty array;
+  mutable entry : int;
+  mutable loops : loop_info list;
+  mutable next_bid : int;
+}
+
+let new_vreg fn ty =
+  if fn.nv >= Array.length fn.vtypes then begin
+    let a = Array.make (2 * max 8 (Array.length fn.vtypes)) I64 in
+    Array.blit fn.vtypes 0 a 0 (Array.length fn.vtypes);
+    fn.vtypes <- a
+  end;
+  let v = fn.nv in
+  fn.vtypes.(v) <- ty;
+  fn.nv <- fn.nv + 1;
+  v
+
+let vtype fn v = fn.vtypes.(v)
+
+let new_block fn =
+  let b = { bid = fn.next_bid; insts = []; term = Tret None } in
+  fn.next_bid <- fn.next_bid + 1;
+  fn.blocks <- fn.blocks @ [ b ];
+  b
+
+let block fn id = List.find (fun b -> b.bid = id) fn.blocks
+
+let ty_of_operand fn = function
+  | Ov v -> vtype fn v
+  | Oi _ -> I64
+  | Of _ -> F64
+
+(** Successor block ids of a terminator. *)
+let succs = function
+  | Tbr b -> [ b ]
+  | Tcbr (_, _, _, _, t, f) -> [ t; f ]
+  | Tret _ -> []
+
+(** {1 Use/def for dataflow} *)
+
+let operand_uses = function Ov v -> [ v ] | Oi _ | Of _ -> []
+
+let addr_uses a =
+  (match a.abase with Some o -> operand_uses o | None -> [])
+  @ (match a.aindex with Some o -> operand_uses o | None -> [])
+
+let inst_uses = function
+  | Ibin (_, _, a, b) | Ifbin (_, _, a, b) | Icmpset (_, _, _, a, b) ->
+    operand_uses a @ operand_uses b
+  | Imov (_, a) | Icvt_i2f (_, a) | Icvt_f2i (_, a) -> operand_uses a
+  | Iload (_, _, a) -> addr_uses a
+  | Istore (_, a, v) -> addr_uses a @ operand_uses v
+  | Icall (_, args, _) -> List.concat_map operand_uses args
+  | Ipar_for (_, lo, hi, _) -> operand_uses lo @ operand_uses hi
+  | Ivload (_, _, a) -> addr_uses a
+  | Ivstore (_, a, v) -> addr_uses a @ [ v ]
+  | Ivbin (_, _, _, a, b) -> [ a; b ]
+  | Ivbcast (_, _, a) -> operand_uses a
+
+let inst_defs = function
+  | Ibin (_, d, _, _) | Ifbin (_, d, _, _) | Imov (d, _)
+  | Icmpset (_, _, d, _, _) | Iload (_, d, _) | Icvt_i2f (d, _)
+  | Icvt_f2i (d, _) | Ivload (_, d, _) | Ivbin (_, _, d, _, _)
+  | Ivbcast (_, d, _) -> [ d ]
+  | Icall (_, _, Some d) -> [ d ]
+  | Icall (_, _, None) | Istore _ | Ipar_for _ | Ivstore _ -> []
+
+let term_uses = function
+  | Tbr _ -> []
+  | Tcbr (_, _, a, b, _, _) -> operand_uses a @ operand_uses b
+  | Tret (Some o) -> operand_uses o
+  | Tret None -> []
+
+let has_side_effect = function
+  | Istore _ | Icall _ | Ipar_for _ | Ivstore _ -> true
+  | Ibin _ | Ifbin _ | Imov _ | Icmpset _ | Iload _ | Icvt_i2f _
+  | Icvt_f2i _ | Ivload _ | Ivbin _ | Ivbcast _ -> false
+
+(** {1 Pretty printing (for -dump-mir)} *)
+
+let pp_operand ppf = function
+  | Ov v -> Fmt.pf ppf "v%d" v
+  | Oi i -> Fmt.pf ppf "%Ld" i
+  | Of f -> Fmt.pf ppf "%g" f
+
+let pp_addr ppf a =
+  Fmt.pf ppf "[";
+  (match a.abase with Some o -> Fmt.pf ppf "%a" pp_operand o | None -> ());
+  (match a.aindex with
+   | Some o -> Fmt.pf ppf "+%a*%d" pp_operand o a.ascale
+   | None -> ());
+  if a.adisp <> 0 then Fmt.pf ppf "+%d" a.adisp;
+  Fmt.pf ppf "]"
+
+let ibin_name = function
+  | Madd -> "add" | Msub -> "sub" | Mmul -> "mul" | Mdiv -> "div"
+  | Mmod -> "mod" | Mand -> "and" | Mor -> "or" | Mxor -> "xor"
+  | Mshl -> "shl" | Mshr -> "shr"
+
+let fbin_name = function
+  | FAdd -> "fadd" | FSub -> "fsub" | FMul -> "fmul" | FDiv -> "fdiv"
+
+let vw = function V2 -> 2 | V4 -> 4
+
+let pp_inst ppf = function
+  | Ibin (op, d, a, b) ->
+    Fmt.pf ppf "v%d = %s %a, %a" d (ibin_name op) pp_operand a pp_operand b
+  | Ifbin (op, d, a, b) ->
+    Fmt.pf ppf "v%d = %s %a, %a" d (fbin_name op) pp_operand a pp_operand b
+  | Imov (d, a) -> Fmt.pf ppf "v%d = %a" d pp_operand a
+  | Icmpset (_, c, d, a, b) ->
+    Fmt.pf ppf "v%d = (%a %s %a)" d pp_operand a (Cond.name c) pp_operand b
+  | Iload (_, d, a) -> Fmt.pf ppf "v%d = load %a" d pp_addr a
+  | Istore (_, a, v) -> Fmt.pf ppf "store %a, %a" pp_addr a pp_operand v
+  | Icvt_i2f (d, a) -> Fmt.pf ppf "v%d = i2f %a" d pp_operand a
+  | Icvt_f2i (d, a) -> Fmt.pf ppf "v%d = f2i %a" d pp_operand a
+  | Icall (f, args, d) ->
+    (match d with
+     | Some d -> Fmt.pf ppf "v%d = call %s(%a)" d f (Fmt.list ~sep:Fmt.comma pp_operand) args
+     | None -> Fmt.pf ppf "call %s(%a)" f (Fmt.list ~sep:Fmt.comma pp_operand) args)
+  | Ipar_for (f, lo, hi, t) ->
+    Fmt.pf ppf "par_for %s [%a, %a) x%d" f pp_operand lo pp_operand hi t
+  | Ivload (w, d, a) -> Fmt.pf ppf "v%d = vload.%d %a" d (vw w) pp_addr a
+  | Ivstore (w, a, v) -> Fmt.pf ppf "vstore.%d %a, v%d" (vw w) pp_addr a v
+  | Ivbin (w, op, d, a, b) ->
+    Fmt.pf ppf "v%d = %s.%d v%d, v%d" d (fbin_name op) (vw w) a b
+  | Ivbcast (w, d, a) -> Fmt.pf ppf "v%d = splat.%d %a" d (vw w) pp_operand a
+
+let pp_term ppf = function
+  | Tbr b -> Fmt.pf ppf "br b%d" b
+  | Tcbr (_, c, a, b, t, f) ->
+    Fmt.pf ppf "if %a %s %a then b%d else b%d" pp_operand a (Cond.name c)
+      pp_operand b t f
+  | Tret (Some o) -> Fmt.pf ppf "ret %a" pp_operand o
+  | Tret None -> Fmt.pf ppf "ret"
+
+let pp_fn ppf fn =
+  Fmt.pf ppf "fn %s(%a):@." fn.name
+    (Fmt.list ~sep:Fmt.comma (fun ppf (_, n, v) -> Fmt.pf ppf "%s=v%d" n v))
+    fn.params;
+  List.iter
+    (fun b ->
+       Fmt.pf ppf " b%d:@." b.bid;
+       List.iter (fun i -> Fmt.pf ppf "   %a@." pp_inst i) b.insts;
+       Fmt.pf ppf "   %a@." pp_term b.term)
+    fn.blocks
+
+(** A compilation unit. *)
+type unit_ = {
+  mutable fns : fn list;
+  mutable global_addrs : (string * int) list;     (* name -> virtual address *)
+  mutable data_init : (int * int64) list;         (* address -> initial value *)
+  mutable bss_bytes : int;
+  mutable externs_used : string list;
+}

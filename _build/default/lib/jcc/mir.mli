@@ -1,0 +1,123 @@
+(** Mid-level IR: a CFG of virtual-register instructions — the
+    substrate for the optimisers (unrolling, vectorisation,
+    auto-parallelisation, scalar cleanups) and for linear-scan register
+    allocation. *)
+
+open Janus_vx
+
+type ty =
+  | I64
+  | F64
+  | V2d  (** 2-lane f64 vector, introduced by the vectoriser *)
+  | V4d  (** 4-lane f64 vector *)
+
+type operand =
+  | Ov of int       (** virtual register *)
+  | Oi of int64
+  | Of of float
+
+(** Memory address: [abase + aindex*ascale + adisp]. *)
+type addr = {
+  abase : operand option;
+  aindex : operand option;
+  ascale : int;
+  adisp : int;
+}
+
+type ibin = Madd | Msub | Mmul | Mdiv | Mmod | Mand | Mor | Mxor | Mshl | Mshr
+type fbin = FAdd | FSub | FMul | FDiv
+type vwidth = V2 | V4
+
+type inst =
+  | Ibin of ibin * int * operand * operand
+  | Ifbin of fbin * int * operand * operand
+  | Imov of int * operand
+  | Icmpset of ty * Cond.t * int * operand * operand
+  | Iload of ty * int * addr
+  | Istore of ty * addr * operand
+  | Icvt_i2f of int * operand
+  | Icvt_f2i of int * operand
+  | Icall of string * operand list * int option
+  | Ipar_for of string * operand * operand * int
+      (** outlined worker, lo, hi, threads *)
+  | Ivload of vwidth * int * addr
+  | Ivstore of vwidth * addr * int
+  | Ivbin of vwidth * fbin * int * int * int
+  | Ivbcast of vwidth * int * operand
+
+type term =
+  | Tbr of int
+  | Tcbr of ty * Cond.t * operand * operand * int * int  (** then, else *)
+  | Tret of operand option
+
+type block = {
+  bid : int;
+  mutable insts : inst list;
+  mutable term : term;
+}
+
+(** Structured loop summary recorded at lowering time (the compiler's
+    own loop info, as a real compiler keeps). *)
+type loop_info = {
+  mutable l_header : int;
+  mutable l_body : int list;
+  mutable l_latch : int;
+  mutable l_exit : int;
+  mutable l_preheader : int;
+  l_iv : int option;
+  l_init : operand option;
+  l_bound : operand option;   (** invariant bound, if provable *)
+  l_step : int64;
+  l_cond : Cond.t;
+  l_simple : bool;            (** single straight-line body, no calls *)
+  mutable l_live : unit;
+}
+
+type fn = {
+  name : string;
+  params : (ty * string * int) list;
+  ret_ty : ty option;
+  mutable blocks : block list;   (** in layout order *)
+  mutable nv : int;
+  mutable vtypes : ty array;
+  mutable entry : int;
+  mutable loops : loop_info list;
+  mutable next_bid : int;
+}
+
+val new_vreg : fn -> ty -> int
+val vtype : fn -> int -> ty
+val new_block : fn -> block
+val block : fn -> int -> block
+val ty_of_operand : fn -> operand -> ty
+
+val succs : term -> int list
+
+(** {1 Use/def for dataflow} *)
+
+val operand_uses : operand -> int list
+val addr_uses : addr -> int list
+val inst_uses : inst -> int list
+val inst_defs : inst -> int list
+val term_uses : term -> int list
+val has_side_effect : inst -> bool
+
+(** {1 Pretty printing} *)
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp_addr : Format.formatter -> addr -> unit
+val ibin_name : ibin -> string
+val fbin_name : fbin -> string
+val vw : vwidth -> int
+val pp_inst : Format.formatter -> inst -> unit
+val pp_term : Format.formatter -> term -> unit
+val pp_fn : Format.formatter -> fn -> unit
+
+(** A compilation unit. *)
+type unit_ = {
+  mutable fns : fn list;
+  mutable global_addrs : (string * int) list;
+  mutable data_init : (int * int64) list;
+  mutable bss_bytes : int;
+  mutable externs_used : string list;
+}

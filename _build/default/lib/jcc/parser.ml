@@ -1,0 +1,454 @@
+(** Recursive-descent parser for the guest language. *)
+
+open Ast
+
+exception Error of string * int  (* message, line *)
+
+type t = {
+  toks : (Lexer.token * int) array;
+  mutable pos : int;
+}
+
+let create src = { toks = Array.of_list (Lexer.all src); pos = 0 }
+let peek p = fst p.toks.(p.pos)
+let line p = snd p.toks.(p.pos)
+let advance p = p.pos <- p.pos + 1
+
+let err p msg = raise (Error (msg, line p))
+
+let expect_punct p s =
+  match peek p with
+  | Lexer.PUNCT x when String.equal x s -> advance p
+  | _ -> err p (Printf.sprintf "expected '%s'" s)
+
+let expect_ident p =
+  match peek p with
+  | Lexer.IDENT s ->
+    advance p;
+    s
+  | _ -> err p "expected identifier"
+
+let accept_punct p s =
+  match peek p with
+  | Lexer.PUNCT x when String.equal x s ->
+    advance p;
+    true
+  | _ -> false
+
+let accept_kw p s =
+  match peek p with
+  | Lexer.KW x when String.equal x s ->
+    advance p;
+    true
+  | _ -> false
+
+let is_type_kw = function
+  | Lexer.KW ("int" | "double") -> true
+  | _ -> false
+
+(* type := ("int" | "double") "*"* *)
+let parse_base_ty p =
+  match peek p with
+  | Lexer.KW "int" ->
+    advance p;
+    Tint
+  | Lexer.KW "double" ->
+    advance p;
+    Tdouble
+  | _ -> err p "expected type"
+
+let parse_ty p =
+  let base = parse_base_ty p in
+  let rec stars t = if accept_punct p "*" then stars (Tptr t) else t in
+  stars base
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr p = parse_or p
+
+and parse_or p =
+  let lhs = ref (parse_and p) in
+  while accept_punct p "||" do
+    lhs := Ebin (Or, !lhs, parse_and p)
+  done;
+  !lhs
+
+and parse_and p =
+  let lhs = ref (parse_bitor p) in
+  while accept_punct p "&&" do
+    lhs := Ebin (And, !lhs, parse_bitor p)
+  done;
+  !lhs
+
+and parse_bitor p =
+  let lhs = ref (parse_bitxor p) in
+  let rec go () =
+    (* careful: '|' only when not '||' (already consumed) *)
+    if accept_punct p "|" then begin
+      lhs := Ebin (Bor, !lhs, parse_bitxor p);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_bitxor p =
+  let lhs = ref (parse_bitand p) in
+  while accept_punct p "^" do
+    lhs := Ebin (Bxor, !lhs, parse_bitand p)
+  done;
+  !lhs
+
+and parse_bitand p =
+  let lhs = ref (parse_equality p) in
+  while accept_punct p "&" do
+    lhs := Ebin (Band, !lhs, parse_equality p)
+  done;
+  !lhs
+
+and parse_equality p =
+  let lhs = ref (parse_relational p) in
+  let rec go () =
+    if accept_punct p "==" then begin
+      lhs := Ebin (Eq, !lhs, parse_relational p);
+      go ()
+    end
+    else if accept_punct p "!=" then begin
+      lhs := Ebin (Ne, !lhs, parse_relational p);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_relational p =
+  let lhs = ref (parse_shift p) in
+  let rec go () =
+    if accept_punct p "<=" then begin
+      lhs := Ebin (Le, !lhs, parse_shift p);
+      go ()
+    end
+    else if accept_punct p ">=" then begin
+      lhs := Ebin (Ge, !lhs, parse_shift p);
+      go ()
+    end
+    else if accept_punct p "<" then begin
+      lhs := Ebin (Lt, !lhs, parse_shift p);
+      go ()
+    end
+    else if accept_punct p ">" then begin
+      lhs := Ebin (Gt, !lhs, parse_shift p);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_shift p =
+  let lhs = ref (parse_additive p) in
+  let rec go () =
+    if accept_punct p "<<" then begin
+      lhs := Ebin (Shl, !lhs, parse_additive p);
+      go ()
+    end
+    else if accept_punct p ">>" then begin
+      lhs := Ebin (Shr, !lhs, parse_additive p);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_additive p =
+  let lhs = ref (parse_multiplicative p) in
+  let rec go () =
+    if accept_punct p "+" then begin
+      lhs := Ebin (Add, !lhs, parse_multiplicative p);
+      go ()
+    end
+    else if accept_punct p "-" then begin
+      lhs := Ebin (Sub, !lhs, parse_multiplicative p);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_multiplicative p =
+  let lhs = ref (parse_unary p) in
+  let rec go () =
+    if accept_punct p "*" then begin
+      lhs := Ebin (Mul, !lhs, parse_unary p);
+      go ()
+    end
+    else if accept_punct p "/" then begin
+      lhs := Ebin (Div, !lhs, parse_unary p);
+      go ()
+    end
+    else if accept_punct p "%" then begin
+      lhs := Ebin (Mod, !lhs, parse_unary p);
+      go ()
+    end
+  in
+  go ();
+  !lhs
+
+and parse_unary p =
+  if accept_punct p "-" then Eun (Neg, parse_unary p)
+  else if accept_punct p "!" then Eun (Not, parse_unary p)
+  else if accept_punct p "&" then Eaddr (expect_ident p)
+  else if
+    (* cast: "(" type ")" unary *)
+    (match peek p with
+     | Lexer.PUNCT "(" -> is_type_kw (fst p.toks.(p.pos + 1))
+     | _ -> false)
+  then begin
+    expect_punct p "(";
+    let ty = parse_ty p in
+    expect_punct p ")";
+    Ecast (ty, parse_unary p)
+  end
+  else parse_postfix p
+
+and parse_postfix p =
+  let e = ref (parse_primary p) in
+  let rec go () =
+    if accept_punct p "[" then begin
+      let idx = parse_expr p in
+      expect_punct p "]";
+      e := Eindex (!e, idx);
+      go ()
+    end
+  in
+  go ();
+  !e
+
+and parse_primary p =
+  match peek p with
+  | Lexer.INT v ->
+    advance p;
+    Eint v
+  | Lexer.FLOAT v ->
+    advance p;
+    Efloat v
+  | Lexer.IDENT name ->
+    advance p;
+    if accept_punct p "(" then begin
+      let args = ref [] in
+      if not (accept_punct p ")") then begin
+        args := [ parse_expr p ];
+        while accept_punct p "," do
+          args := parse_expr p :: !args
+        done;
+        expect_punct p ")"
+      end;
+      Ecall (name, List.rev !args)
+    end
+    else Evar name
+  | Lexer.PUNCT "(" ->
+    advance p;
+    let e = parse_expr p in
+    expect_punct p ")";
+    e
+  | _ -> err p "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* assignment / increment / expression — without trailing ';' *)
+let rec parse_simple p =
+  if is_type_kw (peek p) then begin
+    let ty = parse_ty p in
+    let name = expect_ident p in
+    let init = if accept_punct p "=" then Some (parse_expr p) else None in
+    Sdecl (ty, name, init)
+  end
+  else begin
+    let e = parse_expr p in
+    let as_lvalue = function
+      | Evar x -> Lvar x
+      | Eindex (b, i) -> Lindex (b, i)
+      | _ -> err p "invalid assignment target"
+    in
+    let lval_expr = function
+      | Lvar x -> Evar x
+      | Lindex (b, i) -> Eindex (b, i)
+    in
+    if accept_punct p "=" then Sassign (as_lvalue e, parse_expr p)
+    else if accept_punct p "+=" then
+      let l = as_lvalue e in
+      Sassign (l, Ebin (Add, lval_expr l, parse_expr p))
+    else if accept_punct p "-=" then
+      let l = as_lvalue e in
+      Sassign (l, Ebin (Sub, lval_expr l, parse_expr p))
+    else if accept_punct p "*=" then
+      let l = as_lvalue e in
+      Sassign (l, Ebin (Mul, lval_expr l, parse_expr p))
+    else if accept_punct p "/=" then
+      let l = as_lvalue e in
+      Sassign (l, Ebin (Div, lval_expr l, parse_expr p))
+    else if accept_punct p "++" then
+      let l = as_lvalue e in
+      Sassign (l, Ebin (Add, lval_expr l, Eint 1L))
+    else if accept_punct p "--" then
+      let l = as_lvalue e in
+      Sassign (l, Ebin (Sub, lval_expr l, Eint 1L))
+    else Sexpr e
+  end
+
+and parse_stmt p =
+  match peek p with
+  | Lexer.KW "if" ->
+    advance p;
+    expect_punct p "(";
+    let cond = parse_expr p in
+    expect_punct p ")";
+    let then_b = parse_block_or_stmt p in
+    let else_b = if accept_kw p "else" then parse_block_or_stmt p else [] in
+    Sif (cond, then_b, else_b)
+  | Lexer.KW "for" ->
+    advance p;
+    expect_punct p "(";
+    let init =
+      if accept_punct p ";" then None
+      else begin
+        let s = parse_simple p in
+        expect_punct p ";";
+        Some s
+      end
+    in
+    let cond =
+      if accept_punct p ";" then None
+      else begin
+        let e = parse_expr p in
+        expect_punct p ";";
+        Some e
+      end
+    in
+    let step =
+      match peek p with
+      | Lexer.PUNCT ")" -> None
+      | _ -> Some (parse_simple p)
+    in
+    expect_punct p ")";
+    Sfor (init, cond, step, parse_block_or_stmt p)
+  | Lexer.KW "while" ->
+    advance p;
+    expect_punct p "(";
+    let cond = parse_expr p in
+    expect_punct p ")";
+    Swhile (cond, parse_block_or_stmt p)
+  | Lexer.KW "break" ->
+    advance p;
+    expect_punct p ";";
+    Sbreak
+  | Lexer.KW "return" ->
+    advance p;
+    if accept_punct p ";" then Sreturn None
+    else begin
+      let e = parse_expr p in
+      expect_punct p ";";
+      Sreturn (Some e)
+    end
+  | Lexer.PUNCT "{" -> Sblock (parse_block p)
+  | _ ->
+    let s = parse_simple p in
+    expect_punct p ";";
+    s
+
+and parse_block p =
+  expect_punct p "{";
+  let stmts = ref [] in
+  while not (accept_punct p "}") do
+    stmts := parse_stmt p :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_block_or_stmt p =
+  match peek p with
+  | Lexer.PUNCT "{" -> parse_block p
+  | _ -> [ parse_stmt p ]
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_top p ~globals ~externs ~funcs =
+  if accept_kw p "extern" then begin
+    let ret = if accept_kw p "void" then None else Some (parse_ty p) in
+    let name = expect_ident p in
+    expect_punct p "(";
+    let params = ref [] in
+    if not (accept_punct p ")") then begin
+      params := [ parse_ty p ];
+      (* allow and ignore parameter names in extern decls *)
+      (match peek p with Lexer.IDENT _ -> advance p | _ -> ());
+      while accept_punct p "," do
+        params := parse_ty p :: !params;
+        match peek p with Lexer.IDENT _ -> advance p | _ -> ()
+      done;
+      expect_punct p ")"
+    end;
+    expect_punct p ";";
+    externs := { ename = name; eparams = List.rev !params; eret = ret } :: !externs
+  end
+  else begin
+    let is_void = accept_kw p "void" in
+    let ty = if is_void then None else Some (parse_ty p) in
+    let name = expect_ident p in
+    match peek p with
+    | Lexer.PUNCT "(" ->
+      advance p;
+      let params = ref [] in
+      if not (accept_punct p ")") then begin
+        let pt = parse_ty p in
+        let pn = expect_ident p in
+        params := [ (pt, pn) ];
+        while accept_punct p "," do
+          let pt = parse_ty p in
+          let pn = expect_ident p in
+          params := (pt, pn) :: !params
+        done;
+        expect_punct p ")"
+      end;
+      let body = parse_block p in
+      funcs :=
+        { fname = name; params = List.rev !params; ret = ty; body } :: !funcs
+    | Lexer.PUNCT "[" ->
+      advance p;
+      let n =
+        match peek p with
+        | Lexer.INT v ->
+          advance p;
+          Int64.to_int v
+        | _ -> err p "expected array size"
+      in
+      expect_punct p "]";
+      expect_punct p ";";
+      (match ty with
+       | Some t -> globals := Garray (t, name, n) :: !globals
+       | None -> err p "void array")
+    | _ ->
+      let init = if accept_punct p "=" then Some (parse_expr p) else None in
+      expect_punct p ";";
+      (match ty with
+       | Some t -> globals := Gscalar (t, name, init) :: !globals
+       | None -> err p "void variable")
+  end
+
+let parse src =
+  let p = create src in
+  let globals = ref [] in
+  let externs = ref [] in
+  let funcs = ref [] in
+  while peek p <> Lexer.EOF do
+    parse_top p ~globals ~externs ~funcs
+  done;
+  {
+    globals = List.rev !globals;
+    externs = List.rev !externs;
+    funcs = List.rev !funcs;
+  }

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the guest mini-C language. *)
+
+exception Error of string * int  (** message, line *)
+
+(** Parse a whole translation unit.
+    @raise Error on syntax errors
+    @raise Lexer.Error on lexical errors *)
+val parse : string -> Ast.program

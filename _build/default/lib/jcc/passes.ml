@@ -1,0 +1,318 @@
+(** Scalar optimisation passes over MIR: constant folding, block-local
+    constant/copy propagation, common-subexpression elimination,
+    strength reduction, addressing-mode folding and dead-code
+    elimination. All are conservative on the non-SSA MIR: propagation
+    facts are block-local; DCE is global. *)
+
+open Mir
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fold_ibin op (a : int64) (b : int64) : int64 option =
+  match op with
+  | Madd -> Some (Int64.add a b)
+  | Msub -> Some (Int64.sub a b)
+  | Mmul -> Some (Int64.mul a b)
+  | Mdiv -> if Int64.equal b 0L then None else Some (Int64.div a b)
+  | Mmod -> if Int64.equal b 0L then None else Some (Int64.rem a b)
+  | Mand -> Some (Int64.logand a b)
+  | Mor -> Some (Int64.logor a b)
+  | Mxor -> Some (Int64.logxor a b)
+  | Mshl -> Some (Int64.shift_left a (Int64.to_int b land 63))
+  | Mshr -> Some (Int64.shift_right a (Int64.to_int b land 63))
+
+let fold_fbin op a b =
+  match op with
+  | FAdd -> a +. b
+  | FSub -> a -. b
+  | FMul -> a *. b
+  | FDiv -> a /. b
+
+let eval_icond c (a : int64) (b : int64) =
+  let open Janus_vx.Cond in
+  match c with
+  | Eq -> Int64.equal a b
+  | Ne -> not (Int64.equal a b)
+  | Lt -> Int64.compare a b < 0
+  | Le -> Int64.compare a b <= 0
+  | Gt -> Int64.compare a b > 0
+  | Ge -> Int64.compare a b >= 0
+  | Ult -> Int64.unsigned_compare a b < 0
+  | Ule -> Int64.unsigned_compare a b <= 0
+  | Ugt -> Int64.unsigned_compare a b > 0
+  | Uge -> Int64.unsigned_compare a b >= 0
+  | S -> Int64.compare a b < 0
+  | Ns -> Int64.compare a b >= 0
+
+let fold_inst = function
+  | Ibin (op, d, Oi a, Oi b) -> begin
+      match fold_ibin op a b with
+      | Some v -> Imov (d, Oi v)
+      | None -> Ibin (op, d, Oi a, Oi b)
+    end
+  | Ifbin (op, d, Of a, Of b) -> Imov (d, Of (fold_fbin op a b))
+  | Icmpset (I64, c, d, Oi a, Oi b) ->
+    Imov (d, Oi (if eval_icond c a b then 1L else 0L))
+  | Icvt_i2f (d, Oi a) -> Imov (d, Of (Int64.to_float a))
+  | Icvt_f2i (d, Of a) -> Imov (d, Oi (Int64.of_float a))
+  (* algebraic identities *)
+  | Ibin (Madd, d, a, Oi 0L) | Ibin (Msub, d, a, Oi 0L)
+  | Ibin (Mmul, d, a, Oi 1L) | Ibin (Mdiv, d, a, Oi 1L) -> Imov (d, a)
+  | Ibin (Mmul, d, _, Oi 0L) -> Imov (d, Oi 0L)
+  | Ifbin (FMul, d, a, Of 1.0) | Ifbin (FDiv, d, a, Of 1.0)
+  | Ifbin (FAdd, d, a, Of 0.0) | Ifbin (FSub, d, a, Of 0.0) -> Imov (d, a)
+  | i -> i
+
+(* strength reduction: multiply / divide by powers of two *)
+let log2_of (v : int64) =
+  let rec go k =
+    if k > 62 then None
+    else if Int64.equal (Int64.shift_left 1L k) v then Some k
+    else go (k + 1)
+  in
+  if Int64.compare v 1L > 0 then go 1 else None
+
+let strength_reduce = function
+  | Ibin (Mmul, d, a, Oi v) as i -> begin
+      match log2_of v with
+      | Some k -> Ibin (Mshl, d, a, Oi (Int64.of_int k))
+      | None -> i
+    end
+  | Ibin (Mmul, d, Oi v, a) as i -> begin
+      match log2_of v with
+      | Some k -> Ibin (Mshl, d, a, Oi (Int64.of_int k))
+      | None -> i
+    end
+  | i -> i
+
+(* ------------------------------------------------------------------ *)
+(* Block-local constant / copy propagation                             *)
+(* ------------------------------------------------------------------ *)
+
+let subst_operand env = function
+  | Ov v as o -> (match Hashtbl.find_opt env v with Some o' -> o' | None -> o)
+  | o -> o
+
+let subst_addr env a =
+  let fold_index a =
+    match a.aindex with
+    | Some (Oi k) ->
+      { a with aindex = None; adisp = a.adisp + (Int64.to_int k * a.ascale) }
+    | _ -> a
+  in
+  let fold_base a =
+    match a.abase with
+    | Some (Oi k) -> { a with abase = None; adisp = a.adisp + Int64.to_int k }
+    | _ -> a
+  in
+  fold_base
+    (fold_index
+       {
+         a with
+         abase = Option.map (subst_operand env) a.abase;
+         aindex = Option.map (subst_operand env) a.aindex;
+       })
+
+let subst_inst env i =
+  let s = subst_operand env in
+  match i with
+  | Ibin (op, d, a, b) -> Ibin (op, d, s a, s b)
+  | Ifbin (op, d, a, b) -> Ifbin (op, d, s a, s b)
+  | Imov (d, a) -> Imov (d, s a)
+  | Icmpset (t, c, d, a, b) -> Icmpset (t, c, d, s a, s b)
+  | Iload (t, d, a) -> Iload (t, d, subst_addr env a)
+  | Istore (t, a, v) -> Istore (t, subst_addr env a, s v)
+  | Icvt_i2f (d, a) -> Icvt_i2f (d, s a)
+  | Icvt_f2i (d, a) -> Icvt_f2i (d, s a)
+  | Icall (f, args, d) -> Icall (f, List.map s args, d)
+  | Ipar_for (f, lo, hi, t) -> Ipar_for (f, s lo, s hi, t)
+  | Ivload (w, d, a) -> Ivload (w, d, subst_addr env a)
+  | Ivstore (w, a, v) -> Ivstore (w, subst_addr env a, v)
+  | Ivbin _ | Ivbcast _ -> (match i with Ivbcast (w, d, a) -> Ivbcast (w, d, s a) | _ -> i)
+
+
+(* drop any fact mentioning a redefined vreg *)
+let kill_mentions env v =
+  let doomed =
+    Hashtbl.fold
+      (fun k o acc -> match o with Ov u when u = v -> k :: acc | _ -> acc)
+      env []
+  in
+  List.iter (Hashtbl.remove env) doomed
+
+let propagate_block fn b =
+  ignore fn;
+  let env : (int, operand) Hashtbl.t = Hashtbl.create 16 in
+  let insts =
+    List.map
+      (fun i ->
+         let i = subst_inst env i in
+         let i = fold_inst i in
+         (* record new facts / kill stale ones *)
+         List.iter
+           (fun d ->
+              Hashtbl.remove env d;
+              kill_mentions env d)
+           (inst_defs i);
+         (match i with
+          | Imov (d, ((Oi _ | Of _ | Ov _) as src)) ->
+            (match src with
+             | Ov s when s = d -> ()
+             | _ -> Hashtbl.replace env d src)
+          | _ -> ());
+         i)
+      b.insts
+  in
+  b.insts <- insts;
+  b.term <-
+    (match b.term with
+     | Tcbr (t, c, a, bb, x, y) ->
+       let a = subst_operand env a and bb = subst_operand env bb in
+       (match a, bb with
+        | Oi va, Oi vb when t = I64 ->
+          if eval_icond c va vb then Tbr x else Tbr y
+        | _ -> Tcbr (t, c, a, bb, x, y))
+     | Tret (Some o) -> Tret (Some (subst_operand env o))
+     | t -> t)
+
+(* ------------------------------------------------------------------ *)
+(* Block-local CSE                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type key =
+  | Kbin of ibin * operand * operand
+  | Kfbin of fbin * operand * operand
+  | Kload of ty * addr
+  | Kcmp of ty * Janus_vx.Cond.t * operand * operand
+  | Kcvt_i2f of operand
+  | Kcvt_f2i of operand
+
+let key_of = function
+  | Ibin (op, _, a, b) -> Some (Kbin (op, a, b))
+  | Ifbin (op, _, a, b) -> Some (Kfbin (op, a, b))
+  | Iload (t, _, a) -> Some (Kload (t, a))
+  | Icmpset (t, c, _, a, b) -> Some (Kcmp (t, c, a, b))
+  | Icvt_i2f (_, a) -> Some (Kcvt_i2f a)
+  | Icvt_f2i (_, a) -> Some (Kcvt_f2i a)
+  | _ -> None
+
+let key_mentions v = function
+  | Kbin (_, a, b) | Kfbin (_, a, b) | Kcmp (_, _, a, b) ->
+    a = Ov v || b = Ov v
+  | Kload (_, a) -> a.abase = Some (Ov v) || a.aindex = Some (Ov v)
+  | Kcvt_i2f a | Kcvt_f2i a -> a = Ov v
+
+let cse_block b =
+  let table : (key, int) Hashtbl.t = Hashtbl.create 16 in
+  let insts =
+    List.map
+      (fun i ->
+         let replacement =
+           match key_of i with
+           | Some k -> begin
+               match Hashtbl.find_opt table k, inst_defs i with
+               | Some src, [ d ] -> Some (Imov (d, Ov src))
+               | _ -> None
+             end
+           | None -> None
+         in
+         let i = match replacement with Some r -> r | None -> i in
+         (* invalidate facts killed by this instruction *)
+         (match i with
+          | Istore _ | Icall _ | Ipar_for _ | Ivstore _ ->
+            (* memory changed: drop loads *)
+            let doomed =
+              Hashtbl.fold
+                (fun k _ acc ->
+                   match k with Kload _ -> k :: acc | _ -> acc)
+                table []
+            in
+            List.iter (Hashtbl.remove table) doomed
+          | _ -> ());
+         List.iter
+           (fun d ->
+              let doomed =
+                Hashtbl.fold
+                  (fun k src acc ->
+                     if src = d || key_mentions d k then k :: acc else acc)
+                  table []
+              in
+              List.iter (Hashtbl.remove table) doomed)
+           (inst_defs i);
+         (match key_of i, inst_defs i with
+          | Some k, [ d ] -> Hashtbl.replace table k d
+          | _ -> ());
+         i)
+      b.insts
+  in
+  b.insts <- insts
+
+(* ------------------------------------------------------------------ *)
+(* Dead-code elimination (global)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dce fn =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = Hashtbl.create 64 in
+    let mark v = Hashtbl.replace used v () in
+    List.iter
+      (fun b ->
+         List.iter (fun i -> List.iter mark (inst_uses i)) b.insts;
+         List.iter mark (term_uses b.term))
+      fn.blocks;
+    List.iter
+      (fun b ->
+         let insts =
+           List.filter
+             (fun i ->
+                has_side_effect i
+                || List.exists (fun d -> Hashtbl.mem used d) (inst_defs i)
+                ||
+                match inst_defs i with
+                | [] -> true  (* defines nothing, keep (no pure such insts) *)
+                | _ -> false)
+             b.insts
+         in
+         if List.length insts <> List.length b.insts then changed := true;
+         b.insts <- insts)
+      fn.blocks
+  done
+
+(* remove blocks unreachable from the entry *)
+let prune_unreachable fn =
+  let reachable = Hashtbl.create 16 in
+  let rec visit id =
+    if not (Hashtbl.mem reachable id) then begin
+      Hashtbl.replace reachable id ();
+      match List.find_opt (fun b -> b.bid = id) fn.blocks with
+      | Some b -> List.iter visit (succs b.term)
+      | None -> ()
+    end
+  in
+  visit fn.entry;
+  fn.blocks <- List.filter (fun b -> Hashtbl.mem reachable b.bid) fn.blocks;
+  fn.loops <-
+    List.filter
+      (fun l ->
+         Hashtbl.mem reachable l.l_header && Hashtbl.mem reachable l.l_latch)
+      fn.loops
+
+(* ------------------------------------------------------------------ *)
+(* Pass driver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_scalar ?(strength = false) fn =
+  for _ = 1 to 3 do
+    List.iter
+      (fun b ->
+         propagate_block fn b;
+         if strength then b.insts <- List.map strength_reduce b.insts;
+         cse_block b)
+      fn.blocks;
+    dce fn;
+    prune_unreachable fn
+  done

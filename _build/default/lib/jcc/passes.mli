@@ -1,0 +1,23 @@
+(** Scalar optimisation passes over MIR: constant folding, block-local
+    constant/copy propagation, common-subexpression elimination,
+    strength reduction, addressing-mode folding, dead-code elimination
+    and unreachable-block pruning. All are conservative on the non-SSA
+    MIR: propagation facts are block-local; DCE is global. *)
+
+(** Fold one instruction's constants and algebraic identities. *)
+val fold_inst : Mir.inst -> Mir.inst
+
+(** Rewrite multiplications by powers of two into shifts. *)
+val strength_reduce : Mir.inst -> Mir.inst
+
+(** Global dead-code elimination (pure instructions with unused
+    destinations). *)
+val dce : Mir.fn -> unit
+
+(** Drop blocks unreachable from the entry, and loop summaries whose
+    blocks disappeared. *)
+val prune_unreachable : Mir.fn -> unit
+
+(** Run the scalar pipeline to a (bounded) fixpoint. [strength]
+    enables strength reduction (O2+). *)
+val run_scalar : ?strength:bool -> Mir.fn -> unit

@@ -1,0 +1,202 @@
+(** Linear-scan register allocation over MIR.
+
+    Guest ABI (deliberately Win64-flavoured for FP): integer pool
+    registers RBX, R12-R15 are callee-saved; FP pool registers
+    XMM8-XMM13 are callee-saved in this ABI, so values may stay in
+    registers across calls. R10/R11 and XMM15 are reserved as
+    code-generation scratch; argument registers are excluded from
+    allocation and shuffled explicitly at call sites. *)
+
+open Janus_vx
+open Mir
+
+type location =
+  | Lgp of Reg.gp
+  | Lfp of Reg.fp
+  | Lslot of int   (* frame slot index; byte offset assigned by emit *)
+
+type assignment = {
+  locs : location array;         (* vreg -> location *)
+  nslots : int;                  (* total spill slots (8-byte units) *)
+  used_gp : Reg.gp list;         (* callee-saved GP registers touched *)
+  used_fp : Reg.fp list;
+}
+
+let gp_pool = [ Reg.RBX; Reg.R12; Reg.R13; Reg.R14; Reg.R15 ]
+let fp_pool = List.map (fun i -> Reg.XMM i) [ 8; 9; 10; 11; 12; 13 ]
+
+let is_vector_ty = function V2d | V4d -> true | I64 | F64 -> false
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module IS = Set.Make (Int)
+
+let block_gen_kill b =
+  (* backwards within a block: gen = used before defined *)
+  let gen = ref IS.empty and kill = ref IS.empty in
+  let handle_uses us =
+    List.iter (fun v -> if not (IS.mem v !kill) then gen := IS.add v !gen) us
+  in
+  List.iter
+    (fun i ->
+       handle_uses (inst_uses i);
+       List.iter (fun d -> kill := IS.add d !kill) (inst_defs i))
+    b.insts;
+  handle_uses (term_uses b.term);
+  (!gen, !kill)
+
+(* live-in per block, iterated to fixpoint *)
+let liveness fn =
+  let gk = List.map (fun b -> (b.bid, block_gen_kill b)) fn.blocks in
+  let live_in = Hashtbl.create 16 in
+  let live_out = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+       Hashtbl.replace live_in b.bid IS.empty;
+       Hashtbl.replace live_out b.bid IS.empty)
+    fn.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+         let out =
+           List.fold_left
+             (fun acc s ->
+                IS.union acc
+                  (try Hashtbl.find live_in s with Not_found -> IS.empty))
+             IS.empty (succs b.term)
+         in
+         let gen, kill = List.assoc b.bid gk in
+         let inn = IS.union gen (IS.diff out kill) in
+         if not (IS.equal inn (Hashtbl.find live_in b.bid)) then begin
+           changed := true;
+           Hashtbl.replace live_in b.bid inn
+         end;
+         Hashtbl.replace live_out b.bid out)
+      (List.rev fn.blocks)
+  done;
+  (live_in, live_out)
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type interval = { v : int; mutable istart : int; mutable iend : int }
+
+let intervals fn =
+  let _live_in, live_out = liveness fn in
+  let tbl : (int, interval) Hashtbl.t = Hashtbl.create 32 in
+  let touch v p =
+    match Hashtbl.find_opt tbl v with
+    | Some iv ->
+      if p < iv.istart then iv.istart <- p;
+      if p > iv.iend then iv.iend <- p
+    | None -> Hashtbl.replace tbl v { v; istart = p; iend = p }
+  in
+  let pos = ref 0 in
+  (* parameters are defined at position 0 *)
+  List.iter (fun (_, _, v) -> touch v 0) fn.params;
+  List.iter
+    (fun b ->
+       let bstart = !pos in
+       List.iter
+         (fun i ->
+            incr pos;
+            List.iter (fun u -> touch u !pos) (inst_uses i);
+            List.iter (fun d -> touch d !pos) (inst_defs i))
+         b.insts;
+       incr pos;
+       List.iter (fun u -> touch u !pos) (term_uses b.term);
+       let bend = !pos in
+       (* anything live-out of the block spans the whole block *)
+       IS.iter
+         (fun v ->
+            touch v bstart;
+            touch v bend)
+         (try Hashtbl.find live_out b.bid with Not_found -> IS.empty))
+    fn.blocks;
+  Hashtbl.fold (fun _ iv acc -> iv :: acc) tbl []
+  |> List.sort (fun a b -> compare (a.istart, a.v) (b.istart, b.v))
+
+(* ------------------------------------------------------------------ *)
+(* Linear scan                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type klass = Kgp | Kfp
+
+let klass_of_ty = function I64 -> Kgp | F64 | V2d | V4d -> Kfp
+
+(** [allocate ~pool_gp ~pool_fp fn] assigns each vreg a register or a
+    spill slot. Empty pools model -O0 (everything in memory). *)
+let allocate ?(pool_gp = gp_pool) ?(pool_fp = fp_pool) fn =
+  let locs = Array.make (max fn.nv 1) (Lslot (-1)) in
+  let ivs = intervals fn in
+  let free_gp = ref pool_gp in
+  let free_fp = ref pool_fp in
+  let active : (interval * klass * location) list ref = ref [] in
+  let next_slot = ref 0 in
+  let used_gp = ref [] and used_fp = ref [] in
+  let slot_bytes v = if is_vector_ty (vtype fn v) then 4 else 1 in
+  let new_slot v =
+    let s = !next_slot in
+    next_slot := !next_slot + slot_bytes v;
+    Lslot s
+  in
+  let release (_, k, loc) =
+    match k, loc with
+    | Kgp, Lgp r -> free_gp := r :: !free_gp
+    | Kfp, Lfp r -> free_fp := r :: !free_fp
+    | _ -> ()
+  in
+  let expire p =
+    let expired, alive = List.partition (fun (iv, _, _) -> iv.iend < p) !active in
+    List.iter release expired;
+    active := alive
+  in
+  let spill_or_steal iv k =
+    (* no free register: spill the same-class active interval ending last *)
+    let same_class = List.filter (fun (_, k', _) -> k' = k) !active in
+    let victim =
+      List.fold_left
+        (fun best ((i, _, _) as cand) ->
+           match best with
+           | Some ((bi, _, _) as b) ->
+             if i.iend > bi.iend then Some cand else Some b
+           | None -> Some cand)
+        None same_class
+    in
+    match victim with
+    | Some ((viv, _, vloc) as entry) when viv.iend > iv.iend ->
+      locs.(iv.v) <- vloc;
+      locs.(viv.v) <- new_slot viv.v;
+      active := (iv, k, vloc) :: List.filter (fun e -> e != entry) !active
+    | _ -> locs.(iv.v) <- new_slot iv.v
+  in
+  List.iter
+    (fun iv ->
+       expire iv.istart;
+       let k = klass_of_ty (vtype fn iv.v) in
+       match k with
+       | Kgp -> begin
+           match !free_gp with
+           | r :: rest ->
+             free_gp := rest;
+             locs.(iv.v) <- Lgp r;
+             if not (List.mem r !used_gp) then used_gp := r :: !used_gp;
+             active := (iv, Kgp, Lgp r) :: !active
+           | [] -> spill_or_steal iv Kgp
+         end
+       | Kfp -> begin
+           match !free_fp with
+           | r :: rest ->
+             free_fp := rest;
+             locs.(iv.v) <- Lfp r;
+             if not (List.mem r !used_fp) then used_fp := r :: !used_fp;
+             active := (iv, Kfp, Lfp r) :: !active
+           | [] -> spill_or_steal iv Kfp
+         end)
+    ivs;
+  { locs; nslots = !next_slot; used_gp = !used_gp; used_fp = !used_fp }

@@ -1,0 +1,35 @@
+(** Linear-scan register allocation over MIR.
+
+    Guest ABI (deliberately Win64-flavoured for FP): pool registers
+    RBX, R12-R15 and XMM8-XMM13 are callee-saved, so values stay in
+    registers across calls; R9-R11 and XMM14/XMM15 are reserved as
+    code-generation scratch; argument registers are excluded from
+    allocation and shuffled explicitly at call sites. *)
+
+open Janus_vx
+open Mir
+
+type location =
+  | Lgp of Reg.gp
+  | Lfp of Reg.fp
+  | Lslot of int   (** frame slot index (8-byte units) *)
+
+type assignment = {
+  locs : location array;   (** vreg -> location *)
+  nslots : int;            (** spill slots used, in 8-byte units *)
+  used_gp : Reg.gp list;   (** callee-saved GP registers touched *)
+  used_fp : Reg.fp list;
+}
+
+val gp_pool : Reg.gp list
+val fp_pool : Reg.fp list
+
+(** Liveness-based live intervals over the function's linearised
+    instruction order (exposed for tests). *)
+type interval = { v : int; mutable istart : int; mutable iend : int }
+
+val intervals : fn -> interval list
+
+(** Allocate registers / spill slots. Empty pools model -O0 (every
+    value lives in memory). *)
+val allocate : ?pool_gp:Reg.gp list -> ?pool_fp:Reg.fp list -> fn -> assignment

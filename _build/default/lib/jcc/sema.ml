@@ -1,0 +1,290 @@
+(** Type checker: elaborates the parsed AST into a typed AST with
+    explicit promotions, resolved variable kinds (local / parameter /
+    global scalar / global array) and resolved call kinds. *)
+
+open Ast
+
+exception Error of string
+
+let errf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type var_kind =
+  | Vlocal        (* function-local variable, including parameters *)
+  | Vglobal       (* global scalar *)
+  | Vglobal_array (* global array: value is its address, type Tptr _ *)
+
+type call_kind =
+  | Cbuiltin
+  | Cextern
+  | Clocal
+
+type texpr = { node : tnode; ty : ty }
+
+and tnode =
+  | Tint_lit of int64
+  | Tfloat_lit of float
+  | Tvar of var_kind * string
+  | Tindex of texpr * texpr          (* base (pointer-typed), index (int) *)
+  | Tbin of binop * texpr * texpr
+  | Tun of unop * texpr
+  | Tcall of call_kind * string * texpr list
+  | Tcast_i2f of texpr
+  | Tcast_f2i of texpr
+  | Tand of texpr * texpr            (* short-circuit *)
+  | Tor of texpr * texpr
+
+type tlvalue =
+  | TLvar of var_kind * string * ty
+  | TLindex of texpr * texpr * ty    (* base, index, element type *)
+
+type tstmt =
+  | TSdecl of ty * string * texpr option
+  | TSassign of tlvalue * texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSfor of tstmt option * texpr option * tstmt option * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSbreak
+  | TSreturn of texpr option
+  | TSexpr of texpr
+
+type tfunc = {
+  tf_name : string;
+  tf_params : (ty * string) list;
+  tf_ret : ty option;
+  tf_body : tstmt list;
+}
+
+type tprogram = {
+  tglobals : global list;
+  texterns : extern_decl list;
+  tfuncs : tfunc list;
+}
+
+type env = {
+  globals : (string, ty * var_kind) Hashtbl.t;
+  functions : (string, ty list * ty option * call_kind) Hashtbl.t;
+  mutable scopes : (string, ty) Hashtbl.t list;  (* innermost first *)
+  mutable ret : ty option;
+}
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> None
+    | sc :: tl ->
+      (match Hashtbl.find_opt sc name with
+       | Some ty -> Some (Vlocal, ty)
+       | None -> go tl)
+  in
+  match go env.scopes with
+  | Some r -> Some r
+  | None ->
+    (match Hashtbl.find_opt env.globals name with
+     | Some (ty, kind) -> Some (kind, ty)
+     | None -> None)
+
+let is_numeric = function Tint | Tdouble -> true | Tptr _ -> false
+
+let promote a b =
+  (* returns the common type and coercion markers *)
+  match a.ty, b.ty with
+  | Tint, Tint -> (Tint, a, b)
+  | Tdouble, Tdouble -> (Tdouble, a, b)
+  | Tint, Tdouble -> (Tdouble, { node = Tcast_i2f a; ty = Tdouble }, b)
+  | Tdouble, Tint -> (Tdouble, a, { node = Tcast_i2f b; ty = Tdouble })
+  | _ -> errf "cannot combine %s and %s" (Fmt.str "%a" pp_ty a.ty)
+           (Fmt.str "%a" pp_ty b.ty)
+
+let coerce_to ty e =
+  if e.ty = ty then e
+  else
+    match e.ty, ty with
+    | Tint, Tdouble -> { node = Tcast_i2f e; ty = Tdouble }
+    | Tdouble, Tint -> errf "implicit double -> int (use a cast)"
+    | Tint, Tptr _ -> { e with ty }  (* int literals / values as pointers *)
+    | Tptr _, Tint -> { e with ty = Tint }
+    | _ ->
+      errf "type mismatch: expected %s, got %s" (Fmt.str "%a" pp_ty ty)
+        (Fmt.str "%a" pp_ty e.ty)
+
+let rec check_expr env (e : expr) : texpr =
+  match e with
+  | Eint v -> { node = Tint_lit v; ty = Tint }
+  | Efloat v -> { node = Tfloat_lit v; ty = Tdouble }
+  | Evar name -> begin
+      match lookup_var env name with
+      | Some (kind, ty) -> { node = Tvar (kind, name); ty }
+      | None -> errf "unbound variable %s" name
+    end
+  | Eaddr name -> begin
+      match Hashtbl.find_opt env.globals name with
+      | Some (Tptr _ as ty, Vglobal_array) -> { node = Tvar (Vglobal_array, name); ty }
+      | Some _ -> errf "& applies to global arrays only (%s)" name
+      | None -> errf "unbound array %s" name
+    end
+  | Eindex (b, i) -> begin
+      let tb = check_expr env b in
+      let ti = coerce_to Tint (check_expr env i) in
+      match tb.ty with
+      | Tptr elem -> { node = Tindex (tb, ti); ty = elem }
+      | _ -> errf "indexing a non-pointer"
+    end
+  | Ebin (op, a, b) -> begin
+      let ta = check_expr env a in
+      let tb = check_expr env b in
+      match op with
+      | Add | Sub | Mul | Div ->
+        if not (is_numeric ta.ty) || not (is_numeric tb.ty) then
+          errf "arithmetic on non-numeric values";
+        let ty, ta, tb = promote ta tb in
+        { node = Tbin (op, ta, tb); ty }
+      | Mod | Band | Bxor | Bor | Shl | Shr ->
+        let ta = coerce_to Tint ta and tb = coerce_to Tint tb in
+        { node = Tbin (op, ta, tb); ty = Tint }
+      | Eq | Ne | Lt | Le | Gt | Ge ->
+        let _, ta, tb =
+          if is_numeric ta.ty && is_numeric tb.ty then promote ta tb
+          else (Tint, coerce_to Tint ta, coerce_to Tint tb)
+        in
+        { node = Tbin (op, ta, tb); ty = Tint }
+      | And ->
+        { node = Tand (coerce_to Tint ta, coerce_to Tint tb); ty = Tint }
+      | Or -> { node = Tor (coerce_to Tint ta, coerce_to Tint tb); ty = Tint }
+    end
+  | Eun (op, a) -> begin
+      let ta = check_expr env a in
+      match op with
+      | Neg ->
+        if not (is_numeric ta.ty) then errf "negating a non-numeric value";
+        { node = Tun (Neg, ta); ty = ta.ty }
+      | Not -> { node = Tun (Not, coerce_to Tint ta); ty = Tint }
+    end
+  | Ecast (ty, a) -> begin
+      let ta = check_expr env a in
+      match ta.ty, ty with
+      | Tint, Tdouble -> { node = Tcast_i2f ta; ty = Tdouble }
+      | Tdouble, Tint -> { node = Tcast_f2i ta; ty = Tint }
+      | Tint, Tptr _ -> { ta with ty }
+      | Tptr _, Tint -> { ta with ty = Tint }
+      | a', b' when a' = b' -> ta
+      | _ -> errf "unsupported cast"
+    end
+  | Ecall (name, args) -> begin
+      match Hashtbl.find_opt env.functions name with
+      | None -> errf "unknown function %s" name
+      | Some (params, ret, kind) ->
+        if List.length params <> List.length args then
+          errf "%s expects %d arguments" name (List.length params);
+        let targs =
+          List.map2 (fun pty a -> coerce_to pty (check_expr env a)) params args
+        in
+        let ty = match ret with Some t -> t | None -> Tint (* void: unusable *) in
+        { node = Tcall (kind, name, targs); ty }
+    end
+
+let check_lvalue env = function
+  | Lvar name -> begin
+      match lookup_var env name with
+      | Some (Vglobal_array, _) -> errf "cannot assign to array %s" name
+      | Some (kind, ty) -> TLvar (kind, name, ty)
+      | None -> errf "unbound variable %s" name
+    end
+  | Lindex (b, i) -> begin
+      let tb = check_expr env b in
+      let ti = coerce_to Tint (check_expr env i) in
+      match tb.ty with
+      | Tptr elem -> TLindex (tb, ti, elem)
+      | _ -> errf "indexing a non-pointer"
+    end
+
+let rec check_stmt env (s : stmt) : tstmt list =
+  match s with
+  | Sdecl (ty, name, init) ->
+    let tinit = Option.map (fun e -> coerce_to ty (check_expr env e)) init in
+    (match env.scopes with
+     | sc :: _ -> Hashtbl.replace sc name ty
+     | [] -> assert false);
+    [ TSdecl (ty, name, tinit) ]
+  | Sassign (lv, e) ->
+    let tlv = check_lvalue env lv in
+    let ty =
+      match tlv with TLvar (_, _, t) -> t | TLindex (_, _, t) -> t
+    in
+    [ TSassign (tlv, coerce_to ty (check_expr env e)) ]
+  | Sif (c, t, f) ->
+    let tc = coerce_to Tint (check_expr env c) in
+    [ TSif (tc, check_body env t, check_body env f) ]
+  | Sfor (init, cond, step, body) ->
+    (* the for scope includes the init declaration *)
+    env.scopes <- Hashtbl.create 8 :: env.scopes;
+    let tinit =
+      match init with
+      | Some s -> (match check_stmt env s with [ x ] -> Some x | _ -> None)
+      | None -> None
+    in
+    let tcond = Option.map (fun c -> coerce_to Tint (check_expr env c)) cond in
+    let tstep =
+      match step with
+      | Some s -> (match check_stmt env s with [ x ] -> Some x | _ -> None)
+      | None -> None
+    in
+    let tbody = check_body env body in
+    env.scopes <- List.tl env.scopes;
+    [ TSfor (tinit, tcond, tstep, tbody) ]
+  | Swhile (c, body) ->
+    let tc = coerce_to Tint (check_expr env c) in
+    [ TSwhile (tc, check_body env body) ]
+  | Sbreak -> [ TSbreak ]
+  | Sreturn e -> begin
+      match e, env.ret with
+      | None, None -> [ TSreturn None ]
+      | Some e, Some ty -> [ TSreturn (Some (coerce_to ty (check_expr env e))) ]
+      | Some _, None -> errf "returning a value from a void function"
+      | None, Some _ -> errf "missing return value"
+    end
+  | Sexpr e -> [ TSexpr (check_expr env e) ]
+  | Sblock b -> check_body env b
+
+and check_body env stmts =
+  env.scopes <- Hashtbl.create 8 :: env.scopes;
+  let r = List.concat_map (check_stmt env) stmts in
+  env.scopes <- List.tl env.scopes;
+  r
+
+let check (prog : program) : tprogram =
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Gscalar (ty, name, _) -> Hashtbl.replace globals name (ty, Vglobal)
+      | Garray (ty, name, _) ->
+        Hashtbl.replace globals name (Tptr ty, Vglobal_array))
+    prog.globals;
+  let functions = Hashtbl.create 16 in
+  List.iter
+    (fun (name, params, ret) -> Hashtbl.replace functions name (params, ret, Cbuiltin))
+    builtins;
+  List.iter
+    (fun e -> Hashtbl.replace functions e.ename (e.eparams, e.eret, Cextern))
+    prog.externs;
+  List.iter
+    (fun f ->
+       Hashtbl.replace functions f.fname
+         (List.map fst f.params, f.ret, Clocal))
+    prog.funcs;
+  let tfuncs =
+    List.map
+      (fun (f : func) ->
+         let env = { globals; functions; scopes = []; ret = f.ret } in
+         env.scopes <- [ Hashtbl.create 8 ];
+         List.iter
+           (fun (ty, name) ->
+              match env.scopes with
+              | sc :: _ -> Hashtbl.replace sc name ty
+              | [] -> assert false)
+           f.params;
+         let body = check_body env f.body in
+         { tf_name = f.fname; tf_params = f.params; tf_ret = f.ret; tf_body = body })
+      prog.funcs
+  in
+  if not (List.exists (fun f -> String.equal f.tf_name "main") tfuncs) then
+    errf "no main function";
+  { tglobals = prog.globals; texterns = prog.externs; tfuncs }

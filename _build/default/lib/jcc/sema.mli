@@ -1,0 +1,63 @@
+(** Type checker: elaborates the parsed AST into a typed AST with
+    explicit promotions, resolved variable kinds (local / global scalar
+    / global array) and resolved call kinds. *)
+
+open Ast
+
+exception Error of string
+
+type var_kind =
+  | Vlocal         (** function-local variable, including parameters *)
+  | Vglobal        (** global scalar *)
+  | Vglobal_array  (** global array: its value is its address *)
+
+type call_kind =
+  | Cbuiltin  (** print_int / print_float / read_int / alloc_* *)
+  | Cextern   (** PLT-resolved shared-library function *)
+  | Clocal    (** function defined in this unit *)
+
+type texpr = { node : tnode; ty : ty }
+
+and tnode =
+  | Tint_lit of int64
+  | Tfloat_lit of float
+  | Tvar of var_kind * string
+  | Tindex of texpr * texpr
+  | Tbin of binop * texpr * texpr
+  | Tun of unop * texpr
+  | Tcall of call_kind * string * texpr list
+  | Tcast_i2f of texpr
+  | Tcast_f2i of texpr
+  | Tand of texpr * texpr   (** short-circuit *)
+  | Tor of texpr * texpr
+
+type tlvalue =
+  | TLvar of var_kind * string * ty
+  | TLindex of texpr * texpr * ty
+
+type tstmt =
+  | TSdecl of ty * string * texpr option
+  | TSassign of tlvalue * texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSfor of tstmt option * texpr option * tstmt option * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSbreak
+  | TSreturn of texpr option
+  | TSexpr of texpr
+
+type tfunc = {
+  tf_name : string;
+  tf_params : (ty * string) list;
+  tf_ret : ty option;
+  tf_body : tstmt list;
+}
+
+type tprogram = {
+  tglobals : global list;
+  texterns : extern_decl list;
+  tfuncs : tfunc list;
+}
+
+(** Check and elaborate a program.
+    @raise Error on any type error (including a missing [main]). *)
+val check : program -> tprogram

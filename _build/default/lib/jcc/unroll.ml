@@ -1,0 +1,143 @@
+(** Loop unrolling (O3). The gcc profile unrolls simple counted loops
+    by 2, the icc profile by 4, leaving the original loop as the
+    remainder — producing exactly the "two different copies of unrolled
+    loops in the same outer loop" shape that complicates binary
+    analysis (§III-F). *)
+
+open Mir
+
+module IS = Set.Make (Int)
+
+(* vregs used before defined within a block: these are live-in
+   accumulators and must keep their identity across unrolled copies *)
+let live_in_defs b =
+  let seen_def = ref IS.empty in
+  let livein = ref IS.empty in
+  List.iter
+    (fun i ->
+       List.iter
+         (fun u -> if not (IS.mem u !seen_def) then livein := IS.add u !livein)
+         (inst_uses i);
+       List.iter (fun d -> seen_def := IS.add d !seen_def) (inst_defs i))
+    b.insts;
+  !livein
+
+let rename_operand map = function
+  | Ov v -> (match Hashtbl.find_opt map v with Some v' -> Ov v' | None -> Ov v)
+  | o -> o
+
+let rename_addr map a =
+  {
+    a with
+    abase = Option.map (rename_operand map) a.abase;
+    aindex = Option.map (rename_operand map) a.aindex;
+  }
+
+let rename_inst fn map keep i =
+  let r = rename_operand map in
+  let ra = rename_addr map in
+  let fresh d =
+    if IS.mem d keep then d
+    else begin
+      match Hashtbl.find_opt map d with
+      | Some d' -> d'
+      | None ->
+        let d' = new_vreg fn (vtype fn d) in
+        Hashtbl.replace map d d';
+        d'
+    end
+  in
+  match i with
+  | Ibin (op, d, a, b) ->
+    let a = r a and b = r b in
+    Ibin (op, fresh d, a, b)
+  | Ifbin (op, d, a, b) ->
+    let a = r a and b = r b in
+    Ifbin (op, fresh d, a, b)
+  | Imov (d, a) ->
+    let a = r a in
+    Imov (fresh d, a)
+  | Icmpset (t, c, d, a, b) ->
+    let a = r a and b = r b in
+    Icmpset (t, c, fresh d, a, b)
+  | Iload (t, d, a) ->
+    let a = ra a in
+    Iload (t, fresh d, a)
+  | Istore (t, a, v) -> Istore (t, ra a, r v)
+  | Icvt_i2f (d, a) ->
+    let a = r a in
+    Icvt_i2f (fresh d, a)
+  | Icvt_f2i (d, a) ->
+    let a = r a in
+    Icvt_f2i (fresh d, a)
+  | Icall (f, args, d) ->
+    let args = List.map r args in
+    Icall (f, args, Option.map fresh d)
+  | Ipar_for (f, lo, hi, t) -> Ipar_for (f, r lo, r hi, t)
+  | Ivload (w, d, a) ->
+    let a = ra a in
+    Ivload (w, fresh d, a)
+  | Ivstore (w, a, v) ->
+    Ivstore (w, rename_addr map a,
+             match Hashtbl.find_opt map v with Some v' -> v' | None -> v)
+  | Ivbin (w, op, d, a, b) ->
+    let a' = match Hashtbl.find_opt map a with Some x -> x | None -> a in
+    let b' = match Hashtbl.find_opt map b with Some x -> x | None -> b in
+    Ivbin (w, op, fresh d, a', b')
+  | Ivbcast (w, d, a) ->
+    let a = r a in
+    Ivbcast (w, fresh d, a)
+
+let factor = function Jcc_types.Gcc -> 2 | Jcc_types.Icc -> 4
+
+let unroll_loop fn l u =
+  match l.l_iv, l.l_bound with
+  | Some iv, Some bound when l.l_simple && l.l_body <> [] ->
+    let body = block fn (List.hd l.l_body) in
+    let keep = IS.add iv (live_in_defs body) in
+    let step = l.l_step in
+    (* uheader: continue while (iv + (u-1)*step) cond bound *)
+    let uheader = new_block fn in
+    let ubody = new_block fn in
+    let ulatch = new_block fn in
+    let t = new_vreg fn I64 in
+    uheader.insts <-
+      [ Ibin (Madd, t, Ov iv, Oi (Int64.mul (Int64.of_int (u - 1)) step)) ];
+    uheader.term <- Tcbr (I64, l.l_cond, Ov t, bound, ubody.bid, l.l_header);
+    (* ubody: u copies; copy k>0 sees iv replaced by iv + k*step *)
+    let insts = ref [] in
+    for k = 0 to u - 1 do
+      let map = Hashtbl.create 16 in
+      if k > 0 then begin
+        let ivk = new_vreg fn I64 in
+        insts :=
+          !insts @ [ Ibin (Madd, ivk, Ov iv, Oi (Int64.mul (Int64.of_int k) step)) ];
+        Hashtbl.replace map iv ivk
+      end;
+      let keep_k = if k = 0 then keep else IS.remove iv keep in
+      insts := !insts @ List.map (rename_inst fn map keep_k) body.insts
+    done;
+    ubody.insts <- !insts;
+    ubody.term <- Tbr ulatch.bid;
+    ulatch.insts <- [ Ibin (Madd, iv, Ov iv, Oi (Int64.mul (Int64.of_int u) step)) ];
+    ulatch.term <- Tbr uheader.bid;
+    (* retarget the preheader to the unrolled loop *)
+    let pre = block fn l.l_preheader in
+    let retarget id = if id = l.l_header then uheader.bid else id in
+    pre.term <-
+      (match pre.term with
+       | Tbr x -> Tbr (retarget x)
+       | Tcbr (t, c, a, b, x, y) -> Tcbr (t, c, a, b, retarget x, retarget y)
+       | t -> t)
+  | _ -> ()
+
+(* iv replacement inside copies: uses of iv must map to ivk, but the iv
+   def itself (if any) stays out of the body by construction *)
+
+let run ~vendor fn =
+  let u = factor vendor in
+  List.iter
+    (fun l -> if l.l_simple then unroll_loop fn l u)
+    fn.loops;
+  (* unrolled loops are no longer described by their summaries *)
+  fn.loops <- List.filter (fun l -> not l.l_simple) fn.loops

@@ -1,0 +1,17 @@
+(** Loop unrolling (O3). The gcc profile unrolls simple counted loops
+    by 2, the icc profile by 4, keeping the original loop as the
+    remainder — producing the "two different copies of unrolled loops
+    in the same outer loop" shape that complicates binary analysis
+    (§III-F). *)
+
+module IS : Set.S with type elt = int
+
+(** vregs used before being defined in a block: live-in accumulators
+    that must keep their identity across unrolled copies (also used by
+    the vectoriser and auto-paralleliser to detect reductions). *)
+val live_in_defs : Mir.block -> IS.t
+
+val factor : Jcc_types.vendor -> int
+
+(** Unroll every simple loop summary of the function in place. *)
+val run : vendor:Jcc_types.vendor -> Mir.fn -> unit

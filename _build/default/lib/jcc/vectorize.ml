@@ -1,0 +1,337 @@
+(** Loop vectorisation (O3).
+
+    - gcc profile: SSE-width (2 lanes) on provably independent accesses
+      (global arrays); pointer parameters are conservatively rejected.
+    - icc profile: additionally multi-versions loops over pointer
+      parameters behind a runtime overlap check (the compiler-generated
+      "multiple versions of code ... selected at runtime" of §II-D).
+    - [-mavx]: 4 lanes plus a scalar alignment-peeling prologue, the
+      transformation §III-F identifies as hardest on binary analysis. *)
+
+open Janus_vx
+open Mir
+
+module IS = Unroll.IS
+
+(* the owning global of an absolute address, as (base, name) *)
+let owner_global (u : unit_) disp =
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare a b) u.global_addrs
+  in
+  let rec go best = function
+    | [] -> best
+    | (n, a) :: tl -> if a <= disp then go (Some (n, a)) tl else best
+  in
+  go None sorted
+
+(* vregs that hold iv + constant: t = iv + c chains through Ibin/Imov.
+   A vreg defined more than once is dropped (order-insensitive safety). *)
+let affine_indices iv body =
+  let map : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let dead : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.replace map iv 0;
+  List.iter
+    (fun i ->
+       let define d off =
+         if Hashtbl.mem map d || Hashtbl.mem dead d then begin
+           Hashtbl.remove map d;
+           Hashtbl.replace dead d ()
+         end
+         else
+           match off with
+           | Some c -> Hashtbl.replace map d c
+           | None -> Hashtbl.replace dead d ()
+       in
+       match i with
+       | Ibin (Madd, d, Ov s, Oi c) | Ibin (Madd, d, Oi c, Ov s) ->
+         define d
+           (Option.map (fun k -> k + Int64.to_int c) (Hashtbl.find_opt map s))
+       | Ibin (Msub, d, Ov s, Oi c) ->
+         define d
+           (Option.map (fun k -> k - Int64.to_int c) (Hashtbl.find_opt map s))
+       | Imov (d, Ov s) -> define d (Hashtbl.find_opt map s)
+       | i -> List.iter (fun d -> define d None) (inst_defs i))
+    body.insts;
+  map
+
+(* stride-1 view of an address: Some (normalised element offset) when
+   the index is iv + c, i.e. the byte address is base + 8*iv + 8c + disp *)
+let stride1_disp affine (a : addr) =
+  match a.aindex with
+  | Some (Ov t) when a.ascale = 8 -> begin
+      match Hashtbl.find_opt affine t with
+      | Some c -> Some (a.adisp + (8 * c))
+      | None -> None
+    end
+  | _ -> None
+
+let addr_uses_iv iv (a : addr) =
+  a.aindex = Some (Ov iv) || a.abase = Some (Ov iv)
+
+
+(* can every instruction be vectorised? integer arithmetic feeding
+   affine indices stays scalar inside the vector body *)
+let analyse u iv body =
+  let affine = affine_indices iv body in
+  let ok = ref true in
+  let stores = ref [] in
+  let loads = ref [] in
+  let defs = ref IS.empty in
+  List.iter
+    (fun i ->
+       (match i with
+        | Iload (F64, d, a) ->
+          if stride1_disp affine a <> None then loads := (d, a) :: !loads
+          else if addr_uses_iv iv a then ok := false
+          else () (* invariant load: broadcast *)
+        | Iload (_, _, _) -> ok := false
+        | Ifbin (_, _, _, _) -> ()
+        | Istore (F64, a, _) ->
+          if stride1_disp affine a <> None then stores := a :: !stores
+          else ok := false
+        | Istore (_, _, _) -> ok := false
+        | Imov (_, (Of _ | Ov _)) -> ()
+        | Ibin ((Madd | Msub), d, _, _)
+          when Hashtbl.mem affine d ->
+          ()  (* scalar index arithmetic, kept verbatim *)
+        | _ -> ok := false);
+       List.iter (fun d -> defs := IS.add d !defs) (inst_defs i))
+    body.insts;
+  (* no reductions: a def that is also used before defined (live-in) *)
+  let livein = Unroll.live_in_defs body in
+  if not (IS.is_empty (IS.inter livein !defs)) then ok := false;
+  (* alias discipline, on index-normalised displacements *)
+  let ndisp a = Option.value ~default:a.adisp (stride1_disp affine a) in
+  let ptr_checks = ref [] in
+  if !ok then
+    List.iter
+      (fun sa ->
+         let check_pair (la : addr) =
+           match sa.abase, la.abase with
+           | None, None ->
+             (* both global: same array requires identical displacement *)
+             let so = owner_global u sa.adisp and lo = owner_global u la.adisp in
+             (match so, lo with
+              | Some (sn, _), Some (ln, _) when String.equal sn ln ->
+                if ndisp sa <> ndisp la then ok := false
+              | _ -> ())
+           | Some sb, Some lb ->
+             if sb = lb then begin
+               if ndisp sa <> ndisp la then ok := false
+             end
+             else ptr_checks := (sb, lb) :: !ptr_checks
+           | Some pb, None | None, Some pb ->
+             (* pointer vs global: unknown statically *)
+             ptr_checks := (pb, pb) :: !ptr_checks
+         in
+         List.iter (fun (_, la) -> check_pair la) !loads;
+         (* store vs store: distinct targets *)
+         List.iter
+           (fun (sa2 : addr) ->
+              if sa2 != sa then
+                match sa.abase, sa2.abase with
+                | None, None ->
+                  let so = owner_global u sa.adisp
+                  and s2 = owner_global u sa2.adisp in
+                  (match so, s2 with
+                   | Some (a, _), Some (b, _) when String.equal a b ->
+                     if ndisp sa <> ndisp sa2 then ok := false
+                   | _ -> ())
+                | Some a, Some b ->
+                  if a = b && ndisp sa <> ndisp sa2 then ok := false
+                | _ -> ())
+           !stores)
+      !stores;
+  if !ok then Some (!ptr_checks <> []) else None
+
+(* emit the vector clone of the body into [vbody] *)
+let build_vector_body fn iv width body vbody vpre =
+  let affine = affine_indices iv body in
+  let w = match width with 2 -> V2 | _ -> V4 in
+  let vty = if width = 2 then V2d else V4d in
+  let vmap : (int, int) Hashtbl.t = Hashtbl.create 16 in  (* scalar -> vector *)
+  let bcast_cache : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let pre_insts = ref [] in
+  let bcast_of_operand (o : operand) =
+    let key =
+      match o with
+      | Of f -> Printf.sprintf "c%h" f
+      | Ov v -> Printf.sprintf "v%d" v
+      | Oi i -> Printf.sprintf "i%Ld" i
+    in
+    match Hashtbl.find_opt bcast_cache key with
+    | Some v -> v
+    | None ->
+      let d = new_vreg fn vty in
+      pre_insts := !pre_insts @ [ Ivbcast (w, d, o) ];
+      Hashtbl.replace bcast_cache key d;
+      d
+  in
+  let vec_operand (o : operand) =
+    match o with
+    | Ov v -> begin
+        match Hashtbl.find_opt vmap v with
+        | Some vd -> vd  (* body-defined vector value *)
+        | None -> bcast_of_operand o  (* loop-invariant scalar *)
+      end
+    | Of _ | Oi _ -> bcast_of_operand o
+  in
+  let insts = ref [] in
+  List.iter
+    (fun i ->
+       match i with
+       | Iload (F64, d, a) when stride1_disp affine a <> None ->
+         let vd = new_vreg fn vty in
+         Hashtbl.replace vmap d vd;
+         insts := !insts @ [ Ivload (w, vd, a) ]
+       | Iload (F64, d, a) ->
+         (* invariant load: load once in the preheader, broadcast *)
+         let s = new_vreg fn F64 in
+         let vd = new_vreg fn vty in
+         pre_insts := !pre_insts @ [ Iload (F64, s, a); Ivbcast (w, vd, Ov s) ];
+         Hashtbl.replace vmap d vd
+       | Ifbin (op, d, a, b) ->
+         let va = vec_operand a in
+         let vb = vec_operand b in
+         let vd = new_vreg fn vty in
+         Hashtbl.replace vmap d vd;
+         insts := !insts @ [ Ivbin (w, op, vd, va, vb) ]
+       | Imov (d, src) when vtype fn d <> I64 ->
+         let vs = vec_operand src in
+         Hashtbl.replace vmap d vs
+       | Istore (F64, a, v) when stride1_disp affine a <> None ->
+         let vv = vec_operand v in
+         insts := !insts @ [ Ivstore (w, a, vv) ]
+       | (Ibin _ | Imov _) as i ->
+         (* scalar index arithmetic survives unchanged *)
+         insts := !insts @ [ i ]
+       | _ -> assert false (* excluded by analyse *))
+    body.insts;
+  vpre.insts <- vpre.insts @ !pre_insts;
+  vbody.insts <- !insts
+
+let vectorize_loop ~vendor ~avx (u : unit_) fn l =
+  match l.l_iv, l.l_bound with
+  | Some iv, Some bound
+    when l.l_simple && Int64.equal l.l_step 1L
+         && (l.l_cond = Cond.Lt || l.l_cond = Cond.Le)
+         && l.l_body <> [] -> begin
+      let body = block fn (List.hd l.l_body) in
+      match analyse u iv body with
+      | None -> false
+      | Some needs_check when needs_check && vendor = Jcc_types.Gcc ->
+        false  (* gcc: reject unprovable aliasing *)
+      | Some needs_check ->
+        let width = if avx then 4 else 2 in
+        let vpre = new_block fn in
+        let vheader = new_block fn in
+        let vbody = new_block fn in
+        let vlatch = new_block fn in
+        let t = new_vreg fn I64 in
+        vheader.insts <-
+          [ Ibin (Madd, t, Ov iv, Oi (Int64.of_int (width - 1))) ];
+        vheader.term <- Tcbr (I64, l.l_cond, Ov t, bound, vbody.bid, l.l_header);
+        build_vector_body fn iv width body vbody vpre;
+        vbody.term <- Tbr vlatch.bid;
+        vlatch.insts <- [ Ibin (Madd, iv, Ov iv, Oi (Int64.of_int width)) ];
+        vlatch.term <- Tbr vheader.bid;
+        vpre.term <- Tbr vheader.bid;
+        (* optional alignment peeling (avx): run scalar iterations until
+           the first store address is 32-byte aligned *)
+        let entry_target =
+          if not avx then vpre.bid
+          else begin
+            let store_addr =
+              List.find_map
+                (function Istore (F64, a, _) -> Some a | _ -> None)
+                body.insts
+            in
+            match store_addr with
+            | None -> vpre.bid
+            | Some a ->
+              let pheader = new_block fn in
+              let pcheck = new_block fn in
+              let pbody = new_block fn in
+              let addr_v = new_vreg fn I64 in
+              let masked = new_vreg fn I64 in
+              let scaled = new_vreg fn I64 in
+              let base_insts =
+                match a.abase with
+                | Some (Ov p) ->
+                  [ Ibin (Mshl, scaled, Ov iv, Oi 3L);
+                    Ibin (Madd, addr_v, Ov p, Ov scaled) ]
+                | _ ->
+                  [ Ibin (Mshl, scaled, Ov iv, Oi 3L);
+                    Ibin (Madd, addr_v, Oi (Int64.of_int a.adisp), Ov scaled) ]
+              in
+              pheader.insts <- base_insts @ [ Ibin (Mand, masked, Ov addr_v, Oi 31L) ];
+              pheader.term <-
+                Tcbr (I64, Cond.Ne, Ov masked, Oi 0L, pcheck.bid, vpre.bid);
+              (* still within bounds? *)
+              pcheck.term <- Tcbr (I64, l.l_cond, Ov iv, bound, pbody.bid, l.l_exit);
+              (* scalar body copy + iv++ *)
+              pbody.insts <- body.insts @ [ Ibin (Madd, iv, Ov iv, Oi 1L) ];
+              pbody.term <- Tbr pheader.bid;
+              pheader.bid
+          end
+        in
+        (* multiversioning: runtime overlap check choosing vector/scalar *)
+        let entry_target =
+          if not needs_check then entry_target
+          else begin
+            (* gather pointer operands from loads and stores *)
+            let ptrs = ref [] in
+            List.iter
+              (fun i ->
+                 let grab (a : addr) =
+                   match a.abase with
+                   | Some (Ov p) -> if not (List.mem p !ptrs) then ptrs := p :: !ptrs
+                   | _ -> ()
+                 in
+                 match i with
+                 | Iload (_, _, a) | Istore (_, a, _) -> grab a
+                 | _ -> ())
+              body.insts;
+            match !ptrs with
+            | p1 :: p2 :: _ ->
+              (* disjoint if p1 + n*8 <= p2 || p2 + n*8 <= p1 *)
+              let mv = new_block fn in
+              let n8 = new_vreg fn I64 in
+              let e1 = new_vreg fn I64 in
+              let e2 = new_vreg fn I64 in
+              let c1 = new_vreg fn I64 in
+              let c2 = new_vreg fn I64 in
+              let either = new_vreg fn I64 in
+              mv.insts <-
+                [
+                  Ibin (Mshl, n8, bound, Oi 3L);
+                  Ibin (Madd, e1, Ov p1, Ov n8);
+                  Ibin (Madd, e2, Ov p2, Ov n8);
+                  Icmpset (I64, Cond.Le, c1, Ov e1, Ov p2);
+                  Icmpset (I64, Cond.Le, c2, Ov e2, Ov p1);
+                  Ibin (Mor, either, Ov c1, Ov c2);
+                ];
+              mv.term <-
+                Tcbr (I64, Cond.Ne, Ov either, Oi 0L, entry_target, l.l_header);
+              mv.bid
+            | _ -> entry_target
+          end
+        in
+        let pre = block fn l.l_preheader in
+        let retarget id = if id = l.l_header then entry_target else id in
+        pre.term <-
+          (match pre.term with
+           | Tbr x -> Tbr (retarget x)
+           | Tcbr (ty, c, a, b, x, y) -> Tcbr (ty, c, a, b, retarget x, retarget y)
+           | t -> t);
+        true
+    end
+  | _ -> false
+
+let run ~vendor ~avx (u : unit_) fn =
+  let vectorised =
+    List.filter (fun l -> vectorize_loop ~vendor ~avx u fn l) fn.loops
+  in
+  (* a vectorised loop's summary now describes only the scalar remainder;
+     drop it so the unroller does not also transform it *)
+  fn.loops <- List.filter (fun l -> not (List.memq l vectorised)) fn.loops

@@ -1,0 +1,29 @@
+(** Loop vectorisation (O3).
+
+    - gcc profile: SSE-width (2 lanes) on provably independent accesses
+      (global arrays); pointer parameters are conservatively rejected;
+    - icc profile: additionally multi-versions pointer loops behind a
+      runtime overlap check (the compiler-generated "multiple versions
+      of code selected at runtime" of §II-D);
+    - [-mavx]: 4 lanes plus a scalar alignment-peeling prologue, the
+      transformation §III-F identifies as hardest on binary analysis.
+
+    Derived index registers ([t = iv + c]) are understood as stride-1
+    accesses with an element offset. *)
+
+open Mir
+
+(** The global that owns an absolute address, when one does. *)
+val owner_global : unit_ -> int -> (string * int) option
+
+(** vregs holding [iv + constant], chained through add/sub/mov.
+    Multiply-defined vregs are dropped. *)
+val affine_indices : int -> block -> (int, int) Hashtbl.t
+
+(** Stride-1 view of an address: the normalised byte displacement when
+    the index register is [iv + c] with scale 8. *)
+val stride1_disp : (int, int) Hashtbl.t -> addr -> int option
+
+(** Vectorise every qualifying loop summary of [fn] in place, dropping
+    transformed summaries so the unroller skips them. *)
+val run : vendor:Jcc_types.vendor -> avx:bool -> unit_ -> fn -> unit

@@ -1,0 +1,1 @@
+lib/profile/profiler.ml: Buffer Bytes Char Hashtbl In_channel Int32 Int64 Janus_analysis Janus_dbm Janus_schedule Janus_vm Janus_vx List Machine Out_channel Program Queue Run String

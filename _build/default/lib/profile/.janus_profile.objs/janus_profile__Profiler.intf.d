@@ -1,0 +1,1 @@
+lib/profile/profiler.mli: Hashtbl Janus_analysis Janus_vx

@@ -1,0 +1,77 @@
+(** Statically-driven profiling (§II-C).
+
+    The analyser's profiling rewrite schedules drive instrumentation
+    inside the same DBM that later parallelises the program: only the
+    loops of interest are instrumented, and for dependence profiling
+    only the accesses the static pass could not disambiguate — not all
+    loads and stores. *)
+
+module Analysis = Janus_analysis.Analysis
+
+(** Per-loop coverage counters from a training run. *)
+type loop_cov = {
+  mutable self_insns : int;   (** instructions attributed to this loop *)
+  mutable invocations : int;
+  mutable iterations : int;
+  mutable ex_calls : int;     (** external (PLT) calls inside the loop *)
+  mutable ex_insns : int;     (** instructions inside those calls *)
+  mutable ex_reads : int;     (** their non-stack reads *)
+  mutable ex_writes : int;
+}
+
+type coverage = {
+  total_insns : int;
+  loops : (int, loop_cov) Hashtbl.t;  (** loop id -> counters *)
+}
+
+(** Counters for a loop (zeros if never observed). *)
+val cov_of : coverage -> int -> loop_cov
+
+(** Fraction of all dynamic instructions spent inside a loop. *)
+val fraction : coverage -> int -> float
+
+(** Average iterations per invocation. *)
+val avg_trip : coverage -> int -> float
+
+(** Average instructions per invocation — the profitability signal
+    behind the paper's "high invocation count" filter (§III-B). *)
+val avg_work : coverage -> int -> float
+
+(** Run the coverage-profiling schedule over a training input. *)
+val run_coverage :
+  ?fuel:int -> ?input:int64 list -> Janus_vx.Image.t -> Analysis.t -> coverage
+
+(** Results of the memory-dependence profiling run. *)
+type deps = {
+  dep_found : (int, bool) Hashtbl.t;  (** loop id -> cross-iteration dep *)
+  observed : (int, bool) Hashtbl.t;   (** loop id executed at all *)
+}
+
+val has_dep : deps -> int -> bool
+val was_observed : deps -> int -> bool
+
+(** Run the dependence-profiling schedule: a per-loop shadow word-map
+    flags accesses touching the same word in different iterations. *)
+val run_dependence :
+  ?fuel:int -> ?input:int64 list -> Janus_vx.Image.t -> Analysis.t -> deps
+
+(** {1 Profile serialisation (.jpf)}
+
+    The paper's deployment profiles offline on a training input; the
+    data feeds loop selection when the schedule is generated. These
+    functions make that workflow real for the CLI tools
+    ([janus_prof -o app.jpf] then [janus_analyze --profile app.jpf]). *)
+
+exception Bad_profile of string
+
+val to_bytes : coverage -> deps -> bytes
+
+(** @raise Bad_profile on malformed input. *)
+val of_bytes : bytes -> coverage * deps
+
+(** Write both profiles to a [.jpf] file. *)
+val save : string -> coverage -> deps -> unit
+
+(** Read a [.jpf] file.
+    @raise Bad_profile on malformed input. *)
+val load : string -> coverage * deps

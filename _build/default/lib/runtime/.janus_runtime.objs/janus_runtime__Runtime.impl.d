@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Array Cond Cost Hashtbl Int64 Janus_dbm Janus_schedule Janus_vm Janus_vx Layout List Machine Memory Program Reg

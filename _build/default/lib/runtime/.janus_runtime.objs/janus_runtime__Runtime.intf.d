@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Hashtbl Janus_dbm Janus_schedule Janus_vm Janus_vx Machine

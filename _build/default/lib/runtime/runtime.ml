@@ -1,0 +1,605 @@
+(** The Janus parallel runtime (§II-E): thread pool of virtual hardware
+    threads with private stacks, TLS and code caches; chunked and
+    round-robin iteration scheduling; runtime array-bounds checks with
+    sequential fallback; software-transactional execution of
+    dynamically discovered code.
+
+    Virtual multicore timing: a parallel invocation costs
+    init + max(worker cycles) + finish on the main thread's clock. The
+    workers really execute their iterations against shared guest
+    memory — results are bit-identical to sequential execution, which
+    the test suite verifies against the native VM. *)
+
+open Janus_vx
+open Janus_vm
+module Rule = Janus_schedule.Rule
+module Desc = Janus_schedule.Desc
+module Rexpr = Janus_schedule.Rexpr
+module Schedule = Janus_schedule.Schedule
+module Dbm = Janus_dbm.Dbm
+
+type config = {
+  threads : int;
+  force_policy : Desc.policy option;  (* override descriptors (ablation) *)
+  stm_access_limit : int;  (* speculative accesses before giving up *)
+  stm_everywhere : bool;
+  (* ablation of the paper's "use it sparingly" argument (§II-E2):
+     wrap every worker chunk in a transaction, buffering all of its
+     accesses, instead of speculating only on discovered code *)
+}
+
+let default_config =
+  { threads = 8; force_policy = None; stm_access_limit = 4096;
+    stm_everywhere = false }
+
+type t = {
+  dbm : Dbm.t;
+  config : config;
+  main_cache : Dbm.cache;
+  worker_caches : Dbm.cache array;
+  loop_sequential : (int, bool) Hashtbl.t;  (* check failed: run serial *)
+  loop_in_seq : (int, bool) Hashtbl.t;  (* currently running serially *)
+  loop_invocations : (int, int) Hashtbl.t;
+  mutable current_loop : int;  (* loop id the workers are executing *)
+  mutable skip_tx : (int * int) list;  (* (worker, call addr): re-execute
+                                          non-speculatively after abort *)
+  mutable stm_overflows : int;
+}
+
+let rexpr_env (ctx : Machine.t) : Rexpr.env =
+  {
+    Rexpr.get_reg = (fun r -> Machine.get ctx r);
+    load = (fun a -> Memory.read_i64 ctx.Machine.mem a);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Iteration-space arithmetic                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* number of iterations for iv = init; while (iv cond bound); iv += step *)
+let trip_count ~init ~bound ~step ~cond =
+  let open Int64 in
+  let diff = sub bound init in
+  if equal step 0L then 0
+  else
+    let up = compare step 0L > 0 in
+    match cond with
+    | Cond.Lt | Cond.Ult ->
+      if not up || compare diff 0L <= 0 then 0
+      else to_int (div (add diff (sub step 1L)) step)
+    | Cond.Le | Cond.Ule ->
+      if not up || compare diff 0L < 0 then 0
+      else to_int (add (div diff step) 1L)
+    | Cond.Gt | Cond.Ugt ->
+      if up || compare diff 0L >= 0 then 0
+      else to_int (div (add diff (add step 1L)) step)
+    | Cond.Ge | Cond.Uge ->
+      if up || compare diff 0L > 0 then 0
+      else to_int (add (div diff step) 1L)
+    | Cond.Ne ->
+      let q = if equal (rem diff step) 0L then div diff step else 0L in
+      if compare q 0L > 0 then to_int q else 0
+    | Cond.Eq | Cond.S | Cond.Ns -> 0
+
+(* the TLS bound-slot value for a chunk ending (exclusively) at
+   [end_iv]: the rewritten compare continues while (iv + adjust) cond
+   slot *)
+let bound_slot_value ~end_iv ~step ~cond ~adjust =
+  let open Int64 in
+  match cond with
+  | Cond.Le | Cond.Ule | Cond.Ge | Cond.Uge -> add (sub end_iv step) adjust
+  | _ -> add end_iv adjust
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) (dbm : Dbm.t) =
+  Program.add_thread_regions dbm.Dbm.prog ~threads:config.threads;
+  let t =
+    {
+      dbm;
+      config;
+      main_cache = Dbm.new_cache Dbm.Main;
+      worker_caches =
+        Array.init config.threads (fun w -> Dbm.new_cache (Dbm.Worker w));
+      loop_sequential = Hashtbl.create 8;
+      loop_in_seq = Hashtbl.create 8;
+      loop_invocations = Hashtbl.create 8;
+      current_loop = -1;
+      skip_tx = [];
+      stm_overflows = 0;
+    }
+  in
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Runtime array-bounds check (§II-E1)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let eval_check t (ctx : Machine.t) (cd : Desc.check_desc) =
+  let env = rexpr_env ctx in
+  let ranges =
+    List.map
+      (fun (r : Desc.array_range) ->
+         let a = Rexpr.eval env r.Desc.base in
+         let e = Rexpr.eval env r.Desc.extent in
+         let lo = Int64.to_int (if Int64.compare e 0L < 0 then Int64.add a e else a) in
+         let hi =
+           Int64.to_int (if Int64.compare e 0L < 0 then a else Int64.add a e)
+           + r.Desc.width
+         in
+         (lo, hi, r.Desc.written))
+      cd.Desc.ranges
+  in
+  let pairs = Desc.check_pairs cd in
+  let cost = Cost.bounds_check_per_pair * max 1 pairs in
+  ctx.Machine.cycles <- ctx.Machine.cycles + cost;
+  t.dbm.Dbm.stats.Dbm.check_cycles <-
+    t.dbm.Dbm.stats.Dbm.check_cycles + cost;
+  (* all written ranges must be disjoint from every other range *)
+  let disjoint (lo1, hi1) (lo2, hi2) = hi1 <= lo2 || hi2 <= lo1 in
+  List.for_all
+    (fun (lo1, hi1, w1) ->
+       (not w1)
+       || List.for_all
+            (fun (lo2, hi2, _) ->
+               (lo1 = lo2 && hi1 = hi2) || disjoint (lo1, hi1) (lo2, hi2))
+            (List.filter (fun (lo2, hi2, _) -> not (lo1 = lo2 && hi1 = hi2)) ranges))
+    ranges
+
+(* ------------------------------------------------------------------ *)
+(* Location access in a thread context                                 *)
+(* ------------------------------------------------------------------ *)
+
+let read_loc (ctx : Machine.t) = function
+  | Desc.Lreg r -> Machine.get ctx r
+  | Desc.Lfreg r -> Int64.bits_of_float (Machine.getf ctx r 0)
+  | Desc.Lstack off ->
+    Memory.read_i64 ctx.Machine.mem
+      (Int64.to_int (Machine.get ctx Reg.RSP) + off)
+  | Desc.Labs a -> Memory.read_i64 ctx.Machine.mem a
+
+let write_loc (ctx : Machine.t) loc v =
+  match loc with
+  | Desc.Lreg r -> Machine.set ctx r v
+  | Desc.Lfreg r -> Machine.setf ctx r 0 (Int64.float_of_bits v)
+  | Desc.Lstack off ->
+    Memory.write_i64 ctx.Machine.mem
+      (Int64.to_int (Machine.get ctx Reg.RSP) + off)
+      v
+  | Desc.Labs a -> Memory.write_i64 ctx.Machine.mem a v
+
+let redop_identity = function
+  | Desc.Radd_int -> 0L
+  | Desc.Radd_f64 -> Int64.bits_of_float 0.0
+  | Desc.Rmul_f64 -> Int64.bits_of_float 1.0
+
+let redop_combine op a b =
+  match op with
+  | Desc.Radd_int -> Int64.add a b
+  | Desc.Radd_f64 ->
+    Int64.bits_of_float (Int64.float_of_bits a +. Int64.float_of_bits b)
+  | Desc.Rmul_f64 ->
+    Int64.bits_of_float (Int64.float_of_bits a *. Int64.float_of_bits b)
+
+(* the TLS slot assigned to a privatised absolute address, if any *)
+let tls_slot_of_abs (desc : Desc.loop_desc) addr =
+  List.find_map
+    (fun (e, slot) ->
+       match e with
+       | Rexpr.Const a when Int64.to_int a = addr -> Some slot
+       | _ -> None)
+    desc.Desc.privatised
+
+(* where a reduction partial lives in a worker *)
+let read_partial (desc : Desc.loop_desc) w (ctx_w : Machine.t) loc =
+  match loc with
+  | Desc.Labs a -> begin
+      match tls_slot_of_abs desc a with
+      | Some slot ->
+        Memory.read_i64 ctx_w.Machine.mem (Layout.tls_base w + (8 * slot))
+      | None -> read_loc ctx_w loc
+    end
+  | _ -> read_loc ctx_w loc
+
+let write_partial (desc : Desc.loop_desc) w (ctx_w : Machine.t) loc v =
+  match loc with
+  | Desc.Labs a -> begin
+      match tls_slot_of_abs desc a with
+      | Some slot ->
+        Memory.write_i64 ctx_w.Machine.mem (Layout.tls_base w + (8 * slot)) v
+      | None -> write_loc ctx_w loc v
+    end
+  | _ -> write_loc ctx_w loc v
+
+(* ------------------------------------------------------------------ *)
+(* Parallel loop execution (§II-E)                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Worker_escaped of int  (* worker ended somewhere unexpected *)
+
+let copy_frame (mem : Memory.t) ~src ~dst ~bytes =
+  let words = (bytes + 7) / 8 in
+  for i = 0 to words - 1 do
+    Memory.write_i64 mem (dst + (8 * i)) (Memory.read_i64 mem (src + (8 * i)))
+  done
+
+type chunk = { c_start : int64; c_end : int64 }  (* canonical iv range *)
+
+(* contiguous chunks, one per thread *)
+let chunked_chunks ~init ~step ~trips ~threads =
+  let per = (trips + threads - 1) / threads in
+  List.init threads (fun w ->
+      let lo = w * per in
+      let hi = min trips (lo + per) in
+      if lo >= hi then []
+      else
+        [ { c_start = Int64.add init (Int64.mul (Int64.of_int lo) step);
+            c_end = Int64.add init (Int64.mul (Int64.of_int hi) step) } ])
+  |> Array.of_list
+
+(* round-robin blocks of [block] iterations *)
+let rr_chunks ~init ~step ~trips ~threads ~block =
+  let chunks = Array.make threads [] in
+  let nblocks = (trips + block - 1) / block in
+  for b = nblocks - 1 downto 0 do
+    let w = b mod threads in
+    let lo = b * block in
+    let hi = min trips (lo + block) in
+    chunks.(w) <-
+      { c_start = Int64.add init (Int64.mul (Int64.of_int lo) step);
+        c_end = Int64.add init (Int64.mul (Int64.of_int hi) step) }
+      :: chunks.(w)
+  done;
+  chunks
+
+let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
+    ~bound_adjust =
+  t.current_loop <- desc.Desc.loop_id;
+  let stats = t.dbm.Dbm.stats in
+  let env = rexpr_env main in
+  let init = Rexpr.eval env desc.Desc.iv_init in
+  let bound = Rexpr.eval env desc.Desc.iv_bound in
+  let step = desc.Desc.iv_step in
+  let cond = desc.Desc.iv_cond in
+  let trips = trip_count ~init ~bound ~step ~cond in
+  if trips <= 0 then `Sequential
+  else begin
+    let threads = min t.config.threads (max 1 trips) in
+    let policy =
+      match t.config.force_policy with
+      | Some p -> p
+      | None -> desc.Desc.policy
+    in
+    let chunks =
+      match policy with
+      | Desc.Chunked | Desc.Doacross _ ->
+        chunked_chunks ~init ~step ~trips ~threads
+      | Desc.Round_robin block ->
+        rr_chunks ~init ~step ~trips ~threads ~block:(max 1 block)
+    in
+    (* DOACROSS (future work, §III-A): chunks run in iteration order
+       with context hand-off; only the non-carried fraction overlaps *)
+    let doacross_frac =
+      match policy with
+      | Desc.Doacross pct -> Some (float_of_int (max 0 (min 100 pct)) /. 100.0)
+      | Desc.Chunked | Desc.Round_robin _ -> None
+    in
+    (* init costs: signal threads, copy contexts *)
+    let init_cost =
+      Cost.loop_init_base
+      + (threads * (Cost.thread_signal + Cost.thread_context_copy))
+    in
+    main.Machine.cycles <- main.Machine.cycles + init_cost;
+    stats.Dbm.init_finish_cycles <- stats.Dbm.init_finish_cycles + init_cost;
+    let rsp_main = Int64.to_int (Machine.get main Reg.RSP) in
+    let rbp_main = Int64.to_int (Machine.get main Reg.RBP) in
+    let fcb = desc.Desc.frame_copy_bytes in
+    (* reduction bases are main's pre-loop values *)
+    let red_bases =
+      List.map (fun (loc, op) -> (loc, op, read_loc main loc)) desc.Desc.reductions
+    in
+    let max_cycles = ref 0 in
+    let sum_cycles = ref 0 in
+    let partials = ref [] in  (* per worker: (loc, op, partial) list *)
+    let last_ctx = ref None in
+    for w = 0 to threads - 1 do
+      if chunks.(w) <> [] then begin
+        (* DOACROSS workers continue from the previous worker's context
+           (registers, flags and frame), which carries the
+           cross-iteration values exactly as sequential execution *)
+        let chain_src =
+          match doacross_frac, !last_ctx with
+          | Some _, Some (wp, ctxp) ->
+            Some (ctxp, Int64.to_int (Machine.get ctxp Reg.RSP), wp)
+          | _ -> None
+        in
+        let ctx =
+          match chain_src with
+          | Some (ctxp, _, _) -> Machine.fork ctxp
+          | None -> Machine.fork main
+        in
+        (* private stack with a copy of the live frame *)
+        let rsp_w = Layout.tstack_top w - ((fcb + 15) land lnot 15) - 64 in
+        let frame_src =
+          match chain_src with Some (_, rsp_p, _) -> rsp_p | None -> rsp_main
+        in
+        copy_frame main.Machine.mem ~src:frame_src ~dst:rsp_w ~bytes:fcb;
+        Machine.set ctx Reg.RSP (Int64.of_int rsp_w);
+        if rbp_main >= rsp_main && rbp_main - rsp_main < fcb then
+          Machine.set ctx Reg.RBP (Int64.of_int (rsp_w + (rbp_main - rsp_main)));
+        Machine.set ctx Reg.TLS (Int64.of_int (Layout.tls_base w));
+        Machine.set ctx Reg.SHARED (Int64.of_int rbp_main);
+        (* first-private copies of privatised scalars *)
+        List.iter
+          (fun (e, slot) ->
+             let addr = Int64.to_int (Rexpr.eval env e) in
+             Memory.write_i64 ctx.Machine.mem
+               (Layout.tls_base w + (8 * slot))
+               (Memory.read_i64 main.Machine.mem addr))
+          desc.Desc.privatised;
+        (* reduction identities (chained contexts already carry the
+           running value, so DOACROSS workers keep it) *)
+        if doacross_frac = None then
+          List.iter
+            (fun (loc, op) -> write_partial desc w ctx loc (redop_identity op))
+            desc.Desc.reductions;
+        (* run each chunk *)
+        List.iter
+          (fun c ->
+             write_loc ctx desc.Desc.iv c.c_start;
+             Memory.write_i64 ctx.Machine.mem
+               (Layout.tls_base w)
+               (bound_slot_value ~end_iv:c.c_end ~step ~cond
+                  ~adjust:bound_adjust);
+             ctx.Machine.cycles <- ctx.Machine.cycles + Cost.sched_block_fetch;
+             ctx.Machine.rip <- desc.Desc.header_addr;
+             let chunk_txn =
+               if t.config.stm_everywhere then Some (Machine.start_txn ctx)
+               else None
+             in
+             (match Dbm.run t.dbm t.worker_caches.(w) ctx with
+              | `Yielded -> ()
+              | `Halted -> raise (Worker_escaped w));
+             match chunk_txn with
+             | Some txn ->
+               (* chunks are executed in order, so validation always
+                  succeeds; the cost of tracking and committing is the
+                  point of the ablation *)
+               ctx.Machine.cycles <-
+                 ctx.Machine.cycles
+                 + (Cost.stm_validate_per_entry
+                    * Hashtbl.length txn.Machine.treads)
+                 + (Cost.stm_commit_per_entry
+                    * Hashtbl.length txn.Machine.twrites);
+               Hashtbl.iter
+                 (fun addr v -> Memory.write_i64 ctx.Machine.mem addr v)
+                 txn.Machine.twrites;
+               stats.Dbm.stm_commits <- stats.Dbm.stm_commits + 1;
+               Machine.end_txn ctx
+             | None -> ())
+          chunks.(w);
+        if doacross_frac = None then
+          partials :=
+            (w, List.map
+               (fun (loc, op) -> (loc, op, read_partial desc w ctx loc))
+               desc.Desc.reductions)
+            :: !partials;
+        if ctx.Machine.cycles > !max_cycles then max_cycles := ctx.Machine.cycles;
+        sum_cycles := !sum_cycles + ctx.Machine.cycles;
+        main.Machine.icount <- main.Machine.icount + ctx.Machine.icount;
+        last_ctx := Some (w, ctx)
+      end
+    done;
+    (* wall-clock: DOALL is bounded by the slowest worker; DOACROSS
+       serialises the carried fraction and overlaps the rest *)
+    let region_cycles =
+      match doacross_frac with
+      | None -> !max_cycles
+      | Some f ->
+        let sync = threads * Cost.doacross_sync in
+        int_of_float
+          ((f *. float_of_int !sum_cycles)
+           +. ((1.0 -. f) *. float_of_int !max_cycles))
+        + sync
+    in
+    main.Machine.cycles <- main.Machine.cycles + region_cycles;
+    stats.Dbm.parallel_cycles <- stats.Dbm.parallel_cycles + region_cycles;
+    (* combine: last worker's context becomes the post-loop state *)
+    (match !last_ctx with
+     | Some (wl, ctx_l) ->
+       let rsp_l = Int64.to_int (Machine.get ctx_l Reg.RSP) in
+       copy_frame main.Machine.mem ~src:rsp_l ~dst:rsp_main ~bytes:fcb;
+       Array.blit ctx_l.Machine.regs 0 main.Machine.regs 0
+         (Array.length main.Machine.regs);
+       Array.iteri
+         (fun i a -> Array.blit a 0 main.Machine.fregs.(i) 0 4)
+         ctx_l.Machine.fregs;
+       main.Machine.flags.Machine.zf <- ctx_l.Machine.flags.Machine.zf;
+       main.Machine.flags.Machine.lt <- ctx_l.Machine.flags.Machine.lt;
+       main.Machine.flags.Machine.ult <- ctx_l.Machine.flags.Machine.ult;
+       main.Machine.flags.Machine.sf <- ctx_l.Machine.flags.Machine.sf;
+       main.Machine.brk <- ctx_l.Machine.brk;
+       (* restore main's own pointers *)
+       Machine.set main Reg.RSP (Int64.of_int rsp_main);
+       Machine.set main Reg.RBP (Int64.of_int rbp_main);
+       Machine.set main Reg.TLS 0L;
+       Machine.set main Reg.SHARED 0L;
+       (* privatised copy-out: last value lands at the real location *)
+       List.iter
+         (fun (e, slot) ->
+            let addr = Int64.to_int (Rexpr.eval env e) in
+            Memory.write_i64 main.Machine.mem addr
+              (Memory.read_i64 main.Machine.mem
+                 (Layout.tls_base wl + (8 * slot))))
+         desc.Desc.privatised
+     | None -> ());
+    (* reductions: base value combined with every worker's partial
+       (DOACROSS carried them through the context chain instead) *)
+    if doacross_frac <> None then ignore red_bases;
+    List.iter
+      (fun (loc, op, base) ->
+         let combined =
+           List.fold_left
+             (fun acc (_, ps) ->
+                List.fold_left
+                  (fun acc (loc', op', p) ->
+                     if loc' = loc && op' = op then redop_combine op acc p
+                     else acc)
+                  acc ps)
+             base !partials
+         in
+         write_loc main loc combined)
+      (if doacross_frac = None then red_bases else []);
+    (* the IV's architectural exit value *)
+    let exit_iv =
+      match cond with
+      | Cond.Ne -> bound
+      | _ -> Int64.add init (Int64.mul (Int64.of_int trips) step)
+    in
+    write_loc main desc.Desc.iv exit_iv;
+    let finish_cost =
+      Cost.loop_finish_base + (threads * Cost.loop_finish_per_thread)
+    in
+    main.Machine.cycles <- main.Machine.cycles + finish_cost;
+    stats.Dbm.init_finish_cycles <- stats.Dbm.init_finish_cycles + finish_cost;
+    t.current_loop <- -1;
+    match desc.Desc.exit_addrs with
+    | e :: _ -> `Parallel e
+    | [] -> `Sequential
+  end
+
+(* ------------------------------------------------------------------ *)
+(* STM boundaries (§II-E2, §II-E3)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tx_start t w (ctx : Machine.t) call_addr =
+  if List.mem (w, call_addr) t.skip_tx then begin
+    (* re-execution after an abort: run non-speculatively, as the
+       oldest thread would *)
+    t.skip_tx <- List.filter (fun p -> p <> (w, call_addr)) t.skip_tx;
+    Dbm.Continue
+  end
+  else begin
+    ctx.Machine.cycles <- ctx.Machine.cycles + Cost.stm_checkpoint;
+    let txn = Machine.start_txn ctx in
+    ignore txn;
+    Dbm.Continue
+  end
+
+let tx_finish t w (ctx : Machine.t) =
+  match ctx.Machine.txn with
+  | None -> Dbm.Continue
+  | Some txn ->
+    let stats = t.dbm.Dbm.stats in
+    let n_access =
+      Hashtbl.length txn.Machine.treads + Hashtbl.length txn.Machine.twrites
+    in
+    if n_access > t.config.stm_access_limit then t.stm_overflows <- t.stm_overflows + 1;
+    (* value-based validation of every buffered read *)
+    let valid =
+      Hashtbl.fold
+        (fun addr v acc ->
+           acc
+           && (Hashtbl.mem txn.Machine.twrites addr
+               || Int64.equal (Memory.read_i64 ctx.Machine.mem addr) v))
+        txn.Machine.treads true
+    in
+    ctx.Machine.cycles <-
+      ctx.Machine.cycles
+      + (Cost.stm_validate_per_entry * Hashtbl.length txn.Machine.treads);
+    if valid then begin
+      (* commit buffered stores in thread order *)
+      Hashtbl.iter
+        (fun addr v -> Memory.write_i64 ctx.Machine.mem addr v)
+        txn.Machine.twrites;
+      ctx.Machine.cycles <-
+        ctx.Machine.cycles
+        + (Cost.stm_commit_per_entry * Hashtbl.length txn.Machine.twrites);
+      stats.Dbm.stm_commits <- stats.Dbm.stm_commits + 1;
+      Machine.end_txn ctx;
+      Dbm.Continue
+    end
+    else begin
+      (* abort: roll back to the checkpoint and re-execute the call
+         without speculation *)
+      stats.Dbm.stm_aborts <- stats.Dbm.stm_aborts + 1;
+      ctx.Machine.cycles <- ctx.Machine.cycles + Cost.stm_abort;
+      let resume = txn.Machine.checkpoint_rip in
+      Machine.rollback ctx txn;
+      t.skip_tx <- (w, resume) :: t.skip_tx;
+      Dbm.Divert resume
+    end
+
+(* ------------------------------------------------------------------ *)
+(* The event handler                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let handler t (_dbm : Dbm.t) kind (ctx : Machine.t) (r : Rule.t) : Dbm.action =
+  let lid = Int64.to_int r.Rule.aux in
+  let in_seq lid = try Hashtbl.find t.loop_in_seq lid with Not_found -> false in
+  match kind, r.Rule.id with
+  | Dbm.Main, Rule.MEM_BOUNDS_CHECK -> begin
+      match t.dbm.Dbm.schedule with
+      | None -> Dbm.Continue
+      | Some _ when in_seq lid -> Dbm.Continue
+      | Some sched ->
+        let cd = Schedule.check_desc sched r.Rule.data in
+        let ok = eval_check t ctx cd in
+        let was_seq =
+          try Hashtbl.find t.loop_sequential lid with Not_found -> false
+        in
+        Hashtbl.replace t.loop_sequential lid (not ok);
+        (* §II-E1: if the loop was already modified, flush and reload *)
+        if (not ok) && not was_seq
+           && (try Hashtbl.find t.loop_invocations lid > 0 with Not_found -> false)
+        then begin
+          Array.iter (Dbm.flush_cache t.dbm) t.worker_caches;
+          ctx.Machine.cycles <- ctx.Machine.cycles + Cost.cache_flush
+        end;
+        Dbm.Continue
+    end
+  | Dbm.Main, Rule.LOOP_INIT -> begin
+      match t.dbm.Dbm.schedule with
+      | None -> Dbm.Continue
+      | Some _ when in_seq lid -> Dbm.Continue
+      | Some sched ->
+        if (try Hashtbl.find t.loop_sequential lid with Not_found -> false)
+        then begin
+          (* the check failed: execute this invocation serially, and do
+             not re-fire at every header execution *)
+          Hashtbl.replace t.loop_in_seq lid true;
+          Dbm.Continue
+        end
+        else begin
+          let desc = Schedule.loop_desc sched r.Rule.data in
+          Hashtbl.replace t.loop_invocations lid
+            (1 + (try Hashtbl.find t.loop_invocations lid with Not_found -> 0));
+          match run_parallel_loop t ctx desc
+                  ~bound_adjust:desc.Desc.iv_bound_adjust with
+          | `Sequential ->
+            Hashtbl.replace t.loop_in_seq lid true;
+            Dbm.Continue
+          | `Parallel exit_addr -> Dbm.Divert exit_addr
+        end
+    end
+  | Dbm.Main, Rule.LOOP_FINISH ->
+    (* end of a sequential-fallback invocation: re-arm the checks *)
+    Hashtbl.remove t.loop_in_seq lid;
+    Hashtbl.remove t.loop_sequential lid;
+    Dbm.Continue
+  | Dbm.Main, Rule.MEM_SPILL_REG ->
+    ctx.Machine.cycles <- ctx.Machine.cycles + 8;
+    Dbm.Continue
+  | Dbm.Worker _, (Rule.THREAD_YIELD | Rule.LOOP_FINISH) ->
+    (* only this loop's own yield stops the thread: a worker may pass
+       through another loop's exit block (e.g. an unrolled loop's
+       remainder shares it) *)
+    if lid = t.current_loop then Dbm.Stop_thread else Dbm.Continue
+  | Dbm.Worker _, Rule.MEM_RECOVER_REG -> Dbm.Continue
+  | Dbm.Worker w, Rule.TX_START -> tx_start t w ctx ctx.Machine.rip
+  | Dbm.Worker w, Rule.TX_FINISH -> tx_finish t w ctx
+  | _, _ -> Dbm.Continue
+
+let install t = t.dbm.Dbm.on_event <- (fun dbm kind ctx r -> handler t dbm kind ctx r)

@@ -1,0 +1,1 @@
+lib/schedule/desc.ml: Buffer Bytes Char Cond Int32 Janus_vx List Printf Reg Rexpr

@@ -1,0 +1,1 @@
+lib/schedule/desc.mli: Buffer Cond Janus_vx Reg Rexpr

@@ -1,0 +1,1 @@
+lib/schedule/rexpr.ml: Buffer Bytes Char Fmt Int32 Int64 Janus_vx Printf Reg

@@ -1,0 +1,1 @@
+lib/schedule/rexpr.mli: Buffer Format Janus_vx Reg

@@ -1,0 +1,1 @@
+lib/schedule/rule.ml: Buffer Bytes Char Fmt Int32 Printf

@@ -1,0 +1,1 @@
+lib/schedule/rule.mli: Buffer Format

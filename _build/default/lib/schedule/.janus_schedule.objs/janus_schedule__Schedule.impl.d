@@ -1,0 +1,1 @@
+lib/schedule/schedule.ml: Buffer Bytes Char Desc Fmt Hashtbl Int32 Int64 List Printf Rule String

@@ -1,0 +1,1 @@
+lib/schedule/schedule.mli: Desc Format Hashtbl Rule

@@ -1,0 +1,250 @@
+(** Structured descriptors carried in the rewrite schedule's data
+    section, referenced from rules by byte offset. *)
+
+open Janus_vx
+
+(** Where a loop-carried value lives at the loop boundary. *)
+type location =
+  | Lreg of Reg.gp
+  | Lfreg of Reg.fp
+  | Lstack of int   (* byte offset from RSP at the preheader *)
+  | Labs of int     (* absolute (global) address *)
+
+(** Reduction combine operation. Each thread starts from the identity
+    and the partial results are folded into the main context at
+    LOOP_FINISH. *)
+type redop = Radd_int | Radd_f64 | Rmul_f64
+
+(** Iteration scheduling policy. [Chunked] and [Round_robin] are the
+    paper's DOALL policies (§II-E). [Doacross] is the future-work
+    extension for loops with cross-iteration dependences: chunks
+    execute in iteration order with context hand-off, overlapping the
+    non-carried fraction of the body. *)
+type policy =
+  | Chunked
+  | Round_robin of int  (* block size *)
+  | Doacross of int     (* carried fraction in percent, 0-100 *)
+
+type loop_desc = {
+  loop_id : int;
+  header_addr : int;
+  preheader_addr : int;
+  exit_addrs : int list;      (* addresses control reaches after the loop *)
+  latch_addr : int;           (* address of the back-edge branch *)
+  iv : location;
+  iv_step : int64;            (* signed step per iteration *)
+  iv_cond : Cond.t;           (* loop continues while (iv cond bound) *)
+  iv_init : Rexpr.t;          (* evaluated at the preheader *)
+  iv_bound : Rexpr.t;
+  iv_bound_adjust : int64;    (* the compare tests (iv + adjust) vs bound *)
+  policy : policy;
+  reductions : (location * redop) list;
+  privatised : (Rexpr.t * int) list;  (* scalar address expr, TLS slot *)
+  live_out_gps : Reg.gp list;  (* copied back from the last thread *)
+  live_out_fps : Reg.fp list;
+  frame_copy_bytes : int;      (* stack bytes copied to each private stack *)
+}
+
+(** A runtime array-bounds check (Fig. 4): every written range must be
+    disjoint from every other accessed range. *)
+type array_range = {
+  base : Rexpr.t;     (* first byte accessed *)
+  extent : Rexpr.t;   (* signed span of first-byte addresses *)
+  width : int;        (* widest single access in bytes *)
+  written : bool;
+}
+
+type check_desc = {
+  check_loop_id : int;
+  ranges : array_range list;
+}
+
+(** Number of pairwise range comparisons the check performs — the
+    quantity reported per loop in Table I. *)
+let check_pairs c =
+  let writes = List.filter (fun r -> r.written) c.ranges in
+  let n_writes = List.length writes in
+  let n_total = List.length c.ranges in
+  (* each written range vs every other range, counting each pair once *)
+  (n_writes * (n_total - 1)) - (n_writes * (n_writes - 1) / 2)
+
+(** {1 Serialisation} *)
+
+let write_location buf = function
+  | Lreg r ->
+    Buffer.add_char buf '\000';
+    Buffer.add_char buf (Char.chr (Reg.gp_index r))
+  | Lfreg r ->
+    Buffer.add_char buf '\001';
+    Buffer.add_char buf (Char.chr (Reg.fp_index r))
+  | Lstack off ->
+    Buffer.add_char buf '\002';
+    Buffer.add_int32_le buf (Int32.of_int off)
+  | Labs a ->
+    Buffer.add_char buf '\003';
+    Buffer.add_int32_le buf (Int32.of_int a)
+
+let read_location bytes pos =
+  let tag = Char.code (Bytes.get bytes !pos) in
+  incr pos;
+  match tag with
+  | 0 ->
+    let r = Reg.gp_of_index (Char.code (Bytes.get bytes !pos)) in
+    incr pos;
+    Lreg r
+  | 1 ->
+    let r = Reg.fp_of_index (Char.code (Bytes.get bytes !pos)) in
+    incr pos;
+    Lfreg r
+  | 2 ->
+    let v = Int32.to_int (Bytes.get_int32_le bytes !pos) in
+    pos := !pos + 4;
+    Lstack v
+  | 3 ->
+    let v = Int32.to_int (Bytes.get_int32_le bytes !pos) in
+    pos := !pos + 4;
+    Labs v
+  | n -> failwith (Printf.sprintf "Desc.read_location: bad tag %d" n)
+
+let redop_to_int = function Radd_int -> 0 | Radd_f64 -> 1 | Rmul_f64 -> 2
+
+let redop_of_int = function
+  | 0 -> Radd_int
+  | 1 -> Radd_f64
+  | 2 -> Rmul_f64
+  | n -> failwith (Printf.sprintf "Desc.redop_of_int %d" n)
+
+let write_int buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let read_int bytes pos =
+  let v = Int32.to_int (Bytes.get_int32_le bytes !pos) in
+  pos := !pos + 4;
+  v
+
+let write_list buf write_elt l =
+  write_int buf (List.length l);
+  List.iter (write_elt buf) l
+
+let read_list bytes pos read_elt =
+  let n = read_int bytes pos in
+  List.init n (fun _ -> read_elt bytes pos)
+
+let write_loop_desc buf d =
+  write_int buf d.loop_id;
+  write_int buf d.header_addr;
+  write_int buf d.preheader_addr;
+  write_list buf (fun b a -> write_int b a) d.exit_addrs;
+  write_int buf d.latch_addr;
+  write_location buf d.iv;
+  Buffer.add_int64_le buf d.iv_step;
+  Buffer.add_char buf (Char.chr (Cond.to_int d.iv_cond));
+  Rexpr.write buf d.iv_init;
+  Rexpr.write buf d.iv_bound;
+  Buffer.add_int64_le buf d.iv_bound_adjust;
+  (match d.policy with
+   | Chunked -> Buffer.add_char buf '\000'
+   | Round_robin b ->
+     Buffer.add_char buf '\001';
+     write_int buf b
+   | Doacross f ->
+     Buffer.add_char buf '\002';
+     write_int buf f);
+  write_list buf
+    (fun b (loc, op) ->
+       write_location b loc;
+       Buffer.add_char b (Char.chr (redop_to_int op)))
+    d.reductions;
+  write_list buf
+    (fun b (e, slot) ->
+       Rexpr.write b e;
+       write_int b slot)
+    d.privatised;
+  write_list buf (fun b r -> Buffer.add_char b (Char.chr (Reg.gp_index r)))
+    d.live_out_gps;
+  write_list buf (fun b r -> Buffer.add_char b (Char.chr (Reg.fp_index r)))
+    d.live_out_fps;
+  write_int buf d.frame_copy_bytes
+
+let read_loop_desc bytes pos =
+  let loop_id = read_int bytes pos in
+  let header_addr = read_int bytes pos in
+  let preheader_addr = read_int bytes pos in
+  let exit_addrs = read_list bytes pos read_int in
+  let latch_addr = read_int bytes pos in
+  let iv = read_location bytes pos in
+  let iv_step = Bytes.get_int64_le bytes !pos in
+  pos := !pos + 8;
+  let iv_cond = Cond.of_int (Char.code (Bytes.get bytes !pos)) in
+  incr pos;
+  let iv_init = Rexpr.read bytes pos in
+  let iv_bound = Rexpr.read bytes pos in
+  let iv_bound_adjust = Bytes.get_int64_le bytes !pos in
+  pos := !pos + 8;
+  let policy =
+    match Char.code (Bytes.get bytes !pos) with
+    | 0 ->
+      incr pos;
+      Chunked
+    | 1 ->
+      incr pos;
+      Round_robin (read_int bytes pos)
+    | 2 ->
+      incr pos;
+      Doacross (read_int bytes pos)
+    | n -> failwith (Printf.sprintf "Desc.read_loop_desc: bad policy %d" n)
+  in
+  let reductions =
+    read_list bytes pos (fun b p ->
+        let loc = read_location b p in
+        let op = redop_of_int (Char.code (Bytes.get b !p)) in
+        incr p;
+        (loc, op))
+  in
+  let privatised =
+    read_list bytes pos (fun b p ->
+        let e = Rexpr.read b p in
+        let slot = read_int b p in
+        (e, slot))
+  in
+  let live_out_gps =
+    read_list bytes pos (fun b p ->
+        let r = Reg.gp_of_index (Char.code (Bytes.get b !p)) in
+        incr p;
+        r)
+  in
+  let live_out_fps =
+    read_list bytes pos (fun b p ->
+        let r = Reg.fp_of_index (Char.code (Bytes.get b !p)) in
+        incr p;
+        r)
+  in
+  let frame_copy_bytes = read_int bytes pos in
+  {
+    loop_id; header_addr; preheader_addr; exit_addrs; latch_addr; iv;
+    iv_step; iv_cond; iv_init; iv_bound; iv_bound_adjust; policy;
+    reductions; privatised; live_out_gps; live_out_fps; frame_copy_bytes;
+  }
+
+let write_check_desc buf c =
+  write_int buf c.check_loop_id;
+  write_list buf
+    (fun b r ->
+       Rexpr.write b r.base;
+       Rexpr.write b r.extent;
+       Buffer.add_char b (Char.chr r.width);
+       Buffer.add_char b (if r.written then '\001' else '\000'))
+    c.ranges
+
+let read_check_desc bytes pos =
+  let check_loop_id = read_int bytes pos in
+  let ranges =
+    read_list bytes pos (fun b p ->
+        let base = Rexpr.read b p in
+        let extent = Rexpr.read b p in
+        let width = Char.code (Bytes.get b !p) in
+        incr p;
+        let written = Char.code (Bytes.get b !p) <> 0 in
+        incr p;
+        { base; extent; width; written })
+  in
+  { check_loop_id; ranges }

@@ -1,0 +1,72 @@
+(** Structured descriptors carried in the rewrite schedule's data
+    section, referenced from rules by byte offset. *)
+
+open Janus_vx
+
+(** Where a loop-carried value lives at the loop boundary. *)
+type location =
+  | Lreg of Reg.gp
+  | Lfreg of Reg.fp
+  | Lstack of int   (** byte offset from RSP at the preheader *)
+  | Labs of int     (** absolute (global) address *)
+
+(** Reduction combine operation: each thread starts from the identity;
+    partial results fold into the main context at LOOP_FINISH. *)
+type redop = Radd_int | Radd_f64 | Rmul_f64
+
+(** Iteration scheduling policy. [Chunked] and [Round_robin] are the
+    paper's DOALL policies (§II-E); [Doacross] is the future-work
+    extension: in-order chunks with context hand-off, carrying the
+    given percentage of the body serially. *)
+type policy =
+  | Chunked
+  | Round_robin of int  (** block size *)
+  | Doacross of int     (** carried percentage, 0-100 *)
+
+type loop_desc = {
+  loop_id : int;
+  header_addr : int;
+  preheader_addr : int;
+  exit_addrs : int list;
+  latch_addr : int;
+  iv : location;
+  iv_step : int64;
+  iv_cond : Cond.t;           (** loop continues while (iv cond bound) *)
+  iv_init : Rexpr.t;          (** evaluated at loop entry *)
+  iv_bound : Rexpr.t;
+  iv_bound_adjust : int64;    (** the compare tests (iv + adjust) *)
+  policy : policy;
+  reductions : (location * redop) list;
+  privatised : (Rexpr.t * int) list;  (** scalar address expr, TLS slot *)
+  live_out_gps : Reg.gp list;
+  live_out_fps : Reg.fp list;
+  frame_copy_bytes : int;     (** stack bytes copied per private stack *)
+}
+
+(** One array footprint of a runtime bounds check (Fig. 4). *)
+type array_range = {
+  base : Rexpr.t;     (** first byte accessed *)
+  extent : Rexpr.t;   (** signed span of first-byte addresses *)
+  width : int;        (** widest single access in bytes *)
+  written : bool;
+}
+
+type check_desc = {
+  check_loop_id : int;
+  ranges : array_range list;
+}
+
+(** Number of pairwise range comparisons the check performs — the
+    quantity reported per loop in Table I. *)
+val check_pairs : check_desc -> int
+
+(** {1 Serialisation} *)
+
+val write_location : Buffer.t -> location -> unit
+val read_location : bytes -> int ref -> location
+val redop_to_int : redop -> int
+val redop_of_int : int -> redop
+val write_loop_desc : Buffer.t -> loop_desc -> unit
+val read_loop_desc : bytes -> int ref -> loop_desc
+val write_check_desc : Buffer.t -> check_desc -> unit
+val read_check_desc : bytes -> int ref -> check_desc

@@ -1,0 +1,127 @@
+(** Runtime expressions.
+
+    The static analyser cannot always reduce a value (loop bound, array
+    base, extent) to a constant, but it can express it as a small
+    computation over machine state at a specific program point. These
+    expressions are serialised into the rewrite schedule's data section
+    and evaluated by the DBM's rule handlers at runtime — the concrete
+    mechanism behind the paper's "static analysis conveys information
+    to the DBM" (§II-A1). *)
+
+open Janus_vx
+
+type t =
+  | Const of int64
+  | Reg of Reg.gp            (* register value at the trigger point *)
+  | Load of t                (* 64-bit load from the computed address *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Max of t * t
+  | Min of t * t
+
+(** Evaluation environment: how to read machine state. *)
+type env = {
+  get_reg : Reg.gp -> int64;
+  load : int -> int64;
+}
+
+let rec eval env = function
+  | Const v -> v
+  | Reg r -> env.get_reg r
+  | Load a -> env.load (Int64.to_int (eval env a))
+  | Add (a, b) -> Int64.add (eval env a) (eval env b)
+  | Sub (a, b) -> Int64.sub (eval env a) (eval env b)
+  | Mul (a, b) -> Int64.mul (eval env a) (eval env b)
+  | Max (a, b) ->
+    let x = eval env a and y = eval env b in
+    if Int64.compare x y >= 0 then x else y
+  | Min (a, b) ->
+    let x = eval env a and y = eval env b in
+    if Int64.compare x y <= 0 then x else y
+
+(** Number of evaluation steps — used to charge runtime-check cycles. *)
+let rec size = function
+  | Const _ | Reg _ -> 1
+  | Load a -> 1 + size a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Max (a, b) | Min (a, b) ->
+    1 + size a + size b
+
+(** Whether evaluation touches memory (a loaded bound cannot be assumed
+    stable across the loop unless the analyser proved it). *)
+let rec has_load = function
+  | Const _ | Reg _ -> false
+  | Load _ -> true
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Max (a, b) | Min (a, b) ->
+    has_load a || has_load b
+
+let rec pp ppf = function
+  | Const v -> Fmt.pf ppf "%Ld" v
+  | Reg r -> Reg.pp_gp ppf r
+  | Load a -> Fmt.pf ppf "[%a]" pp a
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Max (a, b) -> Fmt.pf ppf "max(%a, %a)" pp a pp b
+  | Min (a, b) -> Fmt.pf ppf "min(%a, %a)" pp a pp b
+
+let to_string e = Fmt.str "%a" pp e
+
+(** {1 Serialisation} *)
+
+let rec write buf = function
+  | Const v ->
+    let small = Int64.to_int v in
+    if Int64.equal (Int64.of_int small) v && small >= -128 && small < 128
+    then begin
+      Buffer.add_char buf '\008';
+      Buffer.add_char buf (Char.chr (small land 0xff))
+    end
+    else if Int64.equal (Int64.of_int small) v
+            && small >= -0x4000_0000 && small < 0x4000_0000 then begin
+      Buffer.add_char buf '\009';
+      Buffer.add_int32_le buf (Int32.of_int small)
+    end
+    else begin
+      Buffer.add_char buf '\000';
+      Buffer.add_int64_le buf v
+    end
+  | Reg r ->
+    Buffer.add_char buf '\001';
+    Buffer.add_char buf (Char.chr (Reg.gp_index r))
+  | Load a ->
+    Buffer.add_char buf '\002';
+    write buf a
+  | Add (a, b) -> Buffer.add_char buf '\003'; write buf a; write buf b
+  | Sub (a, b) -> Buffer.add_char buf '\004'; write buf a; write buf b
+  | Mul (a, b) -> Buffer.add_char buf '\005'; write buf a; write buf b
+  | Max (a, b) -> Buffer.add_char buf '\006'; write buf a; write buf b
+  | Min (a, b) -> Buffer.add_char buf '\007'; write buf a; write buf b
+
+let rec read buf pos =
+  let tag = Char.code (Bytes.get buf !pos) in
+  incr pos;
+  match tag with
+  | 0 ->
+    let v = Bytes.get_int64_le buf !pos in
+    pos := !pos + 8;
+    Const v
+  | 1 ->
+    let r = Reg.gp_of_index (Char.code (Bytes.get buf !pos)) in
+    incr pos;
+    Reg r
+  | 2 -> Load (read buf pos)
+  | 3 -> let a = read buf pos in Add (a, read buf pos)
+  | 4 -> let a = read buf pos in Sub (a, read buf pos)
+  | 5 -> let a = read buf pos in Mul (a, read buf pos)
+  | 6 -> let a = read buf pos in Max (a, read buf pos)
+  | 7 -> let a = read buf pos in Min (a, read buf pos)
+  | 8 ->
+    let v = Char.code (Bytes.get buf !pos) in
+    incr pos;
+    Const (Int64.of_int (if v >= 128 then v - 256 else v))
+  | 9 ->
+    let v = Int32.to_int (Bytes.get_int32_le buf !pos) in
+    pos := !pos + 4;
+    Const (Int64.of_int v)
+  | n -> failwith (Printf.sprintf "Rexpr.read: bad tag %d" n)

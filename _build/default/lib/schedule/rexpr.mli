@@ -1,0 +1,36 @@
+(** Runtime expressions: the concrete mechanism by which static
+    analysis conveys values (loop bounds, array bases, extents) to the
+    DBM (§II-A1). Serialised into the rewrite schedule's data section
+    and evaluated by rule handlers against live machine state. *)
+
+open Janus_vx
+
+type t =
+  | Const of int64
+  | Reg of Reg.gp            (** register value at the trigger point *)
+  | Load of t                (** 64-bit load from the computed address *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Max of t * t
+  | Min of t * t
+
+(** Evaluation environment: how to read machine state. *)
+type env = {
+  get_reg : Reg.gp -> int64;
+  load : int -> int64;
+}
+
+val eval : env -> t -> int64
+
+(** Evaluation step count, used to charge runtime-check cycles. *)
+val size : t -> int
+
+(** Whether evaluation touches memory. *)
+val has_load : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val write : Buffer.t -> t -> unit
+val read : bytes -> int ref -> t

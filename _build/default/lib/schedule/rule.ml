@@ -1,0 +1,138 @@
+(** Rewrite rules: the fixed-length records of Fig. 3. Each rule is an
+    (address, rule id, data) triple; [data]/[aux] carry rule-specific
+    payload — an operand index, a TLS slot, or a byte offset into the
+    schedule's data section for structured descriptors. *)
+
+type id =
+  (* profiling rules (blue in Fig. 3) *)
+  | PROF_LOOP_START
+  | PROF_LOOP_FINISH
+  | PROF_LOOP_ITER
+  | PROF_EXCALL_START
+  | PROF_EXCALL_FINISH
+  | PROF_MEM_ACCESS
+  (* parallelisation rules (orange in Fig. 3) *)
+  | THREAD_SCHEDULE
+  | THREAD_YIELD
+  | LOOP_INIT
+  | LOOP_FINISH
+  | LOOP_UPDATE_BOUND
+  | MEM_MAIN_STACK
+  | MEM_PRIVATISE
+  | MEM_BOUNDS_CHECK
+  | MEM_SPILL_REG
+  | MEM_RECOVER_REG
+  | TX_START
+  | TX_FINISH
+  | MEM_PREFETCH
+      (* extension (§VII): insert a software-prefetch hint before a
+         strided access; data = byte distance ahead of the access *)
+
+let all_ids =
+  [
+    PROF_LOOP_START; PROF_LOOP_FINISH; PROF_LOOP_ITER; PROF_EXCALL_START;
+    PROF_EXCALL_FINISH; PROF_MEM_ACCESS; THREAD_SCHEDULE; THREAD_YIELD;
+    LOOP_INIT; LOOP_FINISH; LOOP_UPDATE_BOUND; MEM_MAIN_STACK;
+    MEM_PRIVATISE; MEM_BOUNDS_CHECK; MEM_SPILL_REG; MEM_RECOVER_REG;
+    TX_START; TX_FINISH; MEM_PREFETCH;
+  ]
+
+let id_to_int = function
+  | PROF_LOOP_START -> 0
+  | PROF_LOOP_FINISH -> 1
+  | PROF_LOOP_ITER -> 2
+  | PROF_EXCALL_START -> 3
+  | PROF_EXCALL_FINISH -> 4
+  | PROF_MEM_ACCESS -> 5
+  | THREAD_SCHEDULE -> 6
+  | THREAD_YIELD -> 7
+  | LOOP_INIT -> 8
+  | LOOP_FINISH -> 9
+  | LOOP_UPDATE_BOUND -> 10
+  | MEM_MAIN_STACK -> 11
+  | MEM_PRIVATISE -> 12
+  | MEM_BOUNDS_CHECK -> 13
+  | MEM_SPILL_REG -> 14
+  | MEM_RECOVER_REG -> 15
+  | TX_START -> 16
+  | TX_FINISH -> 17
+  | MEM_PREFETCH -> 18
+
+let id_of_int = function
+  | 0 -> PROF_LOOP_START
+  | 1 -> PROF_LOOP_FINISH
+  | 2 -> PROF_LOOP_ITER
+  | 3 -> PROF_EXCALL_START
+  | 4 -> PROF_EXCALL_FINISH
+  | 5 -> PROF_MEM_ACCESS
+  | 6 -> THREAD_SCHEDULE
+  | 7 -> THREAD_YIELD
+  | 8 -> LOOP_INIT
+  | 9 -> LOOP_FINISH
+  | 10 -> LOOP_UPDATE_BOUND
+  | 11 -> MEM_MAIN_STACK
+  | 12 -> MEM_PRIVATISE
+  | 13 -> MEM_BOUNDS_CHECK
+  | 14 -> MEM_SPILL_REG
+  | 15 -> MEM_RECOVER_REG
+  | 16 -> TX_START
+  | 17 -> TX_FINISH
+  | 18 -> MEM_PREFETCH
+  | n -> invalid_arg (Printf.sprintf "Rule.id_of_int %d" n)
+
+let id_name = function
+  | PROF_LOOP_START -> "PROF_LOOP_START"
+  | PROF_LOOP_FINISH -> "PROF_LOOP_FINISH"
+  | PROF_LOOP_ITER -> "PROF_LOOP_ITER"
+  | PROF_EXCALL_START -> "PROF_EXCALL_START"
+  | PROF_EXCALL_FINISH -> "PROF_EXCALL_FINISH"
+  | PROF_MEM_ACCESS -> "PROF_MEM_ACCESS"
+  | THREAD_SCHEDULE -> "THREAD_SCHEDULE"
+  | THREAD_YIELD -> "THREAD_YIELD"
+  | LOOP_INIT -> "LOOP_INIT"
+  | LOOP_FINISH -> "LOOP_FINISH"
+  | LOOP_UPDATE_BOUND -> "LOOP_UPDATE_BOUND"
+  | MEM_MAIN_STACK -> "MEM_MAIN_STACK"
+  | MEM_PRIVATISE -> "MEM_PRIVATISE"
+  | MEM_BOUNDS_CHECK -> "MEM_BOUNDS_CHECK"
+  | MEM_SPILL_REG -> "MEM_SPILL_REG"
+  | MEM_RECOVER_REG -> "MEM_RECOVER_REG"
+  | TX_START -> "TX_START"
+  | TX_FINISH -> "TX_FINISH"
+  | MEM_PREFETCH -> "MEM_PREFETCH"
+
+let is_profiling = function
+  | PROF_LOOP_START | PROF_LOOP_FINISH | PROF_LOOP_ITER
+  | PROF_EXCALL_START | PROF_EXCALL_FINISH | PROF_MEM_ACCESS -> true
+  | THREAD_SCHEDULE | THREAD_YIELD | LOOP_INIT | LOOP_FINISH
+  | LOOP_UPDATE_BOUND | MEM_MAIN_STACK | MEM_PRIVATISE | MEM_BOUNDS_CHECK
+  | MEM_SPILL_REG | MEM_RECOVER_REG | TX_START | TX_FINISH
+  | MEM_PREFETCH -> false
+
+type t = {
+  addr : int;     (* application address where the rule triggers *)
+  id : id;
+  data : int64;   (* rule-specific payload *)
+  aux : int64;    (* secondary payload (fixed-length record, as in §II-A1) *)
+}
+
+let make ?(data = 0L) ?(aux = 0L) ~addr id = { addr; id; data; aux }
+
+(** On-disk record size in bytes: addr(4) id(1) data(8) aux(8). *)
+let record_size = 21
+
+let write buf r =
+  Buffer.add_int32_le buf (Int32.of_int r.addr);
+  Buffer.add_char buf (Char.chr (id_to_int r.id));
+  Buffer.add_int64_le buf r.data;
+  Buffer.add_int64_le buf r.aux
+
+let read bytes off =
+  let addr = Int32.to_int (Bytes.get_int32_le bytes off) in
+  let id = id_of_int (Char.code (Bytes.get bytes (off + 4))) in
+  let data = Bytes.get_int64_le bytes (off + 5) in
+  let aux = Bytes.get_int64_le bytes (off + 13) in
+  { addr; id; data; aux }
+
+let pp ppf r =
+  Fmt.pf ppf "0x%x %s data=%Ld aux=%Ld" r.addr (id_name r.id) r.data r.aux

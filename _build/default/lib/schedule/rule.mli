@@ -1,0 +1,51 @@
+(** Rewrite rules: the fixed-length records of Fig. 3. Each rule is an
+    (address, rule id, data) record; [data]/[aux] carry rule-specific
+    payload — an operand index, a TLS slot, or a byte offset into the
+    schedule's data section. *)
+
+(** The rule identifiers: the 18 of Fig. 3 (six profiling rules,
+    twelve parallelisation rules) plus the MEM_PREFETCH extension. *)
+type id =
+  | PROF_LOOP_START
+  | PROF_LOOP_FINISH
+  | PROF_LOOP_ITER
+  | PROF_EXCALL_START
+  | PROF_EXCALL_FINISH
+  | PROF_MEM_ACCESS
+  | THREAD_SCHEDULE
+  | THREAD_YIELD
+  | LOOP_INIT
+  | LOOP_FINISH
+  | LOOP_UPDATE_BOUND
+  | MEM_MAIN_STACK
+  | MEM_PRIVATISE
+  | MEM_BOUNDS_CHECK
+  | MEM_SPILL_REG
+  | MEM_RECOVER_REG
+  | TX_START
+  | TX_FINISH
+  | MEM_PREFETCH
+      (* extension (§VII): insert a software-prefetch hint before a
+         strided access; data = byte distance ahead of the access *)
+
+val all_ids : id list
+val id_to_int : id -> int
+val id_of_int : int -> id
+val id_name : id -> string
+val is_profiling : id -> bool
+
+type t = {
+  addr : int;     (** application address where the rule triggers *)
+  id : id;
+  data : int64;   (** rule-specific payload *)
+  aux : int64;    (** secondary payload (fixed-length record, §II-A1) *)
+}
+
+val make : ?data:int64 -> ?aux:int64 -> addr:int -> id -> t
+
+(** On-disk record size in bytes. *)
+val record_size : int
+
+val write : Buffer.t -> t -> unit
+val read : bytes -> int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+(** A rewrite schedule: header, fixed-length rewrite rules and a data
+    section of structured descriptors (§II-A1). This file format is the
+    only channel between the static analyser and the dynamic binary
+    modifier. *)
+
+type channel = Profiling | Parallelisation
+
+type t = {
+  channel : channel;
+  rules : Rule.t list;         (* sorted by address *)
+  data : bytes;                (* descriptor pool *)
+}
+
+let magic = "JRS1"
+
+(** {1 Construction} *)
+
+type builder = {
+  mutable brules : Rule.t list;
+  pool : Buffer.t;
+  bchannel : channel;
+}
+
+let builder channel = { brules = []; pool = Buffer.create 256; bchannel = channel }
+
+let add_rule b r = b.brules <- r :: b.brules
+
+(** Store a loop descriptor in the pool; returns its byte offset (to be
+    carried in a rule's [data] field). *)
+let add_loop_desc b d =
+  let off = Buffer.length b.pool in
+  Desc.write_loop_desc b.pool d;
+  off
+
+let add_check_desc b c =
+  let off = Buffer.length b.pool in
+  Desc.write_check_desc b.pool c;
+  off
+
+let build b =
+  let rules =
+    List.stable_sort (fun a c -> compare a.Rule.addr c.Rule.addr)
+      (List.rev b.brules)
+  in
+  { channel = b.bchannel; rules; data = Buffer.to_bytes b.pool }
+
+(** {1 Queries} *)
+
+let loop_desc t off =
+  Desc.read_loop_desc t.data (ref (Int64.to_int off))
+
+let check_desc t off =
+  Desc.read_check_desc t.data (ref (Int64.to_int off))
+
+(** Rules indexed by trigger address, preserving schedule order for
+    same-address rules (transformation order is defined by the static
+    analyser, §II-A2). *)
+let index t =
+  let tbl = Hashtbl.create (List.length t.rules) in
+  List.iter
+    (fun r ->
+       let existing = try Hashtbl.find tbl r.Rule.addr with Not_found -> [] in
+       Hashtbl.replace tbl r.Rule.addr (existing @ [ r ]))
+    t.rules;
+  tbl
+
+(** {1 Serialisation} *)
+
+let to_bytes t =
+  let b = Buffer.create (1024 + List.length t.rules * Rule.record_size) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (match t.channel with Profiling -> '\000' | Parallelisation -> '\001');
+  Buffer.add_int32_le b (Int32.of_int (List.length t.rules));
+  Buffer.add_int32_le b (Int32.of_int (Bytes.length t.data));
+  List.iter (Rule.write b) t.rules;
+  Buffer.add_bytes b t.data;
+  Buffer.to_bytes b
+
+let of_bytes bytes =
+  let m = Bytes.sub_string bytes 0 4 in
+  if not (String.equal m magic) then failwith "Schedule.of_bytes: bad magic";
+  let channel =
+    match Char.code (Bytes.get bytes 4) with
+    | 0 -> Profiling
+    | 1 -> Parallelisation
+    | n -> failwith (Printf.sprintf "Schedule.of_bytes: bad channel %d" n)
+  in
+  let nrules = Int32.to_int (Bytes.get_int32_le bytes 5) in
+  let data_len = Int32.to_int (Bytes.get_int32_le bytes 9) in
+  let rules =
+    List.init nrules (fun i -> Rule.read bytes (13 + (i * Rule.record_size)))
+  in
+  let data = Bytes.sub bytes (13 + (nrules * Rule.record_size)) data_len in
+  { channel; rules; data }
+
+(** Schedule size in bytes — the numerator of Fig. 10. *)
+let size t = Bytes.length (to_bytes t)
+
+let pp ppf t =
+  Fmt.pf ppf "rewrite schedule (%s): %d rules, %d data bytes@."
+    (match t.channel with Profiling -> "profiling" | Parallelisation -> "parallelisation")
+    (List.length t.rules) (Bytes.length t.data);
+  List.iter (fun r -> Fmt.pf ppf "  %a@." Rule.pp r) t.rules

@@ -1,0 +1,50 @@
+(** Rewrite schedules: the only channel between the static analyser and
+    the dynamic binary modifier (§II-A1).
+
+    A schedule is a header, a list of fixed-length rewrite rules sorted
+    by trigger address, and a data section of structured descriptors
+    that rules reference by byte offset. *)
+
+type channel = Profiling | Parallelisation
+
+type t = {
+  channel : channel;
+  rules : Rule.t list;   (** sorted by address, stable per address *)
+  data : bytes;          (** descriptor pool *)
+}
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : channel -> builder
+val add_rule : builder -> Rule.t -> unit
+
+(** Store a loop descriptor in the pool, returning the byte offset to
+    carry in a rule's [data] field. *)
+val add_loop_desc : builder -> Desc.loop_desc -> int
+
+val add_check_desc : builder -> Desc.check_desc -> int
+
+(** Finish: sorts rules by address, preserving insertion order within
+    one address (transformation order is defined by the analyser,
+    §II-A2). *)
+val build : builder -> t
+
+(** {1 Queries} *)
+
+val loop_desc : t -> int64 -> Desc.loop_desc
+val check_desc : t -> int64 -> Desc.check_desc
+
+(** Rules indexed by trigger address (the DBM's rule hash table). *)
+val index : t -> (int, Rule.t list) Hashtbl.t
+
+(** {1 Serialisation} *)
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> t
+
+(** Schedule size in bytes — the numerator of Fig. 10. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

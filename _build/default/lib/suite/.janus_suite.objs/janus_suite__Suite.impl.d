@@ -1,0 +1,1 @@
+lib/suite/suite.ml: Janus_jcc List Printf String

@@ -1,0 +1,1 @@
+lib/suite/suite.mli: Janus_jcc Janus_vx

@@ -1,0 +1,1042 @@
+(** The synthetic SPEC CPU2006-like workload suite.
+
+    SPEC CPU2006 is proprietary, so each benchmark here is a guest
+    program engineered to reproduce the {e structural} properties the
+    paper reports for its namesake: the mix of loop classes (Fig. 6),
+    array-base counts behind the bounds checks (Table I), hot-loop
+    coverage, iteration counts, shared-library calls, and
+    code-footprint behaviour under the DBM. Every program reads one
+    integer (the scale) so the same binary runs the small training
+    input and the larger reference input, as in §II-C.
+
+    Absolute speedups depend on the cost model; the suite aims to
+    reproduce who wins and by roughly what factor (Figs. 7-12). *)
+
+type benchmark = {
+  name : string;
+  source : string;
+  train_scale : int64;
+  ref_scale : int64;
+  parallelisable : bool;  (* one of the nine benchmarks of Fig. 7 *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* The nine parallelisable benchmarks (Figs. 7-12)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Real applications carry far more code than their hot loops: cold,
+   loop-free utility functions that the DBM never translates but that
+   dominate the executable's size (the denominator of Fig. 10). *)
+let cold_fn tag k =
+  let stmt j =
+    Printf.sprintf "  w%d = w%d * %d + w%d - %d;\n" (j mod 6)
+      ((j + 1) mod 6) ((k + j) mod 13 + 2) ((j + 3) mod 6) (j mod 7)
+  in
+  Printf.sprintf "int %s_util%d(int q) {\n\
+                 \  int w0 = q; int w1 = q + 1; int w2 = q * 2;\n\
+                 \  int w3 = q - 3; int w4 = 7; int w5 = q << 1;\n"
+    tag k
+  ^ String.concat "" (List.init 40 stmt)
+  ^ "  return w0 + w1 + w2 + w3 + w4 + w5;\n}\n"
+
+let cold_code tag n =
+  String.concat "" (List.init n (cold_fn tag))
+
+(* splice cold code into a benchmark source: the utility functions are
+   prepended, and a guarded dispatch (never taken at runtime, since the
+   scale input is positive) is inserted after "int SCALE = read_int();"
+   so the functions are reachable program code. *)
+let with_cold_code tag n b =
+  let marker = " = read_int();" in
+  let src = b.source in
+  let rec find i =
+    if i + String.length marker > String.length src then None
+    else if String.equal (String.sub src i (String.length marker)) marker then
+      Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> b
+  | Some idx ->
+    (* the scale variable name ends at [idx]; scan back to its start *)
+    let rec var_start j =
+      if j > 0 && (src.[j - 1] = '_' || (src.[j - 1] >= 'a' && src.[j - 1] <= 'z')
+                   || (src.[j - 1] >= '0' && src.[j - 1] <= '9'))
+      then var_start (j - 1)
+      else j
+    in
+    let vs = var_start idx in
+    let var = String.sub src vs (idx - vs) in
+    let stmt_end = idx + String.length marker in
+    let dispatcher =
+      Printf.sprintf "int %s_cold(int q) {\n  int r = q;\n" tag
+      ^ String.concat ""
+          (List.init n (fun k ->
+               Printf.sprintf "  r = r + %s_util%d(q + %d);\n" tag k k))
+      ^ "  return r;\n}\n"
+    in
+    let guard =
+      Printf.sprintf "\n  if (%s < 0) { %s = %s_cold(%s); }" var var tag var
+    in
+    {
+      b with
+      source =
+        cold_code tag n ^ dispatcher
+        ^ String.sub src 0 stmt_end
+        ^ guard
+        ^ String.sub src stmt_end (String.length src - stmt_end);
+    }
+
+(* 470.lbm: stream/collide over two grids; ~98% of time in two static
+   DOALL loops; near-ideal parallel scaling. *)
+let lbm =
+  {
+    name = "470.lbm";
+    parallelisable = true;
+    train_scale = 4L;
+    ref_scale = 24L;
+    source =
+      "double src[6002]; double dst[6002]; double edge[16];\n\
+       int main() {\n\
+       \  int steps = read_int();\n\
+       \  int n = 6000;\n\
+       \  for (int i = 0; i < 6002; i++) { src[i] = (double)(i % 29) * 0.1; }\n\
+       \  double omega = 0.6;\n\
+       \  for (int t = 0; t < steps; t++) {\n\
+       \    for (int i = 1; i <= n; i++) {\n\
+       \      double v = (src[i-1] + src[i] + src[i+1]) * 0.3333 * omega\n\
+       \                 + src[i] * (1.0 - omega);\n\
+       \      if (v > 50.0) { v = 50.0; }\n\
+       \      dst[i] = v;\n\
+       \    }\n\
+       \    for (int i = 1; i <= n; i++) { src[i] = dst[i]; }\n\
+       \    /* boundary exchange substeps: static DOALL but only 16\n\
+       \       iterations, invoked many times per step */\n\
+       \    for (int sub = 0; sub < 6; sub++) {\n\
+       \      for (int b = 0; b < 16; b++) { edge[b] = src[b + 1] * 0.5; }\n\
+       \      for (int b = 0; b < 16; b++) { src[b + 1] = edge[b] * 2.0; }\n\
+       \    }\n\
+       \  }\n\
+       \  double check = 0.0;\n\
+       \  for (int i = 0; i < 6002; i++) { check += src[i]; }\n\
+       \  print_float(check);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 462.libquantum: gate applications over an amplitude vector; one
+   dominant static DOALL loop with statically known counts. *)
+let libquantum =
+  {
+    name = "462.libquantum";
+    parallelisable = true;
+    train_scale = 3L;
+    ref_scale = 16L;
+    source =
+      "double re[8192]; double im[8192]; double phase[32];\n\
+       int main() {\n\
+       \  int gates = read_int();\n\
+       \  for (int i = 0; i < 8192; i++) {\n\
+       \    re[i] = (double)(i % 17) * 0.25;\n\
+       \    im[i] = (double)(i % 13) * 0.125;\n\
+       \  }\n\
+       \  double c = 0.992; double s = 0.126;\n\
+       \  for (int g = 0; g < gates; g++) {\n\
+       \    for (int i = 0; i < 8192; i++) {\n\
+       \      double r = re[i] * c - im[i] * s;\n\
+       \      double m = re[i] * s + im[i] * c;\n\
+       \      /* controlled gate: only amplitudes with the control bit set */\n\
+       \      if ((i & 4) != 0) { r = r * 0.999; }\n\
+       \      re[i] = r;\n\
+       \      im[i] = m;\n\
+       \    }\n\
+       \    /* per-gate phase-table refreshes: 32 iterations only,\n\
+       \       repeated per gate - cheap serially, costly to fork */\n\
+       \    for (int sub = 0; sub < 8; sub++) {\n\
+       \      for (int k = 0; k < 32; k++) { phase[k] = (double)k * 0.01 + c; }\n\
+       \      for (int k = 0; k < 32; k++) { phase[k] = phase[k] * 0.5 + 0.1; }\n\
+       \    }\n\
+       \  }\n\
+       \  double norm = 0.0;\n\
+       \  for (int i = 0; i < 8192; i++) { norm += re[i] * re[i] + im[i] * im[i]; }\n\
+       \  print_float(norm + phase[3]);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 410.bwaves: flux kernel over pointer-passed arrays with a pow() call
+   in the hot loop: dynamic DOALL needing one bounds check plus
+   speculation on the shared-library call (§II-E3). *)
+let bwaves =
+  {
+    name = "410.bwaves";
+    parallelisable = true;
+    train_scale = 300L;
+    ref_scale = 2200L;
+    source =
+      "extern double pow(double, double);\n\
+       void flux(double *q, double *f, int n) {\n\
+       \  for (int i = 0; i < n; i++) {\n\
+       \    f[i] = pow(q[i], 8.0) * 0.02 + q[i] * 1.4;\n\
+       \  }\n\
+       }\n\
+       void update(double *q, double *f, int n) {\n\
+       \  for (int i = 1; i < n; i++) { q[i] = q[i] - (f[i] - f[i-1]) * 0.01; }\n\
+       }\n\
+       int main() {\n\
+       \  int n = read_int();\n\
+       \  double *q = alloc_double(n + 1);\n\
+       \  double *f = alloc_double(n + 1);\n\
+       \  for (int i = 0; i <= n; i++) { q[i] = 1.0 + (double)(i % 11) * 0.05; }\n\
+       \  for (int t = 0; t < 6; t++) {\n\
+       \    flux(q, f, n);\n\
+       \    update(q, f, n);\n\
+       \  }\n\
+       \  double check = 0.0;\n\
+       \  for (int i = 0; i <= n; i++) { check += q[i]; }\n\
+       \  print_float(check);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 459.GemsFDTD: field updates over six pointer-passed component arrays
+   (many bounds-check pairs, Table I: 19.5 avg), plus tiny-trip static
+   DOALL loops that make unprofiled static parallelisation lose time. *)
+let gemsfdtd =
+  {
+    name = "459.GemsFDTD";
+    parallelisable = true;
+    train_scale = 150L;
+    ref_scale = 1100L;
+    source =
+      "double tinybuf[16];\n\
+       void update_e(double *ex, double *ey, double *ez,\n\
+       \             double *hx, double *hy, double *hz,\n\
+       \             double *ca, double *cb, int n) {\n\
+       \  for (int i = 1; i < n; i++) {\n\
+       \    ex[i] = ex[i] * ca[i] + (hz[i] - hy[i-1]) * cb[i];\n\
+       \    ey[i] = ey[i] * ca[i] + (hx[i] - hz[i-1]) * cb[i];\n\
+       \    ez[i] = ez[i] * ca[i] + (hy[i] - hx[i-1]) * cb[i];\n\
+       \  }\n\
+       }\n\
+       void update_h(double *ex, double *ey, double *ez,\n\
+       \             double *hx, double *hy, double *hz,\n\
+       \             double *ca, double *cb, int n) {\n\
+       \  for (int i = 1; i < n; i++) {\n\
+       \    hx[i] = hx[i] * ca[i] - (ez[i] - ey[i-1]) * cb[i];\n\
+       \    hy[i] = hy[i] * ca[i] - (ex[i] - ez[i-1]) * cb[i];\n\
+       \    hz[i] = hz[i] * ca[i] - (ey[i] - ex[i-1]) * cb[i];\n\
+       \  }\n\
+       }\n\
+       int main() {\n\
+       \  int n = read_int();\n\
+       \  double *ex = alloc_double(n + 1); double *ey = alloc_double(n + 1);\n\
+       \  double *ez = alloc_double(n + 1); double *hx = alloc_double(n + 1);\n\
+       \  double *hy = alloc_double(n + 1); double *hz = alloc_double(n + 1);\n\
+       \  double *ca = alloc_double(n + 1); double *cb = alloc_double(n + 1);\n\
+       \  for (int i = 0; i <= n; i++) {\n\
+       \    ex[i] = (double)(i % 7) * 0.1; ey[i] = (double)(i % 5) * 0.2;\n\
+       \    ez[i] = (double)(i % 3) * 0.3; hx[i] = 0.0; hy[i] = 0.0; hz[i] = 0.0;\n\
+       \    ca[i] = 0.98; cb[i] = 0.4 + (double)(i % 2) * 0.05;\n\
+       \  }\n\
+       \  for (int t = 0; t < 8; t++) {\n\
+       \    update_e(ex, ey, ez, hx, hy, hz, ca, cb, n);\n\
+       \    update_h(ex, ey, ez, hx, hy, hz, ca, cb, n);\n\
+       \    /* boundary fix-ups: statically DOALL but only 16 iterations,\n\
+       \       invoked every step - a trap for unprofiled selection */\n\
+       \    for (int b = 0; b < 16; b++) { tinybuf[b] = ex[b] * 0.5; }\n\
+       \    for (int b = 0; b < 16; b++) { ex[b] = ex[b] + tinybuf[b] * 0.001; }\n\
+       \    /* absorbing boundary: serial sweeps with carried state */\n\
+       \    double abc = 0.0;\n\
+       \    for (int i = 1; i < n; i++) {\n\
+       \      abc = abc * 0.4 + ey[i] * 0.1 / (hz[i] * hz[i] + 1.0);\n\
+       \      ey[i] = ey[i] - abc * 0.001;\n\
+       \    }\n\
+       \    for (int i = n - 2; i > 0; i = i - 1) {\n\
+       \      abc = abc * 0.3 + hx[i] * 0.05 / (ex[i] * ex[i] + 1.0);\n\
+       \      hx[i] = hx[i] - abc * 0.001;\n\
+       \    }\n\
+       \  }\n\
+       \  double check = 0.0;\n\
+       \  for (int i = 0; i <= n; i++) { check += ex[i] + hy[i]; }\n\
+       \  print_float(check);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 433.milc: su3-like small-matrix kernels: many short-trip loops over
+   pointer arrays invoked at high frequency; parallelisation overhead
+   roughly cancels the gains. *)
+let milc =
+  {
+    name = "433.milc";
+    parallelisable = true;
+    train_scale = 60L;
+    ref_scale = 400L;
+    source =
+      "void su3mul(double *ar, double *ai, double *br, double *bi,\n\
+       \           double *cr, double *ci, int n) {\n\
+       \  for (int i = 0; i < n; i++) {\n\
+       \    cr[i] = cr[i] + ar[i] * br[i] - ai[i] * bi[i];\n\
+       \    ci[i] = ci[i] + ar[i] * bi[i] + ai[i] * br[i];\n\
+       \  }\n\
+       }\n\
+       int main() {\n\
+       \  int sites = read_int();\n\
+       \  int n = 48;\n\
+       \  double *ar = alloc_double(n); double *ai = alloc_double(n);\n\
+       \  double *br = alloc_double(n); double *bi = alloc_double(n);\n\
+       \  double *cr = alloc_double(n); double *ci = alloc_double(n);\n\
+       \  for (int i = 0; i < n; i++) {\n\
+       \    ar[i] = (double)(i % 9) * 0.3; ai[i] = (double)(i % 5) * 0.11;\n\
+       \    br[i] = (double)(i % 4) * 0.7; bi[i] = (double)(i % 3) * 0.21;\n\
+       \    cr[i] = 0.0; ci[i] = 0.0;\n\
+       \  }\n\
+       \  double acc = 0.0;\n\
+       \  for (int s = 0; s < sites; s++) {\n\
+       \    su3mul(ar, ai, br, bi, cr, ci, n);\n\
+       \    /* serial gather between kernels */\n\
+       \    for (int i = 1; i < n; i++) { cr[i] = cr[i] + cr[i-1] * 0.001; }\n\
+       \    acc += cr[n - 1] + ci[n - 1];\n\
+       \    acc = acc * 0.9999;\n\
+       \  }\n\
+       \  print_float(acc);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 436.cactusADM: one staggered-grid relaxation over three pointer
+   arrays (3 check ranges); about half the time is parallel. *)
+let cactusadm =
+  {
+    name = "436.cactusADM";
+    parallelisable = true;
+    train_scale = 300L;
+    ref_scale = 900L;
+    source =
+      "void relax(double *u, double *v, double *rhs, int n) {\n\
+       \  for (int i = 1; i < n; i++) {\n\
+       \    v[i] = (u[i-1] + u[i+1]) * 0.5 + rhs[i] * 0.25;\n\
+       \  }\n\
+       }\n\
+       int main() {\n\
+       \  int n = read_int();\n\
+       \  double *u = alloc_double(n + 2);\n\
+       \  double *v = alloc_double(n + 2);\n\
+       \  double *rhs = alloc_double(n + 2);\n\
+       \  for (int i = 0; i <= n + 1; i++) {\n\
+       \    u[i] = (double)(i % 23) * 0.04;\n\
+       \    rhs[i] = (double)(i % 6) * 0.02;\n\
+       \  }\n\
+       \  double residual = 0.0;\n\
+       \  for (int t = 0; t < 10; t++) {\n\
+       \    relax(u, v, rhs, n);\n\
+       \    /* serial half: update sweep with a carried recurrence */\n\
+       \    residual = 0.0;\n\
+       \    for (int i = 1; i < n; i++) {\n\
+       \      residual = residual * 0.5 + (v[i] - u[i]) * 0.125;\n\
+       \      u[i] = v[i] + residual * 0.0001;\n\
+       \    }\n\
+       \  }\n\
+       \  print_float(u[n / 2] + residual);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 437.leslie3d: mostly small irregular loops (low trip counts, carried
+   scalars); static-only parallelisation loses time, Janus roughly
+   breaks even. *)
+let leslie3d =
+  {
+    name = "437.leslie3d";
+    parallelisable = true;
+    train_scale = 12L;
+    ref_scale = 60L;
+    source =
+      "double flx[258]; double cons[258];\n\
+       int main() {\n\
+       \  int sweeps = read_int();\n\
+       \  int n = 256;\n\
+       \  for (int i = 0; i < 258; i++) { cons[i] = (double)(i % 8) * 0.2; }\n\
+       \  double total = 0.0;\n\
+       \  for (int s = 0; s < sweeps; s++) {\n\
+       \    /* short DOALL: only 32 iterations, invoked every sweep */\n\
+       \    for (int i = 0; i < n; i++) { flx[i] = cons[i] * 1.2 + 0.1; }\n\
+       \    /* upwind recurrence: statically dependent */\n\
+       \    for (int i = 1; i < n; i++) { cons[i] = cons[i-1] * 0.1 + flx[i]; }\n\
+       \    /* convergence scan with a data-dependent break */\n\
+       \    for (int i = 0; i < n; i++) {\n\
+       \      if (cons[i] > 1000.0) { break; }\n\
+       \      total += cons[i] * 0.001;\n\
+       \    }\n\
+       \  }\n\
+       \  print_float(total);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 464.h264ref: a very large code footprint (many distinct kernels,
+   each executed only a few times) with branchy inner loops: the DBM's
+   translation and indirect-branch costs dominate and cannot be
+   recovered (§III-B reports a 32% DynamoRIO slowdown and a final 24%
+   loss). *)
+let h264ref_fn k =
+  let stmt j =
+    match (k + j) mod 5 with
+    | 0 -> Printf.sprintf "  t%d = t%d * 3 + blk[%d];\n" (j mod 8) ((j + 1) mod 8) ((k * 7 + j) mod 256)
+    | 1 -> Printf.sprintf "  t%d = (t%d >> 1) + %d;\n" (j mod 8) ((j + 3) mod 8) (k + j)
+    | 2 -> Printf.sprintf "  if (t%d > 10000) { t%d = t%d - 9000; }\n" (j mod 8) (j mod 8) (j mod 8)
+    | 3 -> Printf.sprintf "  t%d = t%d ^ (t%d & 1023);\n" (j mod 8) ((j + 2) mod 8) ((j + 5) mod 8)
+    | _ -> Printf.sprintf "  t%d = t%d + t%d;\n" (j mod 8) ((j + 1) mod 8) ((j + 4) mod 8)
+  in
+  Printf.sprintf
+    "int mode%d(int q) {\n\
+    \  int t0 = q; int t1 = q + 1; int t2 = %d; int t3 = q * 3;\n\
+    \  int t4 = q - 2; int t5 = %d; int t6 = q << 2; int t7 = 5;\n"
+    k (k * 13 mod 97) (k * 29 mod 83)
+  ^ String.concat "" (List.init 36 stmt)
+  ^ "  int acc = 0;\n\
+    \  for (int i = 0; i < 12; i++) {\n\
+    \    acc += blk[(i + t0) % 256];\n\
+    \    if (acc > 60000) { break; }\n\
+    \  }\n\
+    \  return acc + t0 + t1 + t2 + t3 + t4 + t5 + t6 + t7;\n\
+     }\n"
+
+let h264ref =
+  {
+    name = "464.h264ref";
+    parallelisable = true;
+    train_scale = 2L;
+    ref_scale = 7L;
+    source =
+      "int blk[256];\n"
+      ^ String.concat "" (List.init 110 h264ref_fn)
+      ^ "int main() {\n\
+        \  int frames = read_int();\n\
+        \  for (int i = 0; i < 256; i++) { blk[i] = i * 7 % 251; }\n\
+        \  int best = 0;\n\
+        \  for (int f = 0; f < frames; f++) {\n"
+      ^ String.concat ""
+          (List.init 110 (fun k ->
+               Printf.sprintf "    best = best + mode%d(f + %d);\n" k k))
+      ^ "  }\n\
+        \  int *ip = alloc_int(256);\n\
+        \  int *rp = alloc_int(256);\n\
+        \  int *pp = alloc_int(256);\n\
+        \  for (int i = 0; i < 256; i++) { rp[i] = blk[i]; pp[i] = blk[255 - i]; }\n\
+        \  for (int f = 0; f < frames * 12; f++) {\n\
+        \    for (int i = 0; i < 256; i++) { ip[i] = (rp[i] + pp[i] + 1) >> 1; }\n\
+        \    best += ip[f % 256];\n\
+        \  }\n\
+        \  print_int(best);\n\
+        \  return 0;\n\
+        }";
+  }
+
+(* 482.sphinx3: one parallel gaussian-scoring loop (~40%% of time) in an
+   otherwise serial search: Amdahl-limited to a small speedup. *)
+let sphinx3 =
+  {
+    name = "482.sphinx3";
+    parallelisable = true;
+    train_scale = 30L;
+    ref_scale = 170L;
+    source =
+      "double mean[2048]; double var[2048]; double score[2048];\n\
+       int best_idx[512];\n\
+       int main() {\n\
+       \  int frames = read_int();\n\
+       \  for (int i = 0; i < 2048; i++) {\n\
+       \    mean[i] = (double)(i % 19) * 0.1;\n\
+       \    var[i] = 1.0 + (double)(i % 7) * 0.05;\n\
+       \  }\n\
+       \  double total = 0.0;\n\
+       \  for (int f = 0; f < frames; f++) {\n\
+       \    double x = (double)(f % 13) * 0.2;\n\
+       \    /* gaussian scoring: static DOALL, the parallel part */\n\
+       \    for (int i = 0; i < 2048; i++) {\n\
+       \      double d = x - mean[i];\n\
+       \      score[i] = d * d / var[i];\n\
+       \    }\n\
+       \    /* serial search: argmin scan with carried state */\n\
+       \    double best = 1000000.0;\n\
+       \    int arg = 0;\n\
+       \    for (int i = 0; i < 2048; i++) {\n\
+       \      if (score[i] < best) { best = score[i]; arg = i; }\n\
+       \    }\n\
+       \    /* serial language-model smoothing: carried recurrences */\n\
+       \    double lm = best;\n\
+       \    for (int i = 1; i < 2048; i++) {\n\
+       \      lm = lm * 0.6 + score[i] * 0.2 + score[i-1] * 0.2;\n\
+       \      score[i] = score[i] + lm * 0.0001;\n\
+       \    }\n\
+       \    for (int i = 2046; i > 0; i = i - 1) {\n\
+       \      lm = lm * 0.7 + score[i] * 0.3 / (var[i] + 0.5);\n\
+       \    }\n\
+       \    best_idx[f % 512] = arg;\n\
+       \    total += best;\n\
+       \  }\n\
+       \  print_float(total);\n\
+       \  print_int(best_idx[0]);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* pad the small FP binaries with realistic cold code (h264ref already
+   models a large translated footprint and stays as-is) *)
+let bwaves = with_cold_code "bw" 12 bwaves
+let milc = with_cold_code "milc" 10 milc
+let cactusadm = with_cold_code "cactus" 12 cactusadm
+let leslie3d = with_cold_code "leslie" 10 leslie3d
+let gemsfdtd = with_cold_code "gems" 14 gemsfdtd
+let libquantum = with_cold_code "libq" 10 libquantum
+let lbm = with_cold_code "lbm" 12 lbm
+let sphinx3 = with_cold_code "sphinx" 10 sphinx3
+
+let nine =
+  [ bwaves; milc; cactusadm; leslie3d; gemsfdtd; libquantum; h264ref; lbm;
+    sphinx3 ]
+
+(* ------------------------------------------------------------------ *)
+(* The sixteen non-parallelisable benchmarks (Fig. 6 only)             *)
+(* ------------------------------------------------------------------ *)
+
+(* 400.perlbench: an opcode-dispatch interpreter: data-dependent
+   control flow, IO inside loops, carried interpreter state. *)
+let perlbench =
+  {
+    name = "400.perlbench";
+    parallelisable = false;
+    train_scale = 40L;
+    ref_scale = 250L;
+    source =
+      "int code[256]; int stack[64];\n\
+       int main() {\n\
+       \  int iters = read_int();\n\
+       \  for (int i = 0; i < 256; i++) { code[i] = (i * 31 + 7) % 5; }\n\
+       \  int sp = 0; int acc = 0;\n\
+       \  for (int r = 0; r < iters; r++) {\n\
+       \    int pc = 0;\n\
+       \    while (pc < 256) {\n\
+       \      int op = code[pc];\n\
+       \      if (op == 0) { acc = acc + pc; }\n\
+       \      if (op == 1) { acc = acc * 3 % 65536; }\n\
+       \      if (op == 2) { stack[sp % 64] = acc; sp = sp + 1; }\n\
+       \      if (op == 3) { if (sp > 0) { sp = sp - 1; acc = acc + stack[sp % 64]; } }\n\
+       \      if (op == 4) { if (acc % 7 == 0) { pc = pc + 2; } }\n\
+       \      pc = pc + 1;\n\
+       \    }\n\
+       \  }\n\
+       \  print_int(acc);\n\
+       \  print_int(sp);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 401.bzip2: move-to-front / prefix-sum style carried loops with a
+   modest block-copy DOALL fraction. *)
+let bzip2 =
+  {
+    name = "401.bzip2";
+    parallelisable = false;
+    train_scale = 12L;
+    ref_scale = 70L;
+    source =
+      "int buf[1024]; int freq[256]; int out[1024];\n\
+       int main() {\n\
+       \  int blocks = read_int();\n\
+       \  for (int i = 0; i < 1024; i++) { buf[i] = (i * 131 + 17) % 256; }\n\
+       \  int checksum = 0;\n\
+       \  for (int b = 0; b < blocks; b++) {\n\
+       \    /* histogram: reduction into a table indexed by data (dep) */\n\
+       \    for (int i = 0; i < 256; i++) { freq[i] = 0; }\n\
+       \    for (int i = 0; i < 1024; i++) { freq[buf[i]] = freq[buf[i]] + 1; }\n\
+       \    /* prefix sum: carried */\n\
+       \    for (int i = 1; i < 256; i++) { freq[i] = freq[i] + freq[i-1]; }\n\
+       \    /* block copy with transform: DOALL */\n\
+       \    for (int i = 0; i < 1024; i++) { out[i] = buf[i] * 2 + 1; }\n\
+       \    checksum = checksum + out[b % 1024] + freq[255];\n\
+       \  }\n\
+       \  print_int(checksum);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 403.gcc: irregular tree-walking with index-linked nodes. *)
+let gcc_bench =
+  {
+    name = "403.gcc";
+    parallelisable = false;
+    train_scale = 30L;
+    ref_scale = 160L;
+    source =
+      "int left[512]; int right[512]; int val[512];\n\
+       int main() {\n\
+       \  int passes = read_int();\n\
+       \  for (int i = 0; i < 512; i++) {\n\
+       \    left[i] = (i * 2 + 1) % 512;\n\
+       \    right[i] = (i * 2 + 2) % 512;\n\
+       \    val[i] = i % 97;\n\
+       \  }\n\
+       \  int sum = 0;\n\
+       \  for (int p = 0; p < passes; p++) {\n\
+       \    int node = p % 512;\n\
+       \    int depth = 0;\n\
+       \    while (depth < 200) {\n\
+       \      sum = sum + val[node];\n\
+       \      if (sum % 3 == 0) { node = left[node]; } else { node = right[node]; }\n\
+       \      depth = depth + 1;\n\
+       \    }\n\
+       \  }\n\
+       \  print_int(sum);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 429.mcf: network-simplex style arc scans over index-linked lists. *)
+let mcf =
+  {
+    name = "429.mcf";
+    parallelisable = false;
+    train_scale = 25L;
+    ref_scale = 140L;
+    source =
+      "int next[600]; int cost[600]; int flow[600];\n\
+       int main() {\n\
+       \  int rounds = read_int();\n\
+       \  for (int i = 0; i < 600; i++) {\n\
+       \    next[i] = (i * 7 + 3) % 600;\n\
+       \    cost[i] = i % 13 - 6;\n\
+       \    flow[i] = 0;\n\
+       \  }\n\
+       \  int total = 0;\n\
+       \  for (int r = 0; r < rounds; r++) {\n\
+       \    int a = r % 600;\n\
+       \    int hops = 0;\n\
+       \    while (hops < 300) {\n\
+       \      flow[a] = flow[a] + cost[a];\n\
+       \      total = total + flow[a];\n\
+       \      a = next[a];\n\
+       \      hops = hops + 1;\n\
+       \    }\n\
+       \  }\n\
+       \  print_int(total);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 434.zeusmp: hydro stencils over global grids: a large static DOALL
+   fraction with some carried boundary sweeps. *)
+let zeusmp =
+  {
+    name = "434.zeusmp";
+    parallelisable = false;
+    train_scale = 6L;
+    ref_scale = 30L;
+    source =
+      "double d[2050]; double e[2050]; double v[2050];\n\
+       int main() {\n\
+       \  int steps = read_int();\n\
+       \  for (int i = 0; i < 2050; i++) {\n\
+       \    d[i] = 1.0 + (double)(i % 9) * 0.1;\n\
+       \    e[i] = (double)(i % 5) * 0.2;\n\
+       \  }\n\
+       \  for (int t = 0; t < steps; t++) {\n\
+       \    for (int i = 1; i < 2049; i++) { v[i] = (e[i+1] - e[i-1]) / d[i]; }\n\
+       \    for (int i = 1; i < 2049; i++) { e[i] = e[i] + v[i] * 0.01; }\n\
+       \    /* carried donor-cell sweep */\n\
+       \    for (int i = 1; i < 2049; i++) { d[i] = d[i-1] * 0.001 + d[i] * 0.999; }\n\
+       \  }\n\
+       \  double check = 0.0;\n\
+       \  for (int i = 0; i < 2050; i++) { check += e[i]; }\n\
+       \  print_float(check);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 435.gromacs: a pairwise force loop over pointer-passed coordinates
+   (dynamic DOALL) plus a carried integration sweep, and one kernel
+   invoked with genuinely overlapping arguments (dynamic dependence). *)
+let gromacs =
+  {
+    name = "435.gromacs";
+    parallelisable = false;
+    train_scale = 10L;
+    ref_scale = 60L;
+    source =
+      "void forces(double *x, double *f, int n) {\n\
+       \  for (int i = 0; i < n; i++) {\n\
+       \    double r = x[i] - 0.5;\n\
+       \    f[i] = r * r * 24.0 - r * 12.0;\n\
+       \  }\n\
+       }\n\
+       void shift(double *dst, double *src, int n) {\n\
+       \  for (int i = 0; i < n; i++) { dst[i] = src[i + 1] * 0.5; }\n\
+       }\n\
+       int main() {\n\
+       \  int steps = read_int();\n\
+       \  int n = 800;\n\
+       \  double *x = alloc_double(n + 2);\n\
+       \  double *f = alloc_double(n + 2);\n\
+       \  for (int i = 0; i < n + 2; i++) { x[i] = (double)(i % 101) * 0.01; }\n\
+       \  for (int t = 0; t < steps; t++) {\n\
+       \    forces(x, f, n);\n\
+       \    /* leapfrog: carried through x */\n\
+       \    for (int i = 1; i < n; i++) { x[i] = x[i] + f[i] * 0.0001 + x[i-1] * 0.00001; }\n\
+       \    /* neighbour shift called in place: aliases at runtime */\n\
+       \    shift(x, x, n);\n\
+       \  }\n\
+       \  double check = 0.0;\n\
+       \  for (int i = 0; i < n; i++) { check += x[i]; }\n\
+       \  print_float(check);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 444.namd: force loops with cutoff tests and early exits: mostly
+   unanalysable iterators. *)
+let namd =
+  {
+    name = "444.namd";
+    parallelisable = false;
+    train_scale = 8L;
+    ref_scale = 45L;
+    source =
+      "double pos[1024]; double force[1024];\n\
+       int main() {\n\
+       \  int steps = read_int();\n\
+       \  for (int i = 0; i < 1024; i++) { pos[i] = (double)(i % 37) * 0.1; }\n\
+       \  double energy = 0.0;\n\
+       \  for (int t = 0; t < steps; t++) {\n\
+       \    int i = 0;\n\
+       \    while (i < 1024) {\n\
+       \      double r = pos[i] - 1.8;\n\
+       \      if (r < 0.0) { r = -r; }\n\
+       \      if (r > 3.0) { i = i + 2; } else {\n\
+       \        force[i] = 1.0 / (r + 0.1);\n\
+       \        energy += force[i];\n\
+       \        i = i + 1;\n\
+       \      }\n\
+       \    }\n\
+       \    for (int k = 0; k < 1024; k++) {\n\
+       \      if (force[k] > 100.0) { break; }\n\
+       \      pos[k] = pos[k] + force[k] * 0.001;\n\
+       \    }\n\
+       \  }\n\
+       \  print_float(energy);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 445.gobmk: board-scanning game search with IO and early exits. *)
+let gobmk =
+  {
+    name = "445.gobmk";
+    parallelisable = false;
+    train_scale = 15L;
+    ref_scale = 80L;
+    source =
+      "int board[361]; int libs[361];\n\
+       int main() {\n\
+       \  int moves = read_int();\n\
+       \  for (int i = 0; i < 361; i++) { board[i] = (i * 17 + 5) % 3; }\n\
+       \  int score = 0;\n\
+       \  for (int m = 0; m < moves; m++) {\n\
+       \    for (int i = 1; i < 360; i++) {\n\
+       \      int n = 0;\n\
+       \      if (board[i-1] == 0) { n = n + 1; }\n\
+       \      if (board[i+1] == 0) { n = n + 1; }\n\
+       \      libs[i] = n;\n\
+       \    }\n\
+       \    int best = -1; int arg = 0;\n\
+       \    for (int i = 0; i < 361; i++) {\n\
+       \      if (board[i] == 0 && libs[i] > best) { best = libs[i]; arg = i; }\n\
+       \    }\n\
+       \    board[arg] = 1 + m % 2;\n\
+       \    score = score + best;\n\
+       \    if (m % 10 == 0) { print_int(score); }\n\
+       \  }\n\
+       \  print_int(score);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 447.dealII: iterator-driven traversals (the STL pattern the paper
+   flags): no recognisable affine induction. *)
+let dealii =
+  {
+    name = "447.dealII";
+    parallelisable = false;
+    train_scale = 15L;
+    ref_scale = 90L;
+    source =
+      "int nxt[700]; double cell[700];\n\
+       int main() {\n\
+       \  int sweeps = read_int();\n\
+       \  for (int i = 0; i < 700; i++) {\n\
+       \    nxt[i] = (i + 13) % 700;\n\
+       \    cell[i] = (double)(i % 11) * 0.3;\n\
+       \  }\n\
+       \  double norm = 0.0;\n\
+       \  for (int s = 0; s < sweeps; s++) {\n\
+       \    int it = s % 700;\n\
+       \    int visited = 0;\n\
+       \    while (visited < 350) {\n\
+       \      cell[it] = cell[it] * 0.99 + 0.01;\n\
+       \      norm += cell[it];\n\
+       \      it = nxt[it];\n\
+       \      visited = visited + 1;\n\
+       \    }\n\
+       \  }\n\
+       \  print_float(norm);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 450.soplex: simplex pivoting: carried ratio tests with a small
+   DOALL column update. *)
+let soplex =
+  {
+    name = "450.soplex";
+    parallelisable = false;
+    train_scale = 12L;
+    ref_scale = 70L;
+    source =
+      "double tab[900]; double col[900];\n\
+       int main() {\n\
+       \  int pivots = read_int();\n\
+       \  for (int i = 0; i < 900; i++) { tab[i] = (double)(i % 19) * 0.15 + 0.1; }\n\
+       \  double obj = 0.0;\n\
+       \  for (int p = 0; p < pivots; p++) {\n\
+       \    /* ratio test: carried min */\n\
+       \    double best = 100000.0;\n\
+       \    for (int i = 0; i < 900; i++) {\n\
+       \      if (tab[i] > 0.001 && tab[i] < best) { best = tab[i]; }\n\
+       \    }\n\
+       \    /* column elimination: DOALL */\n\
+       \    for (int i = 0; i < 900; i++) { col[i] = tab[i] - best * 0.5; }\n\
+       \    /* writeback with carried scaling */\n\
+       \    for (int i = 1; i < 900; i++) { tab[i] = col[i] + tab[i-1] * 0.0001; }\n\
+       \    obj += best;\n\
+       \  }\n\
+       \  print_float(obj);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 453.povray: ray marching with data-dependent exits plus a small
+   shading DOALL. *)
+let povray =
+  {
+    name = "453.povray";
+    parallelisable = false;
+    train_scale = 20L;
+    ref_scale = 110L;
+    source =
+      "double depth[400]; double shade[400];\n\
+       int main() {\n\
+       \  int rays = read_int();\n\
+       \  double t0 = 0.0;\n\
+       \  for (int r = 0; r < rays; r++) {\n\
+       \    /* march: data-dependent exit */\n\
+       \    double t = 0.1;\n\
+       \    int steps = 0;\n\
+       \    while (steps < 220) {\n\
+       \      t = t * 1.02 + 0.003;\n\
+       \      if (t > 9.0) { break; }\n\
+       \      steps = steps + 1;\n\
+       \    }\n\
+       \    depth[r % 400] = t;\n\
+       \    t0 += t;\n\
+       \    /* shading pass over the tile: DOALL */\n\
+       \    if (r % 50 == 0) {\n\
+       \      for (int i = 0; i < 400; i++) { shade[i] = depth[i] * 0.8 + 0.2; }\n\
+       \    }\n\
+       \  }\n\
+       \  print_float(t0 + shade[7]);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 454.calculix: an assembly-style gather with indexed writes (dynamic
+   dependence when indices collide) plus a solver DOALL. *)
+let calculix =
+  {
+    name = "454.calculix";
+    parallelisable = false;
+    train_scale = 8L;
+    ref_scale = 45L;
+    source =
+      "double k[1200]; double u[1200]; double rhs[1200]; int idx[1200];\n\
+       int main() {\n\
+       \  int iters = read_int();\n\
+       \  for (int i = 0; i < 1200; i++) {\n\
+       \    k[i] = 1.0 + (double)(i % 7) * 0.1;\n\
+       \    idx[i] = (i * 37) % 1200;\n\
+       \    u[i] = 0.0;\n\
+       \  }\n\
+       \  for (int t = 0; t < iters; t++) {\n\
+       \    /* indexed scatter: indices collide across iterations */\n\
+       \    for (int i = 0; i < 1200; i++) { rhs[idx[i]] = rhs[idx[i]] + k[i]; }\n\
+       \    /* jacobi update: DOALL */\n\
+       \    for (int i = 0; i < 1200; i++) { u[i] = rhs[i] / k[i] * 0.5; }\n\
+       \    /* relaxation: carried */\n\
+       \    for (int i = 1; i < 1200; i++) { rhs[i] = rhs[i] * 0.9 + rhs[i-1] * 0.05; }\n\
+       \  }\n\
+       \  double check = 0.0;\n\
+       \  for (int i = 0; i < 1200; i++) { check += u[i]; }\n\
+       \  print_float(check);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 456.hmmer: Viterbi-style dynamic programming: the hot loop is a
+   carried recurrence. *)
+let hmmer =
+  {
+    name = "456.hmmer";
+    parallelisable = false;
+    train_scale = 10L;
+    ref_scale = 60L;
+    source =
+      "double vit[1500]; double trans[1500]; double emit[1500];\n\
+       int main() {\n\
+       \  int seqs = read_int();\n\
+       \  for (int i = 0; i < 1500; i++) {\n\
+       \    trans[i] = (double)(i % 5) * 0.1 + 0.1;\n\
+       \    emit[i] = (double)(i % 9) * 0.05;\n\
+       \  }\n\
+       \  double score = 0.0;\n\
+       \  for (int s = 0; s < seqs; s++) {\n\
+       \    vit[0] = 1.0;\n\
+       \    for (int i = 1; i < 1500; i++) {\n\
+       \      double stay = vit[i-1] * trans[i];\n\
+       \      double move = vit[i-1] * emit[i];\n\
+       \      if (move > stay) { vit[i] = move; } else { vit[i] = stay; }\n\
+       \    }\n\
+       \    score += vit[1499];\n\
+       \  }\n\
+       \  print_float(score);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 458.sjeng: alpha-beta-like search over a move table with pruning. *)
+let sjeng =
+  {
+    name = "458.sjeng";
+    parallelisable = false;
+    train_scale = 12L;
+    ref_scale = 70L;
+    source =
+      "int moves[512]; int hist[512];\n\
+       int main() {\n\
+       \  int nodes = read_int();\n\
+       \  for (int i = 0; i < 512; i++) { moves[i] = (i * 41 + 11) % 201 - 100; }\n\
+       \  int alpha = -10000;\n\
+       \  int visited = 0;\n\
+       \  for (int n = 0; n < nodes; n++) {\n\
+       \    int best = -10000;\n\
+       \    for (int m = 0; m < 512; m++) {\n\
+       \      int sc = moves[(m + n) % 512] + hist[m] % 16;\n\
+       \      if (sc > best) { best = sc; }\n\
+       \      if (best > 95) { break; }\n\
+       \      visited = visited + 1;\n\
+       \    }\n\
+       \    hist[n % 512] = hist[n % 512] + best;\n\
+       \    if (best > alpha) { alpha = best; }\n\
+       \  }\n\
+       \  print_int(alpha);\n\
+       \  print_int(visited);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 473.astar: grid path scanning with open-list style carried state. *)
+let astar =
+  {
+    name = "473.astar";
+    parallelisable = false;
+    train_scale = 15L;
+    ref_scale = 85L;
+    source =
+      "int gcost[900]; int came[900];\n\
+       int main() {\n\
+       \  int searches = read_int();\n\
+       \  for (int i = 0; i < 900; i++) { gcost[i] = 1000000; came[i] = 0; }\n\
+       \  int found = 0;\n\
+       \  for (int s = 0; s < searches; s++) {\n\
+       \    gcost[s % 900] = 0;\n\
+       \    int cur = s % 900;\n\
+       \    int expanded = 0;\n\
+       \    while (expanded < 400) {\n\
+       \      int nb = (cur * 13 + 7) % 900;\n\
+       \      int cand = gcost[cur] + 1 + cur % 3;\n\
+       \      if (cand < gcost[nb]) { gcost[nb] = cand; came[nb] = cur; }\n\
+       \      cur = nb;\n\
+       \      expanded = expanded + 1;\n\
+       \    }\n\
+       \    found = found + came[s % 900];\n\
+       \  }\n\
+       \  print_int(found);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* 483.xalancbmk: string/tree processing: almost entirely irregular,
+   with one per-document cleanup loop (the 1% DOALL of Fig. 6). *)
+let xalancbmk =
+  {
+    name = "483.xalancbmk";
+    parallelisable = false;
+    train_scale = 12L;
+    ref_scale = 70L;
+    source =
+      "int tag[800]; int parent[800]; int scratch[64];\n\
+       int main() {\n\
+       \  int docs = read_int();\n\
+       \  for (int i = 0; i < 800; i++) {\n\
+       \    tag[i] = (i * 29 + 3) % 7;\n\
+       \    parent[i] = (i * 5 + 1) % 800;\n\
+       \  }\n\
+       \  int matched = 0;\n\
+       \  for (int d = 0; d < docs; d++) {\n\
+       \    /* template matching: pointer-chase up the tree */\n\
+       \    for (int n = 0; n < 800; n++) {\n\
+       \      int cur = n;\n\
+       \      int depth = 0;\n\
+       \      while (depth < 12) {\n\
+       \        if (tag[cur] == 3) { matched = matched + 1; break; }\n\
+       \        cur = parent[cur];\n\
+       \        depth = depth + 1;\n\
+       \      }\n\
+       \    }\n\
+       \    /* tiny cleanup: the 1%% DOALL */\n\
+       \    for (int i = 0; i < 64; i++) { scratch[i] = d + i; }\n\
+       \    matched = matched + scratch[d % 64];\n\
+       \  }\n\
+       \  print_int(matched);\n\
+       \  return 0;\n\
+       }";
+  }
+
+let sixteen =
+  [ perlbench; bzip2; gcc_bench; mcf; zeusmp; gromacs; namd; gobmk; dealii;
+    soplex; povray; calculix; hmmer; sjeng; astar; xalancbmk ]
+
+(** All 25 benchmarks in the paper's Fig. 6 order. *)
+let all =
+  [ perlbench; bzip2; gcc_bench; bwaves; mcf; milc; zeusmp; gromacs;
+    cactusadm; leslie3d; namd; gobmk; dealii; soplex; povray; calculix;
+    hmmer; sjeng; gemsfdtd; libquantum; h264ref; lbm; astar; sphinx3;
+    xalancbmk ]
+
+let find name = List.find_opt (fun b -> String.equal b.name name) all
+
+(** Compile a benchmark with the given compiler options. *)
+let compile ?(options = Janus_jcc.Jcc.default_options) b =
+  Janus_jcc.Jcc.compile ~options b.source
+
+let train_input b = [ b.train_scale ]
+let ref_input b = [ b.ref_scale ]

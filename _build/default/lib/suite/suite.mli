@@ -1,0 +1,41 @@
+(** The synthetic SPEC CPU2006-like workload suite.
+
+    SPEC CPU2006 is proprietary; each benchmark here is a guest program
+    engineered to reproduce the structural properties the paper reports
+    for its namesake — loop-class mix (Fig. 6), array-base counts
+    (Table I), hot-loop coverage, iteration counts, shared-library
+    calls and code-footprint behaviour under the DBM. Programs read one
+    integer (the scale), so one binary serves both the training and the
+    reference input (§II-C). *)
+
+type benchmark = {
+  name : string;          (** SPEC-style name, e.g. ["470.lbm"] *)
+  source : string;        (** guest mini-C source *)
+  train_scale : int64;    (** profiling input *)
+  ref_scale : int64;      (** measurement input *)
+  parallelisable : bool;  (** one of the nine benchmarks of Fig. 7 *)
+}
+
+(** All 25 benchmarks, in Fig. 6's order. *)
+val all : benchmark list
+
+(** Look a benchmark up by its full name. *)
+val find : string -> benchmark option
+
+(** Compile a benchmark with the given compiler options (default:
+    gcc-profile [-O3], as in the paper's main evaluation). *)
+val compile :
+  ?options:Janus_jcc.Jcc.options -> benchmark -> Janus_vx.Image.t
+
+val train_input : benchmark -> int64 list
+val ref_input : benchmark -> int64 list
+
+(** The nine parallelisable benchmarks of Fig. 7. *)
+val nine : benchmark list
+
+(** The sixteen benchmarks that appear only in Fig. 6. *)
+val sixteen : benchmark list
+
+(** Generator for the cold utility code spliced into the benchmarks
+    (exposed for tests of the splicing machinery). *)
+val with_cold_code : string -> int -> benchmark -> benchmark

@@ -1,0 +1,1 @@
+lib/vm/libcalls.ml: Array Builder Bytes Cond Decode Insn Int64 Janus_vx Layout List Operand Reg

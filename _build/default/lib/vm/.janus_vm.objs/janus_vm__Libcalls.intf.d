@@ -1,0 +1,1 @@
+lib/vm/libcalls.mli: Insn Janus_vx

@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Buffer Hashtbl Janus_vx Layout Memory Queue Reg

@@ -1,0 +1,1 @@
+lib/vm/machine.mli: Buffer Hashtbl Janus_vx Memory Queue Reg

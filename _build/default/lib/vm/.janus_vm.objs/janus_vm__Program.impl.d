@@ -1,0 +1,1 @@
+lib/vm/program.ml: Array Bytes Decode Image Insn Janus_vx Layout Libcalls List Memory Option Printf

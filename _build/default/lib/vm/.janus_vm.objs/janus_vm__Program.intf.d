@@ -1,0 +1,1 @@
+lib/vm/program.mli: Image Insn Janus_vx Libcalls Memory

@@ -1,0 +1,1 @@
+lib/vm/run.ml: Buffer Cost Image Int64 Janus_vx Layout Libcalls List Machine Program Queue Reg Semantics String

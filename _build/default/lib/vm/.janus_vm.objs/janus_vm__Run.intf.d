@@ -1,0 +1,1 @@
+lib/vm/run.mli: Janus_vx Machine Program

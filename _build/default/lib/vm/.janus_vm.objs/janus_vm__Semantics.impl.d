@@ -1,0 +1,1 @@
+lib/vm/semantics.ml: Buffer Cond Cost Float Hashtbl Insn Int64 Janus_vx Layout Machine Memory Operand Printf Queue Reg

@@ -1,0 +1,1 @@
+lib/vm/semantics.mli: Cond Insn Janus_vx Machine Operand

@@ -1,0 +1,149 @@
+(** A VX64 machine context: register file, flags, instruction pointer
+    and cycle counters. One context per hardware thread; all contexts
+    of a run share one {!Memory.t} and output buffer. *)
+
+open Janus_vx
+
+type flags = {
+  mutable zf : bool;
+  mutable lt : bool;   (* signed less-than of the last compare *)
+  mutable ult : bool;  (* unsigned less-than *)
+  mutable sf : bool;   (* sign of the last result *)
+}
+
+(** A word-based software transaction (paper §II-E2). While installed,
+    rewritten memory accesses buffer stores and record read versions;
+    validation is value-based, commit is in thread order. *)
+type txn = {
+  treads : (int, int64) Hashtbl.t;   (* address -> value observed *)
+  twrites : (int, int64) Hashtbl.t;  (* address -> buffered value *)
+  mutable taborted : bool;
+  checkpoint_regs : int64 array;
+  checkpoint_fregs : float array array;
+  checkpoint_rip : int;
+}
+
+type t = {
+  regs : int64 array;          (* indexed by Reg.gp_index *)
+  fregs : float array array;   (* fp_count arrays of 4 lanes *)
+  flags : flags;
+  mutable rip : int;
+  mem : Memory.t;
+  mutable cycles : int;
+  mutable icount : int;
+  mutable halted : bool;
+  mutable exit_code : int;
+  out : Buffer.t;
+  input : int64 Queue.t;       (* values returned by sys_read_int *)
+  mutable txn : txn option;    (* set while executing speculative accesses *)
+  mutable observe : (rw -> addr:int -> bytes:int -> unit) option;
+  mutable brk : int;           (* heap bump pointer *)
+  mutable model_cache : bool;  (* charge Cost.cache_miss on cold lines *)
+  warm : (int, unit) Hashtbl.t;   (* warm cache lines (line number) *)
+  warm_fifo : int Queue.t;        (* insertion order, for eviction *)
+}
+
+and rw = Read | Write
+
+let create ?(out = Buffer.create 256) mem =
+  {
+    regs = Array.make Reg.gp_count 0L;
+    fregs = Array.init Reg.fp_count (fun _ -> Array.make 4 0.0);
+    flags = { zf = false; lt = false; ult = false; sf = false };
+    rip = 0;
+    mem;
+    cycles = 0;
+    icount = 0;
+    halted = false;
+    exit_code = 0;
+    out;
+    input = Queue.create ();
+    txn = None;
+    observe = None;
+    brk = Layout.heap_base;
+    model_cache = false;
+    warm = Hashtbl.create 256;
+    warm_fifo = Queue.create ();
+  }
+
+(** A thread context sharing memory, output and heap-allocation state
+    with [parent] but with its own registers, flags and counters. *)
+let fork parent =
+  {
+    regs = Array.copy parent.regs;
+    fregs = Array.map Array.copy parent.fregs;
+    flags =
+      {
+        zf = parent.flags.zf;
+        lt = parent.flags.lt;
+        ult = parent.flags.ult;
+        sf = parent.flags.sf;
+      };
+    rip = parent.rip;
+    mem = parent.mem;
+    cycles = 0;
+    icount = 0;
+    halted = false;
+    exit_code = 0;
+    out = parent.out;
+    input = parent.input;
+    txn = None;
+    observe = None;
+    brk = parent.brk;
+    (* each virtual core has a private cache: fresh (cold) warm set *)
+    model_cache = parent.model_cache;
+    warm = Hashtbl.create 256;
+    warm_fifo = Queue.create ();
+  }
+
+let get ctx r = ctx.regs.(Reg.gp_index r)
+let set ctx r v = ctx.regs.(Reg.gp_index r) <- v
+let getf ctx r lane = ctx.fregs.(Reg.fp_index r).(lane)
+let setf ctx r lane v = ctx.fregs.(Reg.fp_index r).(lane) <- v
+
+let start_txn ctx =
+  let t =
+    {
+      treads = Hashtbl.create 32;
+      twrites = Hashtbl.create 32;
+      taborted = false;
+      checkpoint_regs = Array.copy ctx.regs;
+      checkpoint_fregs = Array.map Array.copy ctx.fregs;
+      checkpoint_rip = ctx.rip;
+    }
+  in
+  ctx.txn <- Some t;
+  t
+
+let rollback ctx t =
+  Array.blit t.checkpoint_regs 0 ctx.regs 0 (Array.length ctx.regs);
+  Array.iteri (fun i a -> Array.blit a 0 ctx.fregs.(i) 0 4) t.checkpoint_fregs;
+  ctx.rip <- t.checkpoint_rip;
+  ctx.txn <- None
+
+let end_txn ctx = ctx.txn <- None
+
+(** {2 Data-cache warmth (prefetch extension)} *)
+
+(** Mark the line containing [addr] warm (evicting FIFO at capacity). *)
+let warm_line ctx addr =
+  let line = addr / Janus_vx.Cost.cache_line in
+  if not (Hashtbl.mem ctx.warm line) then begin
+    Hashtbl.replace ctx.warm line ();
+    Queue.push line ctx.warm_fifo;
+    if Queue.length ctx.warm_fifo > Janus_vx.Cost.cache_lines then begin
+      let victim = Queue.pop ctx.warm_fifo in
+      Hashtbl.remove ctx.warm victim
+    end
+  end
+
+(** Charge a miss if [addr]'s line is cold, then warm it. Only active
+    when [model_cache] is set. *)
+let touch_line ctx addr =
+  if ctx.model_cache then begin
+    let line = addr / Janus_vx.Cost.cache_line in
+    if not (Hashtbl.mem ctx.warm line) then begin
+      ctx.cycles <- ctx.cycles + Janus_vx.Cost.cache_miss;
+      warm_line ctx addr
+    end
+  end

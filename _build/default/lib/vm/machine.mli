@@ -1,0 +1,77 @@
+(** A VX64 machine context: register file, flags, instruction pointer
+    and cycle counters. One context per virtual hardware thread; all
+    contexts of a run share one {!Memory.t} and output buffer. *)
+
+open Janus_vx
+
+type flags = {
+  mutable zf : bool;
+  mutable lt : bool;   (** signed less-than of the last compare *)
+  mutable ult : bool;  (** unsigned less-than *)
+  mutable sf : bool;   (** sign of the last result *)
+}
+
+(** A word-based software transaction (§II-E2): while installed,
+    memory accesses buffer stores and record read versions. *)
+type txn = {
+  treads : (int, int64) Hashtbl.t;   (** address -> value observed *)
+  twrites : (int, int64) Hashtbl.t;  (** address -> buffered value *)
+  mutable taborted : bool;
+  checkpoint_regs : int64 array;
+  checkpoint_fregs : float array array;
+  checkpoint_rip : int;
+}
+
+type t = {
+  regs : int64 array;          (** indexed by {!Reg.gp_index} *)
+  fregs : float array array;   (** 16 registers of 4 lanes *)
+  flags : flags;
+  mutable rip : int;
+  mem : Memory.t;
+  mutable cycles : int;        (** modelled cycles *)
+  mutable icount : int;        (** retired instructions *)
+  mutable halted : bool;
+  mutable exit_code : int;
+  out : Buffer.t;              (** program output (shared) *)
+  input : int64 Queue.t;       (** values returned by sys_read_int *)
+  mutable txn : txn option;    (** speculative access buffering *)
+  mutable observe : (rw -> addr:int -> bytes:int -> unit) option;
+      (** memory-access hook for the dependence profiler *)
+  mutable brk : int;           (** heap bump pointer *)
+  mutable model_cache : bool;
+      (** charge {!Cost.cache_miss} on cold-line accesses *)
+  warm : (int, unit) Hashtbl.t;  (** warm cache lines (line numbers) *)
+  warm_fifo : int Queue.t;       (** insertion order, for eviction *)
+}
+
+and rw = Read | Write
+
+val create : ?out:Buffer.t -> Memory.t -> t
+
+(** A worker context sharing memory, output and heap state with
+    [parent] but owning its registers, flags and counters. *)
+val fork : t -> t
+
+val get : t -> Reg.gp -> int64
+val set : t -> Reg.gp -> int64 -> unit
+val getf : t -> Reg.fp -> int -> float
+val setf : t -> Reg.fp -> int -> float -> unit
+
+(** Checkpoint registers and install a transaction. *)
+val start_txn : t -> txn
+
+(** Restore the checkpointed context and drop the transaction. *)
+val rollback : t -> txn -> unit
+
+(** Drop the transaction, keeping the current context. *)
+val end_txn : t -> unit
+
+(** {2 Data-cache warmth (prefetch extension)} *)
+
+(** Mark the line containing the address warm (FIFO eviction at
+    {!Cost.cache_lines} capacity). What a [Prefetch] hint does. *)
+val warm_line : t -> int -> unit
+
+(** Charge a miss if the address's line is cold, then warm it. No-op
+    unless [model_cache] is set. *)
+val touch_line : t -> int -> unit

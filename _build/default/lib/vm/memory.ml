@@ -1,0 +1,88 @@
+(** Region-based guest memory.
+
+    The address space is a small set of non-overlapping regions (text,
+    data, bss, heap, library data, one stack and one TLS block per
+    thread). Loads and stores fault outside any region, which is how
+    the VM catches wild accesses from miscompiled or mis-rewritten
+    code. *)
+
+exception Fault of int  (* faulting guest address *)
+
+type region = {
+  start : int;
+  size : int;
+  bytes : Bytes.t;
+  name : string;
+}
+
+type t = {
+  mutable regions : region list;
+  mutable last : region option;  (* 1-entry lookup cache *)
+}
+
+let create () = { regions = []; last = None }
+
+let add_region t ~name ~start ~size =
+  let r = { start; size; bytes = Bytes.make size '\000'; name } in
+  t.regions <- r :: t.regions;
+  r
+
+let region_of t addr =
+  match t.last with
+  | Some r when addr >= r.start && addr < r.start + r.size -> r
+  | _ ->
+    let rec go = function
+      | [] -> raise (Fault addr)
+      | r :: tl ->
+        if addr >= r.start && addr < r.start + r.size then begin
+          t.last <- Some r;
+          r
+        end
+        else go tl
+    in
+    go t.regions
+
+let region_by_name t name =
+  List.find_opt (fun r -> String.equal r.name name) t.regions
+
+(** [check t addr n] faults unless [addr..addr+n-1] lies in one region. *)
+let check t addr n =
+  let r = region_of t addr in
+  if addr + n > r.start + r.size then raise (Fault (addr + n - 1))
+
+let read_u8 t addr =
+  let r = region_of t addr in
+  Char.code (Bytes.get r.bytes (addr - r.start))
+
+let write_u8 t addr v =
+  let r = region_of t addr in
+  Bytes.set r.bytes (addr - r.start) (Char.chr (v land 0xff))
+
+let read_i64 t addr =
+  let r = region_of t addr in
+  let off = addr - r.start in
+  if off + 8 <= r.size then Bytes.get_int64_le r.bytes off
+  else raise (Fault (addr + 7))
+
+let write_i64 t addr v =
+  let r = region_of t addr in
+  let off = addr - r.start in
+  if off + 8 <= r.size then Bytes.set_int64_le r.bytes off v
+  else raise (Fault (addr + 7))
+
+let read_f64 t addr = Int64.float_of_bits (read_i64 t addr)
+let write_f64 t addr v = write_i64 t addr (Int64.bits_of_float v)
+
+let blit t ~addr src =
+  let r = region_of t addr in
+  let off = addr - r.start in
+  if off + Bytes.length src > r.size then
+    raise (Fault (addr + Bytes.length src - 1));
+  Bytes.blit src 0 r.bytes off (Bytes.length src)
+
+(** Snapshot the contents of [addr..addr+n-1] (for test oracles). *)
+let snapshot t addr n =
+  let r = region_of t addr in
+  let off = addr - r.start in
+  if off + n > r.size then raise (Fault (addr + n - 1));
+  Bytes.sub r.bytes off n

@@ -1,0 +1,40 @@
+(** Region-based guest memory: the address space is a small set of
+    non-overlapping regions (text, data, bss, heap, library data, one
+    stack and one TLS block per thread). Accesses outside every region
+    fault, catching wild pointers from miscompiled or mis-rewritten
+    code. *)
+
+exception Fault of int  (** faulting guest address *)
+
+type region = {
+  start : int;
+  size : int;
+  bytes : Bytes.t;
+  name : string;
+}
+
+type t
+
+val create : unit -> t
+
+(** Add a region; overlap checking is the caller's responsibility
+    (regions come from the fixed {!Janus_vx.Layout}). *)
+val add_region : t -> name:string -> start:int -> size:int -> region
+
+val region_by_name : t -> string -> region option
+
+(** @raise Fault unless the whole range lies inside one region. *)
+val check : t -> int -> int -> unit
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_i64 : t -> int -> int64
+val write_i64 : t -> int -> int64 -> unit
+val read_f64 : t -> int -> float
+val write_f64 : t -> int -> float -> unit
+
+(** Copy [src] into guest memory at [addr]. *)
+val blit : t -> addr:int -> bytes -> unit
+
+(** Copy [n] guest bytes out (for test oracles). *)
+val snapshot : t -> int -> int -> bytes

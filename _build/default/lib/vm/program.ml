@@ -1,0 +1,103 @@
+(** A loaded guest program: decoded code maps for application text, PLT
+    stubs and runtime-resolved library code, plus an initialised guest
+    memory. *)
+
+open Janus_vx
+
+type t = {
+  image : Image.t;
+  text : (Insn.t * int) array;  (* indexed by addr - text_base; len 0 = hole *)
+  lib : Libcalls.t;
+  plt : string array;  (* slot index -> external name *)
+  mem : Memory.t;
+}
+
+(** Classify a code address so executors know where an instruction
+    comes from; the DBM uses this to detect dynamically discovered
+    code. *)
+type code_class = App | Plt of string | Lib
+
+let load (image : Image.t) =
+  let text_len = Bytes.length image.text in
+  let text = Array.make (max text_len 1) (Insn.Nop, 0) in
+  List.iter (fun (off, i, len) -> text.(off) <- (i, len)) (Decode.all image.text);
+  let lib = Libcalls.build () in
+  let plt = Array.of_list image.externals in
+  let mem = Memory.create () in
+  ignore
+    (Memory.add_region mem ~name:"data" ~start:Layout.data_base
+       ~size:(max (Bytes.length image.data) 8));
+  Memory.blit mem ~addr:Layout.data_base image.data;
+  if image.bss_size > 0 then
+    ignore
+      (Memory.add_region mem ~name:"bss" ~start:Layout.bss_base
+         ~size:image.bss_size);
+  ignore
+    (Memory.add_region mem ~name:"heap" ~start:Layout.heap_base
+       ~size:(Layout.heap_limit - Layout.heap_base));
+  ignore
+    (Memory.add_region mem ~name:"libdata" ~start:Layout.lib_data_base
+       ~size:(max (Bytes.length lib.data) 8));
+  Memory.blit mem ~addr:Layout.lib_data_base lib.data;
+  ignore
+    (Memory.add_region mem ~name:"stack"
+       ~start:(Layout.stack_top - Layout.stack_size)
+       ~size:(Layout.stack_size + 8));
+  { image; text; lib; plt; mem }
+
+let add_thread_regions t ~threads =
+  for i = 0 to threads - 1 do
+    let top = Layout.tstack_top i in
+    if Memory.region_by_name t.mem (Printf.sprintf "tstack%d" i) = None then begin
+      ignore
+        (Memory.add_region t.mem
+           ~name:(Printf.sprintf "tstack%d" i)
+           ~start:(top - Layout.tstack_size)
+           ~size:(Layout.tstack_size + 8));
+      ignore
+        (Memory.add_region t.mem
+           ~name:(Printf.sprintf "tls%d" i)
+           ~start:(Layout.tls_base i) ~size:Layout.tls_size)
+    end
+  done
+
+let classify t addr : code_class option =
+  if Layout.in_text addr then App
+                             |> Option.some
+  else if Layout.in_plt addr then begin
+    let i = Layout.plt_index_of_addr addr in
+    if i < Array.length t.plt then Some (Plt t.plt.(i)) else None
+  end
+  else if Layout.in_lib addr then Some Lib
+  else None
+
+(** Fetch the instruction at a code address, treating PLT slots as
+    jumps to the resolved library entry. *)
+let fetch t addr : (Insn.t * int) option =
+  if Layout.in_text addr then begin
+    let off = addr - Layout.text_base in
+    if off >= Array.length t.text then None
+    else
+      match t.text.(off) with
+      | (_, 0) -> None
+      | cell -> Some cell
+  end
+  else if Layout.in_plt addr then begin
+    let i = Layout.plt_index_of_addr addr in
+    if i >= Array.length t.plt || addr <> Layout.plt_slot_addr i then None
+    else
+      match Libcalls.entry t.lib t.plt.(i) with
+      | Some e -> Some (Insn.Jmp (Insn.Direct e), Layout.plt_slot)
+      | None -> None  (* intrinsics are intercepted before fetch *)
+  end
+  else Libcalls.fetch t.lib addr
+
+(** The external name whose PLT slot is [addr], if any. *)
+let plt_name t addr =
+  if Layout.in_plt addr then begin
+    let i = Layout.plt_index_of_addr addr in
+    if i < Array.length t.plt && addr = Layout.plt_slot_addr i then
+      Some t.plt.(i)
+    else None
+  end
+  else None

@@ -1,0 +1,34 @@
+(** A loaded guest program: decoded code maps for application text, PLT
+    stubs and runtime-resolved library code, plus initialised guest
+    memory regions. *)
+
+open Janus_vx
+
+type t = {
+  image : Image.t;
+  text : (Insn.t * int) array;  (** indexed by addr - text_base *)
+  lib : Libcalls.t;
+  plt : string array;           (** PLT slot index -> external name *)
+  mem : Memory.t;
+}
+
+(** Where a code address comes from: application text, a PLT stub, or
+    dynamically discovered library code (§II-E3). *)
+type code_class = App | Plt of string | Lib
+
+(** Load an image: decode its text and set up data/bss/heap/stack and
+    library regions. *)
+val load : Image.t -> t
+
+(** Create private stack and TLS regions for [threads] workers
+    (idempotent). *)
+val add_thread_regions : t -> threads:int -> unit
+
+val classify : t -> int -> code_class option
+
+(** The instruction at a code address (PLT slots resolve to jumps into
+    library code); [None] outside any code region or mid-instruction. *)
+val fetch : t -> int -> (Insn.t * int) option
+
+(** The external whose PLT slot is at this address, if any. *)
+val plt_name : t -> int -> string option

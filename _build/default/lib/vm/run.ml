@@ -1,0 +1,109 @@
+(** The plain VM runner — "native execution" of a JX image, without any
+    dynamic modification. This is the baseline all Janus configurations
+    are normalised against, and the semantic oracle for tests.
+
+    Also implements the [__par_for] intrinsic used by the guest
+    compiler's auto-parallelisation mode (Fig. 11's gcc/icc bars): the
+    compiler-parallelised runtime uses the same multicore cost model as
+    Janus, so the comparison is apples-to-apples. *)
+
+open Janus_vx
+
+exception Out_of_fuel
+exception Bad_pc of int
+
+type result = {
+  exit_code : int;
+  output : string;
+  cycles : int;
+  icount : int;
+}
+
+(* Return-address sentinel: no valid code lives at address 0. *)
+let sentinel = 0
+
+let default_fuel = 200_000_000
+
+(** Execute starting at [ctx.rip] until the program halts or control
+    returns to the sentinel address. *)
+let rec run_from prog ctx ~fuel =
+  let remaining = ref fuel in
+  let continue = ref true in
+  while !continue && not ctx.Machine.halted do
+    if !remaining <= 0 then raise Out_of_fuel;
+    decr remaining;
+    (* intercept intrinsics before fetch *)
+    (match Program.plt_name prog ctx.Machine.rip with
+     | Some name when String.equal name Libcalls.intrinsic_par_for ->
+       par_for prog ctx ~fuel:!remaining;
+       (* return to caller: the call pushed the return address *)
+       ctx.Machine.rip <- Int64.to_int (Semantics.pop ctx)
+     | Some _ | None ->
+       (match Program.fetch prog ctx.Machine.rip with
+        | None -> raise (Bad_pc ctx.Machine.rip)
+        | Some (insn, len) ->
+          (match Semantics.exec ctx insn ~len with
+           | Semantics.Fall -> ctx.Machine.rip <- ctx.Machine.rip + len
+           | Semantics.Goto a ->
+             if a = sentinel then continue := false else ctx.Machine.rip <- a
+           | Semantics.Stop -> continue := false)))
+  done
+
+(** Run the function at [addr] to completion in [ctx] (pushes a
+    sentinel return address). *)
+and call_function prog ctx addr ~fuel =
+  Semantics.push ctx (Int64.of_int sentinel);
+  ctx.Machine.rip <- addr;
+  run_from prog ctx ~fuel
+
+(* __par_for(fn=rdi, lo=rsi, hi=rdx, nthreads=rcx): execute
+   fn(lo_t, hi_t) on each virtual thread over a chunked partition. *)
+and par_for prog ctx ~fuel =
+  let fn = Int64.to_int (Machine.get ctx Reg.RDI) in
+  let lo = Int64.to_int (Machine.get ctx Reg.RSI) in
+  let hi = Int64.to_int (Machine.get ctx Reg.RDX) in
+  let threads = max 1 (Int64.to_int (Machine.get ctx Reg.RCX)) in
+  let total = max 0 (hi - lo) in
+  let threads = min threads (max 1 total) in
+  Program.add_thread_regions prog ~threads;
+  let chunk = (total + threads - 1) / threads in
+  let max_child = ref 0 in
+  for t = 0 to threads - 1 do
+    let tlo = lo + (t * chunk) in
+    let thi = min hi (tlo + chunk) in
+    if tlo < thi then begin
+      let child = Machine.fork ctx in
+      Machine.set child Reg.RSP (Int64.of_int (Layout.tstack_top t - 64));
+      Machine.set child Reg.RDI (Int64.of_int tlo);
+      Machine.set child Reg.RSI (Int64.of_int thi);
+      call_function prog child fn ~fuel;
+      ctx.Machine.icount <- ctx.Machine.icount + child.Machine.icount;
+      if child.Machine.cycles > !max_child then
+        max_child := child.Machine.cycles
+    end
+  done;
+  ctx.Machine.cycles <-
+    ctx.Machine.cycles + Cost.loop_init_base
+    + (threads * (Cost.thread_signal + Cost.thread_context_copy))
+    + !max_child + Cost.loop_finish_base
+    + (threads * Cost.loop_finish_per_thread)
+
+let fresh_context prog =
+  let ctx = Machine.create prog.Program.mem in
+  Machine.set ctx Reg.RSP (Int64.of_int (Layout.stack_top - 64));
+  ctx.Machine.rip <- prog.Program.image.Image.entry;
+  ctx
+
+(** Load and run an image natively. *)
+let run ?(fuel = default_fuel) ?(input = []) ?(model_cache = false) image =
+  let prog = Program.load image in
+  let ctx = fresh_context prog in
+  ctx.Machine.model_cache <- model_cache;
+  List.iter (fun v -> Queue.push v ctx.Machine.input) input;
+  run_from prog ctx ~fuel;
+  {
+    exit_code = ctx.Machine.exit_code;
+    output = Buffer.contents ctx.Machine.out;
+    cycles = ctx.Machine.cycles;
+    icount = ctx.Machine.icount;
+  }

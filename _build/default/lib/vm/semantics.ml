@@ -1,0 +1,290 @@
+(** Instruction semantics for VX64, shared by the plain VM interpreter
+    and the DBM's code-cache executor.
+
+    Memory accesses respect the context's transaction (speculative
+    buffering) and observation hook (dependence profiling), so the STM
+    and profiler interpose without duplicating the interpreter. *)
+
+open Janus_vx
+
+type control =
+  | Fall            (* fall through to the next instruction *)
+  | Goto of int     (* transfer to an application address *)
+  | Stop            (* program exited or halted *)
+
+exception Div_by_zero of int  (* rip *)
+
+let addr_of_mem ctx (m : Operand.mem) =
+  let base =
+    match m.base with Some r -> Int64.to_int (Machine.get ctx r) | None -> 0
+  in
+  let index =
+    match m.index with
+    | Some r -> Int64.to_int (Machine.get ctx r) * m.scale
+    | None -> 0
+  in
+  base + index + m.disp
+
+(* Word-granularity speculative and observed access. *)
+
+let raw_read ctx addr =
+  (match ctx.Machine.observe with
+   | Some f -> f Machine.Read ~addr ~bytes:8
+   | None -> ());
+  Machine.touch_line ctx addr;
+  match ctx.Machine.txn with
+  | Some t -> begin
+      ctx.Machine.cycles <- ctx.Machine.cycles + Cost.stm_read;
+      match Hashtbl.find_opt t.Machine.twrites addr with
+      | Some v -> v
+      | None ->
+        let v = Memory.read_i64 ctx.Machine.mem addr in
+        if not (Hashtbl.mem t.Machine.treads addr) then
+          Hashtbl.replace t.Machine.treads addr v;
+        v
+    end
+  | None -> Memory.read_i64 ctx.Machine.mem addr
+
+let raw_write ctx addr v =
+  (match ctx.Machine.observe with
+   | Some f -> f Machine.Write ~addr ~bytes:8
+   | None -> ());
+  Machine.touch_line ctx addr;
+  match ctx.Machine.txn with
+  | Some t ->
+    ctx.Machine.cycles <- ctx.Machine.cycles + Cost.stm_write;
+    Hashtbl.replace t.Machine.twrites addr v
+  | None -> Memory.write_i64 ctx.Machine.mem addr v
+
+let read_f64 ctx addr = Int64.float_of_bits (raw_read ctx addr)
+let write_f64 ctx addr v = raw_write ctx addr (Int64.bits_of_float v)
+
+(* Operand access *)
+
+let value ctx = function
+  | Operand.Reg r -> Machine.get ctx r
+  | Operand.Imm v -> v
+  | Operand.Mem m -> raw_read ctx (addr_of_mem ctx m)
+
+let store ctx op v =
+  match op with
+  | Operand.Reg r -> Machine.set ctx r v
+  | Operand.Mem m -> raw_write ctx (addr_of_mem ctx m) v
+  | Operand.Imm _ -> invalid_arg "Semantics.store: immediate destination"
+
+let fop_value ctx lane = function
+  | Operand.Freg r -> Machine.getf ctx r lane
+  | Operand.Fmem m -> read_f64 ctx (addr_of_mem ctx m + (8 * lane))
+
+(* Flags *)
+
+let set_flags_cmp ctx (a : int64) (b : int64) =
+  let f = ctx.Machine.flags in
+  f.zf <- Int64.equal a b;
+  f.lt <- Int64.compare a b < 0;
+  f.ult <- Int64.unsigned_compare a b < 0;
+  f.sf <- Int64.compare (Int64.sub a b) 0L < 0
+
+let set_flags_result ctx (v : int64) =
+  let f = ctx.Machine.flags in
+  f.zf <- Int64.equal v 0L;
+  f.lt <- Int64.compare v 0L < 0;
+  f.ult <- false;
+  f.sf <- Int64.compare v 0L < 0
+
+let set_flags_fcmp ctx a b =
+  let f = ctx.Machine.flags in
+  if Float.is_nan a || Float.is_nan b then begin
+    f.zf <- false;
+    f.lt <- false;
+    f.ult <- false;
+    f.sf <- false
+  end
+  else begin
+    f.zf <- Float.equal a b;
+    f.lt <- a < b;
+    f.ult <- a < b;
+    f.sf <- a < b
+  end
+
+let eval_cond ctx c =
+  let f = ctx.Machine.flags in
+  Cond.eval ~zf:f.zf ~lt:f.lt ~ult:f.ult ~sf:f.sf c
+
+let alu_op op (a : int64) (b : int64) =
+  match op with
+  | Insn.Add -> Int64.add a b
+  | Insn.Sub -> Int64.sub a b
+  | Insn.Imul -> Int64.mul a b
+  | Insn.And -> Int64.logand a b
+  | Insn.Or -> Int64.logor a b
+  | Insn.Xor -> Int64.logxor a b
+  | Insn.Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Insn.Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Insn.Sar -> Int64.shift_right a (Int64.to_int b land 63)
+
+let fbin_op op a b =
+  match op with
+  | Insn.Fadd -> a +. b
+  | Insn.Fsub -> a -. b
+  | Insn.Fmul -> a *. b
+  | Insn.Fdiv -> a /. b
+  | Insn.Fmin -> Float.min a b
+  | Insn.Fmax -> Float.max a b
+
+let push ctx v =
+  let sp = Int64.sub (Machine.get ctx Reg.RSP) 8L in
+  Machine.set ctx Reg.RSP sp;
+  raw_write ctx (Int64.to_int sp) v
+
+let pop ctx =
+  let sp = Machine.get ctx Reg.RSP in
+  let v = raw_read ctx (Int64.to_int sp) in
+  Machine.set ctx Reg.RSP (Int64.add sp 8L);
+  v
+
+(* Syscalls *)
+
+let syscall ctx n =
+  if n = Insn.sys_exit then begin
+    ctx.Machine.halted <- true;
+    ctx.Machine.exit_code <- Int64.to_int (Machine.get ctx Reg.RDI);
+    Stop
+  end
+  else if n = Insn.sys_write_int then begin
+    Buffer.add_string ctx.Machine.out
+      (Printf.sprintf "%Ld\n" (Machine.get ctx Reg.RDI));
+    Fall
+  end
+  else if n = Insn.sys_write_float then begin
+    Buffer.add_string ctx.Machine.out
+      (Printf.sprintf "%.6g\n" (Machine.getf ctx (Reg.XMM 0) 0));
+    Fall
+  end
+  else if n = Insn.sys_read_int then begin
+    let v =
+      if Queue.is_empty ctx.Machine.input then 0L
+      else Queue.pop ctx.Machine.input
+    in
+    Machine.set ctx Reg.RAX v;
+    Fall
+  end
+  else if n = Insn.sys_brk then begin
+    let sz = Int64.to_int (Machine.get ctx Reg.RDI) in
+    let old = ctx.Machine.brk in
+    let aligned = (sz + 15) land lnot 15 in
+    if old + aligned > Layout.heap_limit then raise (Memory.Fault (old + aligned));
+    ctx.Machine.brk <- old + aligned;
+    Machine.set ctx Reg.RAX (Int64.of_int old);
+    Fall
+  end
+  else Fall  (* unknown syscalls are no-ops *)
+
+(** Execute one instruction whose encoded length is [len]. Updates
+    registers, flags, memory, cycle and instruction counters, and
+    returns where control goes. Does NOT update [ctx.rip] — callers
+    own instruction sequencing. *)
+let exec ctx insn ~len =
+  ctx.Machine.cycles <- ctx.Machine.cycles + Cost.of_insn insn;
+  ctx.Machine.icount <- ctx.Machine.icount + 1;
+  let fallthrough = ctx.Machine.rip + len in
+  match insn with
+  | Insn.Nop -> Fall
+  | Insn.Hlt ->
+    ctx.Machine.halted <- true;
+    Stop
+  | Insn.Mov (dst, src) ->
+    store ctx dst (value ctx src);
+    Fall
+  | Insn.Lea (r, m) ->
+    Machine.set ctx r (Int64.of_int (addr_of_mem ctx m));
+    Fall
+  | Insn.Alu (op, dst, src) ->
+    let v = alu_op op (value ctx dst) (value ctx src) in
+    store ctx dst v;
+    set_flags_result ctx v;
+    Fall
+  | Insn.Neg o ->
+    let v = Int64.neg (value ctx o) in
+    store ctx o v;
+    set_flags_result ctx v;
+    Fall
+  | Insn.Not o ->
+    store ctx o (Int64.lognot (value ctx o));
+    Fall
+  | Insn.Idiv o ->
+    let d = value ctx o in
+    if Int64.equal d 0L then raise (Div_by_zero ctx.Machine.rip);
+    let a = Machine.get ctx Reg.RAX in
+    Machine.set ctx Reg.RAX (Int64.div a d);
+    Machine.set ctx Reg.RDX (Int64.rem a d);
+    Fall
+  | Insn.Cmp (a, b) ->
+    set_flags_cmp ctx (value ctx a) (value ctx b);
+    Fall
+  | Insn.Test (a, b) ->
+    set_flags_result ctx (Int64.logand (value ctx a) (value ctx b));
+    Fall
+  | Insn.Jmp (Insn.Direct a) -> Goto a
+  | Insn.Jmp (Insn.Indirect o) -> Goto (Int64.to_int (value ctx o))
+  | Insn.Jcc (c, a) -> if eval_cond ctx c then Goto a else Fall
+  | Insn.Call (Insn.Direct a) ->
+    push ctx (Int64.of_int fallthrough);
+    Goto a
+  | Insn.Call (Insn.Indirect o) ->
+    let target = Int64.to_int (value ctx o) in
+    push ctx (Int64.of_int fallthrough);
+    Goto target
+  | Insn.Ret -> Goto (Int64.to_int (pop ctx))
+  | Insn.Push o ->
+    push ctx (value ctx o);
+    Fall
+  | Insn.Pop o ->
+    let v = pop ctx in
+    store ctx o v;
+    Fall
+  | Insn.Cmov (c, r, src) ->
+    if eval_cond ctx c then Machine.set ctx r (value ctx src);
+    Fall
+  | Insn.Fmov (w, dst, src) ->
+    let n = Insn.lanes w in
+    (match dst with
+     | Operand.Freg r ->
+       for l = 0 to n - 1 do
+         Machine.setf ctx r l (fop_value ctx l src)
+       done
+     | Operand.Fmem m ->
+       let a = addr_of_mem ctx m in
+       for l = 0 to n - 1 do
+         write_f64 ctx (a + (8 * l)) (fop_value ctx l src)
+       done);
+    Fall
+  | Insn.Fbin (w, op, d, src) ->
+    for l = 0 to Insn.lanes w - 1 do
+      Machine.setf ctx d l (fbin_op op (Machine.getf ctx d l) (fop_value ctx l src))
+    done;
+    Fall
+  | Insn.Fsqrt (w, d, src) ->
+    for l = 0 to Insn.lanes w - 1 do
+      Machine.setf ctx d l (Float.sqrt (fop_value ctx l src))
+    done;
+    Fall
+  | Insn.Fbcast (w, d, src) ->
+    let v = fop_value ctx 0 src in
+    for l = 0 to Insn.lanes w - 1 do
+      Machine.setf ctx d l v
+    done;
+    Fall
+  | Insn.Fcmp (a, b) ->
+    set_flags_fcmp ctx (Machine.getf ctx a 0) (fop_value ctx 0 b);
+    Fall
+  | Insn.Cvtsi2sd (d, src) ->
+    Machine.setf ctx d 0 (Int64.to_float (value ctx src));
+    Fall
+  | Insn.Cvtsd2si (d, src) ->
+    Machine.set ctx d (Int64.of_float (fop_value ctx 0 src));
+    Fall
+  | Insn.Syscall n -> syscall ctx n
+  | Insn.Prefetch m ->
+    Machine.warm_line ctx (addr_of_mem ctx m);
+    Fall

@@ -1,0 +1,35 @@
+(** Instruction semantics for VX64, shared by the plain VM interpreter
+    and the DBM's code-cache executor.
+
+    Memory accesses respect the context's transaction (speculative
+    buffering, §II-E2) and observation hook (dependence profiling), so
+    the STM and profiler interpose without duplicating the interpreter. *)
+
+open Janus_vx
+
+(** Where control goes after one instruction. *)
+type control =
+  | Fall          (** fall through to the next instruction *)
+  | Goto of int   (** transfer to an application address *)
+  | Stop          (** the program exited or halted *)
+
+exception Div_by_zero of int  (** rip of the faulting division *)
+
+(** Effective address of a memory operand in a context. *)
+val addr_of_mem : Machine.t -> Operand.mem -> int
+
+(** 64-bit load/store honouring the installed transaction (buffered)
+    and observer (recorded); exposed for the runtime and tests. *)
+val raw_read : Machine.t -> int -> int64
+val raw_write : Machine.t -> int -> int64 -> unit
+
+val value : Machine.t -> Operand.t -> int64
+val eval_cond : Machine.t -> Cond.t -> bool
+val push : Machine.t -> int64 -> unit
+val pop : Machine.t -> int64
+
+(** Execute one instruction whose encoded length is [len]: updates
+    registers, flags, memory and the cycle/instruction counters, and
+    returns where control goes. Does {e not} advance [ctx.rip] —
+    callers own instruction sequencing. *)
+val exec : Machine.t -> Insn.t -> len:int -> control

@@ -1,0 +1,1 @@
+lib/vx/builder.ml: Array Buffer Bytes Char Cond Encode Hashtbl Image Insn Int64 Layout List Operand Printf Reg

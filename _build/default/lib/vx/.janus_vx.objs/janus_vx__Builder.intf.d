@@ -1,0 +1,1 @@
+lib/vx/builder.mli: Cond Image Insn Reg

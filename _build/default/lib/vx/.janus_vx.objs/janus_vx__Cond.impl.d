@@ -1,0 +1,1 @@
+lib/vx/cond.ml: Fmt Printf

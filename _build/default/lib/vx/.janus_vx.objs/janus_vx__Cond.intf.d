@@ -1,0 +1,1 @@
+lib/vx/cond.mli: Format

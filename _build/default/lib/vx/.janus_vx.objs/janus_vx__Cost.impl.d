@@ -1,0 +1,1 @@
+lib/vx/cost.ml: Insn Operand

@@ -1,0 +1,1 @@
+lib/vx/cost.mli: Insn Operand

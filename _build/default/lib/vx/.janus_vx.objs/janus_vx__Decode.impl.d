@@ -1,0 +1,1 @@
+lib/vx/decode.ml: Bytes Char Cond Encode Insn Int64 List Operand Reg Sys

@@ -1,0 +1,1 @@
+lib/vx/disasm.ml: Decode Fmt Image Insn Layout List

@@ -1,0 +1,1 @@
+lib/vx/disasm.mli: Format Image

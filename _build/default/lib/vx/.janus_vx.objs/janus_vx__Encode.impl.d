@@ -1,0 +1,1 @@
+lib/vx/encode.ml: Buffer Bytes Char Cond Insn Int64 List Operand Printf Reg

@@ -1,0 +1,1 @@
+lib/vx/encode.mli: Buffer Insn

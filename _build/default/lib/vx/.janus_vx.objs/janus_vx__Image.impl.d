@@ -1,0 +1,1 @@
+lib/vx/image.ml: Buffer Bytes Char Decode Hashtbl Layout List String

@@ -1,0 +1,1 @@
+lib/vx/image.mli: Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/vx/insn.ml: Cond Fmt List Operand Reg

@@ -1,0 +1,1 @@
+lib/vx/insn.mli: Cond Format Operand Reg

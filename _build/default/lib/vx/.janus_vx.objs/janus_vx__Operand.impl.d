@@ -1,0 +1,1 @@
+lib/vx/operand.ml: Fmt Int64 Printf Reg

@@ -1,0 +1,1 @@
+lib/vx/operand.mli: Format Reg

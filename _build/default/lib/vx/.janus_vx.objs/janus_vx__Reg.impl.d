@@ -1,0 +1,1 @@
+lib/vx/reg.ml: Fmt List Printf

@@ -1,0 +1,125 @@
+(** Assembly builder: emits VX64 instructions with symbolic labels and
+    produces a {!Image.t}. Used by the guest compiler's backend, by the
+    VM's library-fragment factory and by hand-written test binaries. *)
+
+type patch_kind = Pjmp | Pjcc of Cond.t | Pcall | Plea of Reg.gp
+
+type t = {
+  mutable rev_insns : Insn.t list;
+  mutable count : int;
+  mutable offset : int;  (* byte offset of next instruction *)
+  labels : (string, int) Hashtbl.t;  (* label -> byte offset *)
+  mutable patches : (int * patch_kind * string) list;  (* insn index *)
+  base : int;  (* virtual base address of the code *)
+}
+
+let create ?(base = Layout.text_base) () =
+  {
+    rev_insns = [];
+    count = 0;
+    offset = 0;
+    labels = Hashtbl.create 64;
+    patches = [];
+    base;
+  }
+
+let here b = b.base + b.offset
+
+(** Define [name] at the current position. *)
+let label b name =
+  if Hashtbl.mem b.labels name then
+    invalid_arg (Printf.sprintf "Builder.label: duplicate %S" name);
+  Hashtbl.replace b.labels name b.offset
+
+let ins b i =
+  b.rev_insns <- i :: b.rev_insns;
+  b.count <- b.count + 1;
+  b.offset <- b.offset + Encode.size i
+
+(** Emit a direct jump to a (possibly forward) label. *)
+let jmp b name =
+  b.patches <- (b.count, Pjmp, name) :: b.patches;
+  ins b (Insn.Jmp (Insn.Direct 0))
+
+let jcc b c name =
+  b.patches <- (b.count, Pjcc c, name) :: b.patches;
+  ins b (Insn.Jcc (c, 0))
+
+let call_label b name =
+  b.patches <- (b.count, Pcall, name) :: b.patches;
+  ins b (Insn.Call (Insn.Direct 0))
+
+(** Load the address of a label into a register (via an absolute lea).
+    The encoded size does not depend on the final address. *)
+let lea_label b r name =
+  b.patches <- (b.count, Plea r, name) :: b.patches;
+  ins b (Insn.Lea (r, Operand.mem_abs 0x7fffffff))
+
+let label_addr b name =
+  match Hashtbl.find_opt b.labels name with
+  | Some off -> b.base + off
+  | None -> invalid_arg (Printf.sprintf "Builder.label_addr: unknown %S" name)
+
+(** Resolve patches and return the final instruction list. *)
+let finish b =
+  let insns = Array.of_list (List.rev b.rev_insns) in
+  List.iter
+    (fun (idx, kind, name) ->
+       let target =
+         match Hashtbl.find_opt b.labels name with
+         | Some off -> b.base + off
+         | None ->
+           invalid_arg (Printf.sprintf "Builder.finish: undefined label %S" name)
+       in
+       insns.(idx) <-
+         (match kind with
+          | Pjmp -> Insn.Jmp (Insn.Direct target)
+          | Pjcc c -> Insn.Jcc (c, target)
+          | Pcall -> Insn.Call (Insn.Direct target)
+          | Plea r -> Insn.Lea (r, Operand.mem_abs target)))
+    b.patches;
+  Array.to_list insns
+
+let to_bytes b = Encode.encode_list (finish b)
+
+(** {1 Data-section builder} *)
+
+module Data = struct
+  type t = {
+    buf : Buffer.t;
+    labels : (string, int) Hashtbl.t;  (* label -> offset in data *)
+  }
+
+  let create () = { buf = Buffer.create 256; labels = Hashtbl.create 16 }
+  let here d = Buffer.length d.buf
+
+  let label d name =
+    if Hashtbl.mem d.labels name then
+      invalid_arg (Printf.sprintf "Data.label: duplicate %S" name);
+    Hashtbl.replace d.labels name (here d)
+
+  let addr d name =
+    match Hashtbl.find_opt d.labels name with
+    | Some off -> Layout.data_base + off
+    | None -> invalid_arg (Printf.sprintf "Data.addr: unknown %S" name)
+
+  let i64 d (v : int64) =
+    for i = 0 to 7 do
+      Buffer.add_char d.buf
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+    done
+
+  let f64 d v = i64 d (Int64.bits_of_float v)
+  let zeros d n = for _ = 1 to n do Buffer.add_char d.buf '\000' done
+  let contents d = Buffer.to_bytes d.buf
+end
+
+(** Assemble a full image from a code builder, data and externals. *)
+let to_image ?(data = Bytes.create 0) ?(bss_size = 0) ?(externals = []) ~entry b =
+  let text = to_bytes b in
+  let entry_addr =
+    match Hashtbl.find_opt b.labels entry with
+    | Some off -> b.base + off
+    | None -> invalid_arg (Printf.sprintf "Builder.to_image: no entry %S" entry)
+  in
+  { Image.entry = entry_addr; text; data; bss_size; externals }

@@ -1,0 +1,59 @@
+(** Assembly builder: emits VX64 instructions with symbolic labels and
+    produces an {!Image.t}. Used by the guest compiler's backend, the
+    VM's library-fragment factory, and hand-written test binaries. *)
+
+type t
+
+val create : ?base:int -> unit -> t
+
+(** Virtual address of the next instruction. *)
+val here : t -> int
+
+(** Define a label at the current position.
+    @raise Invalid_argument on duplicates. *)
+val label : t -> string -> unit
+
+val ins : t -> Insn.t -> unit
+
+(** Emit a direct jump / conditional jump / call to a possibly forward
+    label, patched at {!finish} time. *)
+val jmp : t -> string -> unit
+val jcc : t -> Cond.t -> string -> unit
+val call_label : t -> string -> unit
+
+(** Load a label's address into a register (absolute [lea]); the
+    encoded size does not depend on the final address. *)
+val lea_label : t -> Reg.gp -> string -> unit
+
+(** @raise Invalid_argument if the label is undefined. *)
+val label_addr : t -> string -> int
+
+(** Resolve patches and return the final instruction list.
+    @raise Invalid_argument on undefined labels. *)
+val finish : t -> Insn.t list
+
+val to_bytes : t -> bytes
+
+(** Data-section builder (labels resolve to {!Layout.data_base}-based
+    addresses). *)
+module Data : sig
+  type t
+
+  val create : unit -> t
+  val here : t -> int
+  val label : t -> string -> unit
+  val addr : t -> string -> int
+  val i64 : t -> int64 -> unit
+  val f64 : t -> float -> unit
+  val zeros : t -> int -> unit
+  val contents : t -> bytes
+end
+
+(** Assemble a full image. [entry] names the start label. *)
+val to_image :
+  ?data:bytes ->
+  ?bss_size:int ->
+  ?externals:string list ->
+  entry:string ->
+  t ->
+  Image.t

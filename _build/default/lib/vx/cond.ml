@@ -1,0 +1,61 @@
+(** Condition codes evaluated against the VX64 flags register. *)
+
+type t =
+  | Eq | Ne
+  | Lt | Le | Gt | Ge          (* signed *)
+  | Ult | Ule | Ugt | Uge      (* unsigned *)
+  | S | Ns                     (* sign / not sign *)
+
+let all = [ Eq; Ne; Lt; Le; Gt; Ge; Ult; Ule; Ugt; Uge; S; Ns ]
+
+let negate = function
+  | Eq -> Ne | Ne -> Eq
+  | Lt -> Ge | Ge -> Lt
+  | Le -> Gt | Gt -> Le
+  | Ult -> Uge | Uge -> Ult
+  | Ule -> Ugt | Ugt -> Ule
+  | S -> Ns | Ns -> S
+
+(** [swap c] is the condition equivalent to [c] with the comparison
+    operands exchanged ([a < b] iff [b > a]). *)
+let swap = function
+  | Eq -> Eq | Ne -> Ne
+  | Lt -> Gt | Gt -> Lt
+  | Le -> Ge | Ge -> Le
+  | Ult -> Ugt | Ugt -> Ult
+  | Ule -> Uge | Uge -> Ule
+  | S -> S | Ns -> Ns
+
+let to_int = function
+  | Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
+  | Ult -> 6 | Ule -> 7 | Ugt -> 8 | Uge -> 9 | S -> 10 | Ns -> 11
+
+let of_int = function
+  | 0 -> Eq | 1 -> Ne | 2 -> Lt | 3 -> Le | 4 -> Gt | 5 -> Ge
+  | 6 -> Ult | 7 -> Ule | 8 -> Ugt | 9 -> Uge | 10 -> S | 11 -> Ns
+  | n -> invalid_arg (Printf.sprintf "Cond.of_int %d" n)
+
+let name = function
+  | Eq -> "e" | Ne -> "ne" | Lt -> "l" | Le -> "le" | Gt -> "g" | Ge -> "ge"
+  | Ult -> "b" | Ule -> "be" | Ugt -> "a" | Uge -> "ae" | S -> "s" | Ns -> "ns"
+
+let pp ppf c = Fmt.string ppf (name c)
+
+(** Evaluate a condition given the integer comparison result flags.
+
+    [zf] is set when the last compare found the operands equal; [lt]
+    when signed-less; [ult] when unsigned-less; [sf] holds the sign of
+    the last result. *)
+let eval ~zf ~lt ~ult ~sf = function
+  | Eq -> zf
+  | Ne -> not zf
+  | Lt -> lt
+  | Le -> lt || zf
+  | Gt -> not (lt || zf)
+  | Ge -> not lt
+  | Ult -> ult
+  | Ule -> ult || zf
+  | Ugt -> not (ult || zf)
+  | Uge -> not ult
+  | S -> sf
+  | Ns -> not sf

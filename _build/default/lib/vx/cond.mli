@@ -1,0 +1,28 @@
+(** Condition codes evaluated against the VX64 flags register. *)
+
+type t =
+  | Eq | Ne
+  | Lt | Le | Gt | Ge          (** signed *)
+  | Ult | Ule | Ugt | Uge      (** unsigned *)
+  | S | Ns                     (** sign / not sign *)
+
+val all : t list
+
+(** Logical negation: [negate c] holds exactly when [c] does not. *)
+val negate : t -> t
+
+(** [swap c] is the condition with the comparison operands exchanged
+    ([a < b] iff [b > a]). *)
+val swap : t -> t
+
+val to_int : t -> int
+val of_int : int -> t
+
+(** x86-style mnemonic suffix ("e", "ne", "l", "b", ...). *)
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Evaluate against comparison flags: [zf] equal, [lt] signed-less,
+    [ult] unsigned-less, [sf] result sign. *)
+val eval : zf:bool -> lt:bool -> ult:bool -> sf:bool -> t -> bool

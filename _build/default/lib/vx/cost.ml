@@ -1,0 +1,117 @@
+(** The deterministic cycle-cost model.
+
+    This substitutes for the paper's Xeon E5-2667v4 testbed: costs are
+    loosely calibrated to Sandy-Bridge-era latencies so that relative
+    effects (division vs addition, memory traffic, vector speedup,
+    syscall cliffs) have the right order of magnitude. All figures in
+    the evaluation are produced from these deterministic counts. *)
+
+let mem_read = 3
+let mem_write = 3
+
+(** Extra cycles a packed operation costs over its scalar form; the
+    remaining lanes are free, which is the vectorisation win. *)
+let width_extra = function Insn.Scalar -> 0 | Insn.X -> 1 | Insn.Y -> 2
+
+let alu_cost = function
+  | Insn.Imul -> 3
+  | Insn.Add | Insn.Sub | Insn.And | Insn.Or | Insn.Xor
+  | Insn.Shl | Insn.Shr | Insn.Sar -> 1
+
+let fbin_cost = function
+  | Insn.Fadd | Insn.Fsub -> 3
+  | Insn.Fmul -> 4
+  | Insn.Fdiv -> 16
+  | Insn.Fmin | Insn.Fmax -> 2
+
+let mem_cost_of_operand = function
+  | Operand.Mem _ -> mem_read
+  | Operand.Reg _ | Operand.Imm _ -> 0
+
+let mem_cost_of_fop = function
+  | Operand.Fmem _ -> mem_read
+  | Operand.Freg _ -> 0
+
+(** Base cycle cost of one instruction, including its memory traffic. *)
+let of_insn = function
+  | Insn.Nop -> 1
+  | Insn.Hlt -> 1
+  | Insn.Mov (dst, src) ->
+    1
+    + (match dst with Operand.Mem _ -> mem_write | _ -> 0)
+    + mem_cost_of_operand src
+  | Insn.Lea _ -> 1
+  | Insn.Alu (op, dst, src) ->
+    alu_cost op
+    + (match dst with Operand.Mem _ -> mem_read + mem_write | _ -> 0)
+    + mem_cost_of_operand src
+  | Insn.Neg o | Insn.Not o ->
+    1 + (match o with Operand.Mem _ -> mem_read + mem_write | _ -> 0)
+  | Insn.Idiv o -> 24 + mem_cost_of_operand o
+  | Insn.Cmp (a, b) | Insn.Test (a, b) ->
+    1 + mem_cost_of_operand a + mem_cost_of_operand b
+  | Insn.Jmp (Insn.Direct _) -> 1
+  | Insn.Jmp (Insn.Indirect o) -> 2 + mem_cost_of_operand o
+  | Insn.Jcc _ -> 1
+  | Insn.Call (Insn.Direct _) -> 4 + mem_write
+  | Insn.Call (Insn.Indirect o) -> 5 + mem_write + mem_cost_of_operand o
+  | Insn.Ret -> 4 + mem_read
+  | Insn.Push o -> 1 + mem_write + mem_cost_of_operand o
+  | Insn.Pop o ->
+    1 + mem_read + (match o with Operand.Mem _ -> mem_write | _ -> 0)
+  | Insn.Cmov _ -> 1
+  | Insn.Fmov (w, dst, src) ->
+    1 + width_extra w
+    + (match dst with Operand.Fmem _ -> mem_write | _ -> 0)
+    + mem_cost_of_fop src
+  | Insn.Fbin (w, op, _, src) ->
+    fbin_cost op + width_extra w + mem_cost_of_fop src
+  | Insn.Fsqrt (w, _, src) -> 20 + width_extra w + mem_cost_of_fop src
+  | Insn.Fbcast (w, _, src) -> 1 + width_extra w + mem_cost_of_fop src
+  | Insn.Fcmp (_, src) -> 2 + mem_cost_of_fop src
+  | Insn.Cvtsi2sd (_, src) -> 4 + mem_cost_of_operand src
+  | Insn.Cvtsd2si (_, src) -> 4 + mem_cost_of_fop src
+  | Insn.Syscall _ -> 150
+  | Insn.Prefetch _ -> 1  (* issue cost only; the fill is asynchronous *)
+
+(** {1 DBM and runtime overheads (cycles)}
+
+    These model DynamoRIO-style costs: translating an instruction into
+    the code cache, dispatching between unlinked fragments, taking an
+    indirect-branch lookup, and the parallel runtime's bookkeeping. *)
+
+let translate_per_insn = 40      (* decode + rewrite + encode into cache *)
+let fragment_setup = 120         (* per new fragment: allocation, linking *)
+let dispatch_unlinked = 8        (* context switch to dispatcher, lookup *)
+let dispatch_indirect = 22       (* indirect-branch hash lookup *)
+let trace_head_threshold = 16    (* executions before a block is trace-promoted *)
+
+(* Parallel runtime costs *)
+let thread_signal = 400          (* wake one pool thread *)
+let thread_context_copy = 250    (* copy minimal initial context *)
+let loop_init_base = 800         (* LOOP_INIT: set up shared loop state *)
+let loop_finish_base = 600       (* LOOP_FINISH: join + combine contexts *)
+let loop_finish_per_thread = 150 (* reduction merge, context teardown *)
+let bounds_check_per_pair = 12   (* one range-overlap comparison *)
+let sched_block_fetch = 60       (* round-robin: claim next iteration block *)
+let stm_read = 14                (* record + buffer lookup per speculative read *)
+let stm_write = 20               (* buffer a speculative store *)
+let stm_validate_per_entry = 10  (* value-based validation per read entry *)
+let stm_commit_per_entry = 8     (* write-back per buffered store *)
+let stm_checkpoint = 120         (* TX_START register checkpoint *)
+let stm_abort = 300              (* rollback machine context *)
+let cache_flush = 5_000          (* flush modified code cache on check failure *)
+let doacross_sync = 250          (* per-chunk carried-value hand-off *)
+
+(** {1 Optional data-cache model (prefetch extension)}
+
+    When a machine context has [model_cache] set, accesses to cache
+    lines outside the warm set pay [cache_miss] extra cycles (an
+    in-order view of exposed DRAM latency). A [Prefetch] hint warms a
+    line for its 1-cycle issue cost, hiding that latency — this is the
+    mechanism behind the MEM_PREFETCH rule extension. Off by default so
+    the main evaluation's calibration is untouched. *)
+
+let cache_miss = 30              (* exposed DRAM latency per cold line *)
+let cache_line = 64              (* bytes per line *)
+let cache_lines = 4096           (* warm-set capacity: 256 KiB, L2-ish *)

@@ -1,0 +1,112 @@
+(** The deterministic cycle-cost model.
+
+    This substitutes for the paper's Xeon E5-2667v4 testbed: costs are
+    loosely calibrated to Sandy-Bridge-era latencies so that relative
+    effects (division vs addition, memory traffic, vector speedup,
+    syscall cliffs) have the right order of magnitude. All figures in
+    the evaluation are produced from these deterministic counts. *)
+
+val mem_read : int
+
+val mem_write : int
+
+(** Extra cycles a packed operation costs over its scalar form; the
+    remaining lanes are free, which is the vectorisation win. *)
+val width_extra : Insn.width -> int
+
+val alu_cost : Insn.alu -> int
+
+val fbin_cost : Insn.fbin -> int
+
+val mem_cost_of_operand : Operand.t -> int
+
+val mem_cost_of_fop : Operand.fop -> int
+
+(** Base cycle cost of one instruction, including its memory traffic. *)
+val of_insn : Insn.t -> int
+
+(** {1 DBM and runtime overheads (cycles)}
+
+    These model DynamoRIO-style costs: translating an instruction into
+    the code cache, dispatching between unlinked fragments, taking an
+    indirect-branch lookup, and the parallel runtime's bookkeeping. *)
+
+(** Decode + rewrite + encode one instruction into the code cache. *)
+val translate_per_insn : int
+
+(** Per new fragment: allocation and linking. *)
+val fragment_setup : int
+
+(** Context switch to the dispatcher plus fragment lookup. *)
+val dispatch_unlinked : int
+
+(** Indirect-branch hash-table lookup. *)
+val dispatch_indirect : int
+
+(** Executions of a block before it is promoted into a trace. *)
+val trace_head_threshold : int
+
+(** {2 Parallel runtime costs} *)
+
+(** Wake one pool thread. *)
+val thread_signal : int
+
+(** Copy the minimal initial context to a worker. *)
+val thread_context_copy : int
+
+(** LOOP_INIT: set up shared loop state. *)
+val loop_init_base : int
+
+(** LOOP_FINISH: join and combine contexts. *)
+val loop_finish_base : int
+
+(** Per-thread reduction merge and context teardown. *)
+val loop_finish_per_thread : int
+
+(** One runtime range-overlap comparison (Fig. 4 check). *)
+val bounds_check_per_pair : int
+
+(** Round-robin scheduling: claim the next iteration block. *)
+val sched_block_fetch : int
+
+(** Record + buffer lookup per speculative read. *)
+val stm_read : int
+
+(** Buffer one speculative store. *)
+val stm_write : int
+
+(** Value-based validation per read-set entry at commit. *)
+val stm_validate_per_entry : int
+
+(** Write-back per buffered store at commit. *)
+val stm_commit_per_entry : int
+
+(** TX_START register checkpoint. *)
+val stm_checkpoint : int
+
+(** Roll back the machine context after a failed validation. *)
+val stm_abort : int
+
+(** Flush the modified code cache when a runtime check fails. *)
+val cache_flush : int
+
+(** Per-chunk carried-value hand-off in DOACROSS mode. *)
+val doacross_sync : int
+
+(** {1 Optional data-cache model (prefetch extension)}
+
+    When a machine context has [model_cache] set, accesses to cache
+    lines outside the warm set pay [cache_miss] extra cycles (an
+    in-order view of exposed DRAM latency). A [Prefetch] hint warms a
+    line for its 1-cycle issue cost, hiding that latency — this is the
+    mechanism behind the MEM_PREFETCH rule extension. Off by default so
+    the main evaluation's calibration is untouched. *)
+
+(** Exposed DRAM latency per cold-line access. *)
+val cache_miss : int
+
+(** Bytes per cache line. *)
+val cache_line : int
+
+(** Warm-set capacity in lines (256 KiB, L2-ish). *)
+val cache_lines : int

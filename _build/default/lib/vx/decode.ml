@@ -1,0 +1,157 @@
+(** Binary decoder for VX64 instructions, the exact inverse of
+    {!Encode}. Used by the static analyser's disassembler and by the
+    DBM when building basic blocks from application code. *)
+
+exception Bad_encoding of int  (* byte offset *)
+
+type cursor = { buf : bytes; mutable pos : int }
+
+let u8 c =
+  if c.pos >= Bytes.length c.buf then raise (Bad_encoding c.pos);
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let i8 c =
+  let v = u8 c in
+  if v >= 128 then v - 256 else v
+
+let i32 c =
+  let a = u8 c and b = u8 c and d = u8 c and e = u8 c in
+  let v = a lor (b lsl 8) lor (d lsl 16) lor (e lsl 24) in
+  (* sign-extend from 32 bits *)
+  (v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+
+let i64 c =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 c)) (8 * i))
+  done;
+  !v
+
+let mem c : Operand.mem =
+  let flags = u8 c in
+  let base = if flags land 1 <> 0 then Some (Reg.gp_of_index (u8 c)) else None in
+  let index, scale =
+    if flags land 2 <> 0 then begin
+      let r = Reg.gp_of_index (u8 c) in
+      let s = u8 c in
+      (Some r, s)
+    end
+    else (None, 1)
+  in
+  let disp = i32 c in
+  { base; index; scale; disp }
+
+let operand c =
+  match u8 c with
+  | 0 -> Operand.Reg (Reg.gp_of_index (u8 c))
+  | 1 -> Operand.Imm (i64 c)
+  | 2 -> Operand.Mem (mem c)
+  | 3 -> Operand.Imm (Int64.of_int (i8 c))
+  | 4 -> Operand.Imm (Int64.of_int (i32 c))
+  | _ -> raise (Bad_encoding (c.pos - 1))
+
+let fop c =
+  match u8 c with
+  | 0 -> Operand.Freg (Reg.fp_of_index (u8 c))
+  | 1 -> Operand.Fmem (mem c)
+  | _ -> raise (Bad_encoding (c.pos - 1))
+
+let insn c : Insn.t =
+  let op = u8 c in
+  if op = Encode.op_nop then Nop
+  else if op = Encode.op_hlt then Hlt
+  else if op = Encode.op_mov then
+    let d = operand c in
+    let s = operand c in
+    Mov (d, s)
+  else if op = Encode.op_lea then
+    let r = Reg.gp_of_index (u8 c) in
+    Lea (r, mem c)
+  else if op = Encode.op_alu then
+    let a = Encode.alu_of_code (u8 c) in
+    let d = operand c in
+    let s = operand c in
+    Alu (a, d, s)
+  else if op = Encode.op_neg then Neg (operand c)
+  else if op = Encode.op_not then Not (operand c)
+  else if op = Encode.op_idiv then Idiv (operand c)
+  else if op = Encode.op_cmp then
+    let x = operand c in
+    let y = operand c in
+    Cmp (x, y)
+  else if op = Encode.op_test then
+    let x = operand c in
+    let y = operand c in
+    Test (x, y)
+  else if op = Encode.op_jmp_d then Jmp (Direct (i32 c))
+  else if op = Encode.op_jmp_i then Jmp (Indirect (operand c))
+  else if op = Encode.op_jcc then
+    let cond = Cond.of_int (u8 c) in
+    Jcc (cond, i32 c)
+  else if op = Encode.op_call_d then Call (Direct (i32 c))
+  else if op = Encode.op_call_i then Call (Indirect (operand c))
+  else if op = Encode.op_ret then Ret
+  else if op = Encode.op_push then Push (operand c)
+  else if op = Encode.op_pop then Pop (operand c)
+  else if op = Encode.op_cmov then
+    let cond = Cond.of_int (u8 c) in
+    let r = Reg.gp_of_index (u8 c) in
+    Cmov (cond, r, operand c)
+  else if op = Encode.op_fmov then
+    let w = Encode.width_of_code (u8 c) in
+    let d = fop c in
+    let s = fop c in
+    Fmov (w, d, s)
+  else if op = Encode.op_fbin then
+    let wb = u8 c in
+    let w = Encode.width_of_code (wb lsr 4) in
+    let fb = Encode.fbin_of_code (wb land 0xf) in
+    let d = Reg.fp_of_index (u8 c) in
+    Fbin (w, fb, d, fop c)
+  else if op = Encode.op_fsqrt then
+    let w = Encode.width_of_code (u8 c) in
+    let d = Reg.fp_of_index (u8 c) in
+    Fsqrt (w, d, fop c)
+  else if op = Encode.op_fcmp then
+    let d = Reg.fp_of_index (u8 c) in
+    Fcmp (d, fop c)
+  else if op = Encode.op_cvtsi2sd then
+    let d = Reg.fp_of_index (u8 c) in
+    Cvtsi2sd (d, operand c)
+  else if op = Encode.op_cvtsd2si then
+    let d = Reg.gp_of_index (u8 c) in
+    Cvtsd2si (d, fop c)
+  else if op = Encode.op_fbcast then
+    let w = Encode.width_of_code (u8 c) in
+    let d = Reg.fp_of_index (u8 c) in
+    Fbcast (w, d, fop c)
+  else if op = Encode.op_syscall then Syscall (u8 c)
+  else if op = Encode.op_prefetch then Prefetch (mem c)
+  else raise (Bad_encoding (c.pos - 1))
+
+(** Decode one instruction at [pos]; returns the instruction and its
+    encoded length. Any malformation — unknown opcode, truncated
+    operand, out-of-range register/condition/sub-opcode — raises
+    [Bad_encoding] with the offending offset. *)
+let one buf pos =
+  let c = { buf; pos } in
+  let i =
+    try insn c with
+    | Bad_encoding _ as e -> raise e
+    | Invalid_argument _ ->
+      (* register index / condition / sub-opcode out of range *)
+      raise (Bad_encoding (c.pos - 1))
+  in
+  (i, c.pos - pos)
+
+(** Decode a whole code buffer into [(offset, insn, length)] triples. *)
+let all buf =
+  let rec go pos acc =
+    if pos >= Bytes.length buf then List.rev acc
+    else
+      let i, len = one buf pos in
+      go (pos + len) ((pos, i, len) :: acc)
+  in
+  go 0 []

@@ -1,0 +1,13 @@
+(** Binary decoder for VX64 instructions, the exact inverse of
+    {!Encode}. Used by the static analyser's disassembler and by the
+    DBM when building basic blocks. *)
+
+exception Bad_encoding of int  (** byte offset of the malformed datum *)
+
+(** Decode one instruction at a byte offset, returning it and its
+    encoded length.
+    @raise Bad_encoding on malformed input. *)
+val one : bytes -> int -> Insn.t * int
+
+(** Decode a whole code buffer into [(offset, insn, length)] triples. *)
+val all : bytes -> (int * Insn.t * int) list

@@ -1,0 +1,19 @@
+(** Pretty disassembler for JX images and raw code buffers. *)
+
+let pp_listing ppf ~base buf =
+  List.iter
+    (fun (off, i, _len) ->
+       Fmt.pf ppf "%8x:  %a@." (base + off) Insn.pp i)
+    (Decode.all buf)
+
+let image ppf (img : Image.t) =
+  Fmt.pf ppf "; entry 0x%x@." img.entry;
+  pp_listing ppf ~base:Layout.text_base img.text;
+  if img.externals <> [] then begin
+    Fmt.pf ppf "; PLT:@.";
+    List.iteri
+      (fun i name -> Fmt.pf ppf "%8x:  <%s@plt>@." (Layout.plt_slot_addr i) name)
+      img.externals
+  end
+
+let to_string (img : Image.t) = Fmt.str "%a" image img

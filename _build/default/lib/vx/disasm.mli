@@ -1,0 +1,5 @@
+(** Pretty disassembler for JX images and raw code buffers. *)
+
+val pp_listing : Format.formatter -> base:int -> bytes -> unit
+val image : Format.formatter -> Image.t -> unit
+val to_string : Image.t -> string

@@ -1,0 +1,195 @@
+(** Binary encoder for VX64 instructions.
+
+    Variable-length encoding (1-byte opcode, compact immediates) so
+    that code size, rewrite-schedule size (Fig. 10) and basic-block
+    addresses behave like a real CISC encoding. *)
+
+let op_nop = 0x00
+let op_hlt = 0x01
+let op_mov = 0x02
+let op_lea = 0x03
+let op_alu = 0x04
+let op_neg = 0x05
+let op_not = 0x06
+let op_idiv = 0x07
+let op_cmp = 0x08
+let op_test = 0x09
+let op_jmp_d = 0x0A
+let op_jmp_i = 0x0B
+let op_jcc = 0x0C
+let op_call_d = 0x0D
+let op_call_i = 0x0E
+let op_ret = 0x0F
+let op_push = 0x10
+let op_pop = 0x11
+let op_cmov = 0x12
+let op_fmov = 0x13
+let op_fbin = 0x14
+let op_fsqrt = 0x15
+let op_fcmp = 0x16
+let op_cvtsi2sd = 0x17
+let op_cvtsd2si = 0x18
+let op_syscall = 0x19
+let op_fbcast = 0x1A
+let op_prefetch = 0x1B
+
+let alu_code = function
+  | Insn.Add -> 0 | Insn.Sub -> 1 | Insn.Imul -> 2 | Insn.And -> 3
+  | Insn.Or -> 4 | Insn.Xor -> 5 | Insn.Shl -> 6 | Insn.Shr -> 7
+  | Insn.Sar -> 8
+
+let alu_of_code = function
+  | 0 -> Insn.Add | 1 -> Insn.Sub | 2 -> Insn.Imul | 3 -> Insn.And
+  | 4 -> Insn.Or | 5 -> Insn.Xor | 6 -> Insn.Shl | 7 -> Insn.Shr
+  | 8 -> Insn.Sar
+  | n -> invalid_arg (Printf.sprintf "alu_of_code %d" n)
+
+let fbin_code = function
+  | Insn.Fadd -> 0 | Insn.Fsub -> 1 | Insn.Fmul -> 2 | Insn.Fdiv -> 3
+  | Insn.Fmin -> 4 | Insn.Fmax -> 5
+
+let fbin_of_code = function
+  | 0 -> Insn.Fadd | 1 -> Insn.Fsub | 2 -> Insn.Fmul | 3 -> Insn.Fdiv
+  | 4 -> Insn.Fmin | 5 -> Insn.Fmax
+  | n -> invalid_arg (Printf.sprintf "fbin_of_code %d" n)
+
+let width_code = function Insn.Scalar -> 0 | Insn.X -> 1 | Insn.Y -> 2
+
+let width_of_code = function
+  | 0 -> Insn.Scalar | 1 -> Insn.X | 2 -> Insn.Y
+  | n -> invalid_arg (Printf.sprintf "width_of_code %d" n)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_i32 b v =
+  put_u8 b v;
+  put_u8 b (v asr 8);
+  put_u8 b (v asr 16);
+  put_u8 b (v asr 24)
+
+let put_i64 b (v : int64) =
+  for i = 0 to 7 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let put_mem b (m : Operand.mem) =
+  let flags =
+    (if m.base <> None then 1 else 0)
+    lor (if m.index <> None then 2 else 0)
+  in
+  put_u8 b flags;
+  (match m.base with Some r -> put_u8 b (Reg.gp_index r) | None -> ());
+  (match m.index with
+   | Some r ->
+     put_u8 b (Reg.gp_index r);
+     put_u8 b m.scale
+   | None -> ());
+  put_i32 b m.disp
+
+(* Operand tags: 0 reg, 1 imm64, 2 mem, 3 imm8, 4 imm32 *)
+let put_operand b = function
+  | Operand.Reg r ->
+    put_u8 b 0;
+    put_u8 b (Reg.gp_index r)
+  | Operand.Imm v ->
+    let small = Int64.to_int v in
+    if Int64.equal (Int64.of_int small) v && small >= -128 && small < 128
+    then begin
+      put_u8 b 3;
+      put_u8 b small
+    end
+    else if Int64.equal (Int64.of_int small) v
+            && small >= -0x4000_0000 && small < 0x4000_0000
+    then begin
+      put_u8 b 4;
+      put_i32 b small
+    end
+    else begin
+      put_u8 b 1;
+      put_i64 b v
+    end
+  | Operand.Mem m ->
+    put_u8 b 2;
+    put_mem b m
+
+let put_fop b = function
+  | Operand.Freg r ->
+    put_u8 b 0;
+    put_u8 b (Reg.fp_index r)
+  | Operand.Fmem m ->
+    put_u8 b 1;
+    put_mem b m
+
+let encode_into b (i : Insn.t) =
+  match i with
+  | Nop -> put_u8 b op_nop
+  | Hlt -> put_u8 b op_hlt
+  | Mov (d, s) -> put_u8 b op_mov; put_operand b d; put_operand b s
+  | Lea (r, m) -> put_u8 b op_lea; put_u8 b (Reg.gp_index r); put_mem b m
+  | Alu (op, d, s) ->
+    put_u8 b op_alu;
+    put_u8 b (alu_code op);
+    put_operand b d;
+    put_operand b s
+  | Neg o -> put_u8 b op_neg; put_operand b o
+  | Not o -> put_u8 b op_not; put_operand b o
+  | Idiv o -> put_u8 b op_idiv; put_operand b o
+  | Cmp (x, y) -> put_u8 b op_cmp; put_operand b x; put_operand b y
+  | Test (x, y) -> put_u8 b op_test; put_operand b x; put_operand b y
+  | Jmp (Direct a) -> put_u8 b op_jmp_d; put_i32 b a
+  | Jmp (Indirect o) -> put_u8 b op_jmp_i; put_operand b o
+  | Jcc (c, a) -> put_u8 b op_jcc; put_u8 b (Cond.to_int c); put_i32 b a
+  | Call (Direct a) -> put_u8 b op_call_d; put_i32 b a
+  | Call (Indirect o) -> put_u8 b op_call_i; put_operand b o
+  | Ret -> put_u8 b op_ret
+  | Push o -> put_u8 b op_push; put_operand b o
+  | Pop o -> put_u8 b op_pop; put_operand b o
+  | Cmov (c, r, s) ->
+    put_u8 b op_cmov;
+    put_u8 b (Cond.to_int c);
+    put_u8 b (Reg.gp_index r);
+    put_operand b s
+  | Fmov (w, d, s) ->
+    put_u8 b op_fmov;
+    put_u8 b (width_code w);
+    put_fop b d;
+    put_fop b s
+  | Fbin (w, op, d, s) ->
+    put_u8 b op_fbin;
+    put_u8 b ((width_code w lsl 4) lor fbin_code op);
+    put_u8 b (Reg.fp_index d);
+    put_fop b s
+  | Fsqrt (w, d, s) ->
+    put_u8 b op_fsqrt;
+    put_u8 b (width_code w);
+    put_u8 b (Reg.fp_index d);
+    put_fop b s
+  | Fcmp (d, s) -> put_u8 b op_fcmp; put_u8 b (Reg.fp_index d); put_fop b s
+  | Cvtsi2sd (d, s) ->
+    put_u8 b op_cvtsi2sd;
+    put_u8 b (Reg.fp_index d);
+    put_operand b s
+  | Cvtsd2si (d, s) ->
+    put_u8 b op_cvtsd2si;
+    put_u8 b (Reg.gp_index d);
+    put_fop b s
+  | Fbcast (w, d, s) ->
+    put_u8 b op_fbcast;
+    put_u8 b (width_code w);
+    put_u8 b (Reg.fp_index d);
+    put_fop b s
+  | Syscall n -> put_u8 b op_syscall; put_u8 b n
+  | Prefetch m -> put_u8 b op_prefetch; put_mem b m
+
+let encode i =
+  let b = Buffer.create 16 in
+  encode_into b i;
+  Buffer.to_bytes b
+
+let encode_list is =
+  let b = Buffer.create 256 in
+  List.iter (encode_into b) is;
+  Buffer.to_bytes b
+
+(** Encoded size in bytes of one instruction. *)
+let size i = Bytes.length (encode i)

@@ -1,0 +1,60 @@
+(** Binary encoder for VX64 instructions.
+
+    Variable-length encoding (1-byte opcode, compact immediates) so
+    that code size, rewrite-schedule size (Fig. 10) and basic-block
+    addresses behave like a real CISC encoding. The inverse lives in
+    {!Decode}. *)
+
+(** {1 Opcode bytes} (shared with the decoder) *)
+
+val op_nop : int
+val op_hlt : int
+val op_mov : int
+val op_lea : int
+val op_alu : int
+val op_neg : int
+val op_not : int
+val op_idiv : int
+val op_cmp : int
+val op_test : int
+val op_jmp_d : int
+val op_jmp_i : int
+val op_jcc : int
+val op_call_d : int
+val op_call_i : int
+val op_ret : int
+val op_push : int
+val op_pop : int
+val op_cmov : int
+val op_fmov : int
+val op_fbin : int
+val op_fsqrt : int
+val op_fcmp : int
+val op_cvtsi2sd : int
+val op_cvtsd2si : int
+val op_syscall : int
+val op_fbcast : int
+val op_prefetch : int
+
+(** {1 Sub-opcode tables} *)
+
+val alu_code : Insn.alu -> int
+val alu_of_code : int -> Insn.alu
+val fbin_code : Insn.fbin -> int
+val fbin_of_code : int -> Insn.fbin
+val width_code : Insn.width -> int
+val width_of_code : int -> Insn.width
+
+(** {1 Encoding} *)
+
+(** Append the encoding of one instruction to a buffer. *)
+val encode_into : Buffer.t -> Insn.t -> unit
+
+(** Encode one instruction. *)
+val encode : Insn.t -> bytes
+
+(** Encode a sequence back-to-back. *)
+val encode_list : Insn.t list -> bytes
+
+(** Encoded size in bytes of one instruction. *)
+val size : Insn.t -> int

@@ -1,0 +1,108 @@
+(** The JX executable format.
+
+    A JX image is what the static analyser receives: raw code bytes at
+    a known base address, initialised data, a BSS size, and a PLT-like
+    table of external (shared library) entries — names only, no
+    internal symbols, mirroring a stripped ELF binary whose dynamic
+    symbols survive stripping. *)
+
+type t = {
+  entry : int;           (* virtual address of the first instruction *)
+  text : bytes;          (* encoded code, loaded at Layout.text_base *)
+  data : bytes;          (* initialised data, loaded at Layout.data_base *)
+  bss_size : int;        (* zero-initialised region at Layout.bss_base *)
+  externals : string list;  (* PLT entries, slot i at Layout.plt_slot_addr i *)
+}
+
+let magic = "JX64"
+
+let text_end img = Layout.text_base + Bytes.length img.text
+
+(** Total file size in bytes, used as the denominator of Fig. 10. *)
+let size img =
+  String.length magic + 8 (* entry *) + 4 (* counts *) * 3
+  + Bytes.length img.text + Bytes.length img.data
+  + List.fold_left (fun acc s -> acc + String.length s + 1) 0 img.externals
+
+let plt_addr img name =
+  let rec go i = function
+    | [] -> None
+    | n :: _ when String.equal n name -> Some (Layout.plt_slot_addr i)
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 img.externals
+
+let external_of_addr img addr =
+  if not (Layout.in_plt addr) then None
+  else
+    let i = Layout.plt_index_of_addr addr in
+    List.nth_opt img.externals i
+
+(** Serialise to bytes (the on-disk form; size must equal {!size}). *)
+let to_bytes img =
+  let b = Buffer.create (Bytes.length img.text + 256) in
+  Buffer.add_string b magic;
+  let put_i32 v =
+    for i = 0 to 3 do
+      Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+  in
+  let put_i64 v = put_i32 (v land 0xffffffff); put_i32 (v lsr 32) in
+  put_i64 img.entry;
+  put_i32 (Bytes.length img.text);
+  put_i32 (Bytes.length img.data);
+  put_i32 img.bss_size;
+  Buffer.add_bytes b img.text;
+  Buffer.add_bytes b img.data;
+  List.iter
+    (fun s ->
+       Buffer.add_string b s;
+       Buffer.add_char b '\000')
+    img.externals;
+  Buffer.to_bytes b
+
+let of_bytes buf =
+  let pos = ref 0 in
+  let u8 () =
+    let v = Char.code (Bytes.get buf !pos) in
+    incr pos;
+    v
+  in
+  let i32 () =
+    let a = u8 () and b = u8 () and c = u8 () and d = u8 () in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+  in
+  let m = Bytes.sub_string buf 0 4 in
+  pos := 4;
+  if not (String.equal m magic) then failwith "Image.of_bytes: bad magic";
+  let lo = i32 () in
+  let hi = i32 () in
+  let entry = lo lor (hi lsl 32) in
+  let text_len = i32 () in
+  let data_len = i32 () in
+  let bss_size = i32 () in
+  let text = Bytes.sub buf !pos text_len in
+  pos := !pos + text_len;
+  let data = Bytes.sub buf !pos data_len in
+  pos := !pos + data_len;
+  let externals = ref [] in
+  let name = Buffer.create 16 in
+  while !pos < Bytes.length buf do
+    let c = Bytes.get buf !pos in
+    incr pos;
+    if Char.equal c '\000' then begin
+      externals := Buffer.contents name :: !externals;
+      Buffer.clear name
+    end
+    else Buffer.add_char name c
+  done;
+  { entry; text; data; bss_size; externals = List.rev !externals }
+
+(** Decode the text section into an address-indexed instruction table.
+    Result maps virtual address -> (instruction, encoded length). *)
+let decode_text img =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun (off, i, len) -> Hashtbl.replace tbl (Layout.text_base + off) (i, len))
+    (Decode.all img.text);
+  tbl

@@ -1,0 +1,242 @@
+(** The VX64 instruction set.
+
+    One constructor per machine instruction family; every instruction
+    corresponds 1:1 to an encodable machine instruction, as required
+    for the analyser's IR (§II-D: "Each IR instruction has a one-to-one
+    correspondence with an instruction from the binary's ISA"). *)
+
+type alu = Add | Sub | Imul | And | Or | Xor | Shl | Shr | Sar
+
+type fbin = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+(** Vector width of an FP operation: scalar (lane 0), SSE-like 128-bit
+    (lanes 0-1) or AVX-like 256-bit (lanes 0-3). *)
+type width = Scalar | X | Y
+
+type target = Direct of int | Indirect of Operand.t
+
+type t =
+  | Nop
+  | Hlt
+  | Mov of Operand.t * Operand.t           (* dst, src *)
+  | Lea of Reg.gp * Operand.mem
+  | Alu of alu * Operand.t * Operand.t     (* dst <- dst op src *)
+  | Neg of Operand.t
+  | Not of Operand.t
+  | Idiv of Operand.t                      (* rax <- rax / src, rdx <- rax mod src *)
+  | Cmp of Operand.t * Operand.t
+  | Test of Operand.t * Operand.t
+  | Jmp of target
+  | Jcc of Cond.t * int                    (* absolute target address *)
+  | Call of target
+  | Ret
+  | Push of Operand.t
+  | Pop of Operand.t
+  | Cmov of Cond.t * Reg.gp * Operand.t
+  | Fmov of width * Operand.fop * Operand.fop  (* dst, src *)
+  | Fbin of width * fbin * Reg.fp * Operand.fop
+  | Fsqrt of width * Reg.fp * Operand.fop
+  | Fbcast of width * Reg.fp * Operand.fop (* broadcast lane 0 of src to all lanes *)
+  | Fcmp of Reg.fp * Operand.fop           (* compare lane 0, set flags *)
+  | Cvtsi2sd of Reg.fp * Operand.t
+  | Cvtsd2si of Reg.gp * Operand.fop
+  | Syscall of int
+  | Prefetch of Operand.mem
+      (* software-prefetch hint: warms the cache line of the effective
+         address; architecturally reads and writes nothing *)
+
+(** Syscall numbers understood by the VM. [sys_write_*] mark a loop as
+    performing IO and hence incompatible for parallelisation. *)
+let sys_exit = 0
+let sys_write_int = 1
+let sys_write_float = 2
+let sys_brk = 10
+let sys_read_int = 3
+
+let lanes = function Scalar -> 1 | X -> 2 | Y -> 4
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | Imul -> "imul" | And -> "and"
+  | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+
+let fbin_name = function
+  | Fadd -> "add" | Fsub -> "sub" | Fmul -> "mul"
+  | Fdiv -> "div" | Fmin -> "min" | Fmax -> "max"
+
+let width_suffix = function Scalar -> "sd" | X -> "pd" | Y -> "pd.y"
+
+(** {1 Use/def queries used by the analyser and the DBM} *)
+
+let mem_of_operand = function
+  | Operand.Mem m -> Some m
+  | Operand.Reg _ | Operand.Imm _ -> None
+
+let mem_of_fop = function
+  | Operand.Fmem m -> Some m
+  | Operand.Freg _ -> None
+
+let gp_uses_of_operand = function
+  | Operand.Reg r -> [ r ]
+  | Operand.Imm _ -> []
+  | Operand.Mem m -> Operand.mem_regs m
+
+let gp_uses_of_fop = function
+  | Operand.Freg _ -> []
+  | Operand.Fmem m -> Operand.mem_regs m
+
+(** GP registers read by the instruction (including address registers). *)
+let gp_uses = function
+  | Nop | Hlt | Syscall _ -> []
+  | Mov (dst, src) ->
+    (match dst with Operand.Mem m -> Operand.mem_regs m | _ -> [])
+    @ gp_uses_of_operand src
+  | Lea (_, m) -> Operand.mem_regs m
+  | Alu (_, dst, src) -> gp_uses_of_operand dst @ gp_uses_of_operand src
+  | Neg o | Not o -> gp_uses_of_operand o
+  | Idiv o -> Reg.RAX :: gp_uses_of_operand o
+  | Cmp (a, b) | Test (a, b) -> gp_uses_of_operand a @ gp_uses_of_operand b
+  | Jmp (Direct _) | Jcc _ | Call (Direct _) -> []
+  | Jmp (Indirect o) | Call (Indirect o) -> gp_uses_of_operand o
+  | Ret -> [ Reg.RSP ]
+  | Push o -> Reg.RSP :: gp_uses_of_operand o
+  | Pop o ->
+    Reg.RSP :: (match o with Operand.Mem m -> Operand.mem_regs m | _ -> [])
+  | Cmov (_, dst, src) -> dst :: gp_uses_of_operand src
+  | Fmov (_, dst, src) ->
+    (match dst with Operand.Fmem m -> Operand.mem_regs m | _ -> [])
+    @ gp_uses_of_fop src
+  | Fbin (_, _, _, src) | Fsqrt (_, _, src) | Fbcast (_, _, src)
+  | Fcmp (_, src) ->
+    gp_uses_of_fop src
+  | Cvtsi2sd (_, src) -> gp_uses_of_operand src
+  | Cvtsd2si (_, src) -> gp_uses_of_fop src
+  | Prefetch m -> Operand.mem_regs m
+
+(** GP registers written by the instruction. *)
+let gp_defs = function
+  | Mov (Operand.Reg r, _) -> [ r ]
+  | Lea (r, _) -> [ r ]
+  | Alu (_, Operand.Reg r, _) -> [ r ]
+  | Neg (Operand.Reg r) | Not (Operand.Reg r) -> [ r ]
+  | Idiv _ -> [ Reg.RAX; Reg.RDX ]
+  | Call _ -> [ Reg.RSP ]
+  | Ret -> [ Reg.RSP ]
+  | Push _ -> [ Reg.RSP ]
+  | Pop o ->
+    Reg.RSP :: (match o with Operand.Reg r -> [ r ] | _ -> [])
+  | Cmov (_, r, _) -> [ r ]
+  | Cvtsd2si (r, _) -> [ r ]
+  | Mov _ | Alu _ | Neg _ | Not _ | Nop | Hlt | Cmp _ | Test _
+  | Jmp _ | Jcc _ | Fmov _ | Fbin _ | Fsqrt _ | Fbcast _ | Fcmp _
+  | Cvtsi2sd _ | Syscall _ | Prefetch _ -> []
+
+let fp_defs = function
+  | Fmov (_, Operand.Freg r, _) -> [ r ]
+  | Fbin (_, _, r, _) | Fsqrt (_, r, _) | Fbcast (_, r, _) | Cvtsi2sd (r, _) ->
+    [ r ]
+  | _ -> []
+
+let fp_uses = function
+  | Fmov (_, _, Operand.Freg r) -> [ r ]
+  | Fbin (_, _, r, src) ->
+    r :: (match src with Operand.Freg s -> [ s ] | Operand.Fmem _ -> [])
+  | Fsqrt (_, _, Operand.Freg r) | Fbcast (_, _, Operand.Freg r) -> [ r ]
+  | Fcmp (r, src) ->
+    r :: (match src with Operand.Freg s -> [ s ] | Operand.Fmem _ -> [])
+  | _ -> []
+
+(** Memory locations read, as (operand, bytes) pairs. *)
+let mems_read i =
+  let bytes w = 8 * lanes w in
+  match i with
+  | Mov (_, Operand.Mem m) -> [ (m, 8) ]
+  | Alu (_, Operand.Mem m, src) ->
+    (m, 8) :: (match src with Operand.Mem s -> [ (s, 8) ] | _ -> [])
+  | Alu (_, _, Operand.Mem m) -> [ (m, 8) ]
+  | Neg (Operand.Mem m) | Not (Operand.Mem m) -> [ (m, 8) ]
+  | Idiv (Operand.Mem m) -> [ (m, 8) ]
+  | Cmp (a, b) | Test (a, b) ->
+    List.filter_map mem_of_operand [ a; b ] |> List.map (fun m -> (m, 8))
+  | Jmp (Indirect (Operand.Mem m)) | Call (Indirect (Operand.Mem m)) ->
+    [ (m, 8) ]
+  | Ret -> []  (* return address read modelled separately *)
+  | Push (Operand.Mem m) -> [ (m, 8) ]
+  | Pop _ -> []
+  | Cmov (_, _, Operand.Mem m) -> [ (m, 8) ]
+  | Fmov (w, _, Operand.Fmem m) -> [ (m, bytes w) ]
+  | Fbin (w, _, _, Operand.Fmem m) | Fsqrt (w, _, Operand.Fmem m) ->
+    [ (m, bytes w) ]
+  | Fbcast (_, _, Operand.Fmem m) -> [ (m, 8) ]
+  | Fcmp (_, Operand.Fmem m) -> [ (m, 8) ]
+  | Cvtsi2sd (_, Operand.Mem m) -> [ (m, 8) ]
+  | Cvtsd2si (_, Operand.Fmem m) -> [ (m, 8) ]
+  | _ -> []
+
+(** Memory locations written, as (operand, bytes) pairs. *)
+let mems_written i =
+  let bytes w = 8 * lanes w in
+  match i with
+  | Mov (Operand.Mem m, _) -> [ (m, 8) ]
+  | Alu (_, Operand.Mem m, _) -> [ (m, 8) ]
+  | Neg (Operand.Mem m) | Not (Operand.Mem m) -> [ (m, 8) ]
+  | Pop (Operand.Mem m) -> [ (m, 8) ]
+  | Fmov (w, Operand.Fmem m, _) -> [ (m, bytes w) ]
+  | _ -> []
+
+let is_control_flow = function
+  | Jmp _ | Jcc _ | Call _ | Ret | Hlt -> true
+  | _ -> false
+
+(** Direct control-flow successors as application addresses.
+    [fallthrough] is the address of the next instruction. *)
+let successors ~fallthrough = function
+  | Jmp (Direct a) -> [ a ]
+  | Jmp (Indirect _) -> []
+  | Jcc (_, a) -> [ a; fallthrough ]
+  | Call _ -> [ fallthrough ]  (* treated as returning, target analysed separately *)
+  | Ret | Hlt -> []
+  | Syscall n when n = sys_exit -> []
+  | _ -> [ fallthrough ]
+
+(** {1 Pretty printing} *)
+
+let pp_target ppf = function
+  | Direct a -> Fmt.pf ppf "0x%x" a
+  | Indirect o -> Fmt.pf ppf "*%a" Operand.pp o
+
+let pp ppf = function
+  | Nop -> Fmt.string ppf "nop"
+  | Hlt -> Fmt.string ppf "hlt"
+  | Mov (d, s) -> Fmt.pf ppf "mov %a, %a" Operand.pp d Operand.pp s
+  | Lea (r, m) -> Fmt.pf ppf "lea %a, %a" Reg.pp_gp r Operand.pp_mem m
+  | Alu (op, d, s) ->
+    Fmt.pf ppf "%s %a, %a" (alu_name op) Operand.pp d Operand.pp s
+  | Neg o -> Fmt.pf ppf "neg %a" Operand.pp o
+  | Not o -> Fmt.pf ppf "not %a" Operand.pp o
+  | Idiv o -> Fmt.pf ppf "idiv %a" Operand.pp o
+  | Cmp (a, b) -> Fmt.pf ppf "cmp %a, %a" Operand.pp a Operand.pp b
+  | Test (a, b) -> Fmt.pf ppf "test %a, %a" Operand.pp a Operand.pp b
+  | Jmp t -> Fmt.pf ppf "jmp %a" pp_target t
+  | Jcc (c, a) -> Fmt.pf ppf "j%s 0x%x" (Cond.name c) a
+  | Call t -> Fmt.pf ppf "call %a" pp_target t
+  | Ret -> Fmt.string ppf "ret"
+  | Push o -> Fmt.pf ppf "push %a" Operand.pp o
+  | Pop o -> Fmt.pf ppf "pop %a" Operand.pp o
+  | Cmov (c, r, s) ->
+    Fmt.pf ppf "cmov%s %a, %a" (Cond.name c) Reg.pp_gp r Operand.pp s
+  | Fmov (w, d, s) ->
+    Fmt.pf ppf "mov%s %a, %a" (width_suffix w) Operand.pp_fop d Operand.pp_fop s
+  | Fbin (w, op, d, s) ->
+    Fmt.pf ppf "%s%s %a, %a" (fbin_name op) (width_suffix w)
+      Reg.pp_fp d Operand.pp_fop s
+  | Fsqrt (w, d, s) ->
+    Fmt.pf ppf "sqrt%s %a, %a" (width_suffix w) Reg.pp_fp d Operand.pp_fop s
+  | Fbcast (w, d, s) ->
+    Fmt.pf ppf "bcast%s %a, %a" (width_suffix w) Reg.pp_fp d Operand.pp_fop s
+  | Fcmp (a, b) -> Fmt.pf ppf "ucomisd %a, %a" Reg.pp_fp a Operand.pp_fop b
+  | Cvtsi2sd (d, s) -> Fmt.pf ppf "cvtsi2sd %a, %a" Reg.pp_fp d Operand.pp s
+  | Cvtsd2si (d, s) -> Fmt.pf ppf "cvtsd2si %a, %a" Reg.pp_gp d Operand.pp_fop s
+  | Syscall n -> Fmt.pf ppf "syscall %d" n
+  | Prefetch m -> Fmt.pf ppf "prefetcht0 %a" Operand.pp_mem m
+
+let to_string i = Fmt.str "%a" pp i

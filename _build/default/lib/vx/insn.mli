@@ -1,0 +1,85 @@
+(** The VX64 instruction set. One constructor per machine instruction
+    family; every instruction corresponds 1:1 to an encodable machine
+    instruction, as the analyser's IR requires (§II-D). *)
+
+type alu = Add | Sub | Imul | And | Or | Xor | Shl | Shr | Sar
+
+type fbin = Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax
+
+(** Vector width of an FP operation: scalar (lane 0), SSE-like 128-bit
+    (lanes 0-1) or AVX-like 256-bit (lanes 0-3). *)
+type width = Scalar | X | Y
+
+type target = Direct of int | Indirect of Operand.t
+
+type t =
+  | Nop
+  | Hlt
+  | Mov of Operand.t * Operand.t           (** dst, src *)
+  | Lea of Reg.gp * Operand.mem
+  | Alu of alu * Operand.t * Operand.t     (** dst <- dst op src *)
+  | Neg of Operand.t
+  | Not of Operand.t
+  | Idiv of Operand.t                      (** rax <- rax/src, rdx <- rem *)
+  | Cmp of Operand.t * Operand.t
+  | Test of Operand.t * Operand.t
+  | Jmp of target
+  | Jcc of Cond.t * int                    (** absolute target address *)
+  | Call of target
+  | Ret
+  | Push of Operand.t
+  | Pop of Operand.t
+  | Cmov of Cond.t * Reg.gp * Operand.t
+  | Fmov of width * Operand.fop * Operand.fop
+  | Fbin of width * fbin * Reg.fp * Operand.fop
+  | Fsqrt of width * Reg.fp * Operand.fop
+  | Fbcast of width * Reg.fp * Operand.fop (** broadcast lane 0 *)
+  | Fcmp of Reg.fp * Operand.fop           (** compare lane 0, set flags *)
+  | Cvtsi2sd of Reg.fp * Operand.t
+  | Cvtsd2si of Reg.gp * Operand.fop
+  | Syscall of int
+  | Prefetch of Operand.mem
+      (** software-prefetch hint: warms the cache line of the effective
+          address; architecturally reads and writes nothing *)
+
+(** {1 Syscall numbers understood by the VM} *)
+
+val sys_exit : int
+val sys_write_int : int
+val sys_write_float : int
+val sys_brk : int
+val sys_read_int : int
+
+val lanes : width -> int
+val alu_name : alu -> string
+val fbin_name : fbin -> string
+val width_suffix : width -> string
+
+(** {1 Use/def queries for the analyser and the DBM} *)
+
+val mem_of_operand : Operand.t -> Operand.mem option
+val mem_of_fop : Operand.fop -> Operand.mem option
+val gp_uses_of_operand : Operand.t -> Reg.gp list
+val gp_uses_of_fop : Operand.fop -> Reg.gp list
+
+(** GP registers read (including address registers). *)
+val gp_uses : t -> Reg.gp list
+
+(** GP registers written. *)
+val gp_defs : t -> Reg.gp list
+
+val fp_defs : t -> Reg.fp list
+val fp_uses : t -> Reg.fp list
+
+(** Memory locations read / written, as (operand, bytes) pairs. *)
+val mems_read : t -> (Operand.mem * int) list
+val mems_written : t -> (Operand.mem * int) list
+
+val is_control_flow : t -> bool
+
+(** Direct control-flow successors as application addresses. *)
+val successors : fallthrough:int -> t -> int list
+
+val pp_target : Format.formatter -> target -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

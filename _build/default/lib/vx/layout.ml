@@ -1,0 +1,30 @@
+(** Virtual address-space layout of a loaded JX image.
+
+    Fixed, non-overlapping regions; the static analyser uses these to
+    tell stack, heap, global and library addresses apart, exactly as it
+    would use segment information in an ELF binary. *)
+
+let text_base = 0x400000
+let plt_base = 0x500000        (* one 16-byte stub slot per external *)
+let plt_slot = 16
+let data_base = 0x600000
+let bss_base = 0x700000
+let heap_base = 0x800000
+let heap_limit = 0x1800000  (* 16 MiB guest heap *)
+let lib_base = 0x5000000       (* dynamically discovered library code *)
+let lib_data_base = 0x5800000  (* library constant tables *)
+let stack_top = 0x7000000      (* main stack, grows down *)
+let stack_size = 0x100000
+let tstack_size = 0x40000                          (* per-thread private stacks *)
+let tstack_top t = stack_top + 0x100000 * (t + 1)
+let tls_base t = 0x6000000 + 0x10000 * t           (* per-thread TLS regions *)
+let tls_size = 0x10000
+
+let plt_slot_addr i = plt_base + (i * plt_slot)
+let plt_index_of_addr a = (a - plt_base) / plt_slot
+let in_plt a = a >= plt_base && a < data_base
+let in_text a = a >= text_base && a < plt_base
+let in_lib a = a >= lib_base && a < lib_data_base
+let in_stack a = a > stack_top - stack_size && a <= stack_top
+let in_heap a = a >= heap_base && a < heap_limit
+let in_global a = a >= data_base && a < heap_base

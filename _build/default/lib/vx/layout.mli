@@ -1,0 +1,61 @@
+(** Virtual address-space layout of a loaded JX image.
+
+    Fixed, non-overlapping regions; the static analyser uses these to
+    tell stack, heap, global and library addresses apart, exactly as it
+    would use segment information in an ELF binary. *)
+
+val text_base : int
+
+(** Base of the PLT: one 16-byte stub slot per external. *)
+val plt_base : int
+
+val plt_slot : int
+
+val data_base : int
+
+val bss_base : int
+
+val heap_base : int
+
+(** End of the 16 MiB guest heap. *)
+val heap_limit : int
+
+(** Base of dynamically discovered library code. *)
+val lib_base : int
+
+(** Base of library constant tables. *)
+val lib_data_base : int
+
+(** Top of the main stack (grows down). *)
+val stack_top : int
+
+val stack_size : int
+
+(** Per-thread private stack size. *)
+val tstack_size : int
+
+(** Top of worker thread [t]'s private stack. *)
+val tstack_top : int -> int
+
+(** Base of thread [t]'s TLS region. *)
+val tls_base : int -> int
+
+val tls_size : int
+
+val plt_slot_addr : int -> int
+
+val plt_index_of_addr : int -> int
+
+(** {1 Region predicates} *)
+
+val in_plt : int -> bool
+
+val in_text : int -> bool
+
+val in_lib : int -> bool
+
+val in_stack : int -> bool
+
+val in_heap : int -> bool
+
+val in_global : int -> bool

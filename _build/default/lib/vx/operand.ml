@@ -1,0 +1,85 @@
+(** Operands and memory addressing for VX64.
+
+    Memory operands follow the x86 [base + index*scale + disp] form,
+    which is what the paper's symbolic range propagation (Fig. 4) and
+    the MEM_PRIVATISE / MEM_MAIN_STACK rewrites manipulate. *)
+
+type mem = {
+  base : Reg.gp option;
+  index : Reg.gp option;
+  scale : int;  (* 1, 2, 4 or 8 *)
+  disp : int;
+}
+
+type t =
+  | Reg of Reg.gp
+  | Imm of int64
+  | Mem of mem
+
+(** Floating-point operands: a vector register or a memory location. *)
+type fop =
+  | Freg of Reg.fp
+  | Fmem of mem
+
+let mem ?base ?index ?(scale = 1) ?(disp = 0) () =
+  (match scale with
+   | 1 | 2 | 4 | 8 -> ()
+   | s -> invalid_arg (Printf.sprintf "Operand.mem: scale %d" s));
+  (* scale is meaningless without an index; canonicalise so that
+     structural equality and binary encoding agree *)
+  let scale = if index = None then 1 else scale in
+  { base; index; scale; disp }
+
+let mem_abs addr = mem ~disp:addr ()
+let mem_base ?(disp = 0) r = mem ~base:r ~disp ()
+let mem_bi ?(disp = 0) ?(scale = 1) base index = mem ~base ~index ~scale ~disp ()
+
+let equal_mem (a : mem) (b : mem) = a = b
+
+let equal a b =
+  match a, b with
+  | Reg x, Reg y -> Reg.equal_gp x y
+  | Imm x, Imm y -> Int64.equal x y
+  | Mem x, Mem y -> equal_mem x y
+  | (Reg _ | Imm _ | Mem _), _ -> false
+
+let equal_fop a b =
+  match a, b with
+  | Freg x, Freg y -> Reg.equal_fp x y
+  | Fmem x, Fmem y -> equal_mem x y
+  | (Freg _ | Fmem _), _ -> false
+
+(** Registers read when computing a memory operand's address. *)
+let mem_regs m =
+  (match m.base with Some r -> [ r ] | None -> [])
+  @ (match m.index with Some r -> [ r ] | None -> [])
+
+let pp_mem ppf m =
+  let open Fmt in
+  pf ppf "[";
+  let printed = ref false in
+  (match m.base with
+   | Some r -> Reg.pp_gp ppf r; printed := true
+   | None -> ());
+  (match m.index with
+   | Some r ->
+     if !printed then string ppf "+";
+     Reg.pp_gp ppf r;
+     if m.scale <> 1 then pf ppf "*%d" m.scale;
+     printed := true
+   | None -> ());
+  if m.disp <> 0 || not !printed then begin
+    if !printed && m.disp >= 0 then string ppf "+";
+    if m.disp < 0 then string ppf "-";
+    pf ppf "0x%x" (abs m.disp)
+  end;
+  pf ppf "]"
+
+let pp ppf = function
+  | Reg r -> Reg.pp_gp ppf r
+  | Imm i -> Fmt.pf ppf "%Ld" i
+  | Mem m -> pp_mem ppf m
+
+let pp_fop ppf = function
+  | Freg r -> Reg.pp_fp ppf r
+  | Fmem m -> pp_mem ppf m

@@ -1,0 +1,43 @@
+(** Operands and memory addressing for VX64. Memory operands follow the
+    x86 [base + index*scale + disp] form — the shape the paper's
+    symbolic range propagation (Fig. 4) and the MEM_PRIVATISE /
+    MEM_MAIN_STACK rewrites manipulate. *)
+
+type mem = {
+  base : Reg.gp option;
+  index : Reg.gp option;
+  scale : int;  (** 1, 2, 4 or 8; canonicalised to 1 without an index *)
+  disp : int;
+}
+
+type t =
+  | Reg of Reg.gp
+  | Imm of int64
+  | Mem of mem
+
+(** Floating-point operands: a vector register or memory. *)
+type fop =
+  | Freg of Reg.fp
+  | Fmem of mem
+
+(** Smart constructor; validates the scale and canonicalises it to 1
+    when there is no index (so structural equality matches the binary
+    encoding).
+    @raise Invalid_argument on a bad scale. *)
+val mem :
+  ?base:Reg.gp -> ?index:Reg.gp -> ?scale:int -> ?disp:int -> unit -> mem
+
+val mem_abs : int -> mem
+val mem_base : ?disp:int -> Reg.gp -> mem
+val mem_bi : ?disp:int -> ?scale:int -> Reg.gp -> Reg.gp -> mem
+
+val equal_mem : mem -> mem -> bool
+val equal : t -> t -> bool
+val equal_fop : fop -> fop -> bool
+
+(** Registers read when computing the operand's address. *)
+val mem_regs : mem -> Reg.gp list
+
+val pp_mem : Format.formatter -> mem -> unit
+val pp : Format.formatter -> t -> unit
+val pp_fop : Format.formatter -> fop -> unit

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Cfg Dom Fmt Hashtbl Int64 Janus_analysis Janus_jcc Janus_schedule Jcc List Loopanal Looptree Printf QCheck2 QCheck_alcotest Rulegen String

@@ -1,0 +1,1 @@
+test/test_dbm.ml: Alcotest Array Buffer Builder Cond Encode Hashtbl Image Insn Int64 Janus_dbm Janus_schedule Janus_vm Janus_vx Layout List Machine Operand Program Reg Run

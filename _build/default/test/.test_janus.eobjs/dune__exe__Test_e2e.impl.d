@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Janus Janus_core Janus_jcc Janus_schedule Jcc List Printf QCheck2 QCheck_alcotest String

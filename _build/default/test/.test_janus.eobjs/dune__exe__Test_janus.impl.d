@@ -1,0 +1,1 @@
+test/test_janus.ml: Alcotest Test_analysis Test_dbm Test_e2e Test_jcc Test_profile Test_runtime Test_schedule Test_suite Test_sympoly Test_vm Test_vx

@@ -1,0 +1,1 @@
+test/test_jcc.ml: Alcotest Janus_jcc Janus_vm Janus_vx Jcc List Mir Printf QCheck2 QCheck_alcotest Run String

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Buffer Bytes Janus_analysis Janus_core Janus_jcc Janus_profile Jcc List Option Printf String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Builder Cond Insn Int64 Janus_dbm Janus_runtime Janus_schedule Janus_vm Janus_vx List Machine Memory Printf Program QCheck2 QCheck_alcotest Run Semantics

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Buffer Bytes Cond Desc Hashtbl Int64 Janus_schedule Janus_vx List QCheck2 QCheck_alcotest Reg Rexpr Rule Schedule

@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Janus Janus_analysis Janus_core Janus_jcc Janus_suite List Option Printf String

@@ -1,0 +1,1 @@
+test/test_sympoly.ml: Alcotest Builder Cfg Cond Dom Image Insn Int64 Janus_analysis Janus_vx List Looptree Operand Option QCheck2 QCheck_alcotest Reg

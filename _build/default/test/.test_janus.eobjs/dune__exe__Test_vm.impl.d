@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Builder Bytes Cond Cost Encode Float Hashtbl Image Insn Int64 Janus_jcc Janus_vm Janus_vx Layout List Machine Memory Operand Printf Reg Run Semantics String

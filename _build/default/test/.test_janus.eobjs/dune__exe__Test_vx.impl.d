@@ -1,0 +1,1 @@
+test/test_vx.ml: Alcotest Builder Bytes Char Cond Cost Decode Encode Image Insn Int64 Janus_vx Layout List Operand QCheck2 QCheck_alcotest Reg String

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "janus"
+    [
+      ("vx", Test_vx.tests);
+      ("vm", Test_vm.tests);
+      ("schedule", Test_schedule.tests);
+      ("sympoly", Test_sympoly.tests);
+      ("jcc", Test_jcc.tests);
+      ("analysis", Test_analysis.tests);
+      ("profile", Test_profile.tests);
+      ("dbm", Test_dbm.tests);
+      ("runtime", Test_runtime.tests);
+      ("e2e", Test_e2e.tests);
+      ("suite", Test_suite.tests);
+    ]

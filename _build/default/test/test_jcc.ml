@@ -1,0 +1,516 @@
+(* Compiler tests: golden outputs and differential testing across
+   optimisation levels, vendor profiles and auto-parallelisation. *)
+
+open Janus_jcc
+open Janus_vm
+
+let run ?options src =
+  let img = Jcc.compile ?options src in
+  (Run.run img).Run.output
+
+let check_output ?options name expected src =
+  Alcotest.(check string) name expected (run ?options src)
+
+let o ?(vendor = Jcc.Gcc) ?(opt = 3) ?(avx = false) ?(autopar = 0) () =
+  { Jcc.vendor; opt; avx; autopar }
+
+let all_option_sets =
+  [
+    ("O0", o ~opt:0 ());
+    ("O1", o ~opt:1 ());
+    ("O2", o ~opt:2 ());
+    ("O3-gcc", o ());
+    ("O3-icc", o ~vendor:Jcc.Icc ());
+    ("O3-avx", o ~avx:true ());
+    ("O3-icc-avx", o ~vendor:Jcc.Icc ~avx:true ());
+    ("O3-autopar", o ~autopar:4 ());
+    ("O3-icc-autopar", o ~vendor:Jcc.Icc ~autopar:4 ());
+  ]
+
+(* run the program under every option set and require identical output *)
+let check_all_configs name src =
+  let reference = run ~options:(o ~opt:0 ()) src in
+  List.iter
+    (fun (cname, options) ->
+       Alcotest.(check string)
+         (Printf.sprintf "%s @ %s" name cname)
+         reference (run ~options src))
+    all_option_sets
+
+let test_arith () =
+  check_output "arith" "14\n"
+    "int main() { int x = 2 + 3 * 4; print_int(x); return 0; }";
+  check_output "div mod" "3\n1\n"
+    "int main() { print_int(10 / 3); print_int(10 % 3); return 0; }";
+  check_output "neg" "-5\n" "int main() { print_int(-5); return 0; }";
+  check_output "float" "3.5\n"
+    "int main() { print_float(1.5 + 2.0); return 0; }";
+  check_output "cast" "3\n"
+    "int main() { print_int((int)3.7); return 0; }";
+  check_output "shift" "40\n"
+    "int main() { print_int(5 << 3); return 0; }"
+
+let test_control () =
+  check_output "if" "1\n"
+    "int main() { if (3 > 2) { print_int(1); } else { print_int(0); } return 0; }";
+  check_output "logical and" "0\n"
+    "int main() { print_int(1 && 0); return 0; }";
+  check_output "logical or value" "1\n"
+    "int main() { int x = 0 || 3; print_int(x); return 0; }";
+  check_output "while break" "55\n"
+    "int main() { int i = 0; int n = 0; while (1) { i++; if (i > 10) { break; } n += i; } print_int(n); return 0; }";
+  check_output "nested for" "100\n"
+    "int main() { int c = 0; for (int i = 0; i < 10; i++) { for (int j = 0; j < 10; j++) { c++; } } print_int(c); return 0; }"
+
+let test_arrays_and_calls () =
+  check_output "array sum" "328350\n"
+    "int a[100];\n\
+     int main() {\n\
+     \  int s = 0;\n\
+     \  for (int i = 0; i < 100; i++) { a[i] = i * i; }\n\
+     \  for (int i = 0; i < 100; i++) { s += a[i]; }\n\
+     \  print_int(s); return 0;\n\
+     }";
+  check_output "function call" "21\n"
+    "int triple(int x) { return 3 * x; }\n\
+     int main() { print_int(triple(7)); return 0; }";
+  check_output "recursion" "120\n"
+    "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\n\
+     int main() { print_int(fact(5)); return 0; }";
+  check_output "pow extern" "1024\n"
+    "extern double pow(double, double);\n\
+     int main() { print_float(pow(2.0, 10.0)); return 0; }";
+  check_output "alloc" "42\n"
+    "int main() { int *p = alloc_int(4); p[2] = 42; print_int(p[2]); return 0; }";
+  check_output "globals" "7\n"
+    "int g = 3;\n\
+     int main() { g = g + 4; print_int(g); return 0; }"
+
+let vector_kernel =
+  "double x[64]; double y[64]; double z[64];\n\
+   int main() {\n\
+   \  for (int i = 0; i < 64; i++) { x[i] = (double)i; y[i] = (double)(2 * i); }\n\
+   \  for (int i = 0; i < 64; i++) { z[i] = x[i] * 2.5 + y[i]; }\n\
+   \  double s = 0.0;\n\
+   \  for (int i = 0; i < 64; i++) { s += z[i]; }\n\
+   \  print_float(s);\n\
+   \  return 0;\n\
+   }"
+
+let pointer_kernel =
+  "int main() {\n\
+   \  double *a = alloc_double(50);\n\
+   \  double *b = alloc_double(50);\n\
+   \  for (int i = 0; i < 50; i++) { a[i] = (double)(i + 1); }\n\
+   \  for (int i = 0; i < 50; i++) { b[i] = a[i] * 3.0; }\n\
+   \  double s = 0.0;\n\
+   \  for (int i = 0; i < 50; i++) { s += b[i]; }\n\
+   \  print_float(s);\n\
+   \  return 0;\n\
+   }"
+
+let stencil_kernel =
+  "double u[130]; double v[130];\n\
+   int main() {\n\
+   \  for (int i = 0; i < 130; i++) { u[i] = (double)(i % 17); }\n\
+   \  for (int t = 0; t < 4; t++) {\n\
+   \    for (int i = 1; i < 129; i++) { v[i] = (u[i-1] + u[i] + u[i+1]) / 3.0; }\n\
+   \    for (int i = 1; i < 129; i++) { u[i] = v[i]; }\n\
+   \  }\n\
+   \  double s = 0.0;\n\
+   \  for (int i = 0; i < 130; i++) { s += u[i]; }\n\
+   \  print_float(s);\n\
+   \  return 0;\n\
+   }"
+
+let reduction_kernel =
+  "double w[200];\n\
+   int main() {\n\
+   \  for (int i = 0; i < 200; i++) { w[i] = (double)(i * 3 % 11); }\n\
+   \  double s = 0.0;\n\
+   \  double p = 1.0;\n\
+   \  for (int i = 0; i < 200; i++) { s += w[i]; }\n\
+   \  for (int i = 1; i < 10; i++) { p *= w[i] + 1.0; }\n\
+   \  print_float(s);\n\
+   \  print_float(p);\n\
+   \  return 0;\n\
+   }"
+
+let test_configs_agree () =
+  check_all_configs "vector kernel" vector_kernel;
+  check_all_configs "pointer kernel" pointer_kernel;
+  check_all_configs "stencil kernel" stencil_kernel;
+  check_all_configs "reduction kernel" reduction_kernel
+
+let test_vector_code_emitted () =
+  (* O3 must actually emit packed instructions for the vector kernel *)
+  let img = Jcc.compile ~options:(o ()) vector_kernel in
+  let has_packed =
+    List.exists
+      (fun (_, i, _) ->
+         match i with
+         | Janus_vx.Insn.Fbin ((X | Y), _, _, _)
+         | Janus_vx.Insn.Fmov ((X | Y), _, _) -> true
+         | _ -> false)
+      (Janus_vx.Decode.all img.Janus_vx.Image.text)
+  in
+  Alcotest.(check bool) "packed instructions present" true has_packed;
+  (* and O3 -mavx must emit 4-lane operations *)
+  let img4 = Jcc.compile ~options:(o ~avx:true ()) vector_kernel in
+  let has_y =
+    List.exists
+      (fun (_, i, _) ->
+         match i with
+         | Janus_vx.Insn.Fbin (Y, _, _, _) | Janus_vx.Insn.Fmov (Y, _, _) -> true
+         | _ -> false)
+      (Janus_vx.Decode.all img4.Janus_vx.Image.text)
+  in
+  Alcotest.(check bool) "avx operations present" true has_y
+
+let test_autopar_emits_par_for () =
+  let img = Jcc.compile ~options:(o ~autopar:4 ()) vector_kernel in
+  Alcotest.(check bool) "__par_for in externals" true
+    (List.mem "__par_for" img.Janus_vx.Image.externals)
+
+let test_autopar_faster () =
+  (* the parallel runtime's cost model must show a cycle reduction on a
+     big enough kernel *)
+  let src =
+    "double x[4096]; double y[4096];\n\
+     int main() {\n\
+     \  for (int i = 0; i < 4096; i++) { x[i] = (double)i; }\n\
+     \  for (int i = 0; i < 4096; i++) { y[i] = x[i] * 1.5 + 2.0; }\n\
+     \  print_float(y[4095]);\n\
+     \  return 0;\n\
+     }"
+  in
+  let serial = Run.run (Jcc.compile ~options:(o ~opt:2 ()) src) in
+  let par = Run.run (Jcc.compile ~options:(o ~opt:2 ~autopar:8 ()) src) in
+  Alcotest.(check string) "same output" serial.Run.output par.Run.output;
+  Alcotest.(check bool) "parallel is faster" true
+    (par.Run.cycles < serial.Run.cycles)
+
+let test_o3_faster_than_o0 () =
+  let r0 = Run.run (Jcc.compile ~options:(o ~opt:0 ()) vector_kernel) in
+  let r3 = Run.run (Jcc.compile ~options:(o ()) vector_kernel) in
+  Alcotest.(check bool)
+    (Printf.sprintf "O3 (%d) < O0 (%d) cycles" r3.Run.cycles r0.Run.cycles)
+    true
+    (r3.Run.cycles < r0.Run.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* White-box pass tests at the MIR level                               *)
+(* ------------------------------------------------------------------ *)
+
+let count_insts pred (u : Mir.unit_) =
+  List.fold_left
+    (fun acc (f : Mir.fn) ->
+       List.fold_left
+         (fun acc (b : Mir.block) ->
+            acc + List.length (List.filter pred b.Mir.insts))
+         acc f.Mir.blocks)
+    0 u.Mir.fns
+
+let simple_loop_src =
+  "double a[256]; double b[256];\n\
+   int main() {\n\
+   \  for (int i = 0; i < 256; i++) { a[i] = b[i] * 2.0 + 1.0; }\n\
+   \  print_float(a[7]);\n\
+   \  return 0;\n\
+   }"
+
+let test_mir_vectorise_emits_vector_ops () =
+  let u = Jcc.compile_unit ~options:(o ()) simple_loop_src in
+  Alcotest.(check bool) "vector loads" true
+    (count_insts (function Mir.Ivload _ -> true | _ -> false) u > 0);
+  Alcotest.(check bool) "vector stores" true
+    (count_insts (function Mir.Ivstore _ -> true | _ -> false) u > 0);
+  Alcotest.(check bool) "broadcasts hoisted" true
+    (count_insts (function Mir.Ivbcast _ -> true | _ -> false) u > 0);
+  (* O2 must not vectorise *)
+  let u2 = Jcc.compile_unit ~options:(o ~opt:2 ()) simple_loop_src in
+  Alcotest.(check int) "no vectors at O2" 0
+    (count_insts (function Mir.Ivload _ -> true | _ -> false) u2)
+
+let test_mir_unroll_duplicates_body () =
+  (* an integer loop (not vectorisable) gets unrolled at O3: the store
+     appears once per copy plus once in the remainder loop *)
+  let src =
+    "int a[64];\n\
+     int main() {\n\
+     \  for (int i = 0; i < 64; i++) { a[i] = i * 3; }\n\
+     \  print_int(a[9]);\n\
+     \  return 0;\n\
+     }"
+  in
+  let count_stores u =
+    count_insts (function Mir.Istore _ -> true | _ -> false) u
+  in
+  let o1 = count_stores (Jcc.compile_unit ~options:(o ~opt:1 ()) src) in
+  let o3 = count_stores (Jcc.compile_unit ~options:(o ()) src) in
+  let icc = count_stores (Jcc.compile_unit ~options:(o ~vendor:Jcc.Icc ()) src) in
+  Alcotest.(check bool)
+    (Printf.sprintf "gcc unroll x2 duplicates stores (%d -> %d)" o1 o3)
+    true (o3 > o1);
+  Alcotest.(check bool)
+    (Printf.sprintf "icc unrolls more (%d > %d)" icc o3)
+    true (icc > o3)
+
+let test_mir_autopar_outlines_worker () =
+  let u = Jcc.compile_unit ~options:(o ~autopar:8 ()) simple_loop_src in
+  Alcotest.(check bool) "worker function created" true
+    (List.exists
+       (fun (f : Mir.fn) -> String.contains f.Mir.name '$')
+       u.Mir.fns);
+  Alcotest.(check bool) "par_for emitted" true
+    (count_insts (function Mir.Ipar_for _ -> true | _ -> false) u > 0)
+
+let test_mir_constant_folding () =
+  let u =
+    Jcc.compile_unit ~options:(o ~opt:2 ())
+      "int main() { int x = 2 + 3 * 4; print_int(x + 1); return 0; }"
+  in
+  (* no arithmetic should survive: everything folds to constants *)
+  Alcotest.(check int) "no residual int arithmetic" 0
+    (count_insts
+       (function
+         | Mir.Ibin ((Mir.Madd | Mir.Msub | Mir.Mmul), _, _, _) -> true
+         | _ -> false)
+       u)
+
+let test_mir_dce_removes_dead_code () =
+  let with_dead =
+    "int main() {\n\
+     \  int dead1 = 42 * 13;\n\
+     \  int dead2 = dead1 + 7;\n\
+     \  print_int(5);\n\
+     \  return 0;\n\
+     }"
+  in
+  let u0 = Jcc.compile_unit ~options:(o ~opt:0 ()) with_dead in
+  let u2 = Jcc.compile_unit ~options:(o ~opt:2 ()) with_dead in
+  let count u = count_insts (fun _ -> true) u in
+  Alcotest.(check bool)
+    (Printf.sprintf "dead code removed (%d -> %d insts)" (count u0) (count u2))
+    true
+    (count u2 < count u0)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property test: random programs                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_program =
+  let open QCheck2.Gen in
+  let var k = Printf.sprintf "v%d" k in
+  let gen_expr nvars =
+    if nvars = 0 then map (fun i -> Printf.sprintf "%d" i) (int_range 0 50)
+    else
+      let atom =
+        oneof
+          [
+            map (fun i -> Printf.sprintf "%d" i) (int_range (-20) 50);
+            map (fun k -> var (k mod nvars)) (int_range 0 (max 1 (nvars - 1)));
+          ]
+      in
+      let* a = atom in
+      let* b = atom in
+      let* c = atom in
+      let* op1 = oneofl [ "+"; "-"; "*" ] in
+      let* op2 = oneofl [ "+"; "-"; "*"; "<"; ">"; "==" ] in
+      return (Printf.sprintf "(%s %s %s) %s %s" a op1 b op2 c)
+  in
+  let* n = int_range 2 8 in
+  let rec build k acc =
+    if k >= n then return acc
+    else
+      let* e = gen_expr k in
+      build (k + 1) (acc ^ Printf.sprintf "  int %s = %s;\n" (var k) e)
+  in
+  let* decls = build 0 "" in
+  let prints =
+    String.concat ""
+      (List.init n (fun k -> Printf.sprintf "  print_int(%s);\n" (var k)))
+  in
+  return (Printf.sprintf "int main() {\n%s%s  return 0;\n}" decls prints)
+
+let prop_opt_levels_agree =
+  QCheck2.Test.make ~count:60 ~name:"random programs agree across opt levels"
+    ~print:(fun s -> s)
+    gen_program
+    (fun src ->
+       let reference = run ~options:(o ~opt:0 ()) src in
+       List.for_all
+         (fun (_, options) -> String.equal reference (run ~options src))
+         all_option_sets)
+
+(* random DOALL kernels with random constants *)
+let gen_kernel =
+  let open QCheck2.Gen in
+  let* n = int_range 3 80 in
+  let* k1 = map float_of_int (int_range 1 9) in
+  let* k2 = map float_of_int (int_range 1 9) in
+  let* use_red = bool in
+  let red_decl = if use_red then "  double s = 0.0;\n" else "" in
+  let red_stmt = if use_red then "    s += c[i];\n" else "" in
+  let red_print = if use_red then "  print_float(s);\n" else "" in
+  return
+    (Printf.sprintf
+       "double a[%d]; double b[%d]; double c[%d];\n\
+        int main() {\n\
+        \  for (int i = 0; i < %d; i++) { a[i] = (double)(i + 1); b[i] = (double)(i * 2); }\n\
+        %s\
+        \  for (int i = 0; i < %d; i++) {\n\
+        \    c[i] = a[i] * %f + b[i] * %f;\n\
+        %s  }\n\
+        %s\
+        \  print_float(c[%d]);\n\
+        \  return 0;\n\
+        }"
+       n n n n red_decl n k1 k2 red_stmt red_print (n - 1))
+
+let prop_kernels_agree =
+  QCheck2.Test.make ~count:40 ~name:"random kernels agree across configs"
+    ~print:(fun s -> s)
+    gen_kernel
+    (fun src ->
+       let reference = run ~options:(o ~opt:0 ()) src in
+       List.for_all
+         (fun (_, options) -> String.equal reference (run ~options src))
+         all_option_sets)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_opt_levels_agree; prop_kernels_agree ]
+
+(* ------------------------------------------------------------------ *)
+(* Front-end error handling and language edge cases                    *)
+(* ------------------------------------------------------------------ *)
+
+let expect_error name src =
+  match Jcc.compile src with
+  | _ -> Alcotest.failf "%s: expected a compile error" name
+  | exception Jcc.Error _ -> ()
+
+let test_front_end_errors () =
+  expect_error "unbound variable" "int main() { return x; }";
+  expect_error "unknown function" "int main() { return f(1); }";
+  expect_error "arity" "int f(int a) { return a; }\nint main() { return f(); }";
+  expect_error "implicit narrowing" "int main() { int x = 1.5; return x; }";
+  expect_error "assign to array" "int a[4];\nint main() { a = 3; return 0; }";
+  expect_error "break outside loop" "int main() { break; return 0; }";
+  expect_error "missing main" "int f() { return 1; }";
+  expect_error "parse error" "int main() { return 1 +; }";
+  expect_error "unterminated comment" "int main() { /* oops return 0; }"
+
+let test_stack_args () =
+  (* more than six integer arguments: the 7th+ travel on the stack *)
+  check_output "eight args" "36\n"
+    "int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {\n\
+     \  return a + b + c + d + e + f + g + h;\n\
+     }\n\
+     int main() { print_int(sum8(1, 2, 3, 4, 5, 6, 7, 8)); return 0; }";
+  check_all_configs "stack args"
+    "int sum9(int a, int b, int c, int d, int e, int f, int g, int h, int i) {\n\
+     \  return a + b * 2 + c + d + e + f + g + h * 3 + i;\n\
+     }\n\
+     int main() {\n\
+     \  int t = 0;\n\
+     \  for (int k = 0; k < 20; k++) { t += sum9(k, 1, 2, 3, 4, 5, 6, 7, k); }\n\
+     \  print_int(t);\n\
+     \  return 0;\n\
+     }"
+
+let test_deep_recursion () =
+  check_output "fib" "6765\n"
+    "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n\
+     int main() { print_int(fib(20)); return 0; }"
+
+let test_guest_div_by_zero_traps () =
+  let img = Jcc.compile "int main() { int z = read_int(); print_int(7 / z); return 0; }" in
+  Alcotest.(check bool) "traps" true
+    (try
+       ignore (Run.run ~input:[ 0L ] img);
+       false
+     with Janus_vm.Semantics.Div_by_zero _ -> true);
+  (* and works for a non-zero divisor *)
+  let r = Run.run ~input:[ 2L ] img in
+  Alcotest.(check string) "7/2" "3\n" r.Run.output
+
+let test_mixed_fp_int_args () =
+  check_output "mixed args" "17.5\n"
+    "double mix(int a, double x, int b, double y) {\n\
+     \  return (double)(a + b) + x * y;\n\
+     }\n\
+     int main() { print_float(mix(3, 2.5, 4, 4.2)); return 0; }"
+
+let test_pointer_roundtrip_casts () =
+  check_output "ptr via int" "11\n"
+    "int main() {\n\
+     \  int *p = alloc_int(4);\n\
+     \  p[1] = 11;\n\
+     \  int addr = (int)p;\n\
+     \  int *q = (int*)addr;\n\
+     \  print_int(q[1]);\n\
+     \  return 0;\n\
+     }"
+
+(* regression: the implicit fall-off-the-end return of a float function
+   must be a float zero — at O0 the unreachable trailing block is not
+   pruned and used to emit an int literal into XMM0 *)
+let test_float_fn_implicit_return () =
+  check_all_configs "float helper with single explicit return"
+    "double a[16];\n\
+     double bump(double x) { return x * 2.0 + 1.0; }\n\
+     int main() {\n\
+     \  for (int i = 0; i < 16; i++) { a[i] = (double)(i % 7); }\n\
+     \  a[1] = bump(a[1]);\n\
+     \  print_float(a[0] + a[15]);\n\
+     \  return 0;\n\
+     }";
+  (* a float function that genuinely falls off the end returns 0.0 *)
+  check_all_configs "float fall-off returns zero"
+    "double maybe(int c) { if (c == 1) { return 5.0; } }\n\
+     int main() {\n\
+     \  print_float(maybe(1) + maybe(0));\n\
+     \  return 0;\n\
+     }"
+
+let test_empty_loop_bodies () =
+  check_all_configs "zero-trip loops"
+    "double a[8];\n\
+     int main() {\n\
+     \  int n = 0;\n\
+     \  for (int i = 0; i < n; i++) { a[i] = 1.0; }\n\
+     \  for (int i = 10; i < 5; i++) { a[0] = 2.0; }\n\
+     \  print_float(a[0]);\n\
+     \  return 0;\n\
+     }"
+
+let tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "front-end errors" `Quick test_front_end_errors;
+    Alcotest.test_case "stack args" `Quick test_stack_args;
+    Alcotest.test_case "deep recursion" `Quick test_deep_recursion;
+    Alcotest.test_case "guest div by zero traps" `Quick
+      test_guest_div_by_zero_traps;
+    Alcotest.test_case "mixed fp/int args" `Quick test_mixed_fp_int_args;
+    Alcotest.test_case "pointer casts" `Quick test_pointer_roundtrip_casts;
+    Alcotest.test_case "empty loop bodies" `Quick test_empty_loop_bodies;
+    Alcotest.test_case "float implicit return" `Quick
+      test_float_fn_implicit_return;
+    Alcotest.test_case "mir: vectorise" `Quick test_mir_vectorise_emits_vector_ops;
+    Alcotest.test_case "mir: unroll" `Quick test_mir_unroll_duplicates_body;
+    Alcotest.test_case "mir: autopar outlining" `Quick
+      test_mir_autopar_outlines_worker;
+    Alcotest.test_case "mir: constant folding" `Quick test_mir_constant_folding;
+    Alcotest.test_case "mir: dce" `Quick test_mir_dce_removes_dead_code;
+    Alcotest.test_case "control flow" `Quick test_control;
+    Alcotest.test_case "arrays and calls" `Quick test_arrays_and_calls;
+    Alcotest.test_case "configs agree on kernels" `Quick test_configs_agree;
+    Alcotest.test_case "vector code emitted" `Quick test_vector_code_emitted;
+    Alcotest.test_case "autopar emits par_for" `Quick test_autopar_emits_par_for;
+    Alcotest.test_case "autopar faster" `Quick test_autopar_faster;
+    Alcotest.test_case "O3 faster than O0" `Quick test_o3_faster_than_o0;
+  ]
+  @ props

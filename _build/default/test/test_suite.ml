@@ -1,0 +1,168 @@
+(* Suite-level tests: every synthetic SPEC-like benchmark compiles,
+   runs, analyses, and (for the nine parallelisable ones) produces
+   bit-identical output under the full Janus pipeline. *)
+
+open Janus_core
+module Suite = Janus_suite.Suite
+
+let native b ?options () =
+  let img = Suite.compile ?options b in
+  (img, Janus.run_native ~input:(Suite.ref_input b) img)
+
+let test_all_compile_and_run () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+       let _, r = native b () in
+       Alcotest.(check int) (b.Suite.name ^ " exit") 0 r.Janus.exit_code;
+       Alcotest.(check bool) (b.Suite.name ^ " output") true
+         (String.length r.Janus.output > 0))
+    Suite.all
+
+let test_deterministic () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+       let _, r1 = native b () in
+       let _, r2 = native b () in
+       Alcotest.(check string) b.Suite.name r1.Janus.output r2.Janus.output;
+       Alcotest.(check int) (b.Suite.name ^ " cycles") r1.Janus.cycles
+         r2.Janus.cycles)
+    [ Option.get (Suite.find "470.lbm"); Option.get (Suite.find "429.mcf") ]
+
+let test_all_analysable () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+       let img = Suite.compile b in
+       let t = Janus_analysis.Analysis.analyse_image img in
+       Alcotest.(check bool) (b.Suite.name ^ " has loops") true
+         (List.length t.Janus_analysis.Analysis.reports > 0))
+    Suite.all
+
+let janus_matches_native (b : Suite.benchmark) ?options ~cfg () =
+  let img, nat = native b ?options () in
+  let par =
+    Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
+      ~input:(Suite.ref_input b) img
+  in
+  Alcotest.(check string) (b.Suite.name ^ " output") nat.Janus.output
+    par.Janus.output;
+  (nat, par)
+
+let test_nine_correct_full_janus () =
+  List.iter
+    (fun b -> ignore (janus_matches_native b ~cfg:(Janus.config ()) ()))
+    (List.filter (fun b -> b.Suite.parallelisable) Suite.all)
+
+let test_nine_correct_all_configs () =
+  List.iter
+    (fun b ->
+       List.iter
+         (fun cfg -> ignore (janus_matches_native b ~cfg ()))
+         [
+           Janus.config ~use_profile:false ~use_checks:false ();
+           Janus.config ~use_checks:false ();
+           Janus.config ~threads:4 ();
+           Janus.config ~threads:2 ();
+         ])
+    (List.filter (fun b -> b.Suite.parallelisable) Suite.all)
+
+let test_sixteen_correct_under_janus () =
+  (* the non-parallelisable benchmarks must also run unharmed under the
+     full pipeline (loops rejected or safely checked) *)
+  List.iter
+    (fun b -> ignore (janus_matches_native b ~cfg:(Janus.config ()) ()))
+    (List.filter (fun b -> not b.Suite.parallelisable) Suite.all)
+
+let test_nine_correct_on_icc_binaries () =
+  let options = { Janus_jcc.Jcc.default_options with vendor = Janus_jcc.Jcc.Icc } in
+  List.iter
+    (fun b ->
+       ignore (janus_matches_native b ~options ~cfg:(Janus.config ()) ()))
+    (List.filter (fun b -> b.Suite.parallelisable) Suite.all)
+
+let test_nine_correct_on_avx_binaries () =
+  let options = { Janus_jcc.Jcc.default_options with avx = true } in
+  List.iter
+    (fun b ->
+       ignore (janus_matches_native b ~options ~cfg:(Janus.config ()) ()))
+    (List.filter (fun b -> b.Suite.parallelisable) Suite.all)
+
+let test_nine_correct_on_o2_binaries () =
+  let options = { Janus_jcc.Jcc.default_options with opt = 2 } in
+  List.iter
+    (fun b ->
+       ignore (janus_matches_native b ~options ~cfg:(Janus.config ()) ()))
+    (List.filter (fun b -> b.Suite.parallelisable) Suite.all)
+
+let test_autopar_binaries_run () =
+  (* compiler-parallelised builds (Fig. 11's gcc/icc bars) must produce
+     the same output as the serial build *)
+  List.iter
+    (fun b ->
+       let _, serial = native b () in
+       List.iter
+         (fun vendor ->
+            let options =
+              { Janus_jcc.Jcc.default_options with vendor; autopar = 8 }
+            in
+            let img = Suite.compile ~options b in
+            let r = Janus.run_native ~input:(Suite.ref_input b) img in
+            Alcotest.(check string)
+              (Printf.sprintf "%s autopar" b.Suite.name)
+              serial.Janus.output r.Janus.output)
+         [ Janus_jcc.Jcc.Gcc; Janus_jcc.Jcc.Icc ])
+    (List.filter (fun b -> b.Suite.parallelisable) Suite.all)
+
+let test_fig7_shape () =
+  (* the headline claims of Fig. 7, as ordering properties *)
+  let run b cfg =
+    let b = Option.get (Suite.find b) in
+    let img = Suite.compile b in
+    let nat = Janus.run_native ~input:(Suite.ref_input b) img in
+    let r =
+      Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
+        ~input:(Suite.ref_input b) img
+    in
+    Janus.speedup ~native:nat ~run:r
+  in
+  let janus = Janus.config () in
+  let profile_only = Janus.config ~use_checks:false () in
+  (* libquantum and lbm: large speedups *)
+  Alcotest.(check bool) "libquantum > 4x" true (run "462.libquantum" janus > 4.0);
+  Alcotest.(check bool) "lbm > 4x" true (run "470.lbm" janus > 4.0);
+  (* bwaves needs checks+speculation: profile-only stays near 1 *)
+  let bw_prof = run "410.bwaves" profile_only in
+  let bw_janus = run "410.bwaves" janus in
+  Alcotest.(check bool)
+    (Printf.sprintf "bwaves checks unlock speedup (%.2f -> %.2f)" bw_prof
+       bw_janus)
+    true
+    (bw_prof < 1.2 && bw_janus > 1.8);
+  (* GemsFDTD similarly needs checks *)
+  let gems_prof = run "459.GemsFDTD" profile_only in
+  let gems_janus = run "459.GemsFDTD" janus in
+  Alcotest.(check bool) "GemsFDTD checks help" true
+    (gems_janus > gems_prof +. 0.3);
+  (* h264ref stays below native *)
+  Alcotest.(check bool) "h264ref slower than native" true
+    (run "464.h264ref" janus < 1.0)
+
+let tests =
+  [
+    Alcotest.test_case "all compile and run" `Quick test_all_compile_and_run;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "all analysable" `Quick test_all_analysable;
+    Alcotest.test_case "nine correct under full janus" `Quick
+      test_nine_correct_full_janus;
+    Alcotest.test_case "nine correct all configs" `Slow
+      test_nine_correct_all_configs;
+    Alcotest.test_case "sixteen correct under janus" `Slow
+      test_sixteen_correct_under_janus;
+    Alcotest.test_case "nine correct on icc binaries" `Slow
+      test_nine_correct_on_icc_binaries;
+    Alcotest.test_case "nine correct on avx binaries" `Slow
+      test_nine_correct_on_avx_binaries;
+    Alcotest.test_case "nine correct on O2 binaries" `Slow
+      test_nine_correct_on_o2_binaries;
+    Alcotest.test_case "autopar binaries run" `Slow test_autopar_binaries_run;
+    Alcotest.test_case "fig7 shape" `Slow test_fig7_shape;
+  ]

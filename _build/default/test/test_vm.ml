@@ -1,0 +1,360 @@
+(* Tests for the VM substrate: memory, semantics, runner, library
+   fragments and the __par_for intrinsic. *)
+
+open Janus_vx
+open Janus_vm
+
+let reg r = Operand.Reg r
+let imm i = Operand.Imm (Int64.of_int i)
+
+(* _start: sum 0..9, print, exit 0 *)
+let sum_program () =
+  let b = Builder.create () in
+  Builder.label b "_start";
+  Builder.ins b (Insn.Mov (reg Reg.RCX, imm 0));
+  Builder.ins b (Insn.Mov (reg Reg.RAX, imm 0));
+  Builder.label b "loop";
+  Builder.ins b (Insn.Cmp (reg Reg.RCX, imm 10));
+  Builder.jcc b Cond.Ge "done";
+  Builder.ins b (Insn.Alu (Insn.Add, reg Reg.RAX, reg Reg.RCX));
+  Builder.ins b (Insn.Alu (Insn.Add, reg Reg.RCX, imm 1));
+  Builder.jmp b "loop";
+  Builder.label b "done";
+  Builder.ins b (Insn.Mov (reg Reg.RDI, reg Reg.RAX));
+  Builder.ins b (Insn.Syscall Insn.sys_write_int);
+  Builder.ins b (Insn.Mov (reg Reg.RDI, imm 0));
+  Builder.ins b (Insn.Syscall Insn.sys_exit);
+  Builder.to_image b ~entry:"_start"
+
+let test_sum_loop () =
+  let r = Run.run (sum_program ()) in
+  Alcotest.(check string) "output" "45\n" r.Run.output;
+  Alcotest.(check int) "exit" 0 r.Run.exit_code;
+  Alcotest.(check bool) "cycles counted" true (r.Run.cycles > 0);
+  Alcotest.(check bool) "icount counted" true (r.Run.icount > 40)
+
+let test_memory_regions () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"a" ~start:0x1000 ~size:0x100);
+  Memory.write_i64 m 0x1000 42L;
+  Alcotest.(check int64) "read back" 42L (Memory.read_i64 m 0x1000);
+  Memory.write_f64 m 0x1010 3.5;
+  Alcotest.(check (float 0.0)) "float read" 3.5 (Memory.read_f64 m 0x1010);
+  Alcotest.check_raises "fault below" (Memory.Fault 0xfff) (fun () ->
+      ignore (Memory.read_i64 m 0xfff));
+  Alcotest.check_raises "fault straddling end" (Memory.Fault 0x1100) (fun () ->
+      ignore (Memory.read_i64 m 0x10f9))
+
+(* call pow(2.0, 8.0) through the PLT; result printed *)
+let pow_program () =
+  let b = Builder.create () in
+  let d = Builder.Data.create () in
+  Builder.Data.label d "two";
+  Builder.Data.f64 d 2.0;
+  Builder.Data.label d "eight";
+  Builder.Data.f64 d 8.0;
+  Builder.label b "_start";
+  Builder.ins b
+    (Insn.Fmov (Insn.Scalar, Operand.Freg (Reg.XMM 0),
+                Operand.Fmem (Operand.mem_abs (Builder.Data.addr d "two"))));
+  Builder.ins b
+    (Insn.Fmov (Insn.Scalar, Operand.Freg (Reg.XMM 1),
+                Operand.Fmem (Operand.mem_abs (Builder.Data.addr d "eight"))));
+  Builder.ins b (Insn.Call (Insn.Direct (Layout.plt_slot_addr 0)));
+  Builder.ins b (Insn.Syscall Insn.sys_write_float);
+  Builder.ins b (Insn.Mov (reg Reg.RDI, imm 0));
+  Builder.ins b (Insn.Syscall Insn.sys_exit);
+  Builder.to_image b ~entry:"_start"
+    ~data:(Builder.Data.contents d)
+    ~externals:[ "pow" ]
+
+let test_pow_libcall () =
+  let r = Run.run (pow_program ()) in
+  Alcotest.(check string) "pow(2,8)" "256\n" r.Run.output
+
+(* __par_for over a bss array: body writes a[i] = 3*i, main sums. *)
+let par_program ~threads ~n =
+  let b = Builder.create () in
+  let bss = Layout.bss_base in
+  Builder.label b "_start";
+  Builder.ins b (Insn.Mov (reg Reg.RDI, imm 0));
+  Builder.call_label b "body_wrapper";
+  (* sum the array *)
+  Builder.ins b (Insn.Mov (reg Reg.RCX, imm 0));
+  Builder.ins b (Insn.Mov (reg Reg.RAX, imm 0));
+  Builder.label b "sum_loop";
+  Builder.ins b (Insn.Cmp (reg Reg.RCX, imm n));
+  Builder.jcc b Cond.Ge "sum_done";
+  Builder.ins b
+    (Insn.Alu (Insn.Add, reg Reg.RAX,
+               Operand.Mem (Operand.mem ~index:Reg.RCX ~scale:8 ~disp:bss ())));
+  Builder.ins b (Insn.Alu (Insn.Add, reg Reg.RCX, imm 1));
+  Builder.jmp b "sum_loop";
+  Builder.label b "sum_done";
+  Builder.ins b (Insn.Mov (reg Reg.RDI, reg Reg.RAX));
+  Builder.ins b (Insn.Syscall Insn.sys_write_int);
+  Builder.ins b (Insn.Mov (reg Reg.RDI, imm 0));
+  Builder.ins b (Insn.Syscall Insn.sys_exit);
+  (* body_wrapper: calls __par_for(body, 0, n, threads) *)
+  Builder.label b "body_wrapper";
+  Builder.ins b (Insn.Mov (reg Reg.RSI, imm 0));
+  Builder.ins b (Insn.Mov (reg Reg.RDX, imm n));
+  Builder.ins b (Insn.Mov (reg Reg.RCX, imm threads));
+  Builder.ins b (Insn.Lea (Reg.RDI, Operand.mem_abs 0));
+  (* patched below: lea rdi, [body] — emit via label trick *)
+  Builder.ins b (Insn.Call (Insn.Direct (Layout.plt_slot_addr 0)));
+  Builder.ins b Insn.Ret;
+  (* body(lo=rdi, hi=rsi): for i in [lo,hi) a[i] = 3*i *)
+  Builder.label b "body";
+  Builder.ins b (Insn.Mov (reg Reg.RCX, reg Reg.RDI));
+  Builder.label b "body_loop";
+  Builder.ins b (Insn.Cmp (reg Reg.RCX, reg Reg.RSI));
+  Builder.jcc b Cond.Ge "body_done";
+  Builder.ins b (Insn.Mov (reg Reg.RAX, reg Reg.RCX));
+  Builder.ins b (Insn.Alu (Insn.Imul, reg Reg.RAX, imm 3));
+  (* pad the body with work so the parallel region dominates *)
+  for _ = 1 to 20 do
+    Builder.ins b (Insn.Alu (Insn.Add, reg Reg.RDX, reg Reg.RAX))
+  done;
+  Builder.ins b
+    (Insn.Mov (Operand.Mem (Operand.mem ~index:Reg.RCX ~scale:8 ~disp:bss ()),
+               reg Reg.RAX));
+  Builder.ins b (Insn.Alu (Insn.Add, reg Reg.RCX, imm 1));
+  Builder.jmp b "body_loop";
+  Builder.label b "body_done";
+  Builder.ins b Insn.Ret;
+  (b, n)
+
+let par_image ~threads ~n =
+  let b, _ = par_program ~threads ~n in
+  (* fix the lea to point at body *)
+  let body_addr = Builder.label_addr b "body" in
+  let insns = Builder.finish b in
+  let insns =
+    List.map
+      (function
+        | Insn.Lea (Reg.RDI, m) when m.Operand.disp = 0 ->
+          Insn.Lea (Reg.RDI, Operand.mem_abs body_addr)
+        | i -> i)
+      insns
+  in
+  let text = Encode.encode_list insns in
+  {
+    Image.entry = Layout.text_base;
+    text;
+    data = Bytes.create 0;
+    bss_size = 8 * n;
+    externals = [ "__par_for" ];
+  }
+
+let test_par_for () =
+  (* sequential (1 thread) and parallel (4) must agree, and parallel
+     must model fewer max-thread cycles *)
+  let n = 64 in
+  let r1 = Run.run (par_image ~threads:1 ~n) in
+  let r4 = Run.run (par_image ~threads:4 ~n) in
+  Alcotest.(check string) "same output" r1.Run.output r4.Run.output;
+  let expected = 3 * (n * (n - 1) / 2) in
+  (* output is sum of a[i]=3i *)
+  Alcotest.(check string) "value" (Printf.sprintf "%d\n" expected) r4.Run.output
+
+let test_par_for_speedup () =
+  let n = 4096 in
+  let r1 = Run.run (par_image ~threads:1 ~n) in
+  let r8 = Run.run (par_image ~threads:8 ~n) in
+  let s = float_of_int r1.Run.cycles /. float_of_int r8.Run.cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "8-thread speedup %.2f > 2" s)
+    true (s > 2.0)
+
+let test_fork_isolation () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"a" ~start:0x1000 ~size:0x100);
+  let ctx = Machine.create m in
+  Machine.set ctx Reg.RAX 7L;
+  let child = Machine.fork ctx in
+  Machine.set child Reg.RAX 9L;
+  Alcotest.(check int64) "parent unchanged" 7L (Machine.get ctx Reg.RAX);
+  (* but memory is shared *)
+  Memory.write_i64 m 0x1000 1L;
+  Alcotest.(check int64) "shared memory" 1L
+    (Memory.read_i64 child.Machine.mem 0x1000)
+
+let test_txn_buffering () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"a" ~start:0x1000 ~size:0x100);
+  Memory.write_i64 m 0x1000 5L;
+  let ctx = Machine.create m in
+  let txn = Machine.start_txn ctx in
+  (* speculative write goes to the buffer, not memory *)
+  Semantics.raw_write ctx 0x1000 99L;
+  Alcotest.(check int64) "memory untouched" 5L (Memory.read_i64 m 0x1000);
+  (* speculative read sees the buffered value *)
+  Alcotest.(check int64) "read own write" 99L (Semantics.raw_read ctx 0x1000);
+  Alcotest.(check int) "one buffered write" 1
+    (Hashtbl.length txn.Machine.twrites);
+  Machine.rollback ctx txn;
+  Alcotest.(check int64) "after rollback" 5L (Memory.read_i64 m 0x1000)
+
+let test_observe_hook () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"a" ~start:0x1000 ~size:0x100);
+  let ctx = Machine.create m in
+  let log = ref [] in
+  ctx.Machine.observe <-
+    Some (fun rw ~addr ~bytes:_ -> log := (rw, addr) :: !log);
+  Semantics.raw_write ctx 0x1000 1L;
+  ignore (Semantics.raw_read ctx 0x1008);
+  Alcotest.(check int) "two events" 2 (List.length !log);
+  Alcotest.(check bool) "write first" true
+    (match List.rev !log with
+     | (Machine.Write, 0x1000) :: (Machine.Read, 0x1008) :: _ -> true
+     | _ -> false)
+
+(* the sqrt and exp fragments, like pow, are resolved only at run time;
+   check their numeric results against the host's math *)
+let compile_run src =
+  let img = Janus_jcc.Jcc.compile src in
+  Run.run img
+
+let test_sqrt_libcall () =
+  let r =
+    compile_run
+      "extern double sqrt(double);\n\
+       int main() { print_float(sqrt(2.0) + sqrt(9.0)); return 0; }"
+  in
+  let got = float_of_string (String.trim r.Run.output) in
+  let want = Float.sqrt 2.0 +. 3.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sqrt: %.6f vs %.6f" got want)
+    true
+    (Float.abs (got -. want) < 1e-4)
+
+let test_exp_libcall () =
+  (* the fragment is a truncated Taylor series; accept ~1e-3 *)
+  let r =
+    compile_run
+      "extern double exp(double);\n\
+       int main() { print_float(exp(1.0)); return 0; }"
+  in
+  let got = float_of_string (String.trim r.Run.output) in
+  Alcotest.(check bool)
+    (Printf.sprintf "exp(1) = %.6f" got)
+    true
+    (Float.abs (got -. Float.exp 1.0) < 1e-3)
+
+let test_cache_model_misses () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"a" ~start:0x1000 ~size:0x1000);
+  let ctx = Machine.create m in
+  ctx.Machine.model_cache <- true;
+  let c0 = ctx.Machine.cycles in
+  ignore (Semantics.raw_read ctx 0x1000);
+  Alcotest.(check int) "cold line charged" Cost.cache_miss
+    (ctx.Machine.cycles - c0);
+  let c1 = ctx.Machine.cycles in
+  ignore (Semantics.raw_read ctx 0x1008);
+  Alcotest.(check int) "same line free" 0 (ctx.Machine.cycles - c1);
+  let c2 = ctx.Machine.cycles in
+  Semantics.raw_write ctx 0x1040 7L;
+  Alcotest.(check int) "next line misses on write" Cost.cache_miss
+    (ctx.Machine.cycles - c2)
+
+let test_cache_model_off_by_default () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"a" ~start:0x1000 ~size:0x100);
+  let ctx = Machine.create m in
+  let c0 = ctx.Machine.cycles in
+  ignore (Semantics.raw_read ctx 0x1000);
+  Alcotest.(check int) "no miss charged" 0 (ctx.Machine.cycles - c0)
+
+let test_prefetch_warms_line () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"a" ~start:0x1000 ~size:0x1000);
+  let ctx = Machine.create m in
+  ctx.Machine.model_cache <- true;
+  (* execute a prefetch hint for 0x1080, then read it: no miss *)
+  let pm = Operand.mem_abs 0x1080 in
+  (match Semantics.exec ctx (Insn.Prefetch pm) ~len:0 with
+   | Semantics.Fall -> ()
+   | _ -> Alcotest.fail "prefetch must fall through");
+  let c0 = ctx.Machine.cycles in
+  ignore (Semantics.raw_read ctx 0x1080);
+  Alcotest.(check int) "prefetched line hits" 0 (ctx.Machine.cycles - c0);
+  let c1 = ctx.Machine.cycles in
+  ignore (Semantics.raw_read ctx 0x10c0);
+  Alcotest.(check int) "unprefetched line misses" Cost.cache_miss
+    (ctx.Machine.cycles - c1)
+
+let test_cache_fifo_eviction () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"big" ~start:0x100000 ~size:0x800000);
+  let ctx = Machine.create m in
+  ctx.Machine.model_cache <- true;
+  ignore (Semantics.raw_read ctx 0x100000);
+  (* touch more distinct lines than the warm set holds *)
+  for i = 1 to Cost.cache_lines + 8 do
+    ignore (Semantics.raw_read ctx (0x100000 + (i * Cost.cache_line)))
+  done;
+  let c0 = ctx.Machine.cycles in
+  ignore (Semantics.raw_read ctx 0x100000);
+  Alcotest.(check int) "first line was evicted" Cost.cache_miss
+    (ctx.Machine.cycles - c0)
+
+let test_fork_cold_cache () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"a" ~start:0x1000 ~size:0x100);
+  let ctx = Machine.create m in
+  ctx.Machine.model_cache <- true;
+  ignore (Semantics.raw_read ctx 0x1000);
+  let child = Machine.fork ctx in
+  Alcotest.(check bool) "flag inherited" true child.Machine.model_cache;
+  let c0 = child.Machine.cycles in
+  ignore (Semantics.raw_read child 0x1000);
+  Alcotest.(check int) "child's private cache starts cold" Cost.cache_miss
+    (child.Machine.cycles - c0)
+
+let test_div_by_zero () =
+  let b = Builder.create () in
+  Builder.label b "_start";
+  Builder.ins b (Insn.Mov (reg Reg.RAX, imm 10));
+  Builder.ins b (Insn.Mov (reg Reg.RBX, imm 0));
+  Builder.ins b (Insn.Idiv (reg Reg.RBX));
+  Builder.ins b Insn.Hlt;
+  let img = Builder.to_image b ~entry:"_start" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Run.run img);
+       false
+     with Semantics.Div_by_zero _ -> true)
+
+let test_out_of_fuel () =
+  let b = Builder.create () in
+  Builder.label b "_start";
+  Builder.label b "spin";
+  Builder.jmp b "spin";
+  let img = Builder.to_image b ~entry:"_start" in
+  Alcotest.check_raises "fuel" Run.Out_of_fuel (fun () ->
+      ignore (Run.run ~fuel:1000 img))
+
+let tests =
+  [
+    Alcotest.test_case "memory regions" `Quick test_memory_regions;
+    Alcotest.test_case "sum loop" `Quick test_sum_loop;
+    Alcotest.test_case "pow libcall" `Quick test_pow_libcall;
+    Alcotest.test_case "sqrt libcall" `Quick test_sqrt_libcall;
+    Alcotest.test_case "exp libcall" `Quick test_exp_libcall;
+    Alcotest.test_case "par_for correctness" `Quick test_par_for;
+    Alcotest.test_case "par_for speedup" `Quick test_par_for_speedup;
+    Alcotest.test_case "fork isolation" `Quick test_fork_isolation;
+    Alcotest.test_case "txn buffering" `Quick test_txn_buffering;
+    Alcotest.test_case "observe hook" `Quick test_observe_hook;
+    Alcotest.test_case "cache model misses" `Quick test_cache_model_misses;
+    Alcotest.test_case "cache model off by default" `Quick
+      test_cache_model_off_by_default;
+    Alcotest.test_case "prefetch warms line" `Quick test_prefetch_warms_line;
+    Alcotest.test_case "cache fifo eviction" `Quick test_cache_fifo_eviction;
+    Alcotest.test_case "fork starts cold" `Quick test_fork_cold_cache;
+    Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+    Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
+  ]

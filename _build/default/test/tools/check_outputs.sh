@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Assertions over the CLI smoke-test artefacts (run by dune from the
+# directory containing the .out files).
+set -eu
+
+fail() { echo "tools smoke test: $1" >&2; exit 1; }
+
+native_sum=$(head -n 1 run_native.out)
+sched_sum=$(head -n 1 run_scheduled.out)
+[ "$native_sum" = "$sched_sum" ] ||
+  fail "scheduled output '$sched_sum' differs from native '$native_sum'"
+
+grep -q -- "--- native:" run_native.out || fail "native banner missing"
+grep -q "parallelised loops" run_scheduled.out ||
+  fail "scheduled run parallelised nothing"
+
+grep -q "JX executable" objdump.out || fail "objdump header missing"
+grep -q "loop .* header (static-doall)" objdump.out ||
+  fail "objdump did not annotate the DOALL loop"
+grep -q "<func_" objdump.out || fail "objdump recovered no functions"
+
+grep -q "JRS rewrite schedule (parallelisation channel)" jrsdump.out ||
+  fail "jrs_dump header missing"
+grep -q "LOOP_INIT" jrsdump.out || fail "schedule has no LOOP_INIT"
+grep -q "rules by kind:" jrsdump.out || fail "census missing"
+
+echo "tools smoke test: ok"
