@@ -5,15 +5,21 @@
    loop is selected (the "Statically-Driven" configuration); with
    --profile (a .jpf written by janus_prof -o) selection applies the
    paper's coverage/trip/work filters and the observed-dependence veto
-   — the full profile-guided offline workflow of Fig. 1(a). *)
+   — the full profile-guided offline workflow of Fig. 1(a).
+
+   --verify re-derives cross-iteration dependences with the independent
+   dataflow framework (lib/verify) and cross-checks them against the
+   analyser's verdicts; with --emit-schedule it additionally lints the
+   schedule it just wrote. Errors make the exit status nonzero. *)
 
 open Cmdliner
 module Analysis = Janus_analysis.Analysis
 module Loopanal = Janus_analysis.Loopanal
 module Profiler = Janus_profile.Profiler
 module Janus = Janus_core.Janus
+module Verify = Janus_verify.Verify
 
-let analyse input schedule_out disasm profile_in =
+let analyse input schedule_out disasm profile_in verify =
   let bytes =
     In_channel.with_open_bin input (fun ic ->
         Bytes.of_string (In_channel.input_all ic))
@@ -22,6 +28,7 @@ let analyse input schedule_out disasm profile_in =
   if disasm then Fmt.pr "%a@." Janus_vx.Disasm.image image;
   let t = Analysis.analyse_image image in
   Fmt.pr "%a" Analysis.pp_summary t;
+  let emitted = ref None in
   (match schedule_out with
    | Some path ->
      let selected =
@@ -54,6 +61,7 @@ let analyse input schedule_out disasm profile_in =
      in
      Out_channel.with_open_bin path (fun oc ->
          Out_channel.output_bytes oc (Janus_schedule.Schedule.to_bytes sched));
+     emitted := Some sched;
      Fmt.pr "wrote %s: %d rules for %d loops (%d bytes, %.1f%% of binary)@."
        path
        (List.length sched.Janus_schedule.Schedule.rules)
@@ -63,7 +71,19 @@ let analyse input schedule_out disasm profile_in =
         *. float_of_int (Janus_schedule.Schedule.size sched)
         /. float_of_int (Janus_vx.Image.size image))
    | None -> ());
-  0
+  if not verify then 0
+  else begin
+    let findings = Verify.crosscheck t in
+    let findings =
+      match !emitted with
+      | Some sched -> findings @ Verify.lint image sched
+      | None -> findings
+    in
+    if findings = [] then Fmt.pr "verify: clean@."
+    else
+      List.iter (fun f -> Fmt.pr "verify: %a@." Verify.pp_finding f) findings;
+    if Verify.has_errors findings then 1 else 0
+  end
 
 let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BIN")
 
@@ -78,10 +98,18 @@ let profile_in =
            ~doc:"Profile from janus_prof -o; enables profile-guided loop\n\
                  selection for --emit-schedule.")
 
+let verify_flag =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Cross-check loop dependence verdicts against an \
+                 independent dataflow re-derivation, and lint the emitted \
+                 schedule (with --emit-schedule). Nonzero exit on errors.")
+
 let cmd =
   Cmd.v
     (Cmd.info "janus_analyze"
        ~doc:"Static binary analyser: loop classification + rewrite schedules")
-    Term.(const analyse $ input $ schedule_out $ disasm $ profile_in)
+    Term.(
+      const analyse $ input $ schedule_out $ disasm $ profile_in $ verify_flag)
 
 let () = exit (Cmd.eval' cmd)

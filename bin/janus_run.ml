@@ -37,6 +37,10 @@ let run input mode threads scale train_scale schedule_file prefetch
     Fmt.pr "--- parallelised loops: %a; schedule %d bytes@."
       Fmt.(list ~sep:comma int)
       result.Janus.selected_loops result.Janus.schedule_size;
+  if result.Janus.demoted_loops <> [] then
+    Fmt.pr "--- loops demoted to sequential by the schedule verifier: %a@."
+      Fmt.(list ~sep:comma int)
+      result.Janus.demoted_loops;
   if result.Janus.stm_commits > 0 || result.Janus.stm_aborts > 0 then
     Fmt.pr "--- STM: %d commits, %d aborts@." result.Janus.stm_commits
       result.Janus.stm_aborts;

@@ -3,10 +3,14 @@
    Prints the header, every rule in trigger-address order with its
    payload decoded (loop and check descriptors are expanded from the
    data section, register masks and operand indices are spelled out),
-   and a per-rule-kind census. This is the schedule-side counterpart of
-   jx_objdump.
+   and a per-rule-kind census over every kind the format defines. This
+   is the schedule-side counterpart of jx_objdump.
 
-   Usage: jrs_dump file.jrs *)
+   With --binary the schedule is cross-referenced against the
+   executable it rewrites, and --verify additionally runs the full
+   schedule linter (janus_verify's checks) and reports its findings.
+
+   Usage: jrs_dump file.jrs [--binary file.jx [--verify]] *)
 
 open Cmdliner
 module Rule = Janus_schedule.Rule
@@ -111,7 +115,7 @@ let pp_rule sched ppf (r : Rule.t) =
        (if Int64.equal r.Rule.aux 1L then "write" else "read")
    | _ -> Fmt.pf ppf " loop %Ld@." r.Rule.data)
 
-let dump input =
+let dump input binary verify =
   let sched = read_schedule input in
   let channel =
     match sched.Schedule.channel with
@@ -125,7 +129,9 @@ let dump input =
     (Bytes.length sched.Schedule.data)
     (Schedule.size sched);
   List.iter (pp_rule sched Fmt.stdout) sched.Schedule.rules;
-  (* census *)
+  (* census: every kind the format defines, used or not, so diffs of
+     two dumps line up and absent kinds (e.g. MEM_PREFETCH without
+     --prefetch) are visible as zeros *)
   Fmt.pr "@.rules by kind:@.";
   List.iter
     (fun id ->
@@ -134,16 +140,64 @@ let dump input =
            (List.filter (fun (r : Rule.t) -> r.Rule.id = id)
               sched.Schedule.rules)
        in
-       if n > 0 then Fmt.pr "  %-20s %4d@." (Rule.id_name id) n)
+       Fmt.pr "  %-20s %4d@." (Rule.id_name id) n)
     Rule.all_ids;
-  0
+  match binary with
+  | None ->
+    if verify then (
+      Fmt.epr "jrs_dump: --verify needs --binary BIN.jx@.";
+      2)
+    else 0
+  | Some bin ->
+    let image =
+      Janus_vx.Image.of_bytes
+        (In_channel.with_open_bin bin (fun ic ->
+             Bytes.of_string (In_channel.input_all ic)))
+    in
+    if verify then begin
+      let findings = Janus_verify.Verify.lint image sched in
+      Fmt.pr "@.verification against %s:@." bin;
+      if findings = [] then Fmt.pr "  clean@."
+      else
+        List.iter
+          (fun f -> Fmt.pr "  %a@." Janus_verify.Verify.pp_finding f)
+          findings;
+      if Janus_verify.Verify.has_errors findings then 1 else 0
+    end
+    else begin
+      (* cheap cross-reference: how many triggers land on instruction
+         boundaries of the binary *)
+      let decode = Janus_vx.Image.decode_text image in
+      let dangling =
+        List.filter
+          (fun (r : Rule.t) -> not (Hashtbl.mem decode r.Rule.addr))
+          sched.Schedule.rules
+      in
+      Fmt.pr "@.%d/%d triggers land on instruction boundaries of %s@."
+        (List.length sched.Schedule.rules - List.length dangling)
+        (List.length sched.Schedule.rules)
+        bin;
+      if dangling = [] then 0 else 1
+    end
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.jrs")
 
+let binary_arg =
+  Arg.(value & opt (some file) None
+       & info [ "binary" ] ~docv:"FILE.jx"
+           ~doc:"The executable the schedule rewrites; cross-references \
+                 rule triggers against its instruction boundaries.")
+
+let verify_flag =
+  Arg.(value & flag
+       & info [ "verify" ]
+           ~doc:"Run the full schedule linter against --binary and report \
+                 findings (exit 1 on errors).")
+
 let cmd =
   Cmd.v
     (Cmd.info "jrs_dump" ~doc:"Dump a rewrite schedule in readable form")
-    Term.(const dump $ input_arg)
+    Term.(const dump $ input_arg $ binary_arg $ verify_flag)
 
 let () = exit (Cmd.eval' cmd)

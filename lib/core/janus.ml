@@ -23,6 +23,7 @@ module Dbm = Janus_dbm.Dbm
 module Runtime = Janus_runtime.Runtime
 module Schedule = Janus_schedule.Schedule
 module Desc = Janus_schedule.Desc
+module Verify = Janus_verify.Verify
 
 type config = {
   threads : int;
@@ -42,16 +43,20 @@ type config = {
   model_cache : bool;       (* charge cold-line misses (pair with
                                prefetch; compare against a native run
                                with the same flag) *)
+  verify : bool;            (* lint the schedule before the DBM applies
+                               it; loops with errors degrade to
+                               sequential execution *)
   fuel : int;
 }
 
 let config ?(threads = 8) ?(use_profile = true) ?(use_checks = true)
     ?(use_doacross = false) ?(cov_threshold = 0.03) ?(trip_threshold = 8.0)
     ?(work_threshold = 2500.0) ?force_policy ?(stm_everywhere = false)
-    ?(prefetch = false) ?(model_cache = false) ?(fuel = 400_000_000) () =
+    ?(prefetch = false) ?(model_cache = false) ?(verify = true)
+    ?(fuel = 400_000_000) () =
   { threads; use_profile; use_checks; use_doacross; cov_threshold;
     trip_threshold; work_threshold; force_policy; stm_everywhere;
-    prefetch; model_cache; fuel }
+    prefetch; model_cache; verify; fuel }
 
 (** Cycle breakdown of a run (Fig. 8's categories). *)
 type breakdown = {
@@ -72,6 +77,8 @@ type result = {
   schedule_size : int;         (* bytes; 0 when no schedule *)
   executable_size : int;
   selected_loops : int list;   (* loop ids parallelised *)
+  demoted_loops : int list;    (* loop ids the verifier degraded to
+                                  sequential execution *)
   checks_per_loop : (int * int) list;  (* loop id -> pairwise comparisons *)
   stm_commits : int;
   stm_aborts : int;
@@ -94,13 +101,14 @@ let run_native ?(fuel = 400_000_000) ?(input = []) ?(model_cache = false) image 
     schedule_size = 0;
     executable_size = Image.size image;
     selected_loops = [];
+    demoted_loops = [];
     checks_per_loop = [];
     stm_commits = 0;
     stm_aborts = 0;
   }
 
-let result_of_dbm_run image ~schedule_size ~selected ~checks (dbm : Dbm.t)
-    (ctx : Machine.t) =
+let result_of_dbm_run image ~schedule_size ~selected ?(demoted = []) ~checks
+    (dbm : Dbm.t) (ctx : Machine.t) =
   let s = dbm.Dbm.stats in
   let other =
     s.Dbm.init_finish_cycles + s.Dbm.parallel_cycles + s.Dbm.check_cycles
@@ -123,6 +131,7 @@ let result_of_dbm_run image ~schedule_size ~selected ~checks (dbm : Dbm.t)
     schedule_size;
     executable_size = Image.size image;
     selected_loops = selected;
+    demoted_loops = demoted;
     checks_per_loop = checks;
     stm_commits = s.Dbm.stm_commits;
     stm_aborts = s.Dbm.stm_aborts;
@@ -242,8 +251,18 @@ let prepare ?(cfg = config ()) ?(train_input = []) image =
 (** Stage 3: run the program under the DBM with the parallelisation
     schedule (the "Parallelisation Stage"). *)
 let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
+  (* gate the schedule through the verifier: loops it cannot prove safe
+     run sequentially (graceful degradation, not a crash) *)
+  let schedule, demoted =
+    if cfg.verify then
+      let s, demoted, _findings =
+        Verify.check_and_demote p.p_image p.p_schedule
+      in
+      (s, demoted)
+    else (p.p_schedule, [])
+  in
   let prog = Program.load p.p_image in
-  let dbm = Dbm.create ~schedule:p.p_schedule prog in
+  let dbm = Dbm.create ~schedule prog in
   let rt_config =
     { Runtime.threads = cfg.threads; force_policy = cfg.force_policy;
       stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere }
@@ -255,10 +274,12 @@ let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
   List.iter (fun v -> Queue.push v ctx.Machine.input) input;
   ignore (Dbm.run ~fuel:cfg.fuel dbm rt.Runtime.main_cache ctx);
   let selected =
-    List.map
-      (fun ((r : Loopanal.report), _) ->
-         r.Loopanal.loop.Janus_analysis.Looptree.lid)
-      p.p_selection.chosen
+    List.filter
+      (fun lid -> not (List.mem lid demoted))
+      (List.map
+         (fun ((r : Loopanal.report), _) ->
+            r.Loopanal.loop.Janus_analysis.Looptree.lid)
+         p.p_selection.chosen)
   in
   let checks =
     List.filter_map
@@ -284,13 +305,20 @@ let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
   in
   result_of_dbm_run p.p_image
     ~schedule_size:(Schedule.size p.p_schedule)
-    ~selected ~checks dbm ctx
+    ~selected ~demoted ~checks dbm ctx
 
 (** Run under the DBM with a pre-generated rewrite schedule — the
     paper's deployment model: the schedule is produced offline by the
     static analyser and shipped next to the binary; no analysis happens
     at run time. *)
 let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
+  let shipped_size = Schedule.size schedule in
+  let schedule, demoted =
+    if cfg.verify then
+      let s, demoted, _findings = Verify.check_and_demote image schedule in
+      (s, demoted)
+    else (schedule, [])
+  in
   let prog = Program.load image in
   let dbm = Dbm.create ~schedule prog in
   let rt_config =
@@ -313,8 +341,8 @@ let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
       schedule.Schedule.rules
     |> List.sort_uniq compare
   in
-  result_of_dbm_run image ~schedule_size:(Schedule.size schedule)
-    ~selected ~checks:[] dbm ctx
+  result_of_dbm_run image ~schedule_size:shipped_size ~selected ~demoted
+    ~checks:[] dbm ctx
 
 (** The whole pipeline: analyse, profile on the training input, select,
     parallelise, run on the reference input. *)

@@ -44,6 +44,10 @@ type config = {
       (** charge cold-line misses ({!Janus_vx.Cost.cache_miss}); pair
           with [prefetch] and a [run_native ~model_cache:true]
           baseline *)
+  verify : bool;
+      (** lint the rewrite schedule against the binary before the DBM
+          applies it ({!Janus_verify.Verify}); loops with errors are
+          demoted to sequential execution *)
   fuel : int;               (** interpreter instruction budget *)
 }
 
@@ -61,6 +65,7 @@ val config :
   ?stm_everywhere:bool ->
   ?prefetch:bool ->
   ?model_cache:bool ->
+  ?verify:bool ->
   ?fuel:int ->
   unit ->
   config
@@ -85,6 +90,9 @@ type result = {
   schedule_size : int;       (** rewrite-schedule bytes (Fig. 10) *)
   executable_size : int;     (** JX image bytes *)
   selected_loops : int list; (** loop ids parallelised *)
+  demoted_loops : int list;
+      (** loop ids the schedule verifier degraded to sequential
+          execution (empty under [verify = false]) *)
   checks_per_loop : (int * int) list;
       (** loop id -> pairwise range comparisons (Table I) *)
   stm_commits : int;

@@ -1,0 +1,110 @@
+(** Generic worklist dataflow over VX64 CFGs: forward or backward,
+    join-semilattice facts, meet-over-paths fixpoint. *)
+
+open Janus_analysis
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type fact
+
+  val bottom : fact
+  val equal : fact -> fact -> bool
+  val join : fact -> fact -> fact
+end
+
+module Make (D : DOMAIN) = struct
+  type result = {
+    entry_fact : (int, D.fact) Hashtbl.t;
+    exit_fact : (int, D.fact) Hashtbl.t;
+  }
+
+  (* reverse post-order of the block graph, so a forward solve visits
+     predecessors first and a backward solve (which reverses it)
+     visits successors first — fewer worklist iterations either way *)
+  let rpo (f : Cfg.func) =
+    let visited = Hashtbl.create 16 in
+    let order = ref [] in
+    let rec dfs a =
+      if (not (Hashtbl.mem visited a)) && Hashtbl.mem f.Cfg.block_at a then begin
+        Hashtbl.replace visited a ();
+        let b = Hashtbl.find f.Cfg.block_at a in
+        List.iter dfs b.Cfg.succs;
+        order := a :: !order
+      end
+    in
+    dfs f.Cfg.fentry;
+    (* unreachable blocks still get facts (bottom-seeded) *)
+    List.iter (fun (b : Cfg.bblock) -> dfs b.Cfg.baddr) f.Cfg.blocks;
+    !order
+
+  let solve ~dir ?(boundary = fun _ -> D.bottom) ~transfer (f : Cfg.func) =
+    let entry_fact = Hashtbl.create 16 in
+    let exit_fact = Hashtbl.create 16 in
+    let fact tbl a =
+      match Hashtbl.find_opt tbl a with Some x -> x | None -> D.bottom
+    in
+    let order =
+      match dir with Forward -> rpo f | Backward -> List.rev (rpo f)
+    in
+    (* flow neighbours whose facts feed this block, and the boundary
+       test: entry block for a forward solve, exit blocks backward *)
+    let feeders (b : Cfg.bblock) =
+      match dir with
+      | Forward -> List.filter (Hashtbl.mem f.Cfg.block_at) b.Cfg.preds
+      | Backward -> List.filter (Hashtbl.mem f.Cfg.block_at) b.Cfg.succs
+    in
+    let at_boundary (b : Cfg.bblock) =
+      match dir with
+      | Forward -> b.Cfg.baddr = f.Cfg.fentry
+      | Backward -> b.Cfg.succs = []
+    in
+    let workset = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    let enqueue a =
+      if not (Hashtbl.mem workset a) then begin
+        Hashtbl.replace workset a ();
+        Queue.push a queue
+      end
+    in
+    List.iter enqueue order;
+    while not (Queue.is_empty queue) do
+      let a = Queue.pop queue in
+      Hashtbl.remove workset a;
+      let b = Hashtbl.find f.Cfg.block_at a in
+      let in_fact =
+        let joined =
+          List.fold_left
+            (fun acc p ->
+               let feed =
+                 match dir with
+                 | Forward -> fact exit_fact p
+                 | Backward -> fact entry_fact p
+               in
+               D.join acc feed)
+            D.bottom (feeders b)
+        in
+        if at_boundary b then D.join joined (boundary b) else joined
+      in
+      let out_fact = transfer b in_fact in
+      let in_tbl, out_tbl =
+        match dir with
+        | Forward -> (entry_fact, exit_fact)
+        | Backward -> (exit_fact, entry_fact)
+      in
+      Hashtbl.replace in_tbl a in_fact;
+      let changed = not (D.equal (fact out_tbl a) out_fact) in
+      if changed then begin
+        Hashtbl.replace out_tbl a out_fact;
+        let dependents =
+          match dir with
+          | Forward -> b.Cfg.succs
+          | Backward -> b.Cfg.preds
+        in
+        List.iter
+          (fun d -> if Hashtbl.mem f.Cfg.block_at d then enqueue d)
+          dependents
+      end
+    done;
+    { entry_fact; exit_fact }
+end

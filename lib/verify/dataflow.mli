@@ -1,0 +1,49 @@
+(** Generic worklist dataflow framework over recovered VX64 CFGs.
+
+    A pass instantiates {!Make} with a join-semilattice of facts and
+    supplies a per-block transfer function; the solver iterates to the
+    meet-over-paths fixpoint with a worklist seeded in reverse
+    post-order (forward) or post-order (backward). The concrete passes
+    built on top — {!Liveness}, {!Reachdefs} and the re-derivation in
+    {!Memdep} — are the substrate the schedule verifier's safety checks
+    stand on. *)
+
+open Janus_analysis
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type fact
+
+  (** Identity of {!join}: the fact of an unvisited path. *)
+  val bottom : fact
+
+  val equal : fact -> fact -> bool
+
+  (** Combine facts where paths meet. Must be monotone: the solver
+      terminates only if repeated joins reach a fixpoint. *)
+  val join : fact -> fact -> fact
+end
+
+module Make (D : DOMAIN) : sig
+  type result = {
+    entry_fact : (int, D.fact) Hashtbl.t;
+        (** fact at block entry, keyed by block start address *)
+    exit_fact : (int, D.fact) Hashtbl.t;
+        (** fact at block exit *)
+  }
+
+  (** Solve to fixpoint over one function.
+
+      [transfer b fact] pushes a fact through block [b]: entry to exit
+      for [Forward], exit to entry for [Backward]. [boundary] seeds the
+      flow boundary — the function entry block for [Forward], the
+      no-successor blocks for [Backward]; it defaults to
+      [D.bottom]. *)
+  val solve :
+    dir:direction ->
+    ?boundary:(Cfg.bblock -> D.fact) ->
+    transfer:(Cfg.bblock -> D.fact -> D.fact) ->
+    Cfg.func ->
+    result
+end

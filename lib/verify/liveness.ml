@@ -1,0 +1,103 @@
+(** Backward register-liveness pass over VX64 CFGs. *)
+
+open Janus_vx
+open Janus_analysis
+
+(* a fact is a pair of register bitsets: GP (18 bits, hidden registers
+   included) and FP (16 bits) *)
+module Bits = struct
+  type fact = { g : int; f : int }
+
+  let bottom = { g = 0; f = 0 }
+  let equal a b = a.g = b.g && a.f = b.f
+  let join a b = { g = a.g lor b.g; f = a.f lor b.f }
+end
+
+module Solver = Dataflow.Make (Bits)
+
+let gp_bit r = 1 lsl Reg.gp_index r
+let fp_bit r = 1 lsl Reg.fp_index r
+let gp_mask rs = List.fold_left (fun m r -> m lor gp_bit r) 0 rs
+let fp_mask rs = List.fold_left (fun m r -> m lor fp_bit r) 0 rs
+
+(* use/def sets widened at information boundaries: a call site is
+   assumed to consume every argument register, a return to expose the
+   return values and the callee-saved set to the caller. Kills are
+   dropped at calls — the callee's writes are not this function's. *)
+let uses_defs (i : Insn.t) =
+  let u = gp_mask (Insn.gp_uses i) and d = gp_mask (Insn.gp_defs i) in
+  let fu = fp_mask (Insn.fp_uses i) and fd = fp_mask (Insn.fp_defs i) in
+  match i with
+  | Insn.Call _ ->
+    ( u lor gp_mask Reg.arg_regs lor gp_bit Reg.RSP,
+      gp_bit Reg.RSP,
+      fu lor fp_mask Reg.fp_arg_regs,
+      0 )
+  | Insn.Ret ->
+    ( u lor gp_bit Reg.ret_reg lor gp_mask Reg.callee_saved,
+      d,
+      fu lor fp_bit Reg.fp_ret_reg,
+      fd )
+  | Insn.Syscall _ ->
+    (u lor gp_mask Reg.arg_regs lor gp_bit Reg.RAX, gp_bit Reg.RAX, fu, fd)
+  | _ -> (u, d, fu, fd)
+
+let through_insn (i : Insn.t) (live : Bits.fact) =
+  let u, d, fu, fd = uses_defs i in
+  { Bits.g = live.Bits.g land lnot d lor u; f = live.Bits.f land lnot fd lor fu }
+
+type t = {
+  func : Cfg.func;
+  before : (int, Bits.fact) Hashtbl.t;  (* per instruction address *)
+}
+
+let compute (f : Cfg.func) =
+  let transfer (b : Cfg.bblock) live_out =
+    let live = ref live_out in
+    for i = Array.length b.Cfg.insns - 1 downto 0 do
+      live := through_insn b.Cfg.insns.(i).Cfg.insn !live
+    done;
+    !live
+  in
+  let r = Solver.solve ~dir:Dataflow.Backward ~transfer f in
+  (* per-instruction facts by a second backward walk of each block *)
+  let before = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Cfg.bblock) ->
+       let live =
+         ref
+           (match Hashtbl.find_opt r.Solver.exit_fact b.Cfg.baddr with
+            | Some x -> x
+            | None -> Bits.bottom)
+       in
+       for i = Array.length b.Cfg.insns - 1 downto 0 do
+         let ii = b.Cfg.insns.(i) in
+         live := through_insn ii.Cfg.insn !live;
+         Hashtbl.replace before ii.Cfg.addr !live
+       done)
+    f.Cfg.blocks;
+  { func = f; before }
+
+let all_live = { Bits.g = -1; f = -1 }
+
+let fact_before t addr =
+  match Hashtbl.find_opt t.before addr with
+  | Some x -> x
+  | None -> all_live (* unknown address: assume everything live *)
+
+let gp_live_before t ~addr r = (fact_before t addr).Bits.g land gp_bit r <> 0
+let fp_live_before t ~addr r = (fact_before t addr).Bits.f land fp_bit r <> 0
+
+let gps_live_before t ~addr =
+  let x = (fact_before t addr).Bits.g in
+  List.filter (fun r -> x land gp_bit r <> 0) Reg.all_gp
+
+let fps_live_before t ~addr =
+  let x = (fact_before t addr).Bits.f in
+  List.filter (fun r -> x land fp_bit r <> 0) Reg.all_fp
+
+let live_in_gps t baddr =
+  match Hashtbl.find_opt t.func.Cfg.block_at baddr with
+  | Some b when Array.length b.Cfg.insns > 0 ->
+    gps_live_before t ~addr:b.Cfg.insns.(0).Cfg.addr
+  | _ -> Reg.all_gp

@@ -1,0 +1,30 @@
+(** Register liveness over a recovered function, built on {!Dataflow}
+    (backward, union join). Used by the schedule linter to prove that a
+    register a schedule discards or clobbers is genuinely dead.
+
+    Liveness is deliberately over-approximated at the points the binary
+    hides information: calls are assumed to read every argument
+    register, returns to expose the return registers and the
+    callee-saved set. Over-approximation is the safe direction for a
+    verifier — a register reported dead here really is dead. *)
+
+open Janus_vx
+open Janus_analysis
+
+type t
+
+val compute : Cfg.func -> t
+
+(** Registers live immediately before the instruction at [addr]
+    (an instruction of the analysed function). Unknown addresses
+    report everything live — again the conservative direction. *)
+val gp_live_before : t -> addr:int -> Reg.gp -> bool
+
+val fp_live_before : t -> addr:int -> Reg.fp -> bool
+
+val gps_live_before : t -> addr:int -> Reg.gp list
+val fps_live_before : t -> addr:int -> Reg.fp list
+
+(** Registers live at entry of the block starting at the given
+    address. *)
+val live_in_gps : t -> int -> Reg.gp list

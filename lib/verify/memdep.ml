@@ -1,0 +1,562 @@
+(** Independent cross-iteration dependence re-derivation. *)
+
+open Janus_vx
+open Janus_analysis
+
+type verdict = {
+  v_carried : string list;
+  v_ambiguous : string list;
+}
+
+let pp_verdict ppf v =
+  let pp_list name = function
+    | [] -> ()
+    | xs ->
+      Format.fprintf ppf "@[<v2>%s:@ %a@]@ " name
+        (Format.pp_print_list Format.pp_print_string)
+        xs
+  in
+  Format.fprintf ppf "@[<v>";
+  pp_list "carried" v.v_carried;
+  pp_list "ambiguous" v.v_ambiguous;
+  if v.v_carried = [] && v.v_ambiguous = [] then
+    Format.fprintf ppf "independent";
+  Format.fprintf ppf "@]"
+
+let gp_bit r = 1 lsl Reg.gp_index r
+let fp_bit r = 1 lsl Reg.fp_index r
+
+(* accesses further apart than a cache line on the same induction
+   expression are treated as distinct objects, exactly the clustering
+   threshold the classifier uses; anything closer is one array *)
+let same_array_distance = 64
+
+(* ------------------------------------------------------------------ *)
+(* Register values along one iteration                                 *)
+(*                                                                     *)
+(* The recurrences compilers actually emit are rarely a single         *)
+(* [add r, 1]: the iterator advances through copy chains               *)
+(* (mov t, i; add t, 1; mov i, t) and reductions accumulate through    *)
+(* scratch registers. A small forward symbolic walk over the body      *)
+(* resolves every register to (initial value of some register + known  *)
+(* offset), an accumulation of one, or opaque — flow-sensitively, so   *)
+(* an address computed from a copy of the iterator still looks         *)
+(* strided.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type gstate =
+  | Gaff of Reg.gp * int   (** initial value of the register, plus offset *)
+  | Gacc of Reg.gp         (** initial value folded with loop-varying data *)
+  | Gopaque
+
+type fstate =
+  | Faff of Reg.fp         (** equals the register's initial value *)
+  | Facc of Reg.fp * Insn.fbin
+  | Fopaque
+
+type walk = {
+  g : (Reg.gp, gstate) Hashtbl.t;
+  f : (Reg.fp, fstate) Hashtbl.t;
+  mutable observed_g : int;   (* origins read outside their own recurrence *)
+  mutable observed_f : int;
+}
+
+let gstate w r =
+  match Hashtbl.find_opt w.g r with Some s -> s | None -> Gaff (r, 0)
+
+let fstate w r =
+  match Hashtbl.find_opt w.f r with Some s -> s | None -> Faff r
+
+let g_origin w r =
+  match gstate w r with Gaff (o, _) | Gacc o -> Some o | Gopaque -> None
+
+let f_origin w r =
+  match fstate w r with Faff o | Facc (o, _) -> Some o | Fopaque -> None
+
+let observe_g w r =
+  match g_origin w r with
+  | Some o -> w.observed_g <- w.observed_g lor gp_bit o
+  | None -> ()
+
+let observe_f w r =
+  match f_origin w r with
+  | Some o -> w.observed_f <- w.observed_f lor fp_bit o
+  | None -> ()
+
+let fop_origin w = function
+  | Operand.Freg s -> f_origin w s
+  | Operand.Fmem _ -> None
+
+(* one instruction; [benign] registers are the ones this transfer
+   itself consumes as part of a recognised recurrence shape *)
+let walk_insn w (i : Insn.t) =
+  let mark_uses ?(benign_g = []) ?(benign_f = []) () =
+    List.iter
+      (fun r -> if not (List.mem r benign_g) then observe_g w r)
+      (Insn.gp_uses i);
+    List.iter
+      (fun r -> if not (List.mem r benign_f) then observe_f w r)
+      (Insn.fp_uses i)
+  in
+  let kill_g r = Hashtbl.replace w.g r Gopaque in
+  let kill_f r = Hashtbl.replace w.f r Fopaque in
+  let kill_all_defs () =
+    List.iter kill_g (Insn.gp_defs i);
+    List.iter kill_f (Insn.fp_defs i)
+  in
+  match i with
+  | Insn.Mov (Operand.Reg d, Operand.Reg s) ->
+    Hashtbl.replace w.g d (gstate w s);
+    mark_uses ~benign_g:[ s ] ()
+  | Insn.Alu ((Insn.Add | Insn.Sub) as op, Operand.Reg d, Operand.Imm k) ->
+    let k = Int64.to_int k in
+    let k = if op = Insn.Add then k else -k in
+    (match gstate w d with
+     | Gaff (o, c) -> Hashtbl.replace w.g d (Gaff (o, c + k))
+     | Gacc _ | Gopaque -> ());
+    mark_uses ~benign_g:[ d ] ()
+  | Insn.Alu ((Insn.Add | Insn.Sub), Operand.Reg d, src) ->
+    let src_origin =
+      match src with Operand.Reg s -> g_origin w s | _ -> None
+    in
+    (match gstate w d with
+     | (Gaff (o, _) | Gacc o) when src_origin <> Some o ->
+       Hashtbl.replace w.g d (Gacc o)
+     | _ -> kill_g d);
+    mark_uses ~benign_g:[ d ] ()
+  | Insn.Lea (d, { Operand.base = Some b; index = None; disp; _ }) ->
+    (match gstate w b with
+     | Gaff (o, c) -> Hashtbl.replace w.g d (Gaff (o, c + disp))
+     | Gacc _ | Gopaque -> kill_g d);
+    mark_uses ~benign_g:[ b ] ()
+  | Insn.Fmov (_, Operand.Freg d, Operand.Freg s) ->
+    Hashtbl.replace w.f d (fstate w s);
+    mark_uses ~benign_f:[ s ] ()
+  | Insn.Fbin (_, ((Insn.Fadd | Insn.Fmul) as op), d, src) ->
+    let src_origin = fop_origin w src in
+    (match fstate w d with
+     | Faff o when src_origin <> Some o -> Hashtbl.replace w.f d (Facc (o, op))
+     | Facc (o, op0) when op0 = op && src_origin <> Some o -> ()
+     | _ -> kill_f d);
+    mark_uses ~benign_f:[ d ] ()
+  | _ ->
+    mark_uses ();
+    kill_all_defs ()
+
+(* ------------------------------------------------------------------ *)
+
+let rederive (f : Cfg.func) (l : Looptree.loop) : verdict =
+  let body =
+    List.filter_map (Hashtbl.find_opt f.Cfg.block_at) l.Looptree.body
+  in
+  let in_body = Hashtbl.create 16 in
+  List.iter (fun (b : Cfg.bblock) -> Hashtbl.replace in_body b.Cfg.baddr ()) body;
+  let insns =
+    List.concat_map (fun (b : Cfg.bblock) -> Array.to_list b.Cfg.insns) body
+  in
+  let insn_addrs = Hashtbl.create 64 in
+  List.iter (fun (ii : Cfg.insn_info) -> Hashtbl.replace insn_addrs ii.Cfg.addr ())
+    insns;
+  (* definition sites inside the body, per register *)
+  let defs : (Reg.gp, Insn.t list) Hashtbl.t = Hashtbl.create 16 in
+  let fdefs : (Reg.fp, Insn.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (ii : Cfg.insn_info) ->
+       List.iter
+         (fun r ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt defs r) in
+            Hashtbl.replace defs r (ii.Cfg.insn :: prev))
+         (Insn.gp_defs ii.Cfg.insn);
+       List.iter
+         (fun r ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt fdefs r) in
+            Hashtbl.replace fdefs r (ii.Cfg.insn :: prev))
+         (Insn.fp_defs ii.Cfg.insn))
+    insns;
+  let defined r = Hashtbl.mem defs r in
+  (* the body as one straight-line chain header..latch, when it is one *)
+  let chain =
+    let rec go acc (b : Cfg.bblock) visited =
+      let inner =
+        List.filter
+          (fun s -> Hashtbl.mem in_body s && s <> l.Looptree.header)
+          b.Cfg.succs
+      in
+      let back = List.mem l.Looptree.header b.Cfg.succs in
+      match inner, back with
+      | [], true -> Some (List.rev (b :: acc))
+      | [ s ], false when not (List.mem s visited) -> (
+          match Hashtbl.find_opt f.Cfg.block_at s with
+          | Some nb -> go (b :: acc) nb (s :: visited)
+          | None -> None)
+      | _ -> None
+    in
+    match Hashtbl.find_opt f.Cfg.block_at l.Looptree.header with
+    | Some hb -> go [] hb [ l.Looptree.header ]
+    | None -> None
+  in
+  let carried = ref [] and ambiguous = ref [] in
+  let seen = Hashtbl.create 16 in
+  let note bucket msg =
+    if not (Hashtbl.mem seen msg) then begin
+      Hashtbl.replace seen msg ();
+      bucket := msg :: !bucket
+    end
+  in
+  (* per-definition advance, the fallback view for branchy bodies *)
+  let flat_step r =
+    match Hashtbl.find_opt defs r with
+    | None | Some [] -> None
+    | Some ds ->
+      let step_of = function
+        | Insn.Alu (Insn.Add, Operand.Reg r', Operand.Imm k) when r' = r ->
+          Some (Int64.to_int k)
+        | Insn.Alu (Insn.Sub, Operand.Reg r', Operand.Imm k) when r' = r ->
+          Some (- Int64.to_int k)
+        | Insn.Lea (r', { Operand.base = Some b; index = None; disp; _ })
+          when r' = r && b = r ->
+          Some disp
+        | _ -> None
+      in
+      let steps = List.map step_of ds in
+      if List.for_all Option.is_some steps then
+        Some (List.fold_left (fun a s -> a + Option.get s) 0 steps)
+      else None
+  in
+  let flat_iv r =
+    defined r && (match flat_step r with Some s -> s <> 0 | None -> false)
+  in
+  (* symbolic walk over the chain, resolving every memory operand's
+     address registers against the machine state at its program point *)
+  let w =
+    { g = Hashtbl.create 16; f = Hashtbl.create 16;
+      observed_g = 0; observed_f = 0 }
+  in
+  let accesses = ref [] in
+  (match chain with
+   | Some blocks ->
+     List.iter
+       (fun (b : Cfg.bblock) ->
+          Array.iter
+            (fun (ii : Cfg.insn_info) ->
+               let resolve r =
+                 match gstate w r with
+                 | Gaff (o, c) -> Some (o, c)
+                 | Gacc _ | Gopaque -> None
+               in
+               let record is_w ((m : Operand.mem), bytes) =
+                 accesses :=
+                   ( ii.Cfg.addr, is_w, bytes, m,
+                     Option.map resolve m.Operand.base,
+                     Option.map resolve m.Operand.index )
+                   :: !accesses
+               in
+               List.iter (record true) (Insn.mems_written ii.Cfg.insn);
+               List.iter (record false) (Insn.mems_read ii.Cfg.insn);
+               walk_insn w ii.Cfg.insn)
+            b.Cfg.insns)
+       blocks
+   | None ->
+     (* branchy body: only invariant and simple self-stepping registers
+        resolve; everything else is opaque *)
+     let resolve r =
+       if not (defined r) then Some (r, 0)
+       else if flat_iv r then Some (r, 0)
+       else None
+     in
+     List.iter
+       (fun (ii : Cfg.insn_info) ->
+          let record is_w ((m : Operand.mem), bytes) =
+            accesses :=
+              ( ii.Cfg.addr, is_w, bytes, m,
+                Option.map resolve m.Operand.base,
+                Option.map resolve m.Operand.index )
+              :: !accesses
+          in
+          List.iter (record true) (Insn.mems_written ii.Cfg.insn);
+          List.iter (record false) (Insn.mems_read ii.Cfg.insn))
+       insns);
+  let net_step r =
+    if not (defined r) then Some 0
+    else
+      match chain with
+      | Some _ -> (
+          match gstate w r with Gaff (o, c) when o = r -> Some c | _ -> None)
+      | None -> flat_step r
+  in
+  let iv_like r = match net_step r with Some s -> s <> 0 | None -> false in
+  let preserved r = net_step r = Some 0 in
+  (* accumulators: the walk's verdict when available, the single-shape
+     pattern match otherwise; both require the running value to stay
+     inside its own recurrence *)
+  let gp_accumulator r =
+    match chain with
+    | Some _ ->
+      (match gstate w r with
+       | Gacc o when o = r -> w.observed_g land gp_bit r = 0
+       | _ -> false)
+    | None -> (
+        match Hashtbl.find_opt defs r with
+        | None | Some [] -> false
+        | Some ds ->
+          let is_acc = function
+            | Insn.Alu ((Insn.Add | Insn.Sub), Operand.Reg r', src)
+              when r' = r ->
+              not (List.mem r (Insn.gp_uses_of_operand src))
+            | _ -> false
+          in
+          List.for_all is_acc ds
+          && List.for_all
+               (fun (ii : Cfg.insn_info) ->
+                  (not (List.mem r (Insn.gp_uses ii.Cfg.insn)))
+                  || is_acc ii.Cfg.insn)
+               insns)
+  in
+  let fp_accumulator r =
+    match chain with
+    | Some _ ->
+      (match fstate w r with
+       | Facc (o, _) when o = r -> w.observed_f land fp_bit r = 0
+       | _ -> false)
+    | None -> (
+        match Hashtbl.find_opt fdefs r with
+        | None | Some [] -> false
+        | Some ds ->
+          let is_acc = function
+            | Insn.Fbin (_, (Insn.Fadd | Insn.Fmul), r', src) when r' = r ->
+              (match src with
+               | Operand.Freg x -> x <> r
+               | Operand.Fmem _ -> true)
+            | _ -> false
+          in
+          List.for_all is_acc ds
+          && List.for_all
+               (fun (ii : Cfg.insn_info) ->
+                  (not (List.mem r (Insn.fp_uses ii.Cfg.insn)))
+                  || is_acc ii.Cfg.insn)
+               insns)
+  in
+  let fp_preserved r =
+    match chain with
+    | Some _ -> (match fstate w r with Faff o -> o = r | _ -> false)
+    | None -> false
+  in
+  (* loop-local liveness: which registers are read, on some path inside
+     the loop starting at the header, before being redefined. Unlike
+     whole-function liveness this ignores uses on exit paths, so a
+     value merely escaping the loop does not look like a recurrence. *)
+  let gen_kill (b : Cfg.bblock) =
+    let gg = ref 0 and kg = ref 0 and gf = ref 0 and kf = ref 0 in
+    Array.iter
+      (fun (ii : Cfg.insn_info) ->
+         let u =
+           List.fold_left (fun m r -> m lor gp_bit r) 0 (Insn.gp_uses ii.Cfg.insn)
+         and d =
+           List.fold_left (fun m r -> m lor gp_bit r) 0 (Insn.gp_defs ii.Cfg.insn)
+         and fu =
+           List.fold_left (fun m r -> m lor fp_bit r) 0 (Insn.fp_uses ii.Cfg.insn)
+         and fd =
+           List.fold_left (fun m r -> m lor fp_bit r) 0 (Insn.fp_defs ii.Cfg.insn)
+         in
+         gg := !gg lor (u land lnot !kg);
+         kg := !kg lor d;
+         gf := !gf lor (fu land lnot !kf);
+         kf := !kf lor fd)
+      b.Cfg.insns;
+    (!gg, !kg, !gf, !kf)
+  in
+  let gk = List.map (fun b -> (b, gen_kill b)) body in
+  let live_in : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (b : Cfg.bblock) -> Hashtbl.replace live_in b.Cfg.baddr (0, 0))
+    body;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun ((b : Cfg.bblock), (gg, kg, gf, kf)) ->
+         let og, of_ =
+           List.fold_left
+             (fun (ag, af) s ->
+                if Hashtbl.mem in_body s then
+                  let sg, sf =
+                    Option.value ~default:(0, 0) (Hashtbl.find_opt live_in s)
+                  in
+                  (ag lor sg, af lor sf)
+                else (ag, af))
+             (0, 0) b.Cfg.succs
+         in
+         let ng = gg lor (og land lnot kg)
+         and nf = gf lor (of_ land lnot kf) in
+         let cg, cf = Hashtbl.find live_in b.Cfg.baddr in
+         if ng <> cg || nf <> cf then begin
+           Hashtbl.replace live_in b.Cfg.baddr (ng, nf);
+           changed := true
+         end)
+      gk
+  done;
+  let header_live_g, header_live_f =
+    Option.value ~default:(-1, -1) (Hashtbl.find_opt live_in l.Looptree.header)
+  in
+  (* reaching definitions at header entry: does a body definition of r
+     flow back around the latch? *)
+  let reach = Reachdefs.compute f in
+  let header_reaching =
+    match Hashtbl.find_opt f.Cfg.block_at l.Looptree.header with
+    | Some b when Array.length b.Cfg.insns > 0 ->
+      Reachdefs.reaching_before reach ~addr:b.Cfg.insns.(0).Cfg.addr
+    | _ -> Reachdefs.DefSet.empty
+  in
+  let body_def_reaches_header code =
+    Reachdefs.DefSet.exists
+      (fun (c, a) -> c = code && Hashtbl.mem insn_addrs a)
+      header_reaching
+  in
+  (* --- register recurrences --- *)
+  List.iter
+    (fun r ->
+       if
+         r <> Reg.RSP && defined r
+         && header_live_g land gp_bit r <> 0
+         && body_def_reaches_header (Reachdefs.gp_code r)
+         && (not (iv_like r))
+         && (not (preserved r))
+         && not (gp_accumulator r)
+       then
+         note carried
+           (Fmt.str "register %s carries a value across iterations"
+              (Reg.gp_name r)))
+    Reg.all_gp;
+  List.iter
+    (fun r ->
+       if
+         Hashtbl.mem fdefs r
+         && header_live_f land fp_bit r <> 0
+         && body_def_reaches_header (Reachdefs.fp_code r)
+         && (not (fp_preserved r))
+         && not (fp_accumulator r)
+       then
+         note carried
+           (Fmt.str "register %s carries a value across iterations"
+              (Reg.fp_name r)))
+    Reg.all_fp;
+  (* --- information boundaries --- *)
+  List.iter
+    (fun (ii : Cfg.insn_info) ->
+       match ii.Cfg.insn with
+       | Insn.Call _ ->
+         note ambiguous
+           (Fmt.str "call at 0x%x: callee effects unknown" ii.Cfg.addr)
+       | Insn.Syscall _ ->
+         note ambiguous
+           (Fmt.str "system call at 0x%x inside the body" ii.Cfg.addr)
+       | _ -> ())
+    insns;
+  (* --- memory accesses ---
+     every address is already normalised to origin registers and their
+     in-iteration offsets; the stride is what those origins advance per
+     iteration. Same-expression accesses a cache line apart or closer
+     are one array, farther are distinct objects. *)
+  let classify (m : Operand.mem) base index =
+    match base, index with
+    | Some None, _ | _, Some None -> `Opaque
+    | _ ->
+      let base = Option.join base and index = Option.join index in
+      let b_step = match base with
+        | Some (o, _) -> net_step o
+        | None -> Some 0
+      and i_step = match index with
+        | Some (o, _) -> net_step o
+        | None -> Some 0
+      in
+      (match b_step, i_step with
+       | Some bs, Some is_ ->
+         let stride = bs + (m.Operand.scale * is_) in
+         let key =
+           ( Option.map fst base,
+             Option.map fst index,
+             m.Operand.scale )
+         in
+         let disp =
+           m.Operand.disp
+           + (match base with Some (_, c) -> c | None -> 0)
+           + (match index with
+              | Some (_, c) -> m.Operand.scale * c
+              | None -> 0)
+         in
+         (match base with
+          | Some ((Reg.RSP | Reg.RBP), _)
+            when index = None && stride = 0 -> `Stack
+          | _ -> if stride = 0 then `Invariant else `Strided (key, disp, stride))
+       | _ -> `Opaque)
+  in
+  let strided = ref [] in
+  List.iter
+    (fun (addr, is_w, width, m, base, index) ->
+       match classify m base index with
+       | `Stack -> ()
+       | `Opaque ->
+         note ambiguous
+           (Fmt.str "%s at 0x%x through an address that varies unpredictably"
+              (if is_w then "store" else "load")
+              addr)
+       | `Invariant ->
+         if is_w then
+           note ambiguous
+             (Fmt.str
+                "store at 0x%x rewrites a loop-invariant address every \
+                 iteration" addr)
+       | `Strided (key, disp, stride) ->
+         strided := (addr, is_w, width, key, disp, stride) :: !strided)
+    (List.rev !accesses);
+  (* cross-iteration overlap between a strided store and any access on
+     the same induction expression: iterations m apart collide when
+     |m*stride + d| < width *)
+  let overlapping_lag stride d width =
+    if stride = 0 then None
+    else
+      let m0 = -d / stride in
+      List.find_opt
+        (fun m -> m <> 0 && abs ((m * stride) + d) < width)
+        [ m0 - 1; m0; m0 + 1 ]
+  in
+  List.iter
+    (fun (wa, is_w, wwidth, wkey, wdisp, stride) ->
+       if is_w then
+         List.iter
+           (fun (aa, _, awidth, akey, adisp, _) ->
+              if akey = wkey then begin
+                let d = wdisp - adisp in
+                if abs d < same_array_distance then (
+                  match overlapping_lag stride d (max wwidth awidth) with
+                  | Some lag ->
+                    note carried
+                      (Fmt.str
+                         "store at 0x%x overlaps the access at 0x%x %d \
+                          iteration(s) away (stride %d, distance %d)"
+                         wa aa (abs lag) stride d)
+                  | None -> ())
+                else
+                  note ambiguous
+                    (Fmt.str
+                       "store at 0x%x and the access at 0x%x walk the same \
+                        induction expression %d bytes apart: disjointness \
+                        needs runtime footprints" wa aa (abs d))
+              end)
+           !strided)
+    !strided;
+  (* stores walking one array while another array is accessed: static
+     disjointness of the two bases is not decidable here *)
+  let write_keys =
+    List.filter_map
+      (fun (_, is_w, _, k, _, _) -> if is_w then Some k else None)
+      !strided
+  in
+  List.iter
+    (fun (aa, _, _, akey, _, _) ->
+       if List.exists (fun k -> k <> akey) write_keys then
+         note ambiguous
+           (Fmt.str
+              "access at 0x%x and a store walk distinct base expressions; \
+               disjointness needs runtime footprints" aa))
+    !strided;
+  { v_carried = List.rev !carried; v_ambiguous = List.rev !ambiguous }

@@ -1,0 +1,27 @@
+(** Independent cross-iteration dependence re-derivation.
+
+    Re-classifies a loop from first principles — register liveness,
+    reaching definitions and syntactic address structure — without
+    consulting the symbolic executor the main classifier
+    ({!Janus_analysis.Loopanal}) is built on. The schedule verifier
+    cross-checks the two: a loop the classifier calls DOALL but this
+    pass finds a carried dependence in (or vice versa) is reported as a
+    finding, never trusted silently — the same validate-the-classifier
+    discipline the TornadoVM loop-parallelisation checker applies. *)
+
+open Janus_analysis
+
+type verdict = {
+  v_carried : string list;
+      (** re-derived cross-iteration dependences (empty: none found) *)
+  v_ambiguous : string list;
+      (** memory the re-derivation could not resolve statically *)
+}
+
+(** Re-derive the dependence verdict for one natural loop of a
+    recovered function. The result is conservative: [v_carried] lists
+    only dependences the pass can demonstrate syntactically, and
+    anything unresolvable lands in [v_ambiguous]. *)
+val rederive : Cfg.func -> Looptree.loop -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,79 @@
+(** Forward reaching-definitions pass over VX64 CFGs. *)
+
+open Janus_vx
+open Janus_analysis
+
+module DefSet = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end)
+
+let gp_code r = Reg.gp_index r
+let fp_code r = 100 + Reg.fp_index r
+
+module Facts = struct
+  type fact = DefSet.t
+
+  let bottom = DefSet.empty
+  let equal = DefSet.equal
+  let join = DefSet.union
+end
+
+module Solver = Dataflow.Make (Facts)
+
+(* registers written, as codes; calls additionally clobber the
+   caller-saved set (an opaque definition at the call site) *)
+let def_codes (i : Insn.t) =
+  let base =
+    List.map gp_code (Insn.gp_defs i) @ List.map fp_code (Insn.fp_defs i)
+  in
+  match i with
+  | Insn.Call _ ->
+    base
+    @ List.map gp_code Reg.caller_saved
+    @ [ gp_code Reg.ret_reg; fp_code Reg.fp_ret_reg ]
+  | _ -> base
+
+let through_insn (ii : Cfg.insn_info) facts =
+  List.fold_left
+    (fun acc code ->
+       DefSet.add (code, ii.Cfg.addr)
+         (DefSet.filter (fun (c, _) -> c <> code) acc))
+    facts (def_codes ii.Cfg.insn)
+
+type t = { before : (int, DefSet.t) Hashtbl.t }
+
+let compute (f : Cfg.func) =
+  let transfer (b : Cfg.bblock) facts =
+    Array.fold_left (fun acc ii -> through_insn ii acc) facts b.Cfg.insns
+  in
+  let r = Solver.solve ~dir:Dataflow.Forward ~transfer f in
+  let before = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Cfg.bblock) ->
+       let facts =
+         ref
+           (match Hashtbl.find_opt r.Solver.entry_fact b.Cfg.baddr with
+            | Some x -> x
+            | None -> DefSet.empty)
+       in
+       Array.iter
+         (fun ii ->
+            Hashtbl.replace before ii.Cfg.addr !facts;
+            facts := through_insn ii !facts)
+         b.Cfg.insns)
+    f.Cfg.blocks;
+  { before }
+
+let reaching_before t ~addr =
+  match Hashtbl.find_opt t.before addr with
+  | Some s -> s
+  | None -> DefSet.empty
+
+let gp_defs_reaching t ~addr r =
+  let code = gp_code r in
+  DefSet.fold
+    (fun (c, a) acc -> if c = code then a :: acc else acc)
+    (reaching_before t ~addr) []
+  |> List.rev

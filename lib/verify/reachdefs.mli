@@ -1,0 +1,27 @@
+(** Reaching definitions over a recovered function, built on
+    {!Dataflow} (forward, union join). A definition is an instruction
+    address paired with the register it writes; the pass answers "which
+    writes of [r] can reach this program point" — the substrate for the
+    independent loop re-derivation in {!Memdep}. *)
+
+open Janus_vx
+open Janus_analysis
+
+(** A definition site: the register's code (GP and FP registers live in
+    disjoint code spaces) and the defining instruction's address. *)
+module DefSet : Set.S with type elt = int * int
+
+val gp_code : Reg.gp -> int
+val fp_code : Reg.fp -> int
+
+type t
+
+val compute : Cfg.func -> t
+
+(** Definitions reaching the point immediately before the instruction
+    at [addr]; the empty set for unknown addresses. *)
+val reaching_before : t -> addr:int -> DefSet.t
+
+(** Addresses of the definitions of [r] reaching the point before
+    [addr]. *)
+val gp_defs_reaching : t -> addr:int -> Reg.gp -> int list

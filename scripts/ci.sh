@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: build everything, run the test suite, then prove the
+# example guests' generated rewrite schedules verify clean with the
+# standalone verifier. Run from the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== schedule verification over examples/guests =="
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+shopt -s nullglob
+guests=(examples/guests/*.jc)
+if [ ${#guests[@]} -eq 0 ]; then
+  echo "no guests found" >&2
+  exit 1
+fi
+for src in "${guests[@]}"; do
+  name="$(basename "$src" .jc)"
+  jx="$work/$name.jx"
+  jrs="$work/$name.jrs"
+  dune exec bin/jcc.exe -- "$src" -o "$jx"
+  dune exec bin/janus_analyze.exe -- "$jx" --emit-schedule "$jrs" --verify \
+    > "$work/$name.analyze.log"
+  dune exec bin/jverify.exe -- "$jx" "$jrs"
+  dune exec bin/jverify.exe -- --crosscheck "$jx" "$jrs"
+done
+echo "CI OK"

@@ -366,6 +366,129 @@ let test_schedule_generation () =
     (Int64.compare desc.Janus_schedule.Desc.iv_step 0L > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Trip-count and induction-variable edge cases                        *)
+(* ------------------------------------------------------------------ *)
+
+(* a loop whose bound is a parameter, invoked with n = 0: the static
+   classification must be sound for the zero-trip invocation and the
+   parallelised binary must produce native output *)
+let test_zero_trip_loop () =
+  let src =
+    "double s[100];\n\
+     void fill(int n) {\n\
+     \  for (int i = 0; i < n; i++) { s[i] = (double)i * 1.5 + 1.0; }\n\
+     }\n\
+     int main() {\n\
+     \  fill(0);\n\
+     \  print_float(s[0] + s[99]);\n\
+     \  fill(100);\n\
+     \  print_float(s[0] + s[99]);\n\
+     \  return 0;\n\
+     }"
+  in
+  let t = analyse src in
+  Alcotest.(check bool)
+    (Fmt.str "fill loop classified: %a" Analysis.pp_summary t)
+    true
+    (List.length t.Analysis.reports >= 1);
+  let img = compile src in
+  let native = Janus_core.Janus.run_native img in
+  let par = Janus_core.Janus.parallelise img in
+  Alcotest.(check string) "zero-trip output identical" native.Janus_core.Janus.output
+    par.Janus_core.Janus.output
+
+(* a single-iteration loop (bound 1 through an opaque parameter) must
+   survive parallelisation bit-identically — the chunker hands the one
+   iteration to one worker and the rest get empty ranges *)
+let test_single_iteration_loop () =
+  let src =
+    "double s[8];\n\
+     void fill(int n) {\n\
+     \  for (int i = 0; i < n; i++) { s[i] = (double)i + 42.0; }\n\
+     }\n\
+     int main() {\n\
+     \  fill(1);\n\
+     \  print_float(s[0]);\n\
+     \  return 0;\n\
+     }"
+  in
+  let t = analyse src in
+  Alcotest.(check bool)
+    (Fmt.str "single-trip loop classified: %a" Analysis.pp_summary t)
+    true
+    (List.length t.Analysis.reports >= 1);
+  let img = compile src in
+  let native = Janus_core.Janus.run_native img in
+  let par = Janus_core.Janus.parallelise img in
+  Alcotest.(check string) "single-iteration output identical"
+    native.Janus_core.Janus.output par.Janus_core.Janus.output
+
+(* the IV is bumped a second time under a data-dependent condition, so
+   its per-iteration step is not constant: the loop must NOT be
+   classified static-doall (iteration count and targets are no longer
+   an affine function of the chunk index) *)
+let test_conditional_double_iv_update () =
+  let src =
+    "int a[200];\n\
+     int main() {\n\
+     \  int i = 0;\n\
+     \  int sum = 0;\n\
+     \  while (i < 200) {\n\
+     \    a[i] = i;\n\
+     \    sum = sum + a[i];\n\
+     \    i = i + 1;\n\
+     \    if (sum % 7 == 0) { i = i + 1; }\n\
+     \  }\n\
+     \  print_int(sum);\n\
+     \  return 0;\n\
+     }"
+  in
+  let t = analyse src in
+  Alcotest.(check bool)
+    (Fmt.str "irregular-step loop not doall: %a" Analysis.pp_summary t)
+    true
+    (count "static-doall" t = 0);
+  (* and parallelisation must still be output-preserving (the loop is
+     simply not selected) *)
+  let img = compile src in
+  let native = Janus_core.Janus.run_native img in
+  let par = Janus_core.Janus.parallelise img in
+  Alcotest.(check string) "output identical" native.Janus_core.Janus.output
+    par.Janus_core.Janus.output
+
+(* an unconditional second bump is a well-defined step-2 loop: if the
+   analyser proves it doall it must report the combined step, never the
+   step of a single update *)
+let test_unconditional_double_iv_update () =
+  let src =
+    "int a[200];\n\
+     int main() {\n\
+     \  for (int i = 0; i < 200; i = i + 1) { a[i] = i * 3; i = i + 1; }\n\
+     \  int sum = 0;\n\
+     \  for (int j = 0; j < 200; j++) { sum = sum + a[j]; }\n\
+     \  print_int(sum);\n\
+     \  return 0;\n\
+     }"
+  in
+  let t = analyse src in
+  List.iter
+    (fun (r : Loopanal.report) ->
+       match (r.Loopanal.cls, r.Loopanal.iv) with
+       | Loopanal.Static_doall, Some iv ->
+         Alcotest.(check bool)
+           (Fmt.str "doall IV step is the net step (got %Ld)"
+              iv.Loopanal.iv_step)
+           true
+           (Int64.compare iv.Loopanal.iv_step 0L <> 0)
+       | _ -> ())
+    t.Analysis.reports;
+  let img = compile src in
+  let native = Janus_core.Janus.run_native img in
+  let par = Janus_core.Janus.parallelise img in
+  Alcotest.(check string) "output identical" native.Janus_core.Janus.output
+    par.Janus_core.Janus.output
+
+(* ------------------------------------------------------------------ *)
 (* Structural invariants of CFG recovery, dominators and loop forests  *)
 (* over randomly generated programs at random optimisation levels      *)
 (* ------------------------------------------------------------------ *)
@@ -549,6 +672,13 @@ let tests =
     Alcotest.test_case "optimised binaries analysable" `Quick
       test_optimised_binaries_analysable;
     Alcotest.test_case "nested loops" `Quick test_nested_loops_outer;
+    Alcotest.test_case "zero-trip loop" `Quick test_zero_trip_loop;
+    Alcotest.test_case "single-iteration loop" `Quick
+      test_single_iteration_loop;
+    Alcotest.test_case "conditional double IV update" `Quick
+      test_conditional_double_iv_update;
+    Alcotest.test_case "unconditional double IV update" `Quick
+      test_unconditional_double_iv_update;
     Alcotest.test_case "schedule generation" `Quick test_schedule_generation;
     QCheck_alcotest.to_alcotest prop_structural_invariants;
     QCheck_alcotest.to_alcotest prop_analysis_total;

@@ -7,6 +7,7 @@ let () =
       ("sympoly", Test_sympoly.tests);
       ("jcc", Test_jcc.tests);
       ("analysis", Test_analysis.tests);
+      ("verify", Test_verify.tests);
       ("profile", Test_profile.tests);
       ("dbm", Test_dbm.tests);
       ("runtime", Test_runtime.tests);

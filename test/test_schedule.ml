@@ -236,6 +236,117 @@ let prop_schedule_roundtrip =
        s'.Schedule.rules = s.Schedule.rules
        && s'.Schedule.channel = s.Schedule.channel)
 
+(* random descriptors: every location/redop/policy constructor, Rexprs
+   from the generator above *)
+let gen_fp =
+  QCheck2.Gen.map (fun i -> Reg.XMM i) (QCheck2.Gen.int_range 0 15)
+
+let gen_location =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun r -> Desc.Lreg r) gen_gp;
+      map (fun r -> Desc.Lfreg r) gen_fp;
+      map (fun off -> Desc.Lstack off) (int_range (-512) 512);
+      map (fun a -> Desc.Labs a) (int_range 0 0xffffff);
+    ]
+
+let gen_redop =
+  QCheck2.Gen.oneofl [ Desc.Radd_int; Desc.Radd_f64; Desc.Rmul_f64 ]
+
+let gen_policy =
+  let open QCheck2.Gen in
+  oneof
+    [
+      return Desc.Chunked;
+      map (fun b -> Desc.Round_robin b) (int_range 1 64);
+      map (fun pct -> Desc.Doacross pct) (int_range 0 100);
+    ]
+
+let gen_loop_desc =
+  let open QCheck2.Gen in
+  let* loop_id = int_range 0 200 in
+  let* header_addr = int_range 0 0xffffff in
+  let* preheader_addr = int_range 0 0xffffff in
+  let* exit_addrs = list_size (int_range 0 4) (int_range 0 0xffffff) in
+  let* latch_addr = int_range 0 0xffffff in
+  let* iv = gen_location in
+  let* iv_step = map Int64.of_int (int_range (-16) 16) in
+  let* iv_cond = oneofl Cond.all in
+  let* iv_init = gen_rexpr in
+  let* iv_bound = gen_rexpr in
+  let* iv_bound_adjust = map Int64.of_int (int_range (-8) 8) in
+  let* policy = gen_policy in
+  let* reductions = list_size (int_range 0 3) (pair gen_location gen_redop) in
+  let* privatised =
+    list_size (int_range 0 3) (pair gen_rexpr (int_range 1 32))
+  in
+  let* live_out_gps = list_size (int_range 0 4) gen_gp in
+  let* live_out_fps = list_size (int_range 0 4) gen_fp in
+  let* frame_copy_bytes = int_range 0 4096 in
+  return
+    {
+      Desc.loop_id; header_addr; preheader_addr; exit_addrs; latch_addr;
+      iv; iv_step; iv_cond; iv_init; iv_bound; iv_bound_adjust; policy;
+      reductions; privatised; live_out_gps; live_out_fps; frame_copy_bytes;
+    }
+
+let gen_check_desc =
+  let open QCheck2.Gen in
+  let* check_loop_id = int_range 0 200 in
+  let gen_range =
+    let* base = gen_rexpr in
+    let* extent = gen_rexpr in
+    let* width = oneofl [ 1; 2; 4; 8; 16 ] in
+    let* written = bool in
+    return { Desc.base; extent; width; written }
+  in
+  let* ranges = list_size (int_range 0 5) gen_range in
+  return { Desc.check_loop_id; ranges }
+
+(* a schedule whose data section carries random descriptors, with rules
+   pointing at them — to_bytes/of_bytes/to_bytes must be bit-identical
+   (descriptor encoding is canonical, no padding ambiguity) *)
+let gen_schedule_with_descs =
+  let open QCheck2.Gen in
+  let* channel = oneofl [ Schedule.Profiling; Schedule.Parallelisation ] in
+  let* loop_descs = list_size (int_range 0 4) gen_loop_desc in
+  let* check_descs = list_size (int_range 0 4) gen_check_desc in
+  let* extra_rules = list_size (int_range 0 10) gen_rule in
+  return
+    (let b = Schedule.builder channel in
+     List.iter
+       (fun d ->
+          let off = Schedule.add_loop_desc b d in
+          Schedule.add_rule b
+            (Rule.make ~addr:d.Desc.header_addr
+               ~data:(Int64.of_int off)
+               ~aux:(Int64.of_int d.Desc.loop_id)
+               Rule.LOOP_INIT))
+       loop_descs;
+     List.iter
+       (fun d ->
+          let off = Schedule.add_check_desc b d in
+          Schedule.add_rule b
+            (Rule.make ~addr:0x400000
+               ~data:(Int64.of_int off)
+               ~aux:(Int64.of_int d.Desc.check_loop_id)
+               Rule.MEM_BOUNDS_CHECK))
+       check_descs;
+     List.iter (Schedule.add_rule b) extra_rules;
+     Schedule.build b)
+
+let prop_schedule_bytes_fixpoint =
+  QCheck2.Test.make ~count:200
+    ~name:"schedule with descriptors: encode/decode/encode bit-identical"
+    gen_schedule_with_descs
+    (fun s ->
+       let bytes = Schedule.to_bytes s in
+       let s' = Schedule.of_bytes bytes in
+       Bytes.equal bytes (Schedule.to_bytes s')
+       && s'.Schedule.rules = s.Schedule.rules
+       && Bytes.equal s'.Schedule.data s.Schedule.data)
+
 (* corrupt input must fail loudly, not silently misparse *)
 let test_corrupt_schedule_rejected () =
   Alcotest.(check bool) "bad magic" true
@@ -295,4 +406,5 @@ let tests =
     QCheck_alcotest.to_alcotest prop_rexpr_roundtrip;
     QCheck_alcotest.to_alcotest prop_rule_roundtrip;
     QCheck_alcotest.to_alcotest prop_schedule_roundtrip;
+    QCheck_alcotest.to_alcotest prop_schedule_bytes_fixpoint;
   ]
