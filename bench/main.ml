@@ -17,10 +17,10 @@ module Profiler = Janus_profile.Profiler
 let bench_of name f = Test.make ~name (Staged.stage f)
 
 (* pre-compiled artefacts shared by the micro-benchmarks *)
-let lbm = Option.get (Suite.find "470.lbm")
-let bwaves = Option.get (Suite.find "410.bwaves")
-let gems = Option.get (Suite.find "459.GemsFDTD")
-let milc = Option.get (Suite.find "433.milc")
+let lbm = Suite.find_exn "470.lbm"
+let bwaves = Suite.find_exn "410.bwaves"
+let gems = Suite.find_exn "459.GemsFDTD"
+let milc = Suite.find_exn "433.milc"
 let lbm_img = Suite.compile lbm
 let bwaves_img = Suite.compile bwaves
 let gems_img = Suite.compile gems

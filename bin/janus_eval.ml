@@ -5,6 +5,11 @@
      [fig6|fig7|fig8|table1|fig9|fig10|fig11|fig12|doacross|prefetch|all] *)
 
 module Eval = Janus_core.Eval
+module Run = Janus_vm.Run
+
+let experiments =
+  [ "fig6"; "fig7"; "fig8"; "table1"; "fig9"; "fig10"; "fig11"; "fig12";
+    "doacross"; "prefetch" ]
 
 let run_one = function
   | "fig6" -> Fmt.pr "%a@." Eval.pp_fig6 (Eval.fig6 ())
@@ -19,12 +24,18 @@ let run_one = function
   | "fig12" -> Fmt.pr "%a@." Eval.pp_fig12 (Eval.fig12 ())
   | "doacross" -> Fmt.pr "%a@." Eval.pp_ext_doacross (Eval.ext_doacross ())
   | "prefetch" -> Fmt.pr "%a@." Eval.pp_ext_prefetch (Eval.ext_prefetch ())
-  | other -> Fmt.epr "unknown experiment %S@." other
+  | other ->
+    Fmt.epr "janus_eval: unknown experiment %S (expected %s or all)@." other
+      (String.concat "|" experiments);
+    exit 2
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if String.equal which "all" then
-    List.iter run_one
-      [ "fig6"; "fig7"; "fig8"; "table1"; "fig9"; "fig10"; "fig11"; "fig12";
-        "doacross"; "prefetch" ]
-  else run_one which
+  let todo = if String.equal which "all" then experiments else [ which ] in
+  try List.iter run_one todo with
+  | Run.Out_of_fuel ->
+    Fmt.epr "janus_eval: a baseline run exhausted its fuel budget@.";
+    exit 3
+  | Invalid_argument msg | Failure msg ->
+    Fmt.epr "janus_eval: %s@." msg;
+    exit 2

@@ -3,48 +3,141 @@
 
 open Cmdliner
 module Janus = Janus_core.Janus
+module Obs = Janus_obs.Obs
+module Run = Janus_vm.Run
+
+(* exit codes: 0/program's own code on success, 2 for unusable inputs
+   (cmdliner reserves 124 for argument parse errors), 3 for runs
+   truncated by fuel exhaustion *)
+let exit_bad_input = 2
+let exit_out_of_fuel = 3
+
+let die code fmt = Fmt.kstr (fun s -> Fmt.epr "janus_run: %s@." s; code) fmt
+
+let write_file path contents =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+
+let export_obs obs ~trace_out ~trace_jsonl =
+  (match trace_out with
+   | Some path -> write_file path (Obs.chrome_json obs)
+   | None -> ());
+  (match trace_jsonl with
+   | Some path -> write_file path (Obs.jsonl obs)
+   | None -> ())
+
+let print_obs obs ~trace_summary ~metrics =
+  if trace_summary then Fmt.pr "%a" Obs.pp_summary obs
+  else if metrics then
+    List.iter (fun (k, v) -> Fmt.pr "%-32s %12d@." k v) (Obs.counters obs)
 
 let run input mode threads scale train_scale schedule_file prefetch
-    model_cache =
+    model_cache fuel trace_out trace_jsonl trace_summary metrics =
   let bytes =
     In_channel.with_open_bin input (fun ic ->
         Bytes.of_string (In_channel.input_all ic))
   in
-  let image = Janus_vx.Image.of_bytes bytes in
+  match Janus_vx.Image.of_bytes bytes with
+  | exception (Failure msg | Invalid_argument msg) ->
+    die exit_bad_input "%s is not a JX binary: %s" input msg
+  | image ->
   let inp = [ Int64.of_int scale ] in
-  let cfg = Janus.config ~threads ~prefetch ~model_cache () in
-  let result =
-    match mode, schedule_file with
-    | "native", _ -> Janus.run_native ~input:inp ~model_cache image
-    | "dbm", _ -> Janus.run_dbm_only ~input:inp image
-    | _, Some path ->
-      (* deployment mode: use the shipped rewrite schedule as-is *)
-      let sched =
-        In_channel.with_open_bin path (fun ic ->
-            Janus_schedule.Schedule.of_bytes
-              (Bytes.of_string (In_channel.input_all ic)))
-      in
-      Janus.run_scheduled ~cfg ~input:inp image sched
-    | ("janus" | _), None ->
-      Janus.parallelise ~cfg
-        ~train_input:[ Int64.of_int train_scale ]
-        ~input:inp image
+  let tracing = trace_out <> None || trace_jsonl <> None || trace_summary in
+  let cfg =
+    Janus.config ~threads ~prefetch ~model_cache ~fuel ~trace:tracing ()
   in
-  print_string result.Janus.output;
-  Fmt.pr "--- %s: %d cycles, %d instructions, exit %d@." mode
-    result.Janus.cycles result.Janus.icount result.Janus.exit_code;
-  if result.Janus.selected_loops <> [] then
-    Fmt.pr "--- parallelised loops: %a; schedule %d bytes@."
-      Fmt.(list ~sep:comma int)
-      result.Janus.selected_loops result.Janus.schedule_size;
-  if result.Janus.demoted_loops <> [] then
-    Fmt.pr "--- loops demoted to sequential by the schedule verifier: %a@."
-      Fmt.(list ~sep:comma int)
-      result.Janus.demoted_loops;
-  if result.Janus.stm_commits > 0 || result.Janus.stm_aborts > 0 then
-    Fmt.pr "--- STM: %d commits, %d aborts@." result.Janus.stm_commits
-      result.Janus.stm_aborts;
-  result.Janus.exit_code
+  let schedule =
+    match schedule_file with
+    | None -> Ok None
+    | Some path -> begin
+        match
+          In_channel.with_open_bin path (fun ic ->
+              Janus_schedule.Schedule.of_bytes
+                (Bytes.of_string (In_channel.input_all ic)))
+        with
+        | sched -> Ok (Some sched)
+        | exception (Failure msg | Invalid_argument msg) ->
+          Error (die exit_bad_input "%s is not a rewrite schedule: %s" path msg)
+      end
+  in
+  match schedule with
+  | Error code -> code
+  | Ok schedule ->
+  let result =
+    match mode, schedule with
+    | "native", _ -> begin
+        match Janus.run_native ~fuel ~input:inp ~model_cache image with
+        | r -> Ok r
+        | exception Run.Out_of_fuel ->
+          Error (die exit_out_of_fuel "native run out of fuel (%d); raise --fuel" fuel)
+      end
+    | "dbm", _ -> Ok (Janus.run_dbm_only ~fuel ~input:inp ~trace:tracing image)
+    | _, Some sched ->
+      (* deployment mode: use the shipped rewrite schedule as-is *)
+      Ok (Janus.run_scheduled ~cfg ~input:inp image sched)
+    | ("janus" | _), None ->
+      Ok
+        (Janus.parallelise ~cfg
+           ~train_input:[ Int64.of_int train_scale ]
+           ~input:inp image)
+  in
+  match result with
+  | Error code -> code
+  | Ok result ->
+  (match result.Janus.obs with
+   | Some obs -> export_obs obs ~trace_out ~trace_jsonl
+   | None -> ());
+  match result.Janus.aborted with
+  | Some (Janus.Out_of_fuel { addr; loop }) ->
+    (match result.Janus.obs with
+     | Some obs when Obs.tracing obs && Obs.total_events obs > 0 ->
+       Fmt.epr "janus_run: last events before the fuel ran out:@.%s"
+         (Obs.trace_tail obs)
+     | _ -> ());
+    die exit_out_of_fuel
+      "out of fuel (%d) at 0x%x%s after %d cycles; raise --fuel" fuel addr
+      (match loop with
+       | Some lid -> Printf.sprintf " in loop %d" lid
+       | None -> "")
+      result.Janus.cycles
+  | None ->
+    print_string result.Janus.output;
+    Fmt.pr "--- %s: %d cycles, %d instructions, exit %d@." mode
+      result.Janus.cycles result.Janus.icount result.Janus.exit_code;
+    if result.Janus.selected_loops <> [] then
+      Fmt.pr "--- parallelised loops: %a; schedule %d bytes@."
+        Fmt.(list ~sep:comma int)
+        result.Janus.selected_loops result.Janus.schedule_size;
+    if result.Janus.demoted_loops <> [] then
+      Fmt.pr "--- loops demoted to sequential by the schedule verifier: %a@."
+        Fmt.(list ~sep:comma int)
+        result.Janus.demoted_loops;
+    if result.Janus.stm_commits > 0 || result.Janus.stm_aborts > 0 then
+      Fmt.pr "--- STM: %d commits, %d aborts@." result.Janus.stm_commits
+        result.Janus.stm_aborts;
+    (match result.Janus.obs with
+     | Some obs -> print_obs obs ~trace_summary ~metrics
+     | None -> ());
+    result.Janus.exit_code
+
+(* int converters rejecting nonsense before it reaches the runtime *)
+let pos_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%s must be positive, got %d" what n))
+    | None -> Error (`Msg (Printf.sprintf "%s must be an integer, got %S" what s))
+  in
+  Arg.conv (parse, Fmt.int)
+
+let nonneg_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some n ->
+      Error (`Msg (Printf.sprintf "%s must be non-negative, got %d" what n))
+    | None -> Error (`Msg (Printf.sprintf "%s must be an integer, got %S" what s))
+  in
+  Arg.conv (parse, Fmt.int)
 
 let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BIN")
 
@@ -52,11 +145,15 @@ let mode =
   Arg.(value & opt string "janus" & info [ "mode" ] ~docv:"MODE"
          ~doc:"native | dbm | janus")
 
-let threads = Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N")
-let scale = Arg.(value & opt int 10 & info [ "scale" ] ~docv:"N")
+let threads =
+  Arg.(value & opt (pos_int "--threads") 8 & info [ "threads" ] ~docv:"N")
+
+let scale =
+  Arg.(value & opt (nonneg_int "--scale") 10 & info [ "scale" ] ~docv:"N")
 
 let train_scale =
-  Arg.(value & opt int 4 & info [ "train-scale" ] ~docv:"N")
+  Arg.(value & opt (nonneg_int "--train-scale") 4
+       & info [ "train-scale" ] ~docv:"N")
 
 let schedule_file =
   Arg.(value & opt (some file) None & info [ "schedule" ] ~docv:"JRS"
@@ -74,10 +171,38 @@ let model_cache =
            ~doc:"Charge cold-line cache misses in the cycle model (applies\n\
                  to native runs too, for a fair baseline).")
 
+let fuel =
+  Arg.(value & opt (pos_int "--fuel") 400_000_000
+       & info [ "fuel" ] ~docv:"N"
+           ~doc:"Instruction budget; exhausting it exits 3 with a diagnostic.")
+
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record per-thread event timelines and write them as Chrome\n\
+                 trace_event JSON (open in chrome://tracing or Perfetto).")
+
+let trace_jsonl =
+  Arg.(value & opt (some string) None
+       & info [ "trace-jsonl" ] ~docv:"FILE"
+           ~doc:"Write the raw event stream as one JSON object per line.")
+
+let trace_summary =
+  Arg.(value & flag
+       & info [ "trace-summary" ]
+           ~doc:"Record events and print a human-readable census with the\n\
+                 counters and histograms.")
+
+let metrics =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the run's metrics counters (no event recording).")
+
 let cmd =
   Cmd.v
     (Cmd.info "janus_run" ~doc:"Run a JX binary (native / dbm / janus)")
     Term.(const run $ input $ mode $ threads $ scale $ train_scale
-          $ schedule_file $ prefetch $ model_cache)
+          $ schedule_file $ prefetch $ model_cache $ fuel $ trace_out
+          $ trace_jsonl $ trace_summary $ metrics)
 
 let () = exit (Cmd.eval' cmd)

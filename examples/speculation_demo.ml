@@ -5,6 +5,7 @@
      dune exec examples/speculation_demo.exe *)
 
 module Janus = Janus_core.Janus
+module Obs = Janus_obs.Obs
 
 let source =
   "extern double pow(double, double);\n\
@@ -23,7 +24,7 @@ let () =
   let image = Janus_jcc.Jcc.compile source in
   let native = Janus.run_native ~input:[ 2048L ] image in
   let result =
-    Janus.parallelise ~cfg:(Janus.config ()) ~train_input:[ 256L ]
+    Janus.parallelise ~cfg:(Janus.config ~trace:true ()) ~train_input:[ 256L ]
       ~input:[ 2048L ] image
   in
   Fmt.pr "native: %s   janus: %s   (%.2fx)@."
@@ -34,5 +35,23 @@ let () =
     result.Janus.stm_commits result.Janus.stm_aborts;
   Fmt.pr "(pow only reads its coefficient table, so speculation never\n\
           conflicts — the behaviour the paper reports for bwaves)@.";
+  (* the run was traced, so the commit/abort timeline is in the event
+     buffer — print the first few transactions per worker *)
+  (match result.Janus.obs with
+   | Some obs ->
+     let tx_events =
+       List.filter
+         (fun (e : Obs.event) ->
+            match Obs.category e.Obs.kind with
+            | "tx_start" | "tx_commit" | "tx_abort" | "lib_resolved" -> true
+            | _ -> false)
+         (Obs.events obs)
+     in
+     Fmt.pr "transaction timeline (first 12 of %d events):@."
+       (List.length tx_events);
+     List.iteri
+       (fun i e -> if i < 12 then Fmt.pr "  %a@." Obs.pp_event e)
+       tx_events
+   | None -> assert false);
   assert (String.equal native.Janus.output result.Janus.output);
   assert (result.Janus.stm_commits > 0)

@@ -561,7 +561,7 @@ type excall_stats = {
 }
 
 let excall_footprint () =
-  let b = Option.get (Suite.find "410.bwaves") in
+  let b = Suite.find_exn "410.bwaves" in
   let img = Suite.compile b in
   let analysis = Analysis.analyse_image img in
   let cov = Profiler.run_coverage ~input:(Suite.train_input b) img analysis in

@@ -24,6 +24,7 @@ module Runtime = Janus_runtime.Runtime
 module Schedule = Janus_schedule.Schedule
 module Desc = Janus_schedule.Desc
 module Verify = Janus_verify.Verify
+module Obs = Janus_obs.Obs
 
 type config = {
   threads : int;
@@ -47,16 +48,18 @@ type config = {
                                it; loops with errors degrade to
                                sequential execution *)
   fuel : int;
+  trace : bool;             (* record per-thread event timelines in the
+                               run's Obs.t (off: zero-cost) *)
 }
 
 let config ?(threads = 8) ?(use_profile = true) ?(use_checks = true)
     ?(use_doacross = false) ?(cov_threshold = 0.03) ?(trip_threshold = 8.0)
     ?(work_threshold = 2500.0) ?force_policy ?(stm_everywhere = false)
     ?(prefetch = false) ?(model_cache = false) ?(verify = true)
-    ?(fuel = 400_000_000) () =
+    ?(fuel = 400_000_000) ?(trace = false) () =
   { threads; use_profile; use_checks; use_doacross; cov_threshold;
     trip_threshold; work_threshold; force_policy; stm_everywhere;
-    prefetch; model_cache; verify; fuel }
+    prefetch; model_cache; verify; fuel; trace }
 
 (** Cycle breakdown of a run (Fig. 8's categories). *)
 type breakdown = {
@@ -66,6 +69,10 @@ type breakdown = {
   translate_cycles : int;
   check_cycles : int;
 }
+
+(** Why a run stopped before the program halted. *)
+type abort =
+  | Out_of_fuel of { addr : int; loop : int option }
 
 type result = {
   output : string;
@@ -82,11 +89,30 @@ type result = {
   checks_per_loop : (int * int) list;  (* loop id -> pairwise comparisons *)
   stm_commits : int;
   stm_aborts : int;
+  aborted : abort option;      (* run truncated (e.g. fuel exhausted) *)
+  obs : Obs.t option;          (* the run's tracing/metrics registry *)
 }
 
 let no_breakdown cycles =
   { seq_cycles = cycles; par_cycles = 0; init_finish_cycles = 0;
     translate_cycles = 0; check_cycles = 0 }
+
+(** The Fig. 8 decomposition as a view over the metrics registry: every
+    overhead category is a [dbm.*] counter, and sequential application
+    time is whatever the main thread's clock holds beyond them. *)
+let breakdown_of_metrics o ~cycles =
+  let c = Obs.counter o in
+  let other =
+    c "dbm.init_finish_cycles" + c "dbm.parallel_cycles"
+    + c "dbm.check_cycles" + c "dbm.translate_cycles_main"
+  in
+  {
+    seq_cycles = max 0 (cycles - other);
+    par_cycles = c "dbm.parallel_cycles";
+    init_finish_cycles = c "dbm.init_finish_cycles";
+    translate_cycles = c "dbm.translate_cycles_main";
+    check_cycles = c "dbm.check_cycles";
+  }
 
 (** Native execution (the baseline every figure normalises against). *)
 let run_native ?(fuel = 400_000_000) ?(input = []) ?(model_cache = false) image =
@@ -105,28 +131,20 @@ let run_native ?(fuel = 400_000_000) ?(input = []) ?(model_cache = false) image 
     checks_per_loop = [];
     stm_commits = 0;
     stm_aborts = 0;
+    aborted = None;
+    obs = None;
   }
 
 let result_of_dbm_run image ~schedule_size ~selected ?(demoted = []) ~checks
-    (dbm : Dbm.t) (ctx : Machine.t) =
+    ?aborted ~obs (dbm : Dbm.t) (ctx : Machine.t) =
   let s = dbm.Dbm.stats in
-  let other =
-    s.Dbm.init_finish_cycles + s.Dbm.parallel_cycles + s.Dbm.check_cycles
-    + s.Dbm.translate_cycles_main
-  in
+  Dbm.publish_metrics dbm obs;
   {
     output = Buffer.contents ctx.Machine.out;
     exit_code = ctx.Machine.exit_code;
     cycles = ctx.Machine.cycles;
     icount = ctx.Machine.icount;
-    breakdown =
-      {
-        seq_cycles = max 0 (ctx.Machine.cycles - other);
-        par_cycles = s.Dbm.parallel_cycles;
-        init_finish_cycles = s.Dbm.init_finish_cycles;
-        translate_cycles = s.Dbm.translate_cycles_main;
-        check_cycles = s.Dbm.check_cycles;
-      };
+    breakdown = breakdown_of_metrics obs ~cycles:ctx.Machine.cycles;
     stats = Some s;
     schedule_size;
     executable_size = Image.size image;
@@ -135,17 +153,25 @@ let result_of_dbm_run image ~schedule_size ~selected ?(demoted = []) ~checks
     checks_per_loop = checks;
     stm_commits = s.Dbm.stm_commits;
     stm_aborts = s.Dbm.stm_aborts;
+    aborted;
+    obs = Some obs;
   }
 
 (** Execution under the unmodified DBM (the "DynamoRIO" bar of Fig. 7). *)
-let run_dbm_only ?(fuel = 400_000_000) ?(input = []) image =
+let run_dbm_only ?(fuel = 400_000_000) ?(input = []) ?(trace = false) image =
   let prog = Program.load image in
-  let dbm = Dbm.create prog in
+  let obs = Obs.create ~enabled:trace () in
+  let dbm = Dbm.create ~obs prog in
   let cache = Dbm.new_cache Dbm.Main in
   let ctx = Run.fresh_context prog in
   List.iter (fun v -> Queue.push v ctx.Machine.input) input;
-  ignore (Dbm.run ~fuel dbm cache ctx);
-  result_of_dbm_run image ~schedule_size:0 ~selected:[] ~checks:[] dbm ctx
+  let aborted =
+    match Dbm.run ~fuel dbm cache ctx with
+    | `Out_of_fuel addr -> Some (Out_of_fuel { addr; loop = None })
+    | `Halted | `Yielded -> None
+  in
+  result_of_dbm_run image ~schedule_size:0 ~selected:[] ~checks:[] ?aborted
+    ~obs dbm ctx
 
 (* ------------------------------------------------------------------ *)
 (* Loop selection                                                      *)
@@ -262,17 +288,32 @@ let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
     else (p.p_schedule, [])
   in
   let prog = Program.load p.p_image in
-  let dbm = Dbm.create ~schedule prog in
+  let obs = Obs.create ~enabled:cfg.trace () in
+  let dbm = Dbm.create ~schedule ~obs prog in
   let rt_config =
     { Runtime.threads = cfg.threads; force_policy = cfg.force_policy;
-      stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere }
+      stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere;
+      fuel = cfg.fuel }
   in
   let rt = Runtime.create ~config:rt_config dbm in
   Runtime.install rt;
   let ctx = Run.fresh_context prog in
   ctx.Machine.model_cache <- cfg.model_cache;
   List.iter (fun v -> Queue.push v ctx.Machine.input) input;
-  ignore (Dbm.run ~fuel:cfg.fuel dbm rt.Runtime.main_cache ctx);
+  let aborted =
+    try
+      match Dbm.run ~fuel:cfg.fuel dbm rt.Runtime.main_cache ctx with
+      | `Out_of_fuel addr ->
+        let loop =
+          if rt.Runtime.current_loop >= 0 then Some rt.Runtime.current_loop
+          else None
+        in
+        Some (Out_of_fuel { addr; loop })
+      | `Halted | `Yielded -> None
+    with Runtime.Worker_out_of_fuel (_w, addr) ->
+      Some (Out_of_fuel { addr; loop = Some rt.Runtime.current_loop })
+  in
+  Runtime.publish_metrics rt obs;
   let selected =
     List.filter
       (fun lid -> not (List.mem lid demoted))
@@ -305,7 +346,7 @@ let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
   in
   result_of_dbm_run p.p_image
     ~schedule_size:(Schedule.size p.p_schedule)
-    ~selected ~demoted ~checks dbm ctx
+    ~selected ~demoted ~checks ?aborted ~obs dbm ctx
 
 (** Run under the DBM with a pre-generated rewrite schedule — the
     paper's deployment model: the schedule is produced offline by the
@@ -320,17 +361,32 @@ let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
     else (schedule, [])
   in
   let prog = Program.load image in
-  let dbm = Dbm.create ~schedule prog in
+  let obs = Obs.create ~enabled:cfg.trace () in
+  let dbm = Dbm.create ~schedule ~obs prog in
   let rt_config =
     { Runtime.threads = cfg.threads; force_policy = cfg.force_policy;
-      stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere }
+      stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere;
+      fuel = cfg.fuel }
   in
   let rt = Runtime.create ~config:rt_config dbm in
   Runtime.install rt;
   let ctx = Run.fresh_context prog in
   ctx.Machine.model_cache <- cfg.model_cache;
   List.iter (fun v -> Queue.push v ctx.Machine.input) input;
-  ignore (Dbm.run ~fuel:cfg.fuel dbm rt.Runtime.main_cache ctx);
+  let aborted =
+    try
+      match Dbm.run ~fuel:cfg.fuel dbm rt.Runtime.main_cache ctx with
+      | `Out_of_fuel addr ->
+        let loop =
+          if rt.Runtime.current_loop >= 0 then Some rt.Runtime.current_loop
+          else None
+        in
+        Some (Out_of_fuel { addr; loop })
+      | `Halted | `Yielded -> None
+    with Runtime.Worker_out_of_fuel (_w, addr) ->
+      Some (Out_of_fuel { addr; loop = Some rt.Runtime.current_loop })
+  in
+  Runtime.publish_metrics rt obs;
   (* the deployed loop set is whatever the shipped schedule initialises *)
   let selected =
     List.filter_map
@@ -342,7 +398,7 @@ let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
     |> List.sort_uniq compare
   in
   result_of_dbm_run image ~schedule_size:shipped_size ~selected ~demoted
-    ~checks:[] dbm ctx
+    ~checks:[] ?aborted ~obs dbm ctx
 
 (** The whole pipeline: analyse, profile on the training input, select,
     parallelise, run on the reference input. *)

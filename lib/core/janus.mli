@@ -22,6 +22,7 @@ module Dbm = Janus_dbm.Dbm
 module Runtime = Janus_runtime.Runtime
 module Schedule = Janus_schedule.Schedule
 module Desc = Janus_schedule.Desc
+module Obs = Janus_obs.Obs
 
 (** Pipeline configuration. *)
 type config = {
@@ -49,6 +50,10 @@ type config = {
           applies it ({!Janus_verify.Verify}); loops with errors are
           demoted to sequential execution *)
   fuel : int;               (** interpreter instruction budget *)
+  trace : bool;
+      (** record per-thread event timelines in the run's {!Obs.t};
+          off by default and zero-cost when disabled (cycle counts are
+          unaffected either way) *)
 }
 
 (** Build a configuration; the defaults reproduce the paper's full
@@ -67,6 +72,7 @@ val config :
   ?model_cache:bool ->
   ?verify:bool ->
   ?fuel:int ->
+  ?trace:bool ->
   unit ->
   config
 
@@ -78,6 +84,11 @@ type breakdown = {
   translate_cycles : int;    (** main-thread DBM translation *)
   check_cycles : int;        (** runtime array-bounds checks *)
 }
+
+(** Why a run stopped before the program halted. [loop] is the loop id
+    the runtime was executing when the budget ran out, when known. *)
+type abort =
+  | Out_of_fuel of { addr : int; loop : int option }
 
 (** Result of executing a program under any configuration. *)
 type result = {
@@ -97,6 +108,13 @@ type result = {
       (** loop id -> pairwise range comparisons (Table I) *)
   stm_commits : int;
   stm_aborts : int;
+  aborted : abort option;
+      (** set when the run was truncated (fuel exhaustion) instead of
+          halting; the partial output/cycles are still reported *)
+  obs : Obs.t option;
+      (** the run's tracing/metrics registry ([None] for native runs):
+          the {!field:breakdown} is derived from its [dbm.*] counters,
+          and event timelines are present when [config.trace] was on *)
 }
 
 (** Native execution: the baseline every figure normalises against. *)
@@ -104,9 +122,14 @@ val run_native :
   ?fuel:int -> ?input:int64 list -> ?model_cache:bool ->
   Janus_vx.Image.t -> result
 
-(** Execution under the unmodified DBM (the "DynamoRIO" bar). *)
+(** Execution under the unmodified DBM (the "DynamoRIO" bar).
+    [trace] enables event recording on the run's {!Obs.t}. *)
 val run_dbm_only :
-  ?fuel:int -> ?input:int64 list -> Janus_vx.Image.t -> result
+  ?fuel:int -> ?input:int64 list -> ?trace:bool -> Janus_vx.Image.t -> result
+
+(** The Fig. 8 cycle decomposition as a view over a metrics registry's
+    [dbm.*] counters; [cycles] is the run's main-thread total. *)
+val breakdown_of_metrics : Obs.t -> cycles:int -> breakdown
 
 (** Loop selection outcome: the loops to parallelise (with their
     scheduling policy) and the per-loop rejection reasons. *)

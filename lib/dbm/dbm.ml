@@ -12,6 +12,7 @@ open Janus_vx
 open Janus_vm
 module Rule = Janus_schedule.Rule
 module Schedule = Janus_schedule.Schedule
+module Obs = Janus_obs.Obs
 
 (** What kind of thread a cache belongs to: the main thread receives
     only event rules; workers also receive the parallel transformation
@@ -66,6 +67,7 @@ type t = {
   rules : (int, Rule.t list) Hashtbl.t;   (* the rule hash table *)
   schedule : Schedule.t option;
   stats : stats;
+  mutable obs : Obs.t option;
   mutable on_event : t -> thread_kind -> Machine.t -> Rule.t -> action;
 }
 
@@ -76,7 +78,7 @@ type cache = {
   mutable last_indirect : bool;   (* previous fragment ended indirectly *)
 }
 
-let create ?schedule prog =
+let create ?schedule ?obs prog =
   let rules = Hashtbl.create 64 in
   (match schedule with
    | Some s ->
@@ -87,14 +89,22 @@ let create ?schedule prog =
     rules;
     schedule;
     stats = new_stats ();
+    obs;
     on_event = (fun _ _ _ _ -> Continue);
   }
 
 let new_cache kind = { kind; frags = Hashtbl.create 256; last_indirect = false }
 
-let flush_cache t (c : cache) =
+(* trace-event thread ids: 0 = main, w+1 = worker w *)
+let tid_of = function Main -> 0 | Worker w -> w + 1
+
+let flush_cache ?(now = 0) t (c : cache) =
   Hashtbl.reset c.frags;
-  t.stats.cache_flushes <- t.stats.cache_flushes + 1
+  t.stats.cache_flushes <- t.stats.cache_flushes + 1;
+  match t.obs with
+  | Some o when Obs.tracing o ->
+    Obs.emit o ~tid:(tid_of c.kind) ~ts:now Obs.Cache_flushed
+  | _ -> ()
 
 let rules_at t addr = try Hashtbl.find t.rules addr with Not_found -> []
 
@@ -242,12 +252,22 @@ let translate t (cache : cache) ctx addr =
   walk addr;
   let slots = Array.of_list (List.rev !slots) in
   let cost = Cost.fragment_setup + (Cost.translate_per_insn * !count) in
+  let t0 = ctx.Machine.cycles in
   ctx.Machine.cycles <- ctx.Machine.cycles + cost;
   t.stats.translate_cycles <- t.stats.translate_cycles + cost;
   if cache.kind = Main then
     t.stats.translate_cycles_main <- t.stats.translate_cycles_main + cost;
   t.stats.translated_insns <- t.stats.translated_insns + !count;
   t.stats.fragments_built <- t.stats.fragments_built + 1;
+  (match t.obs with
+   | Some o when Obs.tracing o ->
+     let tid = tid_of cache.kind in
+     Obs.emit o ~tid ~ts:t0 ~dur:cost
+       (Obs.Block_translated { addr; insns = !count; trace = false });
+     (match Program.plt_name t.prog addr with
+      | Some name -> Obs.emit o ~tid ~ts:t0 (Obs.Lib_resolved { name; addr })
+      | None -> ())
+   | _ -> ());
   let frag =
     { f_start = addr; f_slots = slots; f_execs = 0; f_is_trace = false;
       f_linked = false }
@@ -295,11 +315,18 @@ let promote_trace t (cache : cache) ctx frag =
   in
   extend frag.f_start 0;
   let cost = Cost.fragment_setup + (Cost.translate_per_insn * !count) in
+  let t0 = ctx.Machine.cycles in
   ctx.Machine.cycles <- ctx.Machine.cycles + cost;
   t.stats.translate_cycles <- t.stats.translate_cycles + cost;
   if cache.kind = Main then
     t.stats.translate_cycles_main <- t.stats.translate_cycles_main + cost;
   t.stats.traces_built <- t.stats.traces_built + 1;
+  (match t.obs with
+   | Some o when Obs.tracing o ->
+     Obs.emit o ~tid:(tid_of cache.kind) ~ts:t0 ~dur:cost
+       (Obs.Block_translated
+          { addr = frag.f_start; insns = !count; trace = true })
+   | _ -> ());
   let nf =
     { f_start = frag.f_start; f_slots = Array.of_list (List.rev !slots);
       f_execs = frag.f_execs; f_is_trace = true; f_linked = true }
@@ -334,6 +361,12 @@ let exec_fragment t (cache : cache) ctx frag =
       let rec fire = function
         | [] -> Continue
         | r :: tl -> begin
+            (match t.obs with
+             | Some o when Obs.tracing o ->
+               Obs.emit o ~tid:(tid_of cache.kind) ~ts:ctx.Machine.cycles
+                 (Obs.Rule_fired
+                    { rule = Rule.id_name r.Rule.id; addr = slot.s_addr })
+             | _ -> ());
             match t.on_event t cache.kind ctx r with
             | Continue -> fire tl
             | (Divert _ | Stop_thread) as a -> a
@@ -353,12 +386,15 @@ let exec_fragment t (cache : cache) ctx frag =
   if n = 0 then raise (Bad_pc frag.f_start) else go 0
 
 (** Run [ctx] under the DBM until the program halts, an event yields
-    the thread, or [fuel] runs out. *)
+    the thread, or [fuel] runs out (reported as a typed result carrying
+    the application address being dispatched, not an exception). *)
 let run ?(fuel = 100_000_000) t (cache : cache) ctx =
   let remaining = ref fuel in
   let finished = ref None in
   while !finished = None do
-    if !remaining <= 0 then failwith "Dbm.run: out of fuel";
+    if !remaining <= 0 then
+      finished := Some (`Out_of_fuel ctx.Machine.rip)
+    else begin
     decr remaining;
     let addr = ctx.Machine.rip in
     (* intrinsics intercepted exactly as in native execution *)
@@ -377,7 +413,14 @@ let run ?(fuel = 100_000_000) t (cache : cache) ctx =
              ctx.Machine.cycles <- ctx.Machine.cycles + Cost.dispatch_indirect
            else if not f.f_linked then begin
              ctx.Machine.cycles <- ctx.Machine.cycles + Cost.dispatch_unlinked;
-             if f.f_execs >= 1 then f.f_linked <- true
+             if f.f_execs >= 1 then begin
+               f.f_linked <- true;
+               match t.obs with
+               | Some o when Obs.tracing o ->
+                 Obs.emit o ~tid:(tid_of cache.kind) ~ts:ctx.Machine.cycles
+                   (Obs.Fragment_linked { addr })
+               | _ -> ()
+             end
            end;
            if (not f.f_is_trace) && f.f_execs >= Cost.trace_head_threshold then
              promote_trace t cache ctx f
@@ -402,5 +445,30 @@ let run ?(fuel = 100_000_000) t (cache : cache) ctx =
           ctx.Machine.rip <- a
         | Halted -> finished := Some `Halted
         | Yielded -> finished := Some `Yielded))
+    end
   done;
-  match !finished with Some `Halted -> `Halted | _ -> `Yielded
+  match !finished with
+  | Some r -> r
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Mirror the aggregate stats into the metrics registry. Done once at
+    publish time rather than on hot paths, so enabling metrics never
+    perturbs the cycle model. *)
+let publish_metrics t o =
+  let s = t.stats in
+  Obs.set o "dbm.translated_insns" s.translated_insns;
+  Obs.set o "dbm.fragments_built" s.fragments_built;
+  Obs.set o "dbm.traces_built" s.traces_built;
+  Obs.set o "dbm.dispatches" s.dispatches;
+  Obs.set o "dbm.translate_cycles" s.translate_cycles;
+  Obs.set o "dbm.translate_cycles_main" s.translate_cycles_main;
+  Obs.set o "dbm.check_cycles" s.check_cycles;
+  Obs.set o "dbm.init_finish_cycles" s.init_finish_cycles;
+  Obs.set o "dbm.parallel_cycles" s.parallel_cycles;
+  Obs.set o "dbm.stm_commits" s.stm_commits;
+  Obs.set o "dbm.stm_aborts" s.stm_aborts;
+  Obs.set o "dbm.cache_flushes" s.cache_flushes

@@ -12,6 +12,7 @@ open Janus_vx
 open Janus_vm
 module Rule = Janus_schedule.Rule
 module Schedule = Janus_schedule.Schedule
+module Obs = Janus_obs.Obs
 
 (** Which thread a code cache belongs to. The main thread receives only
     event rules; workers also receive the parallel transformation
@@ -64,6 +65,7 @@ type t = {
   rules : (int, Rule.t list) Hashtbl.t;  (** the rule hash table *)
   schedule : Schedule.t option;
   stats : stats;
+  mutable obs : Obs.t option;  (** tracing/metrics sink, off by default *)
   mutable on_event : t -> thread_kind -> Machine.t -> Rule.t -> action;
 }
 
@@ -75,14 +77,21 @@ type cache = {
 }
 
 (** Create a DBM over a loaded program, indexing the schedule's rules
-    by trigger address. *)
-val create : ?schedule:Schedule.t -> Program.t -> t
+    by trigger address. [obs] attaches a tracing/metrics sink; when
+    absent (or when tracing is disabled on it) the DBM behaves exactly
+    as an uninstrumented one. *)
+val create : ?schedule:Schedule.t -> ?obs:Obs.t -> Program.t -> t
 
 val new_cache : thread_kind -> cache
 
+(** Trace-event thread id of a thread kind: 0 for {!Main}, [w + 1] for
+    [Worker w]. *)
+val tid_of : thread_kind -> int
+
 (** Discard every fragment (used when a failed bounds check forces the
-    modified code to be reloaded, §II-E1). *)
-val flush_cache : t -> cache -> unit
+    modified code to be reloaded, §II-E1). [now] timestamps the flush
+    event when tracing. *)
+val flush_cache : ?now:int -> t -> cache -> unit
 
 val rules_at : t -> int -> Rule.t list
 
@@ -100,6 +109,17 @@ val translate : t -> cache -> Machine.t -> int -> fragment
 
 exception Bad_pc of int
 
-(** Run [ctx] under the DBM until the program halts or an event handler
-    yields the thread. *)
-val run : ?fuel:int -> t -> cache -> Machine.t -> [ `Halted | `Yielded ]
+(** Run [ctx] under the DBM until the program halts, an event handler
+    yields the thread, or [fuel] dispatch steps are exhausted.
+    [`Out_of_fuel addr] carries the application address that was about
+    to be dispatched — a typed result rather than an exception, so
+    callers can produce a diagnostic (with trace context) instead of a
+    backtrace. *)
+val run :
+  ?fuel:int -> t -> cache -> Machine.t ->
+  [ `Halted | `Yielded | `Out_of_fuel of int ]
+
+(** Mirror {!field:t.stats} into the metrics registry under the
+    [dbm.*] counter names. Called at publish time (end of run), never
+    on hot paths. *)
+val publish_metrics : t -> Obs.t -> unit

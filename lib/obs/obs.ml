@@ -1,0 +1,513 @@
+(** janus_obs: low-overhead structured tracing and metrics, shared by
+    the DBM, the parallel runtime, the STM and the profiler.
+
+    Design constraints (see DESIGN.md §10):
+    - {e zero cost when disabled}: every emission site guards on
+      {!tracing} before constructing an event, so a disabled tracer
+      allocates nothing and never perturbs the virtual-cycle model;
+    - {e bounded}: events land in a fixed-capacity ring buffer — a
+      pathological run (an STM abort storm, say) overwrites the oldest
+      events instead of exhausting memory, and {!dropped} reports how
+      many were lost;
+    - {e derivable}: aggregate counters and histograms live in a
+      registry keyed by name, and the evaluation's Fig. 8 breakdown is
+      re-derived from that registry rather than from ad-hoc fields. *)
+
+(* ------------------------------------------------------------------ *)
+(* Event taxonomy                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | Block_translated of { addr : int; insns : int; trace : bool }
+  | Fragment_linked of { addr : int }
+  | Cache_flushed
+  | Rule_fired of { rule : string; addr : int }
+  | Lib_resolved of { name : string; addr : int }
+  | Loop_init of { loop_id : int; threads : int; trips : int }
+  | Loop_finish of { loop_id : int }
+  | Seq_fallback of { loop_id : int }
+  | Chunk_dispatched of {
+      loop_id : int;
+      worker : int;
+      iv_start : int64;
+      iv_end : int64;
+      iters : int;
+    }
+  | Check_passed of { loop_id : int; pairs : int }
+  | Check_failed of { loop_id : int; pairs : int }
+  | Tx_started of { addr : int }
+  | Tx_committed of { reads : int; writes : int }
+  | Tx_aborted of { addr : int }
+
+type event = {
+  ts : int;    (* virtual-cycle clock of the emitting thread *)
+  dur : int;   (* span length in cycles; 0 = instant *)
+  tid : int;   (* 0 = main, w+1 = worker w *)
+  kind : kind;
+}
+
+let category = function
+  | Block_translated _ -> "block_translated"
+  | Fragment_linked _ -> "fragment_linked"
+  | Cache_flushed -> "cache_flushed"
+  | Rule_fired _ -> "rule_fired"
+  | Lib_resolved _ -> "lib_resolved"
+  | Loop_init _ -> "loop_init"
+  | Loop_finish _ -> "loop_finish"
+  | Seq_fallback _ -> "seq_fallback"
+  | Chunk_dispatched _ -> "chunk_dispatched"
+  | Check_passed _ -> "check_passed"
+  | Check_failed _ -> "check_failed"
+  | Tx_started _ -> "tx_start"
+  | Tx_committed _ -> "tx_commit"
+  | Tx_aborted _ -> "tx_abort"
+
+let all_categories =
+  [
+    "block_translated"; "fragment_linked"; "cache_flushed"; "rule_fired";
+    "lib_resolved"; "loop_init"; "loop_finish"; "seq_fallback";
+    "chunk_dispatched"; "check_passed"; "check_failed"; "tx_start";
+    "tx_commit"; "tx_abort";
+  ]
+
+(* (name, value) pairs describing the payload, for exporters *)
+let fields = function
+  | Block_translated { addr; insns; trace } ->
+    [ ("addr", `Hex addr); ("insns", `Int insns);
+      ("trace", `Int (if trace then 1 else 0)) ]
+  | Fragment_linked { addr } -> [ ("addr", `Hex addr) ]
+  | Cache_flushed -> []
+  | Rule_fired { rule; addr } -> [ ("rule", `Str rule); ("addr", `Hex addr) ]
+  | Lib_resolved { name; addr } -> [ ("name", `Str name); ("addr", `Hex addr) ]
+  | Loop_init { loop_id; threads; trips } ->
+    [ ("loop", `Int loop_id); ("threads", `Int threads); ("trips", `Int trips) ]
+  | Loop_finish { loop_id } -> [ ("loop", `Int loop_id) ]
+  | Seq_fallback { loop_id } -> [ ("loop", `Int loop_id) ]
+  | Chunk_dispatched { loop_id; worker; iv_start; iv_end; iters } ->
+    [ ("loop", `Int loop_id); ("worker", `Int worker);
+      ("iv_start", `I64 iv_start); ("iv_end", `I64 iv_end);
+      ("iters", `Int iters) ]
+  | Check_passed { loop_id; pairs } ->
+    [ ("loop", `Int loop_id); ("pairs", `Int pairs) ]
+  | Check_failed { loop_id; pairs } ->
+    [ ("loop", `Int loop_id); ("pairs", `Int pairs) ]
+  | Tx_started { addr } -> [ ("addr", `Hex addr) ]
+  | Tx_committed { reads; writes } ->
+    [ ("reads", `Int reads); ("writes", `Int writes) ]
+  | Tx_aborted { addr } -> [ ("addr", `Hex addr) ]
+
+let pp_event ppf e =
+  let pp_field ppf (k, v) =
+    match v with
+    | `Hex n -> Fmt.pf ppf "%s=0x%x" k n
+    | `Int n -> Fmt.pf ppf "%s=%d" k n
+    | `I64 n -> Fmt.pf ppf "%s=%Ld" k n
+    | `Str s -> Fmt.pf ppf "%s=%s" k s
+  in
+  Fmt.pf ppf "[cycle %d tid %d] %s" e.ts e.tid (category e.kind);
+  if e.dur > 0 then Fmt.pf ppf " dur=%d" e.dur;
+  List.iter (fun f -> Fmt.pf ppf " %a" pp_field f) (fields e.kind)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;  (* log2 buckets: [0], (0;1], (1;2], (2;4] ... *)
+}
+
+type hist_summary = { n : int; sum : int; min_v : int; max_v : int }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 1 and b = ref 1 in
+    while v > !b && !i < 62 do
+      b := !b * 2;
+      incr i
+    done;
+    !i
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The tracer/metrics handle                                           *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  mutable buf : event array;  (* [||] until the first emission *)
+  mutable next : int;         (* next ring index to write *)
+  mutable total : int;        (* events ever emitted *)
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create ?(capacity = 65_536) ?(enabled = false) () =
+  {
+    capacity = max 1 capacity;
+    enabled;
+    buf = [||];
+    next = 0;
+    total = 0;
+    counters = Hashtbl.create 32;
+    hists = Hashtbl.create 8;
+  }
+
+let tracing t = t.enabled
+let set_tracing t on = t.enabled <- on
+
+let emit t ~tid ~ts ?(dur = 0) kind =
+  if t.enabled then begin
+    if Array.length t.buf = 0 then
+      t.buf <- Array.make t.capacity { ts = 0; dur = 0; tid = 0; kind = Cache_flushed };
+    t.buf.(t.next) <- { ts; dur; tid; kind };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let total_events t = t.total
+let dropped t = max 0 (t.total - t.capacity)
+
+(** Retained events, oldest first. *)
+let events t =
+  if t.total = 0 then []
+  else if t.total <= t.capacity then
+    Array.to_list (Array.sub t.buf 0 t.total)
+  else
+    List.init t.capacity (fun i -> t.buf.((t.next + i) mod t.capacity))
+
+let categories t =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+       let c = category e.kind in
+       Hashtbl.replace counts c (1 + (try Hashtbl.find counts c with Not_found -> 0)))
+    (events t);
+  List.filter_map
+    (fun c ->
+       match Hashtbl.find_opt counts c with Some n -> Some (c, n) | None -> None)
+    all_categories
+
+(* ------------------------------------------------------------------ *)
+(* Counters and histograms                                             *)
+(* ------------------------------------------------------------------ *)
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.counters name r;
+    r
+
+let incr t ?(by = 1) name =
+  let r = counter_ref t name in
+  r := !r + by
+
+let set t name v = counter_ref t name := v
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+      let h =
+        { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int;
+          h_buckets = Array.make 63 0 }
+      in
+      Hashtbl.replace t.hists name h;
+      h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let hist_summaries t =
+  Hashtbl.fold
+    (fun k h acc ->
+       (k, { n = h.h_count; sum = h.h_sum; min_v = h.h_min; max_v = h.h_max })
+       :: acc)
+    t.hists []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let args_json b kind =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b (Printf.sprintf "\"%s\":" (json_escape k));
+       match v with
+       | `Hex n | `Int n -> Buffer.add_string b (string_of_int n)
+       | `I64 n -> Buffer.add_string b (Int64.to_string n)
+       | `Str s -> Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape s)))
+    (fields kind);
+  Buffer.add_char b '}'
+
+(** One JSON object per line: the raw event stream. *)
+let jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+       Buffer.add_string b
+         (Printf.sprintf "{\"ts\":%d,\"dur\":%d,\"tid\":%d,\"cat\":\"%s\",\"args\":"
+            e.ts e.dur e.tid (category e.kind));
+       args_json b e.kind;
+       Buffer.add_string b "}\n")
+    (events t);
+  Buffer.contents b
+
+(** Chrome [trace_event] JSON (open in chrome://tracing or Perfetto):
+    spans ([dur > 0]) become complete events, everything else becomes a
+    thread-scoped instant; thread-name metadata maps tid 0 to the main
+    thread and tid w+1 to worker w. The virtual-cycle clock is reported
+    as microseconds, the unit the viewers expect. *)
+let chrome_json t =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let evs = events t in
+  let tids =
+    List.sort_uniq compare (0 :: List.map (fun e -> e.tid) evs)
+  in
+  List.iteri
+    (fun i tid ->
+       if i > 0 then Buffer.add_char b ',';
+       let name = if tid = 0 then "main" else Printf.sprintf "worker %d" (tid - 1) in
+       Buffer.add_string b
+         (Printf.sprintf
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+             \"args\":{\"name\":\"%s\"}}"
+            tid name))
+    tids;
+  List.iter
+    (fun e ->
+       Buffer.add_char b ',';
+       let cat = category e.kind in
+       if e.dur > 0 then
+         Buffer.add_string b
+           (Printf.sprintf
+              "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%d,\
+               \"dur\":%d,\"pid\":1,\"tid\":%d,\"args\":"
+              cat cat e.ts e.dur e.tid)
+       else
+         Buffer.add_string b
+           (Printf.sprintf
+              "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\
+               \"ts\":%d,\"pid\":1,\"tid\":%d,\"args\":"
+              cat cat e.ts e.tid);
+       args_json b e.kind;
+       Buffer.add_string b "}")
+    evs;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ns\"}";
+  Buffer.contents b
+
+let pp_summary ppf t =
+  Fmt.pf ppf "trace: %d events emitted, %d retained, %d dropped (capacity %d)@."
+    t.total (min t.total t.capacity) (dropped t) t.capacity;
+  (match categories t with
+   | [] -> ()
+   | cats ->
+     Fmt.pf ppf "events by category:@.";
+     List.iter (fun (c, n) -> Fmt.pf ppf "  %-20s %10d@." c n) cats);
+  (match counters t with
+   | [] -> ()
+   | cs ->
+     Fmt.pf ppf "counters:@.";
+     List.iter (fun (k, v) -> Fmt.pf ppf "  %-32s %12d@." k v) cs);
+  match hist_summaries t with
+  | [] -> ()
+  | hs ->
+    Fmt.pf ppf "histograms:@.";
+    List.iter
+      (fun (k, s) ->
+         Fmt.pf ppf "  %-32s n=%d min=%d max=%d mean=%.1f@." k s.n
+           (if s.n = 0 then 0 else s.min_v)
+           (if s.n = 0 then 0 else s.max_v)
+           (if s.n = 0 then 0.0 else float_of_int s.sum /. float_of_int s.n))
+      hs
+
+(** The last [n] retained events, one per line — the context dumped
+    next to runtime error diagnostics (e.g. fuel exhaustion). *)
+let trace_tail ?(n = 16) t =
+  let evs = events t in
+  let len = List.length evs in
+  let tail = if len <= n then evs else List.filteri (fun i _ -> i >= len - n) evs in
+  String.concat "" (List.map (fun e -> Fmt.str "  %a\n" pp_event e) tail)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (for validating exported traces without         *)
+(* external dependencies; used by tests and the CI trace checker)      *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of v list
+    | Obj of (string * v) list
+
+  exception Bad of string
+
+  let parse (s : string) : (v, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" lit)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'b' -> Buffer.add_char b '\b'
+           | 'f' -> Buffer.add_char b '\012'
+           | 'n' -> Buffer.add_char b '\n'
+           | 'r' -> Buffer.add_char b '\r'
+           | 't' -> Buffer.add_char b '\t'
+           | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+              | Some _ -> Buffer.add_char b '?'  (* non-ASCII: placeholder *)
+              | None -> fail "bad \\u escape")
+           | _ -> fail "bad escape");
+          go ()
+        | c -> Buffer.add_char b c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e'
+        || c = 'E'
+      in
+      while (match peek () with Some c when num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+    with Bad msg -> Error msg
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end

@@ -1,0 +1,129 @@
+(** janus_obs: low-overhead structured tracing + metrics for the DBM,
+    parallel runtime, STM and profiler.
+
+    A {!t} bundles a bounded ring-buffer event trace with a registry of
+    named counters and histograms. Tracing is off by default and every
+    emission site is expected to guard on {!tracing} before building an
+    event, so a disabled tracer costs one boolean load and allocates
+    nothing. *)
+
+(** Typed trace events. [tid] conventions: 0 is the main thread,
+    [w + 1] is worker [w]. Timestamps are virtual cycles of the
+    emitting thread's machine context. *)
+type kind =
+  | Block_translated of { addr : int; insns : int; trace : bool }
+  | Fragment_linked of { addr : int }
+  | Cache_flushed
+  | Rule_fired of { rule : string; addr : int }
+  | Lib_resolved of { name : string; addr : int }
+  | Loop_init of { loop_id : int; threads : int; trips : int }
+  | Loop_finish of { loop_id : int }
+  | Seq_fallback of { loop_id : int }
+  | Chunk_dispatched of {
+      loop_id : int;
+      worker : int;
+      iv_start : int64;
+      iv_end : int64;
+      iters : int;
+    }
+  | Check_passed of { loop_id : int; pairs : int }
+  | Check_failed of { loop_id : int; pairs : int }
+  | Tx_started of { addr : int }
+  | Tx_committed of { reads : int; writes : int }
+  | Tx_aborted of { addr : int }
+
+type event = { ts : int; dur : int; tid : int; kind : kind }
+
+type t
+
+(** Snake-case category name of an event kind (e.g. ["block_translated"],
+    ["tx_abort"]); these are the [cat] strings in the exported JSON. *)
+val category : kind -> string
+
+(** Every category name, in a stable order. *)
+val all_categories : string list
+
+val pp_event : Format.formatter -> event -> unit
+
+(** [create ()] makes a tracer with tracing {e disabled}. [capacity]
+    bounds the ring buffer (default 65536 events); the buffer itself is
+    not allocated until the first emission. *)
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+
+val tracing : t -> bool
+val set_tracing : t -> bool -> unit
+
+(** [emit t ~tid ~ts kind] appends an event if tracing is enabled,
+    overwriting the oldest event once the ring is full. [dur] (cycles)
+    turns the event into a span; instants leave it 0. Callers should
+    guard with {!tracing} so the [kind] payload is never allocated when
+    tracing is off. *)
+val emit : t -> tid:int -> ts:int -> ?dur:int -> kind -> unit
+
+(** Retained events, oldest first. *)
+val events : t -> event list
+
+(** Events ever emitted (including overwritten ones). *)
+val total_events : t -> int
+
+(** Events lost to ring overwrite. *)
+val dropped : t -> int
+
+(** Retained (category, count) pairs in {!all_categories} order. *)
+val categories : t -> (string * int) list
+
+(** {2 Metrics registry}
+
+    Counters and histograms are independent of tracing: they are cheap
+    enough to keep unconditionally on low-frequency paths, and the
+    DBM/runtime mirror their aggregate stats into them at publish time
+    so derived views (the Fig. 8 breakdown) never perturb hot paths. *)
+
+val incr : t -> ?by:int -> string -> unit
+val set : t -> string -> int -> unit
+val counter : t -> string -> int
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** Record one sample in the named log2-bucketed histogram. *)
+val observe : t -> string -> int -> unit
+
+type hist_summary = { n : int; sum : int; min_v : int; max_v : int }
+
+val hist_summaries : t -> (string * hist_summary) list
+
+(** {2 Exporters} *)
+
+(** Human-readable dump: event census, counters, histogram summaries. *)
+val pp_summary : Format.formatter -> t -> unit
+
+(** One JSON object per retained event, newline-separated. *)
+val jsonl : t -> string
+
+(** Chrome [trace_event] JSON — open in chrome://tracing or Perfetto.
+    Spans become ["ph":"X"] complete events, instants ["ph":"i"], with
+    thread-name metadata for main/worker rows. *)
+val chrome_json : t -> string
+
+(** Last [n] (default 16) retained events, pretty-printed one per line;
+    dumped alongside runtime error diagnostics. *)
+val trace_tail : ?n:int -> t -> string
+
+(** Minimal JSON parser — just enough to validate exported traces in
+    tests and CI without external dependencies. Non-ASCII [\u] escapes
+    decode to ['?']. *)
+module Json : sig
+  type v =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of v list
+    | Obj of (string * v) list
+
+  val parse : string -> (v, string) result
+
+  (** [member k (Obj ...)] looks up key [k]; [None] on other values. *)
+  val member : string -> v -> v option
+end

@@ -15,6 +15,7 @@ module Rule = Janus_schedule.Rule
 module Dbm = Janus_dbm.Dbm
 module Analysis = Janus_analysis.Analysis
 module Rulegen = Janus_analysis.Rulegen
+module Obs = Janus_obs.Obs
 
 type loop_cov = {
   mutable self_insns : int;
@@ -61,11 +62,11 @@ let avg_work coverage lid =
 (* Coverage profiling                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let run_coverage ?(fuel = 100_000_000) ?(input = []) image
+let run_coverage ?(fuel = 100_000_000) ?(input = []) ?obs image
     (analysis : Analysis.t) =
   let schedule = Rulegen.coverage_schedule analysis.Analysis.cfg analysis.Analysis.reports in
   let prog = Program.load image in
-  let dbm = Dbm.create ~schedule prog in
+  let dbm = Dbm.create ~schedule ?obs prog in
   let cache = Dbm.new_cache Dbm.Main in
   let loops = Hashtbl.create 16 in
   let get lid =
@@ -140,7 +141,15 @@ let run_coverage ?(fuel = 100_000_000) ?(input = []) image
        Dbm.Continue);
   let ctx = Run.fresh_context prog in
   List.iter (fun v -> Queue.push v ctx.Machine.input) input;
-  ignore (Dbm.run ~fuel dbm cache ctx);
+  let outcome = Dbm.run ~fuel dbm cache ctx in
+  (match obs with
+   | Some o ->
+     Obs.set o "prof.coverage_insns" ctx.Machine.icount;
+     Obs.set o "prof.loops_covered" (Hashtbl.length loops);
+     (match outcome with
+      | `Out_of_fuel _ -> Obs.incr o "prof.truncated_runs"
+      | `Halted | `Yielded -> ())
+   | None -> ());
   { total_insns = ctx.Machine.icount; loops }
 
 (* ------------------------------------------------------------------ *)
@@ -158,11 +167,11 @@ let has_dep deps lid =
 let was_observed deps lid =
   try Hashtbl.find deps.observed lid with Not_found -> false
 
-let run_dependence ?(fuel = 100_000_000) ?(input = []) image
+let run_dependence ?(fuel = 100_000_000) ?(input = []) ?obs image
     (analysis : Analysis.t) =
   let schedule = Rulegen.dependence_schedule analysis.Analysis.reports in
   let prog = Program.load image in
-  let dbm = Dbm.create ~schedule prog in
+  let dbm = Dbm.create ~schedule ?obs prog in
   let cache = Dbm.new_cache Dbm.Main in
   let dep_found = Hashtbl.create 8 in
   let observed = Hashtbl.create 8 in
@@ -231,7 +240,15 @@ let run_dependence ?(fuel = 100_000_000) ?(input = []) image
        Dbm.Continue);
   let ctx = Run.fresh_context prog in
   List.iter (fun v -> Queue.push v ctx.Machine.input) input;
-  ignore (Dbm.run ~fuel dbm cache ctx);
+  let outcome = Dbm.run ~fuel dbm cache ctx in
+  (match obs with
+   | Some o ->
+     Obs.set o "prof.loops_observed" (Hashtbl.length observed);
+     Obs.set o "prof.deps_found" (Hashtbl.length dep_found);
+     (match outcome with
+      | `Out_of_fuel _ -> Obs.incr o "prof.truncated_runs"
+      | `Halted | `Yielded -> ())
+   | None -> ());
   { dep_found; observed }
 
 (* ------------------------------------------------------------------ *)

@@ -37,9 +37,12 @@ val avg_trip : coverage -> int -> float
     behind the paper's "high invocation count" filter (§III-B). *)
 val avg_work : coverage -> int -> float
 
-(** Run the coverage-profiling schedule over a training input. *)
+(** Run the coverage-profiling schedule over a training input. [obs]
+    attaches a tracing/metrics sink to the profiling DBM; profile-level
+    [prof.*] counters are published into it after the run. *)
 val run_coverage :
-  ?fuel:int -> ?input:int64 list -> Janus_vx.Image.t -> Analysis.t -> coverage
+  ?fuel:int -> ?input:int64 list -> ?obs:Janus_obs.Obs.t ->
+  Janus_vx.Image.t -> Analysis.t -> coverage
 
 (** Results of the memory-dependence profiling run. *)
 type deps = {
@@ -51,9 +54,11 @@ val has_dep : deps -> int -> bool
 val was_observed : deps -> int -> bool
 
 (** Run the dependence-profiling schedule: a per-loop shadow word-map
-    flags accesses touching the same word in different iterations. *)
+    flags accesses touching the same word in different iterations.
+    [obs] is as in {!run_coverage}. *)
 val run_dependence :
-  ?fuel:int -> ?input:int64 list -> Janus_vx.Image.t -> Analysis.t -> deps
+  ?fuel:int -> ?input:int64 list -> ?obs:Janus_obs.Obs.t ->
+  Janus_vx.Image.t -> Analysis.t -> deps
 
 (** {1 Profile serialisation (.jpf)}
 

@@ -17,6 +17,7 @@ module Desc = Janus_schedule.Desc
 module Rexpr = Janus_schedule.Rexpr
 module Schedule = Janus_schedule.Schedule
 module Dbm = Janus_dbm.Dbm
+module Obs = Janus_obs.Obs
 
 type config = {
   threads : int;
@@ -26,11 +27,12 @@ type config = {
   (* ablation of the paper's "use it sparingly" argument (§II-E2):
      wrap every worker chunk in a transaction, buffering all of its
      accesses, instead of speculating only on discovered code *)
+  fuel : int;  (* per-chunk worker instruction budget *)
 }
 
 let default_config =
   { threads = 8; force_policy = None; stm_access_limit = 4096;
-    stm_everywhere = false }
+    stm_everywhere = false; fuel = 400_000_000 }
 
 type t = {
   dbm : Dbm.t;
@@ -41,10 +43,15 @@ type t = {
   loop_in_seq : (int, bool) Hashtbl.t;  (* currently running serially *)
   loop_invocations : (int, int) Hashtbl.t;
   mutable current_loop : int;  (* loop id the workers are executing *)
-  mutable skip_tx : (int * int) list;  (* (worker, call addr): re-execute
-                                          non-speculatively after abort *)
+  skip_tx : (int * int, unit) Hashtbl.t;
+  (* (worker, call addr): re-execute non-speculatively after abort.
+     Cleared at every LOOP_INIT so entries never leak into a later
+     invocation (a stale pair would silently suppress speculation). *)
   mutable stm_overflows : int;
 }
+
+(* the tracing/metrics sink rides on the DBM *)
+let obs t = t.dbm.Dbm.obs
 
 let rexpr_env (ctx : Machine.t) : Rexpr.env =
   {
@@ -107,7 +114,7 @@ let create ?(config = default_config) (dbm : Dbm.t) =
       loop_in_seq = Hashtbl.create 8;
       loop_invocations = Hashtbl.create 8;
       current_loop = -1;
-      skip_tx = [];
+      skip_tx = Hashtbl.create 16;
       stm_overflows = 0;
     }
   in
@@ -218,6 +225,7 @@ let write_partial (desc : Desc.loop_desc) w (ctx_w : Machine.t) loc v =
 (* ------------------------------------------------------------------ *)
 
 exception Worker_escaped of int  (* worker ended somewhere unexpected *)
+exception Worker_out_of_fuel of int * int  (* worker, application address *)
 
 let copy_frame (mem : Memory.t) ~src ~dst ~bytes =
   let words = (bytes + 7) / 8 in
@@ -267,6 +275,11 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
   if trips <= 0 then `Sequential
   else begin
     let threads = min t.config.threads (max 1 trips) in
+    (match obs t with
+     | Some o when Obs.tracing o ->
+       Obs.emit o ~tid:0 ~ts:main.Machine.cycles
+         (Obs.Loop_init { loop_id = desc.Desc.loop_id; threads; trips })
+     | _ -> ());
     let policy =
       match t.config.force_policy with
       | Some p -> p
@@ -348,6 +361,7 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
         (* run each chunk *)
         List.iter
           (fun c ->
+             let c_t0 = ctx.Machine.cycles in
              write_loc ctx desc.Desc.iv c.c_start;
              Memory.write_i64 ctx.Machine.mem
                (Layout.tls_base w)
@@ -359,10 +373,11 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
                if t.config.stm_everywhere then Some (Machine.start_txn ctx)
                else None
              in
-             (match Dbm.run t.dbm t.worker_caches.(w) ctx with
+             (match Dbm.run ~fuel:t.config.fuel t.dbm t.worker_caches.(w) ctx with
               | `Yielded -> ()
-              | `Halted -> raise (Worker_escaped w));
-             match chunk_txn with
+              | `Halted -> raise (Worker_escaped w)
+              | `Out_of_fuel addr -> raise (Worker_out_of_fuel (w, addr)));
+             (match chunk_txn with
              | Some txn ->
                (* chunks are executed in order, so validation always
                   succeeds; the cost of tracking and committing is the
@@ -378,6 +393,20 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
                  txn.Machine.twrites;
                stats.Dbm.stm_commits <- stats.Dbm.stm_commits + 1;
                Machine.end_txn ctx
+             | None -> ());
+             match obs t with
+             | Some o ->
+               let iters =
+                 Int64.to_int (Int64.div (Int64.sub c.c_end c.c_start) step)
+               in
+               Obs.incr o "rt.chunks";
+               Obs.observe o "rt.chunk_iters" iters;
+               if Obs.tracing o then
+                 Obs.emit o ~tid:(w + 1) ~ts:c_t0
+                   ~dur:(ctx.Machine.cycles - c_t0)
+                   (Obs.Chunk_dispatched
+                      { loop_id = desc.Desc.loop_id; worker = w;
+                        iv_start = c.c_start; iv_end = c.c_end; iters })
              | None -> ())
           chunks.(w);
         if doacross_frac = None then
@@ -465,6 +494,11 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
     main.Machine.cycles <- main.Machine.cycles + finish_cost;
     stats.Dbm.init_finish_cycles <- stats.Dbm.init_finish_cycles + finish_cost;
     t.current_loop <- -1;
+    (match obs t with
+     | Some o when Obs.tracing o ->
+       Obs.emit o ~tid:0 ~ts:main.Machine.cycles
+         (Obs.Loop_finish { loop_id = desc.Desc.loop_id })
+     | _ -> ());
     match desc.Desc.exit_addrs with
     | e :: _ -> `Parallel e
     | [] -> `Sequential
@@ -475,16 +509,21 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
 (* ------------------------------------------------------------------ *)
 
 let tx_start t w (ctx : Machine.t) call_addr =
-  if List.mem (w, call_addr) t.skip_tx then begin
+  if Hashtbl.mem t.skip_tx (w, call_addr) then begin
     (* re-execution after an abort: run non-speculatively, as the
        oldest thread would *)
-    t.skip_tx <- List.filter (fun p -> p <> (w, call_addr)) t.skip_tx;
+    Hashtbl.remove t.skip_tx (w, call_addr);
     Dbm.Continue
   end
   else begin
     ctx.Machine.cycles <- ctx.Machine.cycles + Cost.stm_checkpoint;
     let txn = Machine.start_txn ctx in
     ignore txn;
+    (match obs t with
+     | Some o when Obs.tracing o ->
+       Obs.emit o ~tid:(w + 1) ~ts:ctx.Machine.cycles
+         (Obs.Tx_started { addr = call_addr })
+     | _ -> ());
     Dbm.Continue
   end
 
@@ -518,6 +557,13 @@ let tx_finish t w (ctx : Machine.t) =
         ctx.Machine.cycles
         + (Cost.stm_commit_per_entry * Hashtbl.length txn.Machine.twrites);
       stats.Dbm.stm_commits <- stats.Dbm.stm_commits + 1;
+      (match obs t with
+       | Some o when Obs.tracing o ->
+         Obs.emit o ~tid:(w + 1) ~ts:ctx.Machine.cycles
+           (Obs.Tx_committed
+              { reads = Hashtbl.length txn.Machine.treads;
+                writes = Hashtbl.length txn.Machine.twrites })
+       | _ -> ());
       Machine.end_txn ctx;
       Dbm.Continue
     end
@@ -528,7 +574,12 @@ let tx_finish t w (ctx : Machine.t) =
       ctx.Machine.cycles <- ctx.Machine.cycles + Cost.stm_abort;
       let resume = txn.Machine.checkpoint_rip in
       Machine.rollback ctx txn;
-      t.skip_tx <- (w, resume) :: t.skip_tx;
+      Hashtbl.replace t.skip_tx (w, resume) ();
+      (match obs t with
+       | Some o when Obs.tracing o ->
+         Obs.emit o ~tid:(w + 1) ~ts:ctx.Machine.cycles
+           (Obs.Tx_aborted { addr = resume })
+       | _ -> ());
       Dbm.Divert resume
     end
 
@@ -547,6 +598,16 @@ let handler t (_dbm : Dbm.t) kind (ctx : Machine.t) (r : Rule.t) : Dbm.action =
       | Some sched ->
         let cd = Schedule.check_desc sched r.Rule.data in
         let ok = eval_check t ctx cd in
+        (match obs t with
+         | Some o ->
+           Obs.incr o (if ok then "rt.checks_passed" else "rt.checks_failed");
+           if Obs.tracing o then begin
+             let pairs = Desc.check_pairs cd in
+             Obs.emit o ~tid:0 ~ts:ctx.Machine.cycles
+               (if ok then Obs.Check_passed { loop_id = lid; pairs }
+                else Obs.Check_failed { loop_id = lid; pairs })
+           end
+         | None -> ());
         let was_seq =
           try Hashtbl.find t.loop_sequential lid with Not_found -> false
         in
@@ -555,12 +616,17 @@ let handler t (_dbm : Dbm.t) kind (ctx : Machine.t) (r : Rule.t) : Dbm.action =
         if (not ok) && not was_seq
            && (try Hashtbl.find t.loop_invocations lid > 0 with Not_found -> false)
         then begin
-          Array.iter (Dbm.flush_cache t.dbm) t.worker_caches;
+          Array.iter
+            (Dbm.flush_cache ~now:ctx.Machine.cycles t.dbm)
+            t.worker_caches;
           ctx.Machine.cycles <- ctx.Machine.cycles + Cost.cache_flush
         end;
         Dbm.Continue
     end
   | Dbm.Main, Rule.LOOP_INIT -> begin
+      (* a fresh invocation: drop any stale skip-speculation entries a
+         previous invocation's aborts left behind *)
+      Hashtbl.reset t.skip_tx;
       match t.dbm.Dbm.schedule with
       | None -> Dbm.Continue
       | Some _ when in_seq lid -> Dbm.Continue
@@ -570,6 +636,13 @@ let handler t (_dbm : Dbm.t) kind (ctx : Machine.t) (r : Rule.t) : Dbm.action =
           (* the check failed: execute this invocation serially, and do
              not re-fire at every header execution *)
           Hashtbl.replace t.loop_in_seq lid true;
+          (match obs t with
+           | Some o ->
+             Obs.incr o "rt.seq_fallbacks";
+             if Obs.tracing o then
+               Obs.emit o ~tid:0 ~ts:ctx.Machine.cycles
+                 (Obs.Seq_fallback { loop_id = lid })
+           | None -> ());
           Dbm.Continue
         end
         else begin
@@ -603,3 +676,13 @@ let handler t (_dbm : Dbm.t) kind (ctx : Machine.t) (r : Rule.t) : Dbm.action =
   | _, _ -> Dbm.Continue
 
 let install t = t.dbm.Dbm.on_event <- (fun dbm kind ctx r -> handler t dbm kind ctx r)
+
+(** Mirror runtime state into the metrics registry (per-loop invocation
+    counts, STM overflow count) and publish the DBM's stats alongside.
+    Done once at the end of a run, never on hot paths. *)
+let publish_metrics t o =
+  Dbm.publish_metrics t.dbm o;
+  Hashtbl.iter
+    (fun lid n -> Obs.set o (Printf.sprintf "loop.%d.invocations" lid) n)
+    t.loop_invocations;
+  Obs.set o "rt.stm_overflows" t.stm_overflows

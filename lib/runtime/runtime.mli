@@ -16,6 +16,7 @@ module Desc = Janus_schedule.Desc
 module Rexpr = Janus_schedule.Rexpr
 module Schedule = Janus_schedule.Schedule
 module Dbm = Janus_dbm.Dbm
+module Obs = Janus_obs.Obs
 
 type config = {
   threads : int;
@@ -24,6 +25,9 @@ type config = {
   stm_everywhere : bool;
       (** ablation: buffer every worker access transactionally instead
           of speculating only on discovered code (§II-E2) *)
+  fuel : int;
+      (** per-chunk worker instruction budget; exhausting it raises
+          {!Worker_out_of_fuel} instead of spinning forever *)
 }
 
 val default_config : config
@@ -39,8 +43,10 @@ type t = {
       (** loop id -> currently inside a sequential-fallback invocation *)
   loop_invocations : (int, int) Hashtbl.t;
   mutable current_loop : int;  (** loop id the workers are executing *)
-  mutable skip_tx : (int * int) list;
-      (** (worker, call addr) pairs re-executing non-speculatively *)
+  skip_tx : (int * int, unit) Hashtbl.t;
+      (** (worker, call addr) pairs re-executing non-speculatively
+          after an abort; cleared at every LOOP_INIT so stale entries
+          never suppress speculation in a later invocation *)
   mutable stm_overflows : int;
 }
 
@@ -101,7 +107,15 @@ val tx_finish : t -> int -> Machine.t -> Dbm.action
 
 exception Worker_escaped of int
 
+(** A worker exhausted its DBM fuel at (worker, application address). *)
+exception Worker_out_of_fuel of int * int
+
 (** Execute one selected loop in parallel from the main context. *)
 val run_parallel_loop :
   t -> Machine.t -> Desc.loop_desc -> bound_adjust:int64 ->
   [ `Parallel of int | `Sequential ]
+
+(** Mirror runtime state (per-loop invocation counts as
+    [loop.<id>.invocations], [rt.stm_overflows]) and the DBM's stats
+    into the metrics registry. Called once at publish time. *)
+val publish_metrics : t -> Obs.t -> unit

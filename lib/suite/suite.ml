@@ -1034,6 +1034,11 @@ let all =
 
 let find name = List.find_opt (fun b -> String.equal b.name name) all
 
+let find_exn name =
+  match find name with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Suite.find_exn: no benchmark named %S" name)
+
 (** Compile a benchmark with the given compiler options. *)
 let compile ?(options = Janus_jcc.Jcc.default_options) b =
   Janus_jcc.Jcc.compile ~options b.source

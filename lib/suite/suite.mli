@@ -22,6 +22,11 @@ val all : benchmark list
 (** Look a benchmark up by its full name. *)
 val find : string -> benchmark option
 
+(** Like {!find}, but raises [Invalid_argument] naming the missing
+    benchmark — use instead of [Option.get (find ...)], whose anonymous
+    failure hides which name was wrong. *)
+val find_exn : string -> benchmark
+
 (** Compile a benchmark with the given compiler options (default:
     gcc-profile [-O3], as in the paper's main evaluation). *)
 val compile :

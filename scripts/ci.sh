@@ -31,4 +31,20 @@ for src in "${guests[@]}"; do
   dune exec bin/jverify.exe -- "$jx" "$jrs"
   dune exec bin/jverify.exe -- --crosscheck "$jx" "$jrs"
 done
+
+echo "== traced benchmark run =="
+# run one real benchmark with tracing on and prove the exported Chrome
+# trace parses and covers every event category the run exercises:
+# translation, linking, library resolution, rules, loop scheduling,
+# bounds checks and the STM
+trace_dir="_build/ci"
+mkdir -p "$trace_dir"
+dune exec test/tools/suite_jx.exe -- 410.bwaves "$work/bwaves.jx"
+dune exec bin/janus_run.exe -- "$work/bwaves.jx" --scale 300 \
+  --train-scale 300 --trace "$trace_dir/bwaves_trace.json" --metrics \
+  > "$trace_dir/bwaves.run.log"
+dune exec test/tools/trace_check.exe -- "$trace_dir/bwaves_trace.json" \
+  block_translated fragment_linked lib_resolved rule_fired \
+  loop_init loop_finish chunk_dispatched check_passed tx_start tx_commit
+
 echo "CI OK"

@@ -90,6 +90,29 @@ let test_cache_flush () =
     (Hashtbl.length cache.Dbm.frags);
   Alcotest.(check int) "flush counted" 1 dbm.Dbm.stats.Dbm.cache_flushes
 
+let test_out_of_fuel_is_typed () =
+  let img = loop_image ~n:1_000_000 in
+  let prog = Program.load img in
+  let dbm = Dbm.create prog in
+  let cache = Dbm.new_cache Dbm.Main in
+  let ctx = Run.fresh_context prog in
+  (* a tiny budget cannot finish a million-iteration loop; the DBM must
+     report that as a value, not an exception *)
+  (match Dbm.run ~fuel:50 dbm cache ctx with
+   | `Out_of_fuel addr ->
+     Alcotest.(check bool) "stops inside .text" true (addr >= Layout.text_base)
+   | `Halted -> Alcotest.fail "cannot halt on 50 instructions"
+   | `Yielded -> Alcotest.fail "nothing yields here");
+  (* the same program with enough fuel halts normally *)
+  let img' = loop_image ~n:10 in
+  let prog' = Program.load img' in
+  let dbm' = Dbm.create prog' in
+  let cache' = Dbm.new_cache Dbm.Main in
+  let ctx' = Run.fresh_context prog' in
+  match Dbm.run dbm' cache' ctx' with
+  | `Halted -> ()
+  | _ -> Alcotest.fail "short loop should halt"
+
 (* ------------------------------------------------------------------ *)
 (* Transformation handlers                                             *)
 (* ------------------------------------------------------------------ *)
@@ -339,6 +362,7 @@ let tests =
     Alcotest.test_case "fragments cached" `Quick test_fragments_cached;
     Alcotest.test_case "trace promotion" `Quick test_trace_promotion;
     Alcotest.test_case "cache flush" `Quick test_cache_flush;
+    Alcotest.test_case "out of fuel is typed" `Quick test_out_of_fuel_is_typed;
     Alcotest.test_case "privatise transform" `Quick test_privatise_transform;
     Alcotest.test_case "update bound transform" `Quick
       test_update_bound_transform;

@@ -11,6 +11,7 @@ let () =
       ("profile", Test_profile.tests);
       ("dbm", Test_dbm.tests);
       ("runtime", Test_runtime.tests);
+      ("obs", Test_obs.tests);
       ("e2e", Test_e2e.tests);
       ("suite", Test_suite.tests);
     ]

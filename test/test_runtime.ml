@@ -6,6 +6,7 @@ open Janus_vm
 module Runtime = Janus_runtime.Runtime
 module Desc = Janus_schedule.Desc
 module Rexpr = Janus_schedule.Rexpr
+module Rule = Janus_schedule.Rule
 module Dbm = Janus_dbm.Dbm
 
 (* ------------------------------------------------------------------ *)
@@ -304,6 +305,37 @@ let test_stm_abort_on_conflict () =
   Alcotest.(check bool) "no txn installed on retry" true
     (ctx.Machine.txn = None)
 
+(* regression: an abort's (worker, addr) skip entry must not survive
+   into the next loop invocation — it would silently suppress
+   speculation there.  skip_tx is cleared at every LOOP_INIT. *)
+let test_skip_tx_cleared_between_invocations () =
+  let rt, ctx = make_rt () in
+  Runtime.install rt;
+  (* first invocation: a conflict aborts the transaction at 0x400123 *)
+  ctx.Machine.rip <- 0x400123;
+  ignore (Machine.start_txn ctx);
+  ignore (Semantics.raw_read ctx 0x800000);
+  Memory.write_i64 ctx.Machine.mem 0x800000 999L;
+  (match Runtime.tx_finish rt 2 ctx with
+   | Dbm.Divert _ -> ()
+   | _ -> Alcotest.fail "conflict should divert");
+  Alcotest.(check int) "abort leaves a skip entry" 1
+    (Hashtbl.length rt.Runtime.skip_tx);
+  (* a second invocation begins: LOOP_INIT drops the stale entry *)
+  (match
+     rt.Runtime.dbm.Dbm.on_event rt.Runtime.dbm Dbm.Main ctx
+       (Rule.make ~addr:0x400100 Rule.LOOP_INIT)
+   with
+   | Dbm.Continue -> ()
+   | _ -> Alcotest.fail "loop init without a schedule should continue");
+  Alcotest.(check int) "cleared at LOOP_INIT" 0
+    (Hashtbl.length rt.Runtime.skip_tx);
+  (* so the same call site speculates again instead of running bare *)
+  (match Runtime.tx_start rt 2 ctx 0x400123 with
+   | Dbm.Continue -> ()
+   | _ -> Alcotest.fail "tx_start should continue");
+  Alcotest.(check bool) "speculation resumes" true (ctx.Machine.txn <> None)
+
 let test_stm_write_skew_safe () =
   (* a transaction that only reads commits even if it read hot data *)
   let rt, ctx = make_rt () in
@@ -330,6 +362,8 @@ let tests =
     Alcotest.test_case "check negative extent" `Quick test_check_negative_extent;
     Alcotest.test_case "stm commit" `Quick test_stm_commit;
     Alcotest.test_case "stm abort on conflict" `Quick test_stm_abort_on_conflict;
+    Alcotest.test_case "skip_tx cleared between invocations" `Quick
+      test_skip_tx_cleared_between_invocations;
     Alcotest.test_case "stm read-only commits" `Quick test_stm_write_skew_safe;
     QCheck_alcotest.to_alcotest prop_trip_count;
     QCheck_alcotest.to_alcotest prop_chunked_partition_complete;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Assertions over the CLI failure-path artefacts: every bad input or
+# truncated run must leave a one-line diagnostic and no backtrace.
+set -eu
+
+fail() { echo "tools failure test: $1" >&2; exit 1; }
+
+grep -q "janus_run: native run out of fuel (100); raise --fuel" fuel_fail.out ||
+  fail "fuel exhaustion diagnostic missing"
+
+grep -q -- "--threads must be positive, got 0" badargs.out ||
+  fail "bad --threads diagnostic missing"
+
+grep -q 'janus_eval: unknown experiment "fig99"' badexp.out ||
+  fail "unknown experiment diagnostic missing"
+
+for f in fuel_fail.out badargs.out badexp.out; do
+  grep -qi "Raised at\|Backtrace\|Fatal error" "$f" &&
+    fail "$f contains a backtrace" || true
+done
+
+echo "tools failure test: ok"

@@ -1,0 +1,12 @@
+(* suite_jx: compile one suite benchmark to a JX binary on disk, so
+   shell-level tests and CI can feed real benchmarks to janus_run. *)
+
+let () =
+  match Sys.argv with
+  | [| _; name; out |] ->
+    let image = Janus_suite.Suite.compile (Janus_suite.Suite.find_exn name) in
+    Out_channel.with_open_bin out (fun oc ->
+        Out_channel.output_bytes oc (Janus_vx.Image.to_bytes image))
+  | _ ->
+    prerr_endline "usage: suite_jx BENCHMARK OUT.jx";
+    exit 2

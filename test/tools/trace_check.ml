@@ -1,0 +1,61 @@
+(* trace_check: validate an exported Chrome trace_event JSON file.
+
+   usage: trace_check TRACE.json [category ...]
+
+   Exits nonzero unless the file parses as JSON, has a traceEvents
+   array whose entries carry the mandatory fields, and contains at
+   least one event of every category named on the command line. *)
+
+module Json = Janus_obs.Obs.Json
+
+let fail fmt = Fmt.kstr (fun s -> Fmt.epr "trace_check: %s@." s; exit 1) fmt
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: trace_check TRACE.json [category ...]";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  let required =
+    Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+  in
+  let text =
+    In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+  in
+  let root =
+    match Json.parse text with
+    | Ok v -> v
+    | Error msg -> fail "%s does not parse: %s" path msg
+  in
+  let events =
+    match Json.member "traceEvents" root with
+    | Some (Json.Arr evs) -> evs
+    | Some _ -> fail "traceEvents is not an array"
+    | None -> fail "no traceEvents key"
+  in
+  let str_field k ev =
+    match Json.member k ev with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let seen = Hashtbl.create 16 in
+  let tids = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+       (match str_field "ph" ev with
+        | Some ("X" | "i" | "M") -> ()
+        | Some ph -> fail "unexpected phase %S" ph
+        | None -> fail "event without ph");
+       (match Json.member "tid" ev with
+        | Some (Json.Num tid) -> Hashtbl.replace tids (int_of_float tid) ()
+        | _ -> fail "event without numeric tid");
+       match str_field "cat" ev with
+       | Some cat -> Hashtbl.replace seen cat ()
+       | None -> ())  (* metadata events carry no cat *)
+    events;
+  List.iter
+    (fun cat ->
+       if not (Hashtbl.mem seen cat) then
+         fail "no %S event in %s (saw: %s)" cat path
+           (String.concat ", " (Hashtbl.fold (fun k () acc -> k :: acc) seen [])))
+    required;
+  Fmt.pr "trace_check: %s ok (%d events, %d categories, %d threads)@." path
+    (List.length events) (Hashtbl.length seen) (Hashtbl.length tids)
