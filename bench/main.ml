@@ -194,22 +194,46 @@ let run_benchmarks () =
        | _ -> Fmt.pr "  %-40s (no estimate)@." name)
     results
 
-let () =
-  let bench_only =
-    Array.length Sys.argv > 1 && String.equal Sys.argv.(1) "--bench-only"
+let regenerate_figures ~jobs =
+  Fmt.pr "=== Janus evaluation: regenerating all tables and figures ===@.@.";
+  (* one artifact store for the whole regeneration, so experiments
+     share compiles, analyses and profiles; with --jobs > 1 the
+     per-benchmark rows additionally fan out over domains (output is
+     byte-identical either way) *)
+  let store = Janus_core.Pipeline.store () in
+  let go pool =
+    let ctx = Eval.ctx ~store ?pool () in
+    Fmt.pr "%a@." Eval.pp_fig6 (Eval.fig6 ~ctx ());
+    Fmt.pr "%a@." Eval.pp_fig7 (Eval.fig7 ~ctx ());
+    Fmt.pr "%a@." Eval.pp_fig8 (Eval.fig8 ~ctx ());
+    Fmt.pr "%a@." Eval.pp_table1 (Eval.table1 ~ctx ());
+    Fmt.pr "%a@." Eval.pp_excall (Eval.excall_footprint ~ctx ());
+    Fmt.pr "%a@." Eval.pp_fig9 (Eval.fig9 ~ctx ());
+    Fmt.pr "%a@." Eval.pp_fig10 (Eval.fig10 ~ctx ());
+    Fmt.pr "%a@." Eval.pp_fig11 (Eval.fig11 ~ctx ());
+    Fmt.pr "%a@." Eval.pp_fig12 (Eval.fig12 ~ctx ());
+    Fmt.pr "%a@." Eval.pp_ext_doacross (Eval.ext_doacross ~ctx ());
+    Fmt.pr "%a@." Eval.pp_ext_prefetch (Eval.ext_prefetch ~ctx ())
   in
-  if not bench_only then begin
-    Fmt.pr "=== Janus evaluation: regenerating all tables and figures ===@.@.";
-    Fmt.pr "%a@." Eval.pp_fig6 (Eval.fig6 ());
-    Fmt.pr "%a@." Eval.pp_fig7 (Eval.fig7 ());
-    Fmt.pr "%a@." Eval.pp_fig8 (Eval.fig8 ());
-    Fmt.pr "%a@." Eval.pp_table1 (Eval.table1 ());
-    Fmt.pr "%a@." Eval.pp_excall (Eval.excall_footprint ());
-    Fmt.pr "%a@." Eval.pp_fig9 (Eval.fig9 ());
-    Fmt.pr "%a@." Eval.pp_fig10 (Eval.fig10 ());
-    Fmt.pr "%a@." Eval.pp_fig11 (Eval.fig11 ());
-    Fmt.pr "%a@." Eval.pp_fig12 (Eval.fig12 ());
-    Fmt.pr "%a@." Eval.pp_ext_doacross (Eval.ext_doacross ());
-    Fmt.pr "%a@." Eval.pp_ext_prefetch (Eval.ext_prefetch ())
-  end;
+  if jobs > 1 then
+    Janus_pool.Pool.with_pool ~jobs (fun p -> go (Some p))
+  else go None
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let bench_only = List.mem "--bench-only" args in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> n
+          | _ ->
+            Fmt.epr "bench: --jobs expects a positive integer, got %S@." n;
+            exit 2)
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    find args
+  in
+  if not bench_only then regenerate_figures ~jobs;
   run_benchmarks ()

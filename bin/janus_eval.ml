@@ -1,41 +1,113 @@
 (* janus_eval: regenerate any table or figure of the paper's evaluation
    over the synthetic SPEC-like suite.
 
-   Usage: janus_eval
-     [fig6|fig7|fig8|table1|fig9|fig10|fig11|fig12|doacross|prefetch|all] *)
+   Experiments share one content-keyed artifact store, so e.g. fig7's
+   four configurations reuse a single static analysis and profile per
+   benchmark; --jobs fans the per-benchmark rows out over domains with
+   byte-identical output. *)
 
+open Cmdliner
 module Eval = Janus_core.Eval
+module Pipeline = Janus_core.Pipeline
+module Pool = Janus_pool.Pool
+module Obs = Janus_obs.Obs
 module Run = Janus_vm.Run
+
+(* exit codes: 0 on success, 2 for unusable inputs (cmdliner reserves
+   124 for argument parse errors), 3 for fuel exhaustion *)
+let exit_bad_input = 2
+let exit_out_of_fuel = 3
+
+let die code fmt = Fmt.kstr (fun s -> Fmt.epr "janus_eval: %s@." s; code) fmt
 
 let experiments =
   [ "fig6"; "fig7"; "fig8"; "table1"; "fig9"; "fig10"; "fig11"; "fig12";
     "doacross"; "prefetch" ]
 
-let run_one = function
-  | "fig6" -> Fmt.pr "%a@." Eval.pp_fig6 (Eval.fig6 ())
-  | "fig7" -> Fmt.pr "%a@." Eval.pp_fig7 (Eval.fig7 ())
-  | "fig8" -> Fmt.pr "%a@." Eval.pp_fig8 (Eval.fig8 ())
+let run_one ctx = function
+  | "fig6" -> Fmt.pr "%a@." Eval.pp_fig6 (Eval.fig6 ~ctx ())
+  | "fig7" -> Fmt.pr "%a@." Eval.pp_fig7 (Eval.fig7 ~ctx ())
+  | "fig8" -> Fmt.pr "%a@." Eval.pp_fig8 (Eval.fig8 ~ctx ())
   | "table1" ->
-    Fmt.pr "%a@." Eval.pp_table1 (Eval.table1 ());
-    Fmt.pr "%a@." Eval.pp_excall (Eval.excall_footprint ())
-  | "fig9" -> Fmt.pr "%a@." Eval.pp_fig9 (Eval.fig9 ())
-  | "fig10" -> Fmt.pr "%a@." Eval.pp_fig10 (Eval.fig10 ())
-  | "fig11" -> Fmt.pr "%a@." Eval.pp_fig11 (Eval.fig11 ())
-  | "fig12" -> Fmt.pr "%a@." Eval.pp_fig12 (Eval.fig12 ())
-  | "doacross" -> Fmt.pr "%a@." Eval.pp_ext_doacross (Eval.ext_doacross ())
-  | "prefetch" -> Fmt.pr "%a@." Eval.pp_ext_prefetch (Eval.ext_prefetch ())
-  | other ->
-    Fmt.epr "janus_eval: unknown experiment %S (expected %s or all)@." other
-      (String.concat "|" experiments);
-    exit 2
+    Fmt.pr "%a@." Eval.pp_table1 (Eval.table1 ~ctx ());
+    Fmt.pr "%a@." Eval.pp_excall (Eval.excall_footprint ~ctx ())
+  | "fig9" -> Fmt.pr "%a@." Eval.pp_fig9 (Eval.fig9 ~ctx ())
+  | "fig10" -> Fmt.pr "%a@." Eval.pp_fig10 (Eval.fig10 ~ctx ())
+  | "fig11" -> Fmt.pr "%a@." Eval.pp_fig11 (Eval.fig11 ~ctx ())
+  | "fig12" -> Fmt.pr "%a@." Eval.pp_fig12 (Eval.fig12 ~ctx ())
+  | "doacross" -> Fmt.pr "%a@." Eval.pp_ext_doacross (Eval.ext_doacross ~ctx ())
+  | "prefetch" -> Fmt.pr "%a@." Eval.pp_ext_prefetch (Eval.ext_prefetch ~ctx ())
+  | _ -> assert false (* names are validated before any experiment runs *)
 
-let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  let todo = if String.equal which "all" then experiments else [ which ] in
-  try List.iter run_one todo with
-  | Run.Out_of_fuel ->
-    Fmt.epr "janus_eval: a baseline run exhausted its fuel budget@.";
-    exit 3
-  | Invalid_argument msg | Failure msg ->
-    Fmt.epr "janus_eval: %s@." msg;
-    exit 2
+(* metrics go to stderr so stdout stays byte-comparable across runs *)
+let print_metrics store pool =
+  let obs = Obs.create () in
+  Pipeline.publish_metrics store obs;
+  (match pool with Some p -> Pool.publish_metrics p obs | None -> ());
+  List.iter (fun (k, v) -> Fmt.epr "%-32s %12d@." k v) (Obs.counters obs)
+
+let run names jobs no_cache metrics =
+  let todo =
+    List.concat_map
+      (fun n -> if String.equal n "all" then experiments else [ n ])
+      (match names with [] -> [ "all" ] | names -> names)
+  in
+  match List.find_opt (fun n -> not (List.mem n experiments)) todo with
+  | Some bad ->
+    die exit_bad_input "unknown experiment %S (expected %s or all)" bad
+      (String.concat "|" experiments)
+  | None ->
+    let store = Pipeline.store ~enabled:(not no_cache) () in
+    let go pool =
+      let ctx = Eval.ctx ~store ?pool () in
+      List.iter (run_one ctx) todo;
+      if metrics then print_metrics store pool
+    in
+    (try
+       (if jobs > 1 then Pool.with_pool ~jobs (fun p -> go (Some p))
+        else go None);
+       0
+     with
+     | Run.Out_of_fuel ->
+       die exit_out_of_fuel "a baseline run exhausted its fuel budget"
+     | Invalid_argument msg | Failure msg -> die exit_bad_input "%s" msg)
+
+let pos_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "%s must be positive, got %d" what n))
+    | None -> Error (`Msg (Printf.sprintf "%s must be an integer, got %S" what s))
+  in
+  Arg.conv (parse, Fmt.int)
+
+let names =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+         ~doc:"Experiments to regenerate (fig6 fig7 fig8 table1 fig9 fig10 \
+               fig11 fig12 doacross prefetch, or all). Default: all.")
+
+let jobs =
+  Arg.(value & opt (pos_int "--jobs") 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Evaluate benchmark rows on $(docv) domains. Output is\n\
+                 byte-identical to --jobs 1.")
+
+let no_cache =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Recompute every pipeline artifact instead of sharing\n\
+                 analyses, profiles and schedules across experiments.")
+
+let metrics =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print pipeline.cache.* and pool.* counters to stderr\n\
+                 when done.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "janus_eval"
+       ~doc:"Regenerate the paper's evaluation tables and figures")
+    Term.(const run $ names $ jobs $ no_cache $ metrics)
+
+let () = exit (Cmd.eval' cmd)

@@ -9,12 +9,19 @@ type t = {
 }
 
 let analyse_image image =
+  (* deterministic artifacts: loop ids are unique within this image and
+     atom ids restart per analysis, so analysing the same image always
+     yields identical results — the invariant the pipeline's artifact
+     cache relies on — and no global state is touched, so independent
+     analyses can run on separate domains *)
+  Sympoly.reset_atoms ();
+  let lid_counter = ref 0 in
   let cfg = Cfg.recover image in
   let reports =
     List.concat_map
       (fun f ->
          let dom = Dom.compute f in
-         let ltree = Looptree.compute f dom in
+         let ltree = Looptree.compute ~counter:lid_counter f dom in
          let fa = Funcanal.compute f dom in
          List.map (fun l -> Loopanal.analyse cfg ~fa f ltree l)
            ltree.Looptree.loops)

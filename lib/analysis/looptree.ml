@@ -16,8 +16,6 @@ type t = {
   by_id : (int, loop) Hashtbl.t;
 }
 
-let counter = ref 0
-
 let natural_loop (f : Cfg.func) header latches =
   let body = Hashtbl.create 16 in
   Hashtbl.replace body header ();
@@ -32,7 +30,11 @@ let natural_loop (f : Cfg.func) header latches =
   List.iter add latches;
   Hashtbl.fold (fun a () acc -> a :: acc) body [] |> List.sort compare
 
-let compute (f : Cfg.func) (dom : Dom.t) =
+(* Loop ids are drawn from [counter]: callers analysing several
+   functions of one image pass a shared counter so ids stay unique
+   across the image; a fresh counter per call keeps [compute]
+   re-entrant (no global state) and ids deterministic per analysis. *)
+let compute ?(counter = ref 0) (f : Cfg.func) (dom : Dom.t) =
   (* back edges: succ edge b -> h where h dominates b *)
   let back = Hashtbl.create 8 in
   List.iter

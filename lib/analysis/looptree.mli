@@ -1,7 +1,7 @@
 (** Natural-loop detection and nesting (the loop forest of §II-D). *)
 
 type loop = {
-  lid : int;                   (** globally unique loop id *)
+  lid : int;                   (** unique within the analysis session *)
   header : int;                (** header block address *)
   latches : int list;          (** blocks with a back edge to the header *)
   body : int list;             (** block addresses, header included *)
@@ -16,8 +16,12 @@ type t = {
   by_id : (int, loop) Hashtbl.t;
 }
 
-(** Find the natural loops of a function and their nesting. *)
-val compute : Cfg.func -> Dom.t -> t
+(** Find the natural loops of a function and their nesting. Loop ids
+    are allocated from [counter] (default: a fresh one per call, so ids
+    start at 1); callers covering several functions of one image pass a
+    shared counter to keep ids unique across the image. There is no
+    hidden global state, so [compute] is re-entrant across domains. *)
+val compute : ?counter:int ref -> Cfg.func -> Dom.t -> t
 
 val loop : t -> int -> loop option
 val inner_loops : t -> loop -> loop list

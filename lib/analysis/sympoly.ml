@@ -36,11 +36,21 @@ type akind =
 
 type atom = { aid : int; kind : akind }
 
-let atom_counter = ref 0
+(* Atom ids are domain-local so concurrent analyses on separate
+   domains never race, and reset at every top-level analysis entry
+   ({!reset_atoms}) so the artifacts one analysis produces are
+   bit-identical no matter what ran before it on this domain. Atoms are
+   only ever compared within a single analysis session, so per-session
+   ids are safe. *)
+let atom_counter : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_atom kind =
-  incr atom_counter;
-  { aid = !atom_counter; kind }
+  let c = Domain.DLS.get atom_counter in
+  incr c;
+  { aid = !c; kind }
+
+let reset_atoms () = Domain.DLS.get atom_counter := 0
 
 module AMap = Map.Make (Int)
 

@@ -32,6 +32,13 @@ type atom = { aid : int; kind : akind }
 (** Allocate a globally fresh atom. *)
 val fresh_atom : akind -> atom
 
+(** Reset this domain's atom-id counter. Called at every top-level
+    analysis entry so atom ids — and hence the artifacts an analysis
+    produces — are deterministic regardless of what already ran on this
+    domain. Atom ids are domain-local, so analyses running concurrently
+    on separate domains never interfere. *)
+val reset_atoms : unit -> unit
+
 module AMap : Map.S with type key = int
 
 type t = {

@@ -11,8 +11,33 @@ module Profiler = Janus_profile.Profiler
 module Loopanal = Janus_analysis.Loopanal
 module Analysis = Janus_analysis.Analysis
 module Jcc = Janus_jcc.Jcc
+module Pool = Janus_pool.Pool
 
 let nine = List.filter (fun b -> b.Suite.parallelisable) Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation context: shared artifact store + optional domain pool     *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = { store : Pipeline.store; pool : Pool.t option }
+
+let ctx ?(store = Pipeline.default_store) ?pool () = { store; pool }
+
+let default_ctx = ctx ()
+
+(* Per-benchmark rows are independent, so a context with a pool fans
+   them out over domains; results come back in submission order, so the
+   printed figures are byte-identical to a sequential run. *)
+let par_map ctx f xs =
+  match ctx.pool with Some p -> Pool.map p f xs | None -> List.map f xs
+
+let compile ctx ?options (b : Suite.benchmark) =
+  Pipeline.compile ~store:ctx.store ?options b.Suite.source
+
+(* fig6 and the excall footprint historically profile at the profiler's
+   own default budget, not the pipeline default; the fuel is part of the
+   profile's cache key, so the distinction must be preserved *)
+let profiler_default_cfg = Pipeline.config ~fuel:100_000_000 ()
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 6: loop classification                                         *)
@@ -55,13 +80,17 @@ let categorise (deps : Profiler.deps) (r : Loopanal.report) =
   | Loopanal.Ambiguous _ ->
     if Profiler.has_dep deps lid then Dynamic_dep else Dynamic_doall
 
-let fig6_row (b : Suite.benchmark) =
-  let img = Suite.compile b in
-  let analysis = Analysis.analyse_image img in
-  let coverage =
-    Profiler.run_coverage ~input:(Suite.train_input b) img analysis
+let fig6_row ctx (b : Suite.benchmark) =
+  let img = compile ctx b in
+  let analysis = Pipeline.analyse ~store:ctx.store img in
+  let coverage, deps =
+    match
+      Pipeline.profile ~store:ctx.store ~cfg:profiler_default_cfg
+        ~train_input:(Suite.train_input b) img analysis
+    with
+    | Some cov, Some deps -> (cov, deps)
+    | _ -> assert false (* the default config profiles both sides *)
   in
-  let deps = Profiler.run_dependence ~input:(Suite.train_input b) img analysis in
   let cats =
     List.map (fun r -> (r, categorise deps r)) analysis.Analysis.reports
   in
@@ -88,7 +117,7 @@ let fig6_row (b : Suite.benchmark) =
   in
   { f6_name = b.Suite.name; f6_static = static; f6_dynamic = dynamic }
 
-let fig6 () = List.map fig6_row Suite.all
+let fig6 ?(ctx = default_ctx) () = par_map ctx (fig6_row ctx) Suite.all
 
 let pp_fig6 ppf rows =
   Fmt.pf ppf
@@ -124,22 +153,22 @@ type fig7_row = {
   f7_janus : float;
 }
 
-let run_configs ?options (b : Suite.benchmark) ~threads =
-  let img = Suite.compile ?options b in
+let run_configs ?(ctx = default_ctx) ?options (b : Suite.benchmark) ~threads =
+  let img = compile ctx ?options b in
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let sp r = Janus.speedup ~native ~run:r in
   let dbm = Janus.run_dbm_only ~input:(Suite.ref_input b) img in
   let go cfg =
     Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
-      ~input:(Suite.ref_input b) img
+      ~input:(Suite.ref_input b) ~store:ctx.store img
   in
   let static = go (Janus.config ~threads ~use_profile:false ~use_checks:false ()) in
   let profile = go (Janus.config ~threads ~use_checks:false ()) in
   let janus = go (Janus.config ~threads ()) in
   (native, sp dbm, sp static, sp profile, sp janus, janus)
 
-let fig7_row (b : Suite.benchmark) =
-  let _, dbm, static, profile, janus, _ = run_configs b ~threads:8 in
+let fig7_row ctx (b : Suite.benchmark) =
+  let _, dbm, static, profile, janus, _ = run_configs ~ctx b ~threads:8 in
   { f7_name = b.Suite.name; f7_dbm = dbm; f7_static = static;
     f7_profile = profile; f7_janus = janus }
 
@@ -150,8 +179,8 @@ let geomean xs =
     exp (List.fold_left (fun a x -> a +. log (max x 1e-9)) 0.0 xs
          /. float_of_int (List.length xs))
 
-let fig7 () =
-  let rows = List.map fig7_row nine in
+let fig7 ?(ctx = default_ctx) () =
+  let rows = par_map ctx (fig7_row ctx) nine in
   let g f = geomean (List.map f rows) in
   rows
   @ [ { f7_name = "geomean"; f7_dbm = g (fun r -> r.f7_dbm);
@@ -179,10 +208,11 @@ type fig8_row = {
   f8_eight : Janus.breakdown * int;
 }
 
-let fig8_row (b : Suite.benchmark) =
-  let img = Suite.compile b in
+let fig8_row ctx (b : Suite.benchmark) =
+  let img = compile ctx b in
   let prepared =
-    Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b) img
+    Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b)
+      ~store:ctx.store img
   in
   let go threads =
     let r =
@@ -193,7 +223,7 @@ let fig8_row (b : Suite.benchmark) =
   in
   { f8_name = b.Suite.name; f8_one = go 1; f8_eight = go 8 }
 
-let fig8 () = List.map fig8_row nine
+let fig8 ?(ctx = default_ctx) () = par_map ctx (fig8_row ctx) nine
 
 let pp_fig8 ppf rows =
   Fmt.pf ppf
@@ -225,9 +255,9 @@ type table1_row = {
   t1_avg_checks : float;
 }
 
-let table1_row (b : Suite.benchmark) =
-  let img = Suite.compile b in
-  let analysis = Analysis.analyse_image img in
+let table1_row ctx (b : Suite.benchmark) =
+  let img = compile ctx b in
+  let analysis = Pipeline.analyse ~store:ctx.store img in
   (* count every loop whose parallel version requires a check, whether
      or not the profile ultimately selects it (as the paper does) *)
   let checks =
@@ -261,8 +291,10 @@ let table1_row (b : Suite.benchmark) =
        else float_of_int (List.fold_left ( + ) 0 checks) /. float_of_int n);
   }
 
-let table1 () =
-  List.filter (fun r -> r.t1_loops_with_checks > 0) (List.map table1_row nine)
+let table1 ?(ctx = default_ctx) () =
+  List.filter
+    (fun r -> r.t1_loops_with_checks > 0)
+    (par_map ctx (table1_row ctx) nine)
 
 let pp_table1 ppf rows =
   Fmt.pf ppf "Table I: array bounds checks per loop that requires them@.";
@@ -278,11 +310,12 @@ let pp_table1 ppf rows =
 
 type fig9_row = { f9_name : string; f9_speedups : (int * float) list }
 
-let fig9_row (b : Suite.benchmark) =
-  let img = Suite.compile b in
+let fig9_row ctx (b : Suite.benchmark) =
+  let img = compile ctx b in
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let prepared =
-    Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b) img
+    Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b)
+      ~store:ctx.store img
   in
   let speedups =
     List.map
@@ -296,7 +329,7 @@ let fig9_row (b : Suite.benchmark) =
   in
   { f9_name = b.Suite.name; f9_speedups = speedups }
 
-let fig9 () = List.map fig9_row nine
+let fig9 ?(ctx = default_ctx) () = par_map ctx (fig9_row ctx) nine
 
 let pp_fig9 ppf rows =
   Fmt.pf ppf "Fig. 9: speedup vs thread count@.";
@@ -315,10 +348,11 @@ let pp_fig9 ppf rows =
 
 type fig10_row = { f10_name : string; f10_ratio : float }
 
-let fig10_row (b : Suite.benchmark) =
-  let img = Suite.compile b in
+let fig10_row ctx (b : Suite.benchmark) =
+  let img = compile ctx b in
   let p =
-    Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b) img
+    Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b)
+      ~store:ctx.store img
   in
   let r =
     Janus.run_parallel ~cfg:(Janus.config ()) ~input:(Suite.train_input b) p
@@ -330,8 +364,8 @@ let fig10_row (b : Suite.benchmark) =
       /. float_of_int r.Janus.executable_size;
   }
 
-let fig10 () =
-  let rows = List.map fig10_row nine in
+let fig10 ?(ctx = default_ctx) () =
+  let rows = par_map ctx (fig10_row ctx) nine in
   rows
   @ [ { f10_name = "geomean";
         f10_ratio = geomean (List.map (fun r -> max r.f10_ratio 1e-9) rows) } ]
@@ -354,18 +388,19 @@ type fig11_row = {
   f11_janus_icc : float;     (* Janus on the icc binary, vs icc O3 *)
 }
 
-let fig11_row (b : Suite.benchmark) =
+let fig11_row ctx (b : Suite.benchmark) =
   let compare_for vendor =
     let base_opts = { Jcc.default_options with vendor } in
-    let img = Suite.compile ~options:base_opts b in
+    let img = compile ctx ~options:base_opts b in
     let native = Janus.run_native ~input:(Suite.ref_input b) img in
     let autopar_img =
-      Suite.compile ~options:{ base_opts with autopar = 8 } b
+      compile ctx ~options:{ base_opts with autopar = 8 } b
     in
     let autopar = Janus.run_native ~input:(Suite.ref_input b) autopar_img in
     let janus =
       Janus.parallelise ~cfg:(Janus.config ())
-        ~train_input:(Suite.train_input b) ~input:(Suite.ref_input b) img
+        ~train_input:(Suite.train_input b) ~input:(Suite.ref_input b)
+        ~store:ctx.store img
     in
     (Janus.speedup ~native ~run:autopar, Janus.speedup ~native ~run:janus)
   in
@@ -375,8 +410,8 @@ let fig11_row (b : Suite.benchmark) =
     f11_janus_gcc = gcc_janus; f11_icc_autopar = icc_ap;
     f11_janus_icc = icc_janus }
 
-let fig11 () =
-  let rows = List.map fig11_row nine in
+let fig11 ?(ctx = default_ctx) () =
+  let rows = par_map ctx (fig11_row ctx) nine in
   let g f = geomean (List.map f rows) in
   rows
   @ [ { f11_name = "geomean";
@@ -406,13 +441,14 @@ type fig12_row = {
   f12_avx : float;
 }
 
-let fig12_row (b : Suite.benchmark) =
+let fig12_row ctx (b : Suite.benchmark) =
   let janus_on options =
-    let img = Suite.compile ~options b in
+    let img = compile ctx ~options b in
     let native = Janus.run_native ~input:(Suite.ref_input b) img in
     let r =
       Janus.parallelise ~cfg:(Janus.config ())
-        ~train_input:(Suite.train_input b) ~input:(Suite.ref_input b) img
+        ~train_input:(Suite.train_input b) ~input:(Suite.ref_input b)
+        ~store:ctx.store img
     in
     Janus.speedup ~native ~run:r
   in
@@ -423,8 +459,8 @@ let fig12_row (b : Suite.benchmark) =
     f12_avx = janus_on { Jcc.default_options with avx = true };
   }
 
-let fig12 () =
-  let rows = List.map fig12_row nine in
+let fig12 ?(ctx = default_ctx) () =
+  let rows = par_map ctx (fig12_row ctx) nine in
   let g f = geomean (List.map f rows) in
   rows
   @ [ { f12_name = "geomean"; f12_o2 = g (fun r -> r.f12_o2);
@@ -450,12 +486,12 @@ type ext_doacross_row = {
   ed_extra_loops : int; (* additional loops parallelised *)
 }
 
-let ext_doacross_row (b : Suite.benchmark) =
-  let img = Suite.compile b in
+let ext_doacross_row ctx (b : Suite.benchmark) =
+  let img = compile ctx b in
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let go cfg =
     Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
-      ~input:(Suite.ref_input b) img
+      ~input:(Suite.ref_input b) ~store:ctx.store img
   in
   let doall = go (Janus.config ()) in
   let doacross = go (Janus.config ~use_doacross:true ()) in
@@ -468,8 +504,8 @@ let ext_doacross_row (b : Suite.benchmark) =
       - List.length doall.Janus.selected_loops;
   }
 
-let ext_doacross () =
-  let rows = List.map ext_doacross_row nine in
+let ext_doacross ?(ctx = default_ctx) () =
+  let rows = par_map ctx (ext_doacross_row ctx) nine in
   rows
   @ [ { ed_name = "geomean";
         ed_doall = geomean (List.map (fun r -> r.ed_doall) rows);
@@ -499,14 +535,17 @@ type ext_prefetch_row = {
   epf_rules : int;       (* prefetch rules emitted *)
 }
 
-let ext_prefetch_row (b : Suite.benchmark) =
-  let img = Suite.compile b in
+let ext_prefetch_row ctx (b : Suite.benchmark) =
+  let img = compile ctx b in
   (* the cache-miss model must be on in every arm, baseline included *)
   let native =
     Janus.run_native ~model_cache:true ~input:(Suite.ref_input b) img
   in
   let go cfg =
-    let p = Janus.prepare ~cfg ~train_input:(Suite.train_input b) img in
+    let p =
+      Janus.prepare ~cfg ~train_input:(Suite.train_input b) ~store:ctx.store
+        img
+    in
     (p, Janus.run_parallel ~cfg ~input:(Suite.ref_input b) p)
   in
   let _, base = go (Janus.config ~model_cache:true ()) in
@@ -530,8 +569,8 @@ let ext_prefetch_row (b : Suite.benchmark) =
     epf_rules = rules;
   }
 
-let ext_prefetch () =
-  let rows = List.map ext_prefetch_row nine in
+let ext_prefetch ?(ctx = default_ctx) () =
+  let rows = par_map ctx (ext_prefetch_row ctx) nine in
   rows
   @ [ { epf_name = "geomean";
         epf_janus = geomean (List.map (fun r -> r.epf_janus) rows);
@@ -560,11 +599,18 @@ type excall_stats = {
   ex_avg_writes : float;
 }
 
-let excall_footprint () =
+let excall_footprint ?(ctx = default_ctx) () =
   let b = Suite.find_exn "410.bwaves" in
-  let img = Suite.compile b in
-  let analysis = Analysis.analyse_image img in
-  let cov = Profiler.run_coverage ~input:(Suite.train_input b) img analysis in
+  let img = compile ctx b in
+  let analysis = Pipeline.analyse ~store:ctx.store img in
+  let cov =
+    match
+      Pipeline.profile ~store:ctx.store ~cfg:profiler_default_cfg
+        ~train_input:(Suite.train_input b) img analysis
+    with
+    | Some cov, _ -> cov
+    | None, _ -> assert false (* the default config profiles coverage *)
+  in
   Hashtbl.fold
     (fun _ (c : Profiler.loop_cov) acc ->
        if c.Profiler.ex_calls = 0 then acc

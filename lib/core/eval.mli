@@ -12,6 +12,24 @@ module Jcc = Janus_jcc.Jcc
 (** The nine parallelisable benchmarks (Figs. 7-12). *)
 val nine : Suite.benchmark list
 
+(** {1 Evaluation context}
+
+    Every experiment takes an optional context bundling the artifact
+    store its pipeline stages memoise into and an optional domain pool
+    that fans the per-benchmark rows out in parallel. The default
+    context shares {!Pipeline.default_store} and runs sequentially.
+    Because pool results are collected in submission order and every
+    artifact is a deterministic function of its key, the rows — and the
+    printed figures — are identical whatever the context. *)
+
+type ctx = {
+  store : Pipeline.store;
+  pool : Janus_pool.Pool.t option;
+}
+
+val ctx : ?store:Pipeline.store -> ?pool:Janus_pool.Pool.t -> unit -> ctx
+val default_ctx : ctx
+
 (** {1 Fig. 6 — loop classification} *)
 
 type category =
@@ -31,7 +49,7 @@ type fig6_row = {
 }
 
 val categorise : Profiler.deps -> Loopanal.report -> category
-val fig6 : unit -> fig6_row list
+val fig6 : ?ctx:ctx -> unit -> fig6_row list
 val pp_fig6 : Format.formatter -> fig6_row list -> unit
 
 (** {1 Fig. 7 — whole-program speedups, 8 threads} *)
@@ -45,7 +63,7 @@ type fig7_row = {
 }
 
 val geomean : float list -> float
-val fig7 : unit -> fig7_row list
+val fig7 : ?ctx:ctx -> unit -> fig7_row list
 val pp_fig7 : Format.formatter -> fig7_row list -> unit
 
 (** {1 Fig. 8 — execution-time breakdown, 1 vs 8 threads} *)
@@ -56,7 +74,7 @@ type fig8_row = {
   f8_eight : Janus.breakdown * int;
 }
 
-val fig8 : unit -> fig8_row list
+val fig8 : ?ctx:ctx -> unit -> fig8_row list
 val pp_fig8 : Format.formatter -> fig8_row list -> unit
 
 (** {1 Table I — array-bounds checks per loop} *)
@@ -67,21 +85,21 @@ type table1_row = {
   t1_avg_checks : float;
 }
 
-val table1 : unit -> table1_row list
+val table1 : ?ctx:ctx -> unit -> table1_row list
 val pp_table1 : Format.formatter -> table1_row list -> unit
 
 (** {1 Fig. 9 — thread scaling} *)
 
 type fig9_row = { f9_name : string; f9_speedups : (int * float) list }
 
-val fig9 : unit -> fig9_row list
+val fig9 : ?ctx:ctx -> unit -> fig9_row list
 val pp_fig9 : Format.formatter -> fig9_row list -> unit
 
 (** {1 Fig. 10 — rewrite-schedule size overhead} *)
 
 type fig10_row = { f10_name : string; f10_ratio : float }
 
-val fig10 : unit -> fig10_row list
+val fig10 : ?ctx:ctx -> unit -> fig10_row list
 val pp_fig10 : Format.formatter -> fig10_row list -> unit
 
 (** {1 Fig. 11 — vs. compiler auto-parallelisation} *)
@@ -94,7 +112,7 @@ type fig11_row = {
   f11_janus_icc : float;
 }
 
-val fig11 : unit -> fig11_row list
+val fig11 : ?ctx:ctx -> unit -> fig11_row list
 val pp_fig11 : Format.formatter -> fig11_row list -> unit
 
 (** {1 Fig. 12 — impact of compiler optimisation level} *)
@@ -106,7 +124,7 @@ type fig12_row = {
   f12_avx : float;
 }
 
-val fig12 : unit -> fig12_row list
+val fig12 : ?ctx:ctx -> unit -> fig12_row list
 val pp_fig12 : Format.formatter -> fig12_row list -> unit
 
 (** {1 Extension: DOACROSS over the nine benchmarks} *)
@@ -118,7 +136,7 @@ type ext_doacross_row = {
   ed_extra_loops : int;
 }
 
-val ext_doacross : unit -> ext_doacross_row list
+val ext_doacross : ?ctx:ctx -> unit -> ext_doacross_row list
 val pp_ext_doacross : Format.formatter -> ext_doacross_row list -> unit
 
 (** {1 Extension: software prefetching via MEM_PREFETCH rules}
@@ -133,7 +151,7 @@ type ext_prefetch_row = {
   epf_rules : int;       (** prefetch rules emitted *)
 }
 
-val ext_prefetch : unit -> ext_prefetch_row list
+val ext_prefetch : ?ctx:ctx -> unit -> ext_prefetch_row list
 val pp_ext_prefetch : Format.formatter -> ext_prefetch_row list -> unit
 
 (** {1 The bwaves shared-library call footprint (§III-B)} *)
@@ -145,5 +163,5 @@ type excall_stats = {
   ex_avg_writes : float;
 }
 
-val excall_footprint : unit -> excall_stats list
+val excall_footprint : ?ctx:ctx -> unit -> excall_stats list
 val pp_excall : Format.formatter -> excall_stats list -> unit

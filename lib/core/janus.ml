@@ -26,7 +26,9 @@ module Desc = Janus_schedule.Desc
 module Verify = Janus_verify.Verify
 module Obs = Janus_obs.Obs
 
-type config = {
+(* the configuration and the static-side stages live in [Pipeline]; the
+   type equations keep every existing [Janus.config] user compiling *)
+type config = Pipeline.config = {
   threads : int;
   use_profile : bool;       (* profile-guided loop selection *)
   use_checks : bool;        (* dynamic DOALL via checks + speculation *)
@@ -52,14 +54,7 @@ type config = {
                                run's Obs.t (off: zero-cost) *)
 }
 
-let config ?(threads = 8) ?(use_profile = true) ?(use_checks = true)
-    ?(use_doacross = false) ?(cov_threshold = 0.03) ?(trip_threshold = 8.0)
-    ?(work_threshold = 2500.0) ?force_policy ?(stm_everywhere = false)
-    ?(prefetch = false) ?(model_cache = false) ?(verify = true)
-    ?(fuel = 400_000_000) ?(trace = false) () =
-  { threads; use_profile; use_checks; use_doacross; cov_threshold;
-    trip_threshold; work_threshold; force_policy; stm_everywhere;
-    prefetch; model_cache; verify; fuel; trace }
+let config = Pipeline.config
 
 (** Cycle breakdown of a run (Fig. 8's categories). *)
 type breakdown = {
@@ -177,67 +172,12 @@ let run_dbm_only ?(fuel = 400_000_000) ?(input = []) ?(trace = false) image =
 (* Loop selection                                                      *)
 (* ------------------------------------------------------------------ *)
 
-type selection = {
+type selection = Pipeline.selection = {
   chosen : (Loopanal.report * Desc.policy) list;
   rejected : (int * string) list;  (* loop id, reason *)
 }
 
-let select ~cfg (analysis : Analysis.t) ~(coverage : Profiler.coverage option)
-    ~(deps : Profiler.deps option) =
-  let chosen = ref [] in
-  let rejected = ref [] in
-  List.iter
-    (fun (r : Loopanal.report) ->
-       let lid = r.Loopanal.loop.Janus_analysis.Looptree.lid in
-       let reject reason = rejected := (lid, reason) :: !rejected in
-       let profile_ok () =
-         if not cfg.use_profile then true
-         else
-           match coverage with
-           | None -> true
-           | Some cov ->
-             Profiler.fraction cov lid >= cfg.cov_threshold
-             && Profiler.avg_trip cov lid >= cfg.trip_threshold
-             && Profiler.avg_work cov lid >= cfg.work_threshold
-       in
-       let accept policy =
-         if not (profile_ok ()) then reject "filtered by profile"
-         else
-           let policy =
-             match cfg.force_policy with Some p -> p | None -> policy
-           in
-           chosen := (r, policy) :: !chosen
-       in
-       match Analysis.eligibility r with
-       | Analysis.Not_eligible reason -> reject reason
-       | Analysis.Eligible_dynamic _ when not cfg.use_checks ->
-         reject "dynamic loop (checks disabled)"
-       | Analysis.Eligible_dynamic _
-         when (match deps with
-             | Some d -> Profiler.has_dep d lid
-             | None -> false) ->
-         reject "dependence observed during profiling"
-       | Analysis.Eligible_doacross _ when not cfg.use_doacross ->
-         reject "static dependence (doacross disabled)"
-       | Analysis.Eligible_doacross pct ->
-         (* the overlappable work must dwarf the per-invocation thread
-            and hand-off overheads, or DOACROSS only adds cost (the
-            "synchronisation overheads" the paper's future work warns
-            about) *)
-         let overlappable =
-           match coverage with
-           | Some cov ->
-             Profiler.avg_work cov lid
-             *. (1.0 -. (float_of_int pct /. 100.0))
-           | None -> infinity
-         in
-         if cfg.use_profile && overlappable < 12_000.0 then
-           reject "doacross not profitable"
-         else accept (Desc.Doacross pct)
-       | Analysis.Eligible_static | Analysis.Eligible_dynamic _ ->
-         accept Desc.Chunked)
-    analysis.Analysis.reports;
-  { chosen = List.rev !chosen; rejected = List.rev !rejected }
+let select = Pipeline.select
 
 (* ------------------------------------------------------------------ *)
 (* The pipeline                                                        *)
@@ -252,24 +192,19 @@ type prepared = {
   p_schedule : Schedule.t;
 }
 
-(** Stages 1-2 of Fig. 1(a): analysis, optional training-input
-    profiling, loop selection, schedule generation. *)
-let prepare ?(cfg = config ()) ?(train_input = []) image =
-  let analysis = Analysis.analyse_image image in
-  let coverage =
-    if cfg.use_profile then
-      Some (Profiler.run_coverage ~fuel:cfg.fuel ~input:train_input image analysis)
-    else None
+(** Stages 1-2 of Fig. 1(a) as a composition of the {!Pipeline} stages:
+    analysis, optional training-input profiling, loop selection,
+    schedule generation. [store] caches the per-stage artifacts by
+    content key, so sweeps over execute-stage parameters (threads,
+    tracing) recompute nothing. *)
+let prepare ?(cfg = config ()) ?(train_input = []) ?store image =
+  let analysis = Pipeline.analyse ?store image in
+  let coverage, deps =
+    Pipeline.profile ?store ~cfg ~train_input image analysis
   in
-  let deps =
-    if cfg.use_checks then
-      Some (Profiler.run_dependence ~fuel:cfg.fuel ~input:train_input image analysis)
-    else None
-  in
-  let selection = select ~cfg analysis ~coverage ~deps in
-  let schedule, _encoded =
-    Rulegen.parallel_schedule ~prefetch:cfg.prefetch analysis.Analysis.cfg
-      selection.chosen
+  let selection = Pipeline.select ~cfg analysis ~coverage ~deps in
+  let schedule =
+    Pipeline.schedule ?store ~cfg ~train_input image analysis selection
   in
   { p_image = image; p_analysis = analysis; p_coverage = coverage;
     p_deps = deps; p_selection = selection; p_schedule = schedule }
@@ -402,8 +337,9 @@ let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
 
 (** The whole pipeline: analyse, profile on the training input, select,
     parallelise, run on the reference input. *)
-let parallelise ?(cfg = config ()) ?(train_input = []) ?(input = []) image =
-  let p = prepare ~cfg ~train_input image in
+let parallelise ?(cfg = config ()) ?(train_input = []) ?(input = []) ?store
+    image =
+  let p = prepare ~cfg ~train_input ?store image in
   run_parallel ~cfg ~input p
 
 (** Convenience: speedup of [b] over [a] (same program, same input). *)

@@ -24,8 +24,10 @@ module Schedule = Janus_schedule.Schedule
 module Desc = Janus_schedule.Desc
 module Obs = Janus_obs.Obs
 
-(** Pipeline configuration. *)
-type config = {
+(** Pipeline configuration (an alias of {!Pipeline.config}: the static
+    side of the pipeline lives there as explicit stages, and this module
+    composes them). *)
+type config = Pipeline.config = {
   threads : int;            (** virtual hardware threads (paper: 8) *)
   use_profile : bool;       (** profile-guided loop selection (§II-C) *)
   use_checks : bool;        (** dynamic DOALL via checks + speculation *)
@@ -133,7 +135,7 @@ val breakdown_of_metrics : Obs.t -> cycles:int -> breakdown
 
 (** Loop selection outcome: the loops to parallelise (with their
     scheduling policy) and the per-loop rejection reasons. *)
-type selection = {
+type selection = Pipeline.selection = {
   chosen : (Loopanal.report * Desc.policy) list;
   rejected : (int * string) list;
 }
@@ -159,9 +161,16 @@ type prepared = {
 }
 
 (** Stages 1-2 of Fig. 1(a): static analysis, optional profiling on the
-    training input, loop selection, schedule generation. *)
+    training input, loop selection, schedule generation — a thin
+    composition of the {!Pipeline} stages. [store] (default
+    {!Pipeline.default_store}) memoises each stage's artifact under its
+    content key, so evaluation sweeps share the static-side work. *)
 val prepare :
-  ?cfg:config -> ?train_input:int64 list -> Janus_vx.Image.t -> prepared
+  ?cfg:config ->
+  ?train_input:int64 list ->
+  ?store:Pipeline.store ->
+  Janus_vx.Image.t ->
+  prepared
 
 (** Stage 3: execute under the DBM with the parallelisation schedule.
     Reusable with different thread counts on one {!prepared}. *)
@@ -185,6 +194,7 @@ val parallelise :
   ?cfg:config ->
   ?train_input:int64 list ->
   ?input:int64 list ->
+  ?store:Pipeline.store ->
   Janus_vx.Image.t ->
   result
 

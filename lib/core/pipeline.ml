@@ -1,0 +1,274 @@
+(** The staged pipeline with its content-keyed artifact store; see
+    pipeline.mli for the stage/artifact/key contract. *)
+
+module Analysis = Janus_analysis.Analysis
+module Loopanal = Janus_analysis.Loopanal
+module Rulegen = Janus_analysis.Rulegen
+module Profiler = Janus_profile.Profiler
+module Schedule = Janus_schedule.Schedule
+module Desc = Janus_schedule.Desc
+module Jcc = Janus_jcc.Jcc
+module Obs = Janus_obs.Obs
+module Image = Janus_vx.Image
+
+type config = {
+  threads : int;
+  use_profile : bool;
+  use_checks : bool;
+  use_doacross : bool;
+  cov_threshold : float;
+  trip_threshold : float;
+  work_threshold : float;
+  force_policy : Desc.policy option;
+  stm_everywhere : bool;
+  prefetch : bool;
+  model_cache : bool;
+  verify : bool;
+  fuel : int;
+  trace : bool;
+}
+
+let config ?(threads = 8) ?(use_profile = true) ?(use_checks = true)
+    ?(use_doacross = false) ?(cov_threshold = 0.03) ?(trip_threshold = 8.0)
+    ?(work_threshold = 2500.0) ?force_policy ?(stm_everywhere = false)
+    ?(prefetch = false) ?(model_cache = false) ?(verify = true)
+    ?(fuel = 400_000_000) ?(trace = false) () =
+  { threads; use_profile; use_checks; use_doacross; cov_threshold;
+    trip_threshold; work_threshold; force_policy; stm_everywhere;
+    prefetch; model_cache; verify; fuel; trace }
+
+(* ------------------------------------------------------------------ *)
+(* The artifact store                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type kstat = { mutable kh : int; mutable km : int }
+
+type 'v table = { tbl : (string, 'v) Hashtbl.t; ks : kstat }
+
+let table () = { tbl = Hashtbl.create 16; ks = { kh = 0; km = 0 } }
+
+type store = {
+  enabled : bool;
+  mu : Mutex.t;
+  images : Image.t table;
+  analyses : Analysis.t table;
+  coverages : Profiler.coverage table;
+  depses : Profiler.deps table;
+  schedules : Schedule.t table;
+}
+
+let store ?(enabled = true) () =
+  { enabled; mu = Mutex.create (); images = table (); analyses = table ();
+    coverages = table (); depses = table (); schedules = table () }
+
+let default_store = store ()
+
+let tables s =
+  [ ("image", s.images.ks); ("analysis", s.analyses.ks);
+    ("coverage", s.coverages.ks); ("deps", s.depses.ks);
+    ("schedule", s.schedules.ks) ]
+
+let clear s =
+  Mutex.lock s.mu;
+  Hashtbl.reset s.images.tbl;
+  Hashtbl.reset s.analyses.tbl;
+  Hashtbl.reset s.coverages.tbl;
+  Hashtbl.reset s.depses.tbl;
+  Hashtbl.reset s.schedules.tbl;
+  Mutex.unlock s.mu
+
+type cache_stats = { hits : int; misses : int }
+
+let cache_stats s =
+  Mutex.lock s.mu;
+  let r =
+    List.fold_left
+      (fun acc (_, ks) ->
+         { hits = acc.hits + ks.kh; misses = acc.misses + ks.km })
+      { hits = 0; misses = 0 } (tables s)
+  in
+  Mutex.unlock s.mu;
+  r
+
+let publish_metrics s obs =
+  Mutex.lock s.mu;
+  let per_kind =
+    List.map (fun (name, ks) -> (name, ks.kh, ks.km)) (tables s)
+  in
+  Mutex.unlock s.mu;
+  let hits = List.fold_left (fun a (_, h, _) -> a + h) 0 per_kind in
+  let misses = List.fold_left (fun a (_, _, m) -> a + m) 0 per_kind in
+  Obs.set obs "pipeline.cache.hits" hits;
+  Obs.set obs "pipeline.cache.misses" misses;
+  List.iter
+    (fun (name, h, m) ->
+       Obs.set obs (Printf.sprintf "pipeline.cache.%s.hits" name) h;
+       Obs.set obs (Printf.sprintf "pipeline.cache.%s.misses" name) m)
+    per_kind
+
+(* Memoise [f ()] under [key]. The computation runs outside the lock so
+   other domains are never blocked on it; two domains may race to
+   compute the same key, but artifacts are deterministic functions of
+   their key, so both compute the same value and last-write-wins is
+   benign. A disabled store still counts every recomputation as a miss
+   (the [--no-cache] counters then report the cold-pipeline cost). *)
+let memo s (t : _ table) key f =
+  if not s.enabled then begin
+    Mutex.lock s.mu;
+    t.ks.km <- t.ks.km + 1;
+    Mutex.unlock s.mu;
+    f ()
+  end
+  else begin
+    Mutex.lock s.mu;
+    match Hashtbl.find_opt t.tbl key with
+    | Some v ->
+      t.ks.kh <- t.ks.kh + 1;
+      Mutex.unlock s.mu;
+      v
+    | None ->
+      t.ks.km <- t.ks.km + 1;
+      Mutex.unlock s.mu;
+      let v = f () in
+      Mutex.lock s.mu;
+      Hashtbl.replace t.tbl key v;
+      Mutex.unlock s.mu;
+      v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Content keys                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let image_key img = Digest.to_hex (Digest.bytes (Image.to_bytes img))
+
+let input_key input = String.concat "," (List.map Int64.to_string input)
+
+let policy_key = function
+  | None -> "-"
+  | Some Desc.Chunked -> "chunked"
+  | Some (Desc.Round_robin n) -> Printf.sprintf "rr:%d" n
+  | Some (Desc.Doacross n) -> Printf.sprintf "da:%d" n
+
+(* the config fields that loop selection and rule generation read; the
+   schedule key quotes exactly these, so two configs differing only in
+   execute-stage fields (threads, stm, tracing, cache model) share one
+   cached schedule *)
+let selection_key cfg =
+  Printf.sprintf "p=%b;c=%b;da=%b;cov=%h;trip=%h;work=%h;pol=%s;pf=%b"
+    cfg.use_profile cfg.use_checks cfg.use_doacross cfg.cov_threshold
+    cfg.trip_threshold cfg.work_threshold (policy_key cfg.force_policy)
+    cfg.prefetch
+
+(* ------------------------------------------------------------------ *)
+(* Stages                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compile ?(store = default_store) ?(options = Jcc.default_options) source =
+  let key =
+    Printf.sprintf "%s|v=%s;o=%d;avx=%b;ap=%d"
+      (Digest.to_hex (Digest.string source))
+      (match options.Jcc.vendor with Jcc.Gcc -> "gcc" | Jcc.Icc -> "icc")
+      options.Jcc.opt options.Jcc.avx options.Jcc.autopar
+  in
+  memo store store.images key (fun () -> Jcc.compile ~options source)
+
+let analyse ?(store = default_store) image =
+  memo store store.analyses (image_key image) (fun () ->
+      Analysis.analyse_image image)
+
+let profile ?(store = default_store) ~cfg ~train_input image analysis =
+  let key () =
+    Printf.sprintf "%s|fuel=%d|in=%s" (image_key image) cfg.fuel
+      (input_key train_input)
+  in
+  let coverage =
+    if cfg.use_profile then
+      Some
+        (memo store store.coverages (key ()) (fun () ->
+             Profiler.run_coverage ~fuel:cfg.fuel ~input:train_input image
+               analysis))
+    else None
+  in
+  let deps =
+    if cfg.use_checks then
+      Some
+        (memo store store.depses (key ()) (fun () ->
+             Profiler.run_dependence ~fuel:cfg.fuel ~input:train_input image
+               analysis))
+    else None
+  in
+  (coverage, deps)
+
+type selection = {
+  chosen : (Loopanal.report * Desc.policy) list;
+  rejected : (int * string) list;
+}
+
+let select ~cfg (analysis : Analysis.t) ~(coverage : Profiler.coverage option)
+    ~(deps : Profiler.deps option) =
+  let chosen = ref [] in
+  let rejected = ref [] in
+  List.iter
+    (fun (r : Loopanal.report) ->
+       let lid = r.Loopanal.loop.Janus_analysis.Looptree.lid in
+       let reject reason = rejected := (lid, reason) :: !rejected in
+       let profile_ok () =
+         if not cfg.use_profile then true
+         else
+           match coverage with
+           | None -> true
+           | Some cov ->
+             Profiler.fraction cov lid >= cfg.cov_threshold
+             && Profiler.avg_trip cov lid >= cfg.trip_threshold
+             && Profiler.avg_work cov lid >= cfg.work_threshold
+       in
+       let accept policy =
+         if not (profile_ok ()) then reject "filtered by profile"
+         else
+           let policy =
+             match cfg.force_policy with Some p -> p | None -> policy
+           in
+           chosen := (r, policy) :: !chosen
+       in
+       match Analysis.eligibility r with
+       | Analysis.Not_eligible reason -> reject reason
+       | Analysis.Eligible_dynamic _ when not cfg.use_checks ->
+         reject "dynamic loop (checks disabled)"
+       | Analysis.Eligible_dynamic _
+         when (match deps with
+             | Some d -> Profiler.has_dep d lid
+             | None -> false) ->
+         reject "dependence observed during profiling"
+       | Analysis.Eligible_doacross _ when not cfg.use_doacross ->
+         reject "static dependence (doacross disabled)"
+       | Analysis.Eligible_doacross pct ->
+         (* the overlappable work must dwarf the per-invocation thread
+            and hand-off overheads, or DOACROSS only adds cost (the
+            "synchronisation overheads" the paper's future work warns
+            about) *)
+         let overlappable =
+           match coverage with
+           | Some cov ->
+             Profiler.avg_work cov lid
+             *. (1.0 -. (float_of_int pct /. 100.0))
+           | None -> infinity
+         in
+         if cfg.use_profile && overlappable < 12_000.0 then
+           reject "doacross not profitable"
+         else accept (Desc.Doacross pct)
+       | Analysis.Eligible_static | Analysis.Eligible_dynamic _ ->
+         accept Desc.Chunked)
+    analysis.Analysis.reports;
+  { chosen = List.rev !chosen; rejected = List.rev !rejected }
+
+let schedule ?(store = default_store) ~cfg ~train_input image
+    (analysis : Analysis.t) (selection : selection) =
+  let key =
+    Printf.sprintf "%s|fuel=%d|in=%s|%s" (image_key image) cfg.fuel
+      (input_key train_input) (selection_key cfg)
+  in
+  memo store store.schedules key (fun () ->
+      fst
+        (Rulegen.parallel_schedule ~prefetch:cfg.prefetch
+           analysis.Analysis.cfg selection.chosen))

@@ -1,0 +1,154 @@
+(** The staged pipeline of Fig. 1(a) as explicit, typed stages —
+    [compile -> analyse -> profile -> select -> schedule -> execute] —
+    each returning a reusable artifact, plus a content-keyed artifact
+    store that lets configuration sweeps share the static-side work.
+
+    Every stage is keyed by the hash of the image bytes (for [compile],
+    of the source text) combined with {e only the configuration fields
+    that stage actually reads}, so e.g. all four Fig. 7 configurations
+    of one benchmark share a single static analysis, and all eight
+    Fig. 9 thread counts share analysis, profiles and schedule — thread
+    count is an execute-stage parameter and never enters a static key.
+
+    Artifacts are deterministic functions of their key (loop ids and
+    symbolic-atom ids restart per analysis), so a cache hit returns
+    exactly the value a recomputation would produce: results are
+    bit-identical between cold and warm runs, and between sequential
+    and domain-parallel sweeps. Artifacts are immutable once
+    constructed and the store is mutex-guarded, so one store can be
+    shared by pipeline instances running on separate domains.
+
+    The execute stage ({!Janus.run_parallel}) is the measurement and is
+    never cached. *)
+
+module Analysis = Janus_analysis.Analysis
+module Loopanal = Janus_analysis.Loopanal
+module Profiler = Janus_profile.Profiler
+module Schedule = Janus_schedule.Schedule
+module Desc = Janus_schedule.Desc
+module Jcc = Janus_jcc.Jcc
+module Obs = Janus_obs.Obs
+
+(** Pipeline configuration (re-exported as [Janus.config]); see
+    {!Janus.config} for field documentation. *)
+type config = {
+  threads : int;
+  use_profile : bool;
+  use_checks : bool;
+  use_doacross : bool;
+  cov_threshold : float;
+  trip_threshold : float;
+  work_threshold : float;
+  force_policy : Desc.policy option;
+  stm_everywhere : bool;
+  prefetch : bool;
+  model_cache : bool;
+  verify : bool;
+  fuel : int;
+  trace : bool;
+}
+
+val config :
+  ?threads:int ->
+  ?use_profile:bool ->
+  ?use_checks:bool ->
+  ?use_doacross:bool ->
+  ?cov_threshold:float ->
+  ?trip_threshold:float ->
+  ?work_threshold:float ->
+  ?force_policy:Desc.policy ->
+  ?stm_everywhere:bool ->
+  ?prefetch:bool ->
+  ?model_cache:bool ->
+  ?verify:bool ->
+  ?fuel:int ->
+  ?trace:bool ->
+  unit ->
+  config
+
+(** {1 The artifact store} *)
+
+type store
+
+(** [store ()] makes an empty artifact store. [enabled:false] makes a
+    store that never caches (every lookup recomputes) — the [--no-cache]
+    backend, useful to measure cold-pipeline cost. *)
+val store : ?enabled:bool -> unit -> store
+
+(** The process-wide store the [?store] parameters default to, so
+    repeated pipeline runs in one process share static artifacts unless
+    a caller opts out. *)
+val default_store : store
+
+(** Drop every cached artifact (counters are kept). *)
+val clear : store -> unit
+
+type cache_stats = { hits : int; misses : int }
+
+(** Lifetime hit/miss counters across all artifact kinds. A concurrent
+    duplicate computation of the same key counts as a miss for each
+    computing domain (the store never blocks a reader on another
+    domain's computation; identical values make the race benign). *)
+val cache_stats : store -> cache_stats
+
+(** Publish the store's counters into a metrics registry as
+    [pipeline.cache.hits] / [pipeline.cache.misses] plus per-kind
+    [pipeline.cache.<kind>.{hits,misses}] counters. *)
+val publish_metrics : store -> Obs.t -> unit
+
+(** {1 Stages}
+
+    Each stage consumes the previous stage's artifact and returns its
+    own; [?store] (default {!default_store}) memoises the result under
+    the stage's content key. *)
+
+(** Stage 0 — guest compilation: source text to JX image.
+    Key: source digest + every {!Jcc.options} field. *)
+val compile : ?store:store -> ?options:Jcc.options -> string -> Janus_vx.Image.t
+
+(** Stage 1 — static analysis: CFG recovery, loop forest, per-loop
+    classification. Key: image digest. *)
+val analyse : ?store:store -> Janus_vx.Image.t -> Analysis.t
+
+(** Stage 2 — training-input profiling. Returns [(coverage, deps)]
+    with each side present only when the configuration asks for it
+    ([use_profile] / [use_checks]). Key: image digest + training input
+    + fuel (the only config fields the profiler reads). *)
+val profile :
+  ?store:store ->
+  cfg:config ->
+  train_input:int64 list ->
+  Janus_vx.Image.t ->
+  Analysis.t ->
+  Profiler.coverage option * Profiler.deps option
+
+(** Loop selection outcome (re-exported as [Janus.selection]). *)
+type selection = {
+  chosen : (Loopanal.report * Desc.policy) list;
+  rejected : (int * string) list;
+}
+
+(** Stage 3 — loop selection: eligibility and profitability filters
+    over the analysis given the profiles. Pure and cheap — never
+    cached. *)
+val select :
+  cfg:config ->
+  Analysis.t ->
+  coverage:Profiler.coverage option ->
+  deps:Profiler.deps option ->
+  selection
+
+(** Stage 4 — rewrite-schedule generation for the selected loops.
+    Key: image digest + training input + fuel + the selection-relevant
+    config fields ([use_profile], [use_checks], [use_doacross], the
+    three thresholds, [force_policy]) + [prefetch] — everything the
+    selection and the rule generator read, so equal keys imply an equal
+    schedule. *)
+val schedule :
+  ?store:store ->
+  cfg:config ->
+  train_input:int64 list ->
+  Janus_vx.Image.t ->
+  Analysis.t ->
+  selection ->
+  Schedule.t

@@ -14,8 +14,6 @@ open Mir
 
 module IS = Unroll.IS
 
-let counter = ref 0
-
 (* candidate analysis mirrors the vectoriser's but permits any element
    type and integer arithmetic in the body *)
 let analyse (u : unit_) iv body =
@@ -77,7 +75,7 @@ let analyse (u : unit_) iv body =
 let captures iv body =
   IS.elements (IS.remove iv (Unroll.live_in_defs body))
 
-let outline (u : unit_) (caller : fn) l iv bound body threads =
+let outline ~counter (u : unit_) (caller : fn) l iv bound body threads =
   let id = !counter in
   incr counter;
   let fname = Printf.sprintf "%s$par%d" caller.name id in
@@ -213,7 +211,7 @@ let outline (u : unit_) (caller : fn) l iv bound body threads =
   l.l_preheader <- serial.bid;
   (guard.bid, serial.bid)
 
-let parallelise_loop ~vendor ~threads (u : unit_) (caller : fn) l =
+let parallelise_loop ~counter ~vendor ~threads (u : unit_) (caller : fn) l =
   match l.l_iv, l.l_bound with
   | Some iv, Some bound
     when l.l_simple && Int64.equal l.l_step 1L
@@ -225,7 +223,9 @@ let parallelise_loop ~vendor ~threads (u : unit_) (caller : fn) l =
       | Some true when vendor = Jcc_types.Gcc -> false
       | Some needs_check ->
         let orig_pre = l.l_preheader in
-        let guard_bid, serial_bid = outline u caller l iv bound body threads in
+        let guard_bid, serial_bid =
+          outline ~counter u caller l iv bound body threads
+        in
         let pre = block caller orig_pre in
         let target =
           if not needs_check then guard_bid
@@ -279,10 +279,13 @@ let parallelise_loop ~vendor ~threads (u : unit_) (caller : fn) l =
 
 let run ~vendor ~threads (u : unit_) =
   (* the original loop remains as the serial path behind the guard, so
-     it stays visible to the vectoriser and unroller *)
+     it stays visible to the vectoriser and unroller. Worker names are
+     numbered from a counter local to this compilation unit, keeping
+     [Jcc.compile] re-entrant across concurrent compilations. *)
+  let counter = ref 0 in
   List.iter
     (fun fn ->
        List.iter
-         (fun l -> ignore (parallelise_loop ~vendor ~threads u fn l))
+         (fun l -> ignore (parallelise_loop ~counter ~vendor ~threads u fn l))
          fn.loops)
     (List.filter (fun f -> not (String.contains f.name '$')) u.fns)

@@ -1,0 +1,194 @@
+(** Work-stealing domain pool with deterministic result collection.
+
+    One {!map} batch at a time: tasks are dealt round-robin into
+    per-worker queues; each worker drains its own queue and then steals
+    from the others, so skewed task durations cannot idle a domain
+    while work remains. Results land in a per-index slot, so collection
+    order is submission order no matter which domain ran what; an
+    exception is re-raised deterministically from the earliest failing
+    index once the whole batch has settled. *)
+
+module Obs = Janus_obs.Obs
+
+type batch = {
+  deques : (unit -> unit) Queue.t array;  (* per-worker task queues *)
+  locks : Mutex.t array;
+  remaining : int Atomic.t;               (* tasks not yet finished *)
+  steals : int Atomic.t;
+}
+
+type stats = { tasks : int; steals : int; batches : int }
+
+type t = {
+  jobs : int;
+  mu : Mutex.t;
+  cond : Condition.t;       (* wakes workers: new batch or shutdown *)
+  done_cond : Condition.t;  (* wakes the caller: batch finished *)
+  mutable gen : int;        (* batch generation, guarded by [mu] *)
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable tasks : int;      (* lifetime counters, guarded by [mu] *)
+  mutable stolen : int;
+  mutable batches : int;
+  mutable workers : unit Domain.t list;
+  mutable joined : bool;
+}
+
+let jobs t = t.jobs
+
+let try_pop b w =
+  Mutex.lock b.locks.(w);
+  let r =
+    if Queue.is_empty b.deques.(w) then None else Some (Queue.pop b.deques.(w))
+  in
+  Mutex.unlock b.locks.(w);
+  r
+
+(* Run tasks of [b] on worker [wid] until no queue holds any: own queue
+   first, then steal, scanning from the next worker round-robin so
+   thieves spread over victims. Returning does not mean the batch is
+   done — stolen tasks may still be running elsewhere; [b.remaining]
+   tracks true completion. *)
+let work t (b : batch) wid =
+  let nw = Array.length b.deques in
+  let run_task task =
+    task ();
+    if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+      Mutex.lock t.mu;
+      Condition.broadcast t.done_cond;
+      Mutex.unlock t.mu
+    end
+  in
+  let rec loop () =
+    match try_pop b wid with
+    | Some task -> run_task task; loop ()
+    | None ->
+      let rec scan k =
+        if k >= nw then None
+        else
+          match try_pop b ((wid + k) mod nw) with
+          | Some task -> Atomic.incr b.steals; Some task
+          | None -> scan (k + 1)
+      in
+      (match scan 1 with
+       | Some task -> run_task task; loop ()
+       | None -> ())
+  in
+  loop ()
+
+let worker_loop t wid =
+  let my_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mu;
+    while t.gen = !my_gen && not t.stop do
+      Condition.wait t.cond t.mu
+    done;
+    if t.stop then Mutex.unlock t.mu
+    else begin
+      my_gen := t.gen;
+      let b = t.batch in
+      Mutex.unlock t.mu;
+      (match b with Some b -> work t b wid | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    { jobs; mu = Mutex.create (); cond = Condition.create ();
+      done_cond = Condition.create (); gen = 0; batch = None; stop = false;
+      tasks = 0; stolen = 0; batches = 0; workers = []; joined = false }
+  in
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | xs when t.jobs <= 1 || List.length xs <= 1 ->
+    let rs = List.map f xs in
+    Mutex.lock t.mu;
+    t.tasks <- t.tasks + List.length xs;
+    t.batches <- t.batches + 1;
+    Mutex.unlock t.mu;
+    rs
+  | xs ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let exns = Array.make n None in
+    let b =
+      {
+        deques = Array.init t.jobs (fun _ -> Queue.create ());
+        locks = Array.init t.jobs (fun _ -> Mutex.create ());
+        remaining = Atomic.make n;
+        steals = Atomic.make 0;
+      }
+    in
+    Array.iteri
+      (fun i x ->
+         let cell () =
+           match f x with
+           | r -> results.(i) <- Some r
+           | exception e -> exns.(i) <- Some e
+         in
+         Queue.push cell b.deques.(i mod t.jobs))
+      arr;
+    Mutex.lock t.mu;
+    t.batch <- Some b;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    (* the calling domain is worker 0 *)
+    work t b 0;
+    Mutex.lock t.mu;
+    while Atomic.get b.remaining > 0 do
+      Condition.wait t.done_cond t.mu
+    done;
+    t.batch <- None;
+    t.tasks <- t.tasks + n;
+    t.stolen <- t.stolen + Atomic.get b.steals;
+    t.batches <- t.batches + 1;
+    Mutex.unlock t.mu;
+    Array.iter (function Some e -> raise e | None -> ()) exns;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* no exception, so every slot is set *))
+         results)
+
+let stats t =
+  Mutex.lock t.mu;
+  let s = { tasks = t.tasks; steals = t.stolen; batches = t.batches } in
+  Mutex.unlock t.mu;
+  s
+
+let publish_metrics t obs =
+  let s = stats t in
+  Obs.set obs "pool.jobs" t.jobs;
+  Obs.set obs "pool.tasks" s.tasks;
+  Obs.set obs "pool.steals" s.steals;
+  Obs.set obs "pool.batches" s.batches
+
+let shutdown t =
+  let ws =
+    Mutex.lock t.mu;
+    if t.joined then begin Mutex.unlock t.mu; [] end
+    else begin
+      t.joined <- true;
+      t.stop <- true;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu;
+      t.workers
+    end
+  in
+  List.iter Domain.join ws
+
+let with_pool ~jobs f =
+  let t = create ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,58 @@
+(** A reusable work-stealing pool of OCaml 5 domains with
+    {e deterministic}, submission-ordered result collection.
+
+    The pool exists to fan independent pipeline instances (one
+    benchmark, one configuration) out over hardware cores without
+    perturbing results: {!map} always returns results in submission
+    order, and a task's exception is re-raised from the {e earliest}
+    failing submission index, so a run at [jobs = N] is observationally
+    identical to [jobs = 1] whenever the tasks themselves are
+    independent. [jobs = 1] executes inline on the calling domain — no
+    domains are spawned and no scheduling is involved at all.
+
+    Tasks are distributed round-robin over per-worker deques; an idle
+    worker steals from the busiest other deque, so adversarial task
+    durations (one long task submitted first, or last) still keep every
+    domain busy. The calling domain participates as worker 0, so a pool
+    with [jobs = n] uses exactly [n] domains including the caller.
+
+    A pool is reusable across any number of {!map} batches and must be
+    {!shutdown} when done (worker domains otherwise keep the process
+    alive). Pools must not be shared between concurrent callers: one
+    {!map} batch runs at a time. *)
+
+type t
+
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs >= 1];
+    values above {!Domain.recommended_domain_count} are allowed but
+    oversubscribe). *)
+val create : jobs:int -> unit -> t
+
+(** The pool's parallelism degree (the [jobs] it was created with). *)
+val jobs : t -> int
+
+(** [map t f xs] applies [f] to every element of [xs], in parallel on
+    up to [jobs t] domains, and returns the results in submission
+    order. If any task raised, the exception of the earliest failing
+    index is re-raised after all tasks have settled (no task is
+    abandoned mid-flight, so the pool stays reusable). *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Lifetime counters: tasks executed, tasks stolen from another
+    worker's deque, and {!map} batches dispatched to the workers
+    (inline [jobs = 1] batches count too; their steals are 0). *)
+type stats = { tasks : int; steals : int; batches : int }
+
+val stats : t -> stats
+
+(** Publish the pool's counters into a metrics registry as
+    [pool.jobs], [pool.tasks], [pool.steals] and [pool.batches]. *)
+val publish_metrics : t -> Janus_obs.Obs.t -> unit
+
+(** Join the worker domains. The pool must not be used afterwards;
+    idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f pool] and guarantees {!shutdown}, even
+    on exceptions. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

@@ -32,6 +32,20 @@ for src in "${guests[@]}"; do
   dune exec bin/jverify.exe -- --crosscheck "$jx" "$jrs"
 done
 
+echo "== evaluation determinism: --jobs 1 vs --jobs 4 =="
+# the headline guarantee of the staged pipeline: the full evaluation is
+# byte-identical whether rows are computed sequentially or fanned out
+# over domains, and whether artifacts come from the cache or fresh
+dune exec bin/janus_eval.exe -- all --jobs 1 --metrics \
+  > "$work/eval_j1.txt" 2> "$work/eval_j1.metrics"
+dune exec bin/janus_eval.exe -- all --jobs 4 --metrics \
+  > "$work/eval_j4.txt" 2> "$work/eval_j4.metrics"
+diff -u "$work/eval_j1.txt" "$work/eval_j4.txt"
+echo "-- pipeline cache counters (--jobs 1) --"
+grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j1.metrics"
+echo "-- pipeline cache counters (--jobs 4) --"
+grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j4.metrics"
+
 echo "== traced benchmark run =="
 # run one real benchmark with tracing on and prove the exported Chrome
 # trace parses and covers every event category the run exercises:

@@ -12,6 +12,8 @@ let () =
       ("dbm", Test_dbm.tests);
       ("runtime", Test_runtime.tests);
       ("obs", Test_obs.tests);
+      ("pool", Test_pool.tests);
+      ("pipeline", Test_pipeline.tests);
       ("e2e", Test_e2e.tests);
       ("suite", Test_suite.tests);
     ]

@@ -1,0 +1,153 @@
+(* Tests for the staged pipeline's artifact store: warm (cached) runs
+   must be bit-identical to cold runs, execute-stage parameters must
+   not enter static cache keys, and the domain-parallel evaluation
+   harness must produce the same rows as a sequential one. *)
+
+open Janus_core
+module Pool = Janus_pool.Pool
+module Jcc = Janus_jcc.Jcc
+module Obs = Janus_obs.Obs
+
+let kernel =
+  "double x[4096]; double y[4096];\n\
+   int main() {\n\
+   \  for (int i = 0; i < 4096; i++) { x[i] = (double)(i % 23); }\n\
+   \  for (int i = 0; i < 4096; i++) { y[i] = x[i] * 1.5 + 2.0; }\n\
+   \  double s = 0.0;\n\
+   \  for (int i = 0; i < 4096; i++) { s += y[i]; }\n\
+   \  print_float(s);\n\
+   \  return 0;\n\
+   }"
+
+(* everything in a result except the metrics registry (a fresh [Obs.t]
+   per run, never structurally comparable) *)
+let comparable (r : Janus.result) =
+  ( (r.Janus.output, r.Janus.exit_code, r.Janus.cycles, r.Janus.icount),
+    (r.Janus.breakdown, r.Janus.stats, r.Janus.schedule_size,
+     r.Janus.executable_size),
+    (r.Janus.selected_loops, r.Janus.demoted_loops, r.Janus.checks_per_loop,
+     r.Janus.stm_commits, r.Janus.stm_aborts, r.Janus.aborted) )
+
+let check_same_result name a b =
+  Alcotest.(check bool) name true (comparable a = comparable b)
+
+let test_warm_run_equals_cold_run () =
+  let store = Pipeline.store () in
+  let img = Pipeline.compile ~store kernel in
+  let cold = Janus.parallelise ~store img in
+  let misses_after_cold = (Pipeline.cache_stats store).Pipeline.misses in
+  let warm = Janus.parallelise ~store img in
+  let stats = Pipeline.cache_stats store in
+  Alcotest.(check bool) "warm run hit the cache" true
+    (stats.Pipeline.hits > 0);
+  Alcotest.(check int) "warm run recomputed nothing" misses_after_cold
+    stats.Pipeline.misses;
+  check_same_result "warm = cold, bit for bit" cold warm;
+  Alcotest.(check bool) "the run parallelised something" true
+    (cold.Janus.selected_loops <> [])
+
+let test_threads_not_in_static_keys () =
+  let store = Pipeline.store () in
+  let img = Pipeline.compile ~store kernel in
+  let p8 = Janus.prepare ~cfg:(Janus.config ~threads:8 ()) ~store img in
+  let misses = (Pipeline.cache_stats store).Pipeline.misses in
+  (* thread count (and tracing) are execute-stage parameters: sweeping
+     them must reuse every static artifact, as fig8/fig9 do *)
+  let p2 =
+    Janus.prepare ~cfg:(Janus.config ~threads:2 ~trace:true ()) ~store img
+  in
+  let stats = Pipeline.cache_stats store in
+  Alcotest.(check int) "no new misses across a thread sweep" misses
+    stats.Pipeline.misses;
+  Alcotest.(check bool) "the sweep hit the cache" true
+    (stats.Pipeline.hits > 0);
+  Alcotest.(check bool) "same schedule object" true
+    (p8.Janus.p_schedule == p2.Janus.p_schedule)
+
+let test_selection_fields_are_in_schedule_key () =
+  let store = Pipeline.store () in
+  let img = Pipeline.compile ~store kernel in
+  let full = Janus.prepare ~cfg:(Janus.config ()) ~store img in
+  let static_only =
+    Janus.prepare
+      ~cfg:(Janus.config ~use_profile:false ~use_checks:false ())
+      ~store img
+  in
+  (* different selection inputs must not collide on one cached schedule;
+     the analysis itself is still shared *)
+  Alcotest.(check bool) "distinct schedules" true
+    (full.Janus.p_schedule != static_only.Janus.p_schedule);
+  Alcotest.(check bool) "analysis shared" true
+    (full.Janus.p_analysis == static_only.Janus.p_analysis)
+
+let test_disabled_store_never_caches () =
+  let store = Pipeline.store ~enabled:false () in
+  let img = Pipeline.compile ~store kernel in
+  let a = Janus.parallelise ~store img in
+  let b = Janus.parallelise ~store img in
+  let stats = Pipeline.cache_stats store in
+  Alcotest.(check int) "no hits" 0 stats.Pipeline.hits;
+  Alcotest.(check bool) "misses counted" true (stats.Pipeline.misses > 0);
+  check_same_result "recomputed artifacts are deterministic" a b
+
+let test_compile_key_includes_options () =
+  let store = Pipeline.store () in
+  let img1 = Pipeline.compile ~store kernel in
+  let img2 = Pipeline.compile ~store kernel in
+  Alcotest.(check bool) "same options hit" true (img1 == img2);
+  let o2 =
+    Pipeline.compile ~store ~options:{ Jcc.default_options with opt = 2 }
+      kernel
+  in
+  Alcotest.(check bool) "different options miss" true (img1 != o2)
+
+let test_publish_metrics_counters () =
+  let store = Pipeline.store () in
+  let img = Pipeline.compile ~store kernel in
+  ignore (Janus.prepare ~store img);
+  ignore (Janus.prepare ~store img);
+  let obs = Obs.create () in
+  Pipeline.publish_metrics store obs;
+  let c = Obs.counter obs in
+  let stats = Pipeline.cache_stats store in
+  Alcotest.(check int) "pipeline.cache.hits" stats.Pipeline.hits
+    (c "pipeline.cache.hits");
+  Alcotest.(check int) "pipeline.cache.misses" stats.Pipeline.misses
+    (c "pipeline.cache.misses");
+  Alcotest.(check int) "per-kind counters sum to the total"
+    (c "pipeline.cache.hits")
+    (c "pipeline.cache.image.hits" + c "pipeline.cache.analysis.hits"
+     + c "pipeline.cache.coverage.hits" + c "pipeline.cache.deps.hits"
+     + c "pipeline.cache.schedule.hits")
+
+(* the in-process analogue of CI's `janus_eval all --jobs 1` vs
+   `--jobs 4` byte-diff, on the cheapest experiment that touches every
+   benchmark: rows and rendered text must match exactly *)
+let test_parallel_harness_matches_sequential () =
+  let seq = Eval.table1 ~ctx:(Eval.ctx ~store:(Pipeline.store ()) ()) () in
+  let par =
+    Pool.with_pool ~jobs:3 (fun pool ->
+        Eval.table1 ~ctx:(Eval.ctx ~store:(Pipeline.store ()) ~pool ()) ())
+  in
+  Alcotest.(check bool) "rows identical" true (seq = par);
+  Alcotest.(check string) "rendered output identical"
+    (Fmt.str "%a" Eval.pp_table1 seq)
+    (Fmt.str "%a" Eval.pp_table1 par)
+
+let tests =
+  [
+    Alcotest.test_case "warm run equals cold run" `Quick
+      test_warm_run_equals_cold_run;
+    Alcotest.test_case "threads stay out of static keys" `Quick
+      test_threads_not_in_static_keys;
+    Alcotest.test_case "selection fields key the schedule" `Quick
+      test_selection_fields_are_in_schedule_key;
+    Alcotest.test_case "disabled store never caches" `Quick
+      test_disabled_store_never_caches;
+    Alcotest.test_case "compile key includes options" `Quick
+      test_compile_key_includes_options;
+    Alcotest.test_case "publish_metrics matches cache_stats" `Quick
+      test_publish_metrics_counters;
+    Alcotest.test_case "parallel harness = sequential harness" `Quick
+      test_parallel_harness_matches_sequential;
+  ]

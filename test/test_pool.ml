@@ -1,0 +1,138 @@
+(* Tests for janus_pool: deterministic submission-ordered collection
+   under adversarial task durations, exception propagation from worker
+   domains, pool reuse across batches, and the published counters. *)
+
+module Pool = Janus_pool.Pool
+module Obs = Janus_obs.Obs
+
+(* a busy-wait the optimiser cannot delete, to skew task durations *)
+let spin n =
+  let x = ref 0 in
+  for _ = 1 to n * 1_000 do
+    x := Sys.opaque_identity (!x + 1)
+  done;
+  !x
+
+let test_map_preserves_submission_order () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 40 Fun.id in
+      let ys = Pool.map p (fun i -> i * i) xs in
+      Alcotest.(check (list int)) "squares in order"
+        (List.map (fun i -> i * i) xs) ys)
+
+let test_order_under_adversarial_durations () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      (* earliest submissions are the slowest, so naive
+         completion-order collection would reverse the list *)
+      let xs = List.init 24 Fun.id in
+      let ys =
+        Pool.map p (fun i -> ignore (spin ((24 - i) * 40)); i) xs
+      in
+      Alcotest.(check (list int)) "slow-first stays ordered" xs ys;
+      (* and the reverse skew: one long task submitted last *)
+      let zs =
+        Pool.map p (fun i -> ignore (spin (if i = 23 then 1_000 else 1)); -i) xs
+      in
+      Alcotest.(check (list int)) "slow-last stays ordered"
+        (List.map (fun i -> -i) xs) zs)
+
+exception Boom of int
+
+let test_earliest_exception_wins () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let xs = List.init 16 Fun.id in
+      let raised =
+        try
+          (* indices 11 and 5 both fail; 5 must be the one reported,
+             regardless of which worker domain hits it first *)
+          ignore
+            (Pool.map p
+               (fun i ->
+                  if i = 5 || i = 11 then raise (Boom i)
+                  else ignore (spin 5);
+                  i)
+               xs);
+          None
+        with Boom i -> Some i
+      in
+      Alcotest.(check (option int)) "earliest index re-raised" (Some 5) raised;
+      (* the batch settled cleanly: the pool is still usable *)
+      let ys = Pool.map p succ [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "pool survives a failed batch"
+        [ 2; 3; 4 ] ys)
+
+let test_reuse_across_batches () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      for round = 1 to 5 do
+        let xs = List.init (8 * round) Fun.id in
+        let ys = Pool.map p (fun i -> i + round) xs in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map (fun i -> i + round) xs)
+          ys
+      done;
+      let s = Pool.stats p in
+      Alcotest.(check int) "batches" 5 s.Pool.batches;
+      Alcotest.(check int) "tasks" (8 + 16 + 24 + 32 + 40) s.Pool.tasks)
+
+let test_jobs_one_runs_inline () =
+  Pool.with_pool ~jobs:1 (fun p ->
+      (* jobs = 1 must execute on the calling domain: observable via a
+         mutable cell no other domain could see without synchronisation *)
+      let here = ref [] in
+      let ys = Pool.map p (fun i -> here := i :: !here; i) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "results" [ 1; 2; 3 ] ys;
+      Alcotest.(check (list int)) "ran inline, in order" [ 3; 2; 1 ] !here;
+      let s = Pool.stats p in
+      Alcotest.(check int) "no steals inline" 0 s.Pool.steals)
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map p Fun.id []);
+      Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.map p Fun.id [ 7 ]))
+
+let test_shutdown_idempotent () =
+  let p = Pool.create ~jobs:3 () in
+  let ys = Pool.map p string_of_int [ 1; 2 ] in
+  Alcotest.(check (list string)) "ran" [ "1"; "2" ] ys;
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.(check pass) "double shutdown is a no-op" () ()
+
+let test_publish_metrics () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      ignore (Pool.map p (fun i -> ignore (spin 10); i) (List.init 12 Fun.id));
+      let obs = Obs.create () in
+      Pool.publish_metrics p obs;
+      let c = Obs.counter obs in
+      Alcotest.(check int) "pool.jobs" 2 (c "pool.jobs");
+      Alcotest.(check int) "pool.tasks" 12 (c "pool.tasks");
+      Alcotest.(check int) "pool.batches" 1 (c "pool.batches");
+      Alcotest.(check bool) "pool.steals non-negative" true
+        (c "pool.steals" >= 0))
+
+let test_create_rejects_zero_jobs () =
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()))
+
+let tests =
+  [
+    Alcotest.test_case "map preserves submission order" `Quick
+      test_map_preserves_submission_order;
+    Alcotest.test_case "order survives adversarial durations" `Quick
+      test_order_under_adversarial_durations;
+    Alcotest.test_case "earliest exception wins" `Quick
+      test_earliest_exception_wins;
+    Alcotest.test_case "pool reusable across batches" `Quick
+      test_reuse_across_batches;
+    Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs_one_runs_inline;
+    Alcotest.test_case "empty and singleton batches" `Quick
+      test_empty_and_singleton;
+    Alcotest.test_case "shutdown is idempotent" `Quick
+      test_shutdown_idempotent;
+    Alcotest.test_case "publish_metrics exposes counters" `Quick
+      test_publish_metrics;
+    Alcotest.test_case "create rejects jobs=0" `Quick
+      test_create_rejects_zero_jobs;
+  ]
