@@ -20,9 +20,25 @@ let exit_out_of_fuel = 3
 
 let die code fmt = Fmt.kstr (fun s -> Fmt.epr "janus_eval: %s@." s; code) fmt
 
-let experiments =
-  [ "fig6"; "fig7"; "fig8"; "table1"; "fig9"; "fig10"; "fig11"; "fig12";
-    "doacross"; "prefetch" ]
+(* the registry: experiment id -> one-line description (--list) *)
+let registry =
+  [
+    ("fig6", "loop classification of the 25 benchmarks (Fig. 6)");
+    ("fig7", "speedup under the four system configurations (Fig. 7)");
+    ("fig8", "cycle breakdown of the parallelised runs (Fig. 8)");
+    ("table1", "runtime-check counts and library-call footprint (Table I)");
+    ("fig9", "speedup scaling over 1..8 threads (Fig. 9)");
+    ("fig10", "rewrite-schedule size vs executable size (Fig. 10)");
+    ("fig11", "STM commit/abort behaviour of the speculative loops (Fig. 11)");
+    ("fig12", "speedup by compiler optimisation level (Fig. 12)");
+    ("doacross", "extension: DOACROSS execution of static-dependence loops");
+    ("prefetch", "extension: MEM_PREFETCH rules under the cache-miss model");
+    ("adapt",
+     "extension: online adaptive governor vs static schedules on \
+      misbehaving inputs");
+  ]
+
+let experiments = List.map fst registry
 
 let run_one ctx = function
   | "fig6" -> Fmt.pr "%a@." Eval.pp_fig6 (Eval.fig6 ~ctx ())
@@ -37,6 +53,7 @@ let run_one ctx = function
   | "fig12" -> Fmt.pr "%a@." Eval.pp_fig12 (Eval.fig12 ~ctx ())
   | "doacross" -> Fmt.pr "%a@." Eval.pp_ext_doacross (Eval.ext_doacross ~ctx ())
   | "prefetch" -> Fmt.pr "%a@." Eval.pp_ext_prefetch (Eval.ext_prefetch ~ctx ())
+  | "adapt" -> Fmt.pr "%a@." Eval.pp_ext_adapt (Eval.ext_adapt ~ctx ())
   | _ -> assert false (* names are validated before any experiment runs *)
 
 (* metrics go to stderr so stdout stays byte-comparable across runs *)
@@ -46,7 +63,12 @@ let print_metrics store pool =
   (match pool with Some p -> Pool.publish_metrics p obs | None -> ());
   List.iter (fun (k, v) -> Fmt.epr "%-32s %12d@." k v) (Obs.counters obs)
 
-let run names jobs no_cache metrics =
+let run names jobs no_cache metrics list =
+  if list then begin
+    List.iter (fun (n, d) -> Fmt.pr "%-10s %s@." n d) registry;
+    0
+  end
+  else
   let todo =
     List.concat_map
       (fun n -> if String.equal n "all" then experiments else [ n ])
@@ -84,7 +106,8 @@ let pos_int what =
 let names =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
          ~doc:"Experiments to regenerate (fig6 fig7 fig8 table1 fig9 fig10 \
-               fig11 fig12 doacross prefetch, or all). Default: all.")
+               fig11 fig12 doacross prefetch adapt, or all; see --list). \
+               Default: all.")
 
 let jobs =
   Arg.(value & opt (pos_int "--jobs") 1
@@ -104,10 +127,16 @@ let metrics =
            ~doc:"Print pipeline.cache.* and pool.* counters to stderr\n\
                  when done.")
 
+let list =
+  Arg.(value & flag
+       & info [ "list" ]
+           ~doc:"Print the experiment registry (id and one-line\n\
+                 description) and exit.")
+
 let cmd =
   Cmd.v
     (Cmd.info "janus_eval"
        ~doc:"Regenerate the paper's evaluation tables and figures")
-    Term.(const run $ names $ jobs $ no_cache $ metrics)
+    Term.(const run $ names $ jobs $ no_cache $ metrics $ list)
 
 let () = exit (Cmd.eval' cmd)

@@ -31,7 +31,8 @@ let print_obs obs ~trace_summary ~metrics =
     List.iter (fun (k, v) -> Fmt.pr "%-32s %12d@." k v) (Obs.counters obs)
 
 let run input mode threads scale train_scale schedule_file prefetch
-    model_cache fuel trace_out trace_jsonl trace_summary metrics =
+    model_cache fuel trace_out trace_jsonl trace_summary metrics adapt
+    adapt_report =
   let bytes =
     In_channel.with_open_bin input (fun ic ->
         Bytes.of_string (In_channel.input_all ic))
@@ -42,8 +43,9 @@ let run input mode threads scale train_scale schedule_file prefetch
   | image ->
   let inp = [ Int64.of_int scale ] in
   let tracing = trace_out <> None || trace_jsonl <> None || trace_summary in
+  let adapt = adapt || adapt_report <> None in
   let cfg =
-    Janus.config ~threads ~prefetch ~model_cache ~fuel ~trace:tracing ()
+    Janus.config ~threads ~prefetch ~model_cache ~fuel ~trace:tracing ~adapt ()
   in
   let schedule =
     match schedule_file with
@@ -100,6 +102,15 @@ let run input mode threads scale train_scale schedule_file prefetch
        | None -> "")
       result.Janus.cycles
   | None ->
+    (match adapt_report, result.Janus.governor with
+     | Some path, Some g ->
+       write_file path (Fmt.str "%a" Janus.Adapt.pp_report g)
+     | Some path, None ->
+       (* native/dbm modes carry no governor; an empty report is less
+          surprising than a silently missing file *)
+       write_file path
+         (Fmt.str "no adaptive governor in --mode %s (use janus)@." mode)
+     | None, _ -> ());
     print_string result.Janus.output;
     Fmt.pr "--- %s: %d cycles, %d instructions, exit %d@." mode
       result.Janus.cycles result.Janus.icount result.Janus.exit_code;
@@ -198,11 +209,26 @@ let metrics =
        & info [ "metrics" ]
            ~doc:"Print the run's metrics counters (no event recording).")
 
+let adapt =
+  Arg.(value & flag
+       & info [ "adapt" ]
+           ~doc:"Govern the parallelised loops online: demote loops whose\n\
+                 checks keep failing (or that lose cycles) to sequential\n\
+                 execution, probe them periodically for re-promotion, and\n\
+                 decide unprofiled checked loops by sampling their first\n\
+                 invocations under shadow memory (training-free mode).")
+
+let adapt_report =
+  Arg.(value & opt (some string) None
+       & info [ "adapt-report" ] ~docv:"FILE"
+           ~doc:"Write the governor's per-loop ledger (state, invocations,\n\
+                 demotions, probes, samples) to $(docv); implies --adapt.")
+
 let cmd =
   Cmd.v
     (Cmd.info "janus_run" ~doc:"Run a JX binary (native / dbm / janus)")
     Term.(const run $ input $ mode $ threads $ scale $ train_scale
           $ schedule_file $ prefetch $ model_cache $ fuel $ trace_out
-          $ trace_jsonl $ trace_summary $ metrics)
+          $ trace_jsonl $ trace_summary $ metrics $ adapt $ adapt_report)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,376 @@
+(* Online adaptive loop governor. See adapt.mli for the model.
+
+   Everything here is driven by the main thread between invocations:
+   no locks, no wall-clock time, no randomness — transitions depend
+   only on counters and virtual cycles, which is what keeps adaptive
+   runs bit-identical across --jobs levels and schedule-cache states. *)
+
+module Obs = Janus_obs.Obs
+module Machine = Janus_vm.Machine
+module Layout = Janus_vx.Layout
+module Profiler = Janus_profile.Profiler
+
+type params = {
+  window : int;
+  demote_k : int;
+  promote_k : int;
+  probe_period : int;
+  sample_n : int;
+  gain_pct : int;
+}
+
+(* Defaults tuned for the suite's invocation counts: a pathological
+   loop is off the parallel path within ~5 invocations, and a demoted
+   loop costs one probe every 16 invocations to keep re-promotion
+   possible. *)
+let default_params =
+  { window = 8; demote_k = 3; promote_k = 3; probe_period = 16;
+    sample_n = 3; gain_pct = 100 }
+
+type state = Parallel | Probation | Sequential | Sampling
+
+let state_name = function
+  | Parallel -> "parallel"
+  | Probation -> "probation"
+  | Sequential -> "sequential"
+  | Sampling -> "sampling"
+
+let state_code = function
+  | Parallel -> 0 | Probation -> 1 | Sequential -> 2 | Sampling -> 3
+
+type decision = Go_parallel | Go_probe | Go_sequential | Go_sample
+
+type ledger = {
+  lid : int;
+  mutable st : state;
+  mutable invocations : int;
+  mutable par_invocations : int;
+  mutable seq_invocations : int;
+  mutable probes : int;
+  mutable samples : int;
+  mutable fallbacks : int;
+  mutable checks_passed : int;
+  mutable checks_failed : int;
+  mutable check_cycles : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable par_work : int;
+  mutable par_cost : int;
+  mutable seq_cycles : int;
+  mutable demotions : int;
+  mutable promotions : int;
+  mutable sampled_dep : bool;
+  (* per-invocation decision cache: MEM_BOUNDS_CHECK fires before
+     LOOP_INIT, so the decision is computed at whichever hook runs
+     first and consumed at LOOP_INIT *)
+  mutable pending : decision option;
+  mutable since_probe : int;
+  mutable good_streak : int;
+  (* ring of recent parallel outcomes (true = good) in Parallel state *)
+  outcomes : bool array;
+  mutable outcome_n : int;
+  mutable outcome_i : int;
+  mutable bad_in_window : int;
+  shadow : Profiler.Shadow.t;
+  mutable observing : bool;
+}
+
+type t = {
+  p : params;
+  obs : Obs.t option;
+  loops : (int, ledger) Hashtbl.t;
+}
+
+let create ?(params = default_params) ?obs () =
+  { p = params; obs; loops = Hashtbl.create 16 }
+
+let params t = t.p
+
+let emit t ~now kind =
+  match t.obs with
+  | Some o when Obs.tracing o -> Obs.emit o ~tid:0 ~ts:now kind
+  | _ -> ()
+
+let fresh p lid st =
+  { lid; st; invocations = 0; par_invocations = 0; seq_invocations = 0;
+    probes = 0; samples = 0; fallbacks = 0; checks_passed = 0;
+    checks_failed = 0; check_cycles = 0; commits = 0; aborts = 0;
+    par_work = 0; par_cost = 0; seq_cycles = 0; demotions = 0;
+    promotions = 0; sampled_dep = false; pending = None; since_probe = 0;
+    good_streak = 0; outcomes = Array.make (max 1 p.window) true;
+    outcome_n = 0; outcome_i = 0; bad_in_window = 0;
+    shadow = Profiler.Shadow.create (); observing = false }
+
+let register t lid ~profiled =
+  if not (Hashtbl.mem t.loops lid) then begin
+    let st =
+      if (not profiled) && t.p.sample_n > 0 then Sampling else Parallel
+    in
+    Hashtbl.add t.loops lid (fresh t.p lid st)
+  end
+
+let find t lid = Hashtbl.find_opt t.loops lid
+let governed t lid = Hashtbl.mem t.loops lid
+let state t lid = Option.map (fun l -> l.st) (find t lid)
+
+(* Rolling-window bookkeeping ------------------------------------- *)
+
+let clear_window l =
+  l.outcome_n <- 0;
+  l.outcome_i <- 0;
+  l.bad_in_window <- 0;
+  l.good_streak <- 0
+
+let push_outcome l good =
+  let w = Array.length l.outcomes in
+  if l.outcome_n = w then begin
+    if not l.outcomes.(l.outcome_i) then
+      l.bad_in_window <- l.bad_in_window - 1
+  end else l.outcome_n <- l.outcome_n + 1;
+  l.outcomes.(l.outcome_i) <- good;
+  if not good then l.bad_in_window <- l.bad_in_window + 1;
+  l.outcome_i <- (l.outcome_i + 1) mod w
+
+(* Transitions ----------------------------------------------------- *)
+
+let demote t l ~now to_ =
+  l.st <- to_;
+  l.demotions <- l.demotions + 1;
+  clear_window l;
+  if to_ = Sequential then l.since_probe <- 0;
+  emit t ~now (Obs.Governor_demoted { loop_id = l.lid; state = state_name to_ })
+
+let promote t l ~now to_ =
+  l.st <- to_;
+  l.promotions <- l.promotions + 1;
+  clear_window l;
+  emit t ~now (Obs.Governor_promoted { loop_id = l.lid; state = state_name to_ })
+
+(* Fold one finished parallel invocation (or fallback) into the
+   policy. In Sequential state the invocation was necessarily a probe. *)
+let record_outcome t l ~now ~good =
+  match l.st with
+  | Sequential -> if good then promote t l ~now Probation
+  | Parallel ->
+    push_outcome l good;
+    if l.bad_in_window >= t.p.demote_k then demote t l ~now Probation
+  | Probation ->
+    if not good then demote t l ~now Sequential
+    else begin
+      l.good_streak <- l.good_streak + 1;
+      if l.good_streak >= t.p.promote_k then promote t l ~now Parallel
+    end
+  | Sampling -> ()
+
+(* Decisions ------------------------------------------------------- *)
+
+let next_decision t l =
+  match l.st with
+  | Parallel | Probation -> Go_parallel
+  | Sampling -> Go_sample
+  | Sequential ->
+    l.since_probe <- l.since_probe + 1;
+    if l.since_probe >= t.p.probe_period then begin
+      l.since_probe <- 0;
+      Go_probe
+    end else Go_sequential
+
+let skip_check t lid =
+  match find t lid with
+  | None -> false
+  | Some l ->
+    let d =
+      match l.pending with
+      | Some d -> d
+      | None ->
+        let d = next_decision t l in
+        l.pending <- Some d;
+        d
+    in
+    (match d with Go_sequential | Go_sample -> true | Go_parallel | Go_probe -> false)
+
+let decide t lid ~now =
+  match find t lid with
+  | None -> Go_parallel
+  | Some l ->
+    l.invocations <- l.invocations + 1;
+    let d =
+      match l.pending with
+      | Some d -> l.pending <- None; d
+      | None -> next_decision t l
+    in
+    (match d with
+     | Go_probe ->
+       l.probes <- l.probes + 1;
+       emit t ~now (Obs.Governor_probe { loop_id = lid })
+     | Go_parallel | Go_sequential | Go_sample -> ());
+    d
+
+(* Ledger feeds ---------------------------------------------------- *)
+
+let record_check t lid ~ok ~cycles =
+  match find t lid with
+  | None -> ()
+  | Some l ->
+    if ok then l.checks_passed <- l.checks_passed + 1
+    else l.checks_failed <- l.checks_failed + 1;
+    l.check_cycles <- l.check_cycles + cycles
+
+let record_parallel t lid ~now ~work ~cost ~commits ~aborts =
+  match find t lid with
+  | None -> ()
+  | Some l ->
+    l.par_invocations <- l.par_invocations + 1;
+    l.commits <- l.commits + commits;
+    l.aborts <- l.aborts + aborts;
+    l.par_work <- l.par_work + work;
+    l.par_cost <- l.par_cost + cost;
+    let good =
+      aborts <= commits && work * 100 >= cost * t.p.gain_pct
+    in
+    record_outcome t l ~now ~good
+
+let record_fallback t lid ~now =
+  match find t lid with
+  | None -> ()
+  | Some l ->
+    l.fallbacks <- l.fallbacks + 1;
+    record_outcome t l ~now ~good:false
+
+let record_seq t lid ~cycles =
+  match find t lid with
+  | None -> ()
+  | Some l ->
+    l.seq_invocations <- l.seq_invocations + 1;
+    l.seq_cycles <- l.seq_cycles + cycles
+
+(* Training-free sampling ------------------------------------------ *)
+
+let sample_begin t lid ctx ~read_iv ~exclude =
+  match find t lid with
+  | None -> ()
+  | Some l ->
+    (match ctx.Machine.observe with
+     | Some _ -> ()  (* someone else (offline profiler) owns the hook *)
+     | None ->
+       Profiler.Shadow.reset l.shadow;
+       l.observing <- true;
+       ctx.Machine.observe <-
+         Some (fun rw ~addr ~bytes ->
+             if addr >= Layout.data_base && addr < Layout.heap_limit
+                && not (List.exists
+                          (fun e -> e >= addr && e < addr + bytes)
+                          exclude)
+             then
+               Profiler.Shadow.access l.shadow
+                 ~iter:(Int64.to_int (read_iv ()))
+                 ~addr ~bytes ~write:(rw = Machine.Write)))
+
+let sample_end t lid ctx ~now =
+  match find t lid with
+  | None -> ()
+  | Some l ->
+    if l.observing then begin
+      ctx.Machine.observe <- None;
+      l.observing <- false;
+      l.samples <- l.samples + 1;
+      let dep = Profiler.Shadow.found l.shadow in
+      if dep then l.sampled_dep <- true;
+      emit t ~now (Obs.Governor_sample { loop_id = lid; dep });
+      (* One observed dependence is conclusive; otherwise keep sampling
+         until the budget is spent, then commit to parallel. *)
+      if l.sampled_dep then demote t l ~now Sequential
+      else if l.samples >= t.p.sample_n then promote t l ~now Parallel
+    end
+
+(* Reporting ------------------------------------------------------- *)
+
+type loop_stats = {
+  loop_id : int;
+  final : state;
+  invocations : int;
+  par_invocations : int;
+  seq_invocations : int;
+  probes : int;
+  samples : int;
+  fallbacks : int;
+  checks_passed : int;
+  checks_failed : int;
+  check_cycles : int;
+  commits : int;
+  aborts : int;
+  par_work : int;
+  par_cost : int;
+  seq_cycles : int;
+  demotions : int;
+  promotions : int;
+  sampled_dep : bool;
+}
+
+let snapshot t =
+  Hashtbl.fold
+    (fun _ l acc ->
+       { loop_id = l.lid; final = l.st; invocations = l.invocations;
+         par_invocations = l.par_invocations;
+         seq_invocations = l.seq_invocations; probes = l.probes;
+         samples = l.samples; fallbacks = l.fallbacks;
+         checks_passed = l.checks_passed; checks_failed = l.checks_failed;
+         check_cycles = l.check_cycles; commits = l.commits;
+         aborts = l.aborts; par_work = l.par_work; par_cost = l.par_cost;
+         seq_cycles = l.seq_cycles; demotions = l.demotions;
+         promotions = l.promotions; sampled_dep = l.sampled_dep }
+       :: acc)
+    t.loops []
+  |> List.sort (fun a b -> compare a.loop_id b.loop_id)
+
+let publish_metrics t obs =
+  let snaps = snapshot t in
+  let tot f = List.fold_left (fun acc s -> acc + f s) 0 snaps in
+  Obs.set obs "adapt.loops" (List.length snaps);
+  Obs.set obs "adapt.demotions" (tot (fun s -> s.demotions));
+  Obs.set obs "adapt.promotions" (tot (fun s -> s.promotions));
+  Obs.set obs "adapt.probes" (tot (fun s -> s.probes));
+  Obs.set obs "adapt.samples" (tot (fun s -> s.samples));
+  Obs.set obs "adapt.seq_invocations" (tot (fun s -> s.seq_invocations));
+  Obs.set obs "adapt.fallbacks" (tot (fun s -> s.fallbacks));
+  List.iter
+    (fun s ->
+       let key k = Printf.sprintf "adapt.loop.%d.%s" s.loop_id k in
+       Obs.set obs (key "state") (state_code s.final);
+       Obs.set obs (key "invocations") s.invocations;
+       Obs.set obs (key "demotions") s.demotions;
+       Obs.set obs (key "promotions") s.promotions;
+       Obs.set obs (key "probes") s.probes;
+       Obs.set obs (key "samples") s.samples;
+       Obs.set obs (key "seq_invocations") s.seq_invocations)
+    snaps
+
+let pp_report ppf t =
+  let snaps = snapshot t in
+  Format.fprintf ppf "adaptive governor: %d loop(s) governed@."
+    (List.length snaps);
+  if snaps <> [] then begin
+    Format.fprintf ppf
+      "%6s %-10s %6s %6s %6s %6s %5s %5s %6s %6s %7s %7s %7s %7s@." "loop"
+      "state" "inv" "par" "seq" "probe" "samp" "fb" "chk+" "chk-" "commit"
+      "abort" "demote" "promote";
+    List.iter
+      (fun s ->
+         Format.fprintf ppf
+           "%6d %-10s %6d %6d %6d %6d %5d %5d %6d %6d %7d %7d %7d %7d@."
+           s.loop_id (state_name s.final) s.invocations s.par_invocations
+           s.seq_invocations s.probes s.samples s.fallbacks s.checks_passed
+           s.checks_failed s.commits s.aborts s.demotions s.promotions)
+      snaps;
+    List.iter
+      (fun s ->
+         if s.samples > 0 then
+           Format.fprintf ppf
+             "loop %d: training-free sample of %d invocation(s) -> %s@."
+             s.loop_id s.samples
+             (if s.sampled_dep then "cross-iteration dependence, sequential"
+              else if s.final = Sampling then
+                "no dependence yet (budget not exhausted)"
+              else "no dependence, parallel"))
+      snaps
+  end

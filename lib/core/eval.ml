@@ -589,6 +589,67 @@ let pp_ext_prefetch ppf rows =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Extension: the online adaptive governor on misbehaving inputs       *)
+(* ------------------------------------------------------------------ *)
+
+type ext_adapt_row = {
+  ea_name : string;
+  ea_static : float;
+  ea_adapt : float;
+  ea_demotions : int;
+  ea_probes : int;
+  ea_fallbacks : int;
+}
+
+(* the adversarial pair (whose reference input invalidates the training
+   run's aliasing behaviour) plus two well-behaved controls that must
+   come out within noise of the static system *)
+let ext_adapt_benchmarks =
+  Suite.adversarial @ List.filteri (fun i _ -> i < 2) nine
+
+let ext_adapt_row ctx (b : Suite.benchmark) =
+  let module Adapt = Janus_adapt.Adapt in
+  let img = compile ctx b in
+  let native = Janus.run_native ~input:(Suite.ref_input b) img in
+  let go cfg =
+    Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
+      ~input:(Suite.ref_input b) ~store:ctx.store img
+  in
+  let static = go (Janus.config ()) in
+  let adaptive = go (Janus.config ~adapt:true ()) in
+  if not (String.equal native.Janus.output adaptive.Janus.output) then
+    failwith (b.Suite.name ^ ": adaptive output diverges from native");
+  let demotions, probes, fallbacks =
+    match adaptive.Janus.governor with
+    | None -> (0, 0, 0)
+    | Some g ->
+      List.fold_left
+        (fun (d, p, f) (s : Adapt.loop_stats) ->
+           (d + s.Adapt.demotions, p + s.Adapt.probes, f + s.Adapt.fallbacks))
+        (0, 0, 0) (Adapt.snapshot g)
+  in
+  { ea_name = b.Suite.name;
+    ea_static = Janus.speedup ~native ~run:static;
+    ea_adapt = Janus.speedup ~native ~run:adaptive;
+    ea_demotions = demotions;
+    ea_probes = probes;
+    ea_fallbacks = fallbacks }
+
+let ext_adapt ?(ctx = default_ctx) () =
+  par_map ctx (ext_adapt_row ctx) ext_adapt_benchmarks
+
+let pp_ext_adapt ppf rows =
+  Fmt.pf ppf
+    "Extension: online adaptive governor vs static schedules (8 threads)@.";
+  Fmt.pf ppf "%-18s %8s %9s %7s %6s %9s@." "benchmark" "static" "adaptive"
+    "demote" "probe" "fallback";
+  List.iter
+    (fun r ->
+       Fmt.pf ppf "%-18s %8.2f %9.2f %7d %6d %9d@." r.ea_name r.ea_static
+         r.ea_adapt r.ea_demotions r.ea_probes r.ea_fallbacks)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* The speculation footprint the paper reports for bwaves (§III-B)     *)
 (* ------------------------------------------------------------------ *)
 

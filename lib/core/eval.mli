@@ -154,6 +154,26 @@ type ext_prefetch_row = {
 val ext_prefetch : ?ctx:ctx -> unit -> ext_prefetch_row list
 val pp_ext_prefetch : Format.formatter -> ext_prefetch_row list -> unit
 
+(** {1 Extension: online adaptive governor (ISSUE 4)} *)
+
+type ext_adapt_row = {
+  ea_name : string;
+  ea_static : float;   (** full-Janus speedup, decisions fixed at deploy *)
+  ea_adapt : float;    (** + the online governor ({!Janus_adapt.Adapt}) *)
+  ea_demotions : int;  (** governor demotions across the run's loops *)
+  ea_probes : int;     (** re-promotion probe invocations *)
+  ea_fallbacks : int;  (** failed-check sequential fallbacks *)
+}
+
+(** Adaptive vs. static execution over the adversarial pair
+    ({!Suite.adversarial}) — whose reference input misbehaves in ways
+    the training input never showed — plus two well-behaved controls.
+    Raises [Failure] if an adaptive run's output diverges from
+    native. *)
+val ext_adapt : ?ctx:ctx -> unit -> ext_adapt_row list
+
+val pp_ext_adapt : Format.formatter -> ext_adapt_row list -> unit
+
 (** {1 The bwaves shared-library call footprint (§III-B)} *)
 
 type excall_stats = {

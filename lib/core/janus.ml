@@ -25,6 +25,7 @@ module Schedule = Janus_schedule.Schedule
 module Desc = Janus_schedule.Desc
 module Verify = Janus_verify.Verify
 module Obs = Janus_obs.Obs
+module Adapt = Janus_adapt.Adapt
 
 (* the configuration and the static-side stages live in [Pipeline]; the
    type equations keep every existing [Janus.config] user compiling *)
@@ -52,6 +53,11 @@ type config = Pipeline.config = {
   fuel : int;
   trace : bool;             (* record per-thread event timelines in the
                                run's Obs.t (off: zero-cost) *)
+  adapt : bool;             (* online adaptive governor: demote
+                               misbehaving loops at run time, probe for
+                               re-promotion, sample unprofiled dynamic
+                               loops (off: bit-identical to before the
+                               governor existed) *)
 }
 
 let config = Pipeline.config
@@ -86,6 +92,7 @@ type result = {
   stm_aborts : int;
   aborted : abort option;      (* run truncated (e.g. fuel exhausted) *)
   obs : Obs.t option;          (* the run's tracing/metrics registry *)
+  governor : Adapt.t option;   (* the adaptive governor, when ~adapt *)
 }
 
 let no_breakdown cycles =
@@ -128,10 +135,11 @@ let run_native ?(fuel = 400_000_000) ?(input = []) ?(model_cache = false) image 
     stm_aborts = 0;
     aborted = None;
     obs = None;
+    governor = None;
   }
 
 let result_of_dbm_run image ~schedule_size ~selected ?(demoted = []) ~checks
-    ?aborted ~obs (dbm : Dbm.t) (ctx : Machine.t) =
+    ?aborted ?governor ~obs (dbm : Dbm.t) (ctx : Machine.t) =
   let s = dbm.Dbm.stats in
   Dbm.publish_metrics dbm obs;
   {
@@ -150,6 +158,7 @@ let result_of_dbm_run image ~schedule_size ~selected ?(demoted = []) ~checks
     stm_aborts = s.Dbm.stm_aborts;
     aborted;
     obs = Some obs;
+    governor;
   }
 
 (** Execution under the unmodified DBM (the "DynamoRIO" bar of Fig. 7). *)
@@ -230,7 +239,26 @@ let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
       stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere;
       fuel = cfg.fuel }
   in
-  let rt = Runtime.create ~config:rt_config dbm in
+  let governor =
+    if cfg.adapt then Some (Adapt.create ~obs ()) else None
+  in
+  (match governor with
+   | Some g ->
+     (* A loop counts as profiled when its selection rests on evidence:
+        static-class loops always, dynamic (checked) loops only when
+        dependence profiling actually ran. Unprofiled dynamic loops
+        start in the governor's training-free sampling state. *)
+     List.iter
+       (fun ((r : Loopanal.report), _) ->
+          let lid = r.Loopanal.loop.Janus_analysis.Looptree.lid in
+          if not (List.mem lid demoted) then
+            let profiled =
+              r.Loopanal.check_ranges = [] || p.p_deps <> None
+            in
+            Adapt.register g lid ~profiled)
+       p.p_selection.chosen
+   | None -> ());
+  let rt = Runtime.create ~config:rt_config ?adapt:governor dbm in
   Runtime.install rt;
   let ctx = Run.fresh_context prog in
   ctx.Machine.model_cache <- cfg.model_cache;
@@ -281,7 +309,7 @@ let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
   in
   result_of_dbm_run p.p_image
     ~schedule_size:(Schedule.size p.p_schedule)
-    ~selected ~demoted ~checks ?aborted ~obs dbm ctx
+    ~selected ~demoted ~checks ?aborted ?governor ~obs dbm ctx
 
 (** Run under the DBM with a pre-generated rewrite schedule — the
     paper's deployment model: the schedule is produced offline by the
@@ -303,7 +331,32 @@ let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
       stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere;
       fuel = cfg.fuel }
   in
-  let rt = Runtime.create ~config:rt_config dbm in
+  (* the deployed loop set is whatever the shipped schedule initialises *)
+  let rule_loops id =
+    List.filter_map
+      (fun (r : Janus_schedule.Rule.t) ->
+         if r.Janus_schedule.Rule.id = id then
+           Some (Int64.to_int r.Janus_schedule.Rule.aux)
+         else None)
+      schedule.Schedule.rules
+    |> List.sort_uniq compare
+  in
+  let selected = rule_loops Janus_schedule.Rule.LOOP_INIT in
+  let governor =
+    if cfg.adapt then Some (Adapt.create ~obs ()) else None
+  in
+  (match governor with
+   | Some g ->
+     (* Deployment model: the schedule ships alone, with no [.jpf]
+        beside it — so a checked (Dynamic-class) loop carries no
+        dependence evidence and starts in the governor's training-free
+        sampling state; unchecked loops were proven statically. *)
+     let checked = rule_loops Janus_schedule.Rule.MEM_BOUNDS_CHECK in
+     List.iter
+       (fun lid -> Adapt.register g lid ~profiled:(not (List.mem lid checked)))
+       selected
+   | None -> ());
+  let rt = Runtime.create ~config:rt_config ?adapt:governor dbm in
   Runtime.install rt;
   let ctx = Run.fresh_context prog in
   ctx.Machine.model_cache <- cfg.model_cache;
@@ -322,18 +375,8 @@ let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
       Some (Out_of_fuel { addr; loop = Some rt.Runtime.current_loop })
   in
   Runtime.publish_metrics rt obs;
-  (* the deployed loop set is whatever the shipped schedule initialises *)
-  let selected =
-    List.filter_map
-      (fun (r : Janus_schedule.Rule.t) ->
-         if r.Janus_schedule.Rule.id = Janus_schedule.Rule.LOOP_INIT then
-           Some (Int64.to_int r.Janus_schedule.Rule.aux)
-         else None)
-      schedule.Schedule.rules
-    |> List.sort_uniq compare
-  in
   result_of_dbm_run image ~schedule_size:shipped_size ~selected ~demoted
-    ~checks:[] ?aborted ~obs dbm ctx
+    ~checks:[] ?aborted ?governor ~obs dbm ctx
 
 (** The whole pipeline: analyse, profile on the training input, select,
     parallelise, run on the reference input. *)

@@ -23,6 +23,7 @@ module Runtime = Janus_runtime.Runtime
 module Schedule = Janus_schedule.Schedule
 module Desc = Janus_schedule.Desc
 module Obs = Janus_obs.Obs
+module Adapt = Janus_adapt.Adapt
 
 (** Pipeline configuration (an alias of {!Pipeline.config}: the static
     side of the pipeline lives there as explicit stages, and this module
@@ -56,6 +57,15 @@ type config = Pipeline.config = {
       (** record per-thread event timelines in the run's {!Obs.t};
           off by default and zero-cost when disabled (cycle counts are
           unaffected either way) *)
+  adapt : bool;
+      (** online adaptive governor ({!Janus_adapt.Adapt}): demote
+          loops that keep failing their checks (or losing cycles) to
+          sequential execution after a few bad invocations, probe them
+          periodically for re-promotion, and run unprofiled
+          Dynamic-class loops' first invocations under the dependence
+          profiler's shadow memory (training-free mode). Off by
+          default; when off, cycle counts are bit-identical to a
+          governor-free build *)
 }
 
 (** Build a configuration; the defaults reproduce the paper's full
@@ -75,6 +85,7 @@ val config :
   ?verify:bool ->
   ?fuel:int ->
   ?trace:bool ->
+  ?adapt:bool ->
   unit ->
   config
 
@@ -117,6 +128,9 @@ type result = {
       (** the run's tracing/metrics registry ([None] for native runs):
           the {!field:breakdown} is derived from its [dbm.*] counters,
           and event timelines are present when [config.trace] was on *)
+  governor : Adapt.t option;
+      (** the adaptive governor's final ledgers, when [config.adapt]
+          was on — {!Adapt.snapshot} and {!Adapt.pp_report} read it *)
 }
 
 (** Native execution: the baseline every figure normalises against. *)

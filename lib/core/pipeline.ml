@@ -26,16 +26,17 @@ type config = {
   verify : bool;
   fuel : int;
   trace : bool;
+  adapt : bool;
 }
 
 let config ?(threads = 8) ?(use_profile = true) ?(use_checks = true)
     ?(use_doacross = false) ?(cov_threshold = 0.03) ?(trip_threshold = 8.0)
     ?(work_threshold = 2500.0) ?force_policy ?(stm_everywhere = false)
     ?(prefetch = false) ?(model_cache = false) ?(verify = true)
-    ?(fuel = 400_000_000) ?(trace = false) () =
+    ?(fuel = 400_000_000) ?(trace = false) ?(adapt = false) () =
   { threads; use_profile; use_checks; use_doacross; cov_threshold;
     trip_threshold; work_threshold; force_policy; stm_everywhere;
-    prefetch; model_cache; verify; fuel; trace }
+    prefetch; model_cache; verify; fuel; trace; adapt }
 
 (* ------------------------------------------------------------------ *)
 (* The artifact store                                                  *)

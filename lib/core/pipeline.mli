@@ -46,6 +46,7 @@ type config = {
   verify : bool;
   fuel : int;
   trace : bool;
+  adapt : bool;
 }
 
 val config :
@@ -63,6 +64,7 @@ val config :
   ?verify:bool ->
   ?fuel:int ->
   ?trace:bool ->
+  ?adapt:bool ->
   unit ->
   config
 

@@ -38,6 +38,10 @@ type kind =
   | Tx_started of { addr : int }
   | Tx_committed of { reads : int; writes : int }
   | Tx_aborted of { addr : int }
+  | Governor_demoted of { loop_id : int; state : string }
+  | Governor_promoted of { loop_id : int; state : string }
+  | Governor_probe of { loop_id : int }
+  | Governor_sample of { loop_id : int; dep : bool }
 
 type event = {
   ts : int;    (* virtual-cycle clock of the emitting thread *)
@@ -61,13 +65,18 @@ let category = function
   | Tx_started _ -> "tx_start"
   | Tx_committed _ -> "tx_commit"
   | Tx_aborted _ -> "tx_abort"
+  | Governor_demoted _ -> "governor_demoted"
+  | Governor_promoted _ -> "governor_promoted"
+  | Governor_probe _ -> "governor_probe"
+  | Governor_sample _ -> "governor_sample"
 
 let all_categories =
   [
     "block_translated"; "fragment_linked"; "cache_flushed"; "rule_fired";
     "lib_resolved"; "loop_init"; "loop_finish"; "seq_fallback";
     "chunk_dispatched"; "check_passed"; "check_failed"; "tx_start";
-    "tx_commit"; "tx_abort";
+    "tx_commit"; "tx_abort"; "governor_demoted"; "governor_promoted";
+    "governor_probe"; "governor_sample";
   ]
 
 (* (name, value) pairs describing the payload, for exporters *)
@@ -95,6 +104,13 @@ let fields = function
   | Tx_committed { reads; writes } ->
     [ ("reads", `Int reads); ("writes", `Int writes) ]
   | Tx_aborted { addr } -> [ ("addr", `Hex addr) ]
+  | Governor_demoted { loop_id; state } ->
+    [ ("loop", `Int loop_id); ("state", `Str state) ]
+  | Governor_promoted { loop_id; state } ->
+    [ ("loop", `Int loop_id); ("state", `Str state) ]
+  | Governor_probe { loop_id } -> [ ("loop", `Int loop_id) ]
+  | Governor_sample { loop_id; dep } ->
+    [ ("loop", `Int loop_id); ("dep", `Int (if dep then 1 else 0)) ]
 
 let pp_event ppf e =
   let pp_field ppf (k, v) =

@@ -31,6 +31,14 @@ type kind =
   | Tx_started of { addr : int }
   | Tx_committed of { reads : int; writes : int }
   | Tx_aborted of { addr : int }
+  | Governor_demoted of { loop_id : int; state : string }
+      (** the adaptive governor moved the loop down to [state] *)
+  | Governor_promoted of { loop_id : int; state : string }
+      (** the adaptive governor moved the loop back up to [state] *)
+  | Governor_probe of { loop_id : int }
+      (** a demoted loop's periodic parallel probe invocation *)
+  | Governor_sample of { loop_id : int; dep : bool }
+      (** a training-free dependence-sampling invocation finished *)
 
 type event = { ts : int; dur : int; tid : int; kind : kind }
 

@@ -156,6 +156,39 @@ let run_coverage ?(fuel = 100_000_000) ?(input = []) ?obs image
 (* Dependence profiling                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* The shadow word-map at the heart of dependence detection: every
+   watched access lands here attributed to an iteration; touching a
+   word from two different iterations with at least one write is a
+   cross-iteration dependence. The offline profiler attributes by its
+   ITER counter; the runtime's training-free sampler attributes by the
+   loop's induction-variable value — the map does not care. *)
+module Shadow = struct
+  type t = {
+    words : (int, int * bool) Hashtbl.t;  (* word -> (iter, was_write) *)
+    mutable found : bool;
+  }
+
+  let create () = { words = Hashtbl.create 256; found = false }
+
+  let reset s =
+    Hashtbl.reset s.words;
+    s.found <- false
+
+  let access s ~iter ~addr ~bytes ~write =
+    let words = (bytes + 7) / 8 in
+    for k = 0 to words - 1 do
+      let w = (addr + (8 * k)) land lnot 7 in
+      match Hashtbl.find_opt s.words w with
+      | Some (it', was_write) ->
+        if it' <> iter && (write || was_write) then s.found <- true;
+        let keep_write = write || (it' = iter && was_write) in
+        Hashtbl.replace s.words w (iter, keep_write)
+      | None -> Hashtbl.replace s.words w (iter, write)
+    done
+
+  let found s = s.found
+end
+
 type deps = {
   dep_found : (int, bool) Hashtbl.t;  (* loop id -> cross-iteration dep *)
   observed : (int, bool) Hashtbl.t;   (* loop id executed at all *)
@@ -179,15 +212,13 @@ let run_dependence ?(fuel = 100_000_000) ?(input = []) ?obs image
      accesses are attributed to the loop named by their rule, so
      unrolled main/remainder pairs sharing exits cannot interfere *)
   let iters : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let shadows : (int, (int, int * bool) Hashtbl.t) Hashtbl.t =
-    Hashtbl.create 8
-  in
+  let shadows : (int, Shadow.t) Hashtbl.t = Hashtbl.create 8 in
   let active : int list ref = ref [] in
   let shadow_of lid =
     match Hashtbl.find_opt shadows lid with
     | Some s -> s
     | None ->
-      let s = Hashtbl.create 256 in
+      let s = Shadow.create () in
       Hashtbl.replace shadows lid s;
       s
   in
@@ -198,18 +229,8 @@ let run_dependence ?(fuel = 100_000_000) ?(input = []) ?obs image
       let lid = !armed_lid in
       let it = try Hashtbl.find iters lid with Not_found -> 0 in
       let shadow = shadow_of lid in
-      let words = (bytes + 7) / 8 in
-      for k = 0 to words - 1 do
-        let w = (addr + (8 * k)) land lnot 7 in
-        let write = rw = Machine.Write in
-        match Hashtbl.find_opt shadow w with
-        | Some (it', was_write) ->
-          if it' <> it && (write || was_write) then
-            Hashtbl.replace dep_found lid true;
-          let keep_write = write || (it' = it && was_write) in
-          Hashtbl.replace shadow w (it, keep_write)
-        | None -> Hashtbl.replace shadow w (it, write)
-      done
+      Shadow.access shadow ~iter:it ~addr ~bytes ~write:(rw = Machine.Write);
+      if Shadow.found shadow then Hashtbl.replace dep_found lid true
     end
   in
   dbm.Dbm.on_event <-
@@ -226,7 +247,7 @@ let run_dependence ?(fuel = 100_000_000) ?(input = []) ?obs image
             active := lid :: !active;
             Hashtbl.replace observed lid true;
             Hashtbl.replace iters lid 0;
-            Hashtbl.reset (shadow_of lid);
+            Shadow.reset (shadow_of lid);
             if ctx.Machine.observe = None then
               ctx.Machine.observe <- Some (observer ctx)
           end

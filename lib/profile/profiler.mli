@@ -44,6 +44,31 @@ val run_coverage :
   ?fuel:int -> ?input:int64 list -> ?obs:Janus_obs.Obs.t ->
   Janus_vx.Image.t -> Analysis.t -> coverage
 
+(** The shadow word-map behind dependence detection (§II-C): watched
+    accesses are recorded word by word with the iteration that touched
+    them; a word touched from two different iterations with at least
+    one write is a cross-iteration dependence. Shared by the offline
+    dependence profiler (iterations counted by ITER rules) and the
+    runtime's training-free online sampler (iterations identified by
+    the induction-variable value) — the map is agnostic to how the
+    caller names iterations. *)
+module Shadow : sig
+  type t
+
+  val create : unit -> t
+
+  (** Forget all recorded words and any found dependence (fresh loop
+      invocation). *)
+  val reset : t -> unit
+
+  (** Record one access of [bytes] bytes at [addr] during [iter]. *)
+  val access : t -> iter:int -> addr:int -> bytes:int -> write:bool -> unit
+
+  (** Has any cross-iteration dependence been seen since the last
+      {!reset}? *)
+  val found : t -> bool
+end
+
 (** Results of the memory-dependence profiling run. *)
 type deps = {
   dep_found : (int, bool) Hashtbl.t;  (** loop id -> cross-iteration dep *)

@@ -18,6 +18,7 @@ module Rexpr = Janus_schedule.Rexpr
 module Schedule = Janus_schedule.Schedule
 module Dbm = Janus_dbm.Dbm
 module Obs = Janus_obs.Obs
+module Adapt = Janus_adapt.Adapt
 
 type config = {
   threads : int;
@@ -48,6 +49,19 @@ type t = {
      Cleared at every LOOP_INIT so entries never leak into a later
      invocation (a stale pair would silently suppress speculation). *)
   mutable stm_overflows : int;
+  adapt : Adapt.t option;  (* online governor, when configured *)
+  gov_seq : (int, int) Hashtbl.t;
+  (* loop id -> main cycles when a governor-sequential (or sampling)
+     invocation began; consumed at LOOP_FINISH *)
+  inv_checks : (int, int * int) Hashtbl.t;
+  (* loop id -> (check evaluations, check cycles) of the {e current}
+     invocation. Consumed and cleared at every LOOP_INIT — the same
+     bug family as [skip_tx]: a stale entry would charge one
+     invocation's check cost to the next. *)
+  mutable max_inv_checks : int;  (* high-water mark, for regression tests *)
+  mutable last_sum_cycles : int;
+  (* summed worker cycles of the most recent parallel invocation: the
+     realised work the governor compares against the main-thread cost *)
 }
 
 (* the tracing/metrics sink rides on the DBM *)
@@ -101,7 +115,7 @@ let bound_slot_value ~end_iv ~step ~cond ~adjust =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(config = default_config) (dbm : Dbm.t) =
+let create ?(config = default_config) ?adapt (dbm : Dbm.t) =
   Program.add_thread_regions dbm.Dbm.prog ~threads:config.threads;
   let t =
     {
@@ -116,9 +130,16 @@ let create ?(config = default_config) (dbm : Dbm.t) =
       current_loop = -1;
       skip_tx = Hashtbl.create 16;
       stm_overflows = 0;
+      adapt;
+      gov_seq = Hashtbl.create 8;
+      inv_checks = Hashtbl.create 8;
+      max_inv_checks = 0;
+      last_sum_cycles = 0;
     }
   in
   t
+
+let governor t = t.adapt
 
 (* ------------------------------------------------------------------ *)
 (* Runtime array-bounds check (§II-E1)                                 *)
@@ -421,6 +442,7 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
         last_ctx := Some (w, ctx)
       end
     done;
+    t.last_sum_cycles <- !sum_cycles;
     (* wall-clock: DOALL is bounded by the slowest worker; DOACROSS
        serialises the carried fraction and overlaps the rest *)
     let region_cycles =
@@ -595,9 +617,25 @@ let handler t (_dbm : Dbm.t) kind (ctx : Machine.t) (r : Rule.t) : Dbm.action =
       match t.dbm.Dbm.schedule with
       | None -> Dbm.Continue
       | Some _ when in_seq lid -> Dbm.Continue
+      | Some _
+        when (match t.adapt with
+              | Some g -> Adapt.skip_check g lid
+              | None -> false) ->
+        (* demoted (or sampling) loop: don't pay for a check whose
+           answer the governor will override *)
+        Dbm.Continue
       | Some sched ->
         let cd = Schedule.check_desc sched r.Rule.data in
+        let c_t0 = ctx.Machine.cycles in
         let ok = eval_check t ctx cd in
+        let check_cost = ctx.Machine.cycles - c_t0 in
+        let n, cyc =
+          try Hashtbl.find t.inv_checks lid with Not_found -> (0, 0)
+        in
+        Hashtbl.replace t.inv_checks lid (n + 1, cyc + check_cost);
+        (match t.adapt with
+         | Some g -> Adapt.record_check g lid ~ok ~cycles:check_cost
+         | None -> ());
         (match obs t with
          | Some o ->
            Obs.incr o (if ok then "rt.checks_passed" else "rt.checks_failed");
@@ -631,34 +669,103 @@ let handler t (_dbm : Dbm.t) kind (ctx : Machine.t) (r : Rule.t) : Dbm.action =
       | None -> Dbm.Continue
       | Some _ when in_seq lid -> Dbm.Continue
       | Some sched ->
-        if (try Hashtbl.find t.loop_sequential lid with Not_found -> false)
-        then begin
-          (* the check failed: execute this invocation serially, and do
-             not re-fire at every header execution *)
+        (* consume-and-clear this invocation's check stats (the check
+           rule fired just before us); without the clear, a later
+           invocation would inherit them — same leak as [skip_tx] *)
+        let inv_n, inv_check_cycles =
+          try Hashtbl.find t.inv_checks lid with Not_found -> (0, 0)
+        in
+        if inv_n > t.max_inv_checks then t.max_inv_checks <- inv_n;
+        Hashtbl.remove t.inv_checks lid;
+        let decision =
+          match t.adapt with
+          | Some g -> Adapt.decide g lid ~now:ctx.Machine.cycles
+          | None -> Adapt.Go_parallel
+        in
+        match decision with
+        | Adapt.Go_sequential ->
+          (* demoted: run serially without ever evaluating the check *)
           Hashtbl.replace t.loop_in_seq lid true;
-          (match obs t with
-           | Some o ->
-             Obs.incr o "rt.seq_fallbacks";
-             if Obs.tracing o then
-               Obs.emit o ~tid:0 ~ts:ctx.Machine.cycles
-                 (Obs.Seq_fallback { loop_id = lid })
+          Hashtbl.replace t.gov_seq lid ctx.Machine.cycles;
+          Dbm.Continue
+        | Adapt.Go_sample ->
+          (* training-free: serial invocation under shadow memory *)
+          Hashtbl.replace t.loop_in_seq lid true;
+          Hashtbl.replace t.gov_seq lid ctx.Machine.cycles;
+          (match t.adapt with
+           | Some g ->
+             let desc = Schedule.loop_desc sched r.Rule.data in
+             let env = rexpr_env ctx in
+             (* locations the schedule privatises or reduces are not
+                cross-iteration dependences — the rewrite already
+                handles them *)
+             let exclude =
+               List.map
+                 (fun (e, _) -> Int64.to_int (Rexpr.eval env e))
+                 desc.Desc.privatised
+               @ List.filter_map
+                   (fun (loc, _) ->
+                      match loc with Desc.Labs a -> Some a | _ -> None)
+                   desc.Desc.reductions
+             in
+             Adapt.sample_begin g lid ctx
+               ~read_iv:(fun () -> read_loc ctx desc.Desc.iv)
+               ~exclude
            | None -> ());
           Dbm.Continue
-        end
-        else begin
-          let desc = Schedule.loop_desc sched r.Rule.data in
-          Hashtbl.replace t.loop_invocations lid
-            (1 + (try Hashtbl.find t.loop_invocations lid with Not_found -> 0));
-          match run_parallel_loop t ctx desc
-                  ~bound_adjust:desc.Desc.iv_bound_adjust with
-          | `Sequential ->
+        | Adapt.Go_parallel | Adapt.Go_probe ->
+          if (try Hashtbl.find t.loop_sequential lid with Not_found -> false)
+          then begin
+            (* the check failed: execute this invocation serially, and
+               do not re-fire at every header execution *)
             Hashtbl.replace t.loop_in_seq lid true;
+            (match obs t with
+             | Some o ->
+               Obs.incr o "rt.seq_fallbacks";
+               if Obs.tracing o then
+                 Obs.emit o ~tid:0 ~ts:ctx.Machine.cycles
+                   (Obs.Seq_fallback { loop_id = lid })
+             | None -> ());
+            (match t.adapt with
+             | Some g -> Adapt.record_fallback g lid ~now:ctx.Machine.cycles
+             | None -> ());
             Dbm.Continue
-          | `Parallel exit_addr -> Dbm.Divert exit_addr
-        end
+          end
+          else begin
+            let desc = Schedule.loop_desc sched r.Rule.data in
+            Hashtbl.replace t.loop_invocations lid
+              (1 + (try Hashtbl.find t.loop_invocations lid with Not_found -> 0));
+            let stats = t.dbm.Dbm.stats in
+            let commits0 = stats.Dbm.stm_commits in
+            let aborts0 = stats.Dbm.stm_aborts in
+            let inv_t0 = ctx.Machine.cycles in
+            match run_parallel_loop t ctx desc
+                    ~bound_adjust:desc.Desc.iv_bound_adjust with
+            | `Sequential ->
+              Hashtbl.replace t.loop_in_seq lid true;
+              Dbm.Continue
+            | `Parallel exit_addr ->
+              (match t.adapt with
+               | Some g ->
+                 Adapt.record_parallel g lid ~now:ctx.Machine.cycles
+                   ~work:t.last_sum_cycles
+                   ~cost:(ctx.Machine.cycles - inv_t0 + inv_check_cycles)
+                   ~commits:(stats.Dbm.stm_commits - commits0)
+                   ~aborts:(stats.Dbm.stm_aborts - aborts0)
+               | None -> ());
+              Dbm.Divert exit_addr
+          end
     end
   | Dbm.Main, Rule.LOOP_FINISH ->
     (* end of a sequential-fallback invocation: re-arm the checks *)
+    (match t.adapt, Hashtbl.find_opt t.gov_seq lid with
+     | Some g, Some seq_t0 ->
+       Hashtbl.remove t.gov_seq lid;
+       (match Adapt.state g lid with
+        | Some Adapt.Sampling ->
+          Adapt.sample_end g lid ctx ~now:ctx.Machine.cycles
+        | _ -> Adapt.record_seq g lid ~cycles:(ctx.Machine.cycles - seq_t0))
+     | _ -> ());
     Hashtbl.remove t.loop_in_seq lid;
     Hashtbl.remove t.loop_sequential lid;
     Dbm.Continue
@@ -685,4 +792,10 @@ let publish_metrics t o =
   Hashtbl.iter
     (fun lid n -> Obs.set o (Printf.sprintf "loop.%d.invocations" lid) n)
     t.loop_invocations;
-  Obs.set o "rt.stm_overflows" t.stm_overflows
+  Obs.set o "rt.stm_overflows" t.stm_overflows;
+  (* most check evaluations ever attributed to one invocation: > 1
+     would mean the per-invocation stats leaked across LOOP_INITs *)
+  Obs.set o "rt.max_inv_checks" t.max_inv_checks;
+  match t.adapt with
+  | Some g -> Adapt.publish_metrics g o
+  | None -> ()

@@ -17,6 +17,7 @@ module Rexpr = Janus_schedule.Rexpr
 module Schedule = Janus_schedule.Schedule
 module Dbm = Janus_dbm.Dbm
 module Obs = Janus_obs.Obs
+module Adapt = Janus_adapt.Adapt
 
 type config = {
   threads : int;
@@ -48,11 +49,33 @@ type t = {
           after an abort; cleared at every LOOP_INIT so stale entries
           never suppress speculation in a later invocation *)
   mutable stm_overflows : int;
+  adapt : Adapt.t option;
+      (** online adaptive governor; [None] leaves every decision to
+          the static schedule, bit-identical to a governor-free build *)
+  gov_seq : (int, int) Hashtbl.t;
+      (** loop id -> main cycles when a governor-sequential (or
+          sampling) invocation began; consumed at LOOP_FINISH *)
+  inv_checks : (int, int * int) Hashtbl.t;
+      (** loop id -> (check evaluations, check cycles) of the current
+          invocation; consumed and cleared at every LOOP_INIT so stale
+          counts never bleed into a later invocation *)
+  mutable max_inv_checks : int;
+      (** most check evaluations ever attributed to one invocation;
+          published as [rt.max_inv_checks] — above 1 means the
+          per-invocation stats leaked *)
+  mutable last_sum_cycles : int;
+      (** summed worker cycles of the most recent parallel invocation *)
 }
 
 (** Create a runtime over a DBM, allocating per-thread stack and TLS
-    regions. Call {!install} to route the DBM's events through it. *)
-val create : ?config:config -> Dbm.t -> t
+    regions. Call {!install} to route the DBM's events through it.
+    [adapt] hands invocation decisions for governed loops to an online
+    governor (see {!Janus_adapt.Adapt}); loops the governor does not
+    know about behave exactly as without it. *)
+val create : ?config:config -> ?adapt:Adapt.t -> Dbm.t -> t
+
+(** The governor passed at creation, if any. *)
+val governor : t -> Adapt.t option
 
 (** Install this runtime as the DBM's event handler. *)
 val install : t -> unit

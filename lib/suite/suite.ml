@@ -1021,6 +1021,88 @@ let xalancbmk =
        }";
   }
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial pair (not in the paper's 25): reference inputs that     *)
+(* betray the training run, built for the adaptive governor's          *)
+(* evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* adv.alias: a Dynamic-class pointer kernel whose call sites are
+   disjoint throughout training (and the first 48 reference
+   invocations), then alias for the rest of the run: [kernel(b, b, n)]
+   makes the write to [dst[i+1]] a genuine carried dependence on the
+   read of [src[i]], so every later bounds check fails and a static
+   schedule pays check + cache-flush + sequential fallback on
+   invocation after invocation — exactly the pathology an online
+   governor should demote away. *)
+let adv_alias =
+  {
+    name = "adv.alias";
+    parallelisable = false;
+    train_scale = 40L;
+    ref_scale = 250L;
+    source =
+      "void kernel(double *src, double *dst, int n) {\n\
+       \  for (int i = 0; i < n; i++) {\n\
+       \    dst[i + 1] = src[i] * 0.5 + dst[i + 1] * 0.25;\n\
+       \  }\n\
+       }\n\
+       int main() {\n\
+       \  int iters = read_int();\n\
+       \  int n = 480;\n\
+       \  double *a = alloc_double(n + 1);\n\
+       \  double *b = alloc_double(n + 1);\n\
+       \  for (int i = 0; i <= n; i++) {\n\
+       \    a[i] = (double)(i % 7) * 0.25;\n\
+       \    b[i] = (double)(i % 5) * 0.5;\n\
+       \  }\n\
+       \  double acc = 0.0;\n\
+       \  for (int t = 0; t < iters; t++) {\n\
+       \    if (t < 48) { kernel(a, b, n); } else { kernel(b, b, n); }\n\
+       \    acc = acc * 0.5 + b[n] + b[n / 2];\n\
+       \  }\n\
+       \  print_float(acc);\n\
+       \  return 0;\n\
+       }";
+  }
+
+(* adv.stable: adv.alias's well-behaved twin — the same kernel and
+   invocation count, but the call sites stay disjoint, so every check
+   passes and the governor should never leave the Parallel state. The
+   pair bounds the governor's overhead on loops that behave. *)
+let adv_stable =
+  {
+    name = "adv.stable";
+    parallelisable = false;
+    train_scale = 40L;
+    ref_scale = 250L;
+    source =
+      "void kernel(double *src, double *dst, int n) {\n\
+       \  for (int i = 0; i < n; i++) {\n\
+       \    dst[i + 1] = src[i] * 0.5 + dst[i + 1] * 0.25;\n\
+       \  }\n\
+       }\n\
+       int main() {\n\
+       \  int iters = read_int();\n\
+       \  int n = 480;\n\
+       \  double *a = alloc_double(n + 1);\n\
+       \  double *b = alloc_double(n + 1);\n\
+       \  for (int i = 0; i <= n; i++) {\n\
+       \    a[i] = (double)(i % 7) * 0.25;\n\
+       \    b[i] = (double)(i % 5) * 0.5;\n\
+       \  }\n\
+       \  double acc = 0.0;\n\
+       \  for (int t = 0; t < iters; t++) {\n\
+       \    kernel(a, b, n);\n\
+       \    acc = acc * 0.5 + b[n] + b[n / 2];\n\
+       \  }\n\
+       \  print_float(acc);\n\
+       \  return 0;\n\
+       }";
+  }
+
+let adversarial = [ adv_alias; adv_stable ]
+
 let sixteen =
   [ perlbench; bzip2; gcc_bench; mcf; zeusmp; gromacs; namd; gobmk; dealii;
     soplex; povray; calculix; hmmer; sjeng; astar; xalancbmk ]
@@ -1032,7 +1114,8 @@ let all =
     hmmer; sjeng; gemsfdtd; libquantum; h264ref; lbm; astar; sphinx3;
     xalancbmk ]
 
-let find name = List.find_opt (fun b -> String.equal b.name name) all
+let find name =
+  List.find_opt (fun b -> String.equal b.name name) (all @ adversarial)
 
 let find_exn name =
   match find name with

@@ -19,7 +19,8 @@ type benchmark = {
 (** All 25 benchmarks, in Fig. 6's order. *)
 val all : benchmark list
 
-(** Look a benchmark up by its full name. *)
+(** Look a benchmark up by its full name (searches {!all} and
+    {!adversarial}). *)
 val find : string -> benchmark option
 
 (** Like {!find}, but raises [Invalid_argument] naming the missing
@@ -40,6 +41,14 @@ val nine : benchmark list
 
 (** The sixteen benchmarks that appear only in Fig. 6. *)
 val sixteen : benchmark list
+
+(** The adversarial pair (not part of the paper's 25, and not in
+    {!all}): [adv.alias], whose checked kernel starts aliasing partway
+    through the reference run so every later bounds check fails, and
+    its well-behaved twin [adv.stable]. Built to evaluate the adaptive
+    governor ({!Janus_adapt.Adapt}) on inputs the training run never
+    saw. *)
+val adversarial : benchmark list
 
 (** Generator for the cold utility code spliced into the benchmarks
     (exposed for tests of the splicing machinery). *)

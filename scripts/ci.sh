@@ -46,13 +46,29 @@ grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j1.metrics"
 echo "-- pipeline cache counters (--jobs 4) --"
 grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j4.metrics"
 
+echo "== experiment registry =="
+dune exec bin/janus_eval.exe -- --list
+
+echo "== adaptive governor: determinism and report =="
+# governor decisions are functions of virtual cycles and counters only,
+# so the adaptive experiment must be byte-identical however the rows
+# are scheduled
+dune exec bin/janus_eval.exe -- adapt --jobs 1 > "$work/adapt_j1.txt"
+dune exec bin/janus_eval.exe -- adapt --jobs 4 > "$work/adapt_j4.txt"
+cmp "$work/adapt_j1.txt" "$work/adapt_j4.txt"
+trace_dir="_build/ci"
+mkdir -p "$trace_dir"
+dune exec test/tools/suite_jx.exe -- adv.alias "$work/adv_alias.jx"
+dune exec bin/janus_run.exe -- "$work/adv_alias.jx" --scale 250 \
+  --train-scale 40 --adapt-report "$trace_dir/adv_alias_adapt.txt" \
+  > "$trace_dir/adv_alias.run.log"
+cat "$trace_dir/adv_alias_adapt.txt"
+
 echo "== traced benchmark run =="
 # run one real benchmark with tracing on and prove the exported Chrome
 # trace parses and covers every event category the run exercises:
 # translation, linking, library resolution, rules, loop scheduling,
 # bounds checks and the STM
-trace_dir="_build/ci"
-mkdir -p "$trace_dir"
 dune exec test/tools/suite_jx.exe -- 410.bwaves "$work/bwaves.jx"
 dune exec bin/janus_run.exe -- "$work/bwaves.jx" --scale 300 \
   --train-scale 300 --trace "$trace_dir/bwaves_trace.json" --metrics \

@@ -16,4 +16,5 @@ let () =
       ("pipeline", Test_pipeline.tests);
       ("e2e", Test_e2e.tests);
       ("suite", Test_suite.tests);
+      ("adapt", Test_adapt.tests);
     ]

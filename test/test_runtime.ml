@@ -346,6 +346,50 @@ let test_stm_write_skew_safe () =
   | Dbm.Continue -> ()
   | _ -> Alcotest.fail "read-only txn must commit"
 
+(* the STM is lazy-versioned: writes buffer in the transaction and
+   reach memory only at commit, and the runtime commits workers in
+   iteration order.  So for ANY sequence of read/write sets executed
+   iteration by iteration, memory afterwards must equal the last
+   writer per word — exactly what a sequential execution leaves. *)
+let prop_stm_commit_order_is_iteration_order =
+  let gen_ops =
+    (* per iteration: up to 6 accesses over 8 word slots *)
+    let open QCheck2.Gen in
+    let op = tup2 (int_bound 7) bool in
+    small_list (small_list op) >|= fun its ->
+    List.map (fun ops -> List.filteri (fun i _ -> i < 6) ops) its
+  in
+  QCheck2.Test.make ~count:200 ~name:"stm commit order equals iteration order"
+    gen_ops (fun iterations ->
+      let rt, ctx = make_rt () in
+      let base = 0x800000 in
+      let value ~it ~slot = Int64.of_int (((it + 1) * 100) + slot) in
+      let shadow = Array.make 8 0L in
+      List.iteri
+        (fun it ops ->
+           ignore (Machine.start_txn ctx);
+           List.iter
+             (fun (slot, write) ->
+                let addr = base + (8 * slot) in
+                if write then begin
+                  Semantics.raw_write ctx addr (value ~it ~slot);
+                  shadow.(slot) <- value ~it ~slot
+                end
+                else ignore (Semantics.raw_read ctx addr))
+             ops;
+           match Runtime.tx_finish rt 0 ctx with
+           | Dbm.Continue -> ()
+           | _ -> QCheck2.Test.fail_report "in-order commit must succeed")
+        iterations;
+      let stats = rt.Runtime.dbm.Dbm.stats in
+      stats.Dbm.stm_aborts = 0
+      && stats.Dbm.stm_commits = List.length iterations
+      && Array.for_all
+           (fun slot ->
+              Memory.read_i64 ctx.Machine.mem (base + (8 * slot))
+              = shadow.(slot))
+           (Array.init 8 Fun.id))
+
 let tests =
   [
     Alcotest.test_case "trip_count ne" `Quick test_trip_count_ne;
@@ -370,4 +414,5 @@ let tests =
     QCheck_alcotest.to_alcotest prop_rr_partition_complete;
     QCheck_alcotest.to_alcotest prop_chunked_is_contiguous_ordered;
     QCheck_alcotest.to_alcotest prop_reduction_combine_associative;
+    QCheck_alcotest.to_alcotest prop_stm_commit_order_is_iteration_order;
   ]
