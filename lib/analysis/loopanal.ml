@@ -865,6 +865,48 @@ and classify_body f l naming ctx latch behaviours f_behaviours
       (* different bases: constant footprints or a runtime check *)
       `Range
   in
+  (* fixed address [p] (k = 0) against strided walk [s] (k <> 0): does
+     some iteration's strided interval reach the point interval? The
+     equal-k machinery above does not apply — the initial IV value no
+     longer cancels out of the base distance, so place the walk
+     explicitly. *)
+  let point_conflict p s =
+    match to_const (sub p.g_base s.g_base) with
+    | Some d ->
+      let d = Int64.to_int d in
+      let k = Int64.to_int s.g_k in
+      let stride = k * Int64.to_int iv.iv_step in
+      (* iteration m touches [k*i0 + stride*m, +s bytes); the point is
+         [d, +p bytes) *)
+      let hits i0 m =
+        let x = (k * i0) + (stride * m) in
+        x < d + p.g_bytes && x + s.g_bytes > d
+      in
+      if stride = 0 then
+        if abs d < max p.g_bytes s.g_bytes then `Yes else `No
+      else begin
+        match last_iv_value () with
+        | Some (i0, _, trips) ->
+          let m0 = (d - (k * i0)) / stride in
+          let cand = [ m0 - 1; m0; m0 + 1 ] in
+          if List.exists (fun m -> m >= 0 && m < trips && hits i0 m) cand
+          then (if trips >= 2 then `Yes else `No)
+          else `No
+        | None -> begin
+            match iv.iv_init_const with
+            | Some i0 ->
+              let i0 = Int64.to_int i0 in
+              let d' = d - (k * i0) in
+              if (stride > 0 && d' + p.g_bytes <= 0)
+              || (stride < 0 && d' - s.g_bytes >= 0)
+              then `No  (* the walk moves away from the point *)
+              else if abs d' < 64 then `Yes
+              else `Range
+            | None -> `Range
+          end
+      end
+    | None -> `Range
+  in
   let static_footprint g =
     (* exact address interval over the iteration range, when the base,
        initial value and bound are all constants *)
@@ -911,6 +953,50 @@ and classify_body f l naming ctx latch behaviours f_behaviours
               end)
            arrays)
     arrays;
+  (* fixed-address (k = 0) global accesses still conflict with strided
+     walks over the same object: a store to a[c] feeding reads of
+     a[i+d] is a recurrence the scalar machinery must not privatise
+     away. A provable overlap is a static dependence; a symbolic base
+     distance joins the runtime bounds check as a zero-stride range. *)
+  let point_globals =
+    List.filter
+      (fun g ->
+         Int64.equal g.g_k 0L && not g.g_opaque
+         && (match Symexec.classify_addr ctx g.g_base with
+             | Symexec.Aconst _ -> true
+             | Symexec.Astack _ | Symexec.Aother -> false))
+      accesses
+  in
+  let point_ranged = ref [] in
+  List.iter
+    (fun p ->
+       List.iter
+         (fun s ->
+            if p.g_write || s.g_write then begin
+              let disjoint =
+                match static_footprint p, static_footprint s with
+                | Some (lo1, hi1), Some (lo2, hi2) ->
+                  hi1 <= lo2 || hi2 <= lo1
+                | _ -> false
+              in
+              if not disjoint then
+                match point_conflict p s with
+                | `No -> ()
+                | `Yes -> set_dep "fixed-address access overlaps strided walk"
+                | `Range when p.g_write ->
+                  (* a fixed store into a runtime-checked region joins
+                     the check as a zero-stride range; fixed loads with
+                     a symbolic distance (constant-pool literals vs
+                     heap arrays) stay out, as before *)
+                  pairs_need_check := true;
+                  if p.g_base_rexpr = None || s.g_base_rexpr = None then
+                    check_impossible := true;
+                  if not (List.memq p !point_ranged) then
+                    point_ranged := p :: !point_ranged
+                | `Range -> ()
+            end)
+         arrays)
+    point_globals;
   (* ---- runtime checks (Fig. 4) ---- *)
   let check_ranges =
     if not !pairs_need_check || !check_impossible then []
@@ -938,7 +1024,7 @@ and classify_body f l naming ctx latch behaviours f_behaviours
                (base', k, w', written || g.g_write)
                :: List.filter (fun o -> o != old) !groups
            | None -> groups := (g.g_base, g.g_k, g.g_bytes, g.g_write) :: !groups)
-        arrays;
+        (arrays @ !point_ranged);
       List.filter_map
         (fun (base, k, w, written) ->
            match rexpr_of_poly lid invariant_mem base, iv.iv_bound_rexpr with

@@ -247,6 +247,14 @@ let store_int ctx ~insn_addr op v =
   | Operand.Imm _ -> ()
 
 (* clobber effects of a call with unknown or summarised body *)
+(* an opaque result that remembers its operands in [merge_srcs], so
+   [mentions] still sees dependences through non-affine computations
+   (a multiply-accumulate must not look like a privatisable scalar) *)
+let opaque_from ctx ia vs =
+  let at = fresh_atom (Opaque ia) in
+  Hashtbl.replace ctx.merge_srcs at.aid vs;
+  of_atom at
+
 let clobber_call ctx =
   ctx.gen <- ctx.gen + 1;
   List.iter
@@ -316,12 +324,16 @@ let exec ctx (ii : Cfg.insn_info) =
       match op with
       | Insn.Add -> add a b
       | Insn.Sub -> sub a b
-      | Insn.Imul -> mul a b
+      | Insn.Imul -> begin
+          match to_const a, to_const b with
+          | None, None -> opaque_from ctx ia [ Vint a; Vint b ]
+          | _ -> mul a b
+        end
       | Insn.Shl -> begin
           match to_const b with
           | Some k when Int64.compare k 0L >= 0 && Int64.compare k 62L <= 0 ->
             scale (Int64.shift_left 1L (Int64.to_int k)) a
-          | _ -> opaque ()
+          | _ -> opaque_from ctx ia [ Vint a; Vint b ]
         end
       | Insn.And | Insn.Or | Insn.Xor | Insn.Shr | Insn.Sar -> begin
           (* xor r, r is a common zero idiom *)
@@ -339,7 +351,7 @@ let exec ctx (ii : Cfg.insn_info) =
                    | Insn.Shr -> Int64.shift_right_logical ka (Int64.to_int kb land 63)
                    | Insn.Sar -> Int64.shift_right ka (Int64.to_int kb land 63)
                    | _ -> 0L)
-              | _ -> opaque ()
+              | _ -> opaque_from ctx ia [ Vint a; Vint b ]
             end
         end
     in
@@ -349,11 +361,15 @@ let exec ctx (ii : Cfg.insn_info) =
     let v = neg (value_int ctx ~insn_addr:ia o) in
     ctx.st.cmp <- Some (Cmp_int (v, zero, ia));
     store_int ctx ~insn_addr:ia o v
-  | Insn.Not o -> store_int ctx ~insn_addr:ia o (opaque ())
+  | Insn.Not o ->
+    let v = value_int ctx ~insn_addr:ia o in
+    store_int ctx ~insn_addr:ia o (opaque_from ctx ia [ Vint v ])
   | Insn.Idiv o ->
-    ignore (value_int ctx ~insn_addr:ia o);
-    set_reg ctx Reg.RAX (opaque ());
-    set_reg ctx Reg.RDX (opaque ())
+    (* VX64 idiv reads RAX and the divisor only; RDX is output *)
+    let d = value_int ctx ~insn_addr:ia o in
+    let rax = get_reg ctx Reg.RAX in
+    set_reg ctx Reg.RAX (opaque_from ctx ia [ Vint rax; Vint d ]);
+    set_reg ctx Reg.RDX (opaque_from ctx ia [ Vint rax; Vint d ])
   | Insn.Cmp (a, b) ->
     let pa = value_int ctx ~insn_addr:ia a in
     let pb = value_int ctx ~insn_addr:ia b in
@@ -519,7 +535,9 @@ let mentions ctx pred v =
     pred a
     ||
     match a.kind with
-    | Merge _ ->
+    | Merge _ | Opaque _ ->
+      (* opaque atoms with recorded operands (non-affine ALU results)
+         are transparent too: the inputs are real dependences *)
       if Hashtbl.mem seen a.aid then false
       else begin
         Hashtbl.replace seen a.aid ();

@@ -90,6 +90,7 @@ type result = {
   checks_per_loop : (int * int) list;  (* loop id -> pairwise comparisons *)
   stm_commits : int;
   stm_aborts : int;
+  mem_digest : string;         (* final globals+heap digest (Run.mem_digest) *)
   aborted : abort option;      (* run truncated (e.g. fuel exhausted) *)
   obs : Obs.t option;          (* the run's tracing/metrics registry *)
   governor : Adapt.t option;   (* the adaptive governor, when ~adapt *)
@@ -125,6 +126,7 @@ let run_native ?(fuel = 400_000_000) ?(input = []) ?(model_cache = false) image 
     cycles = r.Run.cycles;
     icount = r.Run.icount;
     breakdown = no_breakdown r.Run.cycles;
+    mem_digest = r.Run.mem_digest;
     stats = None;
     schedule_size = 0;
     executable_size = Image.size image;
@@ -156,6 +158,7 @@ let result_of_dbm_run image ~schedule_size ~selected ?(demoted = []) ~checks
     checks_per_loop = checks;
     stm_commits = s.Dbm.stm_commits;
     stm_aborts = s.Dbm.stm_aborts;
+    mem_digest = Run.mem_digest ctx;
     aborted;
     obs = Some obs;
     governor;

@@ -121,6 +121,11 @@ type result = {
       (** loop id -> pairwise range comparisons (Table I) *)
   stm_commits : int;
   stm_aborts : int;
+  mem_digest : string;
+      (** digest of the final globals + allocated heap
+          ({!Janus_vm.Run.mem_digest}): together with {!field:output}
+          this is the run's observable architectural state, and any two
+          configurations executing one program must agree on it *)
   aborted : abort option;
       (** set when the run was truncated (fuel exhaustion) instead of
           halting; the partial output/cycles are still reported *)

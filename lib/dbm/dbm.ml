@@ -67,6 +67,7 @@ type t = {
   rules : (int, Rule.t list) Hashtbl.t;   (* the rule hash table *)
   schedule : Schedule.t option;
   stats : stats;
+  promote_threshold : int;    (* fragment executions before trace promotion *)
   mutable obs : Obs.t option;
   mutable on_event : t -> thread_kind -> Machine.t -> Rule.t -> action;
 }
@@ -78,7 +79,8 @@ type cache = {
   mutable last_indirect : bool;   (* previous fragment ended indirectly *)
 }
 
-let create ?schedule ?obs prog =
+let create ?schedule ?obs ?(promote_threshold = Cost.trace_head_threshold)
+    prog =
   let rules = Hashtbl.create 64 in
   (match schedule with
    | Some s ->
@@ -89,6 +91,7 @@ let create ?schedule ?obs prog =
     rules;
     schedule;
     stats = new_stats ();
+    promote_threshold;
     obs;
     on_event = (fun _ _ _ _ -> Continue);
   }
@@ -422,11 +425,17 @@ let run ?(fuel = 100_000_000) t (cache : cache) ctx =
                | _ -> ()
              end
            end;
-           if (not f.f_is_trace) && f.f_execs >= Cost.trace_head_threshold then
+           if (not f.f_is_trace) && f.f_execs >= t.promote_threshold then
              promote_trace t cache ctx f
            else f
          | None ->
            if Program.fetch t.prog addr = None then raise (Bad_pc addr);
+           (* a context switch into the code cache happens on this path
+              too: the dispatch census must include every fragment's
+              first (translate-path) execution. Only the counter moves
+              here — the cycle model already charges this transition as
+              part of the translation cost. *)
+           t.stats.dispatches <- t.stats.dispatches + 1;
            translate t cache ctx addr
        in
        (* remember whether this fragment exits indirectly *)

@@ -65,6 +65,10 @@ type t = {
   rules : (int, Rule.t list) Hashtbl.t;  (** the rule hash table *)
   schedule : Schedule.t option;
   stats : stats;
+  promote_threshold : int;
+      (** executions before a hot fragment is promoted to a trace
+          (default {!Janus_vx.Cost.trace_head_threshold}; [1] promotes
+          eagerly, [max_int] disables promotion) *)
   mutable obs : Obs.t option;  (** tracing/metrics sink, off by default *)
   mutable on_event : t -> thread_kind -> Machine.t -> Rule.t -> action;
 }
@@ -80,7 +84,8 @@ type cache = {
     by trigger address. [obs] attaches a tracing/metrics sink; when
     absent (or when tracing is disabled on it) the DBM behaves exactly
     as an uninstrumented one. *)
-val create : ?schedule:Schedule.t -> ?obs:Obs.t -> Program.t -> t
+val create :
+  ?schedule:Schedule.t -> ?obs:Obs.t -> ?promote_threshold:int -> Program.t -> t
 
 val new_cache : thread_kind -> cache
 

@@ -1,0 +1,116 @@
+open Kernel
+
+let buf_add = Buffer.add_string
+
+(* "i + 3" / "i - 3" / "i" *)
+let off var c =
+  if c = 0 then var
+  else if c > 0 then Printf.sprintf "%s + %d" var c
+  else Printf.sprintf "%s - %d" var (-c)
+
+let num n = if n >= 0 then string_of_int n else Printf.sprintf "(0 - %d)" (-n)
+
+(* [iv] is the innermost induction variable in scope ("i" or "j"),
+   [ov] the outermost ("i"). *)
+let idx ~iv ~ov = function
+  | At c -> off iv c
+  | Out c -> off ov c
+  | Via b -> Printf.sprintf "b%d[%s]" b iv
+  | Fix c -> string_of_int c
+  | Sv s -> Printf.sprintf "s%d" s
+
+let atom ~iv ~ov = function
+  | Num n -> num n
+  | Scl s -> Printf.sprintf "s%d" s
+  | Elt (a, ix) -> Printf.sprintf "a%d[%s]" a (idx ~iv ~ov ix)
+
+let op_str = function Add -> "+" | Sub -> "-" | Mul -> "*"
+
+(* fully parenthesised left fold: ((a0 op a1) op a2) *)
+let expr ~iv ~ov (e : expr) =
+  List.fold_left
+    (fun acc (o, at) ->
+      Printf.sprintf "(%s %s %s)" acc (op_str o) (atom ~iv ~ov at))
+    (atom ~iv ~ov e.e0)
+    e.rest
+
+let stmt ~iv ~ov ~ind b st =
+  let line fmt = Printf.ksprintf (fun s -> buf_add b (ind ^ s ^ "\n")) fmt in
+  match st with
+  | Set { arr; ix; e } ->
+    line "a%d[%s] = %s;" arr (idx ~iv ~ov ix) (expr ~iv ~ov e)
+  | Red { s; op; e } ->
+    line "s%d = s%d %s %s;" s s (op_str op) (expr ~iv ~ov e)
+  | Bump { s; c } ->
+    if c >= 0 then line "s%d = s%d + %d;" s s c
+    else line "s%d = s%d - %d;" s s (-c)
+  | Brk { arr; ix; limit } ->
+    line "if (a%d[%s] > %s) { break; }" arr (idx ~iv ~ov ix) (num limit)
+
+let source (k : t) =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> buf_add b (s ^ "\n")) fmt in
+  (* globals *)
+  for m = 0 to k.arrays - 1 do
+    line "int a%d[%d];" m k.asize
+  done;
+  List.iteri (fun j _ -> line "int b%d[%d];" j k.asize) k.iarrays;
+  (* the may-alias callee, if any *)
+  (match k.call with
+  | None -> ()
+  | Some c ->
+    line "void kfn(int *p, int *q, int n) {";
+    line "  for (int i = 0; i < n; i++) { p[i] = q[%s] + %s; }"
+      (off "i" c.coff) (num c.cadd);
+    line "}");
+  line "int main() {";
+  for j = 0 to k.scalars - 1 do
+    line "  int s%d = %d;" j (j + 1)
+  done;
+  (* initialisation: the interpreter's exact formulas *)
+  line "  for (int k = 0; k < %d; k++) {" k.asize;
+  for m = 0 to k.arrays - 1 do
+    line "    a%d[k] = ((k * %d) + %d) %% 97;" m (3 + (2 * m)) (m + 1)
+  done;
+  List.iteri
+    (fun j (ia : iarr) ->
+      line "    b%d[k] = ((k * %d) + %d) %% %d;" j ia.istep ia.ioff ia.imod)
+    k.iarrays;
+  line "  }";
+  (* kernel loops: literal bounds so the compare constant is the bound key *)
+  List.iter
+    (fun (l : loop) ->
+      line "  for (int i = %d; i < %d; i++) {" l.lo (l.lo + l.trip);
+      List.iter (stmt ~iv:"i" ~ov:"i" ~ind:"    " b) l.body;
+      (match l.inner with
+      | None -> ()
+      | Some il ->
+        line "    for (int j = %d; j < %d; j++) {" il.lo (il.lo + il.trip);
+        List.iter (stmt ~iv:"j" ~ov:"i" ~ind:"      " b) il.body;
+        line "    }");
+      line "  }")
+    k.loops;
+  (match k.call with
+  | None -> ()
+  | Some c -> line "  kfn(&a%d, &a%d, %d);" c.cdst c.csrc c.ctrip);
+  (* observation block: weighted checksums, then scalars *)
+  for m = 0 to k.arrays - 1 do
+    line "  int c%d = 0;" m;
+    line "  for (int k = 0; k < %d; k++) { c%d = c%d + (a%d[k] * (k + 1)); }"
+      k.asize m m m;
+    line "  print_int(c%d);" m
+  done;
+  for j = 0 to k.scalars - 1 do
+    line "  print_int(s%d);" j
+  done;
+  line "  return 0;";
+  line "}";
+  Buffer.contents b
+
+let image (k : t) =
+  let src = source k in
+  try Janus_jcc.Jcc.compile src
+  with e ->
+    failwith
+      (Printf.sprintf "emitter produced source jcc rejects (%s):\n%s"
+         (Printexc.to_string e) src)

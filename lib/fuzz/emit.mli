@@ -1,0 +1,21 @@
+(** Deterministic jcc source emission for fuzz kernels.
+
+    The emitted program is the kernel's meaning made executable: global
+    arrays initialised by the same formulas the reference interpreter
+    uses, the kernel loops written as literal-bound counted loops
+    ([for (int i = lo; i < lo+trip; i++)] — so each loop's compare
+    constant is its {!Kernel.loop} bound key and analyser reports can be
+    matched back to kernel loops), the optional may-alias call, and a
+    trailing observation block printing each array's weighted checksum
+    and each scalar. Running the result natively must print exactly
+    {!Kernel.truth.t_output}; that equality is itself one of the
+    oracle's checks (emitter and interpreter validate each other). *)
+
+(** jcc source text for a kernel. Total function on validated kernels;
+    does not itself validate. *)
+val source : Kernel.t -> string
+
+(** [source] compiled to a JX image.
+    @raise Failure if jcc rejects the source (an emitter bug — the
+    oracle reports it as such). *)
+val image : Kernel.t -> Janus_vx.Image.t

@@ -1,0 +1,236 @@
+open Kernel
+module G = QCheck2.Gen
+
+let ( let* ) = G.bind
+
+(* pick [n] distinct values from [0..hi-1] *)
+let distinct n hi =
+  let* start = G.int_range 0 (hi - 1) in
+  G.pure (List.init (min n hi) (fun i -> (start + i) mod hi))
+
+let g_op = G.oneofl [ Add; Sub; Mul ]
+
+(* an expression reading only arrays outside [avoid] (at small [At]
+   offsets), read-only scalars and literals *)
+let g_safe_expr ~arrays ~scalars ~avoid =
+  let readable = List.filter (fun a -> not (List.mem a avoid)) (List.init arrays Fun.id) in
+  let g_atom =
+    G.oneof
+      ([ G.map (fun n -> Num n) (G.int_range 1 9) ]
+      @ (if scalars > 0 then [ G.map (fun s -> Scl s) (G.int_range 0 (scalars - 1)) ] else [])
+      @
+      match readable with
+      | [] -> []
+      | _ ->
+        [ (let* a = G.oneofl readable in
+           let* c = G.int_range (-2) 2 in
+           G.pure (Elt (a, At c))) ])
+  in
+  let* e0 = g_atom in
+  let* n = G.int_range 0 2 in
+  let* rest = G.list_size (G.pure n) (G.pair g_op g_atom) in
+  G.pure { e0; rest }
+
+(* trips leave slack for |At| <= 2 offsets on both sides *)
+let g_span ~asize =
+  let* lo = G.int_range 2 4 in
+  let* trip = G.int_range 8 (min 24 (asize - lo - 3)) in
+  G.pure (lo, trip)
+
+(* --- shape families: each yields (loop, promise_doall) ------------- *)
+
+let fam_doall ~asize ~arrays ~scalars =
+  let* lo, trip = g_span ~asize in
+  let* nset = G.int_range 1 (min 2 arrays) in
+  let* dsts = distinct nset arrays in
+  let* body =
+    G.flatten_l
+      (List.map
+         (fun arr ->
+           let* e = g_safe_expr ~arrays ~scalars ~avoid:dsts in
+           G.pure (Set { arr; ix = At 0; e }))
+         dsts)
+  in
+  G.pure ({ trip; lo; body; inner = None }, true)
+
+let fam_reduction ~asize ~arrays ~scalars:_ =
+  let* lo, trip = g_span ~asize in
+  let* s = G.int_range 0 0 in
+  let* op = G.oneofl [ Add; Mul ] in
+  (* no scalar reads in the reduced expression: scalars:0 *)
+  let* e = g_safe_expr ~arrays ~scalars:0 ~avoid:[] in
+  G.pure ({ trip; lo; body = [ Red { s; op; e } ]; inner = None }, false)
+
+let fam_flow ~asize ~arrays ~scalars =
+  let* kk = G.int_range 1 3 in
+  let* lo = G.int_range (max 2 kk) (kk + 2) in
+  let* trip = G.int_range 8 (min 24 (asize - lo - 3)) in
+  let* arr = G.int_range 0 (arrays - 1) in
+  let* e2 = g_safe_expr ~arrays ~scalars ~avoid:[ arr ] in
+  let e = { e0 = Elt (arr, At (-kk)); rest = [ (Add, e2.e0) ] } in
+  G.pure ({ trip; lo; body = [ Set { arr; ix = At 0; e } ]; inner = None }, false)
+
+let fam_anti ~asize ~arrays ~scalars:_ =
+  let* kk = G.int_range 1 2 in
+  let* lo, trip = g_span ~asize in
+  let* arr = G.int_range 0 (arrays - 1) in
+  let e = { e0 = Elt (arr, At kk); rest = [ (Add, Num 1) ] } in
+  G.pure ({ trip; lo; body = [ Set { arr; ix = At 0; e } ]; inner = None }, false)
+
+let fam_waw ~asize ~arrays ~scalars =
+  let* lo, trip = g_span ~asize in
+  let* arr = G.int_range 0 (arrays - 1) in
+  let* e1 = g_safe_expr ~arrays ~scalars ~avoid:[ arr ] in
+  let* e2 = g_safe_expr ~arrays ~scalars ~avoid:[ arr ] in
+  G.pure
+    ( { trip; lo;
+        body = [ Set { arr; ix = At 0; e = e1 }; Set { arr; ix = At 1; e = e2 } ];
+        inner = None },
+      false )
+
+let fam_fixed ~asize ~arrays ~scalars =
+  let* lo, trip = g_span ~asize in
+  let* arr = G.int_range 0 (arrays - 1) in
+  let* c = G.int_range 0 (asize - 1) in
+  let* e = g_safe_expr ~arrays ~scalars ~avoid:[] in
+  let* extra =
+    if arrays > 1 then
+      let other = (arr + 1) mod arrays in
+      let* e2 = g_safe_expr ~arrays ~scalars ~avoid:[ other ] in
+      G.pure [ Set { arr = other; ix = At 0; e = e2 } ]
+    else G.pure []
+  in
+  G.pure ({ trip; lo; body = Set { arr; ix = Fix c; e } :: extra; inner = None }, false)
+
+let fam_induction ~asize ~arrays ~scalars =
+  let* s = G.int_range 0 (scalars - 1) in
+  (* s starts at s+1 and bumps by 1: cells s+1 .. s+trip stay in range *)
+  let* trip = G.int_range 8 (min 24 (asize - s - 3)) in
+  let* lo = G.int_range 0 2 in
+  let* arr = G.int_range 0 (arrays - 1) in
+  let* e = g_safe_expr ~arrays ~scalars:0 ~avoid:[ arr ] in
+  G.pure
+    ( { trip; lo;
+        body = [ Set { arr; ix = Sv s; e }; Bump { s; c = 1 } ];
+        inner = None },
+      false )
+
+let fam_indirect ~asize ~arrays ~scalars ~iarrays =
+  let* b = G.int_range 0 (iarrays - 1) in
+  let* lo = G.int_range 0 2 in
+  let* trip = G.int_range 8 (min 32 (asize - lo)) in
+  let* arr = G.int_range 0 (arrays - 1) in
+  let* e = g_safe_expr ~arrays ~scalars ~avoid:[ arr ] in
+  G.pure ({ trip; lo; body = [ Set { arr; ix = Via b; e } ]; inner = None }, false)
+
+let fam_brk ~asize ~arrays ~scalars =
+  let* (l, _) = fam_doall ~asize ~arrays ~scalars in
+  let* arr = G.int_range 0 (arrays - 1) in
+  let* limit = G.int_range 40 96 in
+  let brk = Brk { arr; ix = At 0; limit } in
+  let* first = G.bool in
+  let body = if first then brk :: l.body else l.body @ [ brk ] in
+  G.pure ({ l with body }, false)
+
+let fam_nested ~asize ~arrays ~scalars =
+  let* otrip = G.int_range 3 6 in
+  let* olo = G.int_range 2 4 in
+  let* inner, _ =
+    G.oneof
+      [
+        fam_doall ~asize ~arrays ~scalars;
+        fam_flow ~asize ~arrays ~scalars;
+        fam_reduction ~asize ~arrays ~scalars;
+      ]
+  in
+  let* obody =
+    if arrays > 1 then
+      let* arr = G.int_range 0 (arrays - 1) in
+      let* e = g_safe_expr ~arrays ~scalars ~avoid:[ arr ] in
+      G.pure [ Set { arr; ix = At 0; e } ]
+    else G.pure []
+  in
+  G.pure ({ trip = otrip; lo = olo; body = obody; inner = Some inner }, false)
+
+(* ------------------------------------------------------------------ *)
+
+(* make every bound key unique and distinct from asize by shrinking
+   trips (never growing them: the families' bounds stay valid) *)
+let uniquify ~asize loops =
+  let used = Hashtbl.create 8 in
+  let claim (l : loop) =
+    let t = ref l.trip in
+    while !t > 0 && (Hashtbl.mem used (l.lo + !t) || l.lo + !t = asize) do
+      decr t
+    done;
+    Hashtbl.replace used (l.lo + !t) ();
+    { l with trip = !t }
+  in
+  List.filter_map
+    (fun (l, p) ->
+      let l = claim l in
+      let l =
+        match l.inner with Some i -> { l with inner = Some (claim i) } | None -> l
+      in
+      if l.trip = 0 || (match l.inner with Some i -> i.trip = 0 | None -> false)
+      then None
+      else Some (l, p))
+    loops
+
+let kernel : Kernel.t G.t =
+  let* asize = G.oneofl [ 32; 48; 64 ] in
+  let* arrays = G.int_range 2 4 in
+  let* scalars = G.int_range 1 3 in
+  let* niarr = G.int_range 0 2 in
+  let* iarrays =
+    G.list_size (G.pure niarr)
+      (let* istep = G.int_range 1 7 in
+       let* ioff = G.int_range 0 5 in
+       let* imod = G.int_range 4 asize in
+       G.pure { istep; ioff; imod })
+  in
+  let* nloops = G.int_range 1 3 in
+  let fams =
+    [ (4, fam_doall ~asize ~arrays ~scalars);
+      (2, fam_reduction ~asize ~arrays ~scalars);
+      (2, fam_flow ~asize ~arrays ~scalars);
+      (1, fam_anti ~asize ~arrays ~scalars);
+      (1, fam_waw ~asize ~arrays ~scalars);
+      (1, fam_fixed ~asize ~arrays ~scalars);
+      (1, fam_induction ~asize ~arrays ~scalars);
+      (1, fam_brk ~asize ~arrays ~scalars);
+      (1, fam_nested ~asize ~arrays ~scalars) ]
+    @ if niarr > 0 then [ (2, fam_indirect ~asize ~arrays ~scalars ~iarrays:niarr) ] else []
+  in
+  let* loops = G.list_size (G.pure nloops) (G.frequency fams) in
+  let* call =
+    G.frequency
+      [ (3, G.pure None);
+        ( 1,
+          let* cdst = G.int_range 0 (arrays - 1) in
+          let* alias = G.frequency [ (2, G.pure false); (1, G.pure true) ] in
+          let* csrc = if alias then G.pure cdst else G.int_range 0 (arrays - 1) in
+          let* coff = G.int_range 0 2 in
+          let* cadd = G.int_range 1 9 in
+          let* ctrip = G.int_range 8 (asize - coff) in
+          G.pure (Some { cdst; csrc; coff; cadd; ctrip }) ) ]
+  in
+  let loops = uniquify ~asize loops in
+  (* promises only in call-free kernels: address-taken arrays can
+     legitimately make the analyser conservative about DOALL proofs *)
+  let expect_doall =
+    if call = None then
+      List.filter_map (fun (l, p) -> if p then Some (l.lo + l.trip) else None) loops
+    else []
+  in
+  G.pure
+    { asize; arrays; scalars; iarrays; loops = List.map fst loops; call; expect_doall }
+
+let sample rand =
+  let rec go n =
+    if n = 0 then failwith "Gen.sample: no valid kernel in 200 draws"
+    else
+      let k = G.generate1 ~rand kernel in
+      if Kernel.valid k then k else go (n - 1)
+  in
+  go 200

@@ -1,0 +1,23 @@
+(** Random kernel generation, organised as {e shape families} — one per
+    loop idiom the Janus analyser has to classify correctly: plain
+    DOALL stores, reductions, cross-iteration flow/anti/output
+    dependences, loop-invariant cells, secondary-induction indexing,
+    indirect [a\[b\[i\]\]] accesses, data-dependent early exits,
+    two-deep nests and may-alias calls.
+
+    The [doall] family additionally {e promises} its loops
+    ([Kernel.expect_doall]) when the kernel has no may-alias call, so
+    the oracle exercises the promise-broken direction as well as the
+    misclassification direction. Generated kernels are occasionally
+    invalid (index fell out of bounds after composition); {!sample}
+    retries until {!Kernel.valid} holds. *)
+
+(** May produce invalid kernels; callers filter with {!Kernel.valid}
+    (the QCheck2 properties use [assume]). *)
+val kernel : Kernel.t QCheck2.Gen.t
+
+(** Draw from {!kernel} until valid (bounded retries).
+    @raise Failure if no valid kernel appears within the retry budget
+    (a generator bug, not bad luck — the families are tuned so most
+    draws are valid). *)
+val sample : Random.State.t -> Kernel.t

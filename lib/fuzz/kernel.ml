@@ -1,0 +1,586 @@
+type op = Add | Sub | Mul
+type idx = At of int | Out of int | Via of int | Fix of int | Sv of int
+
+type atom = Num of int | Scl of int | Elt of int * idx
+type expr = { e0 : atom; rest : (op * atom) list }
+
+type stmt =
+  | Set of { arr : int; ix : idx; e : expr }
+  | Red of { s : int; op : op; e : expr }
+  | Bump of { s : int; c : int }
+  | Brk of { arr : int; ix : idx; limit : int }
+
+type loop = { trip : int; lo : int; body : stmt list; inner : loop option }
+type iarr = { istep : int; ioff : int; imod : int }
+type call = { cdst : int; csrc : int; coff : int; cadd : int; ctrip : int }
+
+type t = {
+  asize : int;
+  arrays : int;
+  scalars : int;
+  iarrays : iarr list;
+  loops : loop list;
+  call : call option;
+  expect_doall : int list;
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun m -> raise (Invalid m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Structure helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec loop_keys (l : loop) =
+  (l.lo + l.trip)
+  :: (match l.inner with Some i -> loop_keys i | None -> [])
+
+let bound_keys (k : t) = List.concat_map loop_keys k.loops
+
+let rec depth_of (l : loop) =
+  1 + (match l.inner with Some i -> depth_of i | None -> 0)
+
+let loop_count (k : t) =
+  List.fold_left (fun acc l -> acc + depth_of l) 0 k.loops
+  + (match k.call with Some _ -> 1 | None -> 0)
+
+let rec loop_stmts (l : loop) =
+  List.length l.body
+  + (match l.inner with Some i -> loop_stmts i | None -> 0)
+
+let stmt_count (k : t) = List.fold_left (fun acc l -> acc + loop_stmts l) 0 k.loops
+
+let rec loop_work (l : loop) =
+  l.trip
+  * (List.length l.body + 1
+     + (match l.inner with Some i -> loop_work i | None -> 0))
+
+let work (k : t) =
+  List.fold_left (fun acc l -> acc + loop_work l) 0 k.loops
+  + (match k.call with Some c -> c.ctrip | None -> 0)
+  (* init + checksum sweeps the emitted program also runs *)
+  + k.asize * (2 * k.arrays + List.length k.iarrays)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let max_work = 60_000
+
+let validate (k : t) =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
+  if k.asize < 8 || k.asize > 512 then fail "asize %d out of [8,512]" k.asize;
+  if k.arrays < 1 || k.arrays > 6 then fail "arrays %d out of [1,6]" k.arrays;
+  if k.scalars < 0 || k.scalars > 6 then fail "scalars %d out of [0,6]" k.scalars;
+  if List.length k.iarrays > 4 then fail "too many index arrays";
+  List.iter
+    (fun (b : iarr) ->
+      if b.imod < 1 || b.imod > k.asize then fail "imod %d out of [1,asize]" b.imod;
+      if b.istep < 0 || b.istep > 64 then fail "istep %d out of [0,64]" b.istep;
+      if b.ioff < 0 || b.ioff > 64 then fail "ioff %d out of [0,64]" b.ioff)
+    k.iarrays;
+  if k.loops = [] && k.call = None then fail "kernel has no loops";
+  if List.length k.loops > 6 then fail "too many loops";
+  let narrs = k.arrays and nscal = k.scalars and nb = List.length k.iarrays in
+  let check_idx = function
+    | At c | Out c ->
+      if c < -8 || c > 8 then fail "index offset %d out of [-8,8]" c
+    | Via b -> if b < 0 || b >= nb then fail "index array b%d undefined" b
+    | Fix c -> if c < 0 || c >= k.asize then fail "fixed index %d out of range" c
+    | Sv s -> if s < 0 || s >= nscal then fail "scalar s%d undefined" s
+  in
+  let check_atom = function
+    | Num n -> if abs n > 10_000 then fail "literal %d too large" n
+    | Scl s -> if s < 0 || s >= nscal then fail "scalar s%d undefined" s
+    | Elt (a, ix) ->
+      if a < 0 || a >= narrs then fail "array a%d undefined" a;
+      check_idx ix
+  in
+  let check_expr e =
+    check_atom e.e0;
+    if List.length e.rest > 4 then fail "expression too long";
+    List.iter (fun (_, a) -> check_atom a) e.rest
+  in
+  let check_stmt = function
+    | Set { arr; ix; e } ->
+      if arr < 0 || arr >= narrs then fail "array a%d undefined" arr;
+      check_idx ix; check_expr e
+    | Red { s; e; _ } ->
+      if s < 0 || s >= nscal then fail "scalar s%d undefined" s;
+      check_expr e
+    | Bump { s; c } ->
+      if s < 0 || s >= nscal then fail "scalar s%d undefined" s;
+      if c = 0 || abs c > 8 then fail "bump step %d out of range" c
+    | Brk { arr; ix; limit } ->
+      if arr < 0 || arr >= narrs then fail "array a%d undefined" arr;
+      check_idx ix;
+      if abs limit > 10_000 then fail "break limit %d too large" limit
+  in
+  let rec check_loop depth (l : loop) =
+    if depth > 2 then fail "loop nest deeper than 2";
+    if l.trip < 1 || l.trip > 128 then fail "trip %d out of [1,128]" l.trip;
+    if l.lo < 0 || l.lo > 16 then fail "lo %d out of [0,16]" l.lo;
+    if List.length l.body > 8 then fail "loop body too long";
+    List.iter check_stmt l.body;
+    match l.inner with Some i -> check_loop (depth + 1) i | None -> ()
+  in
+  List.iter (check_loop 1) k.loops;
+  (* bound keys identify loops in analyser reports: they must be unique
+     and distinct from the init/checksum sweeps' bound (= asize) *)
+  let keys = bound_keys k in
+  let sorted = List.sort_uniq compare keys in
+  if List.length sorted <> List.length keys then fail "duplicate bound keys";
+  if List.mem k.asize keys then fail "bound key collides with asize";
+  List.iter
+    (fun e -> if not (List.mem e keys) then fail "expect_doall key %d unknown" e)
+    k.expect_doall;
+  (match k.call with
+  | None -> ()
+  | Some c ->
+    if c.cdst < 0 || c.cdst >= narrs then fail "call dst a%d undefined" c.cdst;
+    if c.csrc < 0 || c.csrc >= narrs then fail "call src a%d undefined" c.csrc;
+    if c.ctrip < 1 then fail "call trip %d < 1" c.ctrip;
+    if c.coff < 0 then fail "call offset %d < 0" c.coff;
+    if c.ctrip + c.coff > k.asize then fail "call reads past array end";
+    if abs c.cadd > 10_000 then fail "call addend too large");
+  if work k > max_work then fail "work %d exceeds budget %d" (work k) max_work;
+  !err
+
+(* ------------------------------------------------------------------ *)
+(* Reference interpreter with dependence footprints                    *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = { v_key : int option; v_dependent : bool; v_why : string }
+type truth = { t_output : string; t_verdicts : verdict list }
+
+(* Scalars bumped anywhere in a loop's subtree: an [Sv s] subscript is
+   iteration-varying for that loop exactly when [s] is one of these. *)
+let rec bumped_in (l : loop) =
+  let own =
+    List.filter_map (function Bump { s; _ } -> Some s | _ -> None) l.body
+  in
+  own @ (match l.inner with Some i -> bumped_in i | None -> [])
+
+(* Syntactic scalar-dependence check for one loop subtree: a reduction
+   target that is also read, bumped, or reduced with mixed operators is
+   a genuine cross-iteration scalar dependence (not a recognisable
+   reduction idiom). *)
+let scalar_dep (l : loop) =
+  let reds = Hashtbl.create 4 in   (* scalar -> op list *)
+  let reads = Hashtbl.create 4 in
+  let bumps = Hashtbl.create 4 in
+  let note_idx = function Sv s -> Hashtbl.replace reads s () | _ -> () in
+  let note_atom = function
+    | Scl s -> Hashtbl.replace reads s ()
+    | Elt (_, ix) -> note_idx ix
+    | Num _ -> ()
+  in
+  let note_expr e = note_atom e.e0; List.iter (fun (_, a) -> note_atom a) e.rest in
+  let rec walk (l : loop) =
+    List.iter
+      (function
+        | Set { ix; e; _ } -> note_idx ix; note_expr e
+        | Red { s; op; e } ->
+          let prev = try Hashtbl.find reds s with Not_found -> [] in
+          Hashtbl.replace reds s (op :: prev);
+          note_expr e
+        | Bump { s; _ } -> Hashtbl.replace bumps s ()
+        | Brk { ix; _ } -> note_idx ix)
+      l.body;
+    match l.inner with Some i -> walk i | None -> ()
+  in
+  walk l;
+  Hashtbl.fold
+    (fun s ops acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let mixed = List.sort_uniq compare ops |> List.length > 1 in
+        if Hashtbl.mem reads s then Some (Printf.sprintf "s%d reduced and read" s)
+        else if Hashtbl.mem bumps s then Some (Printf.sprintf "s%d reduced and bumped" s)
+        else if mixed then Some (Printf.sprintf "s%d mixed reduction ops" s)
+        else None)
+    reds None
+
+let has_break (l : loop) =
+  List.exists (function Brk _ -> true | _ -> false) l.body
+
+type cell = {
+  mutable wrote : bool;
+  mutable it_min : int;
+  mutable it_max : int;
+  mutable vary : bool;
+}
+
+type frame = {
+  f_id : int;
+  f_bumped : (int, unit) Hashtbl.t;
+  mutable f_iter : int;
+  f_cells : (int * int, cell) Hashtbl.t;
+}
+
+exception Break_loop
+
+let ground_truth (k : t) =
+  (match validate k with Some m -> raise (Invalid m) | None -> ());
+  let a =
+    Array.init k.arrays (fun m ->
+        Array.init k.asize (fun i ->
+            Int64.of_int ((i * (3 + (2 * m)) + (m + 1)) mod 97)))
+  in
+  let b =
+    Array.of_list
+      (List.map
+         (fun (ia : iarr) ->
+           Array.init k.asize (fun i -> (i * ia.istep + ia.ioff) mod ia.imod))
+         k.iarrays)
+  in
+  let s = Array.init k.scalars (fun i -> Int64.of_int (i + 1)) in
+  let nloops = loop_count k in
+  let dep : string option array = Array.make (max 1 nloops) None in
+  let keys : int option array = Array.make (max 1 nloops) None in
+  let apply op x y =
+    match op with
+    | Add -> Int64.add x y
+    | Sub -> Int64.sub x y
+    | Mul -> Int64.mul x y
+  in
+  let cell_of ~iv ~ov ix =
+    let c =
+      match ix with
+      | At c -> iv + c
+      | Out c -> ov + c
+      | Via bi ->
+        if iv < 0 || iv >= k.asize then invalid "b%d[%d] out of bounds" bi iv;
+        b.(bi).(iv)
+      | Fix c -> c
+      | Sv sc -> Int64.to_int s.(sc)
+    in
+    if c < 0 || c >= k.asize then invalid "index %d out of [0,%d)" c k.asize;
+    c
+  in
+  (* [frames] is innermost-first; record the access into every open
+     footprint with that frame's view of whether the address varies. *)
+  let record frames ~write arr cell ix =
+    List.iteri
+      (fun pos f ->
+        let vary =
+          match ix with
+          | At _ | Via _ -> pos = 0
+          | Out _ -> pos = List.length frames - 1
+          | Fix _ -> false
+          | Sv sc -> Hashtbl.mem f.f_bumped sc
+        in
+        let key = (arr, cell) in
+        match Hashtbl.find_opt f.f_cells key with
+        | None ->
+          Hashtbl.add f.f_cells key
+            { wrote = write; it_min = f.f_iter; it_max = f.f_iter; vary }
+        | Some c ->
+          c.wrote <- c.wrote || write;
+          c.it_min <- min c.it_min f.f_iter;
+          c.it_max <- max c.it_max f.f_iter;
+          c.vary <- c.vary || vary)
+      frames
+  in
+  let eval_atom frames ~iv ~ov = function
+    | Num n -> Int64.of_int n
+    | Scl sc -> s.(sc)
+    | Elt (arr, ix) ->
+      let c = cell_of ~iv ~ov ix in
+      record frames ~write:false arr c ix;
+      a.(arr).(c)
+  in
+  let eval_expr frames ~iv ~ov e =
+    List.fold_left
+      (fun acc (op, at) -> apply op acc (eval_atom frames ~iv ~ov at))
+      (eval_atom frames ~iv ~ov e.e0)
+      e.rest
+  in
+  let exec_stmt frames ~iv ~ov = function
+    | Set { arr; ix; e } ->
+      let v = eval_expr frames ~iv ~ov e in
+      let c = cell_of ~iv ~ov ix in
+      record frames ~write:true arr c ix;
+      a.(arr).(c) <- v
+    | Red { s = sc; op; e } -> s.(sc) <- apply op s.(sc) (eval_expr frames ~iv ~ov e)
+    | Bump { s = sc; c } -> s.(sc) <- Int64.add s.(sc) (Int64.of_int c)
+    | Brk { arr; ix; limit } ->
+      let c = cell_of ~iv ~ov ix in
+      record frames ~write:false arr c ix;
+      if Int64.compare a.(arr).(c) (Int64.of_int limit) > 0 then raise Break_loop
+  in
+  (* close one loop instance: a write to a cell touched in more than one
+     iteration through a varying subscript is an assertable conflict *)
+  let close_frame f =
+    if dep.(f.f_id) = None then
+      Hashtbl.iter
+        (fun (arr, c) cl ->
+          if cl.wrote && cl.it_min <> cl.it_max && cl.vary && dep.(f.f_id) = None
+          then dep.(f.f_id) <- Some (Printf.sprintf "a%d[%d] carried across iterations" arr c))
+        f.f_cells
+  in
+  (* static pass: ids, bound keys and syntactic verdicts exist even for
+     loops the dynamic run never reaches (break on iteration 0) *)
+  let rec static_pass id (l : loop) =
+    keys.(id) <- Some (l.lo + l.trip);
+    (match scalar_dep l with Some w -> dep.(id) <- Some w | None -> ());
+    if has_break l && dep.(id) = None then
+      dep.(id) <- Some "data-dependent early exit";
+    match l.inner with Some i -> static_pass (id + 1) i | None -> id + 1
+  in
+  let call_id = List.fold_left static_pass 0 k.loops in
+  let total_ids = call_id + (match k.call with Some _ -> 1 | None -> 0) in
+  let rec run_loop outer_frames ~ov ~id (l : loop) =
+    let bt = Hashtbl.create 4 in
+    List.iter (fun sc -> Hashtbl.replace bt sc ()) (bumped_in l);
+    let f = { f_id = id; f_bumped = bt; f_iter = 0; f_cells = Hashtbl.create 32 } in
+    let frames = f :: outer_frames in
+    (try
+       for iv = l.lo to l.lo + l.trip - 1 do
+         f.f_iter <- iv - l.lo;
+         let ov = if outer_frames = [] then iv else ov in
+         List.iter (exec_stmt frames ~iv ~ov) l.body;
+         match l.inner with
+         | Some i -> run_loop frames ~ov ~id:(id + 1) i
+         | None -> ()
+       done
+     with Break_loop -> ());
+    close_frame f
+  in
+  ignore
+    (List.fold_left
+       (fun id l -> run_loop [] ~ov:0 ~id l; id + depth_of l)
+       0 k.loops);
+  (* the may-alias call: kfn(&a<cdst>, &a<csrc>, ctrip) *)
+  (match k.call with
+  | None -> ()
+  | Some c ->
+    keys.(call_id) <- None;
+    if c.cdst = c.csrc && c.coff <> 0 then
+      dep.(call_id) <- Some "aliasing call parameters";
+    let p = a.(c.cdst) and q = a.(c.csrc) in
+    for i = 0 to c.ctrip - 1 do
+      p.(i) <- Int64.add q.(i + c.coff) (Int64.of_int c.cadd)
+    done);
+  (* observable output: per-array weighted checksums, then scalars *)
+  let buf = Buffer.create 256 in
+  let emit v = Buffer.add_string buf (Printf.sprintf "%Ld\n" v) in
+  Array.iter
+    (fun arr ->
+      let acc = ref 0L in
+      Array.iteri
+        (fun i v -> acc := Int64.add !acc (Int64.mul v (Int64.of_int (i + 1))))
+        arr;
+      emit !acc)
+    a;
+  Array.iter emit s;
+  let verdicts =
+    List.init total_ids (fun i ->
+        {
+          v_key = keys.(i);
+          v_dependent = dep.(i) <> None;
+          v_why = (match dep.(i) with Some w -> w | None -> "independent");
+        })
+  in
+  { t_output = Buffer.contents buf; t_verdicts = verdicts }
+
+let valid (k : t) =
+  match validate k with
+  | Some _ -> false
+  | None -> ( try ignore (ground_truth k); true with Invalid _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Codec: a small s-expression surface form for the corpus             *)
+(* ------------------------------------------------------------------ *)
+
+type sx = A of string | L of sx list
+
+let tokenize src =
+  let toks = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+    | '(' -> toks := "(" :: !toks; incr i
+    | ')' -> toks := ")" :: !toks; incr i
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | ';' -> while !i < n && src.[!i] <> '\n' do incr i done
+    | _ ->
+      let j = ref !i in
+      let stop c = c = '(' || c = ')' || c = ' ' || c = '\t' || c = '\n'
+                   || c = '\r' || c = ';' in
+      while !j < n && not (stop src.[!j]) do incr j done;
+      toks := String.sub src !i (!j - !i) :: !toks;
+      i := !j);
+  done;
+  List.rev !toks
+
+let parse_sx src =
+  let toks = ref (tokenize src) in
+  let next () =
+    match !toks with
+    | [] -> invalid "unexpected end of input"
+    | t :: rest -> toks := rest; t
+  in
+  let rec sexp () =
+    match next () with
+    | "(" -> L (items [])
+    | ")" -> invalid "unexpected ')'"
+    | t -> A t
+  and items acc =
+    match !toks with
+    | [] -> invalid "unclosed '('"
+    | ")" :: rest -> toks := rest; List.rev acc
+    | _ -> items (sexp () :: acc)
+  in
+  let v = sexp () in
+  if !toks <> [] then invalid "trailing tokens";
+  v
+
+let int_of = function
+  | A t -> (try int_of_string t with _ -> invalid "expected integer, got %S" t)
+  | L _ -> invalid "expected integer, got a list"
+
+let op_str = function Add -> "add" | Sub -> "sub" | Mul -> "mul"
+
+let op_of = function
+  | A "add" -> Add
+  | A "sub" -> Sub
+  | A "mul" -> Mul
+  | A t -> invalid "unknown operator %S" t
+  | L _ -> invalid "expected operator"
+
+let idx_sx = function
+  | At c -> L [ A "at"; A (string_of_int c) ]
+  | Out c -> L [ A "out"; A (string_of_int c) ]
+  | Via b -> L [ A "via"; A (string_of_int b) ]
+  | Fix c -> L [ A "fix"; A (string_of_int c) ]
+  | Sv s -> L [ A "sv"; A (string_of_int s) ]
+
+let idx_of = function
+  | L [ A "at"; c ] -> At (int_of c)
+  | L [ A "out"; c ] -> Out (int_of c)
+  | L [ A "via"; c ] -> Via (int_of c)
+  | L [ A "fix"; c ] -> Fix (int_of c)
+  | L [ A "sv"; c ] -> Sv (int_of c)
+  | _ -> invalid "malformed index"
+
+let atom_sx = function
+  | Num n -> L [ A "num"; A (string_of_int n) ]
+  | Scl s -> L [ A "scl"; A (string_of_int s) ]
+  | Elt (a, ix) -> L [ A "elt"; A (string_of_int a); idx_sx ix ]
+
+let atom_of = function
+  | L [ A "num"; n ] -> Num (int_of n)
+  | L [ A "scl"; s ] -> Scl (int_of s)
+  | L [ A "elt"; a; ix ] -> Elt (int_of a, idx_of ix)
+  | _ -> invalid "malformed atom"
+
+let expr_sx e =
+  L (A "e" :: atom_sx e.e0
+     :: List.concat_map (fun (op, at) -> [ A (op_str op); atom_sx at ]) e.rest)
+
+let expr_of = function
+  | L (A "e" :: e0 :: rest) ->
+    let rec pairs = function
+      | [] -> []
+      | op :: at :: tl -> (op_of op, atom_of at) :: pairs tl
+      | _ -> invalid "malformed expression tail"
+    in
+    { e0 = atom_of e0; rest = pairs rest }
+  | _ -> invalid "malformed expression"
+
+let stmt_sx = function
+  | Set { arr; ix; e } -> L [ A "set"; A (string_of_int arr); idx_sx ix; expr_sx e ]
+  | Red { s; op; e } -> L [ A "red"; A (string_of_int s); A (op_str op); expr_sx e ]
+  | Bump { s; c } -> L [ A "bump"; A (string_of_int s); A (string_of_int c) ]
+  | Brk { arr; ix; limit } ->
+    L [ A "brk"; A (string_of_int arr); idx_sx ix; A (string_of_int limit) ]
+
+let stmt_of = function
+  | L [ A "set"; arr; ix; e ] ->
+    Set { arr = int_of arr; ix = idx_of ix; e = expr_of e }
+  | L [ A "red"; s; op; e ] -> Red { s = int_of s; op = op_of op; e = expr_of e }
+  | L [ A "bump"; s; c ] -> Bump { s = int_of s; c = int_of c }
+  | L [ A "brk"; arr; ix; limit ] ->
+    Brk { arr = int_of arr; ix = idx_of ix; limit = int_of limit }
+  | _ -> invalid "malformed statement"
+
+let rec loop_sx tag (l : loop) =
+  L (A tag :: A (string_of_int l.trip) :: A (string_of_int l.lo)
+     :: (List.map stmt_sx l.body
+         @ match l.inner with Some i -> [ loop_sx "inner" i ] | None -> []))
+
+let rec loop_of tag = function
+  | L (A t :: trip :: lo :: rest) when String.equal t tag ->
+    let rec split acc = function
+      | [] -> (List.rev acc, None)
+      | [ (L (A "inner" :: _) as i) ] -> (List.rev acc, Some (loop_of "inner" i))
+      | s :: tl -> split (stmt_of s :: acc) tl
+    in
+    let body, inner = split [] rest in
+    { trip = int_of trip; lo = int_of lo; body; inner }
+  | _ -> invalid "malformed loop (expected %s)" tag
+
+let to_string (k : t) =
+  let b = Buffer.create 512 in
+  let rec put = function
+    | A t -> Buffer.add_string b t
+    | L items ->
+      Buffer.add_char b '(';
+      List.iteri
+        (fun i s -> if i > 0 then Buffer.add_char b ' '; put s)
+        items;
+      Buffer.add_char b ')'
+  in
+  let field name vs = L (A name :: vs) in
+  let ints = List.map (fun n -> A (string_of_int n)) in
+  put
+    (L
+       ([ A "kernel";
+          field "asize" (ints [ k.asize ]);
+          field "arrays" (ints [ k.arrays ]);
+          field "scalars" (ints [ k.scalars ]) ]
+        @ List.map
+            (fun (ia : iarr) -> field "iarr" (ints [ ia.istep; ia.ioff; ia.imod ]))
+            k.iarrays
+        @ List.map (loop_sx "loop") k.loops
+        @ (match k.call with
+          | Some c -> [ field "call" (ints [ c.cdst; c.csrc; c.coff; c.cadd; c.ctrip ]) ]
+          | None -> [])
+        @ match k.expect_doall with [] -> [] | e -> [ field "expect" (ints e) ]));
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let of_string src =
+  match parse_sx src with
+  | L (A "kernel" :: fields) ->
+    let k =
+      ref
+        { asize = 0; arrays = 0; scalars = 0; iarrays = []; loops = [];
+          call = None; expect_doall = [] }
+    in
+    List.iter
+      (fun f ->
+        match f with
+        | L [ A "asize"; n ] -> k := { !k with asize = int_of n }
+        | L [ A "arrays"; n ] -> k := { !k with arrays = int_of n }
+        | L [ A "scalars"; n ] -> k := { !k with scalars = int_of n }
+        | L [ A "iarr"; s; o; m ] ->
+          k := { !k with iarrays =
+                   !k.iarrays @ [ { istep = int_of s; ioff = int_of o; imod = int_of m } ] }
+        | L (A "loop" :: _) -> k := { !k with loops = !k.loops @ [ loop_of "loop" f ] }
+        | L [ A "call"; d; s; o; a; t ] ->
+          k := { !k with call =
+                   Some { cdst = int_of d; csrc = int_of s; coff = int_of o;
+                          cadd = int_of a; ctrip = int_of t } }
+        | L (A "expect" :: es) -> k := { !k with expect_doall = List.map int_of es }
+        | _ -> invalid "unknown kernel field")
+      fields;
+    !k
+  | _ -> invalid "expected (kernel ...)"
+
+let pp fmt k = Format.pp_print_string fmt (to_string k)

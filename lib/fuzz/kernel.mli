@@ -1,0 +1,141 @@
+(** Typed loop-nest kernels with {e known ground truth}, the subject
+    language of the differential fuzzing harness.
+
+    A kernel is a closed mini-C program sketch: global [int] data
+    arrays, index arrays with formula-defined contents, scalars, a
+    sequence of (possibly two-deep) counted loops over statement bodies
+    drawn from the shapes the Janus analyser has to get right — plain
+    DOALL stores, reductions, secondary-induction indexing,
+    cross-iteration array dependences, loop-invariant (privatisable)
+    cells, indirect [a\[b\[i\]\]] accesses, early exits — plus an
+    optional call through may-alias pointer parameters.
+
+    Because the kernel is fully closed (no inputs, formula-defined
+    initial state), a reference interpreter can both compute the exact
+    expected output and derive a {e per-loop dependence verdict} from
+    the concrete addresses each iteration touches. Those verdicts are
+    the oracle's ground truth: a loop the interpreter proves
+    cross-iteration dependent must never be classified Static DOALL by
+    the analyser ({!Oracle}). *)
+
+(** Binary operators usable in kernel expressions (no division: guest
+    division by zero traps, and modelling trap equivalence is not this
+    harness's job). *)
+type op = Add | Sub | Mul
+
+(** Array subscript forms. [At c] is [iv + c] of the innermost
+    enclosing loop; [Out c] is the {e outer} loop's iv ([At] at top
+    level); [Via b] is [b<b>\[iv\]] through index array [b]; [Fix c] is
+    a loop-invariant constant cell; [Sv s] subscripts by scalar [s]
+    (a secondary induction variable when [s] is bumped). *)
+type idx = At of int | Out of int | Via of int | Fix of int | Sv of int
+
+type atom =
+  | Num of int           (** small literal *)
+  | Scl of int           (** scalar [s<k>] *)
+  | Elt of int * idx     (** data array element [a<k>\[idx\]] *)
+
+(** Left-folded expression [((a0 op1 a1) op2 a2) ...], emitted fully
+    parenthesised so guest evaluation order is unambiguous. *)
+type expr = { e0 : atom; rest : (op * atom) list }
+
+type stmt =
+  | Set of { arr : int; ix : idx; e : expr }   (** [a\[ix\] = e;] *)
+  | Red of { s : int; op : op; e : expr }      (** [s = s op e;] *)
+  | Bump of { s : int; c : int }               (** [s = s + c;] *)
+  | Brk of { arr : int; ix : idx; limit : int }
+      (** [if (a\[ix\] > limit) break;] *)
+
+(** A counted loop [for (iv = lo; iv < lo + trip; iv++)]. [lo + trip]
+    is the loop's {e bound key}: the constant the compiled compare
+    tests against, used to match analyser loop reports back to kernel
+    loops. *)
+type loop = { trip : int; lo : int; body : stmt list; inner : loop option }
+
+(** Index-array contents: [b\[k\] = (k * istep + ioff) mod imod], so
+    [imod < asize] (or a non-coprime [istep]) manufactures duplicate
+    indices — ground-truth dependent indirect stores. *)
+type iarr = { istep : int; ioff : int; imod : int }
+
+(** [kfn(&a<cdst>, &a<csrc>, ctrip)] where
+    [kfn(int *p, int *q, int n)] runs [p\[i\] = q\[i + coff\] + cadd]:
+    may-alias pointer parameters, aliasing for real when
+    [cdst = csrc]. *)
+type call = { cdst : int; csrc : int; coff : int; cadd : int; ctrip : int }
+
+type t = {
+  asize : int;            (** every array's element count *)
+  arrays : int;           (** data arrays [a0..] *)
+  scalars : int;          (** scalars [s0..], initialised to [k + 1] *)
+  iarrays : iarr list;    (** index arrays [b0..] *)
+  loops : loop list;
+  call : call option;
+  expect_doall : int list;
+      (** bound keys of loops {e promised} to classify Static DOALL —
+          the generator only promises shapes the analyser is expected
+          to prove, and the oracle fails a kernel whose promise is not
+          met (which is also how a deliberately mislabelled kernel
+          demonstrates the oracle can catch bugs) *)
+}
+
+(** {1 Validity and ground truth} *)
+
+exception Invalid of string
+(** Raised by {!ground_truth} on kernels that are structurally out of
+    range or touch an array out of bounds — a rejected input, not an
+    oracle violation. *)
+
+(** Structural check (reference ranges, bound-key uniqueness, size
+    budgets). [None] = plausibly valid; the interpreter still rejects
+    dynamic violations (out-of-bounds subscripts). *)
+val validate : t -> string option
+
+(** One loop's ground truth. [v_key] is the loop's bound key ([None]
+    for the symbolic-bound call loop). [v_dependent] is set only for
+    {e definite, assertable} cross-iteration dependence: a memory
+    conflict on iteration-varying addresses, a read-back accumulator,
+    or a data-dependent early exit. Conflicts confined to
+    loop-invariant cells are excluded — those are the privatisable
+    idiom the runtime handles by design. *)
+type verdict = { v_key : int option; v_dependent : bool; v_why : string }
+
+type truth = {
+  t_output : string;          (** exact expected guest stdout *)
+  t_verdicts : verdict list;  (** one per loop, inner loops included *)
+}
+
+(** Execute the kernel in the reference interpreter: exact expected
+    output (64-bit wrapping arithmetic, [%Ld] print format) plus
+    per-loop dependence verdicts from concrete footprints.
+    @raise Invalid on structurally or dynamically invalid kernels. *)
+val ground_truth : t -> truth
+
+(** [true] when {!validate} passes and {!ground_truth} does not raise. *)
+val valid : t -> bool
+
+(** Total statements executed by the interpreter — a work bound the
+    generator keeps small enough for many full-pipeline runs. *)
+val work : t -> int
+
+(** {1 Codec}
+
+    Kernels round-trip through a human-readable s-expression form; the
+    regression corpus under [test/corpus/] stores this format. *)
+
+val to_string : t -> string
+
+(** @raise Invalid on malformed text. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Structure helpers} *)
+
+(** Bound keys of all loops, inner included, outermost first. *)
+val bound_keys : t -> int list
+
+(** Number of loops (inner and call loops included). *)
+val loop_count : t -> int
+
+(** Number of statements across all loop bodies. *)
+val stmt_count : t -> int

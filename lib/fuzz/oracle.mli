@@ -1,0 +1,54 @@
+(** The full-stack differential oracle: one kernel, every execution
+    configuration, every invariant the harness knows how to assert.
+
+    For a valid kernel the oracle checks, in order:
+
+    - {b interp-vs-native}: the reference interpreter's expected output
+      ({!Kernel.truth.t_output}) is exactly what native execution of the
+      emitted program prints — the emitter and interpreter validate each
+      other, so a bug in either is caught before it can poison the
+      differential baseline;
+    - {b differential state}: DBM-sequential, parallel at each requested
+      thread count, and the adaptive-governor run all agree with native
+      on output, exit code and final memory digest
+      ({!Janus_core.Janus.result.mem_digest});
+    - {b classification soundness}: no loop the interpreter proved
+      cross-iteration dependent (on an iteration-varying address) is
+      classified [Static_doall], and every {!Kernel.t.expect_doall}
+      promise is met;
+    - {b schedule verification}: every [Error]-severity finding from
+      {!Janus_verify.Verify.check_and_demote} corresponds to a demoted
+      loop (the schedule that actually runs is clean);
+    - {b cycle model}: component cycles (translate + check +
+      init/finish + parallel) never exceed the run's total, and no run
+      aborts on fuel;
+    - {b determinism}: running the parallel configuration twice on one
+      prepared pipeline (cold store, then warm) is byte-identical in
+      output, cycles and memory digest. *)
+
+type failure = {
+  f_check : string;   (** stable check name, e.g. ["misclassified"] *)
+  f_detail : string;
+}
+
+type outcome =
+  | Pass
+  | Skip of string
+      (** kernel rejected before checking (invalid structure or an
+          out-of-bounds access in the interpreter) — not a violation *)
+  | Fail of failure list
+
+val default_threads : int list
+(** [\[1; 2; 4; 8\]] *)
+
+(** Run every check. [threads] defaults to {!default_threads}. *)
+val check : ?threads:int list -> Kernel.t -> outcome
+
+val failures : outcome -> failure list
+val pp_failure : Format.formatter -> failure -> unit
+
+(** A kernel whose ground truth is cross-iteration dependent but whose
+    [expect_doall] deliberately claims otherwise: {!check} must [Fail]
+    on it. The harness's own self-test — an oracle that passes this
+    kernel has lost the ability to catch real classifier bugs. *)
+val mislabelled : Kernel.t

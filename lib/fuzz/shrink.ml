@@ -1,0 +1,163 @@
+open Kernel
+
+(* replace the [i]th element via [f]; id on out-of-range *)
+let mapi_at i f l = List.mapi (fun j x -> if i = j then f x else x) l
+
+let drop_at i l = List.filteri (fun j _ -> j <> i) l
+
+(* retarget a promise when a loop's bound key moves *)
+let rekey ~old_key ~new_key expect =
+  List.map (fun k -> if k = old_key then new_key else k) expect
+
+(* highest array/scalar/iarray index actually referenced *)
+let refs (k : t) =
+  let amax = ref (-1) and smax = ref (-1) and bmax = ref (-1) in
+  let see_idx = function
+    | Via b -> bmax := max !bmax b
+    | Sv s -> smax := max !smax s
+    | At _ | Out _ | Fix _ -> ()
+  in
+  let see_atom = function
+    | Num _ -> ()
+    | Scl s -> smax := max !smax s
+    | Elt (a, ix) -> amax := max !amax a; see_idx ix
+  in
+  let see_expr e = see_atom e.e0; List.iter (fun (_, a) -> see_atom a) e.rest in
+  let see_stmt = function
+    | Set { arr; ix; e } -> amax := max !amax arr; see_idx ix; see_expr e
+    | Red { s; e; _ } -> smax := max !smax s; see_expr e
+    | Bump { s; _ } -> smax := max !smax s
+    | Brk { arr; ix; _ } -> amax := max !amax arr; see_idx ix
+  in
+  let rec see_loop l =
+    List.iter see_stmt l.body;
+    match l.inner with Some i -> see_loop i | None -> ()
+  in
+  List.iter see_loop k.loops;
+  (match k.call with
+  | Some c -> amax := max !amax (max c.cdst c.csrc)
+  | None -> ());
+  (!amax, !smax, !bmax)
+
+(* all one-step reductions of [k], biggest cuts first *)
+let candidates (k : t) =
+  let n = List.length k.loops in
+  let whole_loops =
+    List.concat
+      (List.init n (fun i ->
+           let l = List.nth k.loops i in
+           [ { k with loops = drop_at i k.loops;
+               expect_doall =
+                 List.filter (fun key -> key <> l.lo + l.trip) k.expect_doall } ]
+           @ (match l.inner with
+             | Some inner ->
+               [ { k with loops = mapi_at i (fun _ -> inner) k.loops };
+                 { k with loops = mapi_at i (fun l -> { l with inner = None }) k.loops } ]
+             | None -> [])))
+  in
+  let call = match k.call with Some _ -> [ { k with call = None } ] | None -> [] in
+  let stmts =
+    List.concat
+      (List.init n (fun i ->
+           let l = List.nth k.loops i in
+           List.init (List.length l.body) (fun j ->
+               { k with loops = mapi_at i (fun l -> { l with body = drop_at j l.body }) k.loops })
+           @
+           match l.inner with
+           | None -> []
+           | Some inner ->
+             List.init (List.length inner.body) (fun j ->
+                 { k with
+                   loops =
+                     mapi_at i
+                       (fun l ->
+                         { l with
+                           inner = Some { inner with body = drop_at j inner.body } })
+                       k.loops })))
+  in
+  let trips =
+    List.concat
+      (List.init n (fun i ->
+           let l = List.nth k.loops i in
+           let halve (l : loop) =
+             { l with trip = max 1 (l.trip / 2) }
+           in
+           (if l.trip > 1 then
+              [ { k with loops = mapi_at i halve k.loops;
+                  expect_doall =
+                    rekey ~old_key:(l.lo + l.trip)
+                      ~new_key:(l.lo + max 1 (l.trip / 2))
+                      k.expect_doall } ]
+            else [])
+           @
+           match l.inner with
+           | Some inner when inner.trip > 1 ->
+             [ { k with
+                 loops = mapi_at i (fun l -> { l with inner = Some (halve inner) }) k.loops;
+                 expect_doall =
+                   rekey ~old_key:(inner.lo + inner.trip)
+                     ~new_key:(inner.lo + max 1 (inner.trip / 2))
+                     k.expect_doall } ]
+           | _ -> []))
+  in
+  let exprs =
+    let simpler e =
+      if e.rest <> [] then [ { e with rest = [] } ]
+      else match e.e0 with Num _ -> [] | _ -> [ { e0 = Num 1; rest = [] } ]
+    in
+    let stmt_vers = function
+      | Set s -> List.map (fun e -> Set { s with e }) (simpler s.e)
+      | Red r -> List.map (fun e -> Red { r with e }) (simpler r.e)
+      | Bump _ | Brk _ -> []
+    in
+    let body_vers body =
+      List.concat
+        (List.mapi
+           (fun j st -> List.map (fun st' -> mapi_at j (fun _ -> st') body) (stmt_vers st))
+           body)
+    in
+    List.concat
+      (List.init n (fun i ->
+           let l = List.nth k.loops i in
+           List.map
+             (fun body -> { k with loops = mapi_at i (fun l -> { l with body }) k.loops })
+             (body_vers l.body)
+           @
+           match l.inner with
+           | None -> []
+           | Some inner ->
+             List.map
+               (fun body ->
+                 { k with
+                   loops =
+                     mapi_at i (fun l -> { l with inner = Some { inner with body } }) k.loops })
+               (body_vers inner.body)))
+  in
+  let sizes =
+    (if k.asize > 8 then [ { k with asize = max 8 (k.asize / 2) } ] else [])
+    @
+    let amax, smax, bmax = refs k in
+    (if k.arrays > max 1 (amax + 1) then [ { k with arrays = max 1 (amax + 1) } ] else [])
+    @ (if k.scalars > smax + 1 then [ { k with scalars = smax + 1 } ] else [])
+    @
+    if List.length k.iarrays > bmax + 1 then
+      [ { k with iarrays = List.filteri (fun j _ -> j <= bmax) k.iarrays } ]
+    else []
+  in
+  whole_loops @ call @ stmts @ trips @ exprs @ sizes
+
+let minimise ~still_failing (k : t) =
+  let budget = ref 500 in
+  let rec fixpoint k =
+    let step =
+      List.find_opt
+        (fun c ->
+          decr budget;
+          !budget >= 0 && valid c && still_failing c)
+        (candidates k)
+    in
+    match step with
+    | Some c when !budget >= 0 -> fixpoint c
+    | _ -> k
+  in
+  fixpoint k

@@ -1,0 +1,19 @@
+(** Greedy structural minimisation of a failing kernel.
+
+    Works on the typed {!Kernel.t} — never on source text — so every
+    candidate is a well-formed kernel and the emitted reproducer stays
+    decodable. Candidates, tried in order of how much they remove:
+    drop a whole loop, replace a nest by its inner loop, drop the
+    inner loop, drop the call, drop one statement, halve a trip count
+    (renaming the loop's bound key in [expect_doall] so promises follow
+    the loop), truncate an expression, halve the array size, and drop
+    unreferenced trailing arrays/scalars/index arrays. A candidate is
+    kept when it is still {!Kernel.valid} and [still_failing] holds;
+    the process repeats to a fixpoint. *)
+
+(** [minimise ~still_failing k] assumes [still_failing k = true] and
+    returns a locally minimal kernel on which it still holds. The
+    predicate is called O(candidates × accepted steps) times — with the
+    full oracle as predicate, each call compiles and runs the kernel,
+    so minimisation of a typical failure takes seconds, not minutes. *)
+val minimise : still_failing:(Kernel.t -> bool) -> Kernel.t -> Kernel.t

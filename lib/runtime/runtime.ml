@@ -329,7 +329,17 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
     stats.Dbm.init_finish_cycles <- stats.Dbm.init_finish_cycles + init_cost;
     let rsp_main = Int64.to_int (Machine.get main Reg.RSP) in
     let rbp_main = Int64.to_int (Machine.get main Reg.RBP) in
-    let fcb = desc.Desc.frame_copy_bytes in
+    (* the body may address the frame through RBP; the private copy
+       must reach the saved-RBP slot, or workers whose copy window
+       stops short would keep RBP pointing into the main stack and
+       rbp-relative stores (reduction accumulators included) would
+       alias the shared frame *)
+    let fcb =
+      let span = rbp_main - rsp_main in
+      if span >= 0 && span < 65536 then
+        max desc.Desc.frame_copy_bytes (span + 16)
+      else desc.Desc.frame_copy_bytes
+    in
     (* reduction bases are main's pre-loop values *)
     let red_bases =
       List.map (fun (loc, op) -> (loc, op, read_loc main loc)) desc.Desc.reductions

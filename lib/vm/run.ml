@@ -17,7 +17,28 @@ type result = {
   output : string;
   cycles : int;
   icount : int;
+  mem_digest : string;
 }
+
+(* Digest of the architecturally visible final memory: globals (data +
+   bss) and the allocated prefix of the heap. Stacks and TLS are
+   thread-private scratch and excluded, so the digest is directly
+   comparable between native, DBM-sequential and parallel executions
+   of one program. Computed once at end of run — never on a hot path. *)
+let mem_digest (ctx : Machine.t) =
+  let region name =
+    match Memory.region_by_name ctx.Machine.mem name with
+    | Some r -> Bytes.unsafe_to_string r.Memory.bytes
+    | None -> ""
+  in
+  let heap =
+    match Memory.region_by_name ctx.Machine.mem "heap" with
+    | Some r ->
+      let used = max 0 (min r.Memory.size (ctx.Machine.brk - r.Memory.start)) in
+      Bytes.sub_string r.Memory.bytes 0 used
+    | None -> ""
+  in
+  Digest.to_hex (Digest.string (region "data" ^ region "bss" ^ heap))
 
 (* Return-address sentinel: no valid code lives at address 0. *)
 let sentinel = 0
@@ -106,4 +127,5 @@ let run ?(fuel = default_fuel) ?(input = []) ?(model_cache = false) image =
     output = Buffer.contents ctx.Machine.out;
     cycles = ctx.Machine.cycles;
     icount = ctx.Machine.icount;
+    mem_digest = mem_digest ctx;
   }

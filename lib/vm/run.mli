@@ -12,7 +12,17 @@ type result = {
   output : string;
   cycles : int;
   icount : int;
+  mem_digest : string;
+      (** digest of the final globals + allocated heap (see
+          {!mem_digest}) *)
 }
+
+(** Digest of the architecturally visible final memory of a context:
+    data + bss + the allocated heap prefix. Stacks and TLS are
+    excluded, so the digest is comparable across execution backends
+    (native, DBM, parallel) for one program — the memory half of a
+    differential oracle's "same final state" check. *)
+val mem_digest : Machine.t -> string
 
 (** The sentinel return address used by {!call_function}. *)
 val sentinel : int

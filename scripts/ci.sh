@@ -64,6 +64,22 @@ dune exec bin/janus_run.exe -- "$work/adv_alias.jx" --scale 250 \
   > "$trace_dir/adv_alias.run.log"
 cat "$trace_dir/adv_alias_adapt.txt"
 
+echo "== differential fuzz smoke =="
+# pinned-seed sweep of the generator + full-stack oracle; any violation
+# leaves a shrunk reproducer for upload
+fuzz_dir="_build/ci/fuzz"
+mkdir -p "$fuzz_dir"
+dune exec bin/janus_fuzz.exe -- --seed 5 --count 200 \
+  --save-corpus --corpus-dir "$fuzz_dir"
+
+echo "== fuzz oracle self-test (must fail) =="
+# the self-test feeds the oracle a deliberately mislabelled kernel; a
+# healthy oracle rejects it and exits non-zero, so success here is a bug
+if dune exec bin/janus_fuzz.exe -- --self-test; then
+  echo "oracle self-test did NOT catch the mislabelled kernel" >&2
+  exit 1
+fi
+
 echo "== traced benchmark run =="
 # run one real benchmark with tracing on and prove the exported Chrome
 # trace parses and covers every event category the run exercises:

@@ -355,9 +355,65 @@ let test_prefetch_insertion () =
   Alcotest.(check string) "same output" native.Run.output
     (Buffer.contents ctx'.Machine.out)
 
+(* the dispatch census must count every context switch into the code
+   cache — including each fragment's first (translate-path) execution,
+   which the counter used to miss. Fragment execution counts survive
+   trace promotion (the promoted fragment inherits f_execs), so summing
+   them over the final cache gives the exact number of executions. *)
+let test_dispatches_count_first_executions () =
+  let check_img name img =
+    let dbm, cache, _, outcome = run_dbm img in
+    Alcotest.(check bool) (name ^ " halted") true (outcome = `Halted);
+    let execs =
+      Hashtbl.fold (fun _ f acc -> acc + f.Dbm.f_execs) cache.Dbm.frags 0
+    in
+    Alcotest.(check int) (name ^ ": dispatches = fragment executions")
+      execs dbm.Dbm.stats.Dbm.dispatches;
+    Alcotest.(check bool) (name ^ ": every built fragment dispatched") true
+      (dbm.Dbm.stats.Dbm.dispatches >= dbm.Dbm.stats.Dbm.fragments_built)
+  in
+  (* a loop program: first executions plus many cache-hit re-dispatches *)
+  check_img "loop" (loop_image ~n:50);
+  (* a straight-line program: every dispatch is a first (translate-path)
+     execution, so the pre-fix counter would read 0 here *)
+  let b = Builder.create () in
+  Builder.label b "_start";
+  Builder.ins b (Insn.Mov (reg Reg.RDI, imm 7));
+  Builder.ins b (Insn.Syscall Insn.sys_write_int);
+  Builder.ins b (Insn.Mov (reg Reg.RDI, imm 0));
+  Builder.ins b (Insn.Syscall Insn.sys_exit);
+  check_img "straight-line" (Builder.to_image b ~entry:"_start")
+
+(* forcing eager promotion (threshold 1) or disabling promotion
+   entirely must not change what the program computes, only how the
+   code cache is organised *)
+let test_promote_threshold_knob () =
+  let img = loop_image ~n:80 in
+  let run_with threshold =
+    let prog = Program.load img in
+    let dbm = Dbm.create ~promote_threshold:threshold prog in
+    let cache = Dbm.new_cache Dbm.Main in
+    let ctx = Run.fresh_context prog in
+    let outcome = Dbm.run dbm cache ctx in
+    Alcotest.(check bool) "halted" true (outcome = `Halted);
+    (dbm, Buffer.contents ctx.Machine.out, Run.mem_digest ctx)
+  in
+  let eager, out_eager, mem_eager = run_with 1 in
+  let never, out_never, mem_never = run_with max_int in
+  Alcotest.(check bool) "eager promotion builds traces" true
+    (eager.Dbm.stats.Dbm.traces_built >= 1);
+  Alcotest.(check int) "disabled promotion builds none" 0
+    never.Dbm.stats.Dbm.traces_built;
+  Alcotest.(check string) "same output" out_eager out_never;
+  Alcotest.(check string) "same final memory" mem_eager mem_never
+
 let tests =
   [
     Alcotest.test_case "dbm matches native" `Quick test_dbm_matches_native;
+    Alcotest.test_case "dispatches count first executions" `Quick
+      test_dispatches_count_first_executions;
+    Alcotest.test_case "promote threshold knob" `Quick
+      test_promote_threshold_knob;
     Alcotest.test_case "translation charged" `Quick test_translation_charged;
     Alcotest.test_case "fragments cached" `Quick test_fragments_cached;
     Alcotest.test_case "trace promotion" `Quick test_trace_promotion;

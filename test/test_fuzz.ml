@@ -1,0 +1,129 @@
+(* Tests for the differential fuzzing harness: oracle self-test,
+   shrinking bounds, kernel codec round-trips, the trace-promotion
+   equivalence property, and replay of every shrunk reproducer under
+   test/corpus/ as a permanent regression case. *)
+
+open Janus_vm
+module Kernel = Janus_fuzz_lib.Kernel
+module Gen = Janus_fuzz_lib.Gen
+module Emit = Janus_fuzz_lib.Emit
+module Oracle = Janus_fuzz_lib.Oracle
+module Shrink = Janus_fuzz_lib.Shrink
+module Dbm = Janus_dbm.Dbm
+
+let failing k =
+  Kernel.valid k
+  && (match Oracle.check k with
+     | Oracle.Fail _ -> true
+     | Oracle.Pass | Oracle.Skip _ -> false)
+
+(* the mislabelled kernel is the harness's own canary: the oracle must
+   fail it, and the shrinker must cut it down to a tiny reproducer *)
+let test_self_test_caught () =
+  match Oracle.check Oracle.mislabelled with
+  | Oracle.Pass -> Alcotest.fail "oracle passed the mislabelled kernel"
+  | Oracle.Skip why -> Alcotest.fail ("oracle skipped mislabelled: " ^ why)
+  | Oracle.Fail fs ->
+    Alcotest.(check bool) "has failures" true (fs <> []);
+    let small = Shrink.minimise ~still_failing:failing Oracle.mislabelled in
+    Alcotest.(check bool)
+      (Fmt.str "shrunk to <= 2 loops (%d)" (Kernel.loop_count small))
+      true
+      (Kernel.loop_count small <= 2);
+    Alcotest.(check bool)
+      (Fmt.str "shrunk to <= 8 statements (%d)" (Kernel.stmt_count small))
+      true
+      (Kernel.stmt_count small <= 8);
+    Alcotest.(check bool) "shrunk kernel still fails" true (failing small)
+
+let test_smoke_seeded () =
+  let rng = Random.State.make [| 1234 |] in
+  for _ = 1 to 25 do
+    let k = Gen.sample rng in
+    match Oracle.check k with
+    | Oracle.Pass | Oracle.Skip _ -> ()
+    | Oracle.Fail fs ->
+      Alcotest.fail
+        (Fmt.str "oracle violation on %s:@ %a" (Kernel.to_string k)
+           (Fmt.list Oracle.pp_failure) fs)
+  done
+
+(* every shrunk reproducer replays forever: decode + full oracle *)
+let corpus_cases =
+  let dir = "corpus" in
+  let files =
+    match Sys.readdir dir with
+    | entries ->
+      List.sort String.compare
+        (List.filter
+           (fun f -> Filename.check_suffix f ".jfk")
+           (Array.to_list entries))
+    | exception Sys_error _ -> []
+  in
+  List.map
+    (fun f ->
+      Alcotest.test_case ("corpus " ^ Filename.chop_extension f) `Quick
+        (fun () ->
+          let text =
+            In_channel.with_open_text (Filename.concat dir f)
+              In_channel.input_all
+          in
+          let k = Kernel.of_string text in
+          match Oracle.check k with
+          | Oracle.Pass -> ()
+          | Oracle.Skip why -> Alcotest.fail ("kernel skipped: " ^ why)
+          | Oracle.Fail fs ->
+            Alcotest.fail
+              (Fmt.str "regression reproduced:@ %a"
+                 (Fmt.list Oracle.pp_failure) fs)))
+    files
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"kernel codec round-trips"
+    ~print:Kernel.to_string Gen.kernel (fun k ->
+      QCheck2.assume (Kernel.valid k);
+      Kernel.of_string (Kernel.to_string k) = k)
+
+(* trace promotion must be invisible to architectural state: forcing
+   promotion on every fragment (threshold 1) and disabling it entirely
+   must print the same bytes and leave the same memory image *)
+let run_dbm_with ~promote_threshold img =
+  let prog = Program.load img in
+  let dbm = Dbm.create ~promote_threshold prog in
+  let cache = Dbm.new_cache Dbm.Main in
+  let ctx = Run.fresh_context prog in
+  (match Dbm.run dbm cache ctx with
+  | `Halted -> ()
+  | `Yielded -> Alcotest.fail "DBM yielded outside a parallel region"
+  | `Out_of_fuel _ -> Alcotest.fail "DBM ran out of fuel");
+  (Buffer.contents ctx.Machine.out, Run.mem_digest ctx, dbm.Dbm.stats)
+
+let prop_promotion_equivalence =
+  QCheck2.Test.make ~count:30 ~name:"trace promotion preserves state"
+    ~print:Kernel.to_string Gen.kernel (fun k ->
+      QCheck2.assume (Kernel.valid k);
+      let img =
+        try Emit.image k with Failure _ -> QCheck2.assume_fail ()
+      in
+      let out_forced, mem_forced, stats_forced =
+        run_dbm_with ~promote_threshold:1 img
+      in
+      let out_off, mem_off, stats_off =
+        run_dbm_with ~promote_threshold:max_int img
+      in
+      if stats_forced.Dbm.traces_built = 0 then
+        QCheck2.Test.fail_report
+          "threshold 1 promoted no traces (property is vacuous)";
+      if stats_off.Dbm.traces_built > 0 then
+        QCheck2.Test.fail_report "disabled promotion still built traces";
+      String.equal out_forced out_off && String.equal mem_forced mem_off)
+
+let tests =
+  [
+    Alcotest.test_case "oracle self-test caught and shrunk" `Quick
+      test_self_test_caught;
+    Alcotest.test_case "seeded smoke run clean" `Quick test_smoke_seeded;
+    QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_promotion_equivalence;
+  ]
+  @ corpus_cases

@@ -17,4 +17,5 @@ let () =
       ("e2e", Test_e2e.tests);
       ("suite", Test_suite.tests);
       ("adapt", Test_adapt.tests);
+      ("fuzz", Test_fuzz.tests);
     ]
