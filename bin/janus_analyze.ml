@@ -19,7 +19,8 @@ module Profiler = Janus_profile.Profiler
 module Janus = Janus_core.Janus
 module Verify = Janus_verify.Verify
 
-let analyse input schedule_out disasm profile_in verify =
+let analyse input schedule_out disasm profile_in verify fission depgraph
+    dot_dir =
   let bytes =
     In_channel.with_open_bin input (fun ic ->
         Bytes.of_string (In_channel.input_all ic))
@@ -28,6 +29,28 @@ let analyse input schedule_out disasm profile_in verify =
   if disasm then Fmt.pr "%a@." Janus_vx.Disasm.image image;
   let t = Analysis.analyse_image image in
   Fmt.pr "%a" Analysis.pp_summary t;
+  if depgraph || dot_dir <> None then begin
+    let module Depgraph = Janus_analysis.Depgraph in
+    List.iter
+      (fun (r : Loopanal.report) ->
+         match Depgraph.build r with
+         | None -> ()
+         | Some g ->
+           Fmt.pr "depgraph: %s@." (Depgraph.summary g);
+           match dot_dir with
+           | None -> ()
+           | Some dir ->
+             if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+             let path =
+               Filename.concat dir
+                 (Printf.sprintf "loop%d.dot" g.Depgraph.dg_lid)
+             in
+             Out_channel.with_open_text path (fun oc ->
+                 Fmt.pf
+                   (Format.formatter_of_out_channel oc)
+                   "%a@." Depgraph.pp_dot g))
+      t.Analysis.reports
+  end;
   let emitted = ref None in
   (match schedule_out with
    | Some path ->
@@ -38,8 +61,8 @@ let analyse input schedule_out disasm profile_in verify =
             pipeline's filters *)
          let coverage, deps = Profiler.load jpf in
          let sel =
-           Janus.select ~cfg:(Janus.config ()) t ~coverage:(Some coverage)
-             ~deps:(Some deps)
+           Janus.select ~cfg:(Janus.config ~fission ()) t
+             ~coverage:(Some coverage) ~deps:(Some deps)
          in
          List.iter
            (fun (lid, reason) -> Fmt.pr "loop %d rejected: %s@." lid reason)
@@ -51,13 +74,21 @@ let analyse input schedule_out disasm profile_in verify =
               match Analysis.eligibility r with
               | Analysis.Eligible_static | Analysis.Eligible_dynamic _ ->
                 Some (r, Janus_schedule.Desc.Chunked)
+              | (Analysis.Eligible_doacross _ | Analysis.Not_eligible _)
+                when fission
+                     && (match r.Loopanal.cls with
+                         | Loopanal.Static_dep _ ->
+                           Janus_analysis.Depgraph.plan r <> None
+                         | _ -> false) ->
+                Some (r, Janus_schedule.Desc.Chunked)
               | Analysis.Eligible_doacross pct ->
                 Some (r, Janus_schedule.Desc.Doacross pct)
               | Analysis.Not_eligible _ -> None)
            t.Analysis.reports
      in
      let sched, encoded =
-       Janus_analysis.Rulegen.parallel_schedule t.Analysis.cfg selected
+       Janus_analysis.Rulegen.parallel_schedule ~fission t.Analysis.cfg
+         selected
      in
      Out_channel.with_open_bin path (fun oc ->
          Out_channel.output_bytes oc (Janus_schedule.Schedule.to_bytes sched));
@@ -105,11 +136,33 @@ let verify_flag =
                  independent dataflow re-derivation, and lint the emitted \
                  schedule (with --emit-schedule). Nonzero exit on errors.")
 
+let fission_flag =
+  Arg.(value & flag
+       & info [ "fission" ]
+           ~doc:"Split eligible Static-Dependence loops statement-wise \
+                 (SCC-driven loop fission) when emitting the schedule: \
+                 adds LOOP_FISSION rules carrying the sub-loop \
+                 partition. Off, emitted bytes are identical to a \
+                 fission-free build.")
+
+let depgraph_flag =
+  Arg.(value & flag
+       & info [ "depgraph" ]
+           ~doc:"Print one dependence-graph census line per analysed loop \
+                 body (nodes, edges, SCCs, fission groups).")
+
+let dot_dir =
+  Arg.(value & opt (some string) None
+       & info [ "depgraph-dot" ] ~docv:"DIR"
+           ~doc:"Also write each loop's dependence graph (SCC-clustered, \
+                 carried edges dashed) as DIR/loop<id>.dot.")
+
 let cmd =
   Cmd.v
     (Cmd.info "janus_analyze"
        ~doc:"Static binary analyser: loop classification + rewrite schedules")
     Term.(
-      const analyse $ input $ schedule_out $ disasm $ profile_in $ verify_flag)
+      const analyse $ input $ schedule_out $ disasm $ profile_in $ verify_flag
+      $ fission_flag $ depgraph_flag $ dot_dir)
 
 let () = exit (Cmd.eval' cmd)

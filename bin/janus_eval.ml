@@ -36,6 +36,8 @@ let registry =
     ("adapt",
      "extension: online adaptive governor vs static schedules on \
       misbehaving inputs");
+    ("fission",
+     "extension: SCC-driven loop fission of static-dependence loops");
   ]
 
 let experiments = List.map fst registry
@@ -54,6 +56,7 @@ let run_one ctx = function
   | "doacross" -> Fmt.pr "%a@." Eval.pp_ext_doacross (Eval.ext_doacross ~ctx ())
   | "prefetch" -> Fmt.pr "%a@." Eval.pp_ext_prefetch (Eval.ext_prefetch ~ctx ())
   | "adapt" -> Fmt.pr "%a@." Eval.pp_ext_adapt (Eval.ext_adapt ~ctx ())
+  | "fission" -> Fmt.pr "%a@." Eval.pp_ext_fission (Eval.ext_fission ~ctx ())
   | _ -> assert false (* names are validated before any experiment runs *)
 
 (* metrics go to stderr so stdout stays byte-comparable across runs *)
@@ -106,7 +109,8 @@ let pos_int what =
 let names =
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
          ~doc:"Experiments to regenerate (fig6 fig7 fig8 table1 fig9 fig10 \
-               fig11 fig12 doacross prefetch adapt, or all; see --list). \
+               fig11 fig12 doacross prefetch adapt fission, or all; see \
+               --list). \
                Default: all.")
 
 let jobs =

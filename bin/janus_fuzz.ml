@@ -18,7 +18,7 @@
    Exit status: 0 = no violations, 1 = violations (or self-test caught).
 
    Usage: janus_fuzz --seed 5 --count 500 [--time-budget 60]
-                     [--threads-list 1,2,4,8] [--save-corpus]
+                     [--threads-list 1,2,4,8] [--save-corpus] [--mixed]
                      [--corpus-dir test/corpus] [--self-test] *)
 
 open Cmdliner
@@ -71,7 +71,8 @@ let run_self_test ~threads ~save_corpus ~corpus_dir =
     Fmt.epr "self-test: oracle skipped the mislabelled kernel (%s)@." why;
     0
 
-let run_fuzz ~seed ~count ~time_budget ~threads ~save_corpus ~corpus_dir =
+let run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~save_corpus
+    ~corpus_dir =
   let rng = Random.State.make [| seed |] in
   let t0 = Unix.gettimeofday () in
   let deadline =
@@ -81,7 +82,7 @@ let run_fuzz ~seed ~count ~time_budget ~threads ~save_corpus ~corpus_dir =
   let i = ref 0 in
   while !i < count && Unix.gettimeofday () < deadline do
     incr i;
-    let k = Gen.sample rng in
+    let k = Gen.sample ~mixed rng in
     (match Oracle.check ~threads k with
      | Oracle.Pass -> incr pass
      | Oracle.Skip _ -> incr skip
@@ -101,7 +102,8 @@ let run_fuzz ~seed ~count ~time_budget ~threads ~save_corpus ~corpus_dir =
     seed;
   if !fail > 0 then 1 else 0
 
-let run seed count time_budget threads_list save_corpus corpus_dir self_test =
+let run seed count time_budget threads_list mixed save_corpus corpus_dir
+    self_test =
   let threads =
     match threads_list with
     | None -> Oracle.default_threads
@@ -121,7 +123,9 @@ let run seed count time_budget threads_list save_corpus corpus_dir self_test =
       ts
   in
   if self_test then run_self_test ~threads ~save_corpus ~corpus_dir
-  else run_fuzz ~seed ~count ~time_budget ~threads ~save_corpus ~corpus_dir
+  else
+    run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~save_corpus
+      ~corpus_dir
 
 let seed =
   Arg.(value & opt int 5 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
@@ -145,6 +149,15 @@ let threads_list =
     & info [ "threads-list" ] ~docv:"T1,T2,..."
         ~doc:"Comma-separated thread counts for the parallel runs \
               (default 1,2,4,8).")
+
+let mixed =
+  Arg.(
+    value & flag
+    & info [ "mixed" ]
+        ~doc:"Weight generation towards mixed chain-plus-stream loop \
+              bodies labelled fissionable, exercising the LOOP_FISSION \
+              extension (the oracle then also asserts each labelled \
+              loop splits and survives verification).")
 
 let save_corpus =
   Arg.(
@@ -171,7 +184,7 @@ let cmd =
   Cmd.v
     (Cmd.info "janus_fuzz" ~doc)
     Term.(
-      const run $ seed $ count $ time_budget $ threads_list $ save_corpus
-      $ corpus_dir $ self_test)
+      const run $ seed $ count $ time_budget $ threads_list $ mixed
+      $ save_corpus $ corpus_dir $ self_test)
 
 let () = exit (Cmd.eval' cmd)

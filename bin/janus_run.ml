@@ -30,7 +30,7 @@ let print_obs obs ~trace_summary ~metrics =
   else if metrics then
     List.iter (fun (k, v) -> Fmt.pr "%-32s %12d@." k v) (Obs.counters obs)
 
-let run input mode threads scale train_scale schedule_file prefetch
+let run input mode threads scale train_scale schedule_file prefetch fission
     model_cache fuel trace_out trace_jsonl trace_summary metrics adapt
     adapt_report =
   let bytes =
@@ -45,7 +45,8 @@ let run input mode threads scale train_scale schedule_file prefetch
   let tracing = trace_out <> None || trace_jsonl <> None || trace_summary in
   let adapt = adapt || adapt_report <> None in
   let cfg =
-    Janus.config ~threads ~prefetch ~model_cache ~fuel ~trace:tracing ~adapt ()
+    Janus.config ~threads ~prefetch ~fission ~model_cache ~fuel ~trace:tracing
+      ~adapt ()
   in
   let schedule =
     match schedule_file with
@@ -176,6 +177,14 @@ let prefetch =
            ~doc:"Emit MEM_PREFETCH rules for the selected loops' strided\n\
                  accesses (pair with --cache-model).")
 
+let fission =
+  Arg.(value & flag
+       & info [ "fission" ]
+           ~doc:"Distribute Static-Dependence loops whose dependence graph\n\
+                 splits into carried-free and carried components into a\n\
+                 DOALL fission product plus a sequential residue (verified\n\
+                 rewrite; demoted on any linter finding).")
+
 let model_cache =
   Arg.(value & flag
        & info [ "cache-model" ]
@@ -228,7 +237,8 @@ let cmd =
   Cmd.v
     (Cmd.info "janus_run" ~doc:"Run a JX binary (native / dbm / janus)")
     Term.(const run $ input $ mode $ threads $ scale $ train_scale
-          $ schedule_file $ prefetch $ model_cache $ fuel $ trace_out
-          $ trace_jsonl $ trace_summary $ metrics $ adapt $ adapt_report)
+          $ schedule_file $ prefetch $ fission $ model_cache $ fuel
+          $ trace_out $ trace_jsonl $ trace_summary $ metrics $ adapt
+          $ adapt_report)
 
 let () = exit (Cmd.eval' cmd)

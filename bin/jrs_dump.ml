@@ -110,6 +110,20 @@ let pp_rule sched ppf (r : Rule.t) =
      Fmt.pf ppf " loop %Ld -> tls[%Ld]@." r.Rule.aux r.Rule.data
    | Rule.MEM_PREFETCH ->
      Fmt.pf ppf " loop %Ld, %Ld bytes ahead@." r.Rule.aux r.Rule.data
+   | Rule.LOOP_FISSION ->
+     Fmt.pf ppf " loop %Ld, descriptor at +%Ld@." r.Rule.aux r.Rule.data;
+     let fd = Schedule.fission_desc sched r.Rule.data in
+     pp_loop_desc ppf fd.Desc.fd_loop;
+     Fmt.pf ppf "        infra: %s@."
+       (String.concat ", "
+          (List.map (Printf.sprintf "0x%x") fd.Desc.fd_infra));
+     List.iteri
+       (fun i (g : Desc.fission_group) ->
+          Fmt.pf ppf "        sub-loop %d (%s): %s@." i
+            (if g.Desc.fg_parallel then "parallel" else "sequential")
+            (String.concat ", "
+               (List.map (Printf.sprintf "0x%x") g.Desc.fg_insns)))
+       fd.Desc.fd_groups
    | Rule.PROF_MEM_ACCESS ->
      Fmt.pf ppf " loop %Ld (%s)@." r.Rule.data
        (if Int64.equal r.Rule.aux 1L then "write" else "read")

@@ -8,6 +8,32 @@ type t = {
   by_lid : (int, Loopanal.report) Hashtbl.t;
 }
 
+(* name the offenders: a Static-Dependence demotion keeps its original
+   reason and appends the addresses of the instructions on carried
+   dependence cycles, as found by the statement-level dependence graph.
+   [carried_members] is sorted and duplicate-free, so the enriched
+   reason is stable across runs of the same image. *)
+let enrich_static_dep (r : Loopanal.report) =
+  match r.Loopanal.cls with
+  | Loopanal.Static_dep reason -> begin
+      match Depgraph.build r with
+      | None -> r
+      | Some g ->
+        (match Depgraph.carried_members g with
+         | [] -> r
+         | addrs ->
+           let names =
+             String.concat "," (List.map (Printf.sprintf "0x%x") addrs)
+           in
+           {
+             r with
+             Loopanal.cls =
+               Loopanal.Static_dep
+                 (Printf.sprintf "%s; carried scc @ %s" reason names);
+           })
+    end
+  | _ -> r
+
 let analyse_image image =
   (* deterministic artifacts: loop ids are unique within this image and
      atom ids restart per analysis, so analysing the same image always
@@ -23,7 +49,8 @@ let analyse_image image =
          let dom = Dom.compute f in
          let ltree = Looptree.compute ~counter:lid_counter f dom in
          let fa = Funcanal.compute f dom in
-         List.map (fun l -> Loopanal.analyse cfg ~fa f ltree l)
+         List.map
+           (fun l -> enrich_static_dep (Loopanal.analyse cfg ~fa f ltree l))
            ltree.Looptree.loops)
       (Cfg.all_funcs cfg)
   in

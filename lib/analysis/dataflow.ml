@@ -1,7 +1,6 @@
 (** Generic worklist dataflow over VX64 CFGs: forward or backward,
     join-semilattice facts, meet-over-paths fixpoint. *)
 
-open Janus_analysis
 
 type direction = Forward | Backward
 

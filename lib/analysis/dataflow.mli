@@ -8,7 +8,6 @@
     {!Memdep} — are the substrate the schedule verifier's safety checks
     stand on. *)
 
-open Janus_analysis
 
 type direction = Forward | Backward
 

@@ -1,0 +1,774 @@
+(** Statement-level dependence graphs over loop bodies and the loop
+    fission plan derived from them (Aubert et al., "A Novel Loop
+    Fission Technique Inspired by Implicit Computational Complexity").
+
+    For one analysed loop the graph has a node per body instruction and
+    edges for register flow, register output conflicts on live-out
+    registers, memory conflicts between the summarised accesses, and
+    control dependences. Each edge is marked {e carried} when it can
+    span two iterations. Tarjan's SCC condensation then exposes the
+    carried cycles, and the weakly-connected components of the
+    non-infrastructure nodes are the candidate fission groups: because
+    groups share {e no} dependence edge at all, a Static-Dependence
+    loop distributes into a DOALL product (components free of carried
+    edges) plus a sequential residue run as consecutive loop instances,
+    with no cross-group temporaries and no ordering constraint between
+    the sub-loops.
+
+    Modelling notes, all in the sound direction for fission (a spurious
+    edge only merges groups or forces a residue; a dropped edge is
+    justified below):
+    - register anti dependences are not edges: a use fed by a same-
+      iteration def is recomputed inside whichever sub-loop keeps it,
+      and an upward-exposed use already receives a carried flow edge
+      from the iteration-final def;
+    - register output conflicts are edges only for registers live at a
+      loop exit — dead scratch registers (the allocator's R9-R11 reuse)
+      would otherwise glue every statement together, while each
+      sub-loop's final context is threaded through the next sub-loop so
+      a register written by a single group keeps its value;
+    - flags carry flow edges only: every sub-loop replays the governing
+      compare, so the exit flags are re-derived per sub-loop and dead
+      intermediate flag writes impose no order. *)
+
+open Janus_vx
+
+type edge_kind = Reg_flow | Reg_output | Mem | Ctrl
+
+type edge = {
+  e_src : int;        (* node index *)
+  e_dst : int;
+  e_kind : edge_kind;
+  e_carried : bool;   (* may span two iterations *)
+  e_tag : string;     (* register name, "flags", "mem", "ctrl" *)
+}
+
+type t = {
+  dg_lid : int;
+  dg_addrs : int array;        (* instruction addresses, body order *)
+  dg_insns : Insn.t array;
+  dg_linear : bool;            (* single-chain body, no internal joins *)
+  dg_infra : bool array;       (* control flow, IV updates, the compare *)
+  dg_edges : edge list;
+  dg_scc_of : int array;       (* node -> SCC id, topologically numbered *)
+  dg_scc_count : int;
+  dg_carried_scc : bool array; (* SCC id -> contains a carried edge *)
+}
+
+type plan = {
+  pl_infra : int list;    (* replicated into every sub-loop *)
+  pl_product : int list;  (* the DOALL fission product *)
+  pl_residue : int list;  (* the sequential residue *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Body linearisation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* order the body blocks as the single successor chain from the header;
+   when the body is not a chain (internal branches or joins), fall back
+   to header-first address order and mark the graph non-linear *)
+let body_blocks (r : Loopanal.report) =
+  let l = r.Loopanal.loop in
+  let blocks =
+    List.filter_map
+      (Hashtbl.find_opt r.Loopanal.func.Cfg.block_at)
+      l.Looptree.body
+  in
+  let in_body a = List.mem a l.Looptree.body in
+  let by_addr = Hashtbl.create 8 in
+  List.iter (fun (b : Cfg.bblock) -> Hashtbl.replace by_addr b.Cfg.baddr b) blocks;
+  let visited = Hashtbl.create 8 in
+  let rec chain acc a =
+    match Hashtbl.find_opt by_addr a with
+    | None -> (List.rev acc, false)
+    | Some b ->
+      if Hashtbl.mem visited a then (List.rev acc, false)
+      else begin
+        Hashtbl.replace visited a ();
+        let nexts =
+          List.filter
+            (fun s -> in_body s && s <> l.Looptree.header)
+            b.Cfg.succs
+        in
+        match nexts with
+        | [] -> (List.rev (b :: acc), true)
+        | [ n ] -> chain (b :: acc) n
+        | _ -> (List.rev (b :: acc), false)
+      end
+  in
+  let ordered, linear = chain [] l.Looptree.header in
+  if linear && List.length ordered = List.length blocks then (ordered, true)
+  else
+    let hdr, rest =
+      List.partition (fun (b : Cfg.bblock) -> b.Cfg.baddr = l.Looptree.header) blocks
+    in
+    let rest =
+      List.sort (fun (a : Cfg.bblock) b -> compare a.Cfg.baddr b.Cfg.baddr) rest
+    in
+    (hdr @ rest, false)
+
+(* ------------------------------------------------------------------ *)
+(* Register and flag slots                                             *)
+(* ------------------------------------------------------------------ *)
+
+let flags_slot = Reg.gp_count + Reg.fp_count
+let nslots = flags_slot + 1
+let slot_gp r = Reg.gp_index r
+let slot_fp f = Reg.gp_count + Reg.fp_index f
+
+let slot_name s =
+  if s = flags_slot then "flags"
+  else if s < Reg.gp_count then Reg.gp_name (Reg.gp_of_index s)
+  else Reg.fp_name (Reg.fp_of_index (s - Reg.gp_count))
+
+(* flag writers/readers as implemented by the VM semantics *)
+let sets_flags = function
+  | Insn.Alu _ | Insn.Neg _ | Insn.Cmp _ | Insn.Test _ | Insn.Fcmp _ -> true
+  | _ -> false
+
+let uses_flags = function Insn.Jcc _ | Insn.Cmov _ -> true | _ -> false
+
+let slot_uses i =
+  List.map slot_gp (Insn.gp_uses i)
+  @ List.map slot_fp (Insn.fp_uses i)
+  @ (if uses_flags i then [ flags_slot ] else [])
+
+let slot_defs i =
+  List.map slot_gp (Insn.gp_defs i)
+  @ List.map slot_fp (Insn.fp_defs i)
+  @ (if sets_flags i then [ flags_slot ] else [])
+
+(* ------------------------------------------------------------------ *)
+(* Iteration range from the solved iterator                            *)
+(* ------------------------------------------------------------------ *)
+
+let ceil_div a b = Int64.div (Int64.add a (Int64.sub b 1L)) b
+
+(* (first iv value, last iv value, trip count), when solvable; used
+   only to tighten the memory lag test and footprints, never trusted
+   beyond what LOOP_INIT itself trusts for bound computation *)
+let iv_range (iv : Loopanal.iv_info) =
+  match iv.Loopanal.iv_init_const, iv.Loopanal.iv_bound_const with
+  | Some i0, Some b when not (Int64.equal iv.Loopanal.iv_step 0L) ->
+    let step = iv.Loopanal.iv_step in
+    let b' = Int64.sub b iv.Loopanal.bound_adjust in
+    let unsigned_ok = Int64.compare i0 0L >= 0 && Int64.compare b' 0L >= 0 in
+    let trips =
+      match iv.Loopanal.iv_cond with
+      | Cond.Lt when Int64.compare step 0L > 0 ->
+        Some (ceil_div (Int64.sub b' i0) step)
+      | Cond.Ult when Int64.compare step 0L > 0 && unsigned_ok ->
+        Some (ceil_div (Int64.sub b' i0) step)
+      | Cond.Le when Int64.compare step 0L > 0 ->
+        Some (ceil_div (Int64.add (Int64.sub b' i0) 1L) step)
+      | Cond.Ule when Int64.compare step 0L > 0 && unsigned_ok ->
+        Some (ceil_div (Int64.add (Int64.sub b' i0) 1L) step)
+      | Cond.Gt when Int64.compare step 0L < 0 ->
+        Some (ceil_div (Int64.sub i0 b') (Int64.neg step))
+      | Cond.Ugt when Int64.compare step 0L < 0 && unsigned_ok ->
+        Some (ceil_div (Int64.sub i0 b') (Int64.neg step))
+      | Cond.Ge when Int64.compare step 0L < 0 ->
+        Some (ceil_div (Int64.add (Int64.sub i0 b') 1L) (Int64.neg step))
+      | Cond.Uge when Int64.compare step 0L < 0 && unsigned_ok ->
+        Some (ceil_div (Int64.add (Int64.sub i0 b') 1L) (Int64.neg step))
+      | Cond.Ne ->
+        let span = Int64.sub b' i0 in
+        if Int64.equal (Int64.rem span step) 0L
+           && Int64.compare (Int64.div span step) 0L > 0
+        then Some (Int64.div span step)
+        else None
+      | _ -> None
+    in
+    (match trips with
+     | Some t when Int64.compare t 1L >= 0 ->
+       let last = Int64.add i0 (Int64.mul step (Int64.sub t 1L)) in
+       Some (i0, last, t)
+     | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Memory conflict tests                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* does some lag m in [1, mmax] bring the two access streams within a
+   byte window? solutions cluster around m = |d/k|, so probing the
+   division neighbours is exhaustive *)
+let exists_lag ~mmax ~k ~d ~overlap =
+  let ok m =
+    Int64.compare m 1L >= 0
+    && (match mmax with
+        | None -> true
+        | Some mm -> Int64.compare m mm <= 0)
+    && (overlap (Int64.add d (Int64.mul k m))
+        || overlap (Int64.sub d (Int64.mul k m)))
+  in
+  let q1 = Int64.div (Int64.neg d) k and q2 = Int64.div d k in
+  List.exists ok
+    [ Int64.sub q1 1L; q1; Int64.add q1 1L; 1L;
+      Int64.sub q2 1L; q2; Int64.add q2 1L ]
+
+(* (same-iteration conflict, cross-iteration conflict) for a pair of
+   summarised accesses; conservative (true, true) whenever the base
+   distance is symbolic or the strides differ without a provably
+   disjoint footprint *)
+let conflict ~range ~step (a : Loopanal.access_sum) (b : Loopanal.access_sum) =
+  if a.Loopanal.g_opaque || b.Loopanal.g_opaque then (true, true)
+  else if a.Loopanal.g_stack <> b.Loopanal.g_stack then
+    (* the guest stack is a region disjoint from globals and the heap;
+       a stack slot never aliases a non-stack access (loopanal relies
+       on the same split when it privatises stack scalars) *)
+    (false, false)
+  else begin
+    let ba = a.Loopanal.g_bytes and bb = b.Loopanal.g_bytes in
+    (* d = addr(b) - addr(a); the windows overlap iff -bb < d < ba *)
+    let overlap d =
+      Int64.compare d (Int64.of_int (-bb)) > 0
+      && Int64.compare d (Int64.of_int ba) < 0
+    in
+    let ka = a.Loopanal.g_k and kb = b.Loopanal.g_k in
+    match Sympoly.to_const (Sympoly.sub b.Loopanal.g_base a.Loopanal.g_base) with
+    | Some d ->
+      if Int64.equal ka kb then begin
+        let intra = overlap d in
+        let carried =
+          (* a lag of m iterations moves the iv by step*m, so the
+             per-iteration address stride is k*step — using k alone is
+             only right for unit-step loops and flags false conflicts
+             between the copies of an unrolled body *)
+          let ks = Int64.mul ka step in
+          if Int64.equal ks 0L then intra
+          else
+            let mmax =
+              match range with
+              | Some (_, _, trips) -> Some (Int64.sub trips 1L)
+              | None -> None
+            in
+            exists_lag ~mmax ~k:ks ~d ~overlap
+        in
+        (intra, carried)
+      end
+      else begin
+        (* differing strides: whole-loop footprints in base-relative
+           coordinates prove disjointness when the iv range is known *)
+        match range with
+        | Some (i0, il, _) ->
+          let lo k = Int64.min (Int64.mul k i0) (Int64.mul k il) in
+          let hi k bytes =
+            Int64.add (Int64.max (Int64.mul k i0) (Int64.mul k il))
+              (Int64.of_int bytes)
+          in
+          let alo = lo ka and ahi = hi ka ba in
+          let blo = Int64.add d (lo kb) and bhi = Int64.add d (hi kb bb) in
+          if Int64.compare ahi blo <= 0 || Int64.compare bhi alo <= 0 then
+            (false, false)
+          else (true, true)
+        | None -> (true, true)
+      end
+    | None -> (true, true)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let build (r : Loopanal.report) =
+  let blocks, linear = body_blocks r in
+  let insns =
+    List.concat_map
+      (fun (b : Cfg.bblock) -> Array.to_list b.Cfg.insns)
+      blocks
+  in
+  if insns = [] then None
+  else begin
+    let n = List.length insns in
+    let addrs = Array.of_list (List.map (fun i -> i.Cfg.addr) insns) in
+    let body = Array.of_list (List.map (fun i -> i.Cfg.insn) insns) in
+    let idx_of = Hashtbl.create n in
+    Array.iteri (fun i a -> Hashtbl.replace idx_of a i) addrs;
+    (* infrastructure: control flow, the governing compare, IV updates
+       — for a register iterator its defs, for a memory-resident one
+       the insns loopanal saw touching the iterator's own slot *)
+    let iv = r.Loopanal.iv in
+    let infra = Array.make n false in
+    Array.iteri
+      (fun i insn ->
+         let is_iv_def =
+           match iv with
+           | Some { Loopanal.iv_loc = Sympoly.Rloc rg; _ } ->
+             List.exists (Reg.equal_gp rg) (Insn.gp_defs insn)
+           | _ -> false
+         in
+         let is_cmp =
+           match iv with
+           | Some ivi -> addrs.(i) = ivi.Loopanal.cmp_addr
+           | None -> false
+         in
+         if
+           Insn.is_control_flow insn || is_iv_def || is_cmp
+           || List.mem addrs.(i) r.Loopanal.iv_insns
+         then infra.(i) <- true)
+      body;
+    let edges = ref [] in
+    let add_edge e_src e_dst e_kind e_carried e_tag =
+      edges := { e_src; e_dst; e_kind; e_carried; e_tag } :: !edges
+    in
+    (* register/flag flow: intra edges from the last def, carried edges
+       from the iteration-final def to upward-exposed uses; reduction
+       accumulators are exempt from carried edges (the runtime combines
+       per-thread partials) and flags never carry (each sub-loop
+       replays the governing compare) *)
+    let exempt = Array.make nslots false in
+    exempt.(flags_slot) <- true;
+    List.iter
+      (fun (loc, _) ->
+         match loc with
+         | Janus_schedule.Desc.Lreg rg -> exempt.(slot_gp rg) <- true
+         | Janus_schedule.Desc.Lfreg f -> exempt.(slot_fp f) <- true
+         | Janus_schedule.Desc.Lstack _ | Janus_schedule.Desc.Labs _ -> ())
+      r.Loopanal.reductions;
+    (* live-at-exit registers for the output-conflict edges *)
+    let live = Liveness.compute r.Loopanal.func in
+    let live_slot = Array.make nslots false in
+    List.iter
+      (fun (_, out) ->
+         List.iter
+           (fun rg -> live_slot.(slot_gp rg) <- true)
+           (Liveness.gps_live_before live ~addr:out);
+         List.iter
+           (fun f -> live_slot.(slot_fp f) <- true)
+           (Liveness.fps_live_before live ~addr:out))
+      r.Loopanal.loop.Looptree.exits;
+    for s = 0 to nslots - 1 do
+      let last_def = ref None in
+      let exposed = ref [] in
+      let defs = ref [] in
+      for i = 0 to n - 1 do
+        let insn = body.(i) in
+        if List.mem s (slot_uses insn) then begin
+          match !last_def with
+          | Some d -> add_edge d i Reg_flow false (slot_name s)
+          | None -> exposed := i :: !exposed
+        end;
+        if List.mem s (slot_defs insn) then begin
+          defs := i :: !defs;
+          last_def := Some i
+        end
+      done;
+      (match !last_def with
+       | Some d when not exempt.(s) ->
+         List.iter
+           (fun u -> add_edge d u Reg_flow true (slot_name s))
+           (List.rev !exposed)
+       | _ -> ());
+      (* output conflicts matter only for registers observable after
+         the loop; chain successive defs so they land in one group *)
+      if s <> flags_slot && live_slot.(s) then begin
+        let ds = List.rev !defs in
+        ignore
+          (List.fold_left
+             (fun prev d ->
+                (match prev with
+                 | Some p -> add_edge p d Reg_output false (slot_name s)
+                 | None -> ());
+                Some d)
+             None ds)
+      end
+    done;
+    (* memory conflicts between summarised accesses; privatised scalar
+       cells keep their intra edges (all users end up in one group) but
+       do not carry — each sub-loop re-runs the privatisation *)
+    let range = Option.bind iv iv_range in
+    let step =
+      match iv with Some i -> i.Loopanal.iv_step | None -> 1L
+    in
+    let priv = Hashtbl.create 8 in
+    List.iter
+      (fun (a, _) -> Hashtbl.replace priv a ())
+      r.Loopanal.priv_insns;
+    let accs =
+      List.filter
+        (fun (a : Loopanal.access_sum) -> Hashtbl.mem idx_of a.Loopanal.g_insn)
+        r.Loopanal.accesses
+    in
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+        List.iter
+          (fun b ->
+             if a.Loopanal.g_write || b.Loopanal.g_write then begin
+               let ia = Hashtbl.find idx_of a.Loopanal.g_insn
+               and ib = Hashtbl.find idx_of b.Loopanal.g_insn in
+               let src, dst = if ia <= ib then (ia, ib) else (ib, ia) in
+               let intra, carried = conflict ~range ~step a b in
+               let both_priv =
+                 Hashtbl.mem priv a.Loopanal.g_insn
+                 && Hashtbl.mem priv b.Loopanal.g_insn
+               in
+               if intra && src <> dst then add_edge src dst Mem false "mem";
+               if carried && not both_priv then add_edge src dst Mem true "mem"
+             end)
+          (a :: rest);
+        pairs rest
+    in
+    pairs accs;
+    (* control dependences: a conditional that is not the loop's own
+       final branch guards everything after it; calls and other opaque
+       transfers order everything around them *)
+    let jccs = ref [] in
+    Array.iteri
+      (fun i insn -> match insn with Insn.Jcc _ -> jccs := i :: !jccs | _ -> ())
+      body;
+    let last_jcc = match !jccs with [] -> -1 | l -> List.hd l in
+    Array.iteri
+      (fun i insn ->
+         match insn with
+         | Insn.Jcc _ when i <> last_jcc ->
+           for j = i + 1 to n - 1 do
+             add_edge i j Ctrl false "ctrl"
+           done
+         | Insn.Call _ | Insn.Ret | Insn.Hlt | Insn.Syscall _
+         | Insn.Jmp (Insn.Indirect _) ->
+           for j = 0 to i - 1 do
+             add_edge j i Ctrl false "ctrl"
+           done;
+           for j = i + 1 to n - 1 do
+             add_edge i j Ctrl false "ctrl"
+           done
+         | _ -> ())
+      body;
+    let edges = List.rev !edges in
+    (* absorb pure compute feeding the infrastructure into it: a node
+       whose value flows into an infra node (the IV's add arithmetic,
+       the load feeding the governing compare) is itself iteration
+       bookkeeping and safe to replicate across fission phases —
+       provided it writes no memory, so replication has no effect *)
+    let writes_mem = Array.make n false and has_mem = Array.make n false in
+    List.iter
+      (fun a ->
+         Array.iteri
+           (fun i addr ->
+              if addr = a.Loopanal.g_insn then begin
+                has_mem.(i) <- true;
+                if a.Loopanal.g_write then writes_mem.(i) <- true
+              end)
+           addrs)
+      r.Loopanal.accesses;
+    List.iter
+      (fun ad ->
+         Array.iteri (fun i addr -> if addr = ad then has_mem.(i) <- true) addrs)
+      r.Loopanal.main_stack_reads;
+    let incoming = Array.make n [] in
+    List.iter (fun e -> incoming.(e.e_dst) <- e :: incoming.(e.e_dst)) edges;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* backward: pure compute whose value flows into an infra node
+         (the IV's add arithmetic, the load feeding the governing
+         compare) is itself iteration bookkeeping — safe to replicate
+         across fission phases provided it writes no memory *)
+      List.iter
+        (fun e ->
+           if
+             e.e_kind = Reg_flow && infra.(e.e_dst) && not infra.(e.e_src)
+             && not writes_mem.(e.e_src)
+           then begin
+             infra.(e.e_src) <- true;
+             changed := true
+           end)
+        edges;
+      (* forward: memory-free compute determined entirely by the
+         infrastructure (an unrolled body's i+1, lookahead address
+         arithmetic) would otherwise bridge unrelated groups through a
+         shared operand; its value is identical in every phase, so
+         replication is free of side effects. Nodes touching memory are
+         left in their groups — absorbing them would move their
+         dependence edges across the infrastructure boundary *)
+      for v = 0 to n - 1 do
+        if
+          (not infra.(v)) && (not has_mem.(v))
+          && List.for_all (fun e -> infra.(e.e_src)) incoming.(v)
+        then begin
+          infra.(v) <- true;
+          changed := true
+        end
+      done
+    done;
+    (* Tarjan SCC over the full edge set, condensation numbered in
+       topological order *)
+    let adj = Array.make n [] in
+    List.iter (fun e -> adj.(e.e_src) <- e.e_dst :: adj.(e.e_src)) edges;
+    let index = Array.make n (-1) in
+    let low = Array.make n 0 in
+    let on_stack = Array.make n false in
+    let stack = ref [] in
+    let counter = ref 0 in
+    let sccs = ref [] in
+    let rec strong v =
+      index.(v) <- !counter;
+      low.(v) <- !counter;
+      incr counter;
+      stack := v :: !stack;
+      on_stack.(v) <- true;
+      List.iter
+        (fun w ->
+           if index.(w) < 0 then begin
+             strong w;
+             low.(v) <- min low.(v) low.(w)
+           end
+           else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+        adj.(v);
+      if low.(v) = index.(v) then begin
+        let rec pop acc =
+          match !stack with
+          | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+          | [] -> acc
+        in
+        sccs := pop [] :: !sccs
+      end
+    in
+    for v = 0 to n - 1 do
+      if index.(v) < 0 then strong v
+    done;
+    (* Tarjan emits SCCs in reverse topological order; !sccs reversed
+       that again, so numbering !sccs in order is topological *)
+    let scc_list = !sccs in
+    let scc_count = List.length scc_list in
+    let scc_of = Array.make n 0 in
+    List.iteri
+      (fun sid members -> List.iter (fun v -> scc_of.(v) <- sid) members)
+      scc_list;
+    let carried_scc = Array.make scc_count false in
+    List.iter
+      (fun e ->
+         if e.e_carried && scc_of.(e.e_src) = scc_of.(e.e_dst) then
+           carried_scc.(scc_of.(e.e_src)) <- true)
+      edges;
+    Some
+      {
+        dg_lid = r.Loopanal.loop.Looptree.lid;
+        dg_addrs = addrs;
+        dg_insns = body;
+        dg_linear = linear;
+        dg_infra = infra;
+        dg_edges = edges;
+        dg_scc_of = scc_of;
+        dg_scc_count = scc_count;
+        dg_carried_scc = carried_scc;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Groups and the fission plan                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* weakly-connected components of the non-infrastructure nodes, each
+   with its parallel verdict (no carried edge inside the component);
+   ordered by first body position *)
+let components g =
+  let n = Array.length g.dg_addrs in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  List.iter
+    (fun e ->
+       if not (g.dg_infra.(e.e_src) || g.dg_infra.(e.e_dst)) then
+         union e.e_src e.e_dst)
+    g.dg_edges;
+  let groups = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    if not g.dg_infra.(i) then begin
+      let root = find i in
+      let cur = try Hashtbl.find groups root with Not_found -> [] in
+      Hashtbl.replace groups root (i :: cur)
+    end
+  done;
+  let carried_inside members =
+    List.exists
+      (fun e ->
+         e.e_carried && List.mem e.e_src members && List.mem e.e_dst members)
+      g.dg_edges
+  in
+  Hashtbl.fold (fun root members acc -> (root, members) :: acc) groups []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (_, members) -> (members, not (carried_inside members)))
+
+let carried_members g =
+  List.concat_map
+    (fun e ->
+       if e.e_carried then
+         List.filter_map
+           (fun v -> if g.dg_infra.(v) then None else Some g.dg_addrs.(v))
+           [ e.e_src; e.e_dst ]
+       else [])
+    g.dg_edges
+  |> List.sort_uniq compare
+
+(* structural eligibility of the loop itself, beyond what the graph
+   encodes: a solved iterator (register- or memory-resident — the
+   memory-resident case relies on [Loopanal.iv_insns] having routed the
+   slot's accesses into the infrastructure), a straight-line body whose
+   only control flow is the final exit test fed by the governing
+   compare *)
+let eligible g (r : Loopanal.report) =
+  let n = Array.length g.dg_addrs in
+  match r.Loopanal.iv with
+  | Some
+      ({ Loopanal.iv_loc = Sympoly.Rloc _ | Sympoly.Sloc _ | Sympoly.Gloc _; _ }
+       as iv)
+    when g.dg_linear && not (Int64.equal iv.Loopanal.iv_step 0L) ->
+    let bad_insn =
+      Array.exists
+        (function
+          | Insn.Call _ | Insn.Ret | Insn.Hlt | Insn.Syscall _
+          | Insn.Push _ | Insn.Pop _ | Insn.Jmp (Insn.Indirect _) -> true
+          | _ -> false)
+        g.dg_insns
+    in
+    let jccs = ref [] in
+    Array.iteri
+      (fun i insn ->
+         match insn with Insn.Jcc _ -> jccs := i :: !jccs | _ -> ())
+      g.dg_insns;
+    (* control flow must reduce to the loop's own skeleton: the single
+       governing test (wherever the compiler rotated it — bottom-test
+       or header-test with a closing jmp) plus direct jumps that stitch
+       the linear block chain together; any other transfer means the
+       body branches and per-insn elision cannot preserve its paths *)
+    let ctrl_ok =
+      n > 0
+      && Array.for_all
+           (fun insn ->
+              match insn with
+              | Insn.Jmp (Insn.Direct _) | Insn.Jcc _ -> true
+              | i -> not (Insn.is_control_flow i))
+           g.dg_insns
+    in
+    let opaque =
+      List.exists (fun a -> a.Loopanal.g_opaque) r.Loopanal.accesses
+    in
+    let cmp_idx =
+      let found = ref None in
+      Array.iteri
+        (fun i a -> if a = iv.Loopanal.cmp_addr then found := Some i)
+        g.dg_addrs;
+      !found
+    in
+    let jcc_fed_by_cmp =
+      match !jccs, cmp_idx with
+      | [ j ], Some c ->
+        List.exists
+          (fun e ->
+             e.e_kind = Reg_flow && e.e_tag = "flags" && e.e_dst = j
+             && (not e.e_carried) && e.e_src = c)
+          g.dg_edges
+      | _ -> false
+    in
+    (* the only dependences allowed across the infrastructure boundary
+       are flow edges feeding groups (the IV value, the compare flags):
+       infrastructure replayed by every sub-loop must not consume group
+       values or touch group memory *)
+    let crossing_ok =
+      List.for_all
+        (fun e ->
+           let si = g.dg_infra.(e.e_src) and di = g.dg_infra.(e.e_dst) in
+           if si = di then true
+           else si && (not di) && e.e_kind = Reg_flow)
+        g.dg_edges
+    in
+    (not bad_insn) && ctrl_ok && (not opaque) && jcc_fed_by_cmp
+    && crossing_ok
+  | _ -> false
+
+let plan (r : Loopanal.report) =
+  match build r with
+  | None -> None
+  | Some g ->
+    if not (eligible g r) then None
+    else begin
+      let comps = components g in
+      let par, seq = List.partition snd comps in
+      (* a product and a residue must both exist: an all-parallel
+         partition contradicts the Static-Dependence classification and
+         an all-sequential one gains nothing *)
+      if par = [] || seq = [] then None
+      else
+        let addrs_of cs =
+          List.concat_map (fun (members, _) -> members) cs
+          |> List.sort compare
+          |> List.map (fun i -> g.dg_addrs.(i))
+        in
+        let infra =
+          let out = ref [] in
+          Array.iteri
+            (fun i inf -> if inf then out := g.dg_addrs.(i) :: !out)
+            g.dg_infra;
+          List.sort compare !out
+        in
+        Some
+          {
+            pl_infra = infra;
+            pl_product = addrs_of par;
+            pl_residue = addrs_of seq;
+          }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let summary g =
+  let n = Array.length g.dg_addrs in
+  let carried = List.length (List.filter (fun e -> e.e_carried) g.dg_edges) in
+  let carried_sccs =
+    Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 g.dg_carried_scc
+  in
+  let comps = components g in
+  let par = List.length (List.filter snd comps) in
+  Printf.sprintf
+    "loop %d: %d insns, %d edges (%d carried), %d sccs (%d carried), %d \
+     groups (%d parallel)%s"
+    g.dg_lid n (List.length g.dg_edges) carried g.dg_scc_count carried_sccs
+    (List.length comps) par
+    (if g.dg_linear then "" else ", non-linear body")
+
+let pp_dot ppf g =
+  let kind_attr e =
+    match e.e_kind, e.e_carried with
+    | Reg_flow, false -> "color=black"
+    | Reg_flow, true -> "color=red,style=dashed"
+    | Reg_output, _ -> "color=blue"
+    | Mem, false -> "color=darkgreen"
+    | Mem, true -> "color=red,style=dashed,penwidth=2"
+    | Ctrl, _ -> "color=gray,style=dotted"
+  in
+  Format.fprintf ppf "digraph loop_%d {@." g.dg_lid;
+  Format.fprintf ppf "  rankdir=TB; node [shape=box,fontname=monospace];@.";
+  for sid = 0 to g.dg_scc_count - 1 do
+    Format.fprintf ppf "  subgraph cluster_scc%d {@." sid;
+    Format.fprintf ppf "    label=\"scc %d%s\";%s@." sid
+      (if g.dg_carried_scc.(sid) then " (carried)" else "")
+      (if g.dg_carried_scc.(sid) then " color=red;" else " color=gray;");
+    Array.iteri
+      (fun i a ->
+         if g.dg_scc_of.(i) = sid then
+           Format.fprintf ppf "    n%d [label=\"0x%x: %s\"%s];@." i a
+             (String.concat " "
+                (String.split_on_char '\n' (Insn.to_string g.dg_insns.(i))))
+             (if g.dg_infra.(i) then ",style=filled,fillcolor=lightgray"
+              else ""))
+      g.dg_addrs;
+    Format.fprintf ppf "  }@."
+  done;
+  List.iter
+    (fun e ->
+       Format.fprintf ppf "  n%d -> n%d [%s,label=\"%s\"];@." e.e_src e.e_dst
+         (kind_attr e) e.e_tag)
+    g.dg_edges;
+  Format.fprintf ppf "}@."

@@ -1,0 +1,80 @@
+(** Statement-level dependence graphs over loop bodies, their SCC
+    condensation, and the loop-fission plan derived from them (after
+    Aubert et al.'s implicit-computational-complexity fission
+    condition).
+
+    [build] constructs, for one analysed loop, a graph with a node per
+    body instruction and edges for register flow, register output
+    conflicts on live-out registers, memory conflicts between the
+    summarised access streams, and control dependences, each marked as
+    loop-carried or not. [plan] partitions the non-infrastructure nodes
+    into weakly-connected components — which by construction share no
+    dependence edge — and, when at least one component is free of
+    carried edges and one is not, schedules the carried-free components
+    as a DOALL {e fission product} and the rest as a sequential
+    {e residue}, both run as consecutive full-range loop instances. *)
+
+open Janus_vx
+
+type edge_kind =
+  | Reg_flow    (** def reaches use (registers or flags) *)
+  | Reg_output  (** two defs of a register that is live at a loop exit *)
+  | Mem         (** possibly overlapping accesses, one a write *)
+  | Ctrl        (** control dependence *)
+
+type edge = {
+  e_src : int;       (** node index into [dg_addrs] *)
+  e_dst : int;
+  e_kind : edge_kind;
+  e_carried : bool;  (** may span two iterations *)
+  e_tag : string;    (** register name, ["flags"], ["mem"], ["ctrl"] *)
+}
+
+type t = {
+  dg_lid : int;
+  dg_addrs : int array;        (** instruction addresses in body order *)
+  dg_insns : Insn.t array;
+  dg_linear : bool;            (** body is a single fall-through chain *)
+  dg_infra : bool array;       (** control flow, IV updates, the compare *)
+  dg_edges : edge list;
+  dg_scc_of : int array;       (** node -> SCC id *)
+  dg_scc_count : int;          (** SCC ids are topologically numbered *)
+  dg_carried_scc : bool array; (** SCC id -> contains a carried edge *)
+}
+
+(** A fission schedule over instruction addresses: [pl_infra] is
+    replicated into every sub-loop; [pl_product] runs first as a
+    DOALL-parallel instance; [pl_residue] runs second, sequentially.
+    The three lists partition the loop body. *)
+type plan = {
+  pl_infra : int list;
+  pl_product : int list;
+  pl_residue : int list;
+}
+
+(** Dependence graph of the loop body; [None] for an empty body. *)
+val build : Loopanal.report -> t option
+
+(** Weakly-connected components of the non-infrastructure nodes in
+    first-occurrence order, each with [true] when it contains no
+    carried edge (i.e. it is a DOALL candidate). *)
+val components : t -> (int list * bool) list
+
+(** Addresses of non-infrastructure instructions touched by some
+    carried edge — the members of the dependence cycles a
+    Static-Dependence demotion should name. Sorted, duplicate-free. *)
+val carried_members : t -> int list
+
+(** The fission plan, or [None] when the loop is ineligible: body not
+    a straight line, no register iterator, calls / stack traffic /
+    opaque accesses present, control flow not a single trailing exit
+    test fed by the governing compare, a dependence crossing the
+    infrastructure boundary other than IV/flags flow into a group, or
+    a partition without both a parallel and a sequential part. *)
+val plan : Loopanal.report -> plan option
+
+(** One-line census summary: node, edge, SCC and group counts. *)
+val summary : t -> string
+
+(** Graphviz rendering, SCCs clustered, carried edges dashed red. *)
+val pp_dot : Format.formatter -> t -> unit

@@ -1,7 +1,6 @@
 (** Backward register-liveness pass over VX64 CFGs. *)
 
 open Janus_vx
-open Janus_analysis
 
 (* a fact is a pair of register bitsets: GP (18 bits, hidden registers
    included) and FP (16 bits) *)

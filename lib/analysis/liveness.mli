@@ -9,7 +9,6 @@
     verifier — a register reported dead here really is dead. *)
 
 open Janus_vx
-open Janus_analysis
 
 type t
 

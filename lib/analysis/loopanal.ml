@@ -59,6 +59,7 @@ type report = {
   privatised : loc list;        (* scalar locations to privatise *)
   priv_insns : (int * loc) list; (* instruction addr -> privatised loc *)
   main_stack_reads : int list;  (* insns reading read-only stack slots *)
+  iv_insns : int list;          (* insns accessing a memory-resident IV's slot *)
   accesses : access_sum list;
   check_ranges : check_range list;  (* empty = no runtime check needed *)
   excall_sites : (int * string) list;
@@ -220,7 +221,8 @@ let insn_count_of (f : Cfg.func) (l : Looptree.loop) =
 let empty_report func loop cls =
   {
     loop; func; cls; iv = None; reductions = []; privatised = [];
-    priv_insns = []; main_stack_reads = []; accesses = []; check_ranges = [];
+    priv_insns = []; main_stack_reads = []; iv_insns = [];
+    accesses = []; check_ranges = [];
     excall_sites = []; local_call_sites = []; modified_gps = [];
     modified_fps = []; frame_low = 0; insn_count = insn_count_of func loop;
     doacross_frac = None;
@@ -731,6 +733,26 @@ and classify_body f l naming ctx latch behaviours f_behaviours
            })
       ctx.Symexec.accesses
   in
+  (* insns that read or write a memory-resident iterator's own slot
+     (empty for register iterators): loop fission replicates them, with
+     the update arithmetic, into every sub-loop *)
+  let iv_insns =
+    match iv.iv_loc with
+    | (Sloc _ | Gloc _) as ivl ->
+      List.sort_uniq compare
+        (List.filter_map
+           (fun g ->
+              if Int64.equal g.g_k 0L && not g.g_opaque then
+                match Symexec.classify_addr ctx g.g_base with
+                | Symexec.Astack off when Sympoly.loc_equal ivl (Sloc off) ->
+                  Some g.g_insn
+                | Symexec.Aconst a when Sympoly.loc_equal ivl (Gloc a) ->
+                  Some g.g_insn
+                | _ -> None
+              else None)
+           accesses)
+    | _ -> []
+  in
   (* scalar (k = 0) locations: privatisation & main-stack reads *)
   let priv_insns = ref [] in
   let privatised = ref [] in
@@ -1141,6 +1163,7 @@ and classify_body f l naming ctx latch behaviours f_behaviours
     privatised = !privatised;
     priv_insns = !priv_insns;
     main_stack_reads = !main_stack_reads;
+    iv_insns;
     accesses;
     check_ranges;
     excall_sites = excalls;

@@ -63,6 +63,9 @@ type report = {
   privatised : Sympoly.loc list;
   priv_insns : (int * Sympoly.loc) list;
   main_stack_reads : int list;
+  iv_insns : int list;
+      (** insns accessing a memory-resident (stack or global) iterator's
+          own slot; empty for register iterators *)
   accesses : access_sum list;
   check_ranges : check_range list;   (** empty = no runtime check *)
   excall_sites : (int * string) list;

@@ -301,6 +301,97 @@ let dependence_schedule (reports : Loopanal.report list) =
     reports;
   Schedule.build b
 
+(** {2 Loop fission (extension)}
+
+    A Static-Dependence loop whose dependence graph splits into a
+    carried-free part and a carried part (Aubert et al.'s fission
+    condition, computed by {!Depgraph.plan}) is distributed: a
+    LOOP_FISSION rule at the header carries a fission descriptor
+    naming the sub-loop instruction groups, and the runtime executes
+    the groups as consecutive full-range loop instances — the DOALL
+    product in parallel, the sequential residue single-threaded. The
+    supporting rules (spill/recover, scheduling, bound update,
+    privatisation, main-stack reads) are those of an ordinary DOALL
+    loop; speculation and bounds-check rules are never needed because
+    the plan requires every access be statically resolved. *)
+
+let emit_fission_rules (cfgt : Cfg.t) b (r : Loopanal.report)
+    (p : Depgraph.plan) =
+  let l = r.Loopanal.loop in
+  let lid = Int64.of_int l.Looptree.lid in
+  match l.Looptree.preheader, r.Loopanal.iv with
+  | Some _, Some iv -> begin
+      match loop_desc cfgt r ~policy:Desc.Chunked with
+      | None -> false
+      | Some desc ->
+        let fdesc =
+          {
+            Desc.fd_loop = desc;
+            fd_infra = p.Depgraph.pl_infra;
+            fd_groups =
+              [
+                { Desc.fg_insns = p.Depgraph.pl_product; fg_parallel = true };
+                { Desc.fg_insns = p.Depgraph.pl_residue; fg_parallel = false };
+              ];
+          }
+        in
+        (* a fission descriptor begins with its loop descriptor, so its
+           offset doubles as a loop-descriptor offset for LOOP_FINISH *)
+        let fd_off = Schedule.add_fission_desc b fdesc in
+        let init_addr = l.Looptree.header in
+        Schedule.add_rule b
+          (Rule.make ~addr:init_addr ~data:(Int64.of_int fd_off) ~aux:lid
+             Rule.LOOP_FISSION);
+        let mask =
+          List.fold_left
+            (fun acc r -> acc lor (1 lsl Reg.gp_index r))
+            0 r.Loopanal.modified_gps
+        in
+        Schedule.add_rule b
+          (Rule.make ~addr:init_addr ~data:(Int64.of_int mask) ~aux:lid
+             Rule.MEM_SPILL_REG);
+        Schedule.add_rule b
+          (Rule.make ~addr:l.Looptree.header ~data:lid Rule.THREAD_SCHEDULE);
+        List.iter
+          (fun target ->
+             Schedule.add_rule b
+               (Rule.make ~addr:target ~data:lid ~aux:lid Rule.THREAD_YIELD);
+             Schedule.add_rule b
+               (Rule.make ~addr:target ~data:(Int64.of_int fd_off) ~aux:lid
+                  Rule.LOOP_FINISH);
+             Schedule.add_rule b
+               (Rule.make ~addr:target ~data:0L ~aux:lid Rule.MEM_RECOVER_REG))
+          (distinct_exit_targets l);
+        Schedule.add_rule b
+          (Rule.make ~addr:iv.Loopanal.cmp_addr
+             ~data:(Int64.of_int iv.Loopanal.bound_operand_index)
+             ~aux:iv.Loopanal.bound_adjust Rule.LOOP_UPDATE_BOUND);
+        List.iter
+          (fun (insn_addr, loc) ->
+             let slot =
+               let rec find i = function
+                 | [] -> 0
+                 | l' :: tl ->
+                   if Sympoly.loc_equal l' loc then i + 1 else find (i + 1) tl
+               in
+               find 0 r.Loopanal.privatised
+             in
+             if slot > 0 then
+               Schedule.add_rule b
+                 (Rule.make ~addr:insn_addr ~data:(Int64.of_int slot) ~aux:lid
+                    Rule.MEM_PRIVATISE))
+          r.Loopanal.priv_insns;
+        List.iter
+          (fun insn_addr ->
+             if insn_addr <> iv.Loopanal.cmp_addr then
+               Schedule.add_rule b
+                 (Rule.make ~addr:insn_addr ~data:0L ~aux:lid
+                    Rule.MEM_MAIN_STACK))
+          (List.sort_uniq compare r.Loopanal.main_stack_reads);
+        true
+    end
+  | _ -> false
+
 (** {2 Software prefetching (extension)}
 
     The paper's conclusion names prefetching as another optimisation
@@ -339,13 +430,20 @@ let emit_prefetch_rules b (r : Loopanal.report) =
     (List.sort_uniq compare candidates)
 
 (** Parallelisation schedule for a set of selected loops. *)
-let parallel_schedule ?(prefetch = false) (cfgt : Cfg.t)
+let parallel_schedule ?(prefetch = false) ?(fission = false) (cfgt : Cfg.t)
     (selected : (Loopanal.report * Desc.policy) list) =
   let b = Schedule.builder Schedule.Parallelisation in
   let ok =
     List.filter
       (fun (r, policy) ->
-         let encoded = emit_parallel_rules cfgt b r ~policy in
+         let encoded =
+           match r.Loopanal.cls with
+           | Loopanal.Static_dep _ when fission ->
+             (match Depgraph.plan r with
+              | Some p -> emit_fission_rules cfgt b r p
+              | None -> false)
+           | _ -> emit_parallel_rules cfgt b r ~policy
+         in
          if encoded && prefetch then emit_prefetch_rules b r;
          encoded)
       selected

@@ -26,9 +26,14 @@ val prefetch_distance : int
     subset that could actually be encoded. With [prefetch], each
     encoded loop's strided accesses additionally get MEM_PREFETCH
     rules (software-prefetching extension; pair with
-    [Machine.model_cache] so the hidden latency is modelled). *)
+    [Machine.model_cache] so the hidden latency is modelled). With
+    [fission], a selected Static-Dependence loop is encoded as a
+    LOOP_FISSION schedule when {!Depgraph.plan} finds a distribution
+    into a DOALL product plus a sequential residue (loop-fission
+    extension); without it such loops are dropped as unencodable. *)
 val parallel_schedule :
   ?prefetch:bool ->
+  ?fission:bool ->
   Cfg.t ->
   (Loopanal.report * Desc.policy) list ->
   Schedule.t * Loopanal.report list

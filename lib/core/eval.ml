@@ -650,6 +650,84 @@ let pp_ext_adapt ppf rows =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Extension: SCC-driven loop fission on Static-Dependence loops       *)
+(* ------------------------------------------------------------------ *)
+
+type ext_fission_row = {
+  ef_name : string;
+  ef_base : float;
+  ef_fission : float;
+  ef_rules : int;
+  ef_split : int;
+  ef_verified : int;
+  ef_demoted : int;
+}
+
+(* the mixed chain-plus-stream benchmark the extension targets, plus
+   two well-behaved controls whose schedules must be untouched by the
+   flag (their Static-Dependence loops either do not split or never
+   dominate) *)
+let ext_fission_benchmarks =
+  Suite.adv_fission :: List.filteri (fun i _ -> i < 2) nine
+
+let ext_fission_row ctx (b : Suite.benchmark) =
+  let img = compile ctx b in
+  let native = Janus.run_native ~input:(Suite.ref_input b) img in
+  let go cfg =
+    let p =
+      Janus.prepare ~cfg ~train_input:(Suite.train_input b) ~store:ctx.store
+        img
+    in
+    (p, Janus.run_parallel ~cfg ~input:(Suite.ref_input b) p)
+  in
+  let _, base = go (Janus.config ~threads:4 ()) in
+  let pf, fission = go (Janus.config ~threads:4 ~fission:true ()) in
+  if not (String.equal native.Janus.output fission.Janus.output) then
+    failwith (b.Suite.name ^ ": fission output diverges from native");
+  let rules =
+    Hashtbl.fold
+      (fun _ rs acc ->
+         acc
+         + List.length
+             (List.filter
+                (fun (r : Janus_schedule.Rule.t) ->
+                   r.Janus_schedule.Rule.id = Janus_schedule.Rule.LOOP_FISSION)
+                rs))
+      (Janus_schedule.Schedule.index pf.Janus.p_schedule)
+      0
+  in
+  let counter name =
+    match fission.Janus.obs with
+    | None -> 0
+    | Some obs -> Janus_obs.Obs.counter obs name
+  in
+  {
+    ef_name = b.Suite.name;
+    ef_base = Janus.speedup ~native ~run:base;
+    ef_fission = Janus.speedup ~native ~run:fission;
+    ef_rules = rules;
+    ef_split = counter "fission.split";
+    ef_verified = counter "fission.verified";
+    ef_demoted = counter "fission.demoted";
+  }
+
+let ext_fission ?(ctx = default_ctx) () =
+  par_map ctx (ext_fission_row ctx) ext_fission_benchmarks
+
+let pp_ext_fission ppf rows =
+  Fmt.pf ppf
+    "Extension: SCC-driven loop fission of Static-Dependence loops \
+     (4 threads)@.";
+  Fmt.pf ppf "%-18s %8s %9s %7s %14s %16s %15s@." "benchmark" "Janus"
+    "+fission" "rules" "fission.split" "fission.verified" "fission.demoted";
+  List.iter
+    (fun r ->
+       Fmt.pf ppf "%-18s %8.2f %9.2f %7d %14d %16d %15d@." r.ef_name
+         r.ef_base r.ef_fission r.ef_rules r.ef_split r.ef_verified
+         r.ef_demoted)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* The speculation footprint the paper reports for bwaves (§III-B)     *)
 (* ------------------------------------------------------------------ *)
 

@@ -174,6 +174,27 @@ val ext_adapt : ?ctx:ctx -> unit -> ext_adapt_row list
 
 val pp_ext_adapt : Format.formatter -> ext_adapt_row list -> unit
 
+(** {1 Extension: SCC-driven loop fission (ISSUE 6)} *)
+
+type ext_fission_row = {
+  ef_name : string;
+  ef_base : float;     (** full-Janus speedup, 4 threads, fission off *)
+  ef_fission : float;  (** + SCC-driven fission of Static-Dep loops *)
+  ef_rules : int;      (** LOOP_FISSION rules in the schedule *)
+  ef_split : int;      (** [fission.split]: loops the planner split *)
+  ef_verified : int;   (** [fission.verified]: splits the checker passed *)
+  ef_demoted : int;    (** [fission.demoted]: splits demoted to sequential *)
+}
+
+(** Fission vs. plain execution over {!Suite.adv_fission} — whose
+    dominant loop is Static Dependence overall but carries an
+    independent streaming statement group — plus two well-behaved
+    controls whose schedules the flag must leave alone. Raises
+    [Failure] if a fission run's output diverges from native. *)
+val ext_fission : ?ctx:ctx -> unit -> ext_fission_row list
+
+val pp_ext_fission : Format.formatter -> ext_fission_row list -> unit
+
 (** {1 The bwaves shared-library call footprint (§III-B)} *)
 
 type excall_stats = {

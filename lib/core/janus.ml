@@ -44,6 +44,9 @@ type config = Pipeline.config = {
   stm_everywhere : bool;    (* ablation: transactional worker chunks *)
   prefetch : bool;          (* extension: MEM_PREFETCH rules on the
                                selected loops' strided accesses *)
+  fission : bool;           (* extension: distribute static-dependence
+                               loops into a DOALL product plus a
+                               sequential residue (LOOP_FISSION) *)
   model_cache : bool;       (* charge cold-line misses (pair with
                                prefetch; compare against a native run
                                with the same flag) *)
@@ -221,6 +224,16 @@ let prepare ?(cfg = config ()) ?(train_input = []) ?store image =
   { p_image = image; p_analysis = analysis; p_coverage = coverage;
     p_deps = deps; p_selection = selection; p_schedule = schedule }
 
+(* loop ids carried in the [aux] field of every rule with this id *)
+let rule_loops (schedule : Schedule.t) id =
+  List.filter_map
+    (fun (r : Janus_schedule.Rule.t) ->
+       if r.Janus_schedule.Rule.id = id then
+         Some (Int64.to_int r.Janus_schedule.Rule.aux)
+       else None)
+    schedule.Schedule.rules
+  |> List.sort_uniq compare
+
 (** Stage 3: run the program under the DBM with the parallelisation
     schedule (the "Parallelisation Stage"). *)
 let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
@@ -280,6 +293,26 @@ let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
       Some (Out_of_fuel { addr; loop = Some rt.Runtime.current_loop })
   in
   Runtime.publish_metrics rt obs;
+  (* fission census: how many Static-Dependence loops were examined,
+     how many the schedule split, and how the verifier judged those *)
+  if cfg.fission then begin
+    let considered =
+      List.length
+        (List.filter
+           (fun (r : Loopanal.report) ->
+              match r.Loopanal.cls with
+              | Loopanal.Static_dep _ -> true
+              | _ -> false)
+           p.p_analysis.Analysis.reports)
+    in
+    let split = rule_loops p.p_schedule Janus_schedule.Rule.LOOP_FISSION in
+    let split_demoted = List.filter (fun l -> List.mem l demoted) split in
+    Obs.set obs "fission.considered" considered;
+    Obs.set obs "fission.split" (List.length split);
+    Obs.set obs "fission.demoted" (List.length split_demoted);
+    Obs.set obs "fission.verified"
+      (List.length split - List.length split_demoted)
+  end;
   let selected =
     List.filter
       (fun lid -> not (List.mem lid demoted))
@@ -334,17 +367,14 @@ let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
       stm_access_limit = 4096; stm_everywhere = cfg.stm_everywhere;
       fuel = cfg.fuel }
   in
-  (* the deployed loop set is whatever the shipped schedule initialises *)
-  let rule_loops id =
-    List.filter_map
-      (fun (r : Janus_schedule.Rule.t) ->
-         if r.Janus_schedule.Rule.id = id then
-           Some (Int64.to_int r.Janus_schedule.Rule.aux)
-         else None)
-      schedule.Schedule.rules
-    |> List.sort_uniq compare
+  (* the deployed loop set is whatever the shipped schedule initialises
+     — by LOOP_INIT or by LOOP_FISSION *)
+  let rule_loops id = rule_loops schedule id in
+  let selected =
+    List.sort_uniq compare
+      (rule_loops Janus_schedule.Rule.LOOP_INIT
+       @ rule_loops Janus_schedule.Rule.LOOP_FISSION)
   in
-  let selected = rule_loops Janus_schedule.Rule.LOOP_INIT in
   let governor =
     if cfg.adapt then Some (Adapt.create ~obs ()) else None
   in

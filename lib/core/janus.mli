@@ -44,6 +44,13 @@ type config = Pipeline.config = {
   prefetch : bool;
       (** extension (the paper's future work): MEM_PREFETCH rules on
           the selected loops' strided accesses *)
+  fission : bool;
+      (** extension (Aubert et al.): distribute Static-Dependence
+          loops whose dependence graph splits into a carried-free and
+          a carried part — the DOALL product runs in parallel, the
+          sequential residue follows as a second loop instance. Off by
+          default; when off, schedules are bit-identical to a
+          fission-free build *)
   model_cache : bool;
       (** charge cold-line misses ({!Janus_vx.Cost.cache_miss}); pair
           with [prefetch] and a [run_native ~model_cache:true]
@@ -81,6 +88,7 @@ val config :
   ?force_policy:Desc.policy ->
   ?stm_everywhere:bool ->
   ?prefetch:bool ->
+  ?fission:bool ->
   ?model_cache:bool ->
   ?verify:bool ->
   ?fuel:int ->

@@ -3,6 +3,7 @@
 
 module Analysis = Janus_analysis.Analysis
 module Loopanal = Janus_analysis.Loopanal
+module Depgraph = Janus_analysis.Depgraph
 module Rulegen = Janus_analysis.Rulegen
 module Profiler = Janus_profile.Profiler
 module Schedule = Janus_schedule.Schedule
@@ -22,6 +23,7 @@ type config = {
   force_policy : Desc.policy option;
   stm_everywhere : bool;
   prefetch : bool;
+  fission : bool;
   model_cache : bool;
   verify : bool;
   fuel : int;
@@ -32,11 +34,12 @@ type config = {
 let config ?(threads = 8) ?(use_profile = true) ?(use_checks = true)
     ?(use_doacross = false) ?(cov_threshold = 0.03) ?(trip_threshold = 8.0)
     ?(work_threshold = 2500.0) ?force_policy ?(stm_everywhere = false)
-    ?(prefetch = false) ?(model_cache = false) ?(verify = true)
-    ?(fuel = 400_000_000) ?(trace = false) ?(adapt = false) () =
+    ?(prefetch = false) ?(fission = false) ?(model_cache = false)
+    ?(verify = true) ?(fuel = 400_000_000) ?(trace = false)
+    ?(adapt = false) () =
   { threads; use_profile; use_checks; use_doacross; cov_threshold;
     trip_threshold; work_threshold; force_policy; stm_everywhere;
-    prefetch; model_cache; verify; fuel; trace; adapt }
+    prefetch; fission; model_cache; verify; fuel; trace; adapt }
 
 (* ------------------------------------------------------------------ *)
 (* The artifact store                                                  *)
@@ -156,10 +159,10 @@ let policy_key = function
    execute-stage fields (threads, stm, tracing, cache model) share one
    cached schedule *)
 let selection_key cfg =
-  Printf.sprintf "p=%b;c=%b;da=%b;cov=%h;trip=%h;work=%h;pol=%s;pf=%b"
+  Printf.sprintf "p=%b;c=%b;da=%b;cov=%h;trip=%h;work=%h;pol=%s;pf=%b;fi=%b"
     cfg.use_profile cfg.use_checks cfg.use_doacross cfg.cov_threshold
     cfg.trip_threshold cfg.work_threshold (policy_key cfg.force_policy)
-    cfg.prefetch
+    cfg.prefetch cfg.fission
 
 (* ------------------------------------------------------------------ *)
 (* Stages                                                              *)
@@ -233,6 +236,15 @@ let select ~cfg (analysis : Analysis.t) ~(coverage : Profiler.coverage option)
            chosen := (r, policy) :: !chosen
        in
        match Analysis.eligibility r with
+       (* fission first: a Static-Dependence loop that distributes into
+          a DOALL product plus a sequential residue is worth more than
+          DOACROSS chunk hand-off, and the profile gate still applies *)
+       | (Analysis.Eligible_doacross _ | Analysis.Not_eligible _)
+         when cfg.fission
+              && (match r.Loopanal.cls with
+                  | Loopanal.Static_dep _ -> Depgraph.plan r <> None
+                  | _ -> false) ->
+         accept Desc.Chunked
        | Analysis.Not_eligible reason -> reject reason
        | Analysis.Eligible_dynamic _ when not cfg.use_checks ->
          reject "dynamic loop (checks disabled)"
@@ -271,5 +283,5 @@ let schedule ?(store = default_store) ~cfg ~train_input image
   in
   memo store store.schedules key (fun () ->
       fst
-        (Rulegen.parallel_schedule ~prefetch:cfg.prefetch
+        (Rulegen.parallel_schedule ~prefetch:cfg.prefetch ~fission:cfg.fission
            analysis.Analysis.cfg selection.chosen))

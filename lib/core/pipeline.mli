@@ -42,6 +42,7 @@ type config = {
   force_policy : Desc.policy option;
   stm_everywhere : bool;
   prefetch : bool;
+  fission : bool;
   model_cache : bool;
   verify : bool;
   fuel : int;
@@ -60,6 +61,7 @@ val config :
   ?force_policy:Desc.policy ->
   ?stm_everywhere:bool ->
   ?prefetch:bool ->
+  ?fission:bool ->
   ?model_cache:bool ->
   ?verify:bool ->
   ?fuel:int ->
@@ -143,9 +145,9 @@ val select :
 (** Stage 4 — rewrite-schedule generation for the selected loops.
     Key: image digest + training input + fuel + the selection-relevant
     config fields ([use_profile], [use_checks], [use_doacross], the
-    three thresholds, [force_policy]) + [prefetch] — everything the
-    selection and the rule generator read, so equal keys imply an equal
-    schedule. *)
+    three thresholds, [force_policy]) + [prefetch] + [fission] —
+    everything the selection and the rule generator read, so equal keys
+    imply an equal schedule. *)
 val schedule :
   ?store:store ->
   cfg:config ->

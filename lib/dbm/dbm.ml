@@ -77,6 +77,9 @@ type cache = {
   kind : thread_kind;
   frags : (int, fragment) Hashtbl.t;
   mutable last_indirect : bool;   (* previous fragment ended indirectly *)
+  mutable skip : (int -> bool) option;
+      (* loop fission: addresses this cache's fragments elide (the other
+         sub-loops' instructions); control flow is never elided *)
 }
 
 let create ?schedule ?obs ?(promote_threshold = Cost.trace_head_threshold)
@@ -96,7 +99,8 @@ let create ?schedule ?obs ?(promote_threshold = Cost.trace_head_threshold)
     on_event = (fun _ _ _ _ -> Continue);
   }
 
-let new_cache kind = { kind; frags = Hashtbl.create 256; last_indirect = false }
+let new_cache ?skip kind =
+  { kind; frags = Hashtbl.create 256; last_indirect = false; skip }
 
 (* trace-event thread ids: 0 = main, w+1 = worker w *)
 let tid_of = function Main -> 0 | Worker w -> w + 1
@@ -123,8 +127,8 @@ let applies kind (r : Rule.t) =
   | Main, (Rule.LOOP_UPDATE_BOUND | Rule.MEM_PRIVATISE | Rule.MEM_MAIN_STACK
           | Rule.THREAD_YIELD | Rule.TX_START | Rule.TX_FINISH) -> false
   | Main, _ -> true
-  | Worker _, (Rule.LOOP_INIT | Rule.MEM_BOUNDS_CHECK | Rule.MEM_SPILL_REG
-              | Rule.THREAD_SCHEDULE) -> false
+  | Worker _, (Rule.LOOP_INIT | Rule.LOOP_FISSION | Rule.MEM_BOUNDS_CHECK
+              | Rule.MEM_SPILL_REG | Rule.THREAD_SCHEDULE) -> false
   | Worker _, _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -228,6 +232,13 @@ let prefetch_slots (rs : Rule.t list) insn addr =
 (* Translation                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* does this cache's fission filter elide [insn] at [a]? control flow
+   is never elided — fission replicates it into every sub-loop *)
+let elided (cache : cache) a insn =
+  match cache.skip with
+  | Some f -> f a && not (Insn.is_control_flow insn)
+  | None -> false
+
 (* translate one basic block starting at [addr] into a fragment,
    charging translation cost to [ctx] *)
 let translate t (cache : cache) ctx addr =
@@ -245,9 +256,20 @@ let translate t (cache : cache) ctx addr =
           (fun i r -> if is_transform r then apply_transform r i else i)
           insn rs
       in
-      List.iter (fun s -> slots := s :: !slots) (prefetch_slots rs insn' a);
-      slots := { s_insn = insn'; s_addr = a; s_len = len; s_events = events }
-               :: !slots;
+      if elided cache a insn then begin
+        (* drop the slot outright — control flow is never elided, so
+           fragment exits are unaffected and the elision really is free;
+           an attached event keeps a 1-cycle Nop slot as its anchor *)
+        if events <> [] then
+          slots := { s_insn = Insn.Nop; s_addr = a; s_len = len;
+                     s_events = events }
+                   :: !slots
+      end
+      else begin
+        List.iter (fun s -> slots := s :: !slots) (prefetch_slots rs insn' a);
+        slots := { s_insn = insn'; s_addr = a; s_len = len; s_events = events }
+                 :: !slots
+      end;
       if not (Insn.is_control_flow insn)
          && insn <> Insn.Syscall Insn.sys_exit
       then walk (a + len)
@@ -304,6 +326,13 @@ let promote_trace t (cache : cache) ctx frag =
              (* elide the jump, continue the trace *)
              incr count;
              extend target (blocks + 1)
+           | _ when elided cache a insn ->
+             incr count;
+             if events <> [] then
+               slots := { s_insn = Insn.Nop; s_addr = a; s_len = len;
+                          s_events = events }
+                        :: !slots;
+             if not (Insn.is_control_flow insn) then walk (a + len)
            | _ ->
              incr count;
              List.iter (fun s -> slots := s :: !slots)

@@ -78,6 +78,11 @@ type cache = {
   kind : thread_kind;
   frags : (int, fragment) Hashtbl.t;
   mutable last_indirect : bool;
+  mutable skip : (int -> bool) option;
+      (** loop fission: instruction addresses this cache's fragments
+          elide (translated as zero-length no-ops, so a fissioned
+          sub-loop executes only its own group). Control flow is never
+          elided. *)
 }
 
 (** Create a DBM over a loaded program, indexing the schedule's rules
@@ -87,7 +92,9 @@ type cache = {
 val create :
   ?schedule:Schedule.t -> ?obs:Obs.t -> ?promote_threshold:int -> Program.t -> t
 
-val new_cache : thread_kind -> cache
+(** [new_cache ?skip kind] makes an empty cache; [skip] installs a
+    fission elision filter (see {!cache.skip}). *)
+val new_cache : ?skip:(int -> bool) -> thread_kind -> cache
 
 (** Trace-event thread id of a thread kind: 0 for {!Main}, [w + 1] for
     [Worker w]. *)

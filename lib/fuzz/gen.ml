@@ -37,7 +37,10 @@ let g_span ~asize =
   let* trip = G.int_range 8 (min 24 (asize - lo - 3)) in
   G.pure (lo, trip)
 
-(* --- shape families: each yields (loop, promise_doall) ------------- *)
+(* --- shape families: each yields (loop, promise) where the promise
+   is what the analyser is expected to prove about the loop ---------- *)
+
+type promise = P_none | P_doall | P_fission
 
 let fam_doall ~asize ~arrays ~scalars =
   let* lo, trip = g_span ~asize in
@@ -51,7 +54,7 @@ let fam_doall ~asize ~arrays ~scalars =
            G.pure (Set { arr; ix = At 0; e }))
          dsts)
   in
-  G.pure ({ trip; lo; body; inner = None }, true)
+  G.pure ({ trip; lo; body; inner = None }, P_doall)
 
 let fam_reduction ~asize ~arrays ~scalars:_ =
   let* lo, trip = g_span ~asize in
@@ -59,7 +62,7 @@ let fam_reduction ~asize ~arrays ~scalars:_ =
   let* op = G.oneofl [ Add; Mul ] in
   (* no scalar reads in the reduced expression: scalars:0 *)
   let* e = g_safe_expr ~arrays ~scalars:0 ~avoid:[] in
-  G.pure ({ trip; lo; body = [ Red { s; op; e } ]; inner = None }, false)
+  G.pure ({ trip; lo; body = [ Red { s; op; e } ]; inner = None }, P_none)
 
 let fam_flow ~asize ~arrays ~scalars =
   let* kk = G.int_range 1 3 in
@@ -68,14 +71,14 @@ let fam_flow ~asize ~arrays ~scalars =
   let* arr = G.int_range 0 (arrays - 1) in
   let* e2 = g_safe_expr ~arrays ~scalars ~avoid:[ arr ] in
   let e = { e0 = Elt (arr, At (-kk)); rest = [ (Add, e2.e0) ] } in
-  G.pure ({ trip; lo; body = [ Set { arr; ix = At 0; e } ]; inner = None }, false)
+  G.pure ({ trip; lo; body = [ Set { arr; ix = At 0; e } ]; inner = None }, P_none)
 
 let fam_anti ~asize ~arrays ~scalars:_ =
   let* kk = G.int_range 1 2 in
   let* lo, trip = g_span ~asize in
   let* arr = G.int_range 0 (arrays - 1) in
   let e = { e0 = Elt (arr, At kk); rest = [ (Add, Num 1) ] } in
-  G.pure ({ trip; lo; body = [ Set { arr; ix = At 0; e } ]; inner = None }, false)
+  G.pure ({ trip; lo; body = [ Set { arr; ix = At 0; e } ]; inner = None }, P_none)
 
 let fam_waw ~asize ~arrays ~scalars =
   let* lo, trip = g_span ~asize in
@@ -86,7 +89,7 @@ let fam_waw ~asize ~arrays ~scalars =
     ( { trip; lo;
         body = [ Set { arr; ix = At 0; e = e1 }; Set { arr; ix = At 1; e = e2 } ];
         inner = None },
-      false )
+      P_none )
 
 let fam_fixed ~asize ~arrays ~scalars =
   let* lo, trip = g_span ~asize in
@@ -100,7 +103,7 @@ let fam_fixed ~asize ~arrays ~scalars =
       G.pure [ Set { arr = other; ix = At 0; e = e2 } ]
     else G.pure []
   in
-  G.pure ({ trip; lo; body = Set { arr; ix = Fix c; e } :: extra; inner = None }, false)
+  G.pure ({ trip; lo; body = Set { arr; ix = Fix c; e } :: extra; inner = None }, P_none)
 
 let fam_induction ~asize ~arrays ~scalars =
   let* s = G.int_range 0 (scalars - 1) in
@@ -113,7 +116,7 @@ let fam_induction ~asize ~arrays ~scalars =
     ( { trip; lo;
         body = [ Set { arr; ix = Sv s; e }; Bump { s; c = 1 } ];
         inner = None },
-      false )
+      P_none )
 
 let fam_indirect ~asize ~arrays ~scalars ~iarrays =
   let* b = G.int_range 0 (iarrays - 1) in
@@ -121,7 +124,7 @@ let fam_indirect ~asize ~arrays ~scalars ~iarrays =
   let* trip = G.int_range 8 (min 32 (asize - lo)) in
   let* arr = G.int_range 0 (arrays - 1) in
   let* e = g_safe_expr ~arrays ~scalars ~avoid:[ arr ] in
-  G.pure ({ trip; lo; body = [ Set { arr; ix = Via b; e } ]; inner = None }, false)
+  G.pure ({ trip; lo; body = [ Set { arr; ix = Via b; e } ]; inner = None }, P_none)
 
 let fam_brk ~asize ~arrays ~scalars =
   let* (l, _) = fam_doall ~asize ~arrays ~scalars in
@@ -130,7 +133,7 @@ let fam_brk ~asize ~arrays ~scalars =
   let brk = Brk { arr; ix = At 0; limit } in
   let* first = G.bool in
   let body = if first then brk :: l.body else l.body @ [ brk ] in
-  G.pure ({ l with body }, false)
+  G.pure ({ l with body }, P_none)
 
 let fam_nested ~asize ~arrays ~scalars =
   let* otrip = G.int_range 3 6 in
@@ -150,7 +153,27 @@ let fam_nested ~asize ~arrays ~scalars =
       G.pure [ Set { arr; ix = At 0; e } ]
     else G.pure []
   in
-  G.pure ({ trip = otrip; lo = olo; body = obody; inner = Some inner }, false)
+  G.pure ({ trip = otrip; lo = olo; body = obody; inner = Some inner }, P_none)
+
+(* a genuine carried scalar chain — the accumulator feeds back through
+   its own multiply, so it is not a recognisable reduction — next to an
+   independent streaming store: Static Dependence as a whole, but the
+   dependence graph splits into a carried chain and a carried-free
+   stream, the promised idiom of the LOOP_FISSION extension. The stream
+   must read neither the accumulator nor the chain's source array (the
+   compiler would share the load, and a shared node bridges the two
+   groups into one) *)
+let fam_mixed ~asize ~arrays ~scalars:_ =
+  let* lo, trip = g_span ~asize in
+  let* csrc = G.int_range 0 (arrays - 1) in
+  let sdst = (csrc + 1) mod arrays in
+  let chain =
+    Red { s = 0; op = Add;
+          e = { e0 = Scl 0; rest = [ (Mul, Num 3); (Add, Elt (csrc, At 0)) ] } }
+  in
+  let* e = g_safe_expr ~arrays ~scalars:0 ~avoid:[ csrc; sdst ] in
+  let stream = Set { arr = sdst; ix = At 0; e } in
+  G.pure ({ trip; lo; body = [ chain; stream ]; inner = None }, P_fission)
 
 (* ------------------------------------------------------------------ *)
 
@@ -177,7 +200,7 @@ let uniquify ~asize loops =
       else Some (l, p))
     loops
 
-let kernel : Kernel.t G.t =
+let kernel_with ~mixed : Kernel.t G.t =
   let* asize = G.oneofl [ 32; 48; 64 ] in
   let* arrays = G.int_range 2 4 in
   let* scalars = G.int_range 1 3 in
@@ -199,7 +222,8 @@ let kernel : Kernel.t G.t =
       (1, fam_fixed ~asize ~arrays ~scalars);
       (1, fam_induction ~asize ~arrays ~scalars);
       (1, fam_brk ~asize ~arrays ~scalars);
-      (1, fam_nested ~asize ~arrays ~scalars) ]
+      (1, fam_nested ~asize ~arrays ~scalars);
+      ((if mixed then 8 else 1), fam_mixed ~asize ~arrays ~scalars) ]
     @ if niarr > 0 then [ (2, fam_indirect ~asize ~arrays ~scalars ~iarrays:niarr) ] else []
   in
   let* loops = G.list_size (G.pure nloops) (G.frequency fams) in
@@ -218,19 +242,29 @@ let kernel : Kernel.t G.t =
   let loops = uniquify ~asize loops in
   (* promises only in call-free kernels: address-taken arrays can
      legitimately make the analyser conservative about DOALL proofs *)
-  let expect_doall =
+  (* labels only in call-free kernels for the same reason *)
+  let keys_of p =
     if call = None then
-      List.filter_map (fun (l, p) -> if p then Some (l.lo + l.trip) else None) loops
+      List.filter_map
+        (fun (l, q) -> if q = p then Some (l.lo + l.trip) else None)
+        loops
     else []
   in
+  let expect_doall = keys_of P_doall in
+  let expect_fission = keys_of P_fission in
   G.pure
-    { asize; arrays; scalars; iarrays; loops = List.map fst loops; call; expect_doall }
+    { asize; arrays; scalars; iarrays; loops = List.map fst loops; call;
+      expect_doall; expect_fission }
 
-let sample rand =
+let kernel = kernel_with ~mixed:false
+let kernel_mixed = kernel_with ~mixed:true
+
+let sample ?(mixed = false) rand =
+  let gen = if mixed then kernel_mixed else kernel in
   let rec go n =
     if n = 0 then failwith "Gen.sample: no valid kernel in 200 draws"
     else
-      let k = G.generate1 ~rand kernel in
+      let k = G.generate1 ~rand gen in
       if Kernel.valid k then k else go (n - 1)
   in
   go 200

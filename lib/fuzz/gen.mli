@@ -3,21 +3,30 @@
     DOALL stores, reductions, cross-iteration flow/anti/output
     dependences, loop-invariant cells, secondary-induction indexing,
     indirect [a\[b\[i\]\]] accesses, data-dependent early exits,
-    two-deep nests and may-alias calls.
+    two-deep nests, may-alias calls, and mixed chain-plus-stream bodies
+    (the loop-fission idiom).
 
     The [doall] family additionally {e promises} its loops
     ([Kernel.expect_doall]) when the kernel has no may-alias call, so
     the oracle exercises the promise-broken direction as well as the
-    misclassification direction. Generated kernels are occasionally
-    invalid (index fell out of bounds after composition); {!sample}
-    retries until {!Kernel.valid} holds. *)
+    misclassification direction; the [mixed] family promises its loops
+    fissionable ([Kernel.expect_fission]) under the same condition.
+    Generated kernels are occasionally invalid (index fell out of
+    bounds after composition); {!sample} retries until {!Kernel.valid}
+    holds. *)
 
 (** May produce invalid kernels; callers filter with {!Kernel.valid}
     (the QCheck2 properties use [assume]). *)
 val kernel : Kernel.t QCheck2.Gen.t
 
-(** Draw from {!kernel} until valid (bounded retries).
+(** Like {!kernel} but heavily weighted towards the mixed
+    chain-plus-stream family, so most kernels carry an
+    [expect_fission] label — the fission extension's fuzzing mode. *)
+val kernel_mixed : Kernel.t QCheck2.Gen.t
+
+(** Draw from {!kernel} (or {!kernel_mixed} when [mixed]) until valid
+    (bounded retries).
     @raise Failure if no valid kernel appears within the retry budget
     (a generator bug, not bad luck — the families are tuned so most
     draws are valid). *)
-val sample : Random.State.t -> Kernel.t
+val sample : ?mixed:bool -> Random.State.t -> Kernel.t

@@ -22,6 +22,7 @@ type t = {
   loops : loop list;
   call : call option;
   expect_doall : int list;
+  expect_fission : int list;
 }
 
 exception Invalid of string
@@ -136,6 +137,12 @@ let validate (k : t) =
   List.iter
     (fun e -> if not (List.mem e keys) then fail "expect_doall key %d unknown" e)
     k.expect_doall;
+  List.iter
+    (fun e ->
+      if not (List.mem e keys) then fail "expect_fission key %d unknown" e;
+      if List.mem e k.expect_doall then
+        fail "key %d both expect_doall and expect_fission" e)
+    k.expect_fission;
   (match k.call with
   | None -> ()
   | Some c ->
@@ -551,7 +558,10 @@ let to_string (k : t) =
         @ (match k.call with
           | Some c -> [ field "call" (ints [ c.cdst; c.csrc; c.coff; c.cadd; c.ctrip ]) ]
           | None -> [])
-        @ match k.expect_doall with [] -> [] | e -> [ field "expect" (ints e) ]));
+        @ (match k.expect_doall with [] -> [] | e -> [ field "expect" (ints e) ])
+        @ match k.expect_fission with
+          | [] -> []
+          | e -> [ field "expect-fission" (ints e) ]));
   Buffer.add_char b '\n';
   Buffer.contents b
 
@@ -561,7 +571,7 @@ let of_string src =
     let k =
       ref
         { asize = 0; arrays = 0; scalars = 0; iarrays = []; loops = [];
-          call = None; expect_doall = [] }
+          call = None; expect_doall = []; expect_fission = [] }
     in
     List.iter
       (fun f ->
@@ -578,6 +588,8 @@ let of_string src =
                    Some { cdst = int_of d; csrc = int_of s; coff = int_of o;
                           cadd = int_of a; ctrip = int_of t } }
         | L (A "expect" :: es) -> k := { !k with expect_doall = List.map int_of es }
+        | L (A "expect-fission" :: es) ->
+          k := { !k with expect_fission = List.map int_of es }
         | _ -> invalid "unknown kernel field")
       fields;
     !k

@@ -76,6 +76,12 @@ type t = {
           to prove, and the oracle fails a kernel whose promise is not
           met (which is also how a deliberately mislabelled kernel
           demonstrates the oracle can catch bugs) *)
+  expect_fission : int list;
+      (** bound keys of loops promised to be {e fissionable}: Static
+          Dependence overall (a genuine carried chain) but with an
+          independent carried-free statement group, so the analyser run
+          with [~fission] must split out a parallel product; disjoint
+          from [expect_doall] *)
 }
 
 (** {1 Validity and ground truth} *)

@@ -3,6 +3,9 @@ module Pipeline = Janus_core.Pipeline
 module Analysis = Janus_analysis.Analysis
 module Loopanal = Janus_analysis.Loopanal
 module Verify = Janus_verify.Verify
+module Rule = Janus_schedule.Rule
+module Schedule = Janus_schedule.Schedule
+module Looptree = Janus_analysis.Looptree
 
 type failure = { f_check : string; f_detail : string }
 type outcome = Pass | Skip of string | Fail of failure list
@@ -173,6 +176,57 @@ let check ?(threads = default_threads) (k : Kernel.t) =
         (* the adaptive governor must preserve semantics too *)
         check_run "adaptive"
           (Janus.run_parallel ~cfg:(cfg ~threads:4 ~adapt:true) prepared);
+        (* the fission extension: same architectural state at 1 and 4
+           threads, and every promised-fissionable loop must actually
+           split and survive the verifier *)
+        let fission_cfg ~threads =
+          Janus.config ~threads ~cov_threshold:0.0 ~trip_threshold:0.0
+            ~work_threshold:0.0 ~verify:true ~fission:true ()
+        in
+        let fprepared =
+          Janus.prepare ~cfg:(fission_cfg ~threads:4) ~store img
+        in
+        check_run "fission-1t"
+          (Janus.run_parallel ~cfg:(fission_cfg ~threads:1) fprepared);
+        let rf = Janus.run_parallel ~cfg:(fission_cfg ~threads:4) fprepared in
+        check_run "fission-4t" rf;
+        (match k.Kernel.expect_fission with
+        | [] -> ()
+        | keys ->
+          let fission_lids =
+            List.filter_map
+              (fun (r : Rule.t) ->
+                if r.Rule.id = Rule.LOOP_FISSION then
+                  Some (Int64.to_int r.Rule.aux)
+                else None)
+              fprepared.Janus.p_schedule.Schedule.rules
+          in
+          List.iter
+            (fun key ->
+              let split =
+                List.filter_map
+                  (fun (r : Loopanal.report) ->
+                    let lid = r.Loopanal.loop.Looptree.lid in
+                    if report_key r = Some key && List.mem lid fission_lids
+                    then Some lid
+                    else None)
+                  fprepared.Janus.p_analysis.Analysis.reports
+              in
+              if split = [] then
+                fail "fission-promise-broken"
+                  "loop with bound %d was promised fissionable but no \
+                   variant got a LOOP_FISSION rule"
+                  key
+              else if
+                List.for_all
+                  (fun l -> List.mem l rf.Janus.demoted_loops)
+                  split
+              then
+                fail "fission-demoted"
+                  "loop with bound %d split but every fission schedule \
+                   was demoted by the verifier"
+                  key)
+            keys);
         (* determinism: same prepared pipeline, cold store then warm *)
         let r1 = Janus.run_parallel ~cfg:base prepared in
         let r2 = Janus.run_parallel ~cfg:base prepared in
@@ -213,4 +267,5 @@ let mislabelled : Kernel.t =
     loops = [ { Kernel.trip = 20; lo = 1; body; inner = None } ];
     call = None;
     expect_doall = [ 21 ];
+    expect_fission = [];
   }

@@ -48,7 +48,9 @@ let candidates (k : t) =
            let l = List.nth k.loops i in
            [ { k with loops = drop_at i k.loops;
                expect_doall =
-                 List.filter (fun key -> key <> l.lo + l.trip) k.expect_doall } ]
+                 List.filter (fun key -> key <> l.lo + l.trip) k.expect_doall;
+               expect_fission =
+                 List.filter (fun key -> key <> l.lo + l.trip) k.expect_fission } ]
            @ (match l.inner with
              | Some inner ->
                [ { k with loops = mapi_at i (fun _ -> inner) k.loops };
@@ -57,22 +59,31 @@ let candidates (k : t) =
   in
   let call = match k.call with Some _ -> [ { k with call = None } ] | None -> [] in
   let stmts =
+    (* dropping a statement can turn a promised-fissionable body into a
+       plain DOALL one, so the fission label is void for that loop *)
+    let unfission (l : loop) k =
+      { k with
+        expect_fission =
+          List.filter (fun key -> key <> l.lo + l.trip) k.expect_fission }
+    in
     List.concat
       (List.init n (fun i ->
            let l = List.nth k.loops i in
            List.init (List.length l.body) (fun j ->
-               { k with loops = mapi_at i (fun l -> { l with body = drop_at j l.body }) k.loops })
+               unfission l
+                 { k with loops = mapi_at i (fun l -> { l with body = drop_at j l.body }) k.loops })
            @
            match l.inner with
            | None -> []
            | Some inner ->
              List.init (List.length inner.body) (fun j ->
-                 { k with
-                   loops =
-                     mapi_at i
-                       (fun l ->
-                         { l with
-                           inner = Some { inner with body = drop_at j inner.body } })
+                 unfission inner
+                   { k with
+                     loops =
+                       mapi_at i
+                         (fun l ->
+                           { l with
+                             inner = Some { inner with body = drop_at j inner.body } })
                        k.loops })))
   in
   let trips =
@@ -87,7 +98,11 @@ let candidates (k : t) =
                   expect_doall =
                     rekey ~old_key:(l.lo + l.trip)
                       ~new_key:(l.lo + max 1 (l.trip / 2))
-                      k.expect_doall } ]
+                      k.expect_doall;
+                  expect_fission =
+                    rekey ~old_key:(l.lo + l.trip)
+                      ~new_key:(l.lo + max 1 (l.trip / 2))
+                      k.expect_fission } ]
             else [])
            @
            match l.inner with
@@ -97,7 +112,11 @@ let candidates (k : t) =
                  expect_doall =
                    rekey ~old_key:(inner.lo + inner.trip)
                      ~new_key:(inner.lo + max 1 (inner.trip / 2))
-                     k.expect_doall } ]
+                     k.expect_doall;
+                 expect_fission =
+                   rekey ~old_key:(inner.lo + inner.trip)
+                     ~new_key:(inner.lo + max 1 (inner.trip / 2))
+                     k.expect_fission } ]
            | _ -> []))
   in
   let exprs =

@@ -43,6 +43,11 @@ type t = {
   loop_sequential : (int, bool) Hashtbl.t;  (* check failed: run serial *)
   loop_in_seq : (int, bool) Hashtbl.t;  (* currently running serially *)
   loop_invocations : (int, int) Hashtbl.t;
+  fission_caches : (int * int, Dbm.cache array) Hashtbl.t;
+  (* (loop id, phase) -> worker caches whose skip filter elides the
+     other sub-loops' instructions; built on first use, then reused
+     across invocations like the ordinary worker caches *)
+  mutable fission_phases : int;  (* sub-loop instances executed *)
   mutable current_loop : int;  (* loop id the workers are executing *)
   skip_tx : (int * int, unit) Hashtbl.t;
   (* (worker, call addr): re-execute non-speculatively after abort.
@@ -127,6 +132,8 @@ let create ?(config = default_config) ?adapt (dbm : Dbm.t) =
       loop_sequential = Hashtbl.create 8;
       loop_in_seq = Hashtbl.create 8;
       loop_invocations = Hashtbl.create 8;
+      fission_caches = Hashtbl.create 8;
+      fission_phases = 0;
       current_loop = -1;
       skip_tx = Hashtbl.create 16;
       stm_overflows = 0;
@@ -283,19 +290,37 @@ let rr_chunks ~init ~step ~trips ~threads ~block =
   done;
   chunks
 
-let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
-    ~bound_adjust =
+(* [caches] substitutes the runtime's worker caches (fission phases run
+   against caches that elide the other sub-loops); [max_threads] caps
+   the invocation's parallelism (a sequential residue runs with 1);
+   [iv_range] supplies a pre-evaluated (init, bound) — a later fission
+   phase must not re-evaluate [iv_init] against registers the earlier
+   phases already advanced *)
+let run_parallel_loop ?caches ?max_threads ?iv_range t (main : Machine.t)
+    (desc : Desc.loop_desc) ~bound_adjust =
   t.current_loop <- desc.Desc.loop_id;
   let stats = t.dbm.Dbm.stats in
   let env = rexpr_env main in
-  let init = Rexpr.eval env desc.Desc.iv_init in
-  let bound = Rexpr.eval env desc.Desc.iv_bound in
+  let init, bound =
+    match iv_range with
+    | Some (i, b) -> (i, b)
+    | None ->
+      (Rexpr.eval env desc.Desc.iv_init, Rexpr.eval env desc.Desc.iv_bound)
+  in
   let step = desc.Desc.iv_step in
   let cond = desc.Desc.iv_cond in
   let trips = trip_count ~init ~bound ~step ~cond in
   if trips <= 0 then `Sequential
   else begin
-    let threads = min t.config.threads (max 1 trips) in
+    let worker_caches =
+      match caches with Some c -> c | None -> t.worker_caches
+    in
+    let thread_cap =
+      match max_threads with
+      | Some m -> min m t.config.threads
+      | None -> t.config.threads
+    in
+    let threads = min thread_cap (max 1 trips) in
     (match obs t with
      | Some o when Obs.tracing o ->
        Obs.emit o ~tid:0 ~ts:main.Machine.cycles
@@ -404,7 +429,7 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
                if t.config.stm_everywhere then Some (Machine.start_txn ctx)
                else None
              in
-             (match Dbm.run ~fuel:t.config.fuel t.dbm t.worker_caches.(w) ctx with
+             (match Dbm.run ~fuel:t.config.fuel t.dbm worker_caches.(w) ctx with
               | `Yielded -> ()
               | `Halted -> raise (Worker_escaped w)
               | `Out_of_fuel addr -> raise (Worker_out_of_fuel (w, addr)));
@@ -535,6 +560,66 @@ let run_parallel_loop t (main : Machine.t) (desc : Desc.loop_desc)
     | e :: _ -> `Parallel e
     | [] -> `Sequential
   end
+
+(* ------------------------------------------------------------------ *)
+(* Loop fission (extension)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute a fissioned loop: each sub-loop group runs as one
+   consecutive full-range loop instance over the original body, with
+   the other groups' instructions elided from its code caches. The
+   DOALL product uses every thread; the sequential residue runs on
+   one. Phases share no dependence (groups are dependence-disjoint by
+   construction), so each phase's final context threads into the next
+   through the ordinary last-worker context copy. *)
+let run_fission t (main : Machine.t) (fd : Desc.fission_desc) =
+  let desc = fd.Desc.fd_loop in
+  let lid = desc.Desc.loop_id in
+  let env = rexpr_env main in
+  let init = Rexpr.eval env desc.Desc.iv_init in
+  let bound = Rexpr.eval env desc.Desc.iv_bound in
+  let all_insns =
+    List.concat_map (fun (g : Desc.fission_group) -> g.Desc.fg_insns)
+      fd.Desc.fd_groups
+  in
+  let result = ref `Sequential in
+  let aborted = ref false in
+  List.iteri
+    (fun i (g : Desc.fission_group) ->
+       if not !aborted then begin
+         let caches =
+           match Hashtbl.find_opt t.fission_caches (lid, i) with
+           | Some c -> c
+           | None ->
+             let others =
+               List.filter
+                 (fun a -> not (List.mem a g.Desc.fg_insns))
+                 all_insns
+             in
+             let skip a = List.mem a others in
+             let c =
+               Array.init t.config.threads (fun w ->
+                   Dbm.new_cache ~skip (Dbm.Worker w))
+             in
+             Hashtbl.replace t.fission_caches (lid, i) c;
+             c
+         in
+         let max_threads = if g.Desc.fg_parallel then None else Some 1 in
+         t.fission_phases <- t.fission_phases + 1;
+         match
+           run_parallel_loop ~caches ?max_threads ~iv_range:(init, bound) t
+             main desc ~bound_adjust:desc.Desc.iv_bound_adjust
+         with
+         | `Sequential ->
+           (* only a degenerate trip count lands here, and it does so
+              on the first phase — nothing has executed yet, so the
+              whole invocation falls back to sequential execution *)
+           result := `Sequential;
+           aborted := true
+         | `Parallel e -> result := `Parallel e
+       end)
+    fd.Desc.fd_groups;
+  !result
 
 (* ------------------------------------------------------------------ *)
 (* STM boundaries (§II-E2, §II-E3)                                     *)
@@ -671,9 +756,12 @@ let handler t (_dbm : Dbm.t) kind (ctx : Machine.t) (r : Rule.t) : Dbm.action =
         end;
         Dbm.Continue
     end
-  | Dbm.Main, Rule.LOOP_INIT -> begin
+  | Dbm.Main, (Rule.LOOP_INIT | Rule.LOOP_FISSION) -> begin
       (* a fresh invocation: drop any stale skip-speculation entries a
-         previous invocation's aborts left behind *)
+         previous invocation's aborts left behind. LOOP_FISSION shares
+         this whole path — its descriptor begins with an ordinary loop
+         descriptor, so [Schedule.loop_desc] decodes the governed-loop
+         half, and only the execution call differs. *)
       Hashtbl.reset t.skip_tx;
       match t.dbm.Dbm.schedule with
       | None -> Dbm.Continue
@@ -749,8 +837,19 @@ let handler t (_dbm : Dbm.t) kind (ctx : Machine.t) (r : Rule.t) : Dbm.action =
             let commits0 = stats.Dbm.stm_commits in
             let aborts0 = stats.Dbm.stm_aborts in
             let inv_t0 = ctx.Machine.cycles in
-            match run_parallel_loop t ctx desc
-                    ~bound_adjust:desc.Desc.iv_bound_adjust with
+            let outcome =
+              match r.Rule.id with
+              | Rule.LOOP_FISSION ->
+                let fd = Schedule.fission_desc sched r.Rule.data in
+                (match obs t with
+                 | Some o -> Obs.incr o "rt.fission_invocations"
+                 | None -> ());
+                run_fission t ctx fd
+              | _ ->
+                run_parallel_loop t ctx desc
+                  ~bound_adjust:desc.Desc.iv_bound_adjust
+            in
+            match outcome with
             | `Sequential ->
               Hashtbl.replace t.loop_in_seq lid true;
               Dbm.Continue
@@ -803,6 +902,7 @@ let publish_metrics t o =
     (fun lid n -> Obs.set o (Printf.sprintf "loop.%d.invocations" lid) n)
     t.loop_invocations;
   Obs.set o "rt.stm_overflows" t.stm_overflows;
+  Obs.set o "rt.fission_phases" t.fission_phases;
   (* most check evaluations ever attributed to one invocation: > 1
      would mean the per-invocation stats leaked across LOOP_INITs *)
   Obs.set o "rt.max_inv_checks" t.max_inv_checks;

@@ -43,6 +43,13 @@ type t = {
   loop_in_seq : (int, bool) Hashtbl.t;
       (** loop id -> currently inside a sequential-fallback invocation *)
   loop_invocations : (int, int) Hashtbl.t;
+  fission_caches : (int * int, Dbm.cache array) Hashtbl.t;
+      (** (loop id, phase) -> worker caches whose skip filter elides
+          the other fission sub-loops' instructions; built on first
+          use, then reused across invocations *)
+  mutable fission_phases : int;
+      (** fission sub-loop instances executed; published as
+          [rt.fission_phases] *)
   mutable current_loop : int;  (** loop id the workers are executing *)
   skip_tx : (int * int, unit) Hashtbl.t;
       (** (worker, call addr) pairs re-executing non-speculatively
@@ -133,10 +140,24 @@ exception Worker_escaped of int
 (** A worker exhausted its DBM fuel at (worker, application address). *)
 exception Worker_out_of_fuel of int * int
 
-(** Execute one selected loop in parallel from the main context. *)
+(** Execute one selected loop in parallel from the main context.
+    [caches] substitutes the runtime's worker caches (fission phases
+    pass caches that elide the other sub-loops), [max_threads] caps
+    the invocation's parallelism, and [iv_range] supplies a
+    pre-evaluated (init, bound) pair instead of re-evaluating the
+    descriptor's expressions against the current context. *)
 val run_parallel_loop :
+  ?caches:Dbm.cache array ->
+  ?max_threads:int ->
+  ?iv_range:int64 * int64 ->
   t -> Machine.t -> Desc.loop_desc -> bound_adjust:int64 ->
   [ `Parallel of int | `Sequential ]
+
+(** Execute a fissioned loop (LOOP_FISSION): every sub-loop group runs
+    as one consecutive full-range loop instance — the DOALL product on
+    all threads, the sequential residue on one. *)
+val run_fission :
+  t -> Machine.t -> Desc.fission_desc -> [ `Parallel of int | `Sequential ]
 
 (** Mirror runtime state (per-loop invocation counts as
     [loop.<id>.invocations], [rt.stm_overflows]) and the DBM's stats

@@ -59,6 +59,27 @@ type check_desc = {
   ranges : array_range list;
 }
 
+(** One fissioned sub-loop: the body instruction addresses it keeps
+    (every other body instruction is skipped during translation) and
+    whether the sub-loop is dependence-free, i.e. runs DOALL across
+    worker threads rather than as a single-threaded residue. *)
+type fission_group = {
+  fg_insns : int list;   (* body instruction addresses kept by this group *)
+  fg_parallel : bool;    (* DOALL product (true) or sequential residue *)
+}
+
+(** A loop-fission rewrite (Aubert et al.): the loop of [fd_loop] is
+    distributed into [fd_groups] consecutive full-range sub-loop
+    instances. [fd_infra] (induction updates, the governing compare and
+    control flow) is replicated into every sub-loop; the groups
+    partition the remaining body instructions with no dependence edges
+    between groups, so no cross-group temporaries are needed. *)
+type fission_desc = {
+  fd_loop : loop_desc;
+  fd_infra : int list;
+  fd_groups : fission_group list;
+}
+
 (** Number of pairwise range comparisons the check performs — the
     quantity reported per loop in Table I. *)
 let check_pairs c =
@@ -248,3 +269,24 @@ let read_check_desc bytes pos =
         { base; extent; width; written })
   in
   { check_loop_id; ranges }
+
+let write_fission_desc buf f =
+  write_loop_desc buf f.fd_loop;
+  write_list buf (fun b a -> write_int b a) f.fd_infra;
+  write_list buf
+    (fun b g ->
+       write_list b (fun b a -> write_int b a) g.fg_insns;
+       Buffer.add_char b (if g.fg_parallel then '\001' else '\000'))
+    f.fd_groups
+
+let read_fission_desc bytes pos =
+  let fd_loop = read_loop_desc bytes pos in
+  let fd_infra = read_list bytes pos read_int in
+  let fd_groups =
+    read_list bytes pos (fun b p ->
+        let fg_insns = read_list b p read_int in
+        let fg_parallel = Char.code (Bytes.get b !p) <> 0 in
+        incr p;
+        { fg_insns; fg_parallel })
+  in
+  { fd_loop; fd_infra; fd_groups }

@@ -56,6 +56,26 @@ type check_desc = {
   ranges : array_range list;
 }
 
+(** One fissioned sub-loop: the body instruction addresses it keeps
+    (all other body instructions are skipped during translation) and
+    whether it is dependence-free — a DOALL product — or the
+    single-threaded sequential residue. *)
+type fission_group = {
+  fg_insns : int list;
+  fg_parallel : bool;
+}
+
+(** A loop-fission rewrite: [fd_loop]'s body is distributed into
+    [fd_groups] consecutive full-range sub-loop instances, with
+    [fd_infra] (induction updates, governing compare, control flow)
+    replicated into every sub-loop. Groups partition the remaining
+    body instructions and have no dependence edges between them. *)
+type fission_desc = {
+  fd_loop : loop_desc;
+  fd_infra : int list;
+  fd_groups : fission_group list;
+}
+
 (** Number of pairwise range comparisons the check performs — the
     quantity reported per loop in Table I. *)
 val check_pairs : check_desc -> int
@@ -70,3 +90,5 @@ val write_loop_desc : Buffer.t -> loop_desc -> unit
 val read_loop_desc : bytes -> int ref -> loop_desc
 val write_check_desc : Buffer.t -> check_desc -> unit
 val read_check_desc : bytes -> int ref -> check_desc
+val write_fission_desc : Buffer.t -> fission_desc -> unit
+val read_fission_desc : bytes -> int ref -> fission_desc

@@ -27,6 +27,10 @@ type id =
   | MEM_PREFETCH
       (* extension (§VII): insert a software-prefetch hint before a
          strided access; data = byte distance ahead of the access *)
+  | LOOP_FISSION
+      (* extension (Aubert et al.): distribute a statically dependent
+         loop into independent sub-loops run as consecutive instances;
+         data = byte offset of a fission descriptor, aux = loop id *)
 
 let all_ids =
   [
@@ -34,7 +38,7 @@ let all_ids =
     PROF_EXCALL_FINISH; PROF_MEM_ACCESS; THREAD_SCHEDULE; THREAD_YIELD;
     LOOP_INIT; LOOP_FINISH; LOOP_UPDATE_BOUND; MEM_MAIN_STACK;
     MEM_PRIVATISE; MEM_BOUNDS_CHECK; MEM_SPILL_REG; MEM_RECOVER_REG;
-    TX_START; TX_FINISH; MEM_PREFETCH;
+    TX_START; TX_FINISH; MEM_PREFETCH; LOOP_FISSION;
   ]
 
 let id_to_int = function
@@ -57,6 +61,7 @@ let id_to_int = function
   | TX_START -> 16
   | TX_FINISH -> 17
   | MEM_PREFETCH -> 18
+  | LOOP_FISSION -> 19
 
 let id_of_int = function
   | 0 -> PROF_LOOP_START
@@ -78,6 +83,7 @@ let id_of_int = function
   | 16 -> TX_START
   | 17 -> TX_FINISH
   | 18 -> MEM_PREFETCH
+  | 19 -> LOOP_FISSION
   | n -> invalid_arg (Printf.sprintf "Rule.id_of_int %d" n)
 
 let id_name = function
@@ -100,6 +106,7 @@ let id_name = function
   | TX_START -> "TX_START"
   | TX_FINISH -> "TX_FINISH"
   | MEM_PREFETCH -> "MEM_PREFETCH"
+  | LOOP_FISSION -> "LOOP_FISSION"
 
 let is_profiling = function
   | PROF_LOOP_START | PROF_LOOP_FINISH | PROF_LOOP_ITER
@@ -107,7 +114,7 @@ let is_profiling = function
   | THREAD_SCHEDULE | THREAD_YIELD | LOOP_INIT | LOOP_FINISH
   | LOOP_UPDATE_BOUND | MEM_MAIN_STACK | MEM_PRIVATISE | MEM_BOUNDS_CHECK
   | MEM_SPILL_REG | MEM_RECOVER_REG | TX_START | TX_FINISH
-  | MEM_PREFETCH -> false
+  | MEM_PREFETCH | LOOP_FISSION -> false
 
 type t = {
   addr : int;     (* application address where the rule triggers *)

@@ -4,7 +4,8 @@
     schedule's data section. *)
 
 (** The rule identifiers: the 18 of Fig. 3 (six profiling rules,
-    twelve parallelisation rules) plus the MEM_PREFETCH extension. *)
+    twelve parallelisation rules) plus the MEM_PREFETCH and
+    LOOP_FISSION extensions. *)
 type id =
   | PROF_LOOP_START
   | PROF_LOOP_FINISH
@@ -27,6 +28,10 @@ type id =
   | MEM_PREFETCH
       (* extension (§VII): insert a software-prefetch hint before a
          strided access; data = byte distance ahead of the access *)
+  | LOOP_FISSION
+      (* extension (Aubert et al.): distribute a statically dependent
+         loop into independent sub-loops run as consecutive instances;
+         data = byte offset of a fission descriptor, aux = loop id *)
 
 val all_ids : id list
 val id_to_int : id -> int

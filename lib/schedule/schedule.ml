@@ -37,6 +37,11 @@ let add_check_desc b c =
   Desc.write_check_desc b.pool c;
   off
 
+let add_fission_desc b f =
+  let off = Buffer.length b.pool in
+  Desc.write_fission_desc b.pool f;
+  off
+
 let build b =
   let rules =
     List.stable_sort (fun a c -> compare a.Rule.addr c.Rule.addr)
@@ -51,6 +56,9 @@ let loop_desc t off =
 
 let check_desc t off =
   Desc.read_check_desc t.data (ref (Int64.to_int off))
+
+let fission_desc t off =
+  Desc.read_fission_desc t.data (ref (Int64.to_int off))
 
 (** Rules indexed by trigger address, preserving schedule order for
     same-address rules (transformation order is defined by the static

@@ -25,6 +25,7 @@ val add_rule : builder -> Rule.t -> unit
 val add_loop_desc : builder -> Desc.loop_desc -> int
 
 val add_check_desc : builder -> Desc.check_desc -> int
+val add_fission_desc : builder -> Desc.fission_desc -> int
 
 (** Finish: sorts rules by address, preserving insertion order within
     one address (transformation order is defined by the analyser,
@@ -35,6 +36,7 @@ val build : builder -> t
 
 val loop_desc : t -> int64 -> Desc.loop_desc
 val check_desc : t -> int64 -> Desc.check_desc
+val fission_desc : t -> int64 -> Desc.fission_desc
 
 (** Rules indexed by trigger address (the DBM's rule hash table). *)
 val index : t -> (int, Rule.t list) Hashtbl.t

@@ -1101,6 +1101,43 @@ let adv_stable =
        }";
   }
 
+(* adv.fission: a Static-Dependence hot loop whose body mixes a genuine
+   carried scalar chain (s = s*3 + a[i], not a recognised reduction:
+   the multiply poisons the associativity argument) with streaming
+   writes to an unrelated array. Whole-loop parallelisation is unsound,
+   but the dependence graph splits into a carried component (the chain)
+   and a carried-free one (the stream), so fission can run the stream
+   as a DOALL product and the chain as a sequential residue. *)
+let adv_fission =
+  {
+    name = "adv.fission";
+    parallelisable = false;
+    train_scale = 6L;
+    ref_scale = 40L;
+    source =
+      "int a[2048]; int b[2048]; int c[2048];\n\
+       int main() {\n\
+       \  int reps = read_int();\n\
+       \  int n = 2048;\n\
+       \  for (int i = 0; i < n; i++) {\n\
+       \    a[i] = (i * 7 + 3) % 101;\n\
+       \    b[i] = 0;\n\
+       \    c[i] = (i * 5 + 1) % 97;\n\
+       \  }\n\
+       \  int s = 1;\n\
+       \  for (int t = 0; t < reps; t++) {\n\
+       \    for (int i = 0; i < 2048; i++) {\n\
+       \      s = s * 3 + a[i];\n\
+       \      b[i] = c[i] * 2 + t;\n\
+       \    }\n\
+       \  }\n\
+       \  print_int(s);\n\
+       \  print_int(b[5]);\n\
+       \  print_int(b[2000]);\n\
+       \  return 0;\n\
+       }";
+  }
+
 let adversarial = [ adv_alias; adv_stable ]
 
 let sixteen =
@@ -1115,7 +1152,9 @@ let all =
     xalancbmk ]
 
 let find name =
-  List.find_opt (fun b -> String.equal b.name name) (all @ adversarial)
+  List.find_opt
+    (fun b -> String.equal b.name name)
+    (all @ adversarial @ [ adv_fission ])
 
 let find_exn name =
   match find name with

@@ -50,6 +50,13 @@ val sixteen : benchmark list
     saw. *)
 val adversarial : benchmark list
 
+(** [adv.fission] (also findable by name): a Static-Dependence hot loop
+    mixing a carried scalar chain with independent streaming writes —
+    unsound to parallelise whole, but splittable by loop fission into a
+    DOALL product plus a sequential residue. Built to evaluate the
+    [~fission] extension; not in {!all} or {!adversarial}. *)
+val adv_fission : benchmark
+
 (** Generator for the cold utility code spliced into the benchmarks
     (exposed for tests of the splicing machinery). *)
 val with_cold_code : string -> int -> benchmark -> benchmark

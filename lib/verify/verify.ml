@@ -47,7 +47,8 @@ let rule_lid (r : Rule.t) =
   match r.Rule.id with
   | Rule.LOOP_INIT | Rule.LOOP_FINISH | Rule.MEM_SPILL_REG
   | Rule.MEM_RECOVER_REG | Rule.MEM_PRIVATISE | Rule.MEM_MAIN_STACK
-  | Rule.MEM_BOUNDS_CHECK | Rule.MEM_PREFETCH | Rule.THREAD_YIELD ->
+  | Rule.MEM_BOUNDS_CHECK | Rule.MEM_PREFETCH | Rule.THREAD_YIELD
+  | Rule.LOOP_FISSION ->
     Some (Int64.to_int r.Rule.aux)
   | Rule.THREAD_SCHEDULE | Rule.TX_START | Rule.TX_FINISH
   | Rule.PROF_LOOP_START | Rule.PROF_LOOP_FINISH | Rule.PROF_LOOP_ITER
@@ -131,6 +132,7 @@ let lint image (s : Schedule.t) : finding list =
   (* ---- descriptors, first pass: pull every loop/check descriptor ---- *)
   let loop_descs : (int, Desc.loop_desc) Hashtbl.t = Hashtbl.create 8 in
   let check_descs : (int, Desc.check_desc) Hashtbl.t = Hashtbl.create 8 in
+  let fission_descs : (int, Desc.fission_desc) Hashtbl.t = Hashtbl.create 4 in
   List.iter
     (fun (r : Rule.t) ->
        let lid = Int64.to_int r.Rule.aux in
@@ -167,6 +169,23 @@ let lint image (s : Schedule.t) : finding list =
                          the %d-byte data section"
                   r.Rule.data (Bytes.length s.Schedule.data))
          end
+       | Rule.LOOP_FISSION -> begin
+           match Schedule.fission_desc s r.Rule.data with
+           | fd ->
+             Hashtbl.replace fission_descs lid fd;
+             (* the embedded loop descriptor gets every ordinary deep
+                check (addresses, direction, privatisation, live-outs) *)
+             Hashtbl.replace loop_descs lid fd.Desc.fd_loop;
+             if fd.Desc.fd_loop.Desc.loop_id <> lid then
+               add Warning "descriptor-lid-mismatch" ~addr:r.Rule.addr ~lid
+                 (Fmt.str "rule names loop %d but its fission descriptor \
+                           is for loop %d" lid fd.Desc.fd_loop.Desc.loop_id)
+           | exception _ ->
+             add Error "descriptor-out-of-bounds" ~addr:r.Rule.addr ~lid
+               (Fmt.str "fission descriptor offset %Ld does not decode \
+                         inside the %d-byte data section"
+                  r.Rule.data (Bytes.length s.Schedule.data))
+         end
        | _ -> ())
     s.Schedule.rules;
   (* ---- pairing ---- *)
@@ -183,7 +202,9 @@ let lint image (s : Schedule.t) : finding list =
       s.Schedule.rules;
     t
   in
-  let inits = count (( = ) Rule.LOOP_INIT)
+  (* a fissioned loop is initiated by LOOP_FISSION instead of
+     LOOP_INIT; it still needs the same finish/spill pairing *)
+  let inits = count (fun id -> id = Rule.LOOP_INIT || id = Rule.LOOP_FISSION)
   and finishes = count (( = ) Rule.LOOP_FINISH)
   and spills = count (( = ) Rule.MEM_SPILL_REG)
   and recovers = count (( = ) Rule.MEM_RECOVER_REG) in
@@ -307,13 +328,15 @@ let lint image (s : Schedule.t) : finding list =
        (match
           List.find_opt
             (fun (r : Rule.t) ->
-               r.Rule.id = Rule.LOOP_INIT && Int64.to_int r.Rule.aux = lid)
+               (r.Rule.id = Rule.LOOP_INIT || r.Rule.id = Rule.LOOP_FISSION)
+               && Int64.to_int r.Rule.aux = lid)
             s.Schedule.rules
         with
         | Some r when r.Rule.addr <> d.Desc.header_addr ->
           add Warning "init-not-at-header" ~addr:r.Rule.addr ~lid
-            (Fmt.str "LOOP_INIT triggers at 0x%x but the descriptor's \
-                      header is 0x%x" r.Rule.addr d.Desc.header_addr)
+            (Fmt.str "%s triggers at 0x%x but the descriptor's \
+                      header is 0x%x"
+               (Rule.id_name r.Rule.id) r.Rule.addr d.Desc.header_addr)
         | _ -> ());
        if Int64.equal d.Desc.iv_step 0L then
          add Error "zero-step" ~lid
@@ -458,6 +481,186 @@ let lint image (s : Schedule.t) : finding list =
                  end)
               d.Desc.exit_addrs))
     loop_descs;
+  (* ---- fission schedules ---- *)
+  (* forced only when a LOOP_FISSION rule exists, so fission-free
+     schedules never pay for a re-analysis of the image *)
+  let analysis =
+    lazy (try Some (Analysis.analyse_image image) with _ -> None)
+  in
+  let kind_name = function
+    | Depgraph.Reg_flow -> "register-flow"
+    | Depgraph.Reg_output -> "register-output"
+    | Depgraph.Mem -> "memory"
+    | Depgraph.Ctrl -> "control"
+  in
+  Hashtbl.iter
+    (fun lid (fd : Desc.fission_desc) ->
+       let d = fd.Desc.fd_loop in
+       let groups = fd.Desc.fd_groups in
+       if groups = [] then
+         add Error "fission-empty" ~lid
+           "fission descriptor with no sub-loops"
+       else begin
+         if
+           not
+             (List.exists
+                (fun (g : Desc.fission_group) -> g.Desc.fg_parallel)
+                groups)
+         then
+           add Error "fission-no-parallel" ~lid
+             "no sub-loop is parallel: the split only adds overhead";
+         List.iter
+           (fun (g : Desc.fission_group) ->
+              if g.Desc.fg_insns = [] then
+                add Error "fission-empty" ~lid
+                  "fission sub-loop with no instructions")
+           groups
+       end;
+       let listed =
+         fd.Desc.fd_infra
+         @ List.concat_map
+             (fun (g : Desc.fission_group) -> g.Desc.fg_insns)
+             groups
+       in
+       let rec dups = function
+         | a :: b :: _ when a = b -> Some a
+         | _ :: tl -> dups tl
+         | [] -> None
+       in
+       (match dups (List.sort compare listed) with
+        | Some a ->
+          add Error "fission-overlap" ~addr:a ~lid
+            "instruction assigned to two fission sub-loops (or to a \
+             sub-loop and the shared infrastructure)"
+        | None -> ());
+       (* the sub-loops plus the infrastructure must partition the
+          natural loop's body exactly *)
+       (match func_containing d.Desc.header_addr with
+        | None -> ()  (* descriptor-address warning already added *)
+        | Some f ->
+          let lt = looptree_of f in
+          match
+            List.find_opt
+              (fun (l : Looptree.loop) ->
+                 l.Looptree.header = d.Desc.header_addr)
+              lt.Looptree.loops
+          with
+          | None -> ()
+          | Some l ->
+            let body = Hashtbl.create 32 in
+            List.iter
+              (fun baddr ->
+                 match Hashtbl.find_opt f.Cfg.block_at baddr with
+                 | Some b ->
+                   Array.iter
+                     (fun (ii : Cfg.insn_info) ->
+                        Hashtbl.replace body ii.Cfg.addr ())
+                     b.Cfg.insns
+                 | None -> ())
+              l.Looptree.body;
+            List.iter
+              (fun a ->
+                 if not (Hashtbl.mem body a) then
+                   add Error "fission-coverage" ~addr:a ~lid
+                     "fission descriptor names an instruction outside \
+                      the loop body")
+              listed;
+            Hashtbl.iter
+              (fun a () ->
+                 if not (List.mem a listed) then
+                   add Error "fission-coverage" ~addr:a ~lid
+                     "loop-body instruction missing from every fission \
+                      sub-loop and the shared infrastructure: it would \
+                      never execute")
+              body);
+       (* independent re-derivation: rebuild the dependence graph and
+          plan from a fresh analysis of the image (including its own
+          memory-conflict derivation over each sub-loop's accesses) and
+          require the schedule to be at most as aggressive *)
+       let para =
+         List.concat_map
+           (fun (g : Desc.fission_group) ->
+              if g.Desc.fg_parallel then g.Desc.fg_insns else [])
+           groups
+       and seq =
+         List.concat_map
+           (fun (g : Desc.fission_group) ->
+              if g.Desc.fg_parallel then [] else g.Desc.fg_insns)
+           groups
+       in
+       match Lazy.force analysis with
+       | None ->
+         add Error "fission-rederive" ~lid
+           "static re-analysis of the image failed"
+       | Some t ->
+         match
+           List.find_opt
+             (fun (r : Loopanal.report) ->
+                r.Loopanal.loop.Looptree.header = d.Desc.header_addr)
+             t.Analysis.reports
+         with
+         | None ->
+           add Error "fission-rederive" ~lid
+             (Fmt.str "no analysed loop has its header at 0x%x"
+                d.Desc.header_addr)
+         | Some rep ->
+           match Depgraph.plan rep with
+           | None ->
+             add Error "fission-rederive" ~lid
+               "independent re-derivation finds no sound fission plan \
+                for this loop"
+           | Some p ->
+             List.iter
+               (fun a ->
+                  if not (List.mem a p.Depgraph.pl_product) then
+                    add Error "fission-parallel-unsound" ~addr:a ~lid
+                      "instruction scheduled into the DOALL product but \
+                       re-derivation does not prove it carried-free")
+               para;
+             match Depgraph.build rep with
+             | None -> ()
+             | Some g ->
+               (* members of carried-dependence cycles must stay in the
+                  sequential residue *)
+               List.iter
+                 (fun a ->
+                    if List.mem a para then
+                      add Error "fission-carried-in-parallel" ~addr:a ~lid
+                        "member of a loop-carried dependence scheduled \
+                         into the DOALL product"
+                    else if
+                      (not (List.mem a seq))
+                      && not (List.mem a fd.Desc.fd_infra)
+                    then
+                      add Error "fission-carried-in-parallel" ~addr:a ~lid
+                        "carried-dependence member missing from the \
+                         sequential residue")
+                 (Depgraph.carried_members g);
+               (* residue-ordering proof: no dependence of any kind may
+                  cross the product/residue boundary, so running the
+                  product phase first is equivalent to any interleaving,
+                  and no value computed by one phase is consumed (live)
+                  in the other *)
+               let phase a =
+                 if List.mem a para then `Product
+                 else if List.mem a seq then `Residue
+                 else `Infra
+               in
+               List.iter
+                 (fun (e : Depgraph.edge) ->
+                    let sa = g.Depgraph.dg_addrs.(e.Depgraph.e_src)
+                    and da = g.Depgraph.dg_addrs.(e.Depgraph.e_dst) in
+                    match phase sa, phase da with
+                    | `Product, `Residue | `Residue, `Product ->
+                      add Error "fission-cross-phase" ~addr:da ~lid
+                        (Fmt.str
+                           "%s dependence on %s crosses the product/\
+                            residue boundary from 0x%x"
+                           (kind_name e.Depgraph.e_kind)
+                           e.Depgraph.e_tag sa)
+                    | _ -> ())
+                 g.Depgraph.dg_edges)
+    fission_descs;
   List.rev !findings
 
 (* ------------------------------------------------------------------ *)
@@ -534,7 +737,10 @@ let extents image (s : Schedule.t) lids =
       let desc =
         List.find_map
           (fun (r : Rule.t) ->
-             if r.Rule.id = Rule.LOOP_INIT && Int64.to_int r.Rule.aux = lid
+             (* a fission descriptor begins with its loop descriptor,
+                so the same decode places fissioned loops *)
+             if (r.Rule.id = Rule.LOOP_INIT || r.Rule.id = Rule.LOOP_FISSION)
+                && Int64.to_int r.Rule.aux = lid
              then
                match Schedule.loop_desc s r.Rule.data with
                | d -> Some d

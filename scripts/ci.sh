@@ -80,6 +80,37 @@ if dune exec bin/janus_fuzz.exe -- --self-test; then
   exit 1
 fi
 
+echo "== loop fission: inert when off, verified when on =="
+# nothing splits in saxpy, so --fission must not change a schedule byte
+dune exec bin/jcc.exe -- examples/guests/saxpy.jc -o "$work/saxpy_fi.jx"
+dune exec bin/janus_analyze.exe -- "$work/saxpy_fi.jx" \
+  --emit-schedule "$work/saxpy_fi_off.jrs" > /dev/null
+dune exec bin/janus_analyze.exe -- "$work/saxpy_fi.jx" --fission \
+  --emit-schedule "$work/saxpy_fi_on.jrs" > /dev/null
+cmp "$work/saxpy_fi_off.jrs" "$work/saxpy_fi_on.jrs"
+# the chain+stream guest splits: LOOP_FISSION ships and lints clean
+dune exec test/tools/suite_jx.exe -- adv.fission "$work/adv_fission.jx"
+dune exec bin/janus_analyze.exe -- "$work/adv_fission.jx" --fission \
+  --emit-schedule "$work/adv_fission.jrs" --verify \
+  > "$work/adv_fission.analyze.log"
+dune exec bin/jrs_dump.exe -- "$work/adv_fission.jrs" | grep -q LOOP_FISSION
+dune exec bin/jverify.exe -- "$work/adv_fission.jx" "$work/adv_fission.jrs"
+# end-to-end: fissioned output matches native, fission.* metrics print
+dune exec bin/janus_run.exe -- "$work/adv_fission.jx" --mode native \
+  --scale 40 --train-scale 6 > "$work/adv_fission.native.out"
+dune exec bin/janus_run.exe -- "$work/adv_fission.jx" --fission --threads 4 \
+  --scale 40 --train-scale 6 --metrics > "$work/adv_fission.fission.out"
+diff <(sed -n '/^---/q;p' "$work/adv_fission.native.out") \
+     <(sed -n '/^---/q;p' "$work/adv_fission.fission.out")
+echo "-- fission counters --"
+grep -E '^(fission|rt\.fission)' "$work/adv_fission.fission.out"
+grep -Eq '^fission\.split +[1-9]' "$work/adv_fission.fission.out"
+grep -Eq '^fission\.demoted +0' "$work/adv_fission.fission.out"
+
+echo "== mixed fuzz smoke (fission ground-truth labels) =="
+dune exec bin/janus_fuzz.exe -- --mixed --seed 7 --count 120 \
+  --save-corpus --corpus-dir "$fuzz_dir"
+
 echo "== traced benchmark run =="
 # run one real benchmark with tracing on and prove the exported Chrome
 # trace parses and covers every event category the run exercises:

@@ -653,6 +653,174 @@ let prop_analysis_total =
             && r.Loopanal.insn_count >= 0)
          t.Analysis.reports)
 
+(* ------------------------------------------------------------------ *)
+(* Statement-level dependence graphs and the fission plan               *)
+(* ------------------------------------------------------------------ *)
+
+(* the adv.fission loop body: a carried scalar chain (not a reduction —
+   the multiply breaks associativity) interleaved with an independent
+   streaming store *)
+let fission_src =
+  (Janus_suite.Suite.find_exn "adv.fission").Janus_suite.Suite.source
+
+let test_depgraph_fission_plan () =
+  let t = analyse fission_src in
+  (* the mixed loop must be Static_dep with the carried chain named *)
+  let is_infix ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    (Fmt.str "chain loop is static-dep: %a" Analysis.pp_summary t)
+    true
+    (List.exists
+       (fun (r : Loopanal.report) ->
+          match r.Loopanal.cls with
+          | Loopanal.Static_dep reason -> is_infix ~affix:"carried scc @ 0x" reason
+          | _ -> false)
+       t.Analysis.reports);
+  (* and at least one variant of it must yield a two-sided fission plan *)
+  let plans =
+    List.filter_map
+      (fun (r : Loopanal.report) ->
+         match r.Loopanal.cls with
+         | Loopanal.Static_dep _ -> Depgraph.plan r
+         | _ -> None)
+      t.Analysis.reports
+  in
+  Alcotest.(check bool) "some loop splits" true (List.length plans >= 1);
+  List.iter
+    (fun (p : Depgraph.plan) ->
+       Alcotest.(check bool) "product non-empty" true (p.Depgraph.pl_product <> []);
+       Alcotest.(check bool) "residue non-empty" true (p.Depgraph.pl_residue <> []))
+    plans
+
+(* demotion reasons are a pipeline artifact: analysing the same image
+   twice must produce byte-identical classification reasons *)
+let test_static_dep_reasons_stable () =
+  let img = compile fission_src in
+  let reasons t =
+    List.filter_map
+      (fun (r : Loopanal.report) ->
+         match r.Loopanal.cls with
+         | Loopanal.Static_dep reason -> Some reason
+         | _ -> None)
+      t.Analysis.reports
+  in
+  let a = reasons (Analysis.analyse_image img) in
+  let b = reasons (Analysis.analyse_image img) in
+  Alcotest.(check (list string)) "reasons stable across analyses" a b
+
+(* graph-level invariants over random programs: the SCC condensation is
+   a topologically-numbered DAG, carried SCC flags match the edges, the
+   groups partition the non-infrastructure nodes with no dependence
+   edge between two groups, and any fission plan keeps the product free
+   of carried edges *)
+let depgraph_invariants (src, options) =
+  let t = analyse ~options src in
+  List.for_all
+    (fun (r : Loopanal.report) ->
+       match Depgraph.build r with
+       | None -> true
+       | Some g ->
+         let n = Array.length g.Depgraph.dg_addrs in
+         let scc = g.Depgraph.dg_scc_of in
+         let in_range v = v >= 0 && v < n in
+         List.for_all
+           (fun (e : Depgraph.edge) ->
+              in_range e.Depgraph.e_src && in_range e.Depgraph.e_dst
+              (* condensation is a DAG in topological numbering *)
+              && scc.(e.Depgraph.e_src) <= scc.(e.Depgraph.e_dst))
+           g.Depgraph.dg_edges
+         (* an SCC is flagged carried iff one of its internal edges is *)
+         && (let flagged = Array.make g.Depgraph.dg_scc_count false in
+             List.iter
+               (fun (e : Depgraph.edge) ->
+                  if
+                    e.Depgraph.e_carried
+                    && scc.(e.Depgraph.e_src) = scc.(e.Depgraph.e_dst)
+                  then flagged.(scc.(e.Depgraph.e_src)) <- true)
+               g.Depgraph.dg_edges;
+             flagged = g.Depgraph.dg_carried_scc)
+         (* groups partition the non-infra nodes, no edge between two *)
+         && (let comps = Depgraph.components g in
+             let members = List.concat_map fst comps in
+             let non_infra =
+               List.filter (fun v -> not g.Depgraph.dg_infra.(v))
+                 (List.init n Fun.id)
+             in
+             List.sort_uniq compare members = List.sort compare members
+             && List.sort compare members = List.sort compare non_infra
+             && (let comp_of = Array.make n (-1) in
+                 List.iteri
+                   (fun ci (vs, _) ->
+                      List.iter (fun v -> comp_of.(v) <- ci) vs)
+                   comps;
+                 List.for_all
+                   (fun (e : Depgraph.edge) ->
+                      comp_of.(e.Depgraph.e_src) < 0
+                      || comp_of.(e.Depgraph.e_dst) < 0
+                      || comp_of.(e.Depgraph.e_src)
+                         = comp_of.(e.Depgraph.e_dst))
+                   g.Depgraph.dg_edges)
+             (* a carried-free group really has no carried edge inside *)
+             && List.for_all
+                  (fun (vs, free) ->
+                     (not free)
+                     || not
+                          (List.exists
+                             (fun (e : Depgraph.edge) ->
+                                e.Depgraph.e_carried
+                                && List.mem e.Depgraph.e_src vs
+                                && List.mem e.Depgraph.e_dst vs)
+                             g.Depgraph.dg_edges))
+                  comps)
+         (* any plan partitions the body and keeps groups disjoint *)
+         && (match Depgraph.plan r with
+             | None -> true
+             | Some p ->
+               let all = Array.to_list g.Depgraph.dg_addrs in
+               let got =
+                 p.Depgraph.pl_infra @ p.Depgraph.pl_product
+                 @ p.Depgraph.pl_residue
+               in
+               List.sort compare got = List.sort compare all
+               &&
+               let side a =
+                 (* index the address back to its node *)
+                 let rec find i =
+                   if i >= n then -1
+                   else if g.Depgraph.dg_addrs.(i) = a then i
+                   else find (i + 1)
+                 in
+                 find 0
+               in
+               let product = List.map side p.Depgraph.pl_product in
+               let residue = List.map side p.Depgraph.pl_residue in
+               List.for_all
+                 (fun (e : Depgraph.edge) ->
+                    not
+                      ((List.mem e.Depgraph.e_src product
+                        && List.mem e.Depgraph.e_dst residue)
+                       || (List.mem e.Depgraph.e_src residue
+                           && List.mem e.Depgraph.e_dst product)))
+                 g.Depgraph.dg_edges
+               && List.for_all
+                    (fun (e : Depgraph.edge) ->
+                       not
+                         (e.Depgraph.e_carried
+                          && List.mem e.Depgraph.e_src product
+                          && List.mem e.Depgraph.e_dst product))
+                    g.Depgraph.dg_edges))
+    t.Analysis.reports
+
+let prop_depgraph_invariants =
+  QCheck2.Test.make ~count:25 ~name:"depgraph SCC/group/plan invariants"
+    ~print:(fun (src, _) -> src)
+    QCheck2.Gen.(pair gen_program gen_options)
+    depgraph_invariants
+
 let tests =
   [
     Alcotest.test_case "cfg recovery" `Quick test_cfg_recovery;
@@ -680,6 +848,11 @@ let tests =
     Alcotest.test_case "unconditional double IV update" `Quick
       test_unconditional_double_iv_update;
     Alcotest.test_case "schedule generation" `Quick test_schedule_generation;
+    Alcotest.test_case "depgraph fission plan" `Quick
+      test_depgraph_fission_plan;
+    Alcotest.test_case "static-dep reasons stable" `Quick
+      test_static_dep_reasons_stable;
     QCheck_alcotest.to_alcotest prop_structural_invariants;
     QCheck_alcotest.to_alcotest prop_analysis_total;
+    QCheck_alcotest.to_alcotest prop_depgraph_invariants;
   ]

@@ -294,6 +294,74 @@ let test_prefetch_no_cache_model_harmless () =
   Alcotest.(check bool) "still profitable" true
     (Janus.speedup ~native ~run:with_pf > 2.0)
 
+(* the adv.fission shape without the read_int knob: a carried scalar
+   chain (s = s*3 + a[i] is no reduction — the multiply breaks
+   associativity) interleaved with an independent streaming store.
+   Whole-loop parallelisation is unsound; SCC-driven fission runs the
+   stream as a DOALL product and the chain as a sequential residue. *)
+let fission_kernel =
+  "int a[2048]; int b[2048]; int c[2048];\n\
+   int main() {\n\
+   \  int n = 2048;\n\
+   \  for (int i = 0; i < n; i++) {\n\
+   \    a[i] = (i * 7 + 3) % 101;\n\
+   \    b[i] = 0;\n\
+   \    c[i] = (i * 5 + 1) % 97;\n\
+   \  }\n\
+   \  int s = 1;\n\
+   \  for (int t = 0; t < 24; t++) {\n\
+   \    for (int i = 0; i < 2048; i++) {\n\
+   \      s = s * 3 + a[i];\n\
+   \      b[i] = c[i] * 2 + t;\n\
+   \    }\n\
+   \  }\n\
+   \  print_int(s);\n\
+   \  print_int(b[5]);\n\
+   \  print_int(b[2000]);\n\
+   \  return 0;\n\
+   }"
+
+let test_fission_extension () =
+  let img = compile fission_kernel in
+  let native = Janus.run_native img in
+  let without = Janus.parallelise ~cfg:(Janus.config ~threads:4 ()) img in
+  let with_fi =
+    Janus.parallelise ~cfg:(Janus.config ~threads:4 ~fission:true ()) img
+  in
+  check_same_output "fission" native with_fi;
+  let counter name =
+    match with_fi.Janus.obs with
+    | None -> 0
+    | Some obs -> Janus_obs.Obs.counter obs name
+  in
+  Alcotest.(check bool) "a loop was split" true (counter "fission.split" >= 1);
+  Alcotest.(check bool) "the split verified" true
+    (counter "fission.verified" >= 1);
+  Alcotest.(check int) "no split demoted" 0 (counter "fission.demoted");
+  Alcotest.(check bool) "fission phases ran" true
+    (counter "rt.fission_phases" >= 2);
+  let s_without = Janus.speedup ~native ~run:without in
+  let s_with = Janus.speedup ~native ~run:with_fi in
+  Alcotest.(check bool)
+    (Printf.sprintf "fission beats sequential (%.3f > 1)" s_with)
+    true (s_with > 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "fission helps (%.3f -> %.3f)" s_without s_with)
+    true (s_with > s_without)
+
+let test_fission_off_bit_identical () =
+  (* ~fission is a pure extension: off (the default), the emitted
+     schedule bytes are exactly what the seed system produced *)
+  let img = compile fission_kernel in
+  let bytes cfg =
+    let p = Janus.prepare ~cfg img in
+    Janus_schedule.Schedule.to_bytes p.Janus.p_schedule
+  in
+  let default = bytes (Janus.config ()) in
+  let explicit_off = bytes (Janus.config ~fission:false ()) in
+  Alcotest.(check bool) "schedule bytes identical" true
+    (String.equal (Bytes.to_string default) (Bytes.to_string explicit_off))
+
 let test_stm_everywhere_ablation () =
   (* the paper's argument for sparing STM use (§II-E2): buffering every
      access costs so much that speedups mostly evaporate *)
@@ -446,6 +514,9 @@ let tests =
     Alcotest.test_case "prefetch extension" `Quick test_prefetch_extension;
     Alcotest.test_case "prefetch harmless without cache model" `Quick
       test_prefetch_no_cache_model_harmless;
+    Alcotest.test_case "fission extension" `Quick test_fission_extension;
+    Alcotest.test_case "fission off is bit-identical" `Quick
+      test_fission_off_bit_identical;
     Alcotest.test_case "stm-everywhere ablation" `Quick
       test_stm_everywhere_ablation;
     Alcotest.test_case "dbm-only overhead" `Quick test_dbm_only_overhead;

@@ -82,8 +82,9 @@ let test_rule_id_roundtrip () =
          (Rule.id_name id) true
          (Rule.id_of_int (Rule.id_to_int id) = id))
     Rule.all_ids;
-  (* the 18 rules of Fig. 3 plus the MEM_PREFETCH extension *)
-  Alcotest.(check int) "rule count" 19 (List.length Rule.all_ids);
+  (* the 18 rules of Fig. 3 plus the MEM_PREFETCH and LOOP_FISSION
+     extensions *)
+  Alcotest.(check int) "rule count" 20 (List.length Rule.all_ids);
   Alcotest.(check int) "six profiling rules" 6
     (List.length (List.filter Rule.is_profiling Rule.all_ids))
 

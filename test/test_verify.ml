@@ -7,7 +7,7 @@ open Janus_jcc
 open Janus_analysis
 open Janus_core
 module Verify = Janus_verify.Verify
-module Liveness = Janus_verify.Liveness
+module Liveness = Janus_analysis.Liveness
 module Reachdefs = Janus_verify.Reachdefs
 module Memdep = Janus_verify.Memdep
 module Schedule = Janus_schedule.Schedule
@@ -364,6 +364,158 @@ let test_fully_corrupt_schedule_drops_all_rules () =
     run.Janus.output
 
 (* ------------------------------------------------------------------ *)
+(* The fission check family                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* a carried scalar chain plus an independent stream: Static_dep as a
+   whole, split by the fission planner into a DOALL product (the
+   stream) and a sequential residue (the chain) *)
+let fission_src =
+  "int a[2048]; int b[2048]; int c[2048];\n\
+   int main() {\n\
+   \  int n = 2048;\n\
+   \  for (int i = 0; i < n; i++) {\n\
+   \    a[i] = (i * 7 + 3) % 101;\n\
+   \    b[i] = 0;\n\
+   \    c[i] = (i * 5 + 1) % 97;\n\
+   \  }\n\
+   \  int s = 1;\n\
+   \  for (int t = 0; t < 24; t++) {\n\
+   \    for (int i = 0; i < 2048; i++) {\n\
+   \      s = s * 3 + a[i];\n\
+   \      b[i] = c[i] * 2 + t;\n\
+   \    }\n\
+   \  }\n\
+   \  print_int(s);\n\
+   \  print_int(b[5]);\n\
+   \  print_int(b[2000]);\n\
+   \  return 0;\n\
+   }"
+
+let fission_prepared =
+  lazy
+    (Janus.prepare
+       ~cfg:(Janus.config ~threads:4 ~fission:true ())
+       (compile fission_src))
+
+(* rebuild a schedule, mapping every fission descriptor through [f];
+   LOOP_FINISH rules of a fissioned loop share the fission descriptor's
+   offset (it begins with the loop descriptor), so that sharing must
+   survive the rewrite *)
+let map_fission_descs f (s : Schedule.t) =
+  let fission_offs =
+    List.filter_map
+      (fun (r : Rule.t) ->
+         if r.Rule.id = Rule.LOOP_FISSION then Some r.Rule.data else None)
+      s.Schedule.rules
+  in
+  let b = Schedule.builder s.Schedule.channel in
+  let loop_off = Hashtbl.create 8
+  and check_off = Hashtbl.create 8
+  and fiss_off = Hashtbl.create 8 in
+  let remap_fission data =
+    match Hashtbl.find_opt fiss_off data with
+    | Some o -> o
+    | None ->
+      let o = Schedule.add_fission_desc b (f (Schedule.fission_desc s data)) in
+      Hashtbl.replace fiss_off data o;
+      o
+  in
+  List.iter
+    (fun (r : Rule.t) ->
+       match r.Rule.id with
+       | Rule.LOOP_FISSION ->
+         Schedule.add_rule b
+           { r with Rule.data = Int64.of_int (remap_fission r.Rule.data) }
+       | (Rule.LOOP_INIT | Rule.LOOP_FINISH)
+         when List.mem r.Rule.data fission_offs ->
+         Schedule.add_rule b
+           { r with Rule.data = Int64.of_int (remap_fission r.Rule.data) }
+       | Rule.LOOP_INIT | Rule.LOOP_FINISH ->
+         let off =
+           match Hashtbl.find_opt loop_off r.Rule.data with
+           | Some o -> o
+           | None ->
+             let o =
+               Schedule.add_loop_desc b (Schedule.loop_desc s r.Rule.data)
+             in
+             Hashtbl.replace loop_off r.Rule.data o;
+             o
+         in
+         Schedule.add_rule b { r with Rule.data = Int64.of_int off }
+       | Rule.MEM_BOUNDS_CHECK ->
+         let off =
+           match Hashtbl.find_opt check_off r.Rule.data with
+           | Some o -> o
+           | None ->
+             let o =
+               Schedule.add_check_desc b (Schedule.check_desc s r.Rule.data)
+             in
+             Hashtbl.replace check_off r.Rule.data o;
+             o
+         in
+         Schedule.add_rule b { r with Rule.data = Int64.of_int off }
+       | _ -> Schedule.add_rule b r)
+    s.Schedule.rules;
+  Schedule.build b
+
+let test_fission_schedule_lints_clean () =
+  let p = Lazy.force fission_prepared in
+  let s = p.Janus.p_schedule in
+  Alcotest.(check bool) "has a LOOP_FISSION rule" true
+    (List.exists
+       (fun (r : Rule.t) -> r.Rule.id = Rule.LOOP_FISSION)
+       s.Schedule.rules);
+  Alcotest.(check (list string)) "no lint errors" []
+    (List.map (fun f -> f.Verify.code) (errors (Verify.lint p.Janus.p_image s)))
+
+let test_fission_parallel_residue_caught () =
+  (* mark the sequential residue parallel: the verifier's independent
+     re-derivation must refuse to prove the chain carried-free *)
+  let p = Lazy.force fission_prepared in
+  let corrupted =
+    map_fission_descs
+      (fun (fd : Desc.fission_desc) ->
+         {
+           fd with
+           Desc.fd_groups =
+             List.map
+               (fun (g : Desc.fission_group) ->
+                  { g with Desc.fg_parallel = true })
+               fd.Desc.fd_groups;
+         })
+      p.Janus.p_schedule
+  in
+  Alcotest.(check bool) "parallel residue flagged" true
+    (has_code "fission-parallel-unsound" (Verify.lint p.Janus.p_image corrupted));
+  (* and the deployment path demotes rather than runs the bad split *)
+  let native = Janus.run_native p.Janus.p_image in
+  let run = Janus.run_scheduled p.Janus.p_image corrupted in
+  Alcotest.(check string) "output still native" native.Janus.output
+    run.Janus.output
+
+let test_fission_dropped_insn_caught () =
+  (* drop one instruction from a sub-loop: it would never execute, and
+     the coverage check must say so *)
+  let p = Lazy.force fission_prepared in
+  let corrupted =
+    map_fission_descs
+      (fun (fd : Desc.fission_desc) ->
+         {
+           fd with
+           Desc.fd_groups =
+             List.map
+               (fun (g : Desc.fission_group) ->
+                  if g.Desc.fg_parallel then g
+                  else { g with Desc.fg_insns = List.tl g.Desc.fg_insns })
+               fd.Desc.fd_groups;
+         })
+      p.Janus.p_schedule
+  in
+  Alcotest.(check bool) "missing instruction flagged" true
+    (has_code "fission-coverage" (Verify.lint p.Janus.p_image corrupted))
+
+(* ------------------------------------------------------------------ *)
 (* The whole suite verifies clean                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -410,6 +562,12 @@ let tests =
       test_corrupt_schedule_runs_sequentially;
     Alcotest.test_case "unattributable corruption drops all rules" `Quick
       test_fully_corrupt_schedule_drops_all_rules;
+    Alcotest.test_case "fission schedule lints clean" `Quick
+      test_fission_schedule_lints_clean;
+    Alcotest.test_case "corruption: parallel fission residue" `Quick
+      test_fission_parallel_residue_caught;
+    Alcotest.test_case "corruption: dropped fission instruction" `Quick
+      test_fission_dropped_insn_caught;
     Alcotest.test_case "all suite schedules verify clean" `Slow
       test_suite_schedules_verify_clean;
   ]
