@@ -194,13 +194,14 @@ let run_benchmarks () =
        | _ -> Fmt.pr "  %-40s (no estimate)@." name)
     results
 
-let regenerate_figures ~jobs =
+let regenerate_figures ~jobs ~store_dir =
   Fmt.pr "=== Janus evaluation: regenerating all tables and figures ===@.@.";
   (* one artifact store for the whole regeneration, so experiments
      share compiles, analyses and profiles; with --jobs > 1 the
-     per-benchmark rows additionally fan out over domains (output is
-     byte-identical either way) *)
-  let store = Janus_core.Pipeline.store () in
+     per-benchmark rows additionally fan out over domains, and with
+     --store-dir the artifacts persist across harness runs (output is
+     byte-identical in every combination) *)
+  let store = Janus_core.Pipeline.store ?dir:store_dir () in
   let go pool =
     let ctx = Eval.ctx ~store ?pool () in
     Fmt.pr "%a@." Eval.pp_fig6 (Eval.fig6 ~ctx ());
@@ -222,8 +223,15 @@ let regenerate_figures ~jobs =
 let () =
   let args = Array.to_list Sys.argv in
   let bench_only = List.mem "--bench-only" args in
+  (* a valued option as the last argument is an error, not a silent
+     fall-through to the default *)
+  let missing_value flag =
+    Fmt.epr "bench: %s expects a value@." flag;
+    exit 2
+  in
   let jobs =
     let rec find = function
+      | [ "--jobs" ] -> missing_value "--jobs"
       | "--jobs" :: n :: _ -> (
           match int_of_string_opt n with
           | Some n when n >= 1 -> n
@@ -235,5 +243,14 @@ let () =
     in
     find args
   in
-  if not bench_only then regenerate_figures ~jobs;
+  let store_dir =
+    let rec find = function
+      | [ "--store-dir" ] -> missing_value "--store-dir"
+      | "--store-dir" :: d :: _ -> Some d
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if not bench_only then regenerate_figures ~jobs ~store_dir;
   run_benchmarks ()

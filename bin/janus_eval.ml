@@ -66,7 +66,7 @@ let print_metrics store pool =
   (match pool with Some p -> Pool.publish_metrics p obs | None -> ());
   List.iter (fun (k, v) -> Fmt.epr "%-32s %12d@." k v) (Obs.counters obs)
 
-let run names jobs no_cache metrics list =
+let run names jobs no_cache store_dir metrics list =
   if list then begin
     List.iter (fun (n, d) -> Fmt.pr "%-10s %s@." n d) registry;
     0
@@ -82,7 +82,7 @@ let run names jobs no_cache metrics list =
     die exit_bad_input "unknown experiment %S (expected %s or all)" bad
       (String.concat "|" experiments)
   | None ->
-    let store = Pipeline.store ~enabled:(not no_cache) () in
+    let store = Pipeline.store ~enabled:(not no_cache) ?dir:store_dir () in
     let go pool =
       let ctx = Eval.ctx ~store ?pool () in
       List.iter (run_one ctx) todo;
@@ -125,6 +125,14 @@ let no_cache =
            ~doc:"Recompute every pipeline artifact instead of sharing\n\
                  analyses, profiles and schedules across experiments.")
 
+let store_dir =
+  Arg.(value & opt (some string) None
+       & info [ "store-dir" ] ~docv:"DIR"
+           ~doc:"Persist the artifact store under $(docv) (created if\n\
+                 missing): artifacts survive across runs, so a warm\n\
+                 rerun skips analysis, profiling and schedule\n\
+                 generation. Output is byte-identical to a cold run.")
+
 let metrics =
   Arg.(value & flag
        & info [ "metrics" ]
@@ -141,6 +149,6 @@ let cmd =
   Cmd.v
     (Cmd.info "janus_eval"
        ~doc:"Regenerate the paper's evaluation tables and figures")
-    Term.(const run $ names $ jobs $ no_cache $ metrics $ list)
+    Term.(const run $ names $ jobs $ no_cache $ store_dir $ metrics $ list)
 
 let () = exit (Cmd.eval' cmd)

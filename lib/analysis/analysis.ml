@@ -34,25 +34,52 @@ let enrich_static_dep (r : Loopanal.report) =
     end
   | _ -> r
 
-let analyse_image image =
-  (* deterministic artifacts: loop ids are unique within this image and
-     atom ids restart per analysis, so analysing the same image always
-     yields identical results — the invariant the pipeline's artifact
-     cache relies on — and no global state is touched, so independent
-     analyses can run on separate domains *)
-  Sympoly.reset_atoms ();
-  let lid_counter = ref 0 in
+(* Function-level sharding (after Meng et al., "Parallel Binary Code
+   Analysis"): dominator trees and the per-function dataflow +
+   classification passes are embarrassingly parallel across functions,
+   so a pool fans them out over domains. Determinism is preserved by
+   construction:
+   - loop ids are allocated by a {e sequential} pass over the functions
+     in ascending entry order, exactly as the unsharded analyser did;
+   - symbolic-atom ids restart per {e function} (atom identity is only
+     ever compared within one function's analysis), so every function
+     sees the same atom stream whichever domain runs it;
+   - [Pool.map] returns results in submission order, so the merged
+     report list is byte-identical across [--jobs].
+   No global state is touched, so independent function analyses can run
+   on separate domains. *)
+let analyse_image ?pool image =
+  let shard : 'a 'b. ('a -> 'b) -> 'a list -> 'b list =
+    fun f xs ->
+      match pool with
+      | Some p when Janus_pool.Pool.jobs p > 1 -> Janus_pool.Pool.map p f xs
+      | _ -> List.map f xs
+  in
   let cfg = Cfg.recover image in
+  let funcs = Cfg.all_funcs cfg in
+  (* phase 1 (parallel): dominator trees, pure per function *)
+  let doms = shard Dom.compute funcs in
+  (* phase 2 (sequential): the loop forest, so lids follow ascending
+     function order no matter how phase 3 is scheduled *)
+  let lid_counter = ref 0 in
+  let pre =
+    List.map2
+      (fun f dom -> (f, dom, Looptree.compute ~counter:lid_counter f dom))
+      funcs doms
+  in
+  (* phase 3 (parallel): per-function dataflow and per-loop
+     classification — the expensive side of the analysis *)
   let reports =
-    List.concat_map
-      (fun f ->
-         let dom = Dom.compute f in
-         let ltree = Looptree.compute ~counter:lid_counter f dom in
-         let fa = Funcanal.compute f dom in
-         List.map
-           (fun l -> enrich_static_dep (Loopanal.analyse cfg ~fa f ltree l))
-           ltree.Looptree.loops)
-      (Cfg.all_funcs cfg)
+    List.concat
+      (shard
+         (fun (f, dom, ltree) ->
+            Sympoly.reset_atoms ();
+            let fa = Funcanal.compute f dom in
+            List.map
+              (fun l ->
+                 enrich_static_dep (Loopanal.analyse cfg ~fa f ltree l))
+              ltree.Looptree.loops)
+         pre)
   in
   let by_lid = Hashtbl.create 16 in
   List.iter

@@ -8,8 +8,13 @@ type t = {
   by_lid : (int, Loopanal.report) Hashtbl.t;
 }
 
-(** Disassemble, recover functions/CFGs/loops, and analyse each loop. *)
-val analyse_image : Janus_vx.Image.t -> t
+(** Disassemble, recover functions/CFGs/loops, and analyse each loop.
+    [pool] shards the dominator and dataflow/classification passes per
+    function over its domains (function-level sharding à la Meng et
+    al.); results are merged in deterministic function order, so the
+    analysis — and every artifact derived from it — is bit-identical
+    with or without a pool, at any [--jobs]. *)
+val analyse_image : ?pool:Janus_pool.Pool.t -> Janus_vx.Image.t -> t
 
 val report : t -> int -> Loopanal.report option
 

@@ -82,7 +82,7 @@ let categorise (deps : Profiler.deps) (r : Loopanal.report) =
 
 let fig6_row ctx (b : Suite.benchmark) =
   let img = compile ctx b in
-  let analysis = Pipeline.analyse ~store:ctx.store img in
+  let analysis = Pipeline.analyse ~store:ctx.store ?pool:ctx.pool img in
   let coverage, deps =
     match
       Pipeline.profile ~store:ctx.store ~cfg:profiler_default_cfg
@@ -160,7 +160,7 @@ let run_configs ?(ctx = default_ctx) ?options (b : Suite.benchmark) ~threads =
   let dbm = Janus.run_dbm_only ~input:(Suite.ref_input b) img in
   let go cfg =
     Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
-      ~input:(Suite.ref_input b) ~store:ctx.store img
+      ~input:(Suite.ref_input b) ~store:ctx.store ?pool:ctx.pool img
   in
   let static = go (Janus.config ~threads ~use_profile:false ~use_checks:false ()) in
   let profile = go (Janus.config ~threads ~use_checks:false ()) in
@@ -212,12 +212,12 @@ let fig8_row ctx (b : Suite.benchmark) =
   let img = compile ctx b in
   let prepared =
     Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b)
-      ~store:ctx.store img
+      ~store:ctx.store ?pool:ctx.pool img
   in
   let go threads =
     let r =
       Janus.run_parallel ~cfg:(Janus.config ~threads ())
-        ~input:(Suite.ref_input b) prepared
+        ~input:(Suite.ref_input b) ?pool:ctx.pool prepared
     in
     (r.Janus.breakdown, r.Janus.cycles)
   in
@@ -257,7 +257,7 @@ type table1_row = {
 
 let table1_row ctx (b : Suite.benchmark) =
   let img = compile ctx b in
-  let analysis = Pipeline.analyse ~store:ctx.store img in
+  let analysis = Pipeline.analyse ~store:ctx.store ?pool:ctx.pool img in
   (* count every loop whose parallel version requires a check, whether
      or not the profile ultimately selects it (as the paper does) *)
   let checks =
@@ -315,7 +315,7 @@ let fig9_row ctx (b : Suite.benchmark) =
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let prepared =
     Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b)
-      ~store:ctx.store img
+      ~store:ctx.store ?pool:ctx.pool img
   in
   let speedups =
     List.map
@@ -352,10 +352,11 @@ let fig10_row ctx (b : Suite.benchmark) =
   let img = compile ctx b in
   let p =
     Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b)
-      ~store:ctx.store img
+      ~store:ctx.store ?pool:ctx.pool img
   in
   let r =
-    Janus.run_parallel ~cfg:(Janus.config ()) ~input:(Suite.train_input b) p
+    Janus.run_parallel ~cfg:(Janus.config ()) ~input:(Suite.train_input b)
+      ?pool:ctx.pool p
   in
   {
     f10_name = b.Suite.name;
@@ -400,7 +401,7 @@ let fig11_row ctx (b : Suite.benchmark) =
     let janus =
       Janus.parallelise ~cfg:(Janus.config ())
         ~train_input:(Suite.train_input b) ~input:(Suite.ref_input b)
-        ~store:ctx.store img
+        ~store:ctx.store ?pool:ctx.pool img
     in
     (Janus.speedup ~native ~run:autopar, Janus.speedup ~native ~run:janus)
   in
@@ -448,7 +449,7 @@ let fig12_row ctx (b : Suite.benchmark) =
     let r =
       Janus.parallelise ~cfg:(Janus.config ())
         ~train_input:(Suite.train_input b) ~input:(Suite.ref_input b)
-        ~store:ctx.store img
+        ~store:ctx.store ?pool:ctx.pool img
     in
     Janus.speedup ~native ~run:r
   in
@@ -491,7 +492,7 @@ let ext_doacross_row ctx (b : Suite.benchmark) =
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let go cfg =
     Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
-      ~input:(Suite.ref_input b) ~store:ctx.store img
+      ~input:(Suite.ref_input b) ~store:ctx.store ?pool:ctx.pool img
   in
   let doall = go (Janus.config ()) in
   let doacross = go (Janus.config ~use_doacross:true ()) in
@@ -543,10 +544,10 @@ let ext_prefetch_row ctx (b : Suite.benchmark) =
   in
   let go cfg =
     let p =
-      Janus.prepare ~cfg ~train_input:(Suite.train_input b) ~store:ctx.store
+      Janus.prepare ~cfg ~train_input:(Suite.train_input b) ~store:ctx.store ?pool:ctx.pool
         img
     in
-    (p, Janus.run_parallel ~cfg ~input:(Suite.ref_input b) p)
+    (p, Janus.run_parallel ~cfg ~input:(Suite.ref_input b) ?pool:ctx.pool p)
   in
   let _, base = go (Janus.config ~model_cache:true ()) in
   let prepared_pf, pf = go (Janus.config ~model_cache:true ~prefetch:true ()) in
@@ -613,7 +614,7 @@ let ext_adapt_row ctx (b : Suite.benchmark) =
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let go cfg =
     Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
-      ~input:(Suite.ref_input b) ~store:ctx.store img
+      ~input:(Suite.ref_input b) ~store:ctx.store ?pool:ctx.pool img
   in
   let static = go (Janus.config ()) in
   let adaptive = go (Janus.config ~adapt:true ()) in
@@ -675,10 +676,10 @@ let ext_fission_row ctx (b : Suite.benchmark) =
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let go cfg =
     let p =
-      Janus.prepare ~cfg ~train_input:(Suite.train_input b) ~store:ctx.store
+      Janus.prepare ~cfg ~train_input:(Suite.train_input b) ~store:ctx.store ?pool:ctx.pool
         img
     in
-    (p, Janus.run_parallel ~cfg ~input:(Suite.ref_input b) p)
+    (p, Janus.run_parallel ~cfg ~input:(Suite.ref_input b) ?pool:ctx.pool p)
   in
   let _, base = go (Janus.config ~threads:4 ()) in
   let pf, fission = go (Janus.config ~threads:4 ~fission:true ()) in
@@ -741,7 +742,7 @@ type excall_stats = {
 let excall_footprint ?(ctx = default_ctx) () =
   let b = Suite.find_exn "410.bwaves" in
   let img = compile ctx b in
-  let analysis = Pipeline.analyse ~store:ctx.store img in
+  let analysis = Pipeline.analyse ~store:ctx.store ?pool:ctx.pool img in
   let cov =
     match
       Pipeline.profile ~store:ctx.store ~cfg:profiler_default_cfg

@@ -212,8 +212,8 @@ type prepared = {
     schedule generation. [store] caches the per-stage artifacts by
     content key, so sweeps over execute-stage parameters (threads,
     tracing) recompute nothing. *)
-let prepare ?(cfg = config ()) ?(train_input = []) ?store image =
-  let analysis = Pipeline.analyse ?store image in
+let prepare ?(cfg = config ()) ?(train_input = []) ?store ?pool image =
+  let analysis = Pipeline.analyse ?store ?pool image in
   let coverage, deps =
     Pipeline.profile ?store ~cfg ~train_input image analysis
   in
@@ -236,13 +236,13 @@ let rule_loops (schedule : Schedule.t) id =
 
 (** Stage 3: run the program under the DBM with the parallelisation
     schedule (the "Parallelisation Stage"). *)
-let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
+let run_parallel ?(cfg = config ()) ?(input = []) ?pool (p : prepared) =
   (* gate the schedule through the verifier: loops it cannot prove safe
      run sequentially (graceful degradation, not a crash) *)
   let schedule, demoted =
     if cfg.verify then
       let s, demoted, _findings =
-        Verify.check_and_demote p.p_image p.p_schedule
+        Verify.check_and_demote ?pool p.p_image p.p_schedule
       in
       (s, demoted)
     else (p.p_schedule, [])
@@ -351,11 +351,13 @@ let run_parallel ?(cfg = config ()) ?(input = []) (p : prepared) =
     paper's deployment model: the schedule is produced offline by the
     static analyser and shipped next to the binary; no analysis happens
     at run time. *)
-let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
+let run_scheduled ?(cfg = config ()) ?(input = []) ?pool image schedule =
   let shipped_size = Schedule.size schedule in
   let schedule, demoted =
     if cfg.verify then
-      let s, demoted, _findings = Verify.check_and_demote image schedule in
+      let s, demoted, _findings =
+        Verify.check_and_demote ?pool image schedule
+      in
       (s, demoted)
     else (schedule, [])
   in
@@ -414,9 +416,9 @@ let run_scheduled ?(cfg = config ()) ?(input = []) image schedule =
 (** The whole pipeline: analyse, profile on the training input, select,
     parallelise, run on the reference input. *)
 let parallelise ?(cfg = config ()) ?(train_input = []) ?(input = []) ?store
-    image =
-  let p = prepare ~cfg ~train_input ?store image in
-  run_parallel ~cfg ~input p
+    ?pool image =
+  let p = prepare ~cfg ~train_input ?store ?pool image in
+  run_parallel ~cfg ~input ?pool p
 
 (** Convenience: speedup of [b] over [a] (same program, same input). *)
 let speedup ~native ~run =

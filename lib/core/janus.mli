@@ -196,12 +196,18 @@ val prepare :
   ?cfg:config ->
   ?train_input:int64 list ->
   ?store:Pipeline.store ->
+  ?pool:Janus_pool.Pool.t ->
   Janus_vx.Image.t ->
   prepared
 
 (** Stage 3: execute under the DBM with the parallelisation schedule.
     Reusable with different thread counts on one {!prepared}. *)
-val run_parallel : ?cfg:config -> ?input:int64 list -> prepared -> result
+val run_parallel :
+  ?cfg:config ->
+  ?input:int64 list ->
+  ?pool:Janus_pool.Pool.t ->
+  prepared ->
+  result
 
 (** Run under the DBM with a pre-generated rewrite schedule (e.g.
     deserialised from disk): the paper's deployment model, where the
@@ -211,6 +217,7 @@ val run_parallel : ?cfg:config -> ?input:int64 list -> prepared -> result
 val run_scheduled :
   ?cfg:config ->
   ?input:int64 list ->
+  ?pool:Janus_pool.Pool.t ->
   Janus_vx.Image.t ->
   Schedule.t ->
   result
@@ -222,6 +229,7 @@ val parallelise :
   ?train_input:int64 list ->
   ?input:int64 list ->
   ?store:Pipeline.store ->
+  ?pool:Janus_pool.Pool.t ->
   Janus_vx.Image.t ->
   result
 

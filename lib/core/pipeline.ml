@@ -45,14 +45,38 @@ let config ?(threads = 8) ?(use_profile = true) ?(use_checks = true)
 (* The artifact store                                                  *)
 (* ------------------------------------------------------------------ *)
 
-type kstat = { mutable kh : int; mutable km : int }
+type kstat = {
+  mutable kh : int;  (* memory hits *)
+  mutable km : int;  (* misses (computed) *)
+  mutable kd : int;  (* disk hits *)
+  mutable ke : int;  (* disk errors: corrupt/stale entries, failed writes *)
+}
 
-type 'v table = { tbl : (string, 'v) Hashtbl.t; ks : kstat }
+(* how a kind's artifact crosses the process boundary; [dec] may raise
+   on any malformed input — the loader treats that as a miss *)
+type 'v codec = { enc : 'v -> bytes; dec : bytes -> 'v }
 
-let table () = { tbl = Hashtbl.create 16; ks = { kh = 0; km = 0 } }
+type 'v table = {
+  kind : string;
+  codec : 'v codec;
+  tbl : (string, 'v) Hashtbl.t;
+  ks : kstat;
+}
+
+let table kind codec =
+  { kind; codec; tbl = Hashtbl.create 16;
+    ks = { kh = 0; km = 0; kd = 0; ke = 0 } }
+
+(* Analysis/profile artifacts are pure data (no closures, no custom
+   blocks — records, lists, arrays, Hashtbls), so Marshal is a sound
+   codec for them; images and schedules use their own byte formats. *)
+let marshal_codec () =
+  { enc = (fun v -> Marshal.to_bytes v []);
+    dec = (fun b -> Marshal.from_bytes b 0) }
 
 type store = {
   enabled : bool;
+  dir : string option;  (* persistent layer root, when present *)
   mu : Mutex.t;
   images : Image.t table;
   analyses : Analysis.t table;
@@ -61,11 +85,27 @@ type store = {
   schedules : Schedule.t table;
 }
 
-let store ?(enabled = true) () =
-  { enabled; mu = Mutex.create (); images = table (); analyses = table ();
-    coverages = table (); depses = table (); schedules = table () }
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Sys.mkdir d 0o755
+    with Sys_error _ when Sys.is_directory d -> ()  (* lost a race: fine *)
+  end
+
+let store ?(enabled = true) ?dir () =
+  Option.iter mkdir_p dir;
+  { enabled; dir; mu = Mutex.create ();
+    images = table "image" { enc = Image.to_bytes; dec = Image.of_bytes };
+    analyses = table "analysis" (marshal_codec ());
+    coverages = table "coverage" (marshal_codec ());
+    depses = table "deps" (marshal_codec ());
+    schedules =
+      table "schedule" { enc = Schedule.to_bytes; dec = Schedule.of_bytes } }
 
 let default_store = store ()
+
+let store_dir s = s.dir
 
 let tables s =
   [ ("image", s.images.ks); ("analysis", s.analyses.ks);
@@ -88,30 +128,134 @@ let cache_stats s =
   let r =
     List.fold_left
       (fun acc (_, ks) ->
-         { hits = acc.hits + ks.kh; misses = acc.misses + ks.km })
+         { hits = acc.hits + ks.kh + ks.kd; misses = acc.misses + ks.km })
       { hits = 0; misses = 0 } (tables s)
   in
   Mutex.unlock s.mu;
   r
 
-let publish_metrics s obs =
+type kind_stat = {
+  k_kind : string;
+  k_mem_hits : int;
+  k_disk_hits : int;
+  k_misses : int;
+  k_disk_errors : int;
+}
+
+let kind_stats s =
   Mutex.lock s.mu;
-  let per_kind =
-    List.map (fun (name, ks) -> (name, ks.kh, ks.km)) (tables s)
+  let r =
+    List.map
+      (fun (name, ks) ->
+         { k_kind = name; k_mem_hits = ks.kh; k_disk_hits = ks.kd;
+           k_misses = ks.km; k_disk_errors = ks.ke })
+      (tables s)
   in
   Mutex.unlock s.mu;
-  let hits = List.fold_left (fun a (_, h, _) -> a + h) 0 per_kind in
-  let misses = List.fold_left (fun a (_, _, m) -> a + m) 0 per_kind in
-  Obs.set obs "pipeline.cache.hits" hits;
-  Obs.set obs "pipeline.cache.misses" misses;
+  r
+
+let publish_metrics s obs =
+  let per_kind = kind_stats s in
+  let sum f = List.fold_left (fun a k -> a + f k) 0 per_kind in
+  Obs.set obs "pipeline.cache.hits" (sum (fun k -> k.k_mem_hits + k.k_disk_hits));
+  Obs.set obs "pipeline.cache.misses" (sum (fun k -> k.k_misses));
+  Obs.set obs "pipeline.cache.disk.hits" (sum (fun k -> k.k_disk_hits));
+  Obs.set obs "pipeline.cache.disk.errors" (sum (fun k -> k.k_disk_errors));
   List.iter
-    (fun (name, h, m) ->
-       Obs.set obs (Printf.sprintf "pipeline.cache.%s.hits" name) h;
-       Obs.set obs (Printf.sprintf "pipeline.cache.%s.misses" name) m)
+    (fun k ->
+       Obs.set obs (Printf.sprintf "pipeline.cache.%s.hits" k.k_kind)
+         (k.k_mem_hits + k.k_disk_hits);
+       Obs.set obs (Printf.sprintf "pipeline.cache.%s.misses" k.k_kind)
+         k.k_misses;
+       Obs.set obs (Printf.sprintf "pipeline.cache.%s.disk.hits" k.k_kind)
+         k.k_disk_hits;
+       Obs.set obs (Printf.sprintf "pipeline.cache.%s.disk.errors" k.k_kind)
+         k.k_disk_errors)
     per_kind
 
-(* Memoise [f ()] under [key]. The computation runs outside the lock so
-   other domains are never blocked on it; two domains may race to
+(* ------------------------------------------------------------------ *)
+(* The persistent layer                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One file per entry, named by the kind and the MD5 of the full
+   content key. Self-describing, versioned and checksummed:
+
+     JART1\n <build version>\n <kind>\n <key>\n <payload MD5>\n <len>\n
+     <payload bytes>
+
+   The full key is stored and compared on load, so a filename-hash
+   collision reads back as a miss, never as a wrong artifact. A
+   mismatched build version is an ordinary miss (artifact formats may
+   change between builds); anything else malformed — bad magic, short
+   file, digest mismatch, codec exception — is a [`Error]: counted,
+   treated as a miss, and overwritten by the recomputed artifact. *)
+
+let entry_magic = "JART1"
+
+let entry_path dir kind key =
+  Filename.concat dir
+    (Printf.sprintf "%s-%s.jart" kind (Digest.to_hex (Digest.string key)))
+
+let disk_load ~dir (t : 'v table) key : [ `Hit of 'v | `Miss | `Error ] =
+  let path = entry_path dir t.kind key in
+  if not (Sys.file_exists path) then `Miss
+  else
+    let stale = ref false in
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+           let line () = input_line ic in
+           if line () <> entry_magic then failwith "magic";
+           if line () <> Version.version then begin
+             stale := true;
+             failwith "version"
+           end;
+           if line () <> t.kind then failwith "kind";
+           if line () <> key then failwith "key";
+           let md5 = line () in
+           let len = int_of_string (line ()) in
+           let payload = really_input_string ic len in
+           if pos_in ic <> in_channel_length ic then failwith "trailing";
+           if Digest.to_hex (Digest.string payload) <> md5 then
+             failwith "digest";
+           t.codec.dec (Bytes.of_string payload))
+    with
+    | v -> `Hit v
+    | exception _ -> if !stale then `Miss else `Error
+
+(* Atomic publication: write to a unique temp file in the same
+   directory, then rename over the final name. Readers see either the
+   old complete entry or the new complete entry, never a torn write —
+   concurrent writers of one key both publish the same (deterministic)
+   artifact, so last-rename-wins is benign. *)
+let disk_save ~dir (t : 'v table) key v =
+  match
+    let payload = Bytes.to_string (t.codec.enc v) in
+    let path = entry_path dir t.kind key in
+    let tmp = Filename.temp_file ~temp_dir:dir (t.kind ^ "-") ".tmp" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+      (fun () ->
+         let oc = open_out_bin tmp in
+         (try
+            Printf.fprintf oc "%s\n%s\n%s\n%s\n%s\n%d\n" entry_magic
+              Version.version t.kind key
+              (Digest.to_hex (Digest.string payload))
+              (String.length payload);
+            output_string oc payload
+          with e -> close_out_noerr oc; raise e);
+         close_out oc;
+         Sys.rename tmp path)
+  with
+  | () -> true
+  | exception _ -> false
+
+(* Memoise [f ()] under [key]: memory first, then the persistent layer
+   (when the store has one), then compute — and on compute, publish to
+   both layers. The computation and all file I/O run outside the lock
+   so other domains are never blocked on them; two domains may race to
    compute the same key, but artifacts are deterministic functions of
    their key, so both compute the same value and last-write-wins is
    benign. A disabled store still counts every recomputation as a miss
@@ -131,13 +275,37 @@ let memo s (t : _ table) key f =
       Mutex.unlock s.mu;
       v
     | None ->
-      t.ks.km <- t.ks.km + 1;
       Mutex.unlock s.mu;
-      let v = f () in
-      Mutex.lock s.mu;
-      Hashtbl.replace t.tbl key v;
-      Mutex.unlock s.mu;
-      v
+      let from_disk =
+        match s.dir with
+        | Some dir -> disk_load ~dir t key
+        | None -> `Miss
+      in
+      match from_disk with
+      | `Hit v ->
+        Mutex.lock s.mu;
+        t.ks.kd <- t.ks.kd + 1;
+        Hashtbl.replace t.tbl key v;
+        Mutex.unlock s.mu;
+        v
+      | (`Miss | `Error) as r ->
+        Mutex.lock s.mu;
+        t.ks.km <- t.ks.km + 1;
+        if r = `Error then t.ks.ke <- t.ks.ke + 1;
+        Mutex.unlock s.mu;
+        let v = f () in
+        Mutex.lock s.mu;
+        Hashtbl.replace t.tbl key v;
+        Mutex.unlock s.mu;
+        (match s.dir with
+         | Some dir ->
+           if not (disk_save ~dir t key v) then begin
+             Mutex.lock s.mu;
+             t.ks.ke <- t.ks.ke + 1;
+             Mutex.unlock s.mu
+           end
+         | None -> ());
+        v
   end
 
 (* ------------------------------------------------------------------ *)
@@ -177,9 +345,9 @@ let compile ?(store = default_store) ?(options = Jcc.default_options) source =
   in
   memo store store.images key (fun () -> Jcc.compile ~options source)
 
-let analyse ?(store = default_store) image =
+let analyse ?(store = default_store) ?pool image =
   memo store store.analyses (image_key image) (fun () ->
-      Analysis.analyse_image image)
+      Analysis.analyse_image ?pool image)
 
 let profile ?(store = default_store) ~cfg ~train_input image analysis =
   let key () =

@@ -76,28 +76,60 @@ type store
 
 (** [store ()] makes an empty artifact store. [enabled:false] makes a
     store that never caches (every lookup recomputes) — the [--no-cache]
-    backend, useful to measure cold-pipeline cost. *)
-val store : ?enabled:bool -> unit -> store
+    backend, useful to measure cold-pipeline cost.
+
+    [dir] adds a persistent layer under that directory (created if
+    missing): every artifact is also published on disk as a versioned,
+    checksummed, content-keyed entry, and a memory miss consults the
+    directory before recomputing — so a fresh process answers a binary
+    it has seen in {e any} earlier run from the warm store. Writes are
+    atomic (temp file + rename), so concurrent processes sharing one
+    directory never observe a torn entry; loads are corruption-tolerant
+    — a truncated, tampered or stale-version entry is a miss (counted
+    under disk errors where malformed), never a crash, and is
+    overwritten by the recomputed artifact. A persistent hit is
+    byte-identical to a recomputation, so cold and warm runs produce
+    identical artifacts. *)
+val store : ?enabled:bool -> ?dir:string -> unit -> store
+
+(** The persistent layer's directory, if the store has one. *)
+val store_dir : store -> string option
 
 (** The process-wide store the [?store] parameters default to, so
     repeated pipeline runs in one process share static artifacts unless
     a caller opts out. *)
 val default_store : store
 
-(** Drop every cached artifact (counters are kept). *)
+(** Drop every cached artifact from the {e memory} layer (counters and
+    on-disk entries are kept — a later lookup may still hit the
+    persistent layer). *)
 val clear : store -> unit
 
 type cache_stats = { hits : int; misses : int }
 
-(** Lifetime hit/miss counters across all artifact kinds. A concurrent
-    duplicate computation of the same key counts as a miss for each
-    computing domain (the store never blocks a reader on another
-    domain's computation; identical values make the race benign). *)
+(** Lifetime hit/miss counters across all artifact kinds; [hits] counts
+    memory and persistent-layer hits together, [misses] counts actual
+    recomputations. A concurrent duplicate computation of the same key
+    counts as a miss for each computing domain (the store never blocks
+    a reader on another domain's computation; identical values make the
+    race benign). *)
 val cache_stats : store -> cache_stats
 
+(** Per-kind counter breakdown, memory and disk separated. *)
+type kind_stat = {
+  k_kind : string;        (** image | analysis | coverage | deps | schedule *)
+  k_mem_hits : int;
+  k_disk_hits : int;
+  k_misses : int;
+  k_disk_errors : int;    (** malformed entries seen, failed publishes *)
+}
+
+val kind_stats : store -> kind_stat list
+
 (** Publish the store's counters into a metrics registry as
-    [pipeline.cache.hits] / [pipeline.cache.misses] plus per-kind
-    [pipeline.cache.<kind>.{hits,misses}] counters. *)
+    [pipeline.cache.{hits,misses}], [pipeline.cache.disk.{hits,errors}]
+    plus per-kind [pipeline.cache.<kind>.{hits,misses}] and
+    [pipeline.cache.<kind>.disk.{hits,errors}] counters. *)
 val publish_metrics : store -> Obs.t -> unit
 
 (** {1 Stages}
@@ -111,8 +143,12 @@ val publish_metrics : store -> Obs.t -> unit
 val compile : ?store:store -> ?options:Jcc.options -> string -> Janus_vx.Image.t
 
 (** Stage 1 — static analysis: CFG recovery, loop forest, per-loop
-    classification. Key: image digest. *)
-val analyse : ?store:store -> Janus_vx.Image.t -> Analysis.t
+    classification. Key: image digest. [pool] shards the analysis per
+    function on a miss (see {!Analysis.analyse_image}); hits ignore it,
+    which is sound because the sharded analysis is bit-identical to the
+    sequential one. *)
+val analyse :
+  ?store:store -> ?pool:Janus_pool.Pool.t -> Janus_vx.Image.t -> Analysis.t
 
 (** Stage 2 — training-input profiling. Returns [(coverage, deps)]
     with each side present only when the configuration asks for it

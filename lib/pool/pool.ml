@@ -6,7 +6,9 @@
     while work remains. Results land in a per-index slot, so collection
     order is submission order no matter which domain ran what; an
     exception is re-raised deterministically from the earliest failing
-    index once the whole batch has settled. *)
+    index once the whole batch has settled. A {!map} that re-enters the
+    pool from inside one of its own tasks runs inline on the calling
+    domain instead of corrupting the in-flight batch. *)
 
 module Obs = Janus_obs.Obs
 
@@ -24,6 +26,7 @@ type t = {
   mu : Mutex.t;
   cond : Condition.t;       (* wakes workers: new batch or shutdown *)
   done_cond : Condition.t;  (* wakes the caller: batch finished *)
+  active : bool Atomic.t;   (* a parallel batch is in flight *)
   mutable gen : int;        (* batch generation, guarded by [mu] *)
   mutable batch : batch option;
   mutable stop : bool;
@@ -98,7 +101,8 @@ let create ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let t =
     { jobs; mu = Mutex.create (); cond = Condition.create ();
-      done_cond = Condition.create (); gen = 0; batch = None; stop = false;
+      done_cond = Condition.create (); active = Atomic.make false;
+      gen = 0; batch = None; stop = false;
       tasks = 0; stolen = 0; batches = 0; workers = []; joined = false }
   in
   t.workers <-
@@ -106,61 +110,100 @@ let create ~jobs () =
         Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
+let count_batch t ~tasks =
+  Mutex.lock t.mu;
+  t.tasks <- t.tasks + tasks;
+  t.batches <- t.batches + 1;
+  Mutex.unlock t.mu
+
+(* The inline path, shared by jobs<=1 pools, singleton batches and
+   re-entrant calls. It mirrors the parallel path exactly: every task
+   runs (a failure abandons nothing), the lifetime counters advance by
+   one batch of [n] tasks whether or not a task raised, and the
+   earliest failing index's exception is re-raised once all tasks have
+   settled — so [stats] cannot tell the two paths apart. *)
+let map_inline t f xs =
+  let first_exn = ref None in
+  let n = ref 0 in
+  let rs =
+    List.map
+      (fun x ->
+         incr n;
+         match f x with
+         | r -> Some r
+         | exception e ->
+           if Option.is_none !first_exn then first_exn := Some e;
+           None)
+      xs
+  in
+  count_batch t ~tasks:!n;
+  match !first_exn with
+  | Some e -> raise e
+  | None ->
+    List.map (function Some r -> r | None -> assert false) rs
+
+let map_parallel t f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let exns = Array.make n None in
+  let b =
+    {
+      deques = Array.init t.jobs (fun _ -> Queue.create ());
+      locks = Array.init t.jobs (fun _ -> Mutex.create ());
+      remaining = Atomic.make n;
+      steals = Atomic.make 0;
+    }
+  in
+  Array.iteri
+    (fun i x ->
+       let cell () =
+         match f x with
+         | r -> results.(i) <- Some r
+         | exception e -> exns.(i) <- Some e
+       in
+       Queue.push cell b.deques.(i mod t.jobs))
+    arr;
+  Mutex.lock t.mu;
+  t.batch <- Some b;
+  t.gen <- t.gen + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu;
+  (* the calling domain is worker 0 *)
+  work t b 0;
+  Mutex.lock t.mu;
+  while Atomic.get b.remaining > 0 do
+    Condition.wait t.done_cond t.mu
+  done;
+  t.batch <- None;
+  t.tasks <- t.tasks + n;
+  t.stolen <- t.stolen + Atomic.get b.steals;
+  t.batches <- t.batches + 1;
+  Mutex.unlock t.mu;
+  Array.iter (function Some e -> raise e | None -> ()) exns;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> assert false (* no exception, so every slot is set *))
+       results)
+
 let map t f xs =
   match xs with
   | [] -> []
-  | xs when t.jobs <= 1 || List.length xs <= 1 ->
-    let rs = List.map f xs in
-    Mutex.lock t.mu;
-    t.tasks <- t.tasks + List.length xs;
-    t.batches <- t.batches + 1;
-    Mutex.unlock t.mu;
-    rs
+  | [ _ ] -> map_inline t f xs
+  | xs when t.jobs <= 1 -> map_inline t f xs
   | xs ->
-    let arr = Array.of_list xs in
-    let n = Array.length arr in
-    let results = Array.make n None in
-    let exns = Array.make n None in
-    let b =
-      {
-        deques = Array.init t.jobs (fun _ -> Queue.create ());
-        locks = Array.init t.jobs (fun _ -> Mutex.create ());
-        remaining = Atomic.make n;
-        steals = Atomic.make 0;
-      }
-    in
-    Array.iteri
-      (fun i x ->
-         let cell () =
-           match f x with
-           | r -> results.(i) <- Some r
-           | exception e -> exns.(i) <- Some e
-         in
-         Queue.push cell b.deques.(i mod t.jobs))
-      arr;
-    Mutex.lock t.mu;
-    t.batch <- Some b;
-    t.gen <- t.gen + 1;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mu;
-    (* the calling domain is worker 0 *)
-    work t b 0;
-    Mutex.lock t.mu;
-    while Atomic.get b.remaining > 0 do
-      Condition.wait t.done_cond t.mu
-    done;
-    t.batch <- None;
-    t.tasks <- t.tasks + n;
-    t.stolen <- t.stolen + Atomic.get b.steals;
-    t.batches <- t.batches + 1;
-    Mutex.unlock t.mu;
-    Array.iter (function Some e -> raise e | None -> ()) exns;
-    Array.to_list
-      (Array.map
-         (function
-           | Some r -> r
-           | None -> assert false (* no exception, so every slot is set *))
-         results)
+    (* One parallel batch at a time: a map called from inside a task of
+       the in-flight batch (or from another domain racing this pool)
+       must not overwrite [t.batch]/[t.gen] mid-flight — late-waking
+       workers would join the wrong batch. Such calls run inline on the
+       calling domain instead; results and counters are identical. *)
+    if Atomic.compare_and_set t.active false true then
+      Fun.protect
+        ~finally:(fun () -> Atomic.set t.active false)
+        (fun () -> map_parallel t f xs)
+    else map_inline t f xs
 
 let stats t =
   Mutex.lock t.mu;

@@ -18,8 +18,11 @@
 
     A pool is reusable across any number of {!map} batches and must be
     {!shutdown} when done (worker domains otherwise keep the process
-    alive). Pools must not be shared between concurrent callers: one
-    {!map} batch runs at a time. *)
+    alive). One parallel {!map} batch runs at a time: a re-entrant call
+    — a task of an in-flight batch calling {!map} on the same pool, as
+    sharded analysis nested under a pooled evaluation row does — is
+    detected and runs inline on the calling domain, with identical
+    results and counters. *)
 
 type t
 
@@ -35,12 +38,18 @@ val jobs : t -> int
     up to [jobs t] domains, and returns the results in submission
     order. If any task raised, the exception of the earliest failing
     index is re-raised after all tasks have settled (no task is
-    abandoned mid-flight, so the pool stays reusable). *)
+    abandoned mid-flight, so the pool stays reusable). A call made
+    while a batch is already in flight on this pool (re-entrance from a
+    task, or a racing domain) runs inline on the calling domain with
+    the same semantics. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Lifetime counters: tasks executed, tasks stolen from another
-    worker's deque, and {!map} batches dispatched to the workers
-    (inline [jobs = 1] batches count too; their steals are 0). *)
+    worker's deque, and {!map} batches dispatched. The inline paths
+    ([jobs = 1], singleton batches, re-entrant calls) advance [tasks]
+    and [batches] exactly like the parallel path — including when a
+    task raises — so the counters are path-independent; inline steals
+    are 0. An empty [map] is not a batch. *)
 type stats = { tasks : int; steals : int; batches : int }
 
 val stats : t -> stats

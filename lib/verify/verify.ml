@@ -70,36 +70,42 @@ let dir_ok cond step =
   | (Cond.Gt | Cond.Ge | Cond.Ne | Cond.Ugt | Cond.Uge), -1 -> true
   | _ -> false
 
-let lint image (s : Schedule.t) : finding list =
+let lint ?pool image (s : Schedule.t) : finding list =
   let findings = ref [] in
   let add severity code ?addr ?lid message =
     findings := { severity; code; addr; lid; message } :: !findings
   in
   let decode = Image.decode_text image in
-  (* CFG recovery and per-function analyses, on demand *)
+  (* CFG recovery and per-function analyses, on demand. The caches made
+     by [mk_caches] memoise per function; the descriptor deep checks
+     below run one cache pair per pool task (a shared cache would race
+     across domains), the fission checks share one on the lint domain. *)
   let cfgt = lazy (Cfg.recover image) in
-  let live_cache : (int, Liveness.t) Hashtbl.t = Hashtbl.create 4 in
-  let loops_cache : (int, Looptree.t) Hashtbl.t = Hashtbl.create 4 in
+  let mk_caches () =
+    let live_cache : (int, Liveness.t) Hashtbl.t = Hashtbl.create 4 in
+    let loops_cache : (int, Looptree.t) Hashtbl.t = Hashtbl.create 4 in
+    let liveness_of (f : Cfg.func) =
+      match Hashtbl.find_opt live_cache f.Cfg.fentry with
+      | Some l -> l
+      | None ->
+        let l = Liveness.compute f in
+        Hashtbl.replace live_cache f.Cfg.fentry l;
+        l
+    in
+    let looptree_of (f : Cfg.func) =
+      match Hashtbl.find_opt loops_cache f.Cfg.fentry with
+      | Some t -> t
+      | None ->
+        let t = Looptree.compute f (Dom.compute f) in
+        Hashtbl.replace loops_cache f.Cfg.fentry t;
+        t
+    in
+    (liveness_of, looptree_of)
+  in
   let func_containing baddr =
     List.find_opt
       (fun (f : Cfg.func) -> Hashtbl.mem f.Cfg.block_at baddr)
       (Cfg.all_funcs (Lazy.force cfgt))
-  in
-  let liveness_of (f : Cfg.func) =
-    match Hashtbl.find_opt live_cache f.Cfg.fentry with
-    | Some l -> l
-    | None ->
-      let l = Liveness.compute f in
-      Hashtbl.replace live_cache f.Cfg.fentry l;
-      l
-  in
-  let looptree_of (f : Cfg.func) =
-    match Hashtbl.find_opt loops_cache f.Cfg.fentry with
-    | Some t -> t
-    | None ->
-      let t = Looptree.compute f (Dom.compute f) in
-      Hashtbl.replace loops_cache f.Cfg.fentry t;
-      t
   in
   (* ---- rule stream shape ---- *)
   let rec sorted = function
@@ -310,9 +316,22 @@ let lint image (s : Schedule.t) : finding list =
        | _ -> ())
     s.Schedule.rules;
   (* ---- descriptor deep checks ---- *)
-  Hashtbl.iter
-    (fun lid (d : Desc.loop_desc) ->
-       let check_addr what a =
+  (* Sharded per containing function over [pool]: liveness and loop
+     forests are per-function artifacts, so descriptors sharing a
+     function are checked as one task over one task-local cache pair.
+     Descriptors are sorted by lid, groups ordered by their first lid,
+     and per-task findings concatenated in that order — the report is
+     byte-identical with or without a pool, at any [--jobs]. The CFG is
+     recovered up front (grouping needs it), so tasks never race the
+     lazy cell; [decode], [s] and [check_descs] are read-only here and
+     shared Hashtbl reads are safe across domains. *)
+  let deep_check ~liveness_of ~looptree_of
+      (lid, (d : Desc.loop_desc), (fopt : Cfg.func option)) =
+    let out = ref [] in
+    let add severity code ?addr ?lid message =
+      out := { severity; code; addr; lid; message } :: !out
+    in
+    (let check_addr what a =
          if not (Hashtbl.mem decode a) then
            add Error "descriptor-address" ~addr:a ~lid
              (Fmt.str "descriptor %s 0x%x is not an instruction boundary"
@@ -408,7 +427,7 @@ let lint image (s : Schedule.t) : finding list =
         | None -> ());
        (* every register the loop writes must either be declared live-out
           (the runtime copies it back) or be provably dead at every exit *)
-       match func_containing d.Desc.header_addr with
+       match fopt with
        | None ->
          add Warning "descriptor-address" ~lid
            (Fmt.str "header 0x%x is not inside any recovered function"
@@ -479,13 +498,49 @@ let lint image (s : Schedule.t) : finding list =
                                (Reg.fp_name r) exit_addr))
                      Reg.all_fp
                  end)
-              d.Desc.exit_addrs))
-    loop_descs;
+              d.Desc.exit_addrs));
+    List.rev !out
+  in
+  let deep_items =
+    Hashtbl.fold (fun lid d acc -> (lid, d) :: acc) loop_descs []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (lid, (d : Desc.loop_desc)) ->
+        (lid, d, func_containing d.Desc.header_addr))
+  in
+  let deep_groups =
+    (* by containing function, groups in order of first (smallest) lid;
+       header-less descriptors form their own group *)
+    let tbl = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun ((_, _, fopt) as item) ->
+         let key =
+           match fopt with Some (f : Cfg.func) -> f.Cfg.fentry | None -> -1
+         in
+         match Hashtbl.find_opt tbl key with
+         | Some r -> r := item :: !r
+         | None ->
+           Hashtbl.replace tbl key (ref [ item ]);
+           order := key :: !order)
+      deep_items;
+    List.rev_map (fun k -> List.rev !(Hashtbl.find tbl k)) !order
+  in
+  let check_group group =
+    let liveness_of, looptree_of = mk_caches () in
+    List.concat_map (deep_check ~liveness_of ~looptree_of) group
+  in
+  let deep_findings =
+    match pool with
+    | Some p when Janus_pool.Pool.jobs p > 1 && List.length deep_groups > 1 ->
+      List.concat (Janus_pool.Pool.map p check_group deep_groups)
+    | _ -> List.concat_map check_group deep_groups
+  in
+  List.iter (fun f -> findings := f :: !findings) deep_findings;
   (* ---- fission schedules ---- *)
   (* forced only when a LOOP_FISSION rule exists, so fission-free
      schedules never pay for a re-analysis of the image *)
   let analysis =
-    lazy (try Some (Analysis.analyse_image image) with _ -> None)
+    lazy (try Some (Analysis.analyse_image ?pool image) with _ -> None)
   in
   let kind_name = function
     | Depgraph.Reg_flow -> "register-flow"
@@ -493,8 +548,12 @@ let lint image (s : Schedule.t) : finding list =
     | Depgraph.Mem -> "memory"
     | Depgraph.Ctrl -> "control"
   in
-  Hashtbl.iter
-    (fun lid (fd : Desc.fission_desc) ->
+  (* iterated in lid order (not Hashtbl order) so the finding stream is
+     deterministic; the caches live on the lint domain — this section is
+     sequential, only the re-analysis above fans out *)
+  let _, looptree_of = mk_caches () in
+  List.iter
+    (fun (lid, (fd : Desc.fission_desc)) ->
        let d = fd.Desc.fd_loop in
        let groups = fd.Desc.fd_groups in
        if groups = [] then
@@ -660,7 +719,8 @@ let lint image (s : Schedule.t) : finding list =
                            e.Depgraph.e_tag sa)
                     | _ -> ())
                  g.Depgraph.dg_edges)
-    fission_descs;
+    (Hashtbl.fold (fun lid fd acc -> (lid, fd) :: acc) fission_descs []
+     |> List.sort (fun (a, _) (b, _) -> compare a b));
   List.rev !findings
 
 (* ------------------------------------------------------------------ *)
@@ -774,8 +834,8 @@ let demote image (s : Schedule.t) lids =
       in
       { s with Schedule.rules = List.filter keep s.Schedule.rules }
 
-let check_and_demote image (s : Schedule.t) =
-  let findings = lint image s in
+let check_and_demote ?pool image (s : Schedule.t) =
+  let findings = lint ?pool image s in
   let failed = failed_loops findings in
   let unattributed =
     List.exists (fun f -> f.severity = Error && f.lid = None) findings

@@ -33,8 +33,12 @@ val pp_finding : Format.formatter -> finding -> unit
     (LOOP_UPDATE_BOUND is the one parallelisation rule that does not). *)
 val rule_lid : Rule.t -> int option
 
-(** Lint a schedule against the image it was generated for. *)
-val lint : Image.t -> Schedule.t -> finding list
+(** Lint a schedule against the image it was generated for. [pool]
+    shards the per-descriptor deep checks (liveness, loop forests) by
+    containing function and the fission re-analysis by function;
+    findings are merged in deterministic lid order, so the report is
+    byte-identical with or without a pool, at any [--jobs]. *)
+val lint : ?pool:Janus_pool.Pool.t -> Image.t -> Schedule.t -> finding list
 
 (** Re-derive every analysable loop's dependence verdict with
     {!Memdep} and report disagreements with the classifier. *)
@@ -55,4 +59,5 @@ val demote : Image.t -> Schedule.t -> int list -> Schedule.t
     DBM run is always sequentially correct). Returns the (possibly
     reduced) schedule, the demoted loop ids and the findings. *)
 val check_and_demote :
+  ?pool:Janus_pool.Pool.t ->
   Image.t -> Schedule.t -> Schedule.t * int list * finding list

@@ -32,22 +32,94 @@ for src in "${guests[@]}"; do
   dune exec bin/jverify.exe -- --crosscheck "$jx" "$jrs"
 done
 
-echo "== evaluation determinism: --jobs 1 vs --jobs 4 =="
+echo "== evaluation determinism: jobs x store, 4 ways =="
 # the headline guarantee of the staged pipeline: the full evaluation is
 # byte-identical whether rows are computed sequentially or fanned out
-# over domains, and whether artifacts come from the cache or fresh
+# over domains, and whether artifacts are fresh, memory-cached, or
+# loaded back from a persistent store directory by a later process
+store_dir="$work/artifact-store"
 dune exec bin/janus_eval.exe -- all --jobs 1 --metrics \
-  > "$work/eval_j1.txt" 2> "$work/eval_j1.metrics"
+  --store-dir "$store_dir" \
+  > "$work/eval_j1_cold.txt" 2> "$work/eval_j1_cold.metrics"
+dune exec bin/janus_eval.exe -- all --jobs 1 --metrics \
+  --store-dir "$store_dir" \
+  > "$work/eval_j1_warm.txt" 2> "$work/eval_j1_warm.metrics"
 dune exec bin/janus_eval.exe -- all --jobs 4 --metrics \
-  > "$work/eval_j4.txt" 2> "$work/eval_j4.metrics"
-diff -u "$work/eval_j1.txt" "$work/eval_j4.txt"
-echo "-- pipeline cache counters (--jobs 1) --"
-grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j1.metrics"
-echo "-- pipeline cache counters (--jobs 4) --"
-grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j4.metrics"
+  > "$work/eval_j4_cold.txt" 2> "$work/eval_j4_cold.metrics"
+dune exec bin/janus_eval.exe -- all --jobs 4 --metrics \
+  --store-dir "$store_dir" \
+  > "$work/eval_j4_warm.txt" 2> "$work/eval_j4_warm.metrics"
+diff -u "$work/eval_j1_cold.txt" "$work/eval_j1_warm.txt"
+diff -u "$work/eval_j1_cold.txt" "$work/eval_j4_cold.txt"
+diff -u "$work/eval_j1_cold.txt" "$work/eval_j4_warm.txt"
+# the warm rerun really did come from disk: a fresh process with an
+# empty memory layer must report disk hits and no recomputation
+grep -Eq '^pipeline\.cache\.disk\.hits +[1-9]' "$work/eval_j1_warm.metrics"
+grep -Eq '^pipeline\.cache\.misses +0$' "$work/eval_j1_warm.metrics"
+echo "-- pipeline cache counters (--jobs 1, cold) --"
+grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j1_cold.metrics"
+echo "-- pipeline cache counters (--jobs 4, warm store) --"
+grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j4_warm.metrics"
 
 echo "== experiment registry =="
 dune exec bin/janus_eval.exe -- --list
+
+echo "== janus_served: warm answers over a unix socket =="
+# start the daemon from the already-built binary (dune exec would
+# contend for the build lock with the client invocations below)
+served=_build/default/bin/janus_served.exe
+sock="$work/janus_served.sock"
+served_store="$work/served-store"
+"$served" serve --socket "$sock" --store-dir "$served_store" \
+  > "$work/served.log" 2>&1 &
+served_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ] || { echo "daemon never bound $sock" >&2; exit 1; }
+# same binary twice: the second schedule must be a warm store answer
+# and byte-identical to the first
+"$served" schedule --socket "$sock" --bench 410.bwaves \
+  --out "$work/served_s1.jrs" | tee "$work/served_s1.txt"
+"$served" schedule --socket "$sock" --bench 410.bwaves \
+  --out "$work/served_s2.jrs" | tee "$work/served_s2.txt"
+cmp "$work/served_s1.jrs" "$work/served_s2.jrs"
+grep -q 'cache-hit=false' "$work/served_s1.txt"
+grep -q 'cache-hit=true' "$work/served_s2.txt"
+"$served" analyse --socket "$sock" --bench 410.bwaves > "$work/served_a.txt"
+grep -q 'cache-hit=true' "$work/served_a.txt"
+echo "-- served counters --"
+"$served" metrics --socket "$sock" | tee "$work/served.metrics"
+grep -Eq '^served\.schedule +2' "$work/served.metrics"
+grep -Eq '^served\.store_hits +[1-9]' "$work/served.metrics"
+grep -Eq '^pipeline\.cache\.hits +[1-9]' "$work/served.metrics"
+"$served" stop --socket "$sock"
+wait "$served_pid"
+# a restarted daemon over the same store directory answers from disk
+"$served" serve --socket "$sock" --store-dir "$served_store" \
+  >> "$work/served.log" 2>&1 &
+served_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+"$served" schedule --socket "$sock" --bench 410.bwaves \
+  --out "$work/served_s3.jrs" > "$work/served_s3.txt"
+grep -q 'cache-hit=true' "$work/served_s3.txt"
+cmp "$work/served_s1.jrs" "$work/served_s3.jrs"
+"$served" stop --socket "$sock"
+wait "$served_pid"
+
+echo "== analysis benchmark =="
+scripts/bench_analysis.sh "$work/BENCH_analysis.json"
+# committed baseline must stay structurally comparable to a fresh run
+python3 - "$work/BENCH_analysis.json" BENCH_analysis.json <<'PY'
+import json, sys
+fresh, baseline = (json.load(open(p)) for p in sys.argv[1:3])
+assert sorted(fresh) == sorted(baseline), (sorted(fresh), sorted(baseline))
+assert fresh["warm_hit_rate"] >= 0.9, fresh
+PY
 
 echo "== adaptive governor: determinism and report =="
 # governor decisions are functions of virtual cycles and counters only,
@@ -93,7 +165,10 @@ dune exec test/tools/suite_jx.exe -- adv.fission "$work/adv_fission.jx"
 dune exec bin/janus_analyze.exe -- "$work/adv_fission.jx" --fission \
   --emit-schedule "$work/adv_fission.jrs" --verify \
   > "$work/adv_fission.analyze.log"
-dune exec bin/jrs_dump.exe -- "$work/adv_fission.jrs" | grep -q LOOP_FISSION
+# capture then grep: `| grep -q` would close the pipe at first match
+# and SIGPIPE the dumper, failing the script under pipefail
+dune exec bin/jrs_dump.exe -- "$work/adv_fission.jrs" > "$work/adv_fission.dump"
+grep -q LOOP_FISSION "$work/adv_fission.dump"
 dune exec bin/jverify.exe -- "$work/adv_fission.jx" "$work/adv_fission.jrs"
 # end-to-end: fissioned output matches native, fission.* metrics print
 dune exec bin/janus_run.exe -- "$work/adv_fission.jx" --mode native \

@@ -18,4 +18,5 @@ let () =
       ("suite", Test_suite.tests);
       ("adapt", Test_adapt.tests);
       ("fuzz", Test_fuzz.tests);
+      ("served", Test_served.tests);
     ]

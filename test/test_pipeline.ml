@@ -120,6 +120,170 @@ let test_publish_metrics_counters () =
      + c "pipeline.cache.coverage.hits" + c "pipeline.cache.deps.hits"
      + c "pipeline.cache.schedule.hits")
 
+(* ---- the persistent layer ---- *)
+
+let temp_counter = ref 0
+
+let fresh_dir () =
+  incr temp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "janus-store-test-%d-%d" (Unix.getpid ()) !temp_counter)
+  in
+  if Sys.file_exists d then
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+  d
+
+let schedule_bytes (p : Janus.prepared) =
+  Bytes.to_string (Janus_schedule.Schedule.to_bytes p.Janus.p_schedule)
+
+let test_persistent_round_trip () =
+  let dir = fresh_dir () in
+  (* cold process: compute and publish to disk *)
+  let s1 = Pipeline.store ~dir () in
+  let img = Pipeline.compile ~store:s1 kernel in
+  let p1 = Janus.prepare ~store:s1 img in
+  (* fresh store over the same directory = a restarted process with an
+     empty memory layer: everything must come back from disk, and come
+     back byte-identical *)
+  let s2 = Pipeline.store ~dir () in
+  let img2 = Pipeline.compile ~store:s2 kernel in
+  let p2 = Janus.prepare ~store:s2 img2 in
+  let stats = Pipeline.cache_stats s2 in
+  Alcotest.(check int) "warm restart recomputed nothing" 0
+    stats.Pipeline.misses;
+  Alcotest.(check bool) "warm restart hit" true (stats.Pipeline.hits > 0);
+  let disk_hits =
+    List.fold_left
+      (fun a (k : Pipeline.kind_stat) -> a + k.Pipeline.k_disk_hits)
+      0 (Pipeline.kind_stats s2)
+  in
+  Alcotest.(check bool) "hits came from disk" true (disk_hits > 0);
+  Alcotest.(check string) "schedule byte-identical across processes"
+    (schedule_bytes p1) (schedule_bytes p2);
+  Alcotest.(check string) "image byte-identical across processes"
+    (Bytes.to_string (Janus_vx.Image.to_bytes img))
+    (Bytes.to_string (Janus_vx.Image.to_bytes img2))
+
+let test_corrupt_entry_is_miss () =
+  let dir = fresh_dir () in
+  let s1 = Pipeline.store ~dir () in
+  let img = Pipeline.compile ~store:s1 kernel in
+  let p1 = Janus.prepare ~store:s1 img in
+  (* vandalise the on-disk layer: truncate one entry, fill another with
+     garbage — loads must degrade to misses, never crash or return a
+     wrong artifact *)
+  let entries =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".jart")
+    |> List.sort compare
+  in
+  (match entries with
+   | a :: b :: _ ->
+     let truncate path =
+       let n = (Unix.stat path).Unix.st_size in
+       Unix.truncate path (n / 2)
+     in
+     truncate (Filename.concat dir a);
+     let oc = open_out_bin (Filename.concat dir b) in
+     output_string oc "this is not an artifact";
+     close_out oc
+   | _ -> Alcotest.fail "expected at least two persisted entries");
+  let s2 = Pipeline.store ~dir () in
+  let img2 = Pipeline.compile ~store:s2 kernel in
+  let p2 = Janus.prepare ~store:s2 img2 in
+  Alcotest.(check string) "recomputed result identical"
+    (schedule_bytes p1) (schedule_bytes p2);
+  let stats2 = Pipeline.cache_stats s2 in
+  Alcotest.(check bool) "corrupt entries recomputed" true
+    (stats2.Pipeline.misses > 0);
+  let disk_errors =
+    List.fold_left
+      (fun a (k : Pipeline.kind_stat) -> a + k.Pipeline.k_disk_errors)
+      0 (Pipeline.kind_stats s2)
+  in
+  Alcotest.(check int) "both vandalised entries detected" 2 disk_errors;
+  (* the recomputation overwrote the bad entries: a third store is
+     fully warm again *)
+  let s3 = Pipeline.store ~dir () in
+  ignore (Janus.prepare ~store:s3 (Pipeline.compile ~store:s3 kernel));
+  Alcotest.(check int) "repaired store is warm" 0
+    (Pipeline.cache_stats s3).Pipeline.misses
+
+let test_concurrent_writers_no_torn_entry () =
+  let dir = fresh_dir () in
+  (* two domains race whole pipelines over separate stores sharing one
+     directory: atomic temp+rename publication means a reader can never
+     observe a half-written entry, whoever wins each rename *)
+  let run () =
+    let s = Pipeline.store ~dir () in
+    let img = Pipeline.compile ~store:s kernel in
+    schedule_bytes (Janus.prepare ~store:s img)
+  in
+  let d1 = Domain.spawn run and d2 = Domain.spawn run in
+  let b1 = Domain.join d1 and b2 = Domain.join d2 in
+  Alcotest.(check string) "racing writers agree" b1 b2;
+  let s = Pipeline.store ~dir () in
+  let img = Pipeline.compile ~store:s kernel in
+  let b3 = schedule_bytes (Janus.prepare ~store:s img) in
+  Alcotest.(check int) "surviving entries all load" 0
+    (Pipeline.cache_stats s).Pipeline.misses;
+  Alcotest.(check string) "surviving entries byte-identical" b1 b3
+
+let test_disk_counters_published () =
+  let dir = fresh_dir () in
+  let s1 = Pipeline.store ~dir () in
+  ignore (Janus.prepare ~store:s1 (Pipeline.compile ~store:s1 kernel));
+  let s2 = Pipeline.store ~dir () in
+  ignore (Janus.prepare ~store:s2 (Pipeline.compile ~store:s2 kernel));
+  let obs = Obs.create () in
+  Pipeline.publish_metrics s2 obs;
+  let c = Obs.counter obs in
+  let per_kind = Pipeline.kind_stats s2 in
+  let sum f = List.fold_left (fun a k -> a + f k) 0 per_kind in
+  Alcotest.(check int) "pipeline.cache.disk.hits"
+    (sum (fun (k : Pipeline.kind_stat) -> k.Pipeline.k_disk_hits))
+    (c "pipeline.cache.disk.hits");
+  Alcotest.(check int) "pipeline.cache.disk.errors"
+    (sum (fun (k : Pipeline.kind_stat) -> k.Pipeline.k_disk_errors))
+    (c "pipeline.cache.disk.errors");
+  Alcotest.(check bool) "disk hits visible" true
+    (c "pipeline.cache.disk.hits" > 0);
+  Alcotest.(check int) "total hits include disk hits"
+    (Pipeline.cache_stats s2).Pipeline.hits
+    (c "pipeline.cache.hits")
+
+(* ---- function-level sharding ---- *)
+
+let test_sharded_analysis_identical () =
+  let module Analysis = Janus_analysis.Analysis in
+  let img = Pipeline.compile ~store:(Pipeline.store ()) kernel in
+  let seq = Analysis.analyse_image img in
+  let par =
+    Pool.with_pool ~jobs:4 (fun pool -> Analysis.analyse_image ~pool img)
+  in
+  Alcotest.(check string) "summaries identical"
+    (Fmt.str "%a" Analysis.pp_summary seq)
+    (Fmt.str "%a" Analysis.pp_summary par);
+  Alcotest.(check string) "whole analysis structurally identical"
+    (Digest.to_hex (Digest.bytes (Marshal.to_bytes seq [])))
+    (Digest.to_hex (Digest.bytes (Marshal.to_bytes par [])))
+
+let test_sharded_verifier_identical () =
+  let module Verify = Janus_verify.Verify in
+  let store = Pipeline.store () in
+  let img = Pipeline.compile ~store kernel in
+  let p = Janus.prepare ~store img in
+  let render fs = String.concat "\n" (List.map (Fmt.str "%a" Verify.pp_finding) fs) in
+  let seq = Verify.lint img p.Janus.p_schedule in
+  let par =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Verify.lint ~pool img p.Janus.p_schedule)
+  in
+  Alcotest.(check string) "findings identical and in the same order"
+    (render seq) (render par)
+
 (* the in-process analogue of CI's `janus_eval all --jobs 1` vs
    `--jobs 4` byte-diff, on the cheapest experiment that touches every
    benchmark: rows and rendered text must match exactly *)
@@ -150,4 +314,16 @@ let tests =
       test_publish_metrics_counters;
     Alcotest.test_case "parallel harness = sequential harness" `Quick
       test_parallel_harness_matches_sequential;
+    Alcotest.test_case "persistent store round-trips across processes" `Quick
+      test_persistent_round_trip;
+    Alcotest.test_case "corrupt disk entry is a miss, not a crash" `Quick
+      test_corrupt_entry_is_miss;
+    Alcotest.test_case "concurrent writers never tear an entry" `Quick
+      test_concurrent_writers_no_torn_entry;
+    Alcotest.test_case "disk counters published to obs" `Quick
+      test_disk_counters_published;
+    Alcotest.test_case "sharded analysis identical to sequential" `Quick
+      test_sharded_analysis_identical;
+    Alcotest.test_case "sharded verifier identical to sequential" `Quick
+      test_sharded_verifier_identical;
   ]

@@ -111,6 +111,56 @@ let test_publish_metrics () =
       Alcotest.(check bool) "pool.steals non-negative" true
         (c "pool.steals" >= 0))
 
+let test_stats_agree_on_exception () =
+  (* the inline (jobs = 1) and parallel paths must advance the lifetime
+     counters identically when a task raises: one batch, every task *)
+  let run jobs =
+    Pool.with_pool ~jobs (fun p ->
+        (try
+           ignore
+             (Pool.map p
+                (fun i -> if i = 2 then raise (Boom i) else i)
+                [ 0; 1; 2; 3; 4 ])
+         with Boom _ -> ());
+        let s = Pool.stats p in
+        (s.Pool.tasks, s.Pool.batches))
+  in
+  Alcotest.(check (pair int int)) "inline counts a failed batch" (5, 1) (run 1);
+  Alcotest.(check (pair int int)) "parallel counts a failed batch" (5, 1)
+    (run 3)
+
+let test_singleton_exception_counted () =
+  (* the singleton fast path used to skip the counters entirely when
+     the task raised *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      (try ignore (Pool.map p (fun _ -> raise (Boom 0)) [ 42 ])
+       with Boom _ -> ());
+      let s = Pool.stats p in
+      Alcotest.(check int) "failed singleton task counted" 1 s.Pool.tasks;
+      Alcotest.(check int) "failed singleton batch counted" 1 s.Pool.batches)
+
+let test_reentrant_map_runs_inline () =
+  (* a task of an in-flight batch calling map on the same pool used to
+     overwrite the live batch (t.batch / t.gen): late-waking workers
+     joined the wrong batch and the outer map deadlocked or returned
+     corrupt results. Re-entrant calls must run inline instead. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 8 Fun.id in
+      let ys =
+        Pool.map p
+          (fun i ->
+             let inner = Pool.map p (fun j -> (10 * i) + j) [ 0; 1; 2 ] in
+             List.fold_left ( + ) 0 inner)
+          xs
+      in
+      let expect = List.map (fun i -> (30 * i) + 3) xs in
+      Alcotest.(check (list int)) "nested maps return correct sums" expect ys;
+      (* counters are path-independent: one outer batch of 8 plus eight
+         inline inner batches of 3 *)
+      let s = Pool.stats p in
+      Alcotest.(check int) "tasks" (8 + 24) s.Pool.tasks;
+      Alcotest.(check int) "batches" 9 s.Pool.batches)
+
 let test_create_rejects_zero_jobs () =
   Alcotest.check_raises "jobs = 0"
     (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
@@ -133,6 +183,12 @@ let tests =
       test_shutdown_idempotent;
     Alcotest.test_case "publish_metrics exposes counters" `Quick
       test_publish_metrics;
+    Alcotest.test_case "stats agree across paths on exception" `Quick
+      test_stats_agree_on_exception;
+    Alcotest.test_case "failed singleton advances counters" `Quick
+      test_singleton_exception_counted;
+    Alcotest.test_case "re-entrant map runs inline" `Quick
+      test_reentrant_map_runs_inline;
     Alcotest.test_case "create rejects jobs=0" `Quick
       test_create_rejects_zero_jobs;
   ]
