@@ -66,7 +66,8 @@ let print_metrics store pool =
   (match pool with Some p -> Pool.publish_metrics p obs | None -> ());
   List.iter (fun (k, v) -> Fmt.epr "%-32s %12d@." k v) (Obs.counters obs)
 
-let run names jobs no_cache store_dir metrics list =
+let run names jobs no_cache store_dir metrics no_fuse list =
+  if no_fuse then Pipeline.fuse_default := false;
   if list then begin
     List.iter (fun (n, d) -> Fmt.pr "%-10s %s@." n d) registry;
     0
@@ -139,6 +140,14 @@ let metrics =
            ~doc:"Print pipeline.cache.* and pool.* counters to stderr\n\
                  when done.")
 
+let no_fuse =
+  Arg.(value & flag
+       & info [ "no-fuse" ]
+           ~doc:"Disable superinstruction fusion in the DBM's code\n\
+                 cache. Fusion is inert at schedule level: output is\n\
+                 byte-identical with or without this flag (CI asserts\n\
+                 exactly that).")
+
 let list =
   Arg.(value & flag
        & info [ "list" ]
@@ -149,6 +158,7 @@ let cmd =
   Cmd.v
     (Cmd.info "janus_eval"
        ~doc:"Regenerate the paper's evaluation tables and figures")
-    Term.(const run $ names $ jobs $ no_cache $ store_dir $ metrics $ list)
+    Term.(const run $ names $ jobs $ no_cache $ store_dir $ metrics $ no_fuse
+          $ list)
 
 let () = exit (Cmd.eval' cmd)

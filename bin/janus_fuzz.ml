@@ -26,6 +26,7 @@ module Kernel = Janus_fuzz_lib.Kernel
 module Gen = Janus_fuzz_lib.Gen
 module Oracle = Janus_fuzz_lib.Oracle
 module Shrink = Janus_fuzz_lib.Shrink
+module Pool = Janus_pool.Pool
 
 let still_failing ~threads k =
   Kernel.valid k
@@ -71,38 +72,68 @@ let run_self_test ~threads ~save_corpus ~corpus_dir =
     Fmt.epr "self-test: oracle skipped the mislabelled kernel (%s)@." why;
     0
 
-let run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~save_corpus
+let run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~jobs ~save_corpus
     ~corpus_dir =
-  let rng = Random.State.make [| seed |] in
   let t0 = Unix.gettimeofday () in
   let deadline =
     match time_budget with None -> infinity | Some s -> t0 +. float_of_int s
   in
   let pass = ref 0 and skip = ref 0 and fail = ref 0 in
-  let i = ref 0 in
-  while !i < count && Unix.gettimeofday () < deadline do
-    incr i;
-    let k = Gen.sample ~mixed rng in
-    (match Oracle.check ~threads k with
-     | Oracle.Pass -> incr pass
-     | Oracle.Skip _ -> incr skip
-     | Oracle.Fail fs ->
-       incr fail;
-       report_failure ~threads ~save_corpus ~corpus_dir
-         ~label:(Printf.sprintf "seed%d-case%d" seed !i)
-         k fs);
-    if !i mod 50 = 0 then
-      Fmt.pr "[%4d/%d] pass=%d skip=%d fail=%d (%.1fs)@." !i count !pass !skip
-        !fail
-        (Unix.gettimeofday () -. t0)
-  done;
-  Fmt.pr "%d cases: %d pass, %d skip, %d FAIL (%.1fs, seed %d)@." !i !pass
+  let done_ = ref 0 in
+  (* Every case derives its own PRNG from (seed, case index), so the
+     kernel stream is a pure function of the case number: partitioning
+     cases over a domain pool cannot change what gets generated, stats
+     merge to the same totals at any --jobs, and a violation's
+     seedN-caseM label regenerates the exact kernel regardless of how
+     the batch was scheduled. *)
+  let check i =
+    let k = Gen.sample ~mixed (Random.State.make [| seed; i |]) in
+    (i, k, Oracle.check ~threads k)
+  in
+  (* shrinking and corpus writes stay on the calling domain, in case
+     order, so reports are deterministic too *)
+  let settle results =
+    List.iter
+      (fun (i, k, r) ->
+         incr done_;
+         match r with
+         | Oracle.Pass -> incr pass
+         | Oracle.Skip _ -> incr skip
+         | Oracle.Fail fs ->
+           incr fail;
+           report_failure ~threads ~save_corpus ~corpus_dir
+             ~label:(Printf.sprintf "seed%d-case%d" seed i)
+             k fs)
+      results;
+    Fmt.pr "[%4d/%d] pass=%d skip=%d fail=%d (%.1fs)@." !done_ count !pass
+      !skip !fail
+      (Unix.gettimeofday () -. t0)
+  in
+  (* cases are dispatched in waves; the time budget is checked between
+     waves (a wave in flight is allowed to finish) *)
+  let wave = if jobs > 1 then jobs * 8 else 50 in
+  let go pool =
+    let next = ref 1 in
+    while !next <= count && Unix.gettimeofday () < deadline do
+      let hi = min count (!next + wave - 1) in
+      let idxs = List.init (hi - !next + 1) (fun j -> !next + j) in
+      next := hi + 1;
+      let results =
+        match pool with
+        | Some p -> Pool.map p check idxs
+        | None -> List.map check idxs
+      in
+      settle results
+    done
+  in
+  (if jobs > 1 then Pool.with_pool ~jobs (fun p -> go (Some p)) else go None);
+  Fmt.pr "%d cases: %d pass, %d skip, %d FAIL (%.1fs, seed %d)@." !done_ !pass
     !skip !fail
     (Unix.gettimeofday () -. t0)
     seed;
   if !fail > 0 then 1 else 0
 
-let run seed count time_budget threads_list mixed save_corpus corpus_dir
+let run seed count time_budget threads_list mixed jobs save_corpus corpus_dir
     self_test =
   let threads =
     match threads_list with
@@ -124,7 +155,7 @@ let run seed count time_budget threads_list mixed save_corpus corpus_dir
   in
   if self_test then run_self_test ~threads ~save_corpus ~corpus_dir
   else
-    run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~save_corpus
+    run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~jobs ~save_corpus
       ~corpus_dir
 
 let seed =
@@ -149,6 +180,22 @@ let threads_list =
     & info [ "threads-list" ] ~docv:"T1,T2,..."
         ~doc:"Comma-separated thread counts for the parallel runs \
               (default 1,2,4,8).")
+
+let jobs =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error (`Msg (Printf.sprintf "--jobs must be a positive integer, got %S" s))
+    in
+    Arg.conv (parse, Fmt.int)
+  in
+  Arg.(
+    value & opt pos_int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Check kernels on $(docv) domains. Case generation is keyed \
+              by (seed, case index), so pass/skip/fail totals and any \
+              violation labels are identical at every $(docv).")
 
 let mixed =
   Arg.(
@@ -184,7 +231,7 @@ let cmd =
   Cmd.v
     (Cmd.info "janus_fuzz" ~doc)
     Term.(
-      const run $ seed $ count $ time_budget $ threads_list $ mixed
+      const run $ seed $ count $ time_budget $ threads_list $ mixed $ jobs
       $ save_corpus $ corpus_dir $ self_test)
 
 let () = exit (Cmd.eval' cmd)

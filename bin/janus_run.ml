@@ -32,7 +32,8 @@ let print_obs obs ~trace_summary ~metrics =
 
 let run input mode threads scale train_scale schedule_file prefetch fission
     model_cache fuel trace_out trace_jsonl trace_summary metrics adapt
-    adapt_report =
+    adapt_report no_fuse =
+  if no_fuse then Janus_core.Pipeline.fuse_default := false;
   let bytes =
     In_channel.with_open_bin input (fun ic ->
         Bytes.of_string (In_channel.input_all ic))
@@ -46,7 +47,7 @@ let run input mode threads scale train_scale schedule_file prefetch fission
   let adapt = adapt || adapt_report <> None in
   let cfg =
     Janus.config ~threads ~prefetch ~fission ~model_cache ~fuel ~trace:tracing
-      ~adapt ()
+      ~adapt ~fuse:(not no_fuse) ()
   in
   let schedule =
     match schedule_file with
@@ -233,12 +234,19 @@ let adapt_report =
            ~doc:"Write the governor's per-loop ledger (state, invocations,\n\
                  demotions, probes, samples) to $(docv); implies --adapt.")
 
+let no_fuse =
+  Arg.(value & flag
+       & info [ "no-fuse" ]
+           ~doc:"Disable superinstruction fusion in the DBM's code cache.\n\
+                 Fusion is inert at schedule level: outputs, cycles and\n\
+                 memory digests are byte-identical with or without it.")
+
 let cmd =
   Cmd.v
     (Cmd.info "janus_run" ~doc:"Run a JX binary (native / dbm / janus)")
     Term.(const run $ input $ mode $ threads $ scale $ train_scale
           $ schedule_file $ prefetch $ fission $ model_cache $ fuel
           $ trace_out $ trace_jsonl $ trace_summary $ metrics $ adapt
-          $ adapt_report)
+          $ adapt_report $ no_fuse)
 
 let () = exit (Cmd.eval' cmd)

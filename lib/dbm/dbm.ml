@@ -23,12 +23,34 @@ type slot = {
   s_insn : Insn.t;      (* possibly rewritten instruction *)
   s_addr : int;         (* original application address *)
   s_len : int;          (* original encoded length *)
+  s_cost : int;         (* Cost.of_insn s_insn, precomputed at translation *)
   s_events : Rule.t list;
 }
+
+(* A compiled execution step: one slot, or a fused superinstruction
+   covering the two hottest adjacent pairs VX64 code exhibits (compare +
+   conditional branch; induction-variable update + bound compare;
+   register move feeding an ALU op). Fusion is sound only when nothing
+   can observe the machine between the two halves: both slots must be
+   event-free and every operand a register or immediate — no memory
+   access means no observer callback, no STM buffering, no cache-model
+   touch and no fault, and none of these opcodes read [rip]. The fused
+   step charges the sum of the halves' precomputed costs and bumps
+   icount by 2, so cycles and instruction counts are bit-identical with
+   fusion on or off. *)
+type step =
+  | Step of slot
+  | Cmp_jcc of { addr : int; a : Operand.t; b : Operand.t; cond : Cond.t;
+                 target : int; cost : int }
+  | Alu_cmp of { addr : int; op : Insn.alu; d : Operand.t; s : Operand.t;
+                 a : Operand.t; b : Operand.t; cost : int }
+  | Mov_alu of { addr : int; d1 : Operand.t; s1 : Operand.t; op : Insn.alu;
+                 d2 : Operand.t; s2 : Operand.t; cost : int }
 
 type fragment = {
   f_start : int;
   f_slots : slot array;
+  f_steps : step array;   (* what exec_fragment actually runs *)
   mutable f_execs : int;
   mutable f_is_trace : bool;
   mutable f_linked : bool;
@@ -68,6 +90,7 @@ type t = {
   schedule : Schedule.t option;
   stats : stats;
   promote_threshold : int;    (* fragment executions before trace promotion *)
+  fuse : bool;                (* superinstruction fusion in translated code *)
   mutable obs : Obs.t option;
   mutable on_event : t -> thread_kind -> Machine.t -> Rule.t -> action;
 }
@@ -83,7 +106,7 @@ type cache = {
 }
 
 let create ?schedule ?obs ?(promote_threshold = Cost.trace_head_threshold)
-    prog =
+    ?(fuse = true) prog =
   let rules = Hashtbl.create 64 in
   (match schedule with
    | Some s ->
@@ -95,6 +118,7 @@ let create ?schedule ?obs ?(promote_threshold = Cost.trace_head_threshold)
     schedule;
     stats = new_stats ();
     promote_threshold;
+    fuse;
     obs;
     on_event = (fun _ _ _ _ -> Continue);
   }
@@ -222,11 +246,63 @@ let prefetch_slots (rs : Rule.t list) insn addr =
        if r.Rule.id = Rule.MEM_PREFETCH then
          match prefetch_mem insn (Int64.to_int r.Rule.data) with
          | Some pm ->
-           Some { s_insn = Insn.Prefetch pm; s_addr = addr; s_len = 0;
-                  s_events = [] }
+           let pi = Insn.Prefetch pm in
+           Some { s_insn = pi; s_addr = addr; s_len = 0;
+                  s_cost = Cost.of_insn pi; s_events = [] }
          | None -> None
        else None)
     rs
+
+(* ------------------------------------------------------------------ *)
+(* Superinstruction fusion                                             *)
+(* ------------------------------------------------------------------ *)
+
+let regimm = function
+  | Operand.Reg _ | Operand.Imm _ -> true
+  | Operand.Mem _ -> false
+
+let is_reg = function Operand.Reg _ -> true | _ -> false
+
+(* Compile a fragment's slots into execution steps, fusing eligible
+   adjacent pairs when [fuse] is on. Eligibility (see the [step]
+   comment): both slots event-free, destinations registers, every
+   operand register/immediate. With [fuse] off every slot becomes its
+   own [Step], which is the pre-fusion executor exactly. *)
+let fuse_steps fuse (slots : slot array) =
+  let n = Array.length slots in
+  let steps = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let x = slots.(!i) in
+    let fused =
+      if (not fuse) || x.s_events <> [] || !i + 1 >= n then None
+      else begin
+        let y = slots.(!i + 1) in
+        if y.s_events <> [] then None
+        else
+          let cost = x.s_cost + y.s_cost in
+          match x.s_insn, y.s_insn with
+          | Insn.Cmp (a, b), Insn.Jcc (cond, target)
+            when regimm a && regimm b ->
+            Some (Cmp_jcc { addr = x.s_addr; a; b; cond; target; cost })
+          | Insn.Alu (op, d, s), Insn.Cmp (a, b)
+            when is_reg d && regimm s && regimm a && regimm b ->
+            Some (Alu_cmp { addr = x.s_addr; op; d; s; a; b; cost })
+          | Insn.Mov (d1, s1), Insn.Alu (op, d2, s2)
+            when is_reg d1 && regimm s1 && is_reg d2 && regimm s2 ->
+            Some (Mov_alu { addr = x.s_addr; d1; s1; op; d2; s2; cost })
+          | _ -> None
+      end
+    in
+    match fused with
+    | Some st ->
+      steps := st :: !steps;
+      i := !i + 2
+    | None ->
+      steps := Step x :: !steps;
+      incr i
+  done;
+  Array.of_list (List.rev !steps)
 
 (* ------------------------------------------------------------------ *)
 (* Translation                                                         *)
@@ -262,12 +338,13 @@ let translate t (cache : cache) ctx addr =
            an attached event keeps a 1-cycle Nop slot as its anchor *)
         if events <> [] then
           slots := { s_insn = Insn.Nop; s_addr = a; s_len = len;
-                     s_events = events }
+                     s_cost = Cost.of_insn Insn.Nop; s_events = events }
                    :: !slots
       end
       else begin
         List.iter (fun s -> slots := s :: !slots) (prefetch_slots rs insn' a);
-        slots := { s_insn = insn'; s_addr = a; s_len = len; s_events = events }
+        slots := { s_insn = insn'; s_addr = a; s_len = len;
+                   s_cost = Cost.of_insn insn'; s_events = events }
                  :: !slots
       end;
       if not (Insn.is_control_flow insn)
@@ -294,8 +371,8 @@ let translate t (cache : cache) ctx addr =
       | None -> ())
    | _ -> ());
   let frag =
-    { f_start = addr; f_slots = slots; f_execs = 0; f_is_trace = false;
-      f_linked = false }
+    { f_start = addr; f_slots = slots; f_steps = fuse_steps t.fuse slots;
+      f_execs = 0; f_is_trace = false; f_linked = false }
   in
   Hashtbl.replace cache.frags addr frag;
   frag
@@ -330,7 +407,7 @@ let promote_trace t (cache : cache) ctx frag =
              incr count;
              if events <> [] then
                slots := { s_insn = Insn.Nop; s_addr = a; s_len = len;
-                          s_events = events }
+                          s_cost = Cost.of_insn Insn.Nop; s_events = events }
                         :: !slots;
              if not (Insn.is_control_flow insn) then walk (a + len)
            | _ ->
@@ -338,7 +415,8 @@ let promote_trace t (cache : cache) ctx frag =
              List.iter (fun s -> slots := s :: !slots)
                (prefetch_slots rs insn' a);
              slots :=
-               { s_insn = insn'; s_addr = a; s_len = len; s_events = events }
+               { s_insn = insn'; s_addr = a; s_len = len;
+                 s_cost = Cost.of_insn insn'; s_events = events }
                :: !slots;
              if not (Insn.is_control_flow insn) then walk (a + len))
       in
@@ -360,7 +438,9 @@ let promote_trace t (cache : cache) ctx frag =
           { addr = frag.f_start; insns = !count; trace = true })
    | _ -> ());
   let nf =
-    { f_start = frag.f_start; f_slots = Array.of_list (List.rev !slots);
+    let slots = Array.of_list (List.rev !slots) in
+    { f_start = frag.f_start; f_slots = slots;
+      f_steps = fuse_steps t.fuse slots;
       f_execs = frag.f_execs; f_is_trace = true; f_linked = true }
   in
   Hashtbl.replace cache.frags frag.f_start nf;
@@ -379,43 +459,82 @@ type outcome =
 
 let exec_fragment t (cache : cache) ctx frag =
   frag.f_execs <- frag.f_execs + 1;
-  let n = Array.length frag.f_slots in
+  let steps = frag.f_steps in
+  let n = Array.length steps in
+  let nslots = Array.length frag.f_slots in
   let rec go i =
     if i >= n then begin
       (* fell off the end: block ended by running into a leader *)
-      let last = frag.f_slots.(n - 1) in
+      let last = frag.f_slots.(nslots - 1) in
       Next (last.s_addr + last.s_len)
     end
     else begin
-      let slot = frag.f_slots.(i) in
-      ctx.Machine.rip <- slot.s_addr;
-      (* fire events in schedule order *)
-      let rec fire = function
-        | [] -> Continue
-        | r :: tl -> begin
-            (match t.obs with
-             | Some o when Obs.tracing o ->
-               Obs.emit o ~tid:(tid_of cache.kind) ~ts:ctx.Machine.cycles
-                 (Obs.Rule_fired
-                    { rule = Rule.id_name r.Rule.id; addr = slot.s_addr })
-             | _ -> ());
-            match t.on_event t cache.kind ctx r with
-            | Continue -> fire tl
-            | (Divert _ | Stop_thread) as a -> a
+      match Array.unsafe_get steps i with
+      | Step slot -> begin
+        ctx.Machine.rip <- slot.s_addr;
+        (* fire events in schedule order *)
+        let rec fire = function
+          | [] -> Continue
+          | r :: tl -> begin
+              (match t.obs with
+               | Some o when Obs.tracing o ->
+                 Obs.emit o ~tid:(tid_of cache.kind) ~ts:ctx.Machine.cycles
+                   (Obs.Rule_fired
+                      { rule = Rule.id_name r.Rule.id; addr = slot.s_addr })
+               | _ -> ());
+              match t.on_event t cache.kind ctx r with
+              | Continue -> fire tl
+              | (Divert _ | Stop_thread) as a -> a
+            end
+        in
+        match fire slot.s_events with
+        | Divert a -> Next a
+        | Stop_thread -> Yielded
+        | Continue -> begin
+            match
+              Semantics.exec_costed ctx slot.s_insn ~len:slot.s_len
+                ~cost:slot.s_cost
+            with
+            | Semantics.Fall -> go (i + 1)
+            | Semantics.Goto a -> Next a
+            | Semantics.Stop -> Halted
           end
-      in
-      match fire slot.s_events with
-      | Divert a -> Next a
-      | Stop_thread -> Yielded
-      | Continue -> begin
-          match Semantics.exec ctx slot.s_insn ~len:slot.s_len with
-          | Semantics.Fall -> go (i + 1)
-          | Semantics.Goto a -> Next a
-          | Semantics.Stop -> Halted
-        end
+      end
+      (* fused superinstructions: event-free, register-only — nothing
+         between the two halves is architecturally observable, so one
+         rip store and a summed cycle charge are exact *)
+      | Cmp_jcc { addr; a; b; cond; target; cost } ->
+        ctx.Machine.rip <- addr;
+        ctx.Machine.cycles <- ctx.Machine.cycles + cost;
+        ctx.Machine.icount <- ctx.Machine.icount + 2;
+        Semantics.set_flags_cmp ctx (Semantics.value ctx a)
+          (Semantics.value ctx b);
+        if Semantics.eval_cond ctx cond then Next target else go (i + 1)
+      | Alu_cmp { addr; op; d; s; a; b; cost } ->
+        ctx.Machine.rip <- addr;
+        ctx.Machine.cycles <- ctx.Machine.cycles + cost;
+        ctx.Machine.icount <- ctx.Machine.icount + 2;
+        (* the ALU result's flags are dead — the compare fully rewrites
+           the packed flag word — so only the compare's flags are set *)
+        Semantics.store ctx d
+          (Semantics.alu_op op (Semantics.value ctx d) (Semantics.value ctx s));
+        Semantics.set_flags_cmp ctx (Semantics.value ctx a)
+          (Semantics.value ctx b);
+        go (i + 1)
+      | Mov_alu { addr; d1; s1; op; d2; s2; cost } ->
+        ctx.Machine.rip <- addr;
+        ctx.Machine.cycles <- ctx.Machine.cycles + cost;
+        ctx.Machine.icount <- ctx.Machine.icount + 2;
+        Semantics.store ctx d1 (Semantics.value ctx s1);
+        let v =
+          Semantics.alu_op op (Semantics.value ctx d2) (Semantics.value ctx s2)
+        in
+        Semantics.store ctx d2 v;
+        Semantics.set_flags_result ctx v;
+        go (i + 1)
     end
   in
-  if n = 0 then raise (Bad_pc frag.f_start) else go 0
+  if nslots = 0 then raise (Bad_pc frag.f_start) else go 0
 
 (** Run [ctx] under the DBM until the program halts, an event yields
     the thread, or [fuel] runs out (reported as a typed result carrying
@@ -429,12 +548,13 @@ let run ?(fuel = 100_000_000) t (cache : cache) ctx =
     else begin
     decr remaining;
     let addr = ctx.Machine.rip in
-    (* intrinsics intercepted exactly as in native execution *)
-    (match Program.plt_name t.prog addr with
-     | Some name when String.equal name Libcalls.intrinsic_par_for ->
+    (* intrinsic intercepted exactly as in native execution: one compare
+       against the PLT slot address resolved at load *)
+    (if addr = t.prog.Program.par_for_addr then begin
        Run.par_for t.prog ctx ~fuel:1_000_000_000;
        ctx.Machine.rip <- Int64.to_int (Semantics.pop ctx)
-     | _ ->
+     end
+     else
        let frag =
          match Hashtbl.find_opt cache.frags addr with
          | Some f ->

@@ -24,13 +24,32 @@ type slot = {
   s_insn : Insn.t;           (** possibly rewritten instruction *)
   s_addr : int;              (** original application address *)
   s_len : int;               (** original encoded length *)
+  s_cost : int;              (** {!Janus_vx.Cost.of_insn}, precomputed *)
   s_events : Rule.t list;    (** rules fired before executing it *)
 }
+
+(** A compiled execution step: one slot, or a fused superinstruction
+    covering a hot adjacent pair (compare + conditional branch,
+    induction-variable update + bound compare, register move + ALU op).
+    Pairs are fused only when both slots are event-free and every
+    operand is a register or immediate, so nothing can observe the
+    machine between the halves; the fused step charges the sum of the
+    halves' precomputed costs, keeping virtual cycles and instruction
+    counts bit-identical with fusion on or off. *)
+type step =
+  | Step of slot
+  | Cmp_jcc of { addr : int; a : Operand.t; b : Operand.t; cond : Cond.t;
+                 target : int; cost : int }
+  | Alu_cmp of { addr : int; op : Insn.alu; d : Operand.t; s : Operand.t;
+                 a : Operand.t; b : Operand.t; cost : int }
+  | Mov_alu of { addr : int; d1 : Operand.t; s1 : Operand.t; op : Insn.alu;
+                 d2 : Operand.t; s2 : Operand.t; cost : int }
 
 (** A code-cache fragment: one translated basic block (or trace). *)
 type fragment = {
   f_start : int;
   f_slots : slot array;
+  f_steps : step array;      (** what the executor actually runs *)
   mutable f_execs : int;
   mutable f_is_trace : bool;
   mutable f_linked : bool;
@@ -69,6 +88,10 @@ type t = {
       (** executions before a hot fragment is promoted to a trace
           (default {!Janus_vx.Cost.trace_head_threshold}; [1] promotes
           eagerly, [max_int] disables promotion) *)
+  fuse : bool;
+      (** fuse hot instruction pairs in translated fragments (default
+          on; inert at schedule level — outputs, cycles and memory
+          digests are bit-identical either way) *)
   mutable obs : Obs.t option;  (** tracing/metrics sink, off by default *)
   mutable on_event : t -> thread_kind -> Machine.t -> Rule.t -> action;
 }
@@ -90,7 +113,8 @@ type cache = {
     absent (or when tracing is disabled on it) the DBM behaves exactly
     as an uninstrumented one. *)
 val create :
-  ?schedule:Schedule.t -> ?obs:Obs.t -> ?promote_threshold:int -> Program.t -> t
+  ?schedule:Schedule.t -> ?obs:Obs.t -> ?promote_threshold:int ->
+  ?fuse:bool -> Program.t -> t
 
 (** [new_cache ?skip kind] makes an empty cache; [skip] installs a
     fission elision filter (see {!cache.skip}). *)

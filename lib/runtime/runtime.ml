@@ -499,13 +499,9 @@ let run_parallel_loop ?caches ?max_threads ?iv_range t (main : Machine.t)
        copy_frame main.Machine.mem ~src:rsp_l ~dst:rsp_main ~bytes:fcb;
        Array.blit ctx_l.Machine.regs 0 main.Machine.regs 0
          (Array.length main.Machine.regs);
-       Array.iteri
-         (fun i a -> Array.blit a 0 main.Machine.fregs.(i) 0 4)
-         ctx_l.Machine.fregs;
-       main.Machine.flags.Machine.zf <- ctx_l.Machine.flags.Machine.zf;
-       main.Machine.flags.Machine.lt <- ctx_l.Machine.flags.Machine.lt;
-       main.Machine.flags.Machine.ult <- ctx_l.Machine.flags.Machine.ult;
-       main.Machine.flags.Machine.sf <- ctx_l.Machine.flags.Machine.sf;
+       Array.blit ctx_l.Machine.fregs 0 main.Machine.fregs 0
+         (Array.length main.Machine.fregs);
+       main.Machine.flags <- ctx_l.Machine.flags;
        main.Machine.brk <- ctx_l.Machine.brk;
        (* restore main's own pointers *)
        Machine.set main Reg.RSP (Int64.of_int rsp_main);

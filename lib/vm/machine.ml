@@ -1,32 +1,53 @@
 (** A VX64 machine context: register file, flags, instruction pointer
     and cycle counters. One context per hardware thread; all contexts
-    of a run share one {!Memory.t} and output buffer. *)
+    of a run share one {!Memory.t} and output buffer.
+
+    The hot state is flat: the four condition flags are packed into one
+    mutable int (a single store per flag-setting instruction, a single
+    load per conditional) and the FP register file is one unboxed
+    [float array] of [fp_count * 4] lanes, so forks, checkpoints and
+    rollbacks are single [Array.blit]s with no per-register boxing. *)
 
 open Janus_vx
 
-type flags = {
-  mutable zf : bool;
-  mutable lt : bool;   (* signed less-than of the last compare *)
-  mutable ult : bool;  (* unsigned less-than *)
-  mutable sf : bool;   (* sign of the last result *)
-}
+(** {2 Packed condition flags}
+
+    Bit layout of the [flags] word; [flags_zf] etc. test a bit,
+    [pack_flags] builds a word from the four booleans. *)
+
+let flag_zf = 1          (* zero: last compare was equal / result zero *)
+let flag_lt = 2          (* signed less-than of the last compare *)
+let flag_ult = 4         (* unsigned less-than *)
+let flag_sf = 8          (* sign of the last result *)
+
+let pack_flags ~zf ~lt ~ult ~sf =
+  (if zf then flag_zf else 0)
+  lor (if lt then flag_lt else 0)
+  lor (if ult then flag_ult else 0)
+  lor (if sf then flag_sf else 0)
 
 (** A word-based software transaction (paper §II-E2). While installed,
     rewritten memory accesses buffer stores and record read versions;
-    validation is value-based, commit is in thread order. *)
+    validation is value-based, commit is in thread order. The
+    checkpoint covers the whole architectural context — registers,
+    FP registers, rip, condition flags and the heap bump pointer — so
+    an aborted transaction cannot leak flag or brk state from the
+    rolled-back path into the retry. *)
 type txn = {
   treads : (int, int64) Hashtbl.t;   (* address -> value observed *)
   twrites : (int, int64) Hashtbl.t;  (* address -> buffered value *)
   mutable taborted : bool;
   checkpoint_regs : int64 array;
-  checkpoint_fregs : float array array;
+  checkpoint_fregs : float array;
   checkpoint_rip : int;
+  checkpoint_flags : int;
+  checkpoint_brk : int;
 }
 
 type t = {
   regs : int64 array;          (* indexed by Reg.gp_index *)
-  fregs : float array array;   (* fp_count arrays of 4 lanes *)
-  flags : flags;
+  fregs : float array;         (* flat: register r, lane l at r*4+l *)
+  mutable flags : int;         (* packed flag_zf/lt/ult/sf bits *)
   mutable rip : int;
   mem : Memory.t;
   mutable cycles : int;
@@ -48,8 +69,8 @@ and rw = Read | Write
 let create ?(out = Buffer.create 256) mem =
   {
     regs = Array.make Reg.gp_count 0L;
-    fregs = Array.init Reg.fp_count (fun _ -> Array.make 4 0.0);
-    flags = { zf = false; lt = false; ult = false; sf = false };
+    fregs = Array.make (Reg.fp_count * 4) 0.0;
+    flags = 0;
     rip = 0;
     mem;
     cycles = 0;
@@ -71,14 +92,8 @@ let create ?(out = Buffer.create 256) mem =
 let fork parent =
   {
     regs = Array.copy parent.regs;
-    fregs = Array.map Array.copy parent.fregs;
-    flags =
-      {
-        zf = parent.flags.zf;
-        lt = parent.flags.lt;
-        ult = parent.flags.ult;
-        sf = parent.flags.sf;
-      };
+    fregs = Array.copy parent.fregs;
+    flags = parent.flags;
     rip = parent.rip;
     mem = parent.mem;
     cycles = 0;
@@ -96,10 +111,16 @@ let fork parent =
     warm_fifo = Queue.create ();
   }
 
-let get ctx r = ctx.regs.(Reg.gp_index r)
-let set ctx r v = ctx.regs.(Reg.gp_index r) <- v
-let getf ctx r lane = ctx.fregs.(Reg.fp_index r).(lane)
-let setf ctx r lane v = ctx.fregs.(Reg.fp_index r).(lane) <- v
+(* Reg.gp_index/fp_index are total over their constructors and lanes
+   are bounded by Insn.lanes, so the register files never index out of
+   range — unsafe accesses keep the interpreter's hottest loads and
+   stores bounds-check-free. *)
+let get ctx r = Array.unsafe_get ctx.regs (Reg.gp_index r)
+let set ctx r v = Array.unsafe_set ctx.regs (Reg.gp_index r) v
+let getf ctx r lane = Array.unsafe_get ctx.fregs ((Reg.fp_index r * 4) + lane)
+
+let setf ctx r lane v =
+  Array.unsafe_set ctx.fregs ((Reg.fp_index r * 4) + lane) v
 
 let start_txn ctx =
   let t =
@@ -108,8 +129,10 @@ let start_txn ctx =
       twrites = Hashtbl.create 32;
       taborted = false;
       checkpoint_regs = Array.copy ctx.regs;
-      checkpoint_fregs = Array.map Array.copy ctx.fregs;
+      checkpoint_fregs = Array.copy ctx.fregs;
       checkpoint_rip = ctx.rip;
+      checkpoint_flags = ctx.flags;
+      checkpoint_brk = ctx.brk;
     }
   in
   ctx.txn <- Some t;
@@ -117,8 +140,10 @@ let start_txn ctx =
 
 let rollback ctx t =
   Array.blit t.checkpoint_regs 0 ctx.regs 0 (Array.length ctx.regs);
-  Array.iteri (fun i a -> Array.blit a 0 ctx.fregs.(i) 0 4) t.checkpoint_fregs;
+  Array.blit t.checkpoint_fregs 0 ctx.fregs 0 (Array.length ctx.fregs);
   ctx.rip <- t.checkpoint_rip;
+  ctx.flags <- t.checkpoint_flags;
+  ctx.brk <- t.checkpoint_brk;
   ctx.txn <- None
 
 let end_txn ctx = ctx.txn <- None

@@ -1,31 +1,48 @@
 (** A VX64 machine context: register file, flags, instruction pointer
     and cycle counters. One context per virtual hardware thread; all
-    contexts of a run share one {!Memory.t} and output buffer. *)
+    contexts of a run share one {!Memory.t} and output buffer.
+
+    Hot state is flat for cache-consciousness: the four condition flags
+    live packed in one mutable int and the FP register file is a single
+    unboxed [float array] ([fp_count * 4] lanes), so forks, checkpoints
+    and rollbacks are single blits. *)
 
 open Janus_vx
 
-type flags = {
-  mutable zf : bool;
-  mutable lt : bool;   (** signed less-than of the last compare *)
-  mutable ult : bool;  (** unsigned less-than *)
-  mutable sf : bool;   (** sign of the last result *)
-}
+(** {2 Packed condition flags} *)
+
+(** Bit masks within the packed flags word: zero (last compare equal /
+    last result zero), signed less-than, unsigned less-than, and the
+    sign of the last result. *)
+
+val flag_zf : int
+val flag_lt : int
+val flag_ult : int
+val flag_sf : int
+
+(** Pack the four flag booleans into a flags word. *)
+val pack_flags : zf:bool -> lt:bool -> ult:bool -> sf:bool -> int
 
 (** A word-based software transaction (§II-E2): while installed,
-    memory accesses buffer stores and record read versions. *)
+    memory accesses buffer stores and record read versions. The
+    checkpoint covers registers, FP registers, rip, condition flags
+    and the heap bump pointer, so a rollback restores the complete
+    architectural context. *)
 type txn = {
   treads : (int, int64) Hashtbl.t;   (** address -> value observed *)
   twrites : (int, int64) Hashtbl.t;  (** address -> buffered value *)
   mutable taborted : bool;
   checkpoint_regs : int64 array;
-  checkpoint_fregs : float array array;
+  checkpoint_fregs : float array;
   checkpoint_rip : int;
+  checkpoint_flags : int;
+  checkpoint_brk : int;
 }
 
 type t = {
   regs : int64 array;          (** indexed by {!Reg.gp_index} *)
-  fregs : float array array;   (** 16 registers of 4 lanes *)
-  flags : flags;
+  fregs : float array;         (** flat: register r, lane l at r*4+l *)
+  mutable flags : int;         (** packed {!flag_zf}/{!flag_lt}/... bits *)
   mutable rip : int;
   mem : Memory.t;
   mutable cycles : int;        (** modelled cycles *)
@@ -57,7 +74,8 @@ val set : t -> Reg.gp -> int64 -> unit
 val getf : t -> Reg.fp -> int -> float
 val setf : t -> Reg.fp -> int -> float -> unit
 
-(** Checkpoint registers and install a transaction. *)
+(** Checkpoint the architectural context (registers, fregs, rip, flags,
+    brk) and install a transaction. *)
 val start_txn : t -> txn
 
 (** Restore the checkpointed context and drop the transaction. *)

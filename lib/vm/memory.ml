@@ -4,43 +4,99 @@
     data, bss, heap, library data, one stack and one TLS block per
     thread). Loads and stores fault outside any region, which is how
     the VM catches wild accesses from miscompiled or mis-rewritten
-    code. *)
+    code.
+
+    Two properties make this fast enough to sit under every
+    interpreted instruction:
+
+    - {b Page-granular lookup}: a flat table indexed by [addr lsr 16]
+      maps each 64 KiB page to the region covering it, built
+      incrementally by {!add_region}. The fixed {!Janus_vx.Layout}
+      keeps every region alone on its pages, so a lookup is one load +
+      two compares; a shared page (possible only for layouts not
+      produced by [Layout]) falls back to a linear walk with exactly
+      the list representation's semantics.
+
+    - {b Lazily materialised backing}: a region's architectural size
+      (what bounds checks and faults see) is fixed at creation, but
+      its zero-filled backing bytes grow on first touch. The 16 MiB
+      heap no longer costs a 16 MiB memset per program load — untouched
+      pages are never allocated or zeroed, and the prefix that is
+      materialised is identical (zeros) to the eager representation. *)
 
 exception Fault of int  (* faulting guest address *)
 
 type region = {
   start : int;
-  size : int;
-  bytes : Bytes.t;
+  size : int;              (* architectural size: bounds and faults *)
+  mutable bytes : Bytes.t; (* materialised zero-filled prefix, <= size *)
   name : string;
 }
 
+let page_bits = 16
+let chunk = 1 lsl page_bits  (* materialisation granule *)
+
+(* sentinel for unmapped pages: no address satisfies its bounds *)
+let no_region = { start = -1; size = 0; bytes = Bytes.empty; name = "" }
+
 type t = {
   mutable regions : region list;
-  mutable last : region option;  (* 1-entry lookup cache *)
+  mutable pages : region array;  (* page number -> covering region *)
 }
 
-let create () = { regions = []; last = None }
+let create () = { regions = []; pages = [||] }
+
+let grow_pages t wanted =
+  if wanted > Array.length t.pages then begin
+    let n = max wanted (max 64 (2 * Array.length t.pages)) in
+    let pages = Array.make n no_region in
+    Array.blit t.pages 0 pages 0 (Array.length t.pages);
+    t.pages <- pages
+  end
 
 let add_region t ~name ~start ~size =
-  let r = { start; size; bytes = Bytes.make size '\000'; name } in
+  let r = { start; size; bytes = Bytes.empty; name } in
   t.regions <- r :: t.regions;
+  if size > 0 && start >= 0 then begin
+    let first = start lsr page_bits in
+    let last = (start + size - 1) lsr page_bits in
+    grow_pages t (last + 1);
+    for p = first to last do
+      (* last writer wins on a shared page; the loser is still found by
+         the linear-walk fallback *)
+      t.pages.(p) <- r
+    done
+  end;
   r
 
-let region_of t addr =
-  match t.last with
-  | Some r when addr >= r.start && addr < r.start + r.size -> r
-  | _ ->
-    let rec go = function
-      | [] -> raise (Fault addr)
-      | r :: tl ->
-        if addr >= r.start && addr < r.start + r.size then begin
-          t.last <- Some r;
-          r
-        end
-        else go tl
+(** Grow [r]'s backing so its first [upto] bytes are materialised
+    (zero-filled); [upto] must be within the architectural size. *)
+let materialize r upto =
+  if upto > Bytes.length r.bytes then begin
+    let target =
+      min r.size (max upto (max chunk (2 * Bytes.length r.bytes)))
     in
-    go t.regions
+    let nb = Bytes.make target '\000' in
+    Bytes.blit r.bytes 0 nb 0 (Bytes.length r.bytes);
+    r.bytes <- nb
+  end
+
+(* linear fallback: exactly the pre-page-table behaviour *)
+let rec find_region regions addr =
+  match regions with
+  | [] -> raise (Fault addr)
+  | r :: tl ->
+    if addr >= r.start && addr - r.start < r.size then r
+    else find_region tl addr
+
+let region_of t addr =
+  let p = addr lsr page_bits in  (* logical shift: negatives go slow *)
+  if p < Array.length t.pages then begin
+    let r = Array.unsafe_get t.pages p in
+    if addr >= r.start && addr - r.start < r.size then r
+    else find_region t.regions addr
+  end
+  else find_region t.regions addr
 
 let region_by_name t name =
   List.find_opt (fun r -> String.equal r.name name) t.regions
@@ -52,23 +108,63 @@ let check t addr n =
 
 let read_u8 t addr =
   let r = region_of t addr in
-  Char.code (Bytes.get r.bytes (addr - r.start))
+  let off = addr - r.start in
+  materialize r (off + 1);
+  Char.code (Bytes.get r.bytes off)
 
 let write_u8 t addr v =
   let r = region_of t addr in
-  Bytes.set r.bytes (addr - r.start) (Char.chr (v land 0xff))
+  let off = addr - r.start in
+  materialize r (off + 1);
+  Bytes.set r.bytes off (Char.chr (v land 0xff))
 
-let read_i64 t addr =
+(* The 64-bit accessors are the interpreter's hottest memory path: one
+   page-table load, one bounds compare against the materialised prefix,
+   then the access. Anything else — negative offset, unmaterialised
+   page, region tail, unmapped address — takes the slow path, which
+   reproduces the original two-step semantics exactly (Fault addr when
+   no region contains addr, Fault (addr+7) when the word hangs over a
+   region's end). *)
+
+let read_i64_slow t addr =
   let r = region_of t addr in
   let off = addr - r.start in
-  if off + 8 <= r.size then Bytes.get_int64_le r.bytes off
+  if off + 8 <= r.size then begin
+    materialize r (off + 8);
+    Bytes.get_int64_le r.bytes off
+  end
+  else raise (Fault (addr + 7))
+
+let read_i64 t addr =
+  let p = addr lsr page_bits in
+  if p < Array.length t.pages then begin
+    let r = Array.unsafe_get t.pages p in
+    let off = addr - r.start in
+    if off >= 0 && off + 8 <= Bytes.length r.bytes then
+      Bytes.get_int64_le r.bytes off
+    else read_i64_slow t addr
+  end
+  else read_i64_slow t addr
+
+let write_i64_slow t addr v =
+  let r = region_of t addr in
+  let off = addr - r.start in
+  if off + 8 <= r.size then begin
+    materialize r (off + 8);
+    Bytes.set_int64_le r.bytes off v
+  end
   else raise (Fault (addr + 7))
 
 let write_i64 t addr v =
-  let r = region_of t addr in
-  let off = addr - r.start in
-  if off + 8 <= r.size then Bytes.set_int64_le r.bytes off v
-  else raise (Fault (addr + 7))
+  let p = addr lsr page_bits in
+  if p < Array.length t.pages then begin
+    let r = Array.unsafe_get t.pages p in
+    let off = addr - r.start in
+    if off >= 0 && off + 8 <= Bytes.length r.bytes then
+      Bytes.set_int64_le r.bytes off v
+    else write_i64_slow t addr v
+  end
+  else write_i64_slow t addr v
 
 let read_f64 t addr = Int64.float_of_bits (read_i64 t addr)
 let write_f64 t addr v = write_i64 t addr (Int64.bits_of_float v)
@@ -78,6 +174,7 @@ let blit t ~addr src =
   let off = addr - r.start in
   if off + Bytes.length src > r.size then
     raise (Fault (addr + Bytes.length src - 1));
+  materialize r (off + Bytes.length src);
   Bytes.blit src 0 r.bytes off (Bytes.length src)
 
 (** Snapshot the contents of [addr..addr+n-1] (for test oracles). *)
@@ -85,4 +182,5 @@ let snapshot t addr n =
   let r = region_of t addr in
   let off = addr - r.start in
   if off + n > r.size then raise (Fault (addr + n - 1));
+  materialize r (off + n);
   Bytes.sub r.bytes off n

@@ -8,8 +8,8 @@ exception Fault of int  (** faulting guest address *)
 
 type region = {
   start : int;
-  size : int;
-  bytes : Bytes.t;
+  size : int;              (** architectural size: bounds and faults *)
+  mutable bytes : Bytes.t; (** materialised zero-filled prefix, <= size *)
   name : string;
 }
 
@@ -22,6 +22,11 @@ val create : unit -> t
 val add_region : t -> name:string -> start:int -> size:int -> region
 
 val region_by_name : t -> string -> region option
+
+(** Grow a region's backing so its first [n] bytes are materialised
+    (zero-filled); for callers that read [region.bytes] directly.
+    [n] must not exceed the architectural size. *)
+val materialize : region -> int -> unit
 
 (** @raise Fault unless the whole range lies inside one region. *)
 val check : t -> int -> int -> unit

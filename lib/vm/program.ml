@@ -1,15 +1,32 @@
 (** A loaded guest program: decoded code maps for application text, PLT
     stubs and runtime-resolved library code, plus an initialised guest
-    memory. *)
+    memory.
+
+    Decoding happens once at load into flat parallel side tables
+    (instruction, encoded length, precomputed {!Cost.of_insn}) for each
+    code range, so the executors' fetch path is a few array loads with
+    no option allocation and no per-instruction cost match. The
+    [__par_for] intrinsic's PLT slot address is also resolved at load
+    ({!par_for_addr}), turning the interpreters' per-step "is this an
+    intrinsic?" string lookup into one integer compare. *)
 
 open Janus_vx
 
 type t = {
   image : Image.t;
-  text : (Insn.t * int) array;  (* indexed by addr - text_base; len 0 = hole *)
   lib : Libcalls.t;
   plt : string array;  (* slot index -> external name *)
   mem : Memory.t;
+  (* flat dispatch side tables; len 0 = hole / unresolved *)
+  text_insn : Insn.t array;  (* indexed by addr - text_base *)
+  text_len : int array;
+  text_cost : int array;
+  lib_insn : Insn.t array;   (* indexed by addr - lib_base *)
+  lib_len : int array;
+  lib_cost : int array;
+  plt_insn : Insn.t array;   (* indexed by slot: Jmp to the resolved entry *)
+  plt_len : int array;
+  par_for_addr : int;        (* __par_for's PLT slot address, or -1 *)
 }
 
 (** Classify a code address so executors know where an instruction
@@ -17,12 +34,58 @@ type t = {
     code. *)
 type code_class = App | Plt of string | Lib
 
+(* The library fragments are immutable once built (code array, entry
+   alist, data bytes are never written after construction — the data
+   bytes are *copied* into each program's libdata region), so one
+   instance can back every loaded program. Built eagerly at module
+   init: domain-safe without a lazy. *)
+let shared_lib = Libcalls.build ()
+
+(* ... and so can its flat dispatch tables. *)
+let shared_lib_tables =
+  let lib = shared_lib in
+  let lib_n = max lib.Libcalls.code_len 1 in
+  let lib_insn = Array.make lib_n Insn.Nop in
+  let lib_len = Array.make lib_n 0 in
+  let lib_cost = Array.make lib_n 0 in
+  Array.iteri
+    (fun off (i, len) ->
+      if len > 0 then begin
+        lib_insn.(off) <- i;
+        lib_len.(off) <- len;
+        lib_cost.(off) <- Cost.of_insn i
+      end)
+    lib.Libcalls.code;
+  (lib_insn, lib_len, lib_cost)
+
 let load (image : Image.t) =
-  let text_len = Bytes.length image.text in
-  let text = Array.make (max text_len 1) (Insn.Nop, 0) in
-  List.iter (fun (off, i, len) -> text.(off) <- (i, len)) (Decode.all image.text);
-  let lib = Libcalls.build () in
+  let text_bytes = max (Bytes.length image.text) 1 in
+  let text_insn = Array.make text_bytes Insn.Nop in
+  let text_len = Array.make text_bytes 0 in
+  let text_cost = Array.make text_bytes 0 in
+  List.iter
+    (fun (off, i, len) ->
+      text_insn.(off) <- i;
+      text_len.(off) <- len;
+      text_cost.(off) <- Cost.of_insn i)
+    (Decode.all image.text);
+  let lib = shared_lib in
+  let lib_insn, lib_len, lib_cost = shared_lib_tables in
   let plt = Array.of_list image.externals in
+  let plt_insn = Array.make (max (Array.length plt) 1) Insn.Nop in
+  let plt_len = Array.make (max (Array.length plt) 1) 0 in
+  let par_for_addr = ref (-1) in
+  Array.iteri
+    (fun i name ->
+      if String.equal name Libcalls.intrinsic_par_for then
+        par_for_addr := Layout.plt_slot_addr i
+      else
+        match Libcalls.entry lib name with
+        | Some e ->
+          plt_insn.(i) <- Insn.Jmp (Insn.Direct e);
+          plt_len.(i) <- Layout.plt_slot
+        | None -> ())
+    plt;
   let mem = Memory.create () in
   ignore
     (Memory.add_region mem ~name:"data" ~start:Layout.data_base
@@ -43,7 +106,9 @@ let load (image : Image.t) =
     (Memory.add_region mem ~name:"stack"
        ~start:(Layout.stack_top - Layout.stack_size)
        ~size:(Layout.stack_size + 8));
-  { image; text; lib; plt; mem }
+  { image; lib; plt; mem; text_insn; text_len; text_cost;
+    lib_insn; lib_len; lib_cost; plt_insn; plt_len;
+    par_for_addr = !par_for_addr }
 
 let add_thread_regions t ~threads =
   for i = 0 to threads - 1 do
@@ -72,23 +137,20 @@ let classify t addr : code_class option =
   else None
 
 (** Fetch the instruction at a code address, treating PLT slots as
-    jumps to the resolved library entry. *)
+    jumps to the resolved library entry. Kept for translation-time and
+    analysis callers; the execution loops use the flat side tables
+    directly. *)
 let fetch t addr : (Insn.t * int) option =
   if Layout.in_text addr then begin
     let off = addr - Layout.text_base in
-    if off >= Array.length t.text then None
-    else
-      match t.text.(off) with
-      | (_, 0) -> None
-      | cell -> Some cell
+    if off >= Array.length t.text_len || t.text_len.(off) = 0 then None
+    else Some (t.text_insn.(off), t.text_len.(off))
   end
   else if Layout.in_plt addr then begin
     let i = Layout.plt_index_of_addr addr in
     if i >= Array.length t.plt || addr <> Layout.plt_slot_addr i then None
-    else
-      match Libcalls.entry t.lib t.plt.(i) with
-      | Some e -> Some (Insn.Jmp (Insn.Direct e), Layout.plt_slot)
-      | None -> None  (* intrinsics are intercepted before fetch *)
+    else if t.plt_len.(i) = 0 then None  (* intrinsic or unresolved *)
+    else Some (t.plt_insn.(i), t.plt_len.(i))
   end
   else Libcalls.fetch t.lib addr
 

@@ -1,15 +1,30 @@
 (** A loaded guest program: decoded code maps for application text, PLT
     stubs and runtime-resolved library code, plus initialised guest
-    memory regions. *)
+    memory regions.
+
+    Code is decoded once at load into flat parallel side tables —
+    instruction, encoded length ([0] marks a hole) and precomputed
+    {!Janus_vx.Cost.of_insn} — so executors fetch with plain array
+    loads: no option allocation, no per-instruction cost match, and
+    the [__par_for] intrinsic check is one compare against
+    {!field:t.par_for_addr}. *)
 
 open Janus_vx
 
 type t = {
   image : Image.t;
-  text : (Insn.t * int) array;  (** indexed by addr - text_base *)
   lib : Libcalls.t;
   plt : string array;           (** PLT slot index -> external name *)
   mem : Memory.t;
+  text_insn : Insn.t array;     (** indexed by addr - text_base *)
+  text_len : int array;         (** encoded length; 0 = hole *)
+  text_cost : int array;        (** {!Cost.of_insn}, precomputed *)
+  lib_insn : Insn.t array;      (** indexed by addr - lib_base *)
+  lib_len : int array;
+  lib_cost : int array;
+  plt_insn : Insn.t array;      (** per slot: jump to the resolved entry *)
+  plt_len : int array;          (** 0 = unresolved or intrinsic slot *)
+  par_for_addr : int;           (** [__par_for]'s PLT slot address, or -1 *)
 }
 
 (** Where a code address comes from: application text, a PLT stub, or
@@ -27,7 +42,9 @@ val add_thread_regions : t -> threads:int -> unit
 val classify : t -> int -> code_class option
 
 (** The instruction at a code address (PLT slots resolve to jumps into
-    library code); [None] outside any code region or mid-instruction. *)
+    library code); [None] outside any code region or mid-instruction.
+    Translation-time / analysis API — the execution loops read the
+    flat side tables instead. *)
 val fetch : t -> int -> (Insn.t * int) option
 
 (** The external whose PLT slot is at this address, if any. *)

@@ -28,13 +28,16 @@ type result = {
 let mem_digest (ctx : Machine.t) =
   let region name =
     match Memory.region_by_name ctx.Machine.mem name with
-    | Some r -> Bytes.unsafe_to_string r.Memory.bytes
+    | Some r ->
+      Memory.materialize r r.Memory.size;
+      Bytes.unsafe_to_string r.Memory.bytes
     | None -> ""
   in
   let heap =
     match Memory.region_by_name ctx.Machine.mem "heap" with
     | Some r ->
       let used = max 0 (min r.Memory.size (ctx.Machine.brk - r.Memory.start)) in
+      Memory.materialize r used;
       Bytes.sub_string r.Memory.bytes 0 used
     | None -> ""
   in
@@ -46,28 +49,75 @@ let sentinel = 0
 let default_fuel = 200_000_000
 
 (** Execute starting at [ctx.rip] until the program halts or control
-    returns to the sentinel address. *)
+    returns to the sentinel address.
+
+    The loop is allocation-free on app-text and library code: the
+    instruction, its length and its precomputed cost come from the
+    program's flat side tables, and the [__par_for] intrinsic test is
+    one compare against the address resolved at load. Only genuinely
+    cold addresses (unresolved PLT slots, bad pcs) fall back to
+    {!Program.fetch}. *)
 let rec run_from prog ctx ~fuel =
   let remaining = ref fuel in
   let continue = ref true in
+  let text_insn = prog.Program.text_insn in
+  let text_len = prog.Program.text_len in
+  let text_cost = prog.Program.text_cost in
+  let text_n = Array.length text_len in
+  let lib_insn = prog.Program.lib_insn in
+  let lib_len = prog.Program.lib_len in
+  let lib_cost = prog.Program.lib_cost in
+  let lib_n = Array.length lib_len in
   while !continue && not ctx.Machine.halted do
     if !remaining <= 0 then raise Out_of_fuel;
     decr remaining;
-    (* intercept intrinsics before fetch *)
-    (match Program.plt_name prog ctx.Machine.rip with
-     | Some name when String.equal name Libcalls.intrinsic_par_for ->
-       par_for prog ctx ~fuel:!remaining;
-       (* return to caller: the call pushed the return address *)
-       ctx.Machine.rip <- Int64.to_int (Semantics.pop ctx)
-     | Some _ | None ->
-       (match Program.fetch prog ctx.Machine.rip with
-        | None -> raise (Bad_pc ctx.Machine.rip)
-        | Some (insn, len) ->
-          (match Semantics.exec ctx insn ~len with
-           | Semantics.Fall -> ctx.Machine.rip <- ctx.Machine.rip + len
-           | Semantics.Goto a ->
-             if a = sentinel then continue := false else ctx.Machine.rip <- a
-           | Semantics.Stop -> continue := false)))
+    let addr = ctx.Machine.rip in
+    let toff = addr - Layout.text_base in
+    let loff = addr - Layout.lib_base in
+    if toff >= 0 && toff < text_n && Array.unsafe_get text_len toff <> 0
+    then begin
+      let len = Array.unsafe_get text_len toff in
+      match
+        Semantics.exec_costed ctx
+          (Array.unsafe_get text_insn toff)
+          ~len
+          ~cost:(Array.unsafe_get text_cost toff)
+      with
+      | Semantics.Fall -> ctx.Machine.rip <- addr + len
+      | Semantics.Goto a ->
+        if a = sentinel then continue := false else ctx.Machine.rip <- a
+      | Semantics.Stop -> continue := false
+    end
+    else if loff >= 0 && loff < lib_n && Array.unsafe_get lib_len loff <> 0
+    then begin
+      let len = Array.unsafe_get lib_len loff in
+      match
+        Semantics.exec_costed ctx
+          (Array.unsafe_get lib_insn loff)
+          ~len
+          ~cost:(Array.unsafe_get lib_cost loff)
+      with
+      | Semantics.Fall -> ctx.Machine.rip <- addr + len
+      | Semantics.Goto a ->
+        if a = sentinel then continue := false else ctx.Machine.rip <- a
+      | Semantics.Stop -> continue := false
+    end
+    else if addr = prog.Program.par_for_addr then begin
+      (* intrinsic: run the compiler-parallelised loop, then return to
+         the caller via the address the call pushed *)
+      par_for prog ctx ~fuel:!remaining;
+      ctx.Machine.rip <- Int64.to_int (Semantics.pop ctx)
+    end
+    else begin
+      match Program.fetch prog addr with
+      | None -> raise (Bad_pc addr)
+      | Some (insn, len) -> (
+        match Semantics.exec ctx insn ~len with
+        | Semantics.Fall -> ctx.Machine.rip <- addr + len
+        | Semantics.Goto a ->
+          if a = sentinel then continue := false else ctx.Machine.rip <- a
+        | Semantics.Stop -> continue := false)
+    end
   done
 
 (** Run the function at [addr] to completion in [ctx] (pushes a

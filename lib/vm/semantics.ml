@@ -78,38 +78,36 @@ let fop_value ctx lane = function
 
 (* Flags *)
 
+(* Each setter computes the packed word and issues one store. *)
+
 let set_flags_cmp ctx (a : int64) (b : int64) =
-  let f = ctx.Machine.flags in
-  f.zf <- Int64.equal a b;
-  f.lt <- Int64.compare a b < 0;
-  f.ult <- Int64.unsigned_compare a b < 0;
-  f.sf <- Int64.compare (Int64.sub a b) 0L < 0
+  ctx.Machine.flags <-
+    Machine.pack_flags ~zf:(Int64.equal a b)
+      ~lt:(Int64.compare a b < 0)
+      ~ult:(Int64.unsigned_compare a b < 0)
+      ~sf:(Int64.compare (Int64.sub a b) 0L < 0)
 
 let set_flags_result ctx (v : int64) =
-  let f = ctx.Machine.flags in
-  f.zf <- Int64.equal v 0L;
-  f.lt <- Int64.compare v 0L < 0;
-  f.ult <- false;
-  f.sf <- Int64.compare v 0L < 0
+  let neg = Int64.compare v 0L < 0 in
+  ctx.Machine.flags <-
+    Machine.pack_flags ~zf:(Int64.equal v 0L) ~lt:neg ~ult:false ~sf:neg
 
 let set_flags_fcmp ctx a b =
-  let f = ctx.Machine.flags in
-  if Float.is_nan a || Float.is_nan b then begin
-    f.zf <- false;
-    f.lt <- false;
-    f.ult <- false;
-    f.sf <- false
-  end
+  if Float.is_nan a || Float.is_nan b then ctx.Machine.flags <- 0
   else begin
-    f.zf <- Float.equal a b;
-    f.lt <- a < b;
-    f.ult <- a < b;
-    f.sf <- a < b
+    let lt = a < b in
+    ctx.Machine.flags <-
+      Machine.pack_flags ~zf:(Float.equal a b) ~lt ~ult:lt ~sf:lt
   end
 
 let eval_cond ctx c =
   let f = ctx.Machine.flags in
-  Cond.eval ~zf:f.zf ~lt:f.lt ~ult:f.ult ~sf:f.sf c
+  Cond.eval
+    ~zf:(f land Machine.flag_zf <> 0)
+    ~lt:(f land Machine.flag_lt <> 0)
+    ~ult:(f land Machine.flag_ult <> 0)
+    ~sf:(f land Machine.flag_sf <> 0)
+    c
 
 let alu_op op (a : int64) (b : int64) =
   match op with
@@ -180,12 +178,14 @@ let syscall ctx n =
   end
   else Fall  (* unknown syscalls are no-ops *)
 
-(** Execute one instruction whose encoded length is [len]. Updates
+(** Execute one instruction whose encoded length is [len], charging
+    [cost] cycles (callers with a translated slot pass the cost they
+    precomputed at translation time; {!exec} computes it here). Updates
     registers, flags, memory, cycle and instruction counters, and
     returns where control goes. Does NOT update [ctx.rip] — callers
     own instruction sequencing. *)
-let exec ctx insn ~len =
-  ctx.Machine.cycles <- ctx.Machine.cycles + Cost.of_insn insn;
+let exec_costed ctx insn ~len ~cost =
+  ctx.Machine.cycles <- ctx.Machine.cycles + cost;
   ctx.Machine.icount <- ctx.Machine.icount + 1;
   let fallthrough = ctx.Machine.rip + len in
   match insn with
@@ -288,3 +288,5 @@ let exec ctx insn ~len =
   | Insn.Prefetch m ->
     Machine.warm_line ctx (addr_of_mem ctx m);
     Fall
+
+let exec ctx insn ~len = exec_costed ctx insn ~len ~cost:(Cost.of_insn insn)

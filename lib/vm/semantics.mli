@@ -24,7 +24,20 @@ val raw_read : Machine.t -> int -> int64
 val raw_write : Machine.t -> int -> int64 -> unit
 
 val value : Machine.t -> Operand.t -> int64
+
+(** Store to a register or memory destination (immediates are
+    invalid); exposed for the DBM's fused-pair executors. *)
+val store : Machine.t -> Operand.t -> int64 -> unit
+
 val eval_cond : Machine.t -> Cond.t -> bool
+
+(** The ALU operation itself, and the flag effects of a compare /
+    flag-setting result; exposed for the DBM's fused-pair executors,
+    which must produce bit-identical flag words. *)
+val alu_op : Insn.alu -> int64 -> int64 -> int64
+
+val set_flags_cmp : Machine.t -> int64 -> int64 -> unit
+val set_flags_result : Machine.t -> int64 -> unit
 val push : Machine.t -> int64 -> unit
 val pop : Machine.t -> int64
 
@@ -33,3 +46,9 @@ val pop : Machine.t -> int64
     returns where control goes. Does {e not} advance [ctx.rip] —
     callers own instruction sequencing. *)
 val exec : Machine.t -> Insn.t -> len:int -> control
+
+(** {!exec} with the instruction's {!Cost.of_insn} precomputed by the
+    caller (translated slots compute it once at translation time
+    instead of re-matching on every execution). [cost] must equal
+    [Cost.of_insn insn] for the cycle model to stay exact. *)
+val exec_costed : Machine.t -> Insn.t -> len:int -> cost:int -> control

@@ -29,12 +29,26 @@ let i64 c =
   done;
   !v
 
+(* The register / condition / sub-opcode converters signal an
+   out-of-range byte with Invalid_argument. Each conversion site wraps
+   that into Bad_encoding at the offending byte's offset — and only
+   those sites, so a genuine programming error elsewhere in the decoder
+   (a bad Array/Bytes index, a misuse of a stdlib function) surfaces as
+   the Invalid_argument it is instead of masquerading as a malformed
+   input. *)
+let conv c f v =
+  try f v with Invalid_argument _ -> raise (Bad_encoding (c.pos - 1))
+
+let gp c = conv c Reg.gp_of_index (u8 c)
+let fp c = conv c Reg.fp_of_index (u8 c)
+let cond c = conv c Cond.of_int (u8 c)
+
 let mem c : Operand.mem =
   let flags = u8 c in
-  let base = if flags land 1 <> 0 then Some (Reg.gp_of_index (u8 c)) else None in
+  let base = if flags land 1 <> 0 then Some (gp c) else None in
   let index, scale =
     if flags land 2 <> 0 then begin
-      let r = Reg.gp_of_index (u8 c) in
+      let r = gp c in
       let s = u8 c in
       (Some r, s)
     end
@@ -45,7 +59,7 @@ let mem c : Operand.mem =
 
 let operand c =
   match u8 c with
-  | 0 -> Operand.Reg (Reg.gp_of_index (u8 c))
+  | 0 -> Operand.Reg (gp c)
   | 1 -> Operand.Imm (i64 c)
   | 2 -> Operand.Mem (mem c)
   | 3 -> Operand.Imm (Int64.of_int (i8 c))
@@ -54,7 +68,7 @@ let operand c =
 
 let fop c =
   match u8 c with
-  | 0 -> Operand.Freg (Reg.fp_of_index (u8 c))
+  | 0 -> Operand.Freg (fp c)
   | 1 -> Operand.Fmem (mem c)
   | _ -> raise (Bad_encoding (c.pos - 1))
 
@@ -67,10 +81,10 @@ let insn c : Insn.t =
     let s = operand c in
     Mov (d, s)
   else if op = Encode.op_lea then
-    let r = Reg.gp_of_index (u8 c) in
+    let r = gp c in
     Lea (r, mem c)
   else if op = Encode.op_alu then
-    let a = Encode.alu_of_code (u8 c) in
+    let a = conv c Encode.alu_of_code (u8 c) in
     let d = operand c in
     let s = operand c in
     Alu (a, d, s)
@@ -88,7 +102,7 @@ let insn c : Insn.t =
   else if op = Encode.op_jmp_d then Jmp (Direct (i32 c))
   else if op = Encode.op_jmp_i then Jmp (Indirect (operand c))
   else if op = Encode.op_jcc then
-    let cond = Cond.of_int (u8 c) in
+    let cond = cond c in
     Jcc (cond, i32 c)
   else if op = Encode.op_call_d then Call (Direct (i32 c))
   else if op = Encode.op_call_i then Call (Indirect (operand c))
@@ -96,36 +110,36 @@ let insn c : Insn.t =
   else if op = Encode.op_push then Push (operand c)
   else if op = Encode.op_pop then Pop (operand c)
   else if op = Encode.op_cmov then
-    let cond = Cond.of_int (u8 c) in
-    let r = Reg.gp_of_index (u8 c) in
+    let cond = cond c in
+    let r = gp c in
     Cmov (cond, r, operand c)
   else if op = Encode.op_fmov then
-    let w = Encode.width_of_code (u8 c) in
+    let w = conv c Encode.width_of_code (u8 c) in
     let d = fop c in
     let s = fop c in
     Fmov (w, d, s)
   else if op = Encode.op_fbin then
     let wb = u8 c in
-    let w = Encode.width_of_code (wb lsr 4) in
-    let fb = Encode.fbin_of_code (wb land 0xf) in
-    let d = Reg.fp_of_index (u8 c) in
+    let w = conv c Encode.width_of_code (wb lsr 4) in
+    let fb = conv c Encode.fbin_of_code (wb land 0xf) in
+    let d = fp c in
     Fbin (w, fb, d, fop c)
   else if op = Encode.op_fsqrt then
-    let w = Encode.width_of_code (u8 c) in
-    let d = Reg.fp_of_index (u8 c) in
+    let w = conv c Encode.width_of_code (u8 c) in
+    let d = fp c in
     Fsqrt (w, d, fop c)
   else if op = Encode.op_fcmp then
-    let d = Reg.fp_of_index (u8 c) in
+    let d = fp c in
     Fcmp (d, fop c)
   else if op = Encode.op_cvtsi2sd then
-    let d = Reg.fp_of_index (u8 c) in
+    let d = fp c in
     Cvtsi2sd (d, operand c)
   else if op = Encode.op_cvtsd2si then
-    let d = Reg.gp_of_index (u8 c) in
+    let d = gp c in
     Cvtsd2si (d, fop c)
   else if op = Encode.op_fbcast then
-    let w = Encode.width_of_code (u8 c) in
-    let d = Reg.fp_of_index (u8 c) in
+    let w = conv c Encode.width_of_code (u8 c) in
+    let d = fp c in
     Fbcast (w, d, fop c)
   else if op = Encode.op_syscall then Syscall (u8 c)
   else if op = Encode.op_prefetch then Prefetch (mem c)
@@ -134,16 +148,12 @@ let insn c : Insn.t =
 (** Decode one instruction at [pos]; returns the instruction and its
     encoded length. Any malformation — unknown opcode, truncated
     operand, out-of-range register/condition/sub-opcode — raises
-    [Bad_encoding] with the offending offset. *)
+    [Bad_encoding] with the offending offset (the range errors are
+    wrapped at the individual conversion sites, so an [Invalid_argument]
+    escaping here is a decoder bug, not a malformed input). *)
 let one buf pos =
   let c = { buf; pos } in
-  let i =
-    try insn c with
-    | Bad_encoding _ as e -> raise e
-    | Invalid_argument _ ->
-      (* register index / condition / sub-opcode out of range *)
-      raise (Bad_encoding (c.pos - 1))
-  in
+  let i = insn c in
   (i, c.pos - pos)
 
 (** Decode a whole code buffer into [(offset, insn, length)] triples. *)

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Benchmark the execution core: interpreted instructions per second on
+# a native run of 410.bwaves, differential-fuzz throughput in cases per
+# second, and the wall-clock of the full evaluation (`janus_eval all`)
+# cold against a fresh persistent store and warm from it. Emits one
+# JSON object (to $1, default BENCH_exec.json). CI structurally diffs
+# the fresh document against the committed baseline and fails on a
+# >20% interpreted-instrs/s regression. Requires `dune build` to have
+# produced the binaries.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_exec.json}"
+run_bin=_build/default/bin/janus_run.exe
+fuzz_bin=_build/default/bin/janus_fuzz.exe
+eval_bin=_build/default/bin/janus_eval.exe
+suite_bin=_build/default/test/tools/suite_jx.exe
+for b in "$run_bin" "$fuzz_bin" "$eval_bin" "$suite_bin"; do
+  [ -x "$b" ] || { echo "run dune build first: $b missing" >&2; exit 1; }
+done
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+now() { python3 -c 'import time; print(time.monotonic())'; }
+
+native_scale=60000
+fuzz_seed=5
+fuzz_count=100
+
+# -- interpreted instrs/s: one native bwaves run under the interpreter --
+"$suite_bin" 410.bwaves "$work/bwaves.jx"
+t0=$(now)
+"$run_bin" "$work/bwaves.jx" --mode native --scale "$native_scale" \
+  > "$work/native.txt"
+t1=$(now)
+native_s=$(python3 -c "print($t1 - $t0)")
+# the run's own retired-instruction count, from the summary line
+# `--- native: C cycles, I instructions, exit 0`
+native_insns=$(sed -n 's/^--- native: [0-9]* cycles, \([0-9]*\) instructions, exit 0$/\1/p' "$work/native.txt")
+[ -n "$native_insns" ] || { echo "no native summary line parsed" >&2; exit 1; }
+
+# -- fuzz throughput: pinned-seed sweep of the full-stack oracle --
+t0=$(now)
+"$fuzz_bin" --seed "$fuzz_seed" --count "$fuzz_count" > "$work/fuzz.txt"
+t1=$(now)
+fuzz_s=$(python3 -c "print($t1 - $t0)")
+grep -q " 0 FAIL " "$work/fuzz.txt" || { echo "fuzz run not clean" >&2; exit 1; }
+
+# -- full evaluation: cold populates a store, warm reruns from it --
+store="$work/store"
+t0=$(now)
+"$eval_bin" all --store-dir "$store" > "$work/eval_cold.txt"
+t1=$(now)
+eval_cold_s=$(python3 -c "print($t1 - $t0)")
+t0=$(now)
+"$eval_bin" all --store-dir "$store" > "$work/eval_warm.txt"
+t1=$(now)
+eval_warm_s=$(python3 -c "print($t1 - $t0)")
+cmp "$work/eval_cold.txt" "$work/eval_warm.txt"
+
+python3 - "$out" "$native_scale" "$native_insns" "$native_s" \
+  "$fuzz_seed" "$fuzz_count" "$fuzz_s" "$eval_cold_s" "$eval_warm_s" <<'PY'
+import json, sys
+(out, native_scale, native_insns, native_s,
+ fuzz_seed, fuzz_count, fuzz_s, eval_cold_s, eval_warm_s) = sys.argv[1:10]
+native_s, fuzz_s = float(native_s), float(fuzz_s)
+eval_cold_s, eval_warm_s = float(eval_cold_s), float(eval_warm_s)
+
+doc = {
+    "benchmark": "410.bwaves",
+    "native_scale": int(native_scale),
+    "native_instructions": int(native_insns),
+    "native_seconds": round(native_s, 3),
+    "native_instrs_per_second": round(int(native_insns) / native_s)
+        if native_s > 0 else None,
+    "fuzz_seed": int(fuzz_seed),
+    "fuzz_count": int(fuzz_count),
+    "fuzz_seconds": round(fuzz_s, 3),
+    "fuzz_cases_per_second": round(int(fuzz_count) / fuzz_s, 2)
+        if fuzz_s > 0 else None,
+    "eval_all_cold_seconds": round(eval_cold_s, 3),
+    "eval_all_warm_seconds": round(eval_warm_s, 3),
+}
+json.dump(doc, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(json.dumps(doc, indent=2))
+PY

@@ -61,6 +61,12 @@ grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j1_cold.metrics"
 echo "-- pipeline cache counters (--jobs 4, warm store) --"
 grep -E '^(pipeline\.cache|pool)\.' "$work/eval_j4_warm.metrics"
 
+echo "== superinstruction fusion is inert at schedule level =="
+# fragments fuse hot instruction pairs by default; the whole evaluation
+# must not be able to tell (outputs, cycles, digests byte-identical)
+dune exec bin/janus_eval.exe -- all --no-fuse > "$work/eval_nofuse.txt"
+cmp "$work/eval_j1_cold.txt" "$work/eval_nofuse.txt"
+
 echo "== experiment registry =="
 dune exec bin/janus_eval.exe -- --list
 
@@ -119,6 +125,19 @@ import json, sys
 fresh, baseline = (json.load(open(p)) for p in sys.argv[1:3])
 assert sorted(fresh) == sorted(baseline), (sorted(fresh), sorted(baseline))
 assert fresh["warm_hit_rate"] >= 0.9, fresh
+PY
+
+echo "== execution benchmark =="
+scripts/bench_exec.sh "$work/BENCH_exec.json"
+# committed baseline must stay structurally comparable to a fresh run,
+# and the interpreter may not lose more than 20% of its instrs/s
+python3 - "$work/BENCH_exec.json" BENCH_exec.json <<'PY'
+import json, sys
+fresh, baseline = (json.load(open(p)) for p in sys.argv[1:3])
+assert sorted(fresh) == sorted(baseline), (sorted(fresh), sorted(baseline))
+ips, base = fresh["native_instrs_per_second"], baseline["native_instrs_per_second"]
+assert ips >= 0.8 * base, \
+    f"interpreted instrs/s regressed >20%: {ips} vs committed {base}"
 PY
 
 echo "== adaptive governor: determinism and report =="

@@ -78,6 +78,42 @@ let corpus_cases =
                  (Fmt.list Oracle.pp_failure) fs)))
     files
 
+(* the committed fingerprint file pins the execution core: replaying
+   every corpus kernel natively must reproduce cycles, icount, exit
+   code and final-memory digest byte-for-byte, so any interpreter or
+   cost-model change that perturbs observable state is caught here
+   (regenerate with test/tools/corpus_digest.exe after an intentional
+   change) *)
+let test_corpus_fingerprints () =
+  let dir = "corpus" in
+  let expected =
+    In_channel.with_open_text
+      (Filename.concat dir "digests.expected")
+      In_channel.input_all
+  in
+  let files =
+    List.sort String.compare
+      (List.filter
+         (fun f -> Filename.check_suffix f ".jfk")
+         (Array.to_list (Sys.readdir dir)))
+  in
+  let got =
+    String.concat ""
+      (List.map
+         (fun f ->
+           let text =
+             In_channel.with_open_text (Filename.concat dir f)
+               In_channel.input_all
+           in
+           let k = Kernel.of_string text in
+           let r = Run.run (Emit.image k) in
+           Printf.sprintf "%s %d %d %d %s\n"
+             (Filename.chop_extension f)
+             r.Run.cycles r.Run.icount r.Run.exit_code r.Run.mem_digest)
+         files)
+  in
+  Alcotest.(check string) "corpus fingerprints" expected got
+
 let prop_codec_roundtrip =
   QCheck2.Test.make ~count:200 ~name:"kernel codec round-trips"
     ~print:Kernel.to_string Gen.kernel (fun k ->
@@ -123,6 +159,8 @@ let tests =
     Alcotest.test_case "oracle self-test caught and shrunk" `Quick
       test_self_test_caught;
     Alcotest.test_case "seeded smoke run clean" `Quick test_smoke_seeded;
+    Alcotest.test_case "corpus fingerprints pinned" `Quick
+      test_corpus_fingerprints;
     QCheck_alcotest.to_alcotest prop_codec_roundtrip;
     QCheck_alcotest.to_alcotest prop_promotion_equivalence;
   ]

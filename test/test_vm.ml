@@ -328,6 +328,128 @@ let test_div_by_zero () =
        false
      with Semantics.Div_by_zero _ -> true)
 
+(* Aborting a transaction between a cmp and its jcc must restore the
+   condition flags (and the heap bump pointer): a speculative iteration
+   that compares, faults and rolls back may not leak its flags into the
+   branch the sequential re-execution is about to take. *)
+let test_txn_rollback_flags_brk () =
+  let m = Memory.create () in
+  ignore (Memory.add_region m ~name:"a" ~start:0x1000 ~size:0x100);
+  let ctx = Machine.create m in
+  Machine.set ctx Reg.RAX 1L;
+  Machine.set ctx Reg.RBX 2L;
+  (* the compare whose jcc the transaction interrupts: 1 < 2 *)
+  ignore (Semantics.exec ctx (Insn.Cmp (reg Reg.RAX, reg Reg.RBX)) ~len:0);
+  let flags0 = ctx.Machine.flags and brk0 = ctx.Machine.brk in
+  let txn = Machine.start_txn ctx in
+  (* the doomed txn flips the comparison and bumps the heap *)
+  ignore (Semantics.exec ctx (Insn.Cmp (reg Reg.RBX, reg Reg.RAX)) ~len:0);
+  ctx.Machine.brk <- ctx.Machine.brk + 4096;
+  Alcotest.(check bool) "txn changed flags" true (ctx.Machine.flags <> flags0);
+  Machine.rollback ctx txn;
+  Alcotest.(check int) "flags restored" flags0 ctx.Machine.flags;
+  Alcotest.(check int) "brk restored" brk0 ctx.Machine.brk;
+  (* the jcc now evaluates as if the aborted txn never ran *)
+  Alcotest.(check bool) "lt holds" true (Semantics.eval_cond ctx Cond.Lt);
+  Alcotest.(check bool) "gt does not" false (Semantics.eval_cond ctx Cond.Gt)
+
+(* The packed flags word and the flat fregs array must be
+   observationally indistinguishable from the naive representation they
+   replaced (four separate bools; per-register lane arrays): random
+   operation sequences applied to both, then every condition code and
+   every FP lane compared. *)
+
+type ref_state = {
+  mutable r_zf : bool;
+  mutable r_lt : bool;
+  mutable r_ult : bool;
+  mutable r_sf : bool;
+  r_fregs : float array array; (* [register].(lane) *)
+}
+
+type state_op =
+  | Op_cmp of int64 * int64
+  | Op_result of int64
+  | Op_setf of int * int * float
+
+let apply_machine ctx = function
+  | Op_cmp (a, b) -> Semantics.set_flags_cmp ctx a b
+  | Op_result v -> Semantics.set_flags_result ctx v
+  | Op_setf (r, lane, v) -> Machine.setf ctx (Reg.fp_of_index r) lane v
+
+let apply_ref s = function
+  | Op_cmp (a, b) ->
+    s.r_zf <- Int64.equal a b;
+    s.r_lt <- Int64.compare a b < 0;
+    s.r_ult <- Int64.unsigned_compare a b < 0;
+    s.r_sf <- Int64.compare (Int64.sub a b) 0L < 0
+  | Op_result v ->
+    let neg = Int64.compare v 0L < 0 in
+    s.r_zf <- Int64.equal v 0L;
+    s.r_lt <- neg;
+    s.r_ult <- false;
+    s.r_sf <- neg
+  | Op_setf (r, lane, v) -> s.r_fregs.(r).(lane) <- v
+
+let gen_state_op =
+  let open QCheck2.Gen in
+  (* mix full-range and tiny operands so equality/zero cases occur *)
+  let i64 = oneof [ int64; map Int64.of_int (int_range (-4) 4) ] in
+  frequency
+    [
+      (3, map2 (fun a b -> Op_cmp (a, b)) i64 i64);
+      (2, map (fun v -> Op_result v) i64);
+      ( 3,
+        map3
+          (fun r lane v -> Op_setf (r, lane, v))
+          (int_range 0 (Reg.fp_count - 1))
+          (int_range 0 3)
+          (map Int64.float_of_bits int64) );
+    ]
+
+let prop_flat_state_equiv =
+  QCheck2.Test.make ~count:200
+    ~name:"flat machine state matches the reference representation"
+    QCheck2.Gen.(list_size (int_range 0 40) gen_state_op)
+    (fun ops ->
+      let ctx = Machine.create (Memory.create ()) in
+      let s =
+        {
+          r_zf = false;
+          r_lt = false;
+          r_ult = false;
+          r_sf = false;
+          r_fregs = Array.init Reg.fp_count (fun _ -> Array.make 4 0.0);
+        }
+      in
+      List.iter
+        (fun op ->
+          apply_machine ctx op;
+          apply_ref s op)
+        ops;
+      let conds_agree =
+        List.for_all
+          (fun c ->
+            Bool.equal
+              (Semantics.eval_cond ctx c)
+              (Cond.eval ~zf:s.r_zf ~lt:s.r_lt ~ult:s.r_ult ~sf:s.r_sf c))
+          Cond.all
+      in
+      let lanes_agree = ref true in
+      for r = 0 to Reg.fp_count - 1 do
+        for lane = 0 to 3 do
+          (* bit-level equality: exact, and NaN-proof *)
+          if
+            not
+              (Int64.equal
+                 (Int64.bits_of_float
+                    (Machine.getf ctx (Reg.fp_of_index r) lane))
+                 (Int64.bits_of_float s.r_fregs.(r).(lane)))
+          then lanes_agree := false
+        done
+      done;
+      conds_agree && !lanes_agree)
+
 let test_out_of_fuel () =
   let b = Builder.create () in
   Builder.label b "_start";
@@ -348,6 +470,9 @@ let tests =
     Alcotest.test_case "par_for speedup" `Quick test_par_for_speedup;
     Alcotest.test_case "fork isolation" `Quick test_fork_isolation;
     Alcotest.test_case "txn buffering" `Quick test_txn_buffering;
+    Alcotest.test_case "txn rollback restores flags and brk" `Quick
+      test_txn_rollback_flags_brk;
+    QCheck_alcotest.to_alcotest prop_flat_state_equiv;
     Alcotest.test_case "observe hook" `Quick test_observe_hook;
     Alcotest.test_case "cache model misses" `Quick test_cache_model_misses;
     Alcotest.test_case "cache model off by default" `Quick

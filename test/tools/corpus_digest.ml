@@ -1,0 +1,31 @@
+(* Print the native-execution fingerprint of every corpus kernel:
+   name, cycles, icount, exit code and final-memory digest. Used to pin
+   the execution core's observable behaviour: test_fuzz replays each
+   corpus kernel and asserts the fingerprint matches the committed
+   test/corpus/digests.expected, so any interpreter change that
+   perturbs cycles, output or memory is caught byte-for-byte. *)
+
+module Kernel = Janus_fuzz_lib.Kernel
+module Emit = Janus_fuzz_lib.Emit
+module Run = Janus_vm.Run
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
+  let files =
+    List.sort String.compare
+      (List.filter
+         (fun f -> Filename.check_suffix f ".jfk")
+         (Array.to_list (Sys.readdir dir)))
+  in
+  List.iter
+    (fun f ->
+      let text =
+        In_channel.with_open_text (Filename.concat dir f) In_channel.input_all
+      in
+      let k = Kernel.of_string text in
+      let img = Emit.image k in
+      let r = Run.run img in
+      Printf.printf "%s %d %d %d %s\n"
+        (Filename.chop_extension f)
+        r.Run.cycles r.Run.icount r.Run.exit_code r.Run.mem_digest)
+    files
