@@ -12,6 +12,7 @@ module Pipeline = Janus_core.Pipeline
 module Pool = Janus_pool.Pool
 module Obs = Janus_obs.Obs
 module Run = Janus_vm.Run
+module Pgo = Janus_pgo.Pgo
 
 (* exit codes: 0 on success, 2 for unusable inputs (cmdliner reserves
    124 for argument parse errors), 3 for fuel exhaustion *)
@@ -66,7 +67,7 @@ let print_metrics store pool =
   (match pool with Some p -> Pool.publish_metrics p obs | None -> ());
   List.iter (fun (k, v) -> Fmt.epr "%-32s %12d@." k v) (Obs.counters obs)
 
-let run names jobs no_cache store_dir metrics no_fuse list =
+let run names jobs no_cache store_dir profile_dir metrics no_fuse list =
   if no_fuse then Pipeline.fuse_default := false;
   if list then begin
     List.iter (fun (n, d) -> Fmt.pr "%-10s %s@." n d) registry;
@@ -84,8 +85,20 @@ let run names jobs no_cache store_dir metrics no_fuse list =
       (String.concat "|" experiments)
   | None ->
     let store = Pipeline.store ~enabled:(not no_cache) ?dir:store_dir () in
+    (* fleet evidence: with --profile-dir, rows for binaries with stored
+       profiles are derived from the merged aggregate instead of their
+       one-shot training run; without it, evidence is None everywhere
+       and output is byte-identical to a pgo-free build *)
+    let evidence =
+      match profile_dir with
+      | None -> fun _ -> None
+      | Some dir ->
+        let pstore = Pgo.Store.open_ dir in
+        fun img ->
+          Pgo.Store.evidence_for pstore ~image:(Pipeline.image_key img)
+    in
     let go pool =
-      let ctx = Eval.ctx ~store ?pool () in
+      let ctx = Eval.ctx ~store ?pool ~evidence () in
       List.iter (run_one ctx) todo;
       if metrics then print_metrics store pool
     in
@@ -134,6 +147,15 @@ let store_dir =
                  rerun skips analysis, profiling and schedule\n\
                  generation. Output is byte-identical to a cold run.")
 
+let profile_dir =
+  Arg.(value & opt (some string) None
+       & info [ "profile-dir" ] ~docv:"DIR"
+           ~doc:"Consult the persistent profile store at $(docv): rows for\n\
+                 binaries with stored fleet evidence are selected and\n\
+                 scheduled from the merged aggregate instead of a one-shot\n\
+                 training run. With no stored profiles (or without this\n\
+                 flag) output is byte-identical to a pgo-free run.")
+
 let metrics =
   Arg.(value & flag
        & info [ "metrics" ]
@@ -158,7 +180,7 @@ let cmd =
   Cmd.v
     (Cmd.info "janus_eval"
        ~doc:"Regenerate the paper's evaluation tables and figures")
-    Term.(const run $ names $ jobs $ no_cache $ store_dir $ metrics $ no_fuse
-          $ list)
+    Term.(const run $ names $ jobs $ no_cache $ store_dir $ profile_dir
+          $ metrics $ no_fuse $ list)
 
 let () = exit (Cmd.eval' cmd)

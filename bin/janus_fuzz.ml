@@ -24,9 +24,11 @@
 open Cmdliner
 module Kernel = Janus_fuzz_lib.Kernel
 module Gen = Janus_fuzz_lib.Gen
+module Emit = Janus_fuzz_lib.Emit
 module Oracle = Janus_fuzz_lib.Oracle
 module Shrink = Janus_fuzz_lib.Shrink
 module Pool = Janus_pool.Pool
+module Pgo = Janus_pgo.Pgo
 
 let still_failing ~threads k =
   Kernel.valid k
@@ -73,13 +75,27 @@ let run_self_test ~threads ~save_corpus ~corpus_dir =
     0
 
 let run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~jobs ~save_corpus
-    ~corpus_dir =
+    ~corpus_dir ~emit_profiles =
   let t0 = Unix.gettimeofday () in
   let deadline =
     match time_budget with None -> infinity | Some s -> t0 +. float_of_int s
   in
   let pass = ref 0 and skip = ref 0 and fail = ref 0 in
   let done_ = ref 0 in
+  let profile_store = Option.map Pgo.Store.open_ emit_profiles in
+  let profiled = ref 0 in
+  (* each passing kernel becomes one fleet member: its profiler run is
+     merged into the store keyed by its image digest; runs are
+     content-addressed, so replaying a seed is idempotent *)
+  let emit_profile k =
+    match profile_store with
+    | None -> ()
+    | Some store ->
+      if Kernel.valid k then begin
+        ignore (Pgo.collect ~source:Pgo.Fleet ~store ~input:[] (Emit.image k));
+        incr profiled
+      end
+  in
   (* Every case derives its own PRNG from (seed, case index), so the
      kernel stream is a pure function of the case number: partitioning
      cases over a domain pool cannot change what gets generated, stats
@@ -97,7 +113,9 @@ let run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~jobs ~save_corpus
       (fun (i, k, r) ->
          incr done_;
          match r with
-         | Oracle.Pass -> incr pass
+         | Oracle.Pass ->
+           incr pass;
+           emit_profile k
          | Oracle.Skip _ -> incr skip
          | Oracle.Fail fs ->
            incr fail;
@@ -131,10 +149,13 @@ let run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~jobs ~save_corpus
     !skip !fail
     (Unix.gettimeofday () -. t0)
     seed;
+  (match emit_profiles with
+   | Some dir -> Fmt.pr "profiles: %d kernels merged into %s@." !profiled dir
+   | None -> ());
   if !fail > 0 then 1 else 0
 
 let run seed count time_budget threads_list mixed jobs save_corpus corpus_dir
-    self_test =
+    emit_profiles self_test =
   let threads =
     match threads_list with
     | None -> Oracle.default_threads
@@ -156,7 +177,7 @@ let run seed count time_budget threads_list mixed jobs save_corpus corpus_dir
   if self_test then run_self_test ~threads ~save_corpus ~corpus_dir
   else
     run_fuzz ~seed ~count ~time_budget ~threads ~mixed ~jobs ~save_corpus
-      ~corpus_dir
+      ~corpus_dir ~emit_profiles
 
 let seed =
   Arg.(value & opt int 5 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
@@ -219,6 +240,16 @@ let corpus_dir =
     & info [ "corpus-dir" ] ~docv:"DIR"
         ~doc:"Directory for shrunk reproducers (with --save-corpus).")
 
+let emit_profiles =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-profiles" ] ~docv:"DIR"
+        ~doc:"Profile every passing kernel (coverage + dependence) and \
+              merge the runs into the persistent profile store at $(docv) \
+              — the generated kernels act as an input fleet for \
+              janus_pgo.")
+
 let self_test =
   Arg.(
     value & flag
@@ -232,6 +263,6 @@ let cmd =
     (Cmd.info "janus_fuzz" ~doc)
     Term.(
       const run $ seed $ count $ time_budget $ threads_list $ mixed $ jobs
-      $ save_corpus $ corpus_dir $ self_test)
+      $ save_corpus $ corpus_dir $ emit_profiles $ self_test)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,227 @@
+(* janus_pgo: the persistent profile store and its convergence driver.
+
+   Subcommands:
+     collect --bench NAME --store DIR [--scale N] [--source fleet|training]
+             [--fuel N]
+     show    --bench NAME --store DIR
+     iterate --bench NAME --store DIR [--rounds N] [--threshold PCT]
+             [--fleet N,N,...] [--adapt] [--jobs N]
+     store prune --dir DIR [--max-age SECONDS] [--max-bytes BYTES]
+
+   collect runs the offline profiler over one input and merges the run
+   into the store (one .jprof per binary); show prints the merged
+   aggregate; iterate drives run -> collect -> merge -> re-schedule
+   until the schedule digest is stable; store prune bounds the
+   directory, oldest files first.
+
+   Exit codes: 0 success, 2 usage error, 3 runtime failure. *)
+
+module Pgo = Janus_pgo.Pgo
+module Suite = Janus_suite.Suite
+module Pipeline = Janus_core.Pipeline
+module Janus = Janus_core.Janus
+module Pool = Janus_pool.Pool
+
+let usage () =
+  Fmt.epr
+    "usage: janus_pgo collect --bench NAME --store DIR [--scale N] \
+     [--source fleet|training] [--fuel N]@.\
+    \       janus_pgo show --bench NAME --store DIR@.\
+    \       janus_pgo iterate --bench NAME --store DIR [--rounds N] \
+     [--threshold PCT] [--fleet N,N,...] [--adapt]@.\
+    \       janus_pgo store prune --dir DIR [--max-age SECONDS] \
+     [--max-bytes BYTES]@.";
+  exit 2
+
+(* every valued flag shares one guard: a flag with no value — last
+   argument included — is a usage error, never a silent default *)
+let missing_value flag =
+  Fmt.epr "janus_pgo: %s expects a value@." flag;
+  exit 2
+
+let parse_opts args =
+  let opts = Hashtbl.create 8 in
+  let valued =
+    [ "--bench"; "--store"; "--dir"; "--scale"; "--source"; "--fuel";
+      "--rounds"; "--threshold"; "--fleet"; "--max-age"; "--max-bytes";
+      "--jobs" ]
+  in
+  let boolean = [ "--adapt" ] in
+  let rec go = function
+    | [] -> ()
+    | flag :: rest when List.mem flag valued -> (
+        match rest with
+        | v :: rest when not (String.length v > 2 && String.sub v 0 2 = "--")
+          ->
+          Hashtbl.replace opts flag v;
+          go rest
+        | _ -> missing_value flag)
+    | flag :: rest when List.mem flag boolean ->
+      Hashtbl.replace opts flag "true";
+      go rest
+    | arg :: _ ->
+      Fmt.epr "janus_pgo: unknown argument %S@." arg;
+      exit 2
+  in
+  go args;
+  opts
+
+let required opts flag =
+  match Hashtbl.find_opt opts flag with
+  | Some v -> v
+  | None ->
+    Fmt.epr "janus_pgo: %s is required@." flag;
+    exit 2
+
+let int_opt opts flag ~default =
+  match Hashtbl.find_opt opts flag with
+  | None -> default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> n
+      | _ ->
+        Fmt.epr "janus_pgo: %s expects a non-negative integer, got %S@." flag
+          v;
+        exit 2)
+
+let bench_of opts =
+  let name = required opts "--bench" in
+  match Suite.find name with
+  | Some b -> b
+  | None ->
+    Fmt.epr "janus_pgo: unknown benchmark %S@." name;
+    exit 2
+
+let store_of opts = Pgo.Store.open_ (required opts "--store")
+
+let cmd_collect opts =
+  let b = bench_of opts in
+  let store = store_of opts in
+  let image = Suite.compile b in
+  let scale =
+    int_opt opts "--scale"
+      ~default:
+        (match Suite.ref_input b with x :: _ -> Int64.to_int x | [] -> 0)
+  in
+  let source =
+    match Hashtbl.find_opt opts "--source" with
+    | None | Some "fleet" -> Pgo.Fleet
+    | Some "training" -> Pgo.Training
+    | Some s ->
+      Fmt.epr "janus_pgo: --source expects fleet or training, got %S@." s;
+      exit 2
+  in
+  let fuel =
+    match Hashtbl.find_opt opts "--fuel" with
+    | None -> None
+    | Some _ -> Some (int_opt opts "--fuel" ~default:0)
+  in
+  let merged =
+    Pgo.collect ?fuel ~source ~store ~input:[ Int64.of_int scale ] image
+  in
+  Fmt.pr "bench=%s image=%s source=%s scale=%d runs=%d gen=%s@." b.Suite.name
+    merged.Pgo.p_image (Pgo.source_name source) scale (Pgo.runs merged)
+    (Pgo.generation merged)
+
+let cmd_show opts =
+  let b = bench_of opts in
+  let store = store_of opts in
+  let image_k = Pipeline.image_key (Suite.compile b) in
+  match Pgo.Store.load store ~image:image_k with
+  | None ->
+    Fmt.pr "bench=%s image=%s runs=0 (no profile stored)@." b.Suite.name
+      image_k;
+    if Pgo.Store.errors store > 0 then
+      Fmt.pr "store-errors=%d@." (Pgo.Store.errors store)
+  | Some p ->
+    Fmt.pr "bench=%s image=%s runs=%d gen=%s store-errors=%d@." b.Suite.name
+      image_k (Pgo.runs p) (Pgo.generation p) (Pgo.Store.errors store);
+    Fmt.pr "%-6s %-11s %6s %10s %12s %8s %8s %8s@." "loop" "verdict" "runs"
+      "invocs" "self-insns" "chk-fail" "demoted" "suspect";
+    List.iter
+      (fun (a : Pgo.agg) ->
+        Fmt.pr "%-6d %-11s %6d %10d %12d %8d %8d %8s@." a.Pgo.a_lid
+          (Pgo.verdict_name a.Pgo.a_verdict)
+          a.Pgo.a_runs a.Pgo.a_invocations a.Pgo.a_self_insns
+          a.Pgo.a_checks_failed a.Pgo.a_demotions
+          (if a.Pgo.a_suspect then "yes" else "-"))
+      (Pgo.aggregate p)
+
+let fleet_of opts b =
+  match Hashtbl.find_opt opts "--fleet" with
+  | None -> [ Suite.ref_input b ]
+  | Some spec ->
+    List.map
+      (fun s ->
+        match int_of_string_opt (String.trim s) with
+        | Some n -> [ Int64.of_int n ]
+        | None ->
+          Fmt.epr "janus_pgo: --fleet expects integers, got %S@." s;
+          exit 2)
+      (String.split_on_char ',' spec)
+
+let cmd_iterate opts =
+  let b = bench_of opts in
+  let store = store_of opts in
+  let image = Suite.compile b in
+  let adapt = Hashtbl.mem opts "--adapt" in
+  let cfg = Janus.config ~adapt () in
+  let max_rounds = int_opt opts "--rounds" ~default:6 in
+  let threshold =
+    match Hashtbl.find_opt opts "--threshold" with
+    | None -> 0.5
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 -> f
+        | _ ->
+          Fmt.epr "janus_pgo: --threshold expects a percentage, got %S@." v;
+          exit 2)
+  in
+  let go pool =
+    ignore pool;
+    let outcome =
+      Pgo.Iterate.run ~cfg ~max_rounds ~threshold
+        ~log:(fun line -> Fmt.pr "%s@." line)
+        ~store ~train_input:(Suite.train_input b) ~fleet:(fleet_of opts b)
+        ~input:(Suite.ref_input b) image
+    in
+    Fmt.pr "converged=%b rounds=%d baseline-cycles=%d final-cycles=%d@."
+      outcome.Pgo.Iterate.o_converged
+      (List.length outcome.Pgo.Iterate.o_rounds)
+      outcome.Pgo.Iterate.o_baseline_cycles outcome.Pgo.Iterate.o_final_cycles
+  in
+  let jobs = int_opt opts "--jobs" ~default:1 in
+  if jobs > 1 then Pool.with_pool ~jobs (fun p -> go (Some p)) else go None
+
+let cmd_store_prune opts =
+  let dir = required opts "--dir" in
+  if not (Sys.file_exists dir) then begin
+    Fmt.epr "janus_pgo: no such directory %s@." dir;
+    exit 3
+  end;
+  let store = Pgo.Store.open_ dir in
+  let max_age =
+    Option.map (fun _ -> int_opt opts "--max-age" ~default:0)
+      (Hashtbl.find_opt opts "--max-age")
+  in
+  let max_bytes =
+    Option.map (fun _ -> int_opt opts "--max-bytes" ~default:0)
+      (Hashtbl.find_opt opts "--max-bytes")
+  in
+  let n = Pgo.Store.prune ?max_age ?max_bytes store in
+  Fmt.pr "pruned=%d dir=%s@." n dir
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "store" :: "prune" :: rest ->
+    let opts = parse_opts rest in
+    (try cmd_store_prune opts with Failure e -> Fmt.epr "%s@." e; exit 3)
+  | _ :: cmd :: rest -> (
+      let opts = parse_opts rest in
+      let run f = try f opts with Failure e -> Fmt.epr "%s@." e; exit 3 in
+      match cmd with
+      | "collect" -> run cmd_collect
+      | "show" -> run cmd_show
+      | "iterate" -> run cmd_iterate
+      | _ -> usage ())
+  | _ -> usage ()

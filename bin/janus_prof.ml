@@ -5,8 +5,10 @@ open Cmdliner
 module Profiler = Janus_profile.Profiler
 module Analysis = Janus_analysis.Analysis
 module Loopanal = Janus_analysis.Loopanal
+module Pgo = Janus_pgo.Pgo
+module Pipeline = Janus_core.Pipeline
 
-let profile input scale out =
+let profile input scale out emit_profile =
   let bytes =
     In_channel.with_open_bin input (fun ic ->
         Bytes.of_string (In_channel.input_all ic))
@@ -37,6 +39,20 @@ let profile input scale out =
      Profiler.save path cov deps;
      Fmt.pr "wrote %s (%d loops)@." path (Hashtbl.length cov.Profiler.loops)
    | None -> ());
+  (match emit_profile with
+   | Some dir ->
+     let store = Pgo.Store.open_ dir in
+     let run =
+       Pgo.run_of_profile ~source:Pgo.Training
+         ~input:(Int64.to_string (Int64.of_int scale))
+         ~coverage:(Some cov) ~deps:(Some deps)
+     in
+     let merged =
+       Pgo.Store.save store (Pgo.add (Pgo.empty (Pipeline.image_key image)) run)
+     in
+     Fmt.pr "merged training run into %s (image %s, %d runs)@." dir
+       merged.Pgo.p_image (Pgo.runs merged)
+   | None -> ());
   0
 
 let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"BIN")
@@ -50,9 +66,16 @@ let out =
        & info [ "o"; "output" ] ~docv:"FILE.jpf"
            ~doc:"Write the profile for janus_analyze --profile.")
 
+let emit_profile =
+  Arg.(value & opt (some string) None
+       & info [ "emit-profile" ] ~docv:"DIR"
+           ~doc:"Merge this training run into the persistent profile store\n\
+                 at $(docv) (one .jprof per binary, keyed by image digest)\n\
+                 for janus_pgo / janus_eval --profile-dir.")
+
 let cmd =
   Cmd.v
     (Cmd.info "janus_prof" ~doc:"Coverage and dependence profiling")
-    Term.(const profile $ input $ scale $ out)
+    Term.(const profile $ input $ scale $ out $ emit_profile)
 
 let () = exit (Cmd.eval' cmd)

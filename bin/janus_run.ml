@@ -5,6 +5,7 @@ open Cmdliner
 module Janus = Janus_core.Janus
 module Obs = Janus_obs.Obs
 module Run = Janus_vm.Run
+module Pgo = Janus_pgo.Pgo
 
 (* exit codes: 0/program's own code on success, 2 for unusable inputs
    (cmdliner reserves 124 for argument parse errors), 3 for runs
@@ -32,7 +33,7 @@ let print_obs obs ~trace_summary ~metrics =
 
 let run input mode threads scale train_scale schedule_file prefetch fission
     model_cache fuel trace_out trace_jsonl trace_summary metrics adapt
-    adapt_report no_fuse =
+    adapt_report emit_profile no_fuse =
   if no_fuse then Janus_core.Pipeline.fuse_default := false;
   let bytes =
     In_channel.with_open_bin input (fun ic ->
@@ -44,7 +45,7 @@ let run input mode threads scale train_scale schedule_file prefetch fission
   | image ->
   let inp = [ Int64.of_int scale ] in
   let tracing = trace_out <> None || trace_jsonl <> None || trace_summary in
-  let adapt = adapt || adapt_report <> None in
+  let adapt = adapt || adapt_report <> None || emit_profile <> None in
   let cfg =
     Janus.config ~threads ~prefetch ~fission ~model_cache ~fuel ~trace:tracing
       ~adapt ~fuse:(not no_fuse) ()
@@ -113,6 +114,17 @@ let run input mode threads scale train_scale schedule_file prefetch fission
        write_file path
          (Fmt.str "no adaptive governor in --mode %s (use janus)@." mode)
      | None, _ -> ());
+    (match emit_profile with
+     | Some dir -> begin
+         let store = Pgo.Store.open_ dir in
+         match Pgo.collect_governed ~store ~input:inp image result with
+         | Some merged ->
+           Fmt.epr "janus_run: merged governed ledger into %s (image %s, %d runs)@."
+             dir merged.Pgo.p_image (Pgo.runs merged)
+         | None ->
+           Fmt.epr "janus_run: --emit-profile: no governor in --mode %s@." mode
+       end
+     | None -> ());
     print_string result.Janus.output;
     Fmt.pr "--- %s: %d cycles, %d instructions, exit %d@." mode
       result.Janus.cycles result.Janus.icount result.Janus.exit_code;
@@ -234,6 +246,14 @@ let adapt_report =
            ~doc:"Write the governor's per-loop ledger (state, invocations,\n\
                  demotions, probes, samples) to $(docv); implies --adapt.")
 
+let emit_profile =
+  Arg.(value & opt (some string) None
+       & info [ "emit-profile" ] ~docv:"DIR"
+           ~doc:"Merge the run's governed per-loop ledger into the persistent\n\
+                 profile store at $(docv) (one .jprof per binary, keyed by\n\
+                 image digest) for janus_pgo / janus_eval --profile-dir;\n\
+                 implies --adapt.")
+
 let no_fuse =
   Arg.(value & flag
        & info [ "no-fuse" ]
@@ -247,6 +267,6 @@ let cmd =
     Term.(const run $ input $ mode $ threads $ scale $ train_scale
           $ schedule_file $ prefetch $ fission $ model_cache $ fuel
           $ trace_out $ trace_jsonl $ trace_summary $ metrics $ adapt
-          $ adapt_report $ no_fuse)
+          $ adapt_report $ emit_profile $ no_fuse)
 
 let () = exit (Cmd.eval' cmd)

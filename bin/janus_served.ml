@@ -23,9 +23,11 @@ module Obs = Janus_obs.Obs
 
 let usage () =
   Fmt.epr
-    "usage: janus_served serve --socket PATH [--store-dir DIR] [--jobs N]@.\
+    "usage: janus_served serve --socket PATH [--store-dir DIR] \
+     [--profile-dir DIR] [--jobs N]@.\
     \       janus_served analyse --socket PATH --bench NAME@.\
     \       janus_served schedule --socket PATH --bench NAME [--out FILE]@.\
+    \       janus_served upload --socket PATH --file FILE.jprof@.\
     \       janus_served metrics --socket PATH@.\
     \       janus_served stop --socket PATH@.";
   exit 2
@@ -39,7 +41,8 @@ let missing_value flag =
 let parse_opts args =
   let opts = Hashtbl.create 8 in
   let valued =
-    [ "--socket"; "--store-dir"; "--jobs"; "--bench"; "--out" ]
+    [ "--socket"; "--store-dir"; "--profile-dir"; "--jobs"; "--bench";
+      "--out"; "--file" ]
   in
   let rec go = function
     | [] -> ()
@@ -93,11 +96,14 @@ let with_connection socket f =
 let cmd_serve opts =
   let socket = required opts "--socket" in
   let store = Pipeline.store ?dir:(Hashtbl.find_opt opts "--store-dir") () in
+  let profile_dir = Hashtbl.find_opt opts "--profile-dir" in
   let jobs = jobs_of opts in
   let serve pool =
-    let server = Served.create_server ~store ?pool ~socket () in
-    Fmt.pr "janus_served: listening on %s (jobs=%d, store=%s)@." socket jobs
-      (Option.value ~default:"memory" (Pipeline.store_dir store));
+    let server = Served.create_server ~store ?pool ?profile_dir ~socket () in
+    Fmt.pr "janus_served: listening on %s (jobs=%d, store=%s, profiles=%s)@."
+      socket jobs
+      (Option.value ~default:"memory" (Pipeline.store_dir store))
+      (Option.value ~default:"off" profile_dir);
     Served.serve server;
     Fmt.pr "janus_served: shut down@."
   in
@@ -118,18 +124,36 @@ let cmd_schedule opts =
         Served.schedule c ~train_input:(Suite.train_input b) (Suite.compile b)
       in
       Fmt.pr "bench=%s schedule-bytes=%d schedule-md5=%s demoted=%d \
-              findings=%d cache-hit=%b@."
+              findings=%d cache-hit=%b gen=%s@."
         b.Suite.name
         (Bytes.length r.Served.s_schedule)
         (Digest.to_hex (Digest.bytes r.Served.s_schedule))
         (List.length r.Served.s_demoted)
-        r.Served.s_findings r.Served.s_cache_hit;
+        r.Served.s_findings r.Served.s_cache_hit
+        (if r.Served.s_generation = "" then "-" else r.Served.s_generation);
       match Hashtbl.find_opt opts "--out" with
       | None -> ()
       | Some path ->
         let oc = open_out_bin path in
         output_bytes oc r.Served.s_schedule;
         close_out oc)
+
+let cmd_upload opts =
+  let file = required opts "--file" in
+  let payload =
+    match
+      In_channel.with_open_bin file (fun ic ->
+          Bytes.of_string (In_channel.input_all ic))
+    with
+    | b -> b
+    | exception Sys_error e ->
+      Fmt.epr "janus_served: cannot read %s: %s@." file e;
+      exit 3
+  in
+  with_connection (required opts "--socket") (fun c ->
+      let r = Served.upload c payload in
+      Fmt.pr "uploaded=%s image=%s runs=%d total-runs=%d@." file
+        r.Served.u_image r.Served.u_runs r.Served.u_total_runs)
 
 let cmd_metrics opts =
   with_connection (required opts "--socket") (fun c ->
@@ -149,6 +173,7 @@ let () =
       | "serve" -> run cmd_serve
       | "analyse" -> run cmd_analyse
       | "schedule" -> run cmd_schedule
+      | "upload" -> run cmd_upload
       | "metrics" -> run cmd_metrics
       | "stop" -> run cmd_stop
       | _ -> usage ())

@@ -109,6 +109,15 @@ let register t lid ~profiled =
     Hashtbl.add t.loops lid (fresh t.p lid st)
   end
 
+(* Warm start from aggregated fleet history: a loop other runs already
+   demoted (or watched fail its checks) begins on probation — one more
+   bad outcome demotes it, [promote_k] good ones restore full parallel
+   standing. The prior is only a starting state; every later decision
+   is the usual pure function of this run's cycles and counters. *)
+let register_suspect t lid =
+  if not (Hashtbl.mem t.loops lid) then
+    Hashtbl.add t.loops lid (fresh t.p lid Probation)
+
 let find t lid = Hashtbl.find_opt t.loops lid
 let governed t lid = Hashtbl.mem t.loops lid
 let state t lid = Option.map (fun l -> l.st) (find t lid)

@@ -75,6 +75,15 @@ val params : t -> params
     {!Parallel}. Re-registering an existing loop is a no-op. *)
 val register : t -> int -> profiled:bool -> unit
 
+(** Fleet-evidence warm start (the persistent-PGO ledger-export loop,
+    {!Janus_pgo.Pgo}): register a loop whose aggregated cross-run
+    history is suspect — earlier runs demoted it or watched its bounds
+    checks fail. It starts in {!Probation} instead of {!Parallel}, so
+    one more bad invocation demotes it immediately rather than after a
+    full bad window, while [promote_k] good outcomes clear its record
+    as usual. Re-registering an existing loop is a no-op. *)
+val register_suspect : t -> int -> unit
+
 (** Is this loop under governance? *)
 val governed : t -> int -> bool
 

@@ -19,9 +19,15 @@ let nine = List.filter (fun b -> b.Suite.parallelisable) Suite.all
 (* Evaluation context: shared artifact store + optional domain pool     *)
 (* ------------------------------------------------------------------ *)
 
-type ctx = { store : Pipeline.store; pool : Pool.t option }
+type ctx = {
+  store : Pipeline.store;
+  pool : Pool.t option;
+  evidence : Janus_vx.Image.t -> Pipeline.evidence option;
+}
 
-let ctx ?(store = Pipeline.default_store) ?pool () = { store; pool }
+let ctx ?(store = Pipeline.default_store) ?pool ?(evidence = fun _ -> None)
+    () =
+  { store; pool; evidence }
 
 let default_ctx = ctx ()
 
@@ -160,7 +166,8 @@ let run_configs ?(ctx = default_ctx) ?options (b : Suite.benchmark) ~threads =
   let dbm = Janus.run_dbm_only ~input:(Suite.ref_input b) img in
   let go cfg =
     Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
-      ~input:(Suite.ref_input b) ~store:ctx.store ?pool:ctx.pool img
+      ~input:(Suite.ref_input b) ?evidence:(ctx.evidence img)
+      ~store:ctx.store ?pool:ctx.pool img
   in
   let static = go (Janus.config ~threads ~use_profile:false ~use_checks:false ()) in
   let profile = go (Janus.config ~threads ~use_checks:false ()) in
@@ -212,7 +219,7 @@ let fig8_row ctx (b : Suite.benchmark) =
   let img = compile ctx b in
   let prepared =
     Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b)
-      ~store:ctx.store ?pool:ctx.pool img
+      ?evidence:(ctx.evidence img) ~store:ctx.store ?pool:ctx.pool img
   in
   let go threads =
     let r =
@@ -315,7 +322,7 @@ let fig9_row ctx (b : Suite.benchmark) =
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let prepared =
     Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b)
-      ~store:ctx.store ?pool:ctx.pool img
+      ?evidence:(ctx.evidence img) ~store:ctx.store ?pool:ctx.pool img
   in
   let speedups =
     List.map
@@ -352,7 +359,7 @@ let fig10_row ctx (b : Suite.benchmark) =
   let img = compile ctx b in
   let p =
     Janus.prepare ~cfg:(Janus.config ()) ~train_input:(Suite.train_input b)
-      ~store:ctx.store ?pool:ctx.pool img
+      ?evidence:(ctx.evidence img) ~store:ctx.store ?pool:ctx.pool img
   in
   let r =
     Janus.run_parallel ~cfg:(Janus.config ()) ~input:(Suite.train_input b)
@@ -401,7 +408,7 @@ let fig11_row ctx (b : Suite.benchmark) =
     let janus =
       Janus.parallelise ~cfg:(Janus.config ())
         ~train_input:(Suite.train_input b) ~input:(Suite.ref_input b)
-        ~store:ctx.store ?pool:ctx.pool img
+        ?evidence:(ctx.evidence img) ~store:ctx.store ?pool:ctx.pool img
     in
     (Janus.speedup ~native ~run:autopar, Janus.speedup ~native ~run:janus)
   in
@@ -449,7 +456,7 @@ let fig12_row ctx (b : Suite.benchmark) =
     let r =
       Janus.parallelise ~cfg:(Janus.config ())
         ~train_input:(Suite.train_input b) ~input:(Suite.ref_input b)
-        ~store:ctx.store ?pool:ctx.pool img
+        ?evidence:(ctx.evidence img) ~store:ctx.store ?pool:ctx.pool img
     in
     Janus.speedup ~native ~run:r
   in
@@ -492,7 +499,8 @@ let ext_doacross_row ctx (b : Suite.benchmark) =
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let go cfg =
     Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
-      ~input:(Suite.ref_input b) ~store:ctx.store ?pool:ctx.pool img
+      ~input:(Suite.ref_input b) ?evidence:(ctx.evidence img)
+      ~store:ctx.store ?pool:ctx.pool img
   in
   let doall = go (Janus.config ()) in
   let doacross = go (Janus.config ~use_doacross:true ()) in
@@ -544,8 +552,8 @@ let ext_prefetch_row ctx (b : Suite.benchmark) =
   in
   let go cfg =
     let p =
-      Janus.prepare ~cfg ~train_input:(Suite.train_input b) ~store:ctx.store ?pool:ctx.pool
-        img
+      Janus.prepare ~cfg ~train_input:(Suite.train_input b)
+        ?evidence:(ctx.evidence img) ~store:ctx.store ?pool:ctx.pool img
     in
     (p, Janus.run_parallel ~cfg ~input:(Suite.ref_input b) ?pool:ctx.pool p)
   in
@@ -614,7 +622,8 @@ let ext_adapt_row ctx (b : Suite.benchmark) =
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let go cfg =
     Janus.parallelise ~cfg ~train_input:(Suite.train_input b)
-      ~input:(Suite.ref_input b) ~store:ctx.store ?pool:ctx.pool img
+      ~input:(Suite.ref_input b) ?evidence:(ctx.evidence img)
+      ~store:ctx.store ?pool:ctx.pool img
   in
   let static = go (Janus.config ()) in
   let adaptive = go (Janus.config ~adapt:true ()) in
@@ -676,8 +685,8 @@ let ext_fission_row ctx (b : Suite.benchmark) =
   let native = Janus.run_native ~input:(Suite.ref_input b) img in
   let go cfg =
     let p =
-      Janus.prepare ~cfg ~train_input:(Suite.train_input b) ~store:ctx.store ?pool:ctx.pool
-        img
+      Janus.prepare ~cfg ~train_input:(Suite.train_input b)
+        ?evidence:(ctx.evidence img) ~store:ctx.store ?pool:ctx.pool img
     in
     (p, Janus.run_parallel ~cfg ~input:(Suite.ref_input b) ?pool:ctx.pool p)
   in

@@ -25,9 +25,18 @@ val nine : Suite.benchmark list
 type ctx = {
   store : Pipeline.store;
   pool : Janus_pool.Pool.t option;
+  evidence : Janus_vx.Image.t -> Pipeline.evidence option;
+      (** fleet evidence for a binary (the [--profile-dir] loader);
+          the default returns [None] everywhere, which keeps every row
+          and cache key byte-identical to a pgo-free build *)
 }
 
-val ctx : ?store:Pipeline.store -> ?pool:Janus_pool.Pool.t -> unit -> ctx
+val ctx :
+  ?store:Pipeline.store ->
+  ?pool:Janus_pool.Pool.t ->
+  ?evidence:(Janus_vx.Image.t -> Pipeline.evidence option) ->
+  unit ->
+  ctx
 val default_ctx : ctx
 
 (** {1 Fig. 6 — loop classification} *)

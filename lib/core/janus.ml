@@ -208,6 +208,7 @@ type prepared = {
   p_deps : Profiler.deps option;
   p_selection : selection;
   p_schedule : Schedule.t;
+  p_evidence : Pipeline.evidence option;
 }
 
 (** Stages 1-2 of Fig. 1(a) as a composition of the {!Pipeline} stages:
@@ -215,17 +216,27 @@ type prepared = {
     schedule generation. [store] caches the per-stage artifacts by
     content key, so sweeps over execute-stage parameters (threads,
     tracing) recompute nothing. *)
-let prepare ?(cfg = config ()) ?(train_input = []) ?store ?pool image =
+let prepare ?(cfg = config ()) ?(train_input = []) ?evidence ?store ?pool
+    image =
   let analysis = Pipeline.analyse ?store ?pool image in
   let coverage, deps =
-    Pipeline.profile ?store ~cfg ~train_input image analysis
+    (* fleet evidence replaces the training run outright: the merged
+       coverage and pessimistic dependence verdicts stand in for one
+       profiling run's, gated by the same config switches *)
+    match evidence with
+    | Some (e : Pipeline.evidence) ->
+      ((if cfg.use_profile then e.Pipeline.ev_coverage else None),
+       (if cfg.use_checks then e.Pipeline.ev_deps else None))
+    | None -> Pipeline.profile ?store ~cfg ~train_input image analysis
   in
   let selection = Pipeline.select ~cfg analysis ~coverage ~deps in
   let schedule =
-    Pipeline.schedule ?store ~cfg ~train_input image analysis selection
+    Pipeline.schedule ?store ?evidence ~cfg ~train_input image analysis
+      selection
   in
   { p_image = image; p_analysis = analysis; p_coverage = coverage;
-    p_deps = deps; p_selection = selection; p_schedule = schedule }
+    p_deps = deps; p_selection = selection; p_schedule = schedule;
+    p_evidence = evidence }
 
 (* loop ids carried in the [aux] field of every rule with this id *)
 let rule_loops (schedule : Schedule.t) id =
@@ -266,15 +277,25 @@ let run_parallel ?(cfg = config ()) ?(input = []) ?pool (p : prepared) =
      (* A loop counts as profiled when its selection rests on evidence:
         static-class loops always, dynamic (checked) loops only when
         dependence profiling actually ran. Unprofiled dynamic loops
-        start in the governor's training-free sampling state. *)
+        start in the governor's training-free sampling state. A loop
+        whose aggregated fleet history is suspect (demotions, failed
+        checks in earlier runs) warm-starts in probation instead of
+        re-earning its first demotion from scratch. *)
+     let suspect =
+       match p.p_evidence with
+       | Some e -> e.Pipeline.ev_suspect
+       | None -> []
+     in
      List.iter
        (fun ((r : Loopanal.report), _) ->
           let lid = r.Loopanal.loop.Janus_analysis.Looptree.lid in
           if not (List.mem lid demoted) then
-            let profiled =
-              r.Loopanal.check_ranges = [] || p.p_deps <> None
-            in
-            Adapt.register g lid ~profiled)
+            if List.mem lid suspect then Adapt.register_suspect g lid
+            else
+              let profiled =
+                r.Loopanal.check_ranges = [] || p.p_deps <> None
+              in
+              Adapt.register g lid ~profiled)
        p.p_selection.chosen
    | None -> ());
   let rt = Runtime.create ~config:rt_config ?adapt:governor dbm in
@@ -418,9 +439,9 @@ let run_scheduled ?(cfg = config ()) ?(input = []) ?pool image schedule =
 
 (** The whole pipeline: analyse, profile on the training input, select,
     parallelise, run on the reference input. *)
-let parallelise ?(cfg = config ()) ?(train_input = []) ?(input = []) ?store
-    ?pool image =
-  let p = prepare ~cfg ~train_input ?store ?pool image in
+let parallelise ?(cfg = config ()) ?(train_input = []) ?(input = [])
+    ?evidence ?store ?pool image =
+  let p = prepare ~cfg ~train_input ?evidence ?store ?pool image in
   run_parallel ~cfg ~input ?pool p
 
 (** Convenience: speedup of [b] over [a] (same program, same input). *)

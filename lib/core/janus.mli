@@ -191,16 +191,27 @@ type prepared = {
   p_deps : Profiler.deps option;
   p_selection : selection;
   p_schedule : Schedule.t;
+  p_evidence : Pipeline.evidence option;
+      (** the fleet evidence the selection consumed, when prepared
+          from an aggregate instead of a training run *)
 }
 
 (** Stages 1-2 of Fig. 1(a): static analysis, optional profiling on the
     training input, loop selection, schedule generation — a thin
     composition of the {!Pipeline} stages. [store] (default
     {!Pipeline.default_store}) memoises each stage's artifact under its
-    content key, so evaluation sweeps share the static-side work. *)
+    content key, so evaluation sweeps share the static-side work.
+
+    [evidence] substitutes aggregated fleet evidence
+    ({!Pipeline.evidence}) for the training profile: no profiling run
+    happens, selection consumes the merged coverage and pessimistic
+    dependence verdicts, and the schedule is cached under a key that
+    includes the evidence generation. Omitted, the behaviour (and every
+    cache key) is bit-identical to a pgo-free build. *)
 val prepare :
   ?cfg:config ->
   ?train_input:int64 list ->
+  ?evidence:Pipeline.evidence ->
   ?store:Pipeline.store ->
   ?pool:Janus_pool.Pool.t ->
   Janus_vx.Image.t ->
@@ -234,6 +245,7 @@ val parallelise :
   ?cfg:config ->
   ?train_input:int64 list ->
   ?input:int64 list ->
+  ?evidence:Pipeline.evidence ->
   ?store:Pipeline.store ->
   ?pool:Janus_pool.Pool.t ->
   Janus_vx.Image.t ->

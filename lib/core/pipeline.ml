@@ -50,6 +50,17 @@ let config ?(threads = 8) ?(use_profile = true) ?(use_checks = true)
     trip_threshold; work_threshold; force_policy; stm_everywhere;
     prefetch; fission; model_cache; verify; fuel; trace; adapt; fuse }
 
+(* Aggregated fleet evidence (built by janus_pgo from a persistent
+   profile store) substituted for the one-shot training profile. The
+   generation digest is the only part the store layer reads: it enters
+   the schedule key so warm caches invalidate when evidence shifts. *)
+type evidence = {
+  ev_coverage : Profiler.coverage option;
+  ev_deps : Profiler.deps option;
+  ev_suspect : int list;
+  ev_generation : string;
+}
+
 (* ------------------------------------------------------------------ *)
 (* The artifact store                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -86,7 +97,12 @@ let marshal_codec () =
 type store = {
   enabled : bool;
   dir : string option;  (* persistent layer root, when present *)
+  prune_age : int option;    (* prune entries older than this (seconds) *)
+  prune_bytes : int option;  (* prune oldest entries beyond this budget *)
   mu : Mutex.t;
+  written : (string, unit) Hashtbl.t;
+      (* entry paths this process published: pruning never deletes
+         them, so a live run cannot evict its own warm artifacts *)
   images : Image.t table;
   analyses : Analysis.t table;
   coverages : Profiler.coverage table;
@@ -102,9 +118,61 @@ let rec mkdir_p d =
     with Sys_error _ when Sys.is_directory d -> ()  (* lost a race: fine *)
   end
 
-let store ?(enabled = true) ?dir () =
+(* Oldest-mtime-first pruning shared by the .jart artifact layer and
+   the .jprof profile store. Two passes: everything beyond [max_age],
+   then the oldest survivors until the directory fits [max_bytes].
+   Protected paths (the live process's own writes) are never deleted
+   and still count towards the byte budget — over-retention is safe,
+   deleting a just-published artifact is not. *)
+let prune_dir ?max_age ?max_bytes ?(protect = fun _ -> false) ~exts dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else begin
+    let now = Unix.gettimeofday () in
+    let entries =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> List.mem (Filename.extension f) exts)
+      |> List.filter_map (fun f ->
+          let path = Filename.concat dir f in
+          match Unix.stat path with
+          | { Unix.st_kind = Unix.S_REG; st_mtime; st_size; _ } ->
+            Some (st_mtime, path, st_size)
+          | _ | (exception Unix.Unix_error _) -> None)
+      |> List.sort compare  (* oldest first; name breaks mtime ties *)
+    in
+    let deleted = ref 0 in
+    let remove path =
+      match Sys.remove path with
+      | () -> incr deleted; true
+      | exception Sys_error _ -> false
+    in
+    let survivors =
+      List.filter
+        (fun (mtime, path, _) ->
+           match max_age with
+           | Some age
+             when now -. mtime > float_of_int age && not (protect path) ->
+             not (remove path)
+           | _ -> true)
+        entries
+    in
+    (match max_bytes with
+     | None -> ()
+     | Some budget ->
+       let total =
+         ref (List.fold_left (fun a (_, _, sz) -> a + sz) 0 survivors)
+       in
+       List.iter
+         (fun (_, path, sz) ->
+            if !total > budget && not (protect path) && remove path then
+              total := !total - sz)
+         survivors);
+    !deleted
+  end
+
+let store ?(enabled = true) ?dir ?prune_age ?prune_bytes () =
   Option.iter mkdir_p dir;
-  { enabled; dir; mu = Mutex.create ();
+  { enabled; dir; prune_age; prune_bytes; mu = Mutex.create ();
+    written = Hashtbl.create 16;
     images = table "image" { enc = Image.to_bytes; dec = Image.of_bytes };
     analyses = table "analysis" (marshal_codec ());
     coverages = table "coverage" (marshal_codec ());
@@ -115,6 +183,24 @@ let store ?(enabled = true) ?dir () =
 let default_store = store ()
 
 let store_dir s = s.dir
+
+let prune_store ?max_age ?max_bytes s =
+  match s.dir with
+  | None -> 0
+  | Some dir ->
+    let max_age = match max_age with Some _ as a -> a | None -> s.prune_age in
+    let max_bytes =
+      match max_bytes with Some _ as b -> b | None -> s.prune_bytes
+    in
+    if max_age = None && max_bytes = None then 0
+    else
+      let protect path =
+        Mutex.lock s.mu;
+        let p = Hashtbl.mem s.written path in
+        Mutex.unlock s.mu;
+        p
+      in
+      prune_dir ?max_age ?max_bytes ~protect ~exts:[ ".jart" ] dir
 
 let tables s =
   [ ("image", s.images.ks); ("analysis", s.analyses.ks);
@@ -308,7 +394,17 @@ let memo s (t : _ table) key f =
         Mutex.unlock s.mu;
         (match s.dir with
          | Some dir ->
-           if not (disk_save ~dir t key v) then begin
+           if disk_save ~dir t key v then begin
+             Mutex.lock s.mu;
+             Hashtbl.replace s.written (entry_path dir t.kind key) ();
+             Mutex.unlock s.mu;
+             (* keep the directory within its configured budget; the
+                entry just published is in [written], so the prune can
+                only evict other runs' stale artifacts *)
+             if s.prune_age <> None || s.prune_bytes <> None then
+               ignore (prune_store s)
+           end
+           else begin
              Mutex.lock s.mu;
              t.ks.ke <- t.ks.ke + 1;
              Mutex.unlock s.mu
@@ -452,11 +548,20 @@ let select ~cfg (analysis : Analysis.t) ~(coverage : Profiler.coverage option)
     analysis.Analysis.reports;
   { chosen = List.rev !chosen; rejected = List.rev !rejected }
 
-let schedule ?(store = default_store) ~cfg ~train_input image
+let schedule ?(store = default_store) ?evidence ~cfg ~train_input image
     (analysis : Analysis.t) (selection : selection) =
+  (* with fleet evidence attached, the profile-store generation joins
+     the key: a warm cache serves the old schedule only while the
+     merged evidence is unchanged. No evidence = the exact pgo-free
+     key string, so the subsystem is inert when unused. *)
+  let gen =
+    match evidence with
+    | None -> ""
+    | Some e -> Printf.sprintf "|gen=%s" e.ev_generation
+  in
   let key =
-    Printf.sprintf "%s|fuel=%d|in=%s|%s" (image_key image) cfg.fuel
-      (input_key train_input) (selection_key cfg)
+    Printf.sprintf "%s|fuel=%d|in=%s|%s%s" (image_key image) cfg.fuel
+      (input_key train_input) (selection_key cfg) gen
   in
   memo store store.schedules key (fun () ->
       fst

@@ -77,6 +77,33 @@ val config :
   unit ->
   config
 
+(** {1 Profile evidence}
+
+    Aggregated fleet evidence ({!Janus_pgo.Pgo} builds it from a
+    persistent profile store) substituted for the one-shot training
+    profile: the select stage consumes the merged coverage and
+    dependence verdicts instead of re-profiling, and the schedule key
+    gains the store {e generation} ([ev_generation], a content digest
+    of the merged profile), so warm schedule caches invalidate exactly
+    when the evidence shifts. With no evidence attached, keys and
+    artifacts are byte-identical to a pgo-free build. *)
+type evidence = {
+  ev_coverage : Profiler.coverage option;
+      (** invocation-weighted coverage summed over the fleet's
+          profiler runs *)
+  ev_deps : Profiler.deps option;
+      (** pessimistic dependence join: a loop is flagged when {e any}
+          run observed a cross-iteration dependence (profiled, sampled,
+          or proven by a failed runtime bounds check) *)
+  ev_suspect : int list;
+      (** loops whose aggregated governor history shows demotions or
+          failed checks — {!Janus.run_parallel} warm-starts these in
+          the governor's probation state *)
+  ev_generation : string;
+      (** content digest of the merged profile: the schedule-key
+          component that invalidates warm caches when evidence shifts *)
+}
+
 (** {1 The artifact store} *)
 
 type store
@@ -96,11 +123,40 @@ type store
     under disk errors where malformed), never a crash, and is
     overwritten by the recomputed artifact. A persistent hit is
     byte-identical to a recomputation, so cold and warm runs produce
-    identical artifacts. *)
-val store : ?enabled:bool -> ?dir:string -> unit -> store
+    identical artifacts.
+
+    [prune_age]/[prune_bytes] bound the persistent directory: after
+    each publish the oldest entries (by mtime) beyond the age or byte
+    budget are deleted — except entries this process itself wrote,
+    which stay until the next run's prune (deleting an artifact the
+    live process just published would defeat the warm-store
+    guarantee). *)
+val store :
+  ?enabled:bool -> ?dir:string -> ?prune_age:int -> ?prune_bytes:int ->
+  unit -> store
 
 (** The persistent layer's directory, if the store has one. *)
 val store_dir : store -> string option
+
+(** [prune_dir dir ~exts] deletes persisted entries under [dir] whose
+    extension is in [exts] (e.g. [[".jart"; ".jprof"]]), oldest mtime
+    first: first everything older than [max_age] seconds, then — while
+    the survivors still exceed [max_bytes] — the oldest of them.
+    [protect] exempts paths (the live process's own writes). Ties break
+    on the file name, so the deletion order is deterministic. Returns
+    the number of files deleted; unreadable files are skipped. *)
+val prune_dir :
+  ?max_age:int ->
+  ?max_bytes:int ->
+  ?protect:(string -> bool) ->
+  exts:string list ->
+  string ->
+  int
+
+(** Prune the store's persistent directory now (no-op without one),
+    protecting entries written by this process. Limits default to the
+    store's configured [prune_age]/[prune_bytes]. *)
+val prune_store : ?max_age:int -> ?max_bytes:int -> store -> int
 
 (** The process-wide store the [?store] parameters default to, so
     repeated pipeline runs in one process share static artifacts unless
@@ -149,6 +205,11 @@ val publish_metrics : store -> Obs.t -> unit
     Key: source digest + every {!Jcc.options} field. *)
 val compile : ?store:store -> ?options:Jcc.options -> string -> Janus_vx.Image.t
 
+(** The content key of an image (hex digest of its serialised bytes) —
+    the key every per-binary artifact, profile and fleet ledger hangs
+    off. *)
+val image_key : Janus_vx.Image.t -> string
+
 (** Stage 1 — static analysis: CFG recovery, loop forest, per-loop
     classification. Key: image digest. [pool] shards the analysis per
     function on a miss (see {!Analysis.analyse_image}); hits ignore it,
@@ -190,9 +251,13 @@ val select :
     config fields ([use_profile], [use_checks], [use_doacross], the
     three thresholds, [force_policy]) + [prefetch] + [fission] —
     everything the selection and the rule generator read, so equal keys
-    imply an equal schedule. *)
+    imply an equal schedule. When [evidence] is attached, the key also
+    quotes its generation digest, so a warm cache re-derives the
+    schedule exactly when the merged fleet evidence shifts; with no
+    evidence the key string is unchanged from a pgo-free build. *)
 val schedule :
   ?store:store ->
+  ?evidence:evidence ->
   cfg:config ->
   train_input:int64 list ->
   Janus_vx.Image.t ->

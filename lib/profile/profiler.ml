@@ -58,6 +58,11 @@ let avg_work coverage lid =
   if c.invocations = 0 then 0.0
   else float_of_int c.self_insns /. float_of_int c.invocations
 
+(* sorted loop ids: the canonical iteration order for serialisers *)
+let loop_ids coverage =
+  Hashtbl.fold (fun lid _ acc -> lid :: acc) coverage.loops []
+  |> List.sort_uniq compare
+
 (* ------------------------------------------------------------------ *)
 (* Coverage profiling                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -199,6 +204,11 @@ let has_dep deps lid =
 
 let was_observed deps lid =
   try Hashtbl.find deps.observed lid with Not_found -> false
+
+let dep_loop_ids deps =
+  Hashtbl.fold (fun lid _ acc -> lid :: acc) deps.observed []
+  |> Hashtbl.fold (fun lid _ acc -> lid :: acc) deps.dep_found
+  |> List.sort_uniq compare
 
 let run_dependence ?(fuel = 100_000_000) ?(input = []) ?obs image
     (analysis : Analysis.t) =

@@ -37,6 +37,11 @@ val avg_trip : coverage -> int -> float
     behind the paper's "high invocation count" filter (§III-B). *)
 val avg_work : coverage -> int -> float
 
+(** The loop ids the coverage run observed, sorted ascending — the
+    deterministic iteration order serialisers need (hashtable order is
+    not canonical). *)
+val loop_ids : coverage -> int list
+
 (** Run the coverage-profiling schedule over a training input. [obs]
     attaches a tracing/metrics sink to the profiling DBM; profile-level
     [prof.*] counters are published into it after the run. *)
@@ -77,6 +82,10 @@ type deps = {
 
 val has_dep : deps -> int -> bool
 val was_observed : deps -> int -> bool
+
+(** The loop ids the dependence run touched (observed or flagged),
+    sorted ascending. *)
+val dep_loop_ids : deps -> int list
 
 (** Run the dependence-profiling schedule: a per-loop shadow word-map
     flags accesses touching the same word in different iterations.

@@ -10,6 +10,7 @@ module Schedule = Janus_schedule.Schedule
 module Image = Janus_vx.Image
 module Obs = Janus_obs.Obs
 module Pool = Janus_pool.Pool
+module Pgo = Janus_pgo.Pgo
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)
@@ -59,7 +60,10 @@ type schedule_reply = {
   s_demoted : int list;
   s_findings : int;
   s_cache_hit : bool;
+  s_generation : string;
 }
+
+type upload_reply = { u_image : string; u_runs : int; u_total_runs : int }
 
 (* images travel as [Image.to_bytes] so the decoder — not Marshal —
    validates them on arrival *)
@@ -70,12 +74,16 @@ type request =
       q_cfg : Pipeline.config;
       q_train_input : int64 list;
     }
+  | Upload of { u_profile : bytes }
+      (* a [.jprof] payload; the versioned codec — not Marshal —
+         validates it on arrival *)
   | Metrics
   | Shutdown
 
 type reply =
   | R_analyse of analyse_reply
   | R_schedule of schedule_reply
+  | R_upload of upload_reply
   | R_metrics of (string * int) list
   | R_error of string
   | R_bye
@@ -89,22 +97,27 @@ type server = {
   store : Pipeline.store;
   pool : Pool.t option;
   obs : Obs.t;
+  profiles : Pgo.Store.t option;
   listener : Unix.file_descr;
 }
 
 let create_server ?(store = Pipeline.default_store) ?pool
-    ?(obs = Obs.create ()) ~socket () =
+    ?(obs = Obs.create ()) ?profile_dir ~socket () =
   if Sys.file_exists socket then Sys.remove socket;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX socket);
   Unix.listen fd 16;
-  { socket_path = socket; store; pool; obs; listener = fd }
+  let profiles = Option.map Pgo.Store.open_ profile_dir in
+  { socket_path = socket; store; pool; obs; profiles; listener = fd }
 
 let server_socket t = t.socket_path
 
 let server_metrics t =
   Pipeline.publish_metrics t.store t.obs;
   Option.iter (fun p -> Pool.publish_metrics p t.obs) t.pool;
+  Option.iter
+    (fun ps -> Obs.set t.obs "pgo.store.errors" (Pgo.Store.errors ps))
+    t.profiles;
   Obs.counters t.obs
 
 (* Did the work between [before] and now touch anything cold? The
@@ -130,9 +143,20 @@ let handle_analyse t q_image =
 let handle_schedule t q_image q_cfg q_train_input =
   let image = Image.of_bytes q_image in
   let before = Pipeline.cache_stats t.store in
+  (* schedule from the fleet aggregate when the profile store holds
+     evidence for this binary; the evidence generation enters the
+     pipeline's schedule key, so a warm store re-derives exactly when
+     the merged evidence shifts *)
+  let evidence =
+    match t.profiles with
+    | None -> None
+    | Some ps ->
+      Pgo.Store.evidence_for ps ~image:(Pipeline.image_key image)
+  in
+  if evidence <> None then Obs.incr t.obs "pgo.evidence";
   let p =
-    Janus.prepare ~cfg:q_cfg ~train_input:q_train_input ~store:t.store
-      ?pool:t.pool image
+    Janus.prepare ~cfg:q_cfg ~train_input:q_train_input ?evidence
+      ~store:t.store ?pool:t.pool image
   in
   let hit = warm_since t before in
   if hit then Obs.incr t.obs "served.store_hits";
@@ -149,7 +173,26 @@ let handle_schedule t q_image q_cfg q_train_input =
       s_demoted = demoted;
       s_findings = List.length findings;
       s_cache_hit = hit;
+      s_generation =
+        (match evidence with
+        | Some e -> e.Pipeline.ev_generation
+        | None -> "");
     }
+
+let handle_upload t u_profile =
+  match t.profiles with
+  | None -> R_error "janus_served: started without --profile-dir"
+  | Some ps ->
+    let prof = Pgo.of_bytes u_profile in
+    let merged = Pgo.Store.save ps prof in
+    Obs.incr t.obs "pgo.ingested";
+    Obs.incr t.obs ~by:(Pgo.runs prof) "pgo.runs";
+    R_upload
+      {
+        u_image = prof.Pgo.p_image;
+        u_runs = Pgo.runs prof;
+        u_total_runs = Pgo.runs merged;
+      }
 
 let handle t = function
   | Analyse { q_image } ->
@@ -158,6 +201,9 @@ let handle t = function
   | Sched { q_image; q_cfg; q_train_input } ->
     Obs.incr t.obs "served.schedule";
     handle_schedule t q_image q_cfg q_train_input
+  | Upload { u_profile } ->
+    Obs.incr t.obs "served.upload";
+    handle_upload t u_profile
   | Metrics ->
     Obs.incr t.obs "served.metrics";
     R_metrics (server_metrics t)
@@ -235,6 +281,11 @@ let schedule c ?(cfg = Pipeline.config ()) ?(train_input = []) image =
   with
   | R_schedule r -> r
   | r -> fail_reply "schedule" r
+
+let upload c payload =
+  match rpc c (Upload { u_profile = payload }) with
+  | R_upload r -> r
+  | r -> fail_reply "upload" r
 
 let metrics c =
   match rpc c Metrics with

@@ -36,6 +36,15 @@ type schedule_reply = {
   s_demoted : int list;   (** loops the verifier degraded to sequential *)
   s_findings : int;       (** verifier findings of any severity *)
   s_cache_hit : bool;     (** all pipeline artifacts came from the store *)
+  s_generation : string;  (** profile-store generation the schedule was
+                              derived under; [""] when the daemon holds
+                              no evidence for the binary *)
+}
+
+type upload_reply = {
+  u_image : string;       (** image digest the profile was filed under *)
+  u_runs : int;           (** run entries in the uploaded profile *)
+  u_total_runs : int;     (** run entries stored for the image after merge *)
 }
 
 (** {1 Server} *)
@@ -47,11 +56,22 @@ type server
     artifact store answers come from — give it a persistent directory
     ({!Pipeline.store} [~dir]) to survive restarts; [pool] shards
     per-request analysis and verification; [obs] receives the
-    [served.*] and [pipeline.cache.*] counters. *)
+    [served.*] and [pipeline.cache.*] counters.
+
+    [profile_dir] opens a persistent fleet-profile store
+    ({!Janus_pgo.Pgo.Store}) there: clients push [.jprof] payloads with
+    {!upload}, and every schedule request for a binary with stored
+    evidence is answered from the merged aggregate
+    ({!Janus_core.Pipeline.evidence}) instead of a fresh training
+    profile — a restarted daemon keeps answering from everything every
+    earlier run uploaded. Adds the [pgo.*] counters. Without
+    [profile_dir], behaviour is byte-identical to the pgo-free daemon
+    and uploads are refused. *)
 val create_server :
   ?store:Pipeline.store ->
   ?pool:Pool.t ->
   ?obs:Obs.t ->
+  ?profile_dir:string ->
   socket:string ->
   unit ->
   server
@@ -87,6 +107,12 @@ val schedule :
   ?train_input:int64 list ->
   Image.t ->
   schedule_reply
+
+(** Push a [.jprof] payload ({!Janus_pgo.Pgo.to_bytes}) into the
+    daemon's profile store; it is merged with whatever the daemon
+    already holds for that binary. Raises [Failure] when the daemon
+    was started without [--profile-dir] or the payload is malformed. *)
+val upload : connection -> bytes -> upload_reply
 
 val metrics : connection -> (string * int) list
 

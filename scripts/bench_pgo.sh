@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Benchmark the persistent-PGO loop: drive `janus_pgo iterate` on
+# adv.alias (the benchmark whose training run under-observes an
+# aliasing dependence) until the schedule digest converges, and emit
+# one JSON object (to $1, default BENCH_pgo.json) recording the
+# train-once baseline cycles, the converged cycles, the rounds to
+# convergence and the number of flipped dependence verdicts. CI
+# structurally diffs the fresh document against the committed baseline
+# and asserts the converged schedule never loses to train-once.
+# Requires `dune build` to have produced the binaries.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pgo.json}"
+pgo_bin=_build/default/bin/janus_pgo_cli.exe
+[ -x "$pgo_bin" ] || { echo "run dune build first: $pgo_bin missing" >&2; exit 1; }
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+bench=adv.alias
+max_rounds=4
+
+# The run is ungoverned (no --adapt): the point is that the merged
+# fleet evidence alone re-derives the schedule the governor would
+# otherwise have to discover over again in every process.
+"$pgo_bin" iterate --bench "$bench" --store "$work/profiles" \
+  --rounds "$max_rounds" | tee "$work/iterate.txt"
+
+python3 - "$out" "$bench" "$max_rounds" "$work/iterate.txt" <<'PY'
+import json, re, sys
+out, bench, max_rounds, log = sys.argv[1:5]
+
+rounds = []
+summary = None
+for line in open(log):
+    m = re.match(r"round=(\d+) cycles=(\d+) schedule=(\w+) selected=\[([^\]]*)\] flipped=(\d+)", line)
+    if m:
+        rounds.append({
+            "round": int(m.group(1)),
+            "cycles": int(m.group(2)),
+            "schedule_md5": m.group(3),
+            "selected": [int(x) for x in m.group(4).split(",") if x],
+            "flipped": int(m.group(5)),
+        })
+    m = re.match(r"converged=(\w+) rounds=(\d+) baseline-cycles=(\d+) final-cycles=(\d+)", line)
+    if m:
+        summary = {
+            "converged": m.group(1) == "true",
+            "rounds": int(m.group(2)),
+            "baseline_cycles": int(m.group(3)),
+            "final_cycles": int(m.group(4)),
+        }
+
+assert rounds and summary, "iterate output not parsed"
+assert summary["converged"], "iteration did not converge"
+assert summary["final_cycles"] <= summary["baseline_cycles"], \
+    "converged schedule lost to train-once"
+
+doc = {
+    "benchmark": bench,
+    "max_rounds": int(max_rounds),
+    "round0_cycles": summary["baseline_cycles"],
+    "converged_cycles": summary["final_cycles"],
+    "rounds_to_convergence": summary["rounds"],
+    "verdicts_flipped": sum(r["flipped"] for r in rounds),
+    "improvement_pct": round(
+        100.0 * (summary["baseline_cycles"] - summary["final_cycles"])
+        / summary["baseline_cycles"], 2),
+    "rounds": rounds,
+}
+json.dump(doc, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(json.dumps(doc, indent=2))
+PY

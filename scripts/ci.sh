@@ -117,6 +117,92 @@ cmp "$work/served_s1.jrs" "$work/served_s3.jrs"
 "$served" stop --socket "$sock"
 wait "$served_pid"
 
+echo "== persistent PGO: flag-off inertness =="
+# an empty profile store (or none) must not change a byte of the
+# evaluation: evidence only enters selection when runs are stored
+mkdir -p "$work/pgo-empty"
+dune exec bin/janus_eval.exe -- all --profile-dir "$work/pgo-empty" \
+  > "$work/eval_pgo_off.txt"
+cmp "$work/eval_j1_cold.txt" "$work/eval_pgo_off.txt"
+
+echo "== persistent PGO: iterate to a stable schedule =="
+# adv.alias under-observes an aliasing dependence at training scale;
+# one fleet round must flip the verdict, beat the train-once cycles,
+# and the next round must reproduce the schedule byte-for-byte
+pgo_bin=_build/default/bin/janus_pgo_cli.exe
+"$pgo_bin" iterate --bench adv.alias --store "$work/pgo-iter" --rounds 2 \
+  | tee "$work/pgo_iter.txt"
+grep -q 'converged=true' "$work/pgo_iter.txt"
+r0_cycles=$(sed -n 's/^round=0 cycles=\([0-9]*\) .*/\1/p' "$work/pgo_iter.txt")
+r1_cycles=$(sed -n 's/^round=1 cycles=\([0-9]*\) .*/\1/p' "$work/pgo_iter.txt")
+r1_md5=$(sed -n 's/^round=1 .*schedule=\([0-9a-f]*\) .*/\1/p' "$work/pgo_iter.txt")
+r2_md5=$(sed -n 's/^round=2 .*schedule=\([0-9a-f]*\) .*/\1/p' "$work/pgo_iter.txt")
+[ "$r1_md5" = "$r2_md5" ] || { echo "round 2 schedule not byte-stable" >&2; exit 1; }
+[ "$r1_cycles" -lt "$r0_cycles" ] || { echo "evidence-fed round did not beat train-once" >&2; exit 1; }
+grep -Eq '^round=1 .*flipped=[1-9]' "$work/pgo_iter.txt"
+
+echo "== persistent PGO: daemon ingest and restart =="
+# a fleet member collects its profile locally, ships the .jprof to the
+# daemon, and every later schedule answer - including from a restarted
+# daemon with a cold pipeline store - reflects the merged evidence
+pgo_served_profiles="$work/pgo-served-profiles"
+pgo_served_store="$work/pgo-served-store"
+"$served" serve --socket "$sock" --store-dir "$pgo_served_store" \
+  --profile-dir "$pgo_served_profiles" > "$work/pgo_served.log" 2>&1 &
+served_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ] || { echo "pgo daemon never bound $sock" >&2; exit 1; }
+"$served" schedule --socket "$sock" --bench adv.alias \
+  --out "$work/pgo_s_before.jrs" | tee "$work/pgo_s_before.txt"
+grep -q 'gen=-' "$work/pgo_s_before.txt"
+# collect the fleet member's run at the aliasing scale into a local
+# store, then upload the .jprof it wrote
+"$pgo_bin" collect --bench adv.alias --store "$work/pgo-fleet" --scale 250 \
+  | tee "$work/pgo_collect.txt"
+jprof=$(ls "$work/pgo-fleet"/*.jprof)
+"$served" upload --socket "$sock" --file "$jprof" | tee "$work/pgo_upload.txt"
+grep -Eq 'runs=1 total-runs=1' "$work/pgo_upload.txt"
+"$served" schedule --socket "$sock" --bench adv.alias \
+  --out "$work/pgo_s_after.jrs" | tee "$work/pgo_s_after.txt"
+grep -Eq 'gen=[0-9a-f]+' "$work/pgo_s_after.txt"
+if cmp -s "$work/pgo_s_before.jrs" "$work/pgo_s_after.jrs"; then
+  echo "uploaded evidence did not change the served schedule" >&2; exit 1
+fi
+"$served" metrics --socket "$sock" | tee "$work/pgo_served.metrics"
+grep -Eq '^pgo\.ingested +1' "$work/pgo_served.metrics"
+grep -Eq '^pgo\.runs +[1-9]' "$work/pgo_served.metrics"
+grep -Eq '^pgo\.store\.errors +0' "$work/pgo_served.metrics"
+"$served" stop --socket "$sock"
+wait "$served_pid"
+# restart: fresh process, fresh pipeline store, same profile directory
+"$served" serve --socket "$sock" --store-dir "$pgo_served_store-2" \
+  --profile-dir "$pgo_served_profiles" >> "$work/pgo_served.log" 2>&1 &
+served_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+"$served" schedule --socket "$sock" --bench adv.alias \
+  --out "$work/pgo_s_restart.jrs" > "$work/pgo_s_restart.txt"
+cmp "$work/pgo_s_after.jrs" "$work/pgo_s_restart.jrs"
+"$served" stop --socket "$sock"
+wait "$served_pid"
+
+echo "== PGO convergence benchmark =="
+scripts/bench_pgo.sh "$work/BENCH_pgo.json"
+# committed baseline must stay structurally comparable to a fresh run,
+# and the converged schedule may never lose to train-once
+python3 - "$work/BENCH_pgo.json" BENCH_pgo.json <<'PY'
+import json, sys
+fresh, baseline = (json.load(open(p)) for p in sys.argv[1:3])
+assert sorted(fresh) == sorted(baseline), (sorted(fresh), sorted(baseline))
+assert fresh["converged_cycles"] <= fresh["round0_cycles"], fresh
+assert fresh["verdicts_flipped"] >= 1, fresh
+PY
+
 echo "== analysis benchmark =="
 scripts/bench_analysis.sh "$work/BENCH_analysis.json"
 # committed baseline must stay structurally comparable to a fresh run

@@ -19,4 +19,5 @@ let () =
       ("adapt", Test_adapt.tests);
       ("fuzz", Test_fuzz.tests);
       ("served", Test_served.tests);
+      ("pgo", Test_pgo.tests);
     ]

@@ -14,7 +14,26 @@ grep -q -- "--threads must be positive, got 0" badargs.out ||
 grep -q 'janus_eval: unknown experiment "fig99"' badexp.out ||
   fail "unknown experiment diagnostic missing"
 
-for f in fuel_fail.out badargs.out badexp.out; do
+# a valued flag with its value missing (here: as the final argument)
+# is a usage error with a diagnostic naming the flag, never a default
+grep -q "option '--scale' needs an argument" noval_run.out ||
+  fail "janus_run missing --scale value not diagnosed"
+grep -q "option '--scale' needs an argument" noval_prof.out ||
+  fail "janus_prof missing --scale value not diagnosed"
+grep -q "option '--profile' needs an argument" noval_analyze.out ||
+  fail "janus_analyze missing --profile value not diagnosed"
+grep -q "option '-o' needs an argument" noval_jcc.out ||
+  fail "jcc missing -o value not diagnosed"
+grep -q "option '--store-dir' needs an argument" noval_eval.out ||
+  fail "janus_eval missing --store-dir value not diagnosed"
+grep -q -- "--socket expects a value" noval_served.out ||
+  fail "janus_served missing --socket value not diagnosed"
+grep -q -- "--bench expects a value" noval_pgo.out ||
+  fail "janus_pgo missing --bench value not diagnosed"
+
+for f in fuel_fail.out badargs.out badexp.out noval_run.out noval_prof.out \
+         noval_analyze.out noval_jcc.out noval_eval.out noval_served.out \
+         noval_pgo.out; do
   grep -qi "Raised at\|Backtrace\|Fatal error" "$f" &&
     fail "$f contains a backtrace" || true
 done
